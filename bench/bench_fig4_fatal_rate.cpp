@@ -1,0 +1,60 @@
+// Figure 4 — Temporal Correlations Among Fatal Events: fatal events per
+// day for both machines.  The headline property is clustering: "a
+// significant number of failures happen in close proximity".
+#include <algorithm>
+#include <cstdio>
+
+#include "online/report.hpp"
+#include "support/bench_logs.hpp"
+
+namespace {
+
+void report(const char* name, const dml::logio::EventStore& store) {
+  using namespace dml;
+  const auto per_day =
+      store.fatal_per_day(store.first_time(), store.last_time() + 1);
+  std::size_t peak = 1, total = 0, quiet_days = 0, heavy_days = 0;
+  for (auto c : per_day) {
+    peak = std::max(peak, c);
+    total += c;
+    if (c == 0) ++quiet_days;
+    if (c >= 10) ++heavy_days;
+  }
+  std::vector<double> normalized;
+  for (auto c : per_day) {
+    normalized.push_back(static_cast<double>(c) / static_cast<double>(peak));
+  }
+  std::printf("\n%s: %zu failures over %zu days (mean %.1f/day, peak "
+              "%zu/day)\n",
+              name, total, per_day.size(),
+              static_cast<double>(total) / static_cast<double>(per_day.size()),
+              peak);
+  std::printf("  quiet days (0 failures): %zu (%.0f%%); heavy days (>=10): "
+              "%zu\n",
+              quiet_days,
+              100.0 * static_cast<double>(quiet_days) /
+                  static_cast<double>(per_day.size()),
+              heavy_days);
+  // Print the series in week-sized chunks of sparkline.
+  for (std::size_t start = 0; start < normalized.size(); start += 112) {
+    const std::size_t end = std::min(normalized.size(), start + 112);
+    std::printf("  day %4zu | %s\n", start,
+                dml::online::sparkline({normalized.begin() +
+                                            static_cast<std::ptrdiff_t>(start),
+                                        normalized.begin() +
+                                            static_cast<std::ptrdiff_t>(end)})
+                    .c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  dml::bench::print_header(
+      "Figure 4: Fatal Events Per Day",
+      "failures cluster: many failures in close proximity, driven by "
+      "network/I-O cascades");
+  report("ANL BGL", dml::bench::anl_store());
+  report("SDSC BGL", dml::bench::sdsc_store());
+  return 0;
+}

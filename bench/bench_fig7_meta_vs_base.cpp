@@ -1,0 +1,65 @@
+// Figure 7 — static meta-learner versus the three base learners, per
+// 4-week test point.  Paper claims: meta-learning boosts accuracy (up to
+// 3x on recall); every static curve decays over time; association rules
+// have the worst recall (most failures lack precursors); statistical
+// rules have good precision but low recall; the distribution learner has
+// good recall but many false alarms.
+#include <cstdio>
+
+#include "online/evaluation.hpp"
+#include "support/bench_logs.hpp"
+
+namespace {
+
+using namespace dml;
+
+online::DriverResult run_static(const logio::EventStore& store, bool ar,
+                                bool sr, bool pd) {
+  online::DriverConfig config;
+  config.mode = online::TrainingMode::kStatic;
+  config.training_weeks = 26;
+  config.learner.enable_association = ar;
+  config.learner.enable_statistical = sr;
+  config.learner.enable_distribution = pd;
+  return online::DynamicDriver(config).run(store);
+}
+
+void report(const char* name, const logio::EventStore& store) {
+  bench::set_series_context("fig7_meta_vs_base", name);
+  std::printf("\n=== %s ===\n", name);
+  struct Config {
+    const char* label;
+    bool ar, sr, pd;
+  };
+  const Config configs[] = {
+      {"association", true, false, false},
+      {"statistical", false, true, false},
+      {"distribution", false, false, true},
+      {"meta-learner", true, true, true},
+  };
+  double meta_recall = 0.0, best_base_recall = 0.0;
+  for (const auto& config : configs) {
+    const auto result = run_static(store, config.ar, config.sr, config.pd);
+    bench::print_series(config.label, result);
+    if (std::string(config.label) == "meta-learner") {
+      meta_recall = result.overall_recall();
+    } else {
+      best_base_recall = std::max(best_base_recall, result.overall_recall());
+    }
+  }
+  std::printf("meta vs best base recall: %.2f vs %.2f (%.1fx)\n", meta_recall,
+              best_base_recall,
+              best_base_recall > 0 ? meta_recall / best_base_recall : 0.0);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 7: Meta-learning vs Base Predictive Methods (static)",
+      "meta-learning substantially boosts precision and recall; no single "
+      "base learner suffices");
+  report("ANL BGL", bench::anl_store());
+  report("SDSC BGL", bench::sdsc_store());
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figure 8 — Venn diagram of fatal events captured by the association
+// (AR), statistical (SR), and probability-distribution (PD) learners
+// between the 44th and 48th week of the SDSC log.  Paper: 156 fatal
+// events; AR captures 23.7%, SR 37.2%, PD 56.4%; 67 are captured by
+// multiple learners; six by all three; a single learner cannot capture
+// everything.
+#include <cstdio>
+
+#include "meta/meta_learner.hpp"
+#include "online/evaluation.hpp"
+#include "support/bench_logs.hpp"
+
+int main() {
+  using namespace dml;
+  bench::print_header(
+      "Figure 8: Venn Diagram of AR / SR / PD Coverage (SDSC, weeks 44-48)",
+      "156 fatals; AR 23.7%, SR 37.2%, PD 56.4%; 67 captured by multiple "
+      "learners");
+
+  const auto& store = bench::sdsc_store();
+  const TimeSec origin = store.first_time();
+
+  auto run_window = [&](int from_week, int to_week) {
+    const TimeSec begin = origin + from_week * kSecondsPerWeek;
+    const TimeSec end = origin + to_week * kSecondsPerWeek;
+    // Train each base learner standalone on the preceding six months.
+    auto train = [&](bool ar, bool sr, bool pd) {
+      meta::MetaLearnerConfig config;
+      config.enable_association = ar;
+      config.enable_statistical = sr;
+      config.enable_distribution = pd;
+      meta::MetaLearner learner{config};
+      return learner.learn(
+          store.between(begin - 26 * kSecondsPerWeek, begin), 300);
+    };
+    const auto venn = online::venn_over_range(store, begin, end,
+                                              train(true, false, false),
+                                              train(false, true, false),
+                                              train(false, false, true), 300);
+
+    std::printf("\n=== weeks %d-%d: %zu fatal events (paper window had "
+                "156) ===\n",
+                from_week, to_week, venn.total);
+    auto pct = [&](std::size_t n) {
+      return venn.total == 0 ? 0.0
+                             : 100.0 * static_cast<double>(n) /
+                                   static_cast<double>(venn.total);
+    };
+    std::printf("  AR only        : %4zu\n", venn.only_ar);
+    std::printf("  SR only        : %4zu\n", venn.only_sr);
+    std::printf("  PD only        : %4zu\n", venn.only_pd);
+    std::printf("  AR & SR        : %4zu\n", venn.ar_sr);
+    std::printf("  AR & PD        : %4zu\n", venn.ar_pd);
+    std::printf("  SR & PD        : %4zu\n", venn.sr_pd);
+    std::printf("  all three      : %4zu\n", venn.all);
+    std::printf("  none           : %4zu\n", venn.none);
+    std::printf("coverage: AR %.1f%% (paper 23.7%%), SR %.1f%% (37.2%%), "
+                "PD %.1f%% (56.4%%)\n",
+                pct(venn.captured_by_ar()), pct(venn.captured_by_sr()),
+                pct(venn.captured_by_pd()));
+    std::printf("captured by multiple learners: %zu (paper 67); "
+                "uncaptured: %zu\n",
+                venn.captured_by_multiple(), venn.none);
+  };
+
+  // The paper's exact window, plus a half-year span so the region counts
+  // aren't hostage to which four weeks of the simulated log happen to be
+  // bursty.
+  run_window(44, 48);
+  run_window(26, 52);
+  std::printf("\nObservation #1: no single base learner captures all "
+              "failures alone.\n");
+  return 0;
+}

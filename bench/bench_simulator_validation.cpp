@@ -1,0 +1,116 @@
+// Simulator validation: checks the log generator's statistical
+// properties against its configured targets — the calibration table
+// anyone editing MachineProfile should re-run.  Covers the structures
+// the prediction experiments depend on (DESIGN.md §2):
+//   failure rate and burstiness, precursor coverage, cascade locality,
+//   duplication factors, and filtering compression.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "learners/statistical_learner.hpp"
+#include "logio/event_store.hpp"
+#include "online/report.hpp"
+#include "preprocess/pipeline.hpp"
+#include "support/bench_logs.hpp"
+
+namespace {
+
+using namespace dml;
+
+void validate(const char* name, const loggen::MachineProfile& profile,
+              std::uint64_t seed) {
+  std::printf("\n=== %s ===\n", name);
+  const loggen::LogGenerator generator(profile, seed);
+  const logio::EventStore store(generator.generate_unique_events());
+
+  online::TablePrinter table({"property", "target", "measured"});
+
+  // Failure rate: Weibull background + cascades.
+  const double per_week =
+      static_cast<double>(store.fatal_times().size()) / profile.weeks;
+  table.add_row({"failures/week", "15-35 (Weibull bg + cascades)",
+                 online::TablePrinter::fmt(per_week, 1)});
+
+  // Burstiness: P(another failure within Wp | 3 within Wp) must clear
+  // the statistical learner's 0.8 threshold.
+  const auto estimates =
+      learners::StatisticalLearner::estimate(store.all(), 300, 4);
+  table.add_row({"P(another | 3 in 300s)", ">= 0.80",
+                 online::TablePrinter::fmt(estimates[2].probability())});
+
+  // Precursor coverage: fraction of failures whose signature fully fired.
+  std::size_t fatal_count = 0, with_precursors = 0;
+  for (const auto& e : store.all()) {
+    if (!e.fatal) continue;
+    ++fatal_count;
+    const auto* sig = generator.library_at(e.time).find(e.category);
+    if (sig == nullptr) continue;
+    std::size_t seen = 0;
+    for (const auto& p : store.between(e.time - 300, e.time)) {
+      for (CategoryId pre : sig->precursors) {
+        if (p.category == pre) {
+          ++seen;
+          break;
+        }
+      }
+    }
+    if (seen >= sig->precursors.size()) ++with_precursors;
+  }
+  table.add_row(
+      {"failures with full precursor set",
+       "25-50% (paper: up to 75% have none)",
+       online::TablePrinter::fmt(static_cast<double>(with_precursors) /
+                                 std::max<std::size_t>(1, fatal_count))});
+
+  // Cascade locality: close failure pairs co-located per midplane.
+  std::size_t close_pairs = 0, same_midplane = 0;
+  const bgl::Event* previous = nullptr;
+  for (const auto& e : store.all()) {
+    if (!e.fatal) continue;
+    if (previous != nullptr && e.time - previous->time <= 120) {
+      ++close_pairs;
+      same_midplane += e.location.enclosing_midplane() ==
+                               previous->location.enclosing_midplane()
+                           ? 1
+                           : 0;
+    }
+    previous = &e;
+  }
+  table.add_row(
+      {"close failure pairs in one midplane",
+       online::TablePrinter::fmt(profile.cascade_locality) + " (configured)",
+       online::TablePrinter::fmt(static_cast<double>(same_midplane) /
+                                 std::max<std::size_t>(1, close_pairs))});
+
+  // Raw expansion + compression (scaled profile for speed).
+  auto scaled = profile;
+  scaled.weeks = std::min(profile.weeks, 16);
+  preprocess::PreprocessPipeline pipeline(300);
+  logio::CountingSink raw;
+  logio::TeeSink tee({&raw, &pipeline});
+  const auto truth = loggen::LogGenerator(scaled, seed).generate(tee);
+  table.add_row({"compression at 300 s (16-wk slice)", "> 90%",
+                 online::TablePrinter::fmt(
+                     100.0 * pipeline.stats().compression_rate(), 1) + "%"});
+  table.add_row(
+      {"pipeline unique / ground truth", "0.9 - 1.2",
+       online::TablePrinter::fmt(
+           static_cast<double>(pipeline.stats().unique_events) /
+           static_cast<double>(std::max<std::size_t>(1, truth.size())))});
+  table.add_row({"unclassified records", "0",
+                 std::to_string(pipeline.categorizer_stats().unclassified)});
+
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Simulator validation",
+                      "generator statistical properties vs configured "
+                      "targets (DESIGN.md section 2)");
+  validate("ANL BGL", bench::anl_profile(), bench::kAnlSeed);
+  validate("SDSC BGL", bench::sdsc_profile(), bench::kSdscSeed);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Table 2 — Log Description: period, weeks, raw record count, log size
+// for the two machines.  The generated logs' volumes are calibrated to
+// the published table (ANL: 5,887,771 records / 2.27 GB over 112 weeks;
+// SDSC: 517,247 / 463 MB over 132 weeks).
+//
+// Set DML_BENCH_SCALE to a value < 1 to run a scaled-down log.
+#include <cstdio>
+#include <iostream>
+
+#include "common/civil_time.hpp"
+#include "logio/record_sink.hpp"
+#include "online/report.hpp"
+#include "support/bench_logs.hpp"
+
+int main() {
+  using namespace dml;
+  bench::print_header(
+      "Table 2: Log Description",
+      "ANL 112 wk, 5,887,771 events, 2.27 GB; SDSC 132 wk, 517,247 events, "
+      "463 MB");
+  const double scale = bench::raw_scale();
+  if (scale != 1.0) std::printf("(running at scale %.2f)\n", scale);
+
+  online::TablePrinter table(
+      {"Log", "Period", "Weeks", "Event No.", "Log Size", "(paper events)"});
+
+  struct Row {
+    loggen::MachineProfile profile;
+    std::uint64_t seed;
+    const char* paper_events;
+  };
+  const Row rows[] = {
+      {bench::anl_profile(), bench::kAnlSeed, "5,887,771"},
+      {bench::sdsc_profile(), bench::kSdscSeed, "517,247"},
+  };
+
+  for (const auto& row : rows) {
+    auto profile = row.profile;
+    profile.scale = scale;
+    logio::CountingSink sink;
+    loggen::LogGenerator(profile, row.seed).generate(sink);
+    char period[80];
+    std::snprintf(period, sizeof(period), "%s - %s",
+                  format_timestamp(profile.start_time).substr(0, 10).c_str(),
+                  format_timestamp(profile.end_time()).substr(0, 10).c_str());
+    char size[32];
+    std::snprintf(size, sizeof(size), "%.2f %s",
+                  sink.bytes() >= (1ull << 30)
+                      ? static_cast<double>(sink.bytes()) / (1ull << 30)
+                      : static_cast<double>(sink.bytes()) / (1ull << 20),
+                  sink.bytes() >= (1ull << 30) ? "GB" : "MB");
+    table.add_row({profile.machine.name + " BGL", period,
+                   std::to_string(profile.weeks), std::to_string(sink.total()),
+                   size, row.paper_events});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Table 3 — Event Categories in Blue Gene/L: fatal / non-fatal low-level
+// category counts per facility.  Our taxonomy reproduces the published
+// counts exactly (69 fatal, 150 non-fatal, 219 total).
+#include <iostream>
+
+#include "bgl/taxonomy.hpp"
+#include "online/report.hpp"
+#include "support/bench_logs.hpp"
+
+int main() {
+  using namespace dml;
+  bench::print_header("Table 3: Event Categories in Blue Gene/L",
+                      "10 facilities; 69 fatal + 150 non-fatal = 219 "
+                      "low-level categories");
+
+  online::TablePrinter table({"Main Category", "Example", "No. of Fatal",
+                              "No. of Non-Fatal"});
+  const auto& tax = bgl::taxonomy();
+  int total_fatal = 0, total_nonfatal = 0;
+  for (const auto& fc : tax.facility_counts()) {
+    // First category of the facility as the printed example.
+    std::string example;
+    const auto& ids = tax.facility_ids(fc.facility);
+    if (!ids.empty()) example = tax.category(ids.front()).pattern;
+    table.add_row({std::string(to_string(fc.facility)), example,
+                   std::to_string(fc.fatal), std::to_string(fc.nonfatal)});
+    total_fatal += fc.fatal;
+    total_nonfatal += fc.nonfatal;
+  }
+  table.add_row({"TOTAL", "", std::to_string(total_fatal),
+                 std::to_string(total_nonfatal)});
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Table 4 — Number of Events with Different Filtering Thresholds: runs
+// the temporal + spatial compression sweep at {0, 10, 60, 120, 200, 300,
+// 400} seconds over both raw logs and prints the per-facility unique
+// event counts, plus the paper's iterative threshold choice (§3.2).
+//
+// Set DML_BENCH_SCALE < 1 to shrink the raw logs (the shape of the table
+// is preserved; absolute counts scale with the volume).
+#include <cstdio>
+#include <iostream>
+
+#include "online/report.hpp"
+#include "preprocess/pipeline.hpp"
+#include "support/bench_logs.hpp"
+
+int main() {
+  using namespace dml;
+  bench::print_header(
+      "Table 4: Number of Events with Different Filtering Thresholds",
+      "compression flattens by ~300 s; >98% compression at the chosen "
+      "threshold");
+  const double scale = bench::raw_scale();
+  if (scale != 1.0) std::printf("(running at scale %.2f)\n", scale);
+
+  const std::vector<DurationSec> thresholds = {0, 10, 60, 120, 200, 300, 400};
+
+  struct Machine {
+    loggen::MachineProfile profile;
+    std::uint64_t seed;
+  };
+  const Machine machines[] = {
+      {bench::anl_profile(), bench::kAnlSeed},
+      {bench::sdsc_profile(), bench::kSdscSeed},
+  };
+
+  online::TablePrinter table({"Log", "", "0s", "10s", "60s", "120s", "200s",
+                              "300s", "400s"});
+  for (const auto& machine : machines) {
+    auto profile = machine.profile;
+    profile.scale = scale;
+    preprocess::ThresholdSweep sweep(thresholds);
+    loggen::LogGenerator(profile, machine.seed).generate(sweep);
+
+    for (int f = 0; f < bgl::kNumFacilities; ++f) {
+      std::vector<std::string> row = {
+          std::string(to_string(static_cast<bgl::Facility>(f))),
+          profile.machine.name};
+      for (std::size_t i = 0; i < thresholds.size(); ++i) {
+        row.push_back(std::to_string(
+            sweep.stats_at(i)
+                .unique_per_facility[static_cast<std::size_t>(f)]));
+      }
+      table.add_row(std::move(row));
+    }
+    std::printf(
+        "%s: iterative threshold choice = %lld s; compression at 300 s = "
+        "%.2f%%\n",
+        profile.machine.name.c_str(),
+        static_cast<long long>(sweep.select_threshold()),
+        100.0 * sweep.stats_at(5).compression_rate());
+  }
+  std::printf("\n");
+  table.print(std::cout);
+  return 0;
+}

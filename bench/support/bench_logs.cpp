@@ -1,0 +1,113 @@
+#include "support/bench_logs.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "stats/bootstrap.hpp"
+
+namespace dml::bench {
+
+double raw_scale() {
+  const char* env = std::getenv("DML_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double value = std::atof(env);
+  return value > 0.0 ? value : 1.0;
+}
+
+loggen::MachineProfile anl_profile() { return loggen::MachineProfile::anl(); }
+
+loggen::MachineProfile sdsc_profile() {
+  return loggen::MachineProfile::sdsc();
+}
+
+const loggen::LogGenerator& anl_generator() {
+  static const loggen::LogGenerator generator(anl_profile(), kAnlSeed);
+  return generator;
+}
+
+const loggen::LogGenerator& sdsc_generator() {
+  static const loggen::LogGenerator generator(sdsc_profile(), kSdscSeed);
+  return generator;
+}
+
+const logio::EventStore& anl_store() {
+  static const logio::EventStore store(
+      anl_generator().generate_unique_events());
+  return store;
+}
+
+const logio::EventStore& sdsc_store() {
+  static const logio::EventStore store(
+      sdsc_generator().generate_unique_events());
+  return store;
+}
+
+void print_header(const std::string& title, const std::string& paper_claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("paper: %s\n", paper_claim.c_str());
+  std::printf("==============================================================\n");
+}
+
+namespace {
+std::string g_bench_name = "bench";
+std::string g_machine_name = "machine";
+
+std::string sanitize(std::string text) {
+  for (char& c : text) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return text;
+}
+
+void write_series_csv(const std::string& label,
+                      const online::DriverResult& result) {
+  const char* env = std::getenv("DML_BENCH_RESULTS");
+  std::string dir = env != nullptr ? env : "results";
+  if (dir == "none") return;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return;
+  const std::string path = dir + "/" + sanitize(g_bench_name) + "_" +
+                           sanitize(g_machine_name) + "_" + sanitize(label) +
+                           ".csv";
+  std::ofstream out(path);
+  if (!out) return;
+  out << "week,precision,recall,tp,fp,fn,rules_active,warnings\n";
+  for (const auto& interval : result.intervals) {
+    out << interval.week << ',' << interval.precision() << ','
+        << interval.recall() << ',' << interval.counts.true_positives << ','
+        << interval.counts.false_positives << ','
+        << interval.counts.false_negatives << ',' << interval.rules_active
+        << ',' << interval.warning_count << '\n';
+  }
+}
+}  // namespace
+
+void set_series_context(const std::string& bench, const std::string& machine) {
+  g_bench_name = bench;
+  g_machine_name = machine;
+}
+
+void print_series(const std::string& label,
+                  const online::DriverResult& result) {
+  write_series_csv(label, result);
+  std::printf("%-14s", label.c_str());
+  std::vector<stats::ConfusionCounts> blocks;
+  for (const auto& interval : result.intervals) {
+    std::printf(" %3d:%.2f/%.2f", interval.week, interval.precision(),
+                interval.recall());
+    blocks.push_back(interval.counts);
+  }
+  const auto precision_ci = stats::bootstrap_ci(blocks, &stats::precision);
+  const auto recall_ci = stats::bootstrap_ci(blocks, &stats::recall);
+  std::printf(
+      "\n%-14s overall precision %.2f [%.2f, %.2f], recall %.2f "
+      "[%.2f, %.2f] (95%% bootstrap CI)\n",
+      "", precision_ci.point, precision_ci.lo, precision_ci.hi,
+      recall_ci.point, recall_ci.lo, recall_ci.hi);
+}
+
+}  // namespace dml::bench

@@ -1,0 +1,46 @@
+// Shared helpers for the benchmark binaries: canonical ANL / SDSC
+// generated logs and output formatting.
+#pragma once
+
+#include <string>
+
+#include "loggen/generator.hpp"
+#include "logio/event_store.hpp"
+#include "online/driver.hpp"
+
+namespace dml::bench {
+
+inline constexpr std::uint64_t kAnlSeed = 1005;
+inline constexpr std::uint64_t kSdscSeed = 1204;
+
+/// Volume multiplier for the *raw-record* benches (Tables 2 and 4),
+/// taken from the DML_BENCH_SCALE environment variable (default 1.0 =
+/// the full multi-million-record logs).
+double raw_scale();
+
+/// Full-length profiles (ANL 112 weeks; SDSC 132 weeks with the week-62
+/// reconfiguration).
+loggen::MachineProfile anl_profile();
+loggen::MachineProfile sdsc_profile();
+
+/// Unique-event stores for the two machines (fast path, no raw
+/// expansion; cached per process).
+const logio::EventStore& anl_store();
+const logio::EventStore& sdsc_store();
+
+const loggen::LogGenerator& anl_generator();
+const loggen::LogGenerator& sdsc_generator();
+
+/// Prints the standard bench banner: what paper artifact this
+/// regenerates and what the paper reported.
+void print_header(const std::string& title, const std::string& paper_claim);
+
+/// Renders a per-interval precision/recall series compactly, and writes
+/// it as CSV under ./results/ for plotting (set DML_BENCH_RESULTS to
+/// change the directory, or to "none" to disable).
+void print_series(const std::string& label, const online::DriverResult& result);
+
+/// Registers the bench/machine context used to name CSV files.
+void set_series_context(const std::string& bench, const std::string& machine);
+
+}  // namespace dml::bench

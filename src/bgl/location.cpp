@@ -1,0 +1,193 @@
+#include "bgl/location.hpp"
+
+#include <cstdio>
+
+#include "common/string_util.hpp"
+
+namespace dml::bgl {
+namespace {
+
+constexpr std::uint32_t kChipShift = 0;
+constexpr std::uint32_t kComputeCardShift = 1;
+constexpr std::uint32_t kCardShift = 5;
+constexpr std::uint32_t kMidplaneShift = 9;
+constexpr std::uint32_t kRackShift = 10;
+constexpr std::uint32_t kKindShift = 18;
+
+std::uint32_t pack(LocationKind kind, int rack, int midplane, int card,
+                   int compute_card, int chip) {
+  return (static_cast<std::uint32_t>(chip) << kChipShift) |
+         (static_cast<std::uint32_t>(compute_card) << kComputeCardShift) |
+         (static_cast<std::uint32_t>(card) << kCardShift) |
+         (static_cast<std::uint32_t>(midplane) << kMidplaneShift) |
+         (static_cast<std::uint32_t>(rack) << kRackShift) |
+         (static_cast<std::uint32_t>(kind) << kKindShift);
+}
+
+std::optional<int> parse_component(std::string_view part, char tag) {
+  if (part.size() < 2 || part[0] != tag) return std::nullopt;
+  int value = 0;
+  for (char c : part.substr(1)) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + (c - '0');
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string_view to_string(LocationKind kind) {
+  switch (kind) {
+    case LocationKind::kComputeChip: return "compute-chip";
+    case LocationKind::kIoNode: return "io-node";
+    case LocationKind::kServiceCard: return "service-card";
+    case LocationKind::kLinkCard: return "link-card";
+    case LocationKind::kNodeCard: return "node-card";
+    case LocationKind::kMidplane: return "midplane";
+  }
+  return "unknown";
+}
+
+Location Location::compute_chip(int rack, int midplane, int node_card,
+                                int compute_card, int chip) {
+  return Location(pack(LocationKind::kComputeChip, rack, midplane, node_card,
+                       compute_card, chip));
+}
+Location Location::io_node(int rack, int midplane, int index) {
+  return Location(pack(LocationKind::kIoNode, rack, midplane, index, 0, 0));
+}
+Location Location::service_card(int rack, int midplane) {
+  return Location(pack(LocationKind::kServiceCard, rack, midplane, 0, 0, 0));
+}
+Location Location::link_card(int rack, int midplane, int index) {
+  return Location(pack(LocationKind::kLinkCard, rack, midplane, index, 0, 0));
+}
+Location Location::node_card(int rack, int midplane, int index) {
+  return Location(pack(LocationKind::kNodeCard, rack, midplane, index, 0, 0));
+}
+Location Location::midplane_scope(int rack, int midplane) {
+  return Location(pack(LocationKind::kMidplane, rack, midplane, 0, 0, 0));
+}
+
+LocationKind Location::kind() const {
+  return static_cast<LocationKind>((bits_ >> kKindShift) & 0x7u);
+}
+int Location::rack() const {
+  return static_cast<int>((bits_ >> kRackShift) & 0xffu);
+}
+int Location::midplane() const {
+  return static_cast<int>((bits_ >> kMidplaneShift) & 0x1u);
+}
+int Location::card() const {
+  return static_cast<int>((bits_ >> kCardShift) & 0xfu);
+}
+int Location::compute_card() const {
+  return static_cast<int>((bits_ >> kComputeCardShift) & 0xfu);
+}
+int Location::chip() const {
+  return static_cast<int>((bits_ >> kChipShift) & 0x1u);
+}
+
+Location Location::enclosing_node_card() const {
+  if (kind() == LocationKind::kComputeChip) {
+    return node_card(rack(), midplane(), card());
+  }
+  return *this;
+}
+
+Location Location::enclosing_midplane() const {
+  return midplane_scope(rack(), midplane());
+}
+
+std::string Location::to_string() const {
+  char buf[40];
+  switch (kind()) {
+    case LocationKind::kComputeChip:
+      std::snprintf(buf, sizeof(buf), "R%02d-M%d-N%02d-C%02d-J%d", rack(),
+                    midplane(), card(), compute_card(), chip());
+      break;
+    case LocationKind::kIoNode:
+      std::snprintf(buf, sizeof(buf), "R%02d-M%d-I%02d", rack(), midplane(),
+                    card());
+      break;
+    case LocationKind::kServiceCard:
+      std::snprintf(buf, sizeof(buf), "R%02d-M%d-S", rack(), midplane());
+      break;
+    case LocationKind::kLinkCard:
+      std::snprintf(buf, sizeof(buf), "R%02d-M%d-L%d", rack(), midplane(),
+                    card());
+      break;
+    case LocationKind::kNodeCard:
+      std::snprintf(buf, sizeof(buf), "R%02d-M%d-N%02d", rack(), midplane(),
+                    card());
+      break;
+    case LocationKind::kMidplane:
+      std::snprintf(buf, sizeof(buf), "R%02d-M%d", rack(), midplane());
+      break;
+    default:
+      return "R??";
+  }
+  return buf;
+}
+
+std::optional<Location> Location::parse(std::string_view text) {
+  const auto parts = dml::split(text, '-');
+  if (parts.size() < 2 || parts.size() > 5) return std::nullopt;
+  const auto rack = parse_component(parts[0], 'R');
+  const auto midplane = parse_component(parts[1], 'M');
+  if (!rack || !midplane || *midplane > 1) return std::nullopt;
+
+  if (parts.size() == 2) return midplane_scope(*rack, *midplane);
+
+  if (parts.size() == 3) {
+    if (parts[2] == "S") return service_card(*rack, *midplane);
+    if (auto io = parse_component(parts[2], 'I')) {
+      return io_node(*rack, *midplane, *io);
+    }
+    if (auto link = parse_component(parts[2], 'L')) {
+      if (*link > 15) return std::nullopt;
+      return link_card(*rack, *midplane, *link);
+    }
+    if (auto nc = parse_component(parts[2], 'N')) {
+      if (*nc > 15) return std::nullopt;
+      return node_card(*rack, *midplane, *nc);
+    }
+    return std::nullopt;
+  }
+
+  if (parts.size() == 5) {
+    const auto nc = parse_component(parts[2], 'N');
+    const auto cc = parse_component(parts[3], 'C');
+    const auto chip = parse_component(parts[4], 'J');
+    if (!nc || !cc || !chip) return std::nullopt;
+    if (*nc > 15 || *cc > 15 || *chip > 1) return std::nullopt;
+    return compute_chip(*rack, *midplane, *nc, *cc, *chip);
+  }
+  return std::nullopt;
+}
+
+MachineConfig MachineConfig::anl() {
+  // 1 rack, 1,024 compute nodes, 32 I/O nodes => 16 I/O nodes/midplane.
+  return MachineConfig{"ANL", 1, 16};
+}
+
+MachineConfig MachineConfig::sdsc() {
+  // 3 racks, 3,072 compute nodes, 384 I/O nodes => 64 I/O nodes/midplane
+  // (the data-intensive configuration described in §2.2).
+  return MachineConfig{"SDSC", 3, 64};
+}
+
+std::vector<Location> enumerate_node_cards(const MachineConfig& config) {
+  std::vector<Location> cards;
+  cards.reserve(static_cast<std::size_t>(config.midplanes()) * 16);
+  for (int rack = 0; rack < config.racks; ++rack) {
+    for (int midplane = 0; midplane < 2; ++midplane) {
+      for (int card = 0; card < 16; ++card) {
+        cards.push_back(Location::node_card(rack, midplane, card));
+      }
+    }
+  }
+  return cards;
+}
+
+}  // namespace dml::bgl

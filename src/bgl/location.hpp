@@ -1,0 +1,108 @@
+// Blue Gene/L packaging model (paper §2.1, Figure 2):
+//
+//   rack -> 2 midplanes -> 16 node cards -> 16 compute cards -> 2 chips
+//
+// A midplane therefore carries 512 compute chips (1,024 processors) and is
+// additionally populated with I/O nodes, one service card, and link cards.
+// Locations are encoded into a 32-bit id so records stay small and
+// hashable; the text codec renders the familiar "R00-M1-N07-C12-J1" shape.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dml::bgl {
+
+enum class LocationKind : std::uint8_t {
+  kComputeChip = 0,  // R-M-N-C-J
+  kIoNode = 1,       // R-M-I
+  kServiceCard = 2,  // R-M-S
+  kLinkCard = 3,     // R-M-L
+  kNodeCard = 4,     // R-M-N (card-level events, e.g. DISCOVERY)
+  kMidplane = 5,     // R-M   (midplane-scope events)
+};
+
+std::string_view to_string(LocationKind kind);
+
+/// Packed location identifier.  Field layout (LSB first):
+///   bits 0     : chip   (0..1)
+///   bits 1-4   : compute card (0..15)
+///   bits 5-8   : node card / link card / io-node index
+///   bits 9     : midplane (0..1)
+///   bits 10-17 : rack (0..255)
+///   bits 18-20 : kind
+class Location {
+ public:
+  Location() = default;
+
+  static Location compute_chip(int rack, int midplane, int node_card,
+                               int compute_card, int chip);
+  static Location io_node(int rack, int midplane, int index);
+  static Location service_card(int rack, int midplane);
+  static Location link_card(int rack, int midplane, int index);
+  static Location node_card(int rack, int midplane, int index);
+  static Location midplane_scope(int rack, int midplane);
+
+  LocationKind kind() const;
+  int rack() const;
+  int midplane() const;
+  /// node-card / io-node / link-card index depending on kind.
+  int card() const;
+  int compute_card() const;
+  int chip() const;
+
+  std::uint32_t packed() const { return bits_; }
+  static Location from_packed(std::uint32_t bits) { return Location(bits); }
+
+  /// The node card containing this chip (or the location itself when it
+  /// already identifies a card-or-coarser scope).  Used by spatial
+  /// filtering and by the generator's duplication model.
+  Location enclosing_node_card() const;
+  Location enclosing_midplane() const;
+
+  std::string to_string() const;
+  static std::optional<Location> parse(std::string_view text);
+
+  friend bool operator==(const Location&, const Location&) = default;
+  friend auto operator<=>(const Location&, const Location&) = default;
+
+ private:
+  explicit Location(std::uint32_t bits) : bits_(bits) {}
+
+  std::uint32_t bits_ = 0;
+};
+
+struct LocationHash {
+  std::size_t operator()(const Location& loc) const {
+    // splitmix-style avalanche of the packed bits.
+    std::uint64_t z = loc.packed() + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+  }
+};
+
+/// Static description of one installation (ANL: 1 rack; SDSC: 3 racks).
+struct MachineConfig {
+  std::string name;
+  int racks = 1;
+  int io_nodes_per_midplane = 16;
+
+  int midplanes() const { return racks * 2; }
+  int compute_nodes() const { return racks * 1024; }  // dual-core nodes
+  int io_nodes() const { return midplanes() * io_nodes_per_midplane; }
+
+  /// The ANL Blue Gene/L: one rack, 1,024 compute nodes, 32 I/O nodes.
+  static MachineConfig anl();
+  /// The SDSC Blue Gene/L: three racks, 3,072 compute nodes, 384 I/O
+  /// nodes (data-intensive configuration).
+  static MachineConfig sdsc();
+};
+
+/// All node cards of a machine, in deterministic order.
+std::vector<Location> enumerate_node_cards(const MachineConfig& config);
+
+}  // namespace dml::bgl

@@ -1,0 +1,22 @@
+#include "bgl/record.hpp"
+
+namespace dml::bgl {
+
+std::vector<TimeSec> fatal_times(const std::vector<Event>& events) {
+  std::vector<TimeSec> times;
+  for (const Event& e : events) {
+    if (e.fatal) times.push_back(e.time);
+  }
+  return times;
+}
+
+std::size_t count_fatal_between(const std::vector<Event>& events,
+                                TimeSec begin, TimeSec end) {
+  std::size_t count = 0;
+  for (const Event& e : events) {
+    if (e.fatal && e.time >= begin && e.time < end) ++count;
+  }
+  return count;
+}
+
+}  // namespace dml::bgl

@@ -1,0 +1,110 @@
+#include "common/civil_time.hpp"
+
+#include <array>
+#include <charconv>
+#include <cstdio>
+
+namespace dml {
+namespace {
+
+constexpr bool is_leap(int y) {
+  return y % 4 == 0 && (y % 100 != 0 || y % 400 == 0);
+}
+
+constexpr int days_in_month(int y, int m) {
+  constexpr std::array<int, 12> kDays = {31, 28, 31, 30, 31, 30,
+                                         31, 31, 30, 31, 30, 31};
+  if (m == 2 && is_leap(y)) return 29;
+  return kDays[static_cast<std::size_t>(m - 1)];
+}
+
+std::optional<int> parse_int(std::string_view s) {
+  int value = 0;
+  const auto* first = s.data();
+  const auto* last = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+std::int64_t days_from_civil(int y, int m, int d) {
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const auto yoe = static_cast<unsigned>(y - era * 400);            // [0,399]
+  const unsigned doy =
+      (153u * static_cast<unsigned>(m + (m > 2 ? -3 : 9)) + 2u) / 5u +
+      static_cast<unsigned>(d) - 1u;                                // [0,365]
+  const unsigned doe = yoe * 365u + yoe / 4u - yoe / 100u + doy;    // [0,146096]
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+CivilTime civil_from_time(TimeSec t) {
+  std::int64_t days = t / kSecondsPerDay;
+  std::int64_t rem = t % kSecondsPerDay;
+  if (rem < 0) {
+    rem += kSecondsPerDay;
+    --days;
+  }
+  // Inverse of days_from_civil (civil_from_days, same provenance).
+  days += 719468;
+  const std::int64_t era = (days >= 0 ? days : days - 146096) / 146097;
+  const auto doe = static_cast<unsigned>(days - era * 146097);  // [0,146096]
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;    // [0,399]
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0,365]
+  const unsigned mp = (5 * doy + 2) / 153;                      // [0,11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;              // [1,31]
+  const unsigned m = mp + (mp < 10 ? 3 : static_cast<unsigned>(-9));
+
+  CivilTime c;
+  c.year = static_cast<int>(y + (m <= 2));
+  c.month = static_cast<int>(m);
+  c.day = static_cast<int>(d);
+  c.hour = static_cast<int>(rem / 3600);
+  c.minute = static_cast<int>((rem / 60) % 60);
+  c.second = static_cast<int>(rem % 60);
+  return c;
+}
+
+TimeSec time_from_civil(const CivilTime& c) {
+  return days_from_civil(c.year, c.month, c.day) * kSecondsPerDay +
+         c.hour * 3600 + c.minute * 60 + c.second;
+}
+
+std::string format_timestamp(TimeSec t) {
+  const CivilTime c = civil_from_time(t);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d-%02d.%02d.%02d", c.year,
+                c.month, c.day, c.hour, c.minute, c.second);
+  return buf;
+}
+
+std::optional<TimeSec> parse_timestamp(std::string_view text) {
+  // Expected shape: YYYY-MM-DD-HH.MM.SS (19 chars).
+  if (text.size() != 19) return std::nullopt;
+  if (text[4] != '-' || text[7] != '-' || text[10] != '-' ||
+      text[13] != '.' || text[16] != '.') {
+    return std::nullopt;
+  }
+  const auto year = parse_int(text.substr(0, 4));
+  const auto month = parse_int(text.substr(5, 2));
+  const auto day = parse_int(text.substr(8, 2));
+  const auto hour = parse_int(text.substr(11, 2));
+  const auto minute = parse_int(text.substr(14, 2));
+  const auto second = parse_int(text.substr(17, 2));
+  if (!year || !month || !day || !hour || !minute || !second) {
+    return std::nullopt;
+  }
+  if (*month < 1 || *month > 12) return std::nullopt;
+  if (*day < 1 || *day > days_in_month(*year, *month)) return std::nullopt;
+  if (*hour < 0 || *hour > 23) return std::nullopt;
+  if (*minute < 0 || *minute > 59) return std::nullopt;
+  if (*second < 0 || *second > 59) return std::nullopt;
+  CivilTime c{*year, *month, *day, *hour, *minute, *second};
+  return time_from_civil(c);
+}
+
+}  // namespace dml

@@ -1,0 +1,41 @@
+// Minimal proleptic-Gregorian civil time <-> epoch-seconds conversion,
+// used only to render and parse human-readable timestamps in the RAS log
+// text format ("YYYY-MM-DD-HH.MM.SS", the Blue Gene/L convention).
+// No timezone handling: log time is wall time at the site.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace dml {
+
+struct CivilTime {
+  int year = 1970;
+  int month = 1;  // 1..12
+  int day = 1;    // 1..31
+  int hour = 0;   // 0..23
+  int minute = 0; // 0..59
+  int second = 0; // 0..59
+
+  friend bool operator==(const CivilTime&, const CivilTime&) = default;
+};
+
+/// Days since 1970-01-01 for a civil date (valid across the full int range;
+/// Howard Hinnant's algorithm).
+std::int64_t days_from_civil(int year, int month, int day);
+
+CivilTime civil_from_time(TimeSec t);
+TimeSec time_from_civil(const CivilTime& c);
+
+/// Renders "YYYY-MM-DD-HH.MM.SS" (Blue Gene/L RAS timestamp shape).
+std::string format_timestamp(TimeSec t);
+
+/// Parses the format produced by format_timestamp. Returns nullopt on
+/// malformed input.
+std::optional<TimeSec> parse_timestamp(std::string_view text);
+
+}  // namespace dml

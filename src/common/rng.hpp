@@ -1,0 +1,157 @@
+// Deterministic, seedable random number generation for the log simulator
+// and the test suites.
+//
+// xoshiro256** core with a SplitMix64 seeder; small, fast, and — unlike
+// std::mt19937 + std::*_distribution — bit-reproducible across standard
+// library implementations, which the golden-log tests rely on.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <span>
+
+namespace dml {
+
+/// SplitMix64: used to expand a single 64-bit seed into a full state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna), public-domain reference algorithm.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9c0ffee123456789ULL) {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) word = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next_u64(); }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of entropy.
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n); n must be > 0. Uses rejection to avoid
+  /// modulo bias (negligible here, but cheap to do right).
+  std::uint64_t uniform_index(std::uint64_t n) {
+    const std::uint64_t threshold = (0ULL - n) % n;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Exponential variate with the given mean (= 1/rate).
+  double exponential(double mean) {
+    double u = uniform();
+    if (u <= 0.0) u = 0x1.0p-53;  // avoid log(0)
+    return -mean * std::log(u);
+  }
+
+  /// Weibull variate with shape k and scale lambda (inverse-CDF sampling).
+  double weibull(double shape, double scale) {
+    double u = uniform();
+    if (u <= 0.0) u = 0x1.0p-53;
+    return scale * std::pow(-std::log(1.0 - u), 1.0 / shape);
+  }
+
+  /// Log-normal variate: exp(N(mu, sigma^2)).
+  double lognormal(double mu, double sigma) {
+    return std::exp(mu + sigma * normal());
+  }
+
+  /// Standard normal variate (Box-Muller, one value per call for
+  /// reproducibility simplicity).
+  double normal() {
+    double u1 = uniform();
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  /// Poisson variate; inversion for small means, normal approximation
+  /// (rounded, clamped at 0) for large means — adequate for workload
+  /// modelling where per-interval means are modest.
+  std::uint64_t poisson(double mean) {
+    if (mean <= 0.0) return 0;
+    if (mean < 48.0) {
+      const double l = std::exp(-mean);
+      std::uint64_t k = 0;
+      double p = 1.0;
+      do {
+        ++k;
+        p *= uniform();
+      } while (p > l);
+      return k - 1;
+    }
+    const double v = mean + std::sqrt(mean) * normal();
+    return v <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(v));
+  }
+
+  /// Picks an index in [0, weights.size()) proportionally to weights.
+  /// Weights need not be normalised; non-positive weights are skipped.
+  std::size_t weighted_index(std::span<const double> weights) {
+    double total = 0.0;
+    for (double w : weights) {
+      if (w > 0.0) total += w;
+    }
+    if (total <= 0.0) return 0;
+    double x = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      if (weights[i] <= 0.0) continue;
+      x -= weights[i];
+      if (x < 0.0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// Derives an independent stream (for per-subsystem generators).
+  Rng fork() { return Rng(next_u64()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace dml

@@ -1,0 +1,15 @@
+#include "common/severity.hpp"
+
+namespace dml {
+
+std::optional<Severity> severity_from_string(std::string_view text) {
+  if (text == "INFO") return Severity::kInfo;
+  if (text == "WARNING") return Severity::kWarning;
+  if (text == "SEVERE") return Severity::kSevere;
+  if (text == "ERROR") return Severity::kError;
+  if (text == "FATAL") return Severity::kFatal;
+  if (text == "FAILURE") return Severity::kFailure;
+  return std::nullopt;
+}
+
+}  // namespace dml

@@ -1,0 +1,39 @@
+// RAS event severity levels, in increasing order of severity (paper §2.1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace dml {
+
+enum class Severity : std::uint8_t {
+  kInfo = 0,
+  kWarning = 1,
+  kSevere = 2,
+  kError = 3,
+  kFatal = 4,
+  kFailure = 5,
+};
+
+inline constexpr int kNumSeverities = 6;
+
+/// FATAL and FAILURE records are the prediction targets; everything below
+/// is "non-fatal" (informative / configuration-related) per paper §2.1.
+constexpr bool is_fatal_severity(Severity s) { return s >= Severity::kFatal; }
+
+constexpr std::string_view to_string(Severity s) {
+  switch (s) {
+    case Severity::kInfo: return "INFO";
+    case Severity::kWarning: return "WARNING";
+    case Severity::kSevere: return "SEVERE";
+    case Severity::kError: return "ERROR";
+    case Severity::kFatal: return "FATAL";
+    case Severity::kFailure: return "FAILURE";
+  }
+  return "UNKNOWN";
+}
+
+std::optional<Severity> severity_from_string(std::string_view text);
+
+}  // namespace dml

@@ -1,0 +1,66 @@
+// Fixed-size worker pool with a blocking task queue and a parallel_for
+// helper.  The paper notes (Table 5, Observation #8) that rule generation
+// "can be conducted in parallel while the production system is in
+// operation"; the meta-learner uses this pool to mine the three base
+// learners and to chunk Apriori support counting across workers.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dml {
+
+class ThreadPool {
+ public:
+  /// `num_threads == 0` selects hardware_concurrency() (at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; the future resolves when it completes.  Tasks must
+  /// not themselves block on other tasks submitted to the same pool.
+  template <typename F>
+  std::future<std::invoke_result_t<F>> submit(F&& fn) {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::scoped_lock lock(mutex_);
+      queue_.emplace([task]() mutable { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Runs fn(i) for i in [begin, end), partitioned into contiguous chunks
+  /// across the pool (the calling thread also works).  Blocks until all
+  /// iterations complete.  fn must be safe to invoke concurrently.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Shared process-wide pool sized to the machine.
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace dml

@@ -1,0 +1,129 @@
+#include "learners/apriori.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <optional>
+
+#include "common/thread_pool.hpp"
+
+namespace dml::learners {
+namespace {
+
+/// Joins two size-k itemsets sharing their first k-1 items into a
+/// size-k+1 candidate; nullopt if they don't share a prefix.
+std::optional<Itemset> join(const Itemset& a, const Itemset& b) {
+  if (a.size() != b.size() || a.empty()) return std::nullopt;
+  for (std::size_t i = 0; i + 1 < a.size(); ++i) {
+    if (a[i] != b[i]) return std::nullopt;
+  }
+  if (a.back() >= b.back()) return std::nullopt;
+  Itemset out = a;
+  out.push_back(b.back());
+  return out;
+}
+
+/// Apriori pruning: every (k-1)-subset of the candidate must be frequent.
+bool all_subsets_frequent(const Itemset& candidate,
+                          const std::vector<Itemset>& frequent_prev) {
+  Itemset subset(candidate.size() - 1);
+  for (std::size_t skip = 0; skip < candidate.size(); ++skip) {
+    std::size_t j = 0;
+    for (std::size_t i = 0; i < candidate.size(); ++i) {
+      if (i != skip) subset[j++] = candidate[i];
+    }
+    if (!std::binary_search(frequent_prev.begin(), frequent_prev.end(),
+                            subset)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::uint32_t> count_support(std::span<const Itemset> transactions,
+                                         const std::vector<Itemset>& candidates,
+                                         std::size_t parallel_threshold) {
+  std::vector<std::uint32_t> counts(candidates.size(), 0);
+  const std::size_t work = transactions.size() * candidates.size();
+  if (work < parallel_threshold || dml::ThreadPool::shared().size() <= 1) {
+    for (const Itemset& tx : transactions) {
+      for (std::size_t c = 0; c < candidates.size(); ++c) {
+        if (contains_sorted(tx, candidates[c])) ++counts[c];
+      }
+    }
+    return counts;
+  }
+  // Parallel: each worker owns a candidate slice, scanning all
+  // transactions — no write sharing.
+  dml::ThreadPool::shared().parallel_for(
+      0, candidates.size(), [&](std::size_t c) {
+        std::uint32_t n = 0;
+        for (const Itemset& tx : transactions) {
+          if (contains_sorted(tx, candidates[c])) ++n;
+        }
+        counts[c] = n;
+      });
+  return counts;
+}
+
+}  // namespace
+
+bool contains_sorted(const Itemset& superset, const Itemset& subset) {
+  return std::includes(superset.begin(), superset.end(), subset.begin(),
+                       subset.end());
+}
+
+std::vector<FrequentItemset> mine_frequent_itemsets(
+    std::span<const Itemset> transactions, const AprioriConfig& config) {
+  std::vector<FrequentItemset> result;
+  if (transactions.empty() || config.max_items == 0) return result;
+  const auto min_count = static_cast<std::uint32_t>(std::max<double>(
+      1.0,
+      std::ceil(config.min_support * static_cast<double>(transactions.size()))));
+
+  // L1: single-item counts.
+  std::map<CategoryId, std::uint32_t> singles;
+  for (const Itemset& tx : transactions) {
+    for (CategoryId item : tx) ++singles[item];
+  }
+  std::vector<Itemset> frequent;  // current level, sorted
+  for (const auto& [item, count] : singles) {
+    if (count >= min_count) {
+      frequent.push_back({item});
+      result.push_back({{item}, count});
+    }
+  }
+
+  for (std::size_t level = 2;
+       level <= config.max_items && frequent.size() >= 2; ++level) {
+    std::vector<Itemset> candidates;
+    for (std::size_t i = 0; i < frequent.size(); ++i) {
+      for (std::size_t j = i + 1; j < frequent.size(); ++j) {
+        auto candidate = join(frequent[i], frequent[j]);
+        if (!candidate) {
+          // frequent is sorted lexicographically: once prefixes diverge,
+          // no later j will share i's prefix.
+          break;
+        }
+        if (all_subsets_frequent(*candidate, frequent)) {
+          candidates.push_back(std::move(*candidate));
+        }
+      }
+    }
+    if (candidates.empty()) break;
+
+    const auto counts = count_support(transactions, candidates,
+                                      config.parallel_work_threshold);
+    std::vector<Itemset> next;
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      if (counts[c] >= min_count) {
+        result.push_back({candidates[c], counts[c]});
+        next.push_back(std::move(candidates[c]));
+      }
+    }
+    frequent = std::move(next);  // already lexicographically ordered
+  }
+  return result;
+}
+
+}  // namespace dml::learners

@@ -1,0 +1,42 @@
+// Hand-rolled Apriori frequent-itemset miner over category transactions
+// ("we then apply the standard association rule algorithm", paper §4.1).
+// Itemsets are sorted CategoryId vectors; candidate generation is the
+// classic join-and-prune; support counting is chunked across the shared
+// thread pool for large transaction databases.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dml::learners {
+
+using Itemset = std::vector<CategoryId>;  // sorted, unique
+
+struct FrequentItemset {
+  Itemset items;
+  std::uint32_t count = 0;
+};
+
+struct AprioriConfig {
+  /// Minimum support as a fraction of the transaction count.
+  double min_support = 0.01;
+  /// Largest itemset size mined (the paper's signatures are 2-4 events).
+  std::size_t max_items = 4;
+  /// Support counting switches to the thread pool above this many
+  /// (transactions x candidates).
+  std::size_t parallel_work_threshold = 1u << 22;
+};
+
+/// All frequent itemsets (sizes 1..max_items) over the given transactions
+/// (each transaction must be sorted + unique).  Results are ordered by
+/// size, then lexicographically.
+std::vector<FrequentItemset> mine_frequent_itemsets(
+    std::span<const Itemset> transactions, const AprioriConfig& config);
+
+/// True if `subset` (sorted) is contained in `superset` (sorted).
+bool contains_sorted(const Itemset& superset, const Itemset& subset);
+
+}  // namespace dml::learners

@@ -1,0 +1,43 @@
+// Association-rule base learner (paper §4.1): mines causal correlations
+// between non-fatal and fatal events as rules {e1..ek} -> f with support
+// and confidence above low thresholds (0.01 / 0.1 by default — "low
+// values are chosen for the purpose of capturing infrequent events; the
+// rules that are not good will be removed by the reviser").
+#pragma once
+
+#include "learners/apriori.hpp"
+#include "learners/base_learner.hpp"
+
+namespace dml::learners {
+
+struct AssociationConfig {
+  double min_support = 0.01;
+  /// Absolute floor on the support *count*: with a short training set,
+  /// the relative threshold alone admits patterns seen two or three
+  /// times, and chance co-occurrences explode combinatorially.
+  std::uint32_t min_support_count = 5;
+  double min_confidence = 0.1;
+  /// Antecedent size bounds.  Single-event antecedents fire on every
+  /// stray occurrence of a common warning category and add little over
+  /// chance; the paper's reported rules pair two or more precursors.
+  std::size_t min_antecedent = 2;
+  std::size_t max_antecedent = 4;
+};
+
+class AssociationLearner final : public BaseLearner {
+ public:
+  explicit AssociationLearner(AssociationConfig config = {})
+      : config_(config) {}
+
+  RuleSource source() const override { return RuleSource::kAssociation; }
+
+  std::vector<Rule> learn(std::span<const bgl::Event> training,
+                          DurationSec window) const override;
+
+  const AssociationConfig& config() const { return config_; }
+
+ private:
+  AssociationConfig config_;
+};
+
+}  // namespace dml::learners

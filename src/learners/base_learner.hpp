@@ -1,0 +1,28 @@
+// Common interface of the three predictive methods.  "Other base methods
+// can be easily incorporated" (paper §4.1): a new learner only needs to
+// produce Rules; the meta-learner, reviser, and predictor are agnostic.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "bgl/record.hpp"
+#include "common/types.hpp"
+#include "learners/rule.hpp"
+
+namespace dml::learners {
+
+class BaseLearner {
+ public:
+  virtual ~BaseLearner() = default;
+
+  virtual RuleSource source() const = 0;
+
+  /// Learns candidate rules from a time-ordered training span using the
+  /// given rule-generation window Wp.
+  virtual std::vector<Rule> learn(std::span<const bgl::Event> training,
+                                  DurationSec window) const = 0;
+};
+
+}  // namespace dml::learners

@@ -1,0 +1,241 @@
+#include "learners/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+namespace dml::learners {
+namespace {
+
+double gini(std::size_t positives, std::size_t total) {
+  if (total == 0) return 0.0;
+  const double p = static_cast<double>(positives) / static_cast<double>(total);
+  return 2.0 * p * (1.0 - p);
+}
+
+struct BestSplit {
+  std::size_t feature = 0;
+  double threshold = 0.0;
+  double impurity_decrease = -1.0;
+};
+
+/// Finds the best axis-aligned split of indices[begin, end).
+BestSplit find_split(std::span<const LabelledSample> samples,
+                     std::vector<std::uint32_t>& indices, std::size_t begin,
+                     std::size_t end, std::size_t min_leaf) {
+  const std::size_t n = end - begin;
+  std::size_t total_pos = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    total_pos += samples[indices[i]].positive ? 1 : 0;
+  }
+  const double parent = gini(total_pos, n);
+
+  BestSplit best;
+  std::vector<std::uint32_t> order(indices.begin() +
+                                       static_cast<std::ptrdiff_t>(begin),
+                                   indices.begin() +
+                                       static_cast<std::ptrdiff_t>(end));
+  for (std::size_t f = 0; f < kNumFeatures; ++f) {
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return samples[a].features[f] < samples[b].features[f];
+              });
+    std::size_t left_pos = 0;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      left_pos += samples[order[i]].positive ? 1 : 0;
+      const double x = samples[order[i]].features[f];
+      const double next = samples[order[i + 1]].features[f];
+      if (x == next) continue;  // can't split between equal values
+      const std::size_t left_n = i + 1;
+      const std::size_t right_n = n - left_n;
+      if (left_n < min_leaf || right_n < min_leaf) continue;
+      const double weighted =
+          (static_cast<double>(left_n) * gini(left_pos, left_n) +
+           static_cast<double>(right_n) * gini(total_pos - left_pos,
+                                               right_n)) /
+          static_cast<double>(n);
+      const double decrease = parent - weighted;
+      if (decrease > best.impurity_decrease) {
+        best.impurity_decrease = decrease;
+        best.feature = f;
+        best.threshold = 0.5 * (x + next);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::int32_t DecisionTree::build(std::span<const LabelledSample> samples,
+                                 std::vector<std::uint32_t>& indices,
+                                 std::size_t begin, std::size_t end,
+                                 int depth, const TreeConfig& config) {
+  const std::size_t n = end - begin;
+  std::size_t positives = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    positives += samples[indices[i]].positive ? 1 : 0;
+  }
+
+  Node node;
+  node.samples = static_cast<std::uint32_t>(n);
+  node.probability =
+      n == 0 ? 0.0
+             : static_cast<double>(positives) / static_cast<double>(n);
+
+  const bool pure = positives == 0 || positives == n;
+  if (depth >= config.max_depth || n < 2 * config.min_samples_leaf || pure) {
+    nodes_.push_back(node);
+    return static_cast<std::int32_t>(nodes_.size() - 1);
+  }
+
+  const BestSplit split =
+      find_split(samples, indices, begin, end, config.min_samples_leaf);
+  if (split.impurity_decrease < config.min_impurity_decrease) {
+    nodes_.push_back(node);
+    return static_cast<std::int32_t>(nodes_.size() - 1);
+  }
+
+  const auto mid_it = std::partition(
+      indices.begin() + static_cast<std::ptrdiff_t>(begin),
+      indices.begin() + static_cast<std::ptrdiff_t>(end),
+      [&](std::uint32_t idx) {
+        return samples[idx].features[split.feature] <= split.threshold;
+      });
+  const auto mid =
+      static_cast<std::size_t>(mid_it - indices.begin());
+
+  node.feature = static_cast<std::int16_t>(split.feature);
+  node.threshold = split.threshold;
+  nodes_.push_back(node);
+  const auto self = static_cast<std::int32_t>(nodes_.size() - 1);
+  const auto left = build(samples, indices, begin, mid, depth + 1, config);
+  const auto right = build(samples, indices, mid, end, depth + 1, config);
+  nodes_[static_cast<std::size_t>(self)].left = left;
+  nodes_[static_cast<std::size_t>(self)].right = right;
+  return self;
+}
+
+DecisionTree DecisionTree::fit(std::span<const LabelledSample> samples,
+                               const TreeConfig& config) {
+  DecisionTree tree;
+  if (samples.empty()) {
+    tree.nodes_.push_back(Node{});
+    return tree;
+  }
+  std::vector<std::uint32_t> indices(samples.size());
+  std::iota(indices.begin(), indices.end(), 0u);
+  tree.build(samples, indices, 0, indices.size(), 0, config);
+  return tree;
+}
+
+double DecisionTree::predict(const FeatureVector& features) const {
+  if (nodes_.empty()) return 0.0;
+  std::size_t node = 0;
+  for (;;) {
+    const Node& current = nodes_[node];
+    if (current.feature < 0) return current.probability;
+    node = static_cast<std::size_t>(
+        features[static_cast<std::size_t>(current.feature)] <=
+                current.threshold
+            ? current.left
+            : current.right);
+  }
+}
+
+int DecisionTree::depth() const {
+  // Depth via iterative traversal from the root at index 0.
+  if (nodes_.empty()) return 0;
+  int max_depth = 0;
+  std::vector<std::pair<std::size_t, int>> stack = {{0, 1}};
+  while (!stack.empty()) {
+    const auto [index, depth] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, depth);
+    const Node& node = nodes_[index];
+    if (node.feature >= 0) {
+      stack.push_back({static_cast<std::size_t>(node.left), depth + 1});
+      stack.push_back({static_cast<std::size_t>(node.right), depth + 1});
+    }
+  }
+  return max_depth;
+}
+
+std::string DecisionTree::serialize() const {
+  std::string out;
+  for (const Node& node : nodes_) {
+    if (!out.empty()) out += ';';
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%d:%.12g:%d:%d:%.12g:%u", node.feature,
+                  node.threshold, node.left, node.right, node.probability,
+                  node.samples);
+    out += buf;
+  }
+  return out;
+}
+
+std::optional<DecisionTree> DecisionTree::deserialize(std::string_view text) {
+  DecisionTree tree;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t end = std::min(text.find(';', start), text.size());
+    const std::string token(text.substr(start, end - start));
+    Node node;
+    int feature = 0;
+    unsigned samples = 0;
+    if (std::sscanf(token.c_str(), "%d:%lf:%d:%d:%lf:%u", &feature,
+                    &node.threshold, &node.left, &node.right,
+                    &node.probability, &samples) != 6) {
+      return std::nullopt;
+    }
+    if (feature >= static_cast<int>(kNumFeatures)) return std::nullopt;
+    node.feature = static_cast<std::int16_t>(feature);
+    node.samples = samples;
+    tree.nodes_.push_back(node);
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  if (tree.nodes_.empty()) return std::nullopt;
+  // Validate child indices.
+  for (const Node& node : tree.nodes_) {
+    if (node.feature >= 0) {
+      if (node.left < 0 || node.right < 0 ||
+          node.left >= static_cast<std::int32_t>(tree.nodes_.size()) ||
+          node.right >= static_cast<std::int32_t>(tree.nodes_.size())) {
+        return std::nullopt;
+      }
+    }
+  }
+  return tree;
+}
+
+std::string DecisionTree::describe() const {
+  std::string out;
+  std::vector<std::pair<std::size_t, int>> stack = {{0, 0}};
+  while (!stack.empty() && !nodes_.empty()) {
+    const auto [index, indent] = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[index];
+    out.append(static_cast<std::size_t>(indent) * 2, ' ');
+    if (node.feature < 0) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "leaf p=%.3f (n=%u)\n",
+                    node.probability, node.samples);
+      out += buf;
+    } else {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "if %s <= %.3f\n",
+                    std::string(feature_name(
+                                    static_cast<std::size_t>(node.feature)))
+                        .c_str(),
+                    node.threshold);
+      out += buf;
+      stack.push_back({static_cast<std::size_t>(node.right), indent + 1});
+      stack.push_back({static_cast<std::size_t>(node.left), indent + 1});
+    }
+  }
+  return out;
+}
+
+}  // namespace dml::learners

@@ -1,0 +1,68 @@
+// A small CART-style binary decision tree over fixed-length feature
+// vectors (Gini impurity, axis-aligned numeric splits).  Kept generic so
+// other learners can reuse it; the decision-tree base learner wraps it
+// behind the BaseLearner interface.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "learners/features.hpp"
+
+namespace dml::learners {
+
+struct TreeConfig {
+  int max_depth = 5;
+  std::size_t min_samples_leaf = 10;
+  /// A split must reduce weighted Gini impurity by at least this much.
+  double min_impurity_decrease = 1e-4;
+};
+
+class DecisionTree {
+ public:
+  /// Fits on the samples; an empty sample set yields a constant-0 tree.
+  static DecisionTree fit(std::span<const LabelledSample> samples,
+                          const TreeConfig& config = {});
+
+  /// P(positive) at the leaf this feature vector lands in.
+  double predict(const FeatureVector& features) const;
+
+  std::size_t node_count() const { return nodes_.size(); }
+  int depth() const;
+
+  /// Indented text rendering for diagnostics.
+  std::string describe() const;
+
+  /// Compact single-line serialization:
+  /// "f:threshold:left:right:prob:samples;..." — one token per node.
+  std::string serialize() const;
+  static std::optional<DecisionTree> deserialize(std::string_view text);
+
+  friend bool operator==(const DecisionTree&, const DecisionTree&) = default;
+
+ private:
+  struct Node {
+    // Internal node when feature >= 0: go left if x[feature] <= threshold.
+    std::int16_t feature = -1;
+    double threshold = 0.0;
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    // Leaf payload.
+    double probability = 0.0;
+    std::uint32_t samples = 0;
+
+    friend bool operator==(const Node&, const Node&) = default;
+  };
+
+  std::int32_t build(std::span<const LabelledSample> samples,
+                     std::vector<std::uint32_t>& indices, std::size_t begin,
+                     std::size_t end, int depth, const TreeConfig& config);
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace dml::learners

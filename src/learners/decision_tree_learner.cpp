@@ -1,0 +1,24 @@
+#include "learners/decision_tree_learner.hpp"
+
+namespace dml::learners {
+
+std::vector<Rule> DecisionTreeLearner::learn(
+    std::span<const bgl::Event> training, DurationSec window) const {
+  std::vector<Rule> rules;
+  const auto samples =
+      build_labelled_samples(training, window, config_.max_negative_ratio);
+  std::size_t positives = 0;
+  for (const auto& sample : samples) positives += sample.positive ? 1 : 0;
+  if (positives < config_.min_positive_samples) return rules;
+
+  DecisionTreeRule rule;
+  rule.tree = DecisionTree::fit(samples, config_.tree);
+  rule.probability_threshold = config_.probability_threshold;
+  // A degenerate tree (single leaf) either never fires or always fires;
+  // neither is a usable rule.
+  if (rule.tree.node_count() <= 1) return rules;
+  rules.emplace_back(Rule::Body(std::move(rule)));
+  return rules;
+}
+
+}  // namespace dml::learners

@@ -1,0 +1,44 @@
+// Decision-tree base learner — the first of the paper's §7 future-work
+// methods ("we plan to examine other data mining methods, such as
+// decision tree and neural network, to popularize our base learners").
+//
+// Unlike the three pattern learners it is a discriminative classifier:
+// it labels each instant of the log with "a failure follows within Wp"
+// and learns a CART over the window features of features.hpp.  It plugs
+// into the meta-learner / reviser / predictor unchanged, demonstrating
+// the paper's claim that "other predictive methods can be easily
+// incorporated into our framework".
+#pragma once
+
+#include "learners/base_learner.hpp"
+#include "learners/decision_tree.hpp"
+
+namespace dml::learners {
+
+struct DecisionTreeConfig {
+  TreeConfig tree;
+  /// Leaf probability above which the rule warns.
+  double probability_threshold = 0.5;
+  /// Negative subsampling ratio for training (see features.hpp).
+  double max_negative_ratio = 3.0;
+  /// Minimum positive samples required to emit a rule at all.
+  std::size_t min_positive_samples = 20;
+};
+
+class DecisionTreeLearner final : public BaseLearner {
+ public:
+  explicit DecisionTreeLearner(DecisionTreeConfig config = {})
+      : config_(config) {}
+
+  RuleSource source() const override { return RuleSource::kDecisionTree; }
+
+  std::vector<Rule> learn(std::span<const bgl::Event> training,
+                          DurationSec window) const override;
+
+  const DecisionTreeConfig& config() const { return config_; }
+
+ private:
+  DecisionTreeConfig config_;
+};
+
+}  // namespace dml::learners

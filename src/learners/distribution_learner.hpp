@@ -1,0 +1,40 @@
+// Probability-distribution base learner (paper §4.1): fits Weibull /
+// exponential / log-normal models to fatal inter-arrival times by MLE,
+// keeps the best, and warns "when the elapsed time since the last
+// failure is longer than some threshold" — the time at which the fitted
+// CDF crosses the configured probability (paper default 0.6).
+#pragma once
+
+#include "learners/base_learner.hpp"
+#include "stats/fitting.hpp"
+
+namespace dml::learners {
+
+struct DistributionConfig {
+  double cdf_threshold = 0.6;
+  /// Minimum number of inter-arrival samples required for a fit.
+  std::size_t min_samples = 8;
+};
+
+class DistributionLearner final : public BaseLearner {
+ public:
+  explicit DistributionLearner(DistributionConfig config = {})
+      : config_(config) {}
+
+  RuleSource source() const override { return RuleSource::kDistribution; }
+
+  std::vector<Rule> learn(std::span<const bgl::Event> training,
+                          DurationSec window) const override;
+
+  const DistributionConfig& config() const { return config_; }
+
+  /// The full model-selection diagnostics for a training span
+  /// (Figure 5 bench).
+  static std::optional<stats::ModelSelection> fit_interarrivals(
+      std::span<const bgl::Event> training);
+
+ private:
+  DistributionConfig config_;
+};
+
+}  // namespace dml::learners

@@ -1,0 +1,126 @@
+#include "learners/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dml::learners {
+
+FeatureTracker::FeatureTracker(DurationSec window,
+                               const bgl::Taxonomy& taxonomy)
+    : taxonomy_(&taxonomy),
+      window_(window),
+      category_counts_(taxonomy.size(), 0) {}
+
+void FeatureTracker::expire(TimeSec now) {
+  while (!recent_.empty() && recent_.front().time <= now - window_) {
+    const auto& old = recent_.front();
+    const auto& cat = taxonomy_->category(old.category);
+    if (old.fatal) {
+      --fatal_count_;
+    } else {
+      --facility_counts_[static_cast<std::size_t>(cat.facility)];
+      if (cat.severity >= Severity::kWarning) --warning_count_;
+      if (--category_counts_[old.category] == 0) --distinct_categories_;
+    }
+    recent_.pop_front();
+  }
+}
+
+void FeatureTracker::advance(TimeSec now) {
+  now_ = std::max(now_, now);
+  expire(now_);
+}
+
+void FeatureTracker::observe(const bgl::Event& event) {
+  advance(event.time);
+  const auto& cat = taxonomy_->category(event.category);
+  if (event.fatal) {
+    ++fatal_count_;
+    last_fatal_ = event.time;
+  } else {
+    ++facility_counts_[static_cast<std::size_t>(cat.facility)];
+    if (cat.severity >= Severity::kWarning) ++warning_count_;
+    if (category_counts_[event.category]++ == 0) ++distinct_categories_;
+  }
+  recent_.push_back(event);
+}
+
+FeatureVector FeatureTracker::features() const {
+  FeatureVector f{};
+  for (std::size_t i = 0; i < bgl::kNumFacilities; ++i) {
+    f[i] = static_cast<double>(facility_counts_[i]);
+  }
+  f[kFatalCount] = static_cast<double>(fatal_count_);
+  f[kWarningCount] = static_cast<double>(warning_count_);
+  f[kDistinctCategories] = static_cast<double>(distinct_categories_);
+  const double elapsed =
+      last_fatal_ ? static_cast<double>(now_ - *last_fatal_) : 1e9;
+  f[kLogElapsedSinceFatal] = std::log2(1.0 + std::max(0.0, elapsed));
+  return f;
+}
+
+std::vector<LabelledSample> build_labelled_samples(
+    std::span<const bgl::Event> events, DurationSec window,
+    double max_negative_ratio) {
+  std::vector<LabelledSample> all;
+  all.reserve(events.size());
+  FeatureTracker tracker(window);
+  std::size_t positives = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    tracker.observe(events[i]);
+    LabelledSample sample;
+    sample.features = tracker.features();
+    // Label: does a fatal event follow within (t, t+window]?
+    const TimeSec t = events[i].time;
+    for (std::size_t j = i + 1; j < events.size(); ++j) {
+      if (events[j].time > t + window) break;
+      if (events[j].fatal && events[j].time > t) {
+        sample.positive = true;
+        break;
+      }
+    }
+    positives += sample.positive ? 1 : 0;
+    all.push_back(sample);
+  }
+
+  const auto max_negatives = static_cast<std::size_t>(
+      max_negative_ratio * static_cast<double>(std::max<std::size_t>(1,
+                                                                     positives)));
+  std::size_t negatives = all.size() - positives;
+  if (negatives <= max_negatives) return all;
+
+  // Deterministic even-spaced subsample of the negatives.
+  std::vector<LabelledSample> sampled;
+  sampled.reserve(positives + max_negatives);
+  const double stride =
+      static_cast<double>(negatives) / static_cast<double>(max_negatives);
+  double next_keep = 0.0;
+  std::size_t negative_index = 0;
+  for (const auto& sample : all) {
+    if (sample.positive) {
+      sampled.push_back(sample);
+      continue;
+    }
+    if (static_cast<double>(negative_index) >= next_keep) {
+      sampled.push_back(sample);
+      next_keep += stride;
+    }
+    ++negative_index;
+  }
+  return sampled;
+}
+
+std::string_view feature_name(std::size_t index) {
+  if (index < bgl::kNumFacilities) {
+    return to_string(static_cast<bgl::Facility>(index));
+  }
+  switch (index) {
+    case kFatalCount: return "fatal-count";
+    case kWarningCount: return "warning-count";
+    case kDistinctCategories: return "distinct-categories";
+    case kLogElapsedSinceFatal: return "log-elapsed-since-fatal";
+    default: return "unknown";
+  }
+}
+
+}  // namespace dml::learners

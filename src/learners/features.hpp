@@ -1,0 +1,90 @@
+// Window feature extraction shared by the decision-tree learner and the
+// predictor: a fixed-length numeric summary of "what the log looked
+// like" in the Wp window ending at a given instant.
+//
+// The paper lists decision trees among the base learners it plans to
+// incorporate (§7); this is the feature space they operate on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "bgl/record.hpp"
+#include "bgl/taxonomy.hpp"
+#include "common/types.hpp"
+
+namespace dml::learners {
+
+/// Feature indices (fixed order; kNumFeatures-length vectors).
+enum Feature : std::size_t {
+  // 0..9: non-fatal event count per facility in the window.
+  kFacilityCountsBegin = 0,
+  // 10: fatal events in the window.
+  kFatalCount = bgl::kNumFacilities,
+  // 11: WARNING-or-worse non-fatal events in the window.
+  kWarningCount,
+  // 12: distinct non-fatal categories in the window.
+  kDistinctCategories,
+  // 13: log2(1 + seconds since the last fatal event); a large constant
+  // when no failure has been seen yet.
+  kLogElapsedSinceFatal,
+  kNumFeatures,
+};
+
+using FeatureVector = std::array<double, kNumFeatures>;
+
+/// Incrementally maintains the window feature vector over a time-ordered
+/// event stream.
+class FeatureTracker {
+ public:
+  explicit FeatureTracker(DurationSec window,
+                          const bgl::Taxonomy& taxonomy = bgl::taxonomy());
+
+  /// Advances to `now` (expiring old events) without adding an event —
+  /// used for clock ticks.
+  void advance(TimeSec now);
+
+  /// Adds an event (after advancing to its time).
+  void observe(const bgl::Event& event);
+
+  /// The feature vector as of the last advance/observe.
+  FeatureVector features() const;
+
+  DurationSec window() const { return window_; }
+
+ private:
+  void expire(TimeSec now);
+
+  const bgl::Taxonomy* taxonomy_;
+  DurationSec window_;
+  TimeSec now_ = 0;
+  std::deque<bgl::Event> recent_;
+  std::array<std::uint32_t, bgl::kNumFacilities> facility_counts_{};
+  std::uint32_t fatal_count_ = 0;
+  std::uint32_t warning_count_ = 0;
+  std::vector<std::uint16_t> category_counts_;
+  std::uint32_t distinct_categories_ = 0;
+  std::optional<TimeSec> last_fatal_;
+};
+
+/// Labelled training samples: features at each event time, labelled with
+/// "a fatal event occurs within (t, t+window]".  Negatives are
+/// subsampled to at most `max_negative_ratio` times the positives
+/// (deterministically, by even spacing) to keep the classes tractable.
+struct LabelledSample {
+  FeatureVector features;
+  bool positive = false;
+};
+
+std::vector<LabelledSample> build_labelled_samples(
+    std::span<const bgl::Event> events, DurationSec window,
+    double max_negative_ratio = 3.0);
+
+std::string_view feature_name(std::size_t index);
+
+}  // namespace dml::learners

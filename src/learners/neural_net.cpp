@@ -1,0 +1,215 @@
+#include "learners/neural_net.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "common/rng.hpp"
+#include "common/string_util.hpp"
+
+namespace dml::learners {
+namespace {
+
+double sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+std::optional<double> parse_double(std::string_view s) {
+  char buf[64];
+  if (s.size() >= sizeof(buf) || s.empty()) return std::nullopt;
+  std::memcpy(buf, s.data(), s.size());
+  buf[s.size()] = '\0';
+  char* end = nullptr;
+  const double value = std::strtod(buf, &end);
+  if (end != buf + s.size()) return std::nullopt;
+  return value;
+}
+
+void append_doubles(std::string& out, std::span<const double> values) {
+  for (double v : values) {
+    out += ';';
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    out += buf;
+  }
+}
+
+}  // namespace
+
+std::vector<double> NeuralNet::standardize(
+    const FeatureVector& features) const {
+  std::vector<double> x(kNumFeatures);
+  for (std::size_t i = 0; i < kNumFeatures; ++i) {
+    x[i] = (features[i] - mean_[i]) / stdev_[i];
+  }
+  return x;
+}
+
+double NeuralNet::forward(std::span<const double> x) const {
+  double z2 = b2_;
+  for (std::size_t h = 0; h < hidden_; ++h) {
+    double z1 = b1_[h];
+    for (std::size_t i = 0; i < kNumFeatures; ++i) {
+      z1 += w1_[h * kNumFeatures + i] * x[i];
+    }
+    z2 += w2_[h] * std::tanh(z1);
+  }
+  return sigmoid(z2);
+}
+
+double NeuralNet::predict(const FeatureVector& features) const {
+  if (hidden_ == 0) return 0.0;
+  return forward(standardize(features));
+}
+
+NeuralNet NeuralNet::fit(std::span<const LabelledSample> samples,
+                         const NeuralNetConfig& config) {
+  NeuralNet net;
+  if (samples.empty() || config.hidden_units == 0) return net;
+  net.hidden_ = config.hidden_units;
+
+  // Per-feature standardization from the training set.
+  net.mean_.assign(kNumFeatures, 0.0);
+  net.stdev_.assign(kNumFeatures, 1.0);
+  const auto n = static_cast<double>(samples.size());
+  for (const auto& s : samples) {
+    for (std::size_t i = 0; i < kNumFeatures; ++i) {
+      net.mean_[i] += s.features[i];
+    }
+  }
+  for (double& m : net.mean_) m /= n;
+  std::vector<double> var(kNumFeatures, 0.0);
+  for (const auto& s : samples) {
+    for (std::size_t i = 0; i < kNumFeatures; ++i) {
+      const double d = s.features[i] - net.mean_[i];
+      var[i] += d * d;
+    }
+  }
+  for (std::size_t i = 0; i < kNumFeatures; ++i) {
+    net.stdev_[i] = std::max(1e-6, std::sqrt(var[i] / n));
+  }
+
+  // Pre-standardize once.
+  std::vector<std::vector<double>> x;
+  x.reserve(samples.size());
+  for (const auto& s : samples) x.push_back(net.standardize(s.features));
+
+  // Xavier-ish init from the seed.
+  Rng rng(config.seed ^ 0x9e3779b97f4a7c15ULL);
+  const std::size_t h = net.hidden_;
+  const double scale1 = 1.0 / std::sqrt(static_cast<double>(kNumFeatures));
+  const double scale2 = 1.0 / std::sqrt(static_cast<double>(h));
+  net.w1_.resize(h * kNumFeatures);
+  net.b1_.assign(h, 0.0);
+  net.w2_.resize(h);
+  for (double& w : net.w1_) w = rng.uniform(-scale1, scale1);
+  for (double& w : net.w2_) w = rng.uniform(-scale2, scale2);
+
+  // Full-batch gradient descent with momentum on cross-entropy.
+  std::vector<double> vw1(net.w1_.size(), 0.0), vb1(h, 0.0), vw2(h, 0.0);
+  double vb2 = 0.0;
+  std::vector<double> hidden_out(h);
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    std::vector<double> gw1(net.w1_.size(), 0.0), gb1(h, 0.0), gw2(h, 0.0);
+    double gb2 = 0.0, loss = 0.0;
+    for (std::size_t s = 0; s < x.size(); ++s) {
+      // Forward, caching hidden activations.
+      double z2 = net.b2_;
+      for (std::size_t j = 0; j < h; ++j) {
+        double z1 = net.b1_[j];
+        for (std::size_t i = 0; i < kNumFeatures; ++i) {
+          z1 += net.w1_[j * kNumFeatures + i] * x[s][i];
+        }
+        hidden_out[j] = std::tanh(z1);
+        z2 += net.w2_[j] * hidden_out[j];
+      }
+      const double p = sigmoid(z2);
+      const double y = samples[s].positive ? 1.0 : 0.0;
+      loss -= y * std::log(std::max(1e-12, p)) +
+              (1.0 - y) * std::log(std::max(1e-12, 1.0 - p));
+      // Backward: dL/dz2 = p - y.
+      const double dz2 = p - y;
+      gb2 += dz2;
+      for (std::size_t j = 0; j < h; ++j) {
+        gw2[j] += dz2 * hidden_out[j];
+        const double dz1 =
+            dz2 * net.w2_[j] * (1.0 - hidden_out[j] * hidden_out[j]);
+        gb1[j] += dz1;
+        for (std::size_t i = 0; i < kNumFeatures; ++i) {
+          gw1[j * kNumFeatures + i] += dz1 * x[s][i];
+        }
+      }
+    }
+    net.training_loss_ = loss / n;
+
+    const double lr = config.learning_rate / n;
+    auto step = [&](std::vector<double>& w, std::vector<double>& v,
+                    const std::vector<double>& g) {
+      for (std::size_t i = 0; i < w.size(); ++i) {
+        v[i] = config.momentum * v[i] -
+               lr * (g[i] + config.weight_decay * n * w[i]);
+        w[i] += v[i];
+      }
+    };
+    step(net.w1_, vw1, gw1);
+    step(net.b1_, vb1, gb1);
+    step(net.w2_, vw2, gw2);
+    vb2 = config.momentum * vb2 - lr * gb2;
+    net.b2_ += vb2;
+  }
+  return net;
+}
+
+std::string NeuralNet::serialize() const {
+  std::string out = std::to_string(hidden_);
+  append_doubles(out, mean_);
+  append_doubles(out, stdev_);
+  append_doubles(out, w1_);
+  append_doubles(out, b1_);
+  append_doubles(out, w2_);
+  append_doubles(out, std::span<const double>(&b2_, 1));
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), ";%.12g", training_loss_);
+  out += buf;
+  return out;
+}
+
+std::optional<NeuralNet> NeuralNet::deserialize(std::string_view text) {
+  const auto fields = split(text, ';');
+  if (fields.size() < 2) return std::nullopt;
+  NeuralNet net;
+  const auto hidden = parse_double(fields[0]);
+  if (!hidden || *hidden < 1.0 || *hidden > 4096.0) return std::nullopt;
+  net.hidden_ = static_cast<std::size_t>(*hidden);
+  const std::size_t h = net.hidden_;
+  const std::size_t expected =
+      1 + kNumFeatures * 2 + h * kNumFeatures + h + h + 1 + 1;
+  if (fields.size() != expected) return std::nullopt;
+
+  std::size_t cursor = 1;
+  auto read_block = [&](std::vector<double>& out,
+                        std::size_t count) -> bool {
+    out.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto value = parse_double(fields[cursor++]);
+      if (!value) return false;
+      out[i] = *value;
+    }
+    return true;
+  };
+  if (!read_block(net.mean_, kNumFeatures)) return std::nullopt;
+  if (!read_block(net.stdev_, kNumFeatures)) return std::nullopt;
+  if (!read_block(net.w1_, h * kNumFeatures)) return std::nullopt;
+  if (!read_block(net.b1_, h)) return std::nullopt;
+  if (!read_block(net.w2_, h)) return std::nullopt;
+  const auto b2 = parse_double(fields[cursor++]);
+  const auto loss = parse_double(fields[cursor++]);
+  if (!b2 || !loss) return std::nullopt;
+  net.b2_ = *b2;
+  net.training_loss_ = *loss;
+  for (double s : net.stdev_) {
+    if (s <= 0.0) return std::nullopt;
+  }
+  return net;
+}
+
+}  // namespace dml::learners

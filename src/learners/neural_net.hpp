@@ -1,0 +1,71 @@
+// A small feed-forward neural network (single tanh hidden layer,
+// sigmoid output) over the window features — the second of the paper's
+// §7 future-work base learners ("decision tree and neural network").
+//
+// Deliberately minimal: full-batch gradient descent with momentum on
+// binary cross-entropy, deterministic initialization from a seed, and
+// per-feature standardization baked into the model.  It exists to
+// demonstrate learner pluggability and to serve as an ensemble ablation
+// point, not to chase state-of-the-art classification.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "learners/features.hpp"
+
+namespace dml::learners {
+
+struct NeuralNetConfig {
+  std::size_t hidden_units = 12;
+  int epochs = 200;
+  double learning_rate = 0.05;
+  double momentum = 0.9;
+  /// L2 weight decay.
+  double weight_decay = 1e-4;
+  std::uint64_t seed = 1;
+};
+
+class NeuralNet {
+ public:
+  /// Fits on the samples (standardization is derived from them); an
+  /// empty sample set yields a constant-0 model.
+  static NeuralNet fit(std::span<const LabelledSample> samples,
+                       const NeuralNetConfig& config = {});
+
+  /// P(positive) for a raw (unstandardized) feature vector.
+  double predict(const FeatureVector& features) const;
+
+  std::size_t hidden_units() const { return hidden_; }
+
+  /// Compact serialization ("h;mean...;std...;w1...;b1...;w2...;b2").
+  std::string serialize() const;
+  static std::optional<NeuralNet> deserialize(std::string_view text);
+
+  /// Training diagnostics: final cross-entropy on the training set.
+  double training_loss() const { return training_loss_; }
+
+  friend bool operator==(const NeuralNet&, const NeuralNet&) = default;
+
+ private:
+  std::vector<double> standardize(const FeatureVector& features) const;
+  double forward(std::span<const double> x) const;
+
+  std::size_t hidden_ = 0;
+  // Standardization.
+  std::vector<double> mean_;
+  std::vector<double> stdev_;
+  // Layer 1: hidden x kNumFeatures weights + hidden biases.
+  std::vector<double> w1_;
+  std::vector<double> b1_;
+  // Layer 2: hidden weights + 1 bias.
+  std::vector<double> w2_;
+  double b2_ = 0.0;
+  double training_loss_ = 0.0;
+};
+
+}  // namespace dml::learners

@@ -1,0 +1,22 @@
+#include "learners/neural_net_learner.hpp"
+
+namespace dml::learners {
+
+std::vector<Rule> NeuralNetLearner::learn(
+    std::span<const bgl::Event> training, DurationSec window) const {
+  std::vector<Rule> rules;
+  const auto samples =
+      build_labelled_samples(training, window, config_.max_negative_ratio);
+  std::size_t positives = 0;
+  for (const auto& sample : samples) positives += sample.positive ? 1 : 0;
+  if (positives < config_.min_positive_samples) return rules;
+  if (positives == samples.size()) return rules;  // degenerate: all positive
+
+  NeuralNetRule rule;
+  rule.net = NeuralNet::fit(samples, config_.net);
+  rule.probability_threshold = config_.probability_threshold;
+  rules.emplace_back(Rule::Body(std::move(rule)));
+  return rules;
+}
+
+}  // namespace dml::learners

@@ -1,0 +1,35 @@
+// Neural-network base learner — the second §7 future-work method.  Like
+// the decision tree it classifies window features into "a failure
+// follows within Wp"; it plugs into the ensemble unchanged.
+#pragma once
+
+#include "learners/base_learner.hpp"
+#include "learners/neural_net.hpp"
+
+namespace dml::learners {
+
+struct NeuralNetLearnerConfig {
+  NeuralNetConfig net;
+  /// Output probability above which the rule warns.
+  double probability_threshold = 0.5;
+  double max_negative_ratio = 3.0;
+  std::size_t min_positive_samples = 20;
+};
+
+class NeuralNetLearner final : public BaseLearner {
+ public:
+  explicit NeuralNetLearner(NeuralNetLearnerConfig config = {})
+      : config_(config) {}
+
+  RuleSource source() const override { return RuleSource::kNeuralNet; }
+
+  std::vector<Rule> learn(std::span<const bgl::Event> training,
+                          DurationSec window) const override;
+
+  const NeuralNetLearnerConfig& config() const { return config_; }
+
+ private:
+  NeuralNetLearnerConfig config_;
+};
+
+}  // namespace dml::learners

@@ -1,0 +1,119 @@
+// Rule model shared by the base learners, the meta-learner, the
+// reviser, and the predictor (paper §4).
+//
+// Four rule families exist, mirroring the base learners:
+//  * association rules  {e1..ek} -> f (confidence)         [AR]
+//  * statistical rules  "k failures within Wp => another"  [SR]
+//  * distribution rules "elapsed since last failure beyond
+//    the fitted CDF threshold => failure ahead"             [PD]
+//  * decision-tree rules: classifier over window features   [DT]
+//  * neural-network rules: MLP over the same features       [NN]
+//    (DT and NN are the paper's §7 future-work learners, disabled by
+//    default so the headline reproduction runs the paper's trio)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "bgl/taxonomy.hpp"
+#include "common/types.hpp"
+#include "learners/decision_tree.hpp"
+#include "learners/neural_net.hpp"
+#include "stats/distributions.hpp"
+
+namespace dml::learners {
+
+enum class RuleSource : std::uint8_t {
+  kAssociation = 0,
+  kStatistical = 1,
+  kDistribution = 2,
+  kDecisionTree = 3,
+  kNeuralNet = 4,
+};
+
+inline constexpr std::size_t kNumRuleSources = 5;
+
+std::string_view to_string(RuleSource source);
+
+struct AssociationRule {
+  /// Sorted, de-duplicated non-fatal antecedent categories.
+  std::vector<CategoryId> antecedent;
+  /// Predicted fatal category.
+  CategoryId consequent = kInvalidCategory;
+  double support = 0.0;
+  double confidence = 0.0;
+};
+
+struct StatisticalRule {
+  /// Trigger: k fatal events observed within the window.
+  int k = 1;
+  /// P(another failure within Wp | trigger) estimated on training data.
+  double probability = 0.0;
+};
+
+struct DistributionRule {
+  stats::LifetimeModel model;
+  /// CDF threshold (paper default 0.6).
+  double cdf_threshold = 0.6;
+  /// Precomputed model.quantile(cdf_threshold): warn when the elapsed
+  /// time since the last failure reaches this.
+  DurationSec elapsed_trigger = 0;
+};
+
+struct DecisionTreeRule {
+  DecisionTree tree;
+  /// Warn when the tree's leaf probability reaches this.
+  double probability_threshold = 0.5;
+};
+
+struct NeuralNetRule {
+  NeuralNet net;
+  /// Warn when the network's output probability reaches this.
+  double probability_threshold = 0.5;
+};
+
+class Rule {
+ public:
+  using Body = std::variant<AssociationRule, StatisticalRule,
+                            DistributionRule, DecisionTreeRule,
+                            NeuralNetRule>;
+
+  Rule() : body_(StatisticalRule{}) {}
+  explicit Rule(Body body) : body_(std::move(body)) {}
+
+  RuleSource source() const;
+  const Body& body() const { return body_; }
+
+  const AssociationRule* as_association() const {
+    return std::get_if<AssociationRule>(&body_);
+  }
+  const StatisticalRule* as_statistical() const {
+    return std::get_if<StatisticalRule>(&body_);
+  }
+  const DistributionRule* as_distribution() const {
+    return std::get_if<DistributionRule>(&body_);
+  }
+  const DecisionTreeRule* as_decision_tree() const {
+    return std::get_if<DecisionTreeRule>(&body_);
+  }
+  const NeuralNetRule* as_neural_net() const {
+    return std::get_if<NeuralNetRule>(&body_);
+  }
+
+  /// Stable identity for rule-churn accounting (Figure 12): two rules
+  /// with the same identity are "the same rule" across retrainings even
+  /// if their statistics moved.  AR: antecedent set + consequent;
+  /// SR: k; PD: family + threshold bucket.
+  std::string identity() const;
+
+  /// Human-readable rendering, e.g.
+  /// "networkWarningInterrupt, networkError -> socketReadFailure: 1.0".
+  std::string describe(const bgl::Taxonomy& taxonomy) const;
+
+ private:
+  Body body_;
+};
+
+}  // namespace dml::learners

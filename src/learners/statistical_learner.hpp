@@ -1,0 +1,53 @@
+// Statistical-rule base learner (paper §4.1): estimates "how often and
+// with what probability will the occurrence of one failure influence
+// subsequent failures".  For each k it measures, over the training set,
+// P(another failure within Wp | k failures observed within Wp) and emits
+// a rule when the probability clears the threshold (paper default 0.8;
+// e.g. "if four failures occur within 300 seconds, the probability of
+// another failure is 99%").
+#pragma once
+
+#include "learners/base_learner.hpp"
+
+namespace dml::learners {
+
+struct StatisticalConfig {
+  double min_probability = 0.8;
+  /// Largest k examined.
+  int max_k = 8;
+  /// Minimum trigger occurrences in training for the estimate to count.
+  std::uint32_t min_samples = 5;
+};
+
+class StatisticalLearner final : public BaseLearner {
+ public:
+  explicit StatisticalLearner(StatisticalConfig config = {})
+      : config_(config) {}
+
+  RuleSource source() const override { return RuleSource::kStatistical; }
+
+  std::vector<Rule> learn(std::span<const bgl::Event> training,
+                          DurationSec window) const override;
+
+  const StatisticalConfig& config() const { return config_; }
+
+  /// The estimated P(another within `window` | k fatals within `window`)
+  /// together with its sample count — exposed for tests/benches.
+  struct Estimate {
+    int k = 0;
+    std::uint32_t triggers = 0;
+    std::uint32_t followed = 0;
+    double probability() const {
+      return triggers == 0
+                 ? 0.0
+                 : static_cast<double>(followed) / static_cast<double>(triggers);
+    }
+  };
+  static std::vector<Estimate> estimate(std::span<const bgl::Event> training,
+                                        DurationSec window, int max_k);
+
+ private:
+  StatisticalConfig config_;
+};
+
+}  // namespace dml::learners

@@ -1,0 +1,95 @@
+#include "learners/transactions.hpp"
+
+#include <algorithm>
+
+namespace dml::learners {
+namespace {
+
+/// Sorted unique non-fatal categories among events[lo, hi) that fall in
+/// [begin, end).
+std::vector<CategoryId> collect_items(std::span<const bgl::Event> events,
+                                      std::size_t lo, std::size_t hi,
+                                      TimeSec begin, TimeSec end) {
+  std::vector<CategoryId> items;
+  for (std::size_t i = lo; i < hi; ++i) {
+    const auto& e = events[i];
+    if (e.time < begin || e.time >= end || e.fatal) continue;
+    items.push_back(e.category);
+  }
+  std::sort(items.begin(), items.end());
+  items.erase(std::unique(items.begin(), items.end()), items.end());
+  return items;
+}
+
+/// First index with events[i].time >= t (events are time-ordered).
+std::size_t lower_index(std::span<const bgl::Event> events, TimeSec t) {
+  const auto it = std::lower_bound(
+      events.begin(), events.end(), t,
+      [](const bgl::Event& e, TimeSec value) { return e.time < value; });
+  return static_cast<std::size_t>(it - events.begin());
+}
+
+}  // namespace
+
+std::vector<Transaction> build_failure_transactions(
+    std::span<const bgl::Event> events, DurationSec window) {
+  std::vector<Transaction> transactions;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (!events[i].fatal) continue;
+    const TimeSec t = events[i].time;
+    const std::size_t lo = lower_index(events, t - window);
+    Transaction tx;
+    tx.items = collect_items(events, lo, i, t - window, t);
+    tx.consequent = events[i].category;
+    tx.fatal_time = t;
+    transactions.push_back(std::move(tx));
+  }
+  return transactions;
+}
+
+std::vector<Transaction> collapse_cascade_transactions(
+    std::vector<Transaction> transactions, DurationSec window) {
+  std::vector<Transaction> collapsed;
+  bool have_prev = false;
+  TimeSec prev_time = 0;
+  for (auto& tx : transactions) {
+    const bool same_burst = have_prev && tx.fatal_time - prev_time <= window;
+    prev_time = tx.fatal_time;
+    have_prev = true;
+    if (same_burst) continue;
+    collapsed.push_back(std::move(tx));
+  }
+  return collapsed;
+}
+
+std::vector<std::vector<CategoryId>> sample_negative_windows(
+    std::span<const bgl::Event> events, DurationSec window,
+    DurationSec stride) {
+  std::vector<std::vector<CategoryId>> windows;
+  if (events.empty() || stride <= 0) return windows;
+  const TimeSec first = events.front().time;
+  const TimeSec last = events.back().time;
+  std::size_t lo = 0;
+  for (TimeSec begin = first; begin + window <= last; begin += stride) {
+    const TimeSec end = begin + window;
+    while (lo < events.size() && events[lo].time < begin) ++lo;
+    std::size_t hi = lo;
+    bool has_fatal = false;
+    std::vector<CategoryId> items;
+    while (hi < events.size() && events[hi].time < end) {
+      if (events[hi].fatal) {
+        has_fatal = true;
+      } else {
+        items.push_back(events[hi].category);
+      }
+      ++hi;
+    }
+    if (has_fatal || items.empty()) continue;
+    std::sort(items.begin(), items.end());
+    items.erase(std::unique(items.begin(), items.end()), items.end());
+    windows.push_back(std::move(items));
+  }
+  return windows;
+}
+
+}  // namespace dml::learners

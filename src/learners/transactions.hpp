@@ -1,0 +1,50 @@
+// Transaction construction for association mining (paper §4.1): "on the
+// training set, for each fatal event, we identify the set of non-fatal
+// events preceding it within the rule generation window Wp.  The set,
+// including the fatal event and their precursor non-fatal events, is
+// called an event set."
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "bgl/record.hpp"
+#include "common/types.hpp"
+
+namespace dml::learners {
+
+/// One event set: the antecedent item universe of a single fatal event.
+struct Transaction {
+  /// Sorted, de-duplicated non-fatal categories in [t_fatal - Wp, t_fatal).
+  std::vector<CategoryId> items;
+  /// The fatal event's category.
+  CategoryId consequent = kInvalidCategory;
+  TimeSec fatal_time = 0;
+};
+
+/// Builds the failure event sets from a time-ordered training span.
+/// Fatal events with an empty precursor window still produce a
+/// transaction (with no items) so that support is measured against *all*
+/// failures — this is what limits association-rule recall when most
+/// failures have no precursors.
+std::vector<Transaction> build_failure_transactions(
+    std::span<const bgl::Event> events, DurationSec window);
+
+/// Collapses a failure burst to its lead event set: failures arriving
+/// within `window` of the previous failure extend the burst and are
+/// dropped from the transaction database.  Without this, one noisy
+/// window preceding a 12-member cascade is counted up to twelve times
+/// and chance co-occurrences flood the miner.  Division of labour with
+/// the paper's ensemble: the association learner explains the *first*
+/// failure of a burst; follow-on failures are the statistical learner's
+/// territory.  Transactions must be in fatal_time order.
+std::vector<Transaction> collapse_cascade_transactions(
+    std::vector<Transaction> transactions, DurationSec window);
+
+/// Item sets of non-fatal categories observed in failure-free windows,
+/// sampled by sliding a Wp-wide window with the given stride.  Not used
+/// by the paper's miner (kept for the negative-sampling ablation bench).
+std::vector<std::vector<CategoryId>> sample_negative_windows(
+    std::span<const bgl::Event> events, DurationSec window, DurationSec stride);
+
+}  // namespace dml::learners

@@ -1,0 +1,48 @@
+#include "loggen/duplication.hpp"
+
+#include <algorithm>
+
+namespace dml::loggen {
+
+DurationSec sample_duplicate_jitter(Rng& rng) {
+  // 72% within ten seconds, 18% within ~a minute, 10% tail capped at
+  // ten minutes — duplicates overwhelmingly coalesce at the paper's
+  // 300 s threshold, with a residual decline out to 400 s (Table 4).
+  const double u = rng.uniform();
+  double jitter;
+  if (u < 0.72) {
+    jitter = rng.uniform(0.0, 9.0);
+  } else if (u < 0.90) {
+    jitter = rng.exponential(55.0);
+  } else {
+    jitter = rng.exponential(150.0);
+  }
+  return std::min<DurationSec>(static_cast<DurationSec>(jitter), 600);
+}
+
+void DuplicationModel::expand(
+    const bgl::RasRecord& base, const DuplicationParams& params,
+    const Job* job, Rng& rng,
+    const std::function<void(bgl::RasRecord)>& emit) const {
+  emit(base);
+
+  const double mean_extra = std::max(0.0, params.mean_copies - 1.0);
+  std::size_t extra = static_cast<std::size_t>(rng.poisson(mean_extra));
+  extra = std::min(extra, params.max_copies - 1);
+
+  const bool chip_scope =
+      base.location.kind() == bgl::LocationKind::kComputeChip;
+  for (std::size_t i = 0; i < extra; ++i) {
+    bgl::RasRecord copy = base;
+    copy.event_time = base.event_time + sample_duplicate_jitter(rng);
+    // Roughly half of the redundancy is spatial (other chips of the same
+    // job polling the same condition), half temporal (the same agent
+    // re-reporting).
+    if (chip_scope && job != nullptr && rng.bernoulli(0.55)) {
+      copy.location = workload_->sample_chip(*job, rng);
+    }
+    emit(std::move(copy));
+  }
+}
+
+}  // namespace dml::loggen

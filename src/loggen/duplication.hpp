@@ -1,0 +1,49 @@
+// Redundancy model: expands one unique event into the multiple raw log
+// entries the real systems record.  "Each computer chip runs a polling
+// agent ... any failure of the job will get reported multiple places —
+// once from each of the assigned computer chips", and sub-second logging
+// against second-resolution timestamps yields repeated entries at one
+// location (paper §3).  All copies of a unique event share ENTRY DATA
+// and JOBID; copies differ in LOCATION (spatial redundancy) and in
+// timestamp jitter (temporal redundancy).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "bgl/record.hpp"
+#include "common/rng.hpp"
+#include "loggen/workload.hpp"
+
+namespace dml::loggen {
+
+struct DuplicationParams {
+  /// Mean number of raw records per unique event (>= 1).
+  double mean_copies = 1.0;
+  /// Hard cap on copies of one event (memory guard).
+  std::size_t max_copies = 4096;
+};
+
+/// Timestamp jitter of duplicate records: most duplicates land within a
+/// few seconds, a minority straggles for minutes — this is what makes
+/// the Table 4 counts keep shrinking as the filtering threshold grows.
+DurationSec sample_duplicate_jitter(Rng& rng);
+
+class DuplicationModel {
+ public:
+  explicit DuplicationModel(const WorkloadModel& workload)
+      : workload_(&workload) {}
+
+  /// Expands `base` (the unique record) into `1 + extra` raw copies and
+  /// hands each to `emit`.  Spatial copies are placed on other chips of
+  /// `job` when given and when the event originates at chip scope;
+  /// otherwise all copies repeat at the base location.
+  void expand(const bgl::RasRecord& base, const DuplicationParams& params,
+              const Job* job, Rng& rng,
+              const std::function<void(bgl::RasRecord)>& emit) const;
+
+ private:
+  const WorkloadModel* workload_;
+};
+
+}  // namespace dml::loggen

@@ -1,0 +1,97 @@
+#include "loggen/fault_process.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dml::loggen {
+
+std::vector<CategoryId> FaultProcess::cascade_pool() {
+  static constexpr std::string_view kMarkers[] = {"torus", "tree", "socket",
+                                                  "broadcast"};
+  std::vector<CategoryId> pool;
+  for (CategoryId id : bgl::taxonomy().fatal_ids()) {
+    const auto& pattern = bgl::taxonomy().category(id).pattern;
+    for (std::string_view marker : kMarkers) {
+      if (pattern.find(marker) != std::string::npos) {
+        pool.push_back(id);
+        break;
+      }
+    }
+  }
+  return pool;
+}
+
+FaultProcessParams era_adjusted(FaultProcessParams params, int era) {
+  for (int e = 0; e < era; ++e) {
+    params.weibull_scale *= 0.6;
+    params.burst_gap_mean *= 1.7;
+    params.burst_prob = std::min(0.25, params.burst_prob * 1.3);
+  }
+  return params;
+}
+
+FaultProcess::FaultProcess(const FaultProcessParams& params,
+                           std::uint64_t seed, int era)
+    : params_(era_adjusted(params, era)),
+      fatal_ids_(bgl::taxonomy().fatal_ids()),
+      cascade_ids_(cascade_pool()) {
+  // Zipf-flavoured mix, permuted per era: a few categories dominate, and
+  // *which* ones dominate changes after a reconfiguration.
+  Rng rng(seed ^ (0xFA7A1ULL + static_cast<std::uint64_t>(era) *
+                                   0x9E3779B97F4A7C15ULL));
+  std::vector<std::size_t> ranks(fatal_ids_.size());
+  for (std::size_t i = 0; i < ranks.size(); ++i) ranks[i] = i;
+  for (std::size_t i = ranks.size(); i > 1; --i) {  // Fisher-Yates
+    std::swap(ranks[i - 1], ranks[rng.uniform_index(i)]);
+  }
+  weights_.resize(fatal_ids_.size());
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    weights_[i] = 1.0 / std::pow(static_cast<double>(ranks[i]) + 1.0, 0.8);
+  }
+  cascade_weights_.assign(cascade_ids_.size(), 1.0);
+  for (std::size_t i = 0; i < cascade_weights_.size(); ++i) {
+    cascade_weights_[i] = 0.5 + rng.uniform();
+  }
+}
+
+CategoryId FaultProcess::sample_background(Rng& rng) const {
+  return fatal_ids_[rng.weighted_index(weights_)];
+}
+
+CategoryId FaultProcess::sample_cascade(Rng& rng) const {
+  if (cascade_ids_.empty()) return sample_background(rng);
+  return cascade_ids_[rng.weighted_index(cascade_weights_)];
+}
+
+std::vector<FatalOccurrence> FaultProcess::generate(TimeSec begin, TimeSec end,
+                                                    Rng& rng) const {
+  std::vector<FatalOccurrence> occurrences;
+  TimeSec t = begin;
+  while (true) {
+    t += std::max<TimeSec>(
+        1, static_cast<TimeSec>(
+               rng.weibull(params_.weibull_shape, params_.weibull_scale)));
+    if (t >= end) break;
+    occurrences.push_back({t, sample_background(rng), false});
+
+    if (rng.bernoulli(params_.burst_prob)) {
+      const std::uint64_t extra = 6 + rng.poisson(params_.burst_extra_mean);
+      TimeSec bt = t;
+      for (std::uint64_t i = 0; i < extra; ++i) {
+        bt += std::max<TimeSec>(
+            1, static_cast<TimeSec>(rng.exponential(params_.burst_gap_mean)));
+        if (bt >= end) break;
+        occurrences.push_back({bt, sample_cascade(rng), true});
+      }
+      // Resume the renewal clock after the cascade.
+      t = std::max(t, std::min(bt, end - 1));
+    }
+  }
+  std::sort(occurrences.begin(), occurrences.end(),
+            [](const FatalOccurrence& a, const FatalOccurrence& b) {
+              return a.time < b.time;
+            });
+  return occurrences;
+}
+
+}  // namespace dml::loggen

@@ -1,0 +1,481 @@
+#include "loggen/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <queue>
+#include <stdexcept>
+
+#include "common/civil_time.hpp"
+
+namespace dml::loggen {
+namespace {
+
+// Facility array order everywhere in MachineProfile: APP, BGLMASTER,
+// CMCS, DISCOVERY, HARDWARE, KERNEL, LINKCARD, MMCS, MONITOR, SERV_NET.
+
+/// Precursor categories a given machine can actually emit, weighted by
+/// how much the owning facility chatters on that machine: a silent
+/// facility (SDSC's MONITOR, Table 4) never appears, and a quiet one
+/// (DISCOVERY) appears rarely — keeping the per-facility unique-event
+/// profile faithful to Table 4.
+WeightedPool machine_precursor_pool(const MachineProfile& profile) {
+  WeightedPool pool;
+  const auto& tax = bgl::taxonomy();
+  for (CategoryId id : SignatureLibrary::precursor_pool()) {
+    const auto facility = tax.category(id).facility;
+    const double rate =
+        profile.noise_per_week[static_cast<std::size_t>(facility)];
+    if (rate <= 0.0) continue;
+    int nonfatal = 0;
+    for (CategoryId fid : tax.facility_ids(facility)) {
+      nonfatal += tax.category(fid).fatal ? 0 : 1;
+    }
+    pool.categories.push_back(id);
+    // Per-category chatter rate, capped: a facility whose few categories
+    // each chatter hundreds of times per week (ANL's MONITOR) would
+    // otherwise dominate every signature, and precursors drawn from
+    // constant chatter carry no signal.
+    pool.weights.push_back(
+        std::min(4.0, rate / std::max(1, nonfatal)));
+  }
+  return pool;
+}
+
+/// Expected events per base noise arrival once echo bursts are counted.
+double noise_burst_multiplier(const MachineProfile& profile) {
+  return 1.0 + profile.noise_burst_prob *
+                   (1.0 + profile.noise_burst_extra_mean);
+}
+
+/// Zipf-ish weights over a facility's non-fatal categories, fixed per
+/// (seed, facility): a few chatty categories dominate the noise.
+std::vector<double> noise_weights(std::uint64_t seed, bgl::Facility facility,
+                                  const std::vector<CategoryId>& ids) {
+  Rng rng(seed ^ (0xBEEFULL + static_cast<std::uint64_t>(facility) * 977));
+  std::vector<double> weights(ids.size(), 1.0);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = 1.0 / std::pow(static_cast<double>(i) + 1.0, 0.9);
+  }
+  for (std::size_t i = weights.size(); i > 1; --i) {
+    std::swap(weights[i - 1], weights[rng.uniform_index(i)]);
+  }
+  return weights;
+}
+
+}  // namespace
+
+MachineProfile MachineProfile::anl() {
+  MachineProfile p;
+  p.machine = bgl::MachineConfig::anl();
+  p.start_time = time_from_civil({2005, 1, 21, 0, 0, 0});
+  p.weeks = 112;
+  // Unique events/week calibrated so the *recovered* unique counts at
+  // the 300 s threshold land near Table 4's column (noise + precursor
+  // emissions + fatal events + straggler duplicates together);
+  // duplication factors target the raw (0 s) column.
+  p.noise_per_week = {8.5, 0.3, 2.1, 4.2, 4.2, 160.0, 0.10, 3.5, 125.0, 0.02};
+  p.dup_factor = {5.0, 1.13, 1.07, 29.0, 3.3, 241.0, 5.8, 2.1, 2.6, 1.0};
+  p.reconfig_week = std::nullopt;
+  return p;
+}
+
+MachineProfile MachineProfile::sdsc() {
+  MachineProfile p;
+  p.machine = bgl::MachineConfig::sdsc();
+  p.start_time = time_from_civil({2004, 12, 6, 0, 0, 0});
+  p.weeks = 132;
+  // SDSC's simulated failure process (per the paper's own Weibull fit)
+  // produces more unique fatal+precursor events than Table 4's column;
+  // duplication factors are therefore set against the raw (0 s) totals
+  // of Tables 2/4 — see EXPERIMENTS.md for the reconciliation.
+  p.noise_per_week = {2.5, 0.25, 2.0, 3.0, 1.2, 10.0, 0.6, 2.5, 0.0, 0.025};
+  p.dup_factor = {12.0, 1.28, 1.0, 40.0, 1.6, 43.0, 2.3, 1.0, 1.0, 1.0};
+  // "the system went through a major system reconfiguration" around the
+  // 60th-64th week (paper §5.2.2).
+  p.reconfig_week = 62;
+  return p;
+}
+
+LogGenerator::LogGenerator(MachineProfile profile, std::uint64_t seed)
+    : profile_(std::move(profile)), seed_(seed) {
+  era_starts_.push_back(profile_.start_time);
+  if (profile_.reconfig_week &&
+      *profile_.reconfig_week > 0 &&
+      *profile_.reconfig_week < profile_.weeks) {
+    era_starts_.push_back(profile_.start_time +
+                          *profile_.reconfig_week * kSecondsPerWeek);
+  }
+  for (std::size_t era = 0; era < era_starts_.size(); ++era) {
+    era_faults_.emplace_back(profile_.faults, seed_, static_cast<int>(era));
+  }
+
+  // Signature timeline: a fresh library per era, drifting every
+  // drift_period_weeks within the era.
+  Rng drift_rng(seed_ ^ 0xD21F7ULL);
+  const auto pool = machine_precursor_pool(profile_);
+  for (std::size_t era = 0; era < era_starts_.size(); ++era) {
+    const TimeSec era_begin = era_starts_[era];
+    const TimeSec era_end = era + 1 < era_starts_.size()
+                                ? era_starts_[era + 1]
+                                : profile_.end_time();
+    SignatureLibrary lib = SignatureLibrary::make(
+        seed_, static_cast<int>(era), profile_.precursor_coverage, pool);
+    signature_timeline_.emplace_back(era_begin, lib);
+    const DurationSec period =
+        std::max(1, profile_.drift_period_weeks) * kSecondsPerWeek;
+    for (TimeSec t = era_begin + period; t < era_end; t += period) {
+      lib.drift(drift_rng, profile_.drift_fraction);
+      signature_timeline_.emplace_back(t, lib);
+    }
+  }
+}
+
+const SignatureLibrary& LogGenerator::library_at(TimeSec t) const {
+  const SignatureLibrary* current = &signature_timeline_.front().second;
+  for (const auto& [start, lib] : signature_timeline_) {
+    if (start <= t) {
+      current = &lib;
+    } else {
+      break;
+    }
+  }
+  return *current;
+}
+
+namespace {
+
+/// Picks a concrete location for an event of the given origin scope.
+bgl::Location place_event(bgl::LocationKind origin,
+                          const bgl::MachineConfig& machine,
+                          const WorkloadModel& workload, const Job* job,
+                          Rng& rng) {
+  const int rack = static_cast<int>(rng.uniform_index(
+      static_cast<std::uint64_t>(std::max(1, machine.racks))));
+  const int midplane = static_cast<int>(rng.uniform_index(2));
+  switch (origin) {
+    case bgl::LocationKind::kComputeChip:
+      if (job != nullptr) return workload.sample_chip(*job, rng);
+      return workload.sample_any_chip(rng);
+    case bgl::LocationKind::kIoNode:
+      return bgl::Location::io_node(
+          rack, midplane,
+          static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(
+              std::max(1, machine.io_nodes_per_midplane)))));
+    case bgl::LocationKind::kServiceCard:
+      return bgl::Location::service_card(rack, midplane);
+    case bgl::LocationKind::kLinkCard:
+      return bgl::Location::link_card(rack, midplane,
+                                      static_cast<int>(rng.uniform_index(4)));
+    case bgl::LocationKind::kNodeCard:
+      return bgl::Location::node_card(rack, midplane,
+                                      static_cast<int>(rng.uniform_index(16)));
+    case bgl::LocationKind::kMidplane:
+      return bgl::Location::midplane_scope(rack, midplane);
+  }
+  return bgl::Location::midplane_scope(rack, midplane);
+}
+
+}  // namespace
+
+std::vector<LogGenerator::UniqueEvent> LogGenerator::assemble_unique(
+    const WorkloadModel& workload, Rng& rng) const {
+  std::vector<UniqueEvent> unique;
+  const TimeSec begin = profile_.start_time;
+  const TimeSec end = profile_.end_time();
+  const auto& tax = bgl::taxonomy();
+
+  // When set, events are pinned into this midplane (cascade locality).
+  std::optional<bgl::Location> forced_midplane;
+  auto add = [&](TimeSec t, CategoryId cat, const Job* job) {
+    if (t < begin || t >= end) return;
+    UniqueEvent ue;
+    ue.event.time = t;
+    ue.event.category = cat;
+    ue.event.fatal = tax.category(cat).fatal;
+    ue.job = job;
+    ue.event.job_id = job != nullptr && job->active_at(t) ? job->id : kNoJob;
+    Rng loc_rng = rng.fork();
+    ue.event.location = place_event(tax.category(cat).origin,
+                                    profile_.machine, workload,
+                                    ue.event.job_id != kNoJob ? job : nullptr,
+                                    loc_rng);
+    if (forced_midplane) {
+      // Re-home the location into the forced midplane, preserving its
+      // within-midplane coordinates.
+      const auto& loc = ue.event.location;
+      switch (loc.kind()) {
+        case bgl::LocationKind::kComputeChip:
+          ue.event.location = bgl::Location::compute_chip(
+              forced_midplane->rack(), forced_midplane->midplane(),
+              loc.card(), loc.compute_card(), loc.chip());
+          break;
+        case bgl::LocationKind::kIoNode:
+          ue.event.location = bgl::Location::io_node(
+              forced_midplane->rack(), forced_midplane->midplane(),
+              loc.card());
+          break;
+        case bgl::LocationKind::kServiceCard:
+          ue.event.location = bgl::Location::service_card(
+              forced_midplane->rack(), forced_midplane->midplane());
+          break;
+        case bgl::LocationKind::kLinkCard:
+          ue.event.location = bgl::Location::link_card(
+              forced_midplane->rack(), forced_midplane->midplane(),
+              loc.card());
+          break;
+        case bgl::LocationKind::kNodeCard:
+          ue.event.location = bgl::Location::node_card(
+              forced_midplane->rack(), forced_midplane->midplane(),
+              loc.card());
+          break;
+        case bgl::LocationKind::kMidplane:
+          ue.event.location = *forced_midplane;
+          break;
+      }
+    }
+    unique.push_back(std::move(ue));
+  };
+
+  // ---- facility noise ----------------------------------------------
+  for (int f = 0; f < bgl::kNumFacilities; ++f) {
+    const auto facility = static_cast<bgl::Facility>(f);
+    const double per_week =
+        profile_.noise_per_week[static_cast<std::size_t>(f)] * profile_.scale;
+    if (per_week <= 0.0) continue;
+    std::vector<CategoryId> pool;
+    for (CategoryId id : tax.facility_ids(facility)) {
+      if (!tax.category(id).fatal) pool.push_back(id);
+    }
+    if (pool.empty()) continue;
+    const auto weights = noise_weights(seed_, facility, pool);
+    // noise_per_week counts unique events *including* echo bursts; the
+    // base arrival process is slowed down accordingly.
+    const double mean_gap = static_cast<double>(kSecondsPerWeek) /
+                            (per_week / noise_burst_multiplier(profile_));
+    Rng stream = rng.fork();
+    TimeSec t = begin;
+    while (true) {
+      t += std::max<TimeSec>(1,
+                             static_cast<TimeSec>(stream.exponential(mean_gap)));
+      if (t >= end) break;
+      const CategoryId cat = pool[stream.weighted_index(weights)];
+      const Job* job = workload.sample_active_job(t, stream);
+      add(t, cat, job);
+      // Bursty chatter: echo events of sibling categories moments later.
+      if (stream.bernoulli(profile_.noise_burst_prob)) {
+        const std::uint64_t echoes =
+            1 + stream.poisson(profile_.noise_burst_extra_mean);
+        TimeSec et = t;
+        for (std::uint64_t i = 0; i < echoes; ++i) {
+          et += std::max<TimeSec>(
+              1, static_cast<TimeSec>(stream.exponential(static_cast<double>(
+                     profile_.noise_burst_gap_mean))));
+          add(et, pool[stream.weighted_index(weights)], job);
+        }
+      }
+    }
+  }
+
+  // ---- decoy pattern setup -------------------------------------------
+  // Per era: `decoy_pairs` pairs of warning categories that chatter
+  // together ambiently and occasionally precede failures by accident.
+  const auto pool = machine_precursor_pool(profile_);
+  std::vector<std::vector<std::array<CategoryId, 2>>> era_decoys(
+      era_starts_.size());
+  {
+    Rng decoy_rng(seed_ ^ 0xDEC0FULL);
+    for (std::size_t era = 0; era < era_starts_.size(); ++era) {
+      if (pool.categories.size() < 2) break;
+      for (int d = 0; d < profile_.decoy_pairs; ++d) {
+        CategoryId a =
+            pool.categories[decoy_rng.weighted_index(pool.weights)];
+        CategoryId b = a;
+        while (b == a) {
+          b = pool.categories[decoy_rng.weighted_index(pool.weights)];
+        }
+        era_decoys[era].push_back({a, b});
+      }
+    }
+  }
+  auto era_of = [&](TimeSec t) {
+    std::size_t era = 0;
+    for (std::size_t i = 1; i < era_starts_.size(); ++i) {
+      if (t >= era_starts_[i]) era = i;
+    }
+    return era;
+  };
+
+  // Ambient decoy chatter.
+  if (profile_.decoy_pairs > 0 && profile_.decoy_ambient_per_week > 0.0) {
+    Rng stream = rng.fork();
+    const double mean_gap = static_cast<double>(kSecondsPerWeek) /
+                            (profile_.decoy_ambient_per_week * profile_.scale);
+    TimeSec t = begin;
+    while (true) {
+      t += std::max<TimeSec>(1,
+                             static_cast<TimeSec>(stream.exponential(mean_gap)));
+      if (t >= end) break;
+      const auto& decoys = era_decoys[era_of(t)];
+      if (decoys.empty()) continue;
+      const auto& pair = decoys[stream.uniform_index(decoys.size())];
+      const Job* job = workload.sample_active_job(t, stream);
+      add(t, pair[0], job);
+      add(t + 1 + static_cast<TimeSec>(stream.uniform_index(60)), pair[1], job);
+    }
+  }
+
+  // ---- fatal events + precursors ------------------------------------
+  Rng fatal_rng = rng.fork();
+  for (std::size_t era = 0; era < era_starts_.size(); ++era) {
+    const TimeSec era_begin = era_starts_[era];
+    const TimeSec era_end =
+        era + 1 < era_starts_.size() ? era_starts_[era + 1] : end;
+    const auto occurrences =
+        era_faults_[era].generate(era_begin, era_end, fatal_rng);
+    std::optional<bgl::Location> cascade_home;
+    for (const auto& occ : occurrences) {
+      const Job* job = workload.sample_active_job(occ.time, fatal_rng);
+      // Cascade locality: follow-on failures propagate within their
+      // lead failure's midplane most of the time.
+      if (occ.cascade_member && cascade_home &&
+          fatal_rng.bernoulli(profile_.cascade_locality)) {
+        forced_midplane = cascade_home;
+      } else {
+        forced_midplane.reset();
+      }
+      add(occ.time, occ.category, job);
+      std::optional<bgl::Location> fatal_midplane;
+      if (!unique.empty() && unique.back().event.time == occ.time) {
+        fatal_midplane = unique.back().event.location.enclosing_midplane();
+      }
+      if (!occ.cascade_member && fatal_midplane) {
+        cascade_home = fatal_midplane;
+      }
+      const auto* sig = library_at(occ.time).find(occ.category);
+      if (sig != nullptr && fatal_rng.bernoulli(sig->emission_prob)) {
+        for (CategoryId pre : sig->precursors) {
+          const TimeSec lead = 1 + static_cast<TimeSec>(fatal_rng.uniform_index(
+                                       static_cast<std::uint64_t>(
+                                           std::max<DurationSec>(1, sig->max_lead))));
+          // Precursors report from the failing midplane most of the
+          // time (they are symptoms of the same fault domain).
+          if (fatal_midplane && fatal_rng.bernoulli(0.9)) {
+            forced_midplane = fatal_midplane;
+          }
+          add(occ.time - lead, pre, job);
+          forced_midplane.reset();
+        }
+      }
+      // Coincidental decoy chatter shortly before this failure.
+      if (!era_decoys[era].empty() &&
+          fatal_rng.bernoulli(profile_.decoy_attach_prob)) {
+        const auto& pair =
+            era_decoys[era][fatal_rng.uniform_index(era_decoys[era].size())];
+        for (CategoryId c : pair) {
+          add(occ.time - 1 -
+                  static_cast<TimeSec>(fatal_rng.uniform_index(200)),
+              c, job);
+        }
+      }
+    }
+  }
+
+  std::sort(unique.begin(), unique.end(),
+            [](const UniqueEvent& a, const UniqueEvent& b) {
+              return bgl::EventTimeOrder{}(a.event, b.event);
+            });
+  return unique;
+}
+
+std::vector<bgl::Event> LogGenerator::generate_unique_events() const {
+  Rng rng(seed_);
+  const WorkloadModel workload(profile_.machine, profile_.workload,
+                               profile_.start_time, profile_.end_time(),
+                               rng.fork());
+  auto unique = assemble_unique(workload, rng);
+  std::vector<bgl::Event> events;
+  events.reserve(unique.size());
+  for (auto& ue : unique) events.push_back(ue.event);
+  return events;
+}
+
+std::vector<bgl::Event> LogGenerator::generate(RecordSink& sink) const {
+  Rng rng(seed_);
+  const WorkloadModel workload(profile_.machine, profile_.workload,
+                               profile_.start_time, profile_.end_time(),
+                               rng.fork());
+  auto unique = assemble_unique(workload, rng);
+
+  const DuplicationModel duplicator(workload);
+  const auto& tax = bgl::taxonomy();
+
+  // Duplicate copies carry forward-only jitter, so a min-heap drained up
+  // to each unique event's timestamp emits the raw stream in order with
+  // bounded memory.
+  struct Pending {
+    bgl::RasRecord record;
+    std::uint64_t seq;  // tiebreak: preserve creation order
+  };
+  auto later = [](const Pending& a, const Pending& b) {
+    if (a.record.event_time != b.record.event_time) {
+      return a.record.event_time > b.record.event_time;
+    }
+    return a.seq > b.seq;
+  };
+  std::priority_queue<Pending, std::vector<Pending>, decltype(later)> heap(
+      later);
+  std::uint64_t seq = 0;
+  RecordId next_record_id = 1;
+
+  auto flush_until = [&](TimeSec t) {
+    while (!heap.empty() && heap.top().record.event_time <= t) {
+      bgl::RasRecord out = heap.top().record;
+      heap.pop();
+      out.record_id = next_record_id++;
+      sink.consume(out);
+    }
+  };
+
+  Rng dup_rng = rng.fork();
+  Rng detail_rng = rng.fork();
+  std::vector<bgl::Event> ground_truth;
+  ground_truth.reserve(unique.size());
+
+  for (const auto& ue : unique) {
+    flush_until(ue.event.time);
+    const auto& cat = tax.category(ue.event.category);
+
+    bgl::RasRecord base;
+    base.event_type = cat.event_type;
+    base.event_time = ue.event.time;
+    base.job_id = ue.event.job_id;
+    base.location = ue.event.location;
+    base.facility = cat.facility;
+    base.severity = cat.severity;
+    {
+      // Distinct detail token per unique event: spatial duplicates share
+      // ENTRY DATA, different unique events never do.
+      char detail[32];
+      std::snprintf(detail, sizeof(detail), " [inst %08llx]",
+                    static_cast<unsigned long long>(
+                        detail_rng.next_u64() & 0xffffffffULL));
+      base.entry_data = cat.pattern + detail;
+    }
+
+    DuplicationParams dup;
+    dup.mean_copies = std::max(
+        1.0, profile_.dup_factor[static_cast<std::size_t>(cat.facility)] *
+                 profile_.scale);
+    duplicator.expand(base, dup,
+                      ue.event.job_id != kNoJob ? ue.job : nullptr, dup_rng,
+                      [&](bgl::RasRecord record) {
+                        heap.push(Pending{std::move(record), seq++});
+                      });
+    ground_truth.push_back(ue.event);
+  }
+  flush_until(profile_.end_time() + 1);
+  return ground_truth;
+}
+
+}  // namespace dml::loggen

@@ -1,0 +1,131 @@
+// End-to-end RAS log generator: assembles the workload model, fault
+// process, precursor signatures, facility noise, and duplication model
+// into a time-ordered raw record stream for one machine.
+//
+// This is the stand-in for the production ANL / SDSC Blue Gene/L logs
+// (Table 2); see DESIGN.md §2 for the substitution rationale.  The
+// generator *also* returns its ground-truth unique event list, which the
+// tests compare against the preprocessing pipeline's output.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bgl/record.hpp"
+#include "common/rng.hpp"
+#include "loggen/duplication.hpp"
+#include "loggen/fault_process.hpp"
+#include "loggen/signatures.hpp"
+#include "loggen/workload.hpp"
+#include "logio/record_sink.hpp"
+
+namespace dml::loggen {
+
+using logio::RecordSink;
+
+/// Full parameterisation of one installation's log.
+struct MachineProfile {
+  bgl::MachineConfig machine;
+  TimeSec start_time = 0;
+  int weeks = 8;
+  /// Volume multiplier applied to noise rates and duplication factors;
+  /// tests run at scale << 1 to stay fast.
+  double scale = 1.0;
+
+  /// Unique (post-filter) noise events per week, per facility.
+  std::array<double, bgl::kNumFacilities> noise_per_week{};
+  /// Noise chatter is itself bursty: a noise event may trigger echoes of
+  /// sibling categories in the same facility shortly after.  These
+  /// correlated-but-causally-meaningless co-occurrences are what breed
+  /// the "bad rules" the reviser exists to remove (paper §5.2.2).
+  double noise_burst_prob = 0.15;
+  double noise_burst_extra_mean = 1.5;
+  DurationSec noise_burst_gap_mean = 40;
+  /// Cascades propagate spatially: a follow-on failure lands in its
+  /// lead failure's midplane with this probability (errors spread
+  /// through shared interconnect/power domains), otherwise anywhere.
+  double cascade_locality = 0.85;
+
+  /// Decoy patterns: per era, a few non-fatal category pairs that appear
+  /// both as frequent ambient chatter *and* (coincidentally) inside the
+  /// precursor window of a fraction of failures.  The association miner
+  /// — run with deliberately low support/confidence thresholds — picks
+  /// them up as plausible-looking rules whose false-alarm rate is
+  /// terrible; they are the bad rules the reviser removes (Figures 11
+  /// and 12's "removed by reviser" series).
+  /// Few pairs, attached often: each decoy must clear the miner's
+  /// absolute support floor (so it reaches the reviser) while its
+  /// ambient chatter keeps its false-alarm rate terrible.
+  int decoy_pairs = 2;
+  double decoy_attach_prob = 0.2;
+  double decoy_ambient_per_week = 2.5;
+  /// Mean raw records per unique event, per facility.
+  std::array<double, bgl::kNumFacilities> dup_factor{};
+
+  FaultProcessParams faults;
+  WorkloadParams workload;
+
+  /// Fraction of fatal categories carrying a precursor signature.  With
+  /// ~0.8 mean emission probability, roughly half of fatal occurrences
+  /// carry precursors — the paper reports "up to 75%" arriving without
+  /// any.
+  double precursor_coverage = 0.65;
+  /// Signature drift cadence/intensity within an era: strong enough that
+  /// a rule set frozen on the initial six months visibly decays
+  /// (Figure 7/9's "static" curves), gentle enough that a recent
+  /// six-month window stays mostly valid for the next Wr weeks.
+  int drift_period_weeks = 6;
+  double drift_fraction = 0.18;
+  /// Major reconfiguration: era switch at this week (SDSC ~week 62).
+  std::optional<int> reconfig_week;
+
+  TimeSec end_time() const { return start_time + weeks * kSecondsPerWeek; }
+
+  /// The ANL Blue Gene/L profile: 112 weeks, one era, KERNEL-dominated
+  /// noise with heavy duplication (diagnostics-happy site, §2.2).
+  static MachineProfile anl();
+  /// The SDSC profile: 132 weeks, reconfiguration at week 62, MONITOR
+  /// silent, DISCOVERY-heavy duplication.
+  static MachineProfile sdsc();
+};
+
+class LogGenerator {
+ public:
+  LogGenerator(MachineProfile profile, std::uint64_t seed);
+
+  /// Streams the raw log into `sink` and returns the ground-truth unique
+  /// events (time-ordered, categorized).
+  std::vector<bgl::Event> generate(RecordSink& sink) const;
+
+  /// Convenience: unique events only (no raw expansion) — fast path for
+  /// learner-level tests and benches that don't exercise preprocessing.
+  std::vector<bgl::Event> generate_unique_events() const;
+
+  const MachineProfile& profile() const { return profile_; }
+
+  /// The signature library in force at time t (test introspection).
+  const SignatureLibrary& library_at(TimeSec t) const;
+
+ private:
+  struct UniqueEvent {
+    bgl::Event event;
+    const Job* job = nullptr;  // owning workload model outlives use
+  };
+
+  std::vector<UniqueEvent> assemble_unique(const WorkloadModel& workload,
+                                           Rng& rng) const;
+
+  MachineProfile profile_;
+  std::uint64_t seed_;
+  /// Signature timeline: (start time, library in force from then on).
+  std::vector<std::pair<TimeSec, SignatureLibrary>> signature_timeline_;
+  /// Fault processes per era.
+  std::vector<FaultProcess> era_faults_;
+  /// Era boundaries: era i spans [era_starts_[i], era_starts_[i+1]).
+  std::vector<TimeSec> era_starts_;
+};
+
+}  // namespace dml::loggen

@@ -1,0 +1,80 @@
+#include "loggen/signatures.hpp"
+
+#include <algorithm>
+
+namespace dml::loggen {
+
+std::vector<CategoryId> SignatureLibrary::precursor_pool() {
+  // WARNING / SEVERE / ERROR categories make plausible precursors;
+  // INFO chatter does not.
+  std::vector<CategoryId> pool;
+  for (const auto& cat : bgl::taxonomy().categories()) {
+    if (cat.fatal || cat.nominally_fatal) continue;
+    if (cat.severity == Severity::kWarning ||
+        cat.severity == Severity::kSevere ||
+        cat.severity == Severity::kError) {
+      pool.push_back(cat.id);
+    }
+  }
+  return pool;
+}
+
+PrecursorSignature SignatureLibrary::draw_signature(CategoryId fatal,
+                                                    Rng& rng,
+                                                    const WeightedPool& pool) {
+  PrecursorSignature sig;
+  sig.fatal = fatal;
+  const std::size_t count =
+      std::min<std::size_t>(2 + rng.uniform_index(3),  // 2..4 precursors
+                            pool.categories.size());
+  while (sig.precursors.size() < count) {
+    const CategoryId pick =
+        pool.categories[rng.weighted_index(pool.weights)];
+    if (std::find(sig.precursors.begin(), sig.precursors.end(), pick) ==
+        sig.precursors.end()) {
+      sig.precursors.push_back(pick);
+    }
+  }
+  std::sort(sig.precursors.begin(), sig.precursors.end());
+  sig.emission_prob = rng.uniform(0.65, 0.95);
+  sig.max_lead = 60 + static_cast<DurationSec>(rng.uniform_index(180));
+  return sig;
+}
+
+SignatureLibrary SignatureLibrary::make(std::uint64_t seed, int era,
+                                        double coverage, WeightedPool pool) {
+  // Mix the era into the seed so each era's patterns are unrelated.
+  Rng rng(seed ^ ((0xA5A5ULL << 32) + static_cast<std::uint64_t>(era) *
+                                          0x9E3779B97F4A7C15ULL));
+  if (pool.empty()) {
+    pool.categories = precursor_pool();
+    pool.weights.assign(pool.categories.size(), 1.0);
+  }
+  const auto& fatals = bgl::taxonomy().fatal_ids();
+
+  SignatureLibrary lib;
+  lib.pool_ = std::move(pool);
+  for (CategoryId fatal : fatals) {
+    if (rng.bernoulli(coverage)) {
+      lib.signatures_.push_back(draw_signature(fatal, rng, lib.pool_));
+    }
+  }
+  return lib;
+}
+
+void SignatureLibrary::drift(Rng& rng, double fraction) {
+  for (auto& sig : signatures_) {
+    if (rng.bernoulli(fraction)) {
+      sig = draw_signature(sig.fatal, rng, pool_);
+    }
+  }
+}
+
+const PrecursorSignature* SignatureLibrary::find(CategoryId fatal) const {
+  for (const auto& sig : signatures_) {
+    if (sig.fatal == fatal) return &sig;
+  }
+  return nullptr;
+}
+
+}  // namespace dml::loggen

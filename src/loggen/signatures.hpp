@@ -1,0 +1,79 @@
+// Failure-signature library: the generator's hidden ground truth.
+//
+// Each signature couples a fatal category with a small set of non-fatal
+// precursor categories that (probabilistically) fire shortly before the
+// failure — the causal correlations the association-rule learner is
+// supposed to rediscover (paper §4.1, e.g. "networkWarningInterrupt,
+// networkError -> socketReadFailure").
+//
+// Only part of the fatal categories carry signatures, and signatures fire
+// with probability < 1, reproducing the paper's observation that "up to
+// 75% of fatal events are not preceded by any precursor non-fatal
+// events".  Signatures *drift* over time and are re-rolled wholesale at a
+// system reconfiguration, which is what makes the dynamic approach win.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bgl/taxonomy.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace dml::loggen {
+
+struct PrecursorSignature {
+  CategoryId fatal = kInvalidCategory;
+  /// 2-4 distinct non-fatal categories; all are emitted when the
+  /// signature fires.
+  std::vector<CategoryId> precursors;
+  /// Probability the precursors actually appear before an occurrence of
+  /// `fatal`.
+  double emission_prob = 0.7;
+  /// Precursors are placed uniformly in [t_fatal - max_lead, t_fatal).
+  DurationSec max_lead = 240;
+};
+
+/// Candidate precursor categories with sampling weights.  Machines draw
+/// precursors proportionally to how much each facility actually chatters
+/// (a silent facility has weight zero and never appears).
+struct WeightedPool {
+  std::vector<CategoryId> categories;
+  std::vector<double> weights;  // same length; non-negative
+
+  bool empty() const { return categories.empty(); }
+};
+
+class SignatureLibrary {
+ public:
+  /// Builds a library for one era.  `coverage` is the fraction of fatal
+  /// categories given a signature.  Construction is deterministic in
+  /// (seed, era): a reconfiguration bumps `era` and yields an unrelated
+  /// pattern set.  An empty `pool` selects the full precursor_pool()
+  /// with uniform weights.
+  static SignatureLibrary make(std::uint64_t seed, int era, double coverage,
+                               WeightedPool pool = {});
+
+  /// Replaces ~`fraction` of the signatures with freshly drawn ones —
+  /// the slow behavioural drift that erodes static rule sets.
+  void drift(Rng& rng, double fraction);
+
+  const std::vector<PrecursorSignature>& signatures() const {
+    return signatures_;
+  }
+
+  const PrecursorSignature* find(CategoryId fatal) const;
+
+  /// Non-fatal categories eligible as precursors (warning-ish severities).
+  static std::vector<CategoryId> precursor_pool();
+
+ private:
+  static PrecursorSignature draw_signature(CategoryId fatal, Rng& rng,
+                                           const WeightedPool& pool);
+
+  std::vector<PrecursorSignature> signatures_;
+  WeightedPool pool_;
+};
+
+}  // namespace dml::loggen

@@ -1,0 +1,91 @@
+#include "loggen/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dml::loggen {
+
+WorkloadModel::WorkloadModel(const bgl::MachineConfig& machine,
+                             const WorkloadParams& params, TimeSec begin,
+                             TimeSec end, Rng rng)
+    : machine_(machine),
+      node_cards_(enumerate_node_cards(machine)),
+      begin_(begin) {
+  JobId next_id = 1;
+  TimeSec t = begin;
+  const auto max_cards = std::max<std::size_t>(
+      1, static_cast<std::size_t>(params.max_machine_fraction *
+                                  static_cast<double>(node_cards_.size())));
+  while (true) {
+    t += static_cast<TimeSec>(
+        rng.exponential(static_cast<double>(params.mean_interarrival)));
+    if (t >= end) break;
+    Job job;
+    job.id = next_id++;
+    job.start = t;
+    const auto duration = static_cast<DurationSec>(
+        std::min(1e9, rng.lognormal(params.duration_mu,
+                                    params.duration_sigma)));
+    job.end = std::min<TimeSec>(end, t + std::max<DurationSec>(60, duration));
+    // Contiguous slice of node cards: sizes are powers of two from one
+    // card up to max_cards, mimicking partition allocation.
+    std::size_t size = 1;
+    const int doublings = static_cast<int>(rng.uniform_index(6));  // 1..32
+    for (int i = 0; i < doublings && size * 2 <= max_cards; ++i) size *= 2;
+    const std::size_t offset =
+        rng.uniform_index(node_cards_.size() - size + 1);
+    job.node_cards.assign(node_cards_.begin() + static_cast<std::ptrdiff_t>(offset),
+                          node_cards_.begin() + static_cast<std::ptrdiff_t>(offset + size));
+    jobs_.push_back(std::move(job));
+  }
+
+  // Day index -> active jobs.
+  const std::size_t num_days = static_cast<std::size_t>(
+      std::max<TimeSec>(1, (end - begin + kSecondsPerDay - 1) / kSecondsPerDay));
+  active_by_day_.resize(num_days);
+  for (std::uint32_t j = 0; j < jobs_.size(); ++j) {
+    const auto first_day =
+        static_cast<std::size_t>(day_index(jobs_[j].start, begin));
+    const auto last_day = static_cast<std::size_t>(
+        day_index(std::min(end - 1, jobs_[j].end), begin));
+    for (std::size_t d = first_day; d <= last_day && d < num_days; ++d) {
+      active_by_day_[d].push_back(j);
+    }
+  }
+}
+
+const Job* WorkloadModel::sample_active_job(TimeSec t, Rng& rng) const {
+  const auto day = day_index(t, begin_);
+  if (day < 0 || static_cast<std::size_t>(day) >= active_by_day_.size()) {
+    return nullptr;
+  }
+  const auto& candidates = active_by_day_[static_cast<std::size_t>(day)];
+  if (candidates.empty()) return nullptr;
+  // Rejection-sample a few times: the day bucket over-approximates
+  // "active at t".
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const Job& job = jobs_[candidates[rng.uniform_index(candidates.size())]];
+    if (job.active_at(t)) return &job;
+  }
+  return nullptr;
+}
+
+bgl::Location WorkloadModel::sample_chip(const Job& job, Rng& rng) const {
+  const bgl::Location card =
+      job.node_cards[rng.uniform_index(job.node_cards.size())];
+  const int compute_card = static_cast<int>(rng.uniform_index(16));
+  const int chip = static_cast<int>(rng.uniform_index(2));
+  return bgl::Location::compute_chip(card.rack(), card.midplane(), card.card(),
+                                     compute_card, chip);
+}
+
+bgl::Location WorkloadModel::sample_any_chip(Rng& rng) const {
+  const bgl::Location card =
+      node_cards_[rng.uniform_index(node_cards_.size())];
+  const int compute_card = static_cast<int>(rng.uniform_index(16));
+  const int chip = static_cast<int>(rng.uniform_index(2));
+  return bgl::Location::compute_chip(card.rack(), card.midplane(), card.card(),
+                                     compute_card, chip);
+}
+
+}  // namespace dml::loggen

@@ -1,0 +1,69 @@
+// Job/workload model: scientific-computing jobs arrive, occupy a
+// contiguous set of node cards, and run for a heavy-tailed duration.
+// Events carry the JOBID of the job running at the reporting location
+// (Table 1), and the duplication model fans a failure out across the
+// chips assigned to the job — "as each job is assigned to multiple
+// computer chips, any failure of the job will get reported multiple
+// places" (paper §3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bgl/location.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace dml::loggen {
+
+struct Job {
+  JobId id = kNoJob;
+  TimeSec start = 0;
+  TimeSec end = 0;
+  /// Node cards assigned to this job (contiguous slice of the machine).
+  std::vector<bgl::Location> node_cards;
+
+  bool active_at(TimeSec t) const { return t >= start && t < end; }
+};
+
+struct WorkloadParams {
+  /// Mean job inter-arrival time.
+  DurationSec mean_interarrival = 2 * kSecondsPerHour;
+  /// log-normal duration parameters (median exp(mu) seconds).
+  double duration_mu = 9.2;     // median ~2.7 h
+  double duration_sigma = 1.1;
+  /// Maximum fraction of the machine's node cards one job may take.
+  double max_machine_fraction = 0.5;
+};
+
+class WorkloadModel {
+ public:
+  /// Generates the full job schedule for [begin, end).
+  WorkloadModel(const bgl::MachineConfig& machine, const WorkloadParams& params,
+                TimeSec begin, TimeSec end, Rng rng);
+
+  const std::vector<Job>& jobs() const { return jobs_; }
+
+  /// A job active at time t, sampled uniformly among active jobs;
+  /// nullptr when the machine is idle at t.
+  const Job* sample_active_job(TimeSec t, Rng& rng) const;
+
+  /// A uniformly random compute chip within the job's partition.
+  bgl::Location sample_chip(const Job& job, Rng& rng) const;
+
+  /// A uniformly random compute chip anywhere in the machine (events not
+  /// attributable to a job).
+  bgl::Location sample_any_chip(Rng& rng) const;
+
+  const bgl::MachineConfig& machine() const { return machine_; }
+
+ private:
+  bgl::MachineConfig machine_;
+  std::vector<bgl::Location> node_cards_;  // whole machine, in order
+  std::vector<Job> jobs_;                  // sorted by start time
+  TimeSec begin_ = 0;
+  /// jobs active during each day, for O(1) sampling.
+  std::vector<std::vector<std::uint32_t>> active_by_day_;
+};
+
+}  // namespace dml::loggen

@@ -1,0 +1,57 @@
+#include "logio/event_store.hpp"
+
+#include <algorithm>
+
+namespace dml::logio {
+
+EventStore::EventStore(std::vector<bgl::Event> events)
+    : events_(std::move(events)) {
+  std::sort(events_.begin(), events_.end(), bgl::EventTimeOrder{});
+  for (const auto& e : events_) {
+    if (e.fatal) fatal_times_.push_back(e.time);
+  }
+}
+
+std::span<const bgl::Event> EventStore::between(TimeSec begin,
+                                                TimeSec end) const {
+  const auto lo = std::lower_bound(
+      events_.begin(), events_.end(), begin,
+      [](const bgl::Event& e, TimeSec t) { return e.time < t; });
+  const auto hi = std::lower_bound(
+      lo, events_.end(), end,
+      [](const bgl::Event& e, TimeSec t) { return e.time < t; });
+  return {events_.data() + (lo - events_.begin()),
+          static_cast<std::size_t>(hi - lo)};
+}
+
+TimeSec EventStore::first_time() const {
+  return events_.empty() ? 0 : events_.front().time;
+}
+
+TimeSec EventStore::last_time() const {
+  return events_.empty() ? 0 : events_.back().time;
+}
+
+std::size_t EventStore::fatal_count_between(TimeSec begin, TimeSec end) const {
+  const auto lo =
+      std::lower_bound(fatal_times_.begin(), fatal_times_.end(), begin);
+  const auto hi = std::lower_bound(lo, fatal_times_.end(), end);
+  return static_cast<std::size_t>(hi - lo);
+}
+
+std::vector<std::size_t> EventStore::fatal_per_day(TimeSec origin,
+                                                   TimeSec end_time) const {
+  std::vector<std::size_t> counts;
+  if (end_time <= origin) return counts;
+  counts.assign(
+      static_cast<std::size_t>((end_time - origin + kSecondsPerDay - 1) /
+                               kSecondsPerDay),
+      0);
+  for (TimeSec t : fatal_times_) {
+    if (t < origin || t >= end_time) continue;
+    ++counts[static_cast<std::size_t>(day_index(t, origin))];
+  }
+  return counts;
+}
+
+}  // namespace dml::logio

@@ -1,0 +1,48 @@
+// In-memory, time-ordered store of categorized events — the substrate the
+// learners, predictor, and online driver query.  Events are immutable
+// once loaded; all queries are binary searches over the time axis.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "bgl/record.hpp"
+
+namespace dml::logio {
+
+class EventStore {
+ public:
+  EventStore() = default;
+
+  /// Takes ownership of events; sorts them into canonical time order.
+  explicit EventStore(std::vector<bgl::Event> events);
+
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+
+  std::span<const bgl::Event> all() const { return events_; }
+
+  /// Events with time in [begin, end), as a contiguous view.
+  std::span<const bgl::Event> between(TimeSec begin, TimeSec end) const;
+
+  /// Timestamp bounds; both 0 when empty.
+  TimeSec first_time() const;
+  TimeSec last_time() const;
+
+  /// Timestamps of fatal events (cached, ascending).
+  const std::vector<TimeSec>& fatal_times() const { return fatal_times_; }
+
+  /// Number of fatal events in [begin, end).
+  std::size_t fatal_count_between(TimeSec begin, TimeSec end) const;
+
+  /// Fatal events per day relative to `origin` covering [origin, end_time)
+  /// — the Figure 4 series.
+  std::vector<std::size_t> fatal_per_day(TimeSec origin,
+                                         TimeSec end_time) const;
+
+ private:
+  std::vector<bgl::Event> events_;
+  std::vector<TimeSec> fatal_times_;
+};
+
+}  // namespace dml::logio

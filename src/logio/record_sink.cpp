@@ -1,0 +1,22 @@
+#include "logio/record_sink.hpp"
+
+#include "logio/text_format.hpp"
+
+namespace dml::logio {
+
+void CountingSink::consume(const bgl::RasRecord& record) {
+  ++total_;
+  bytes_ += serialized_size(record);
+  ++per_facility_[static_cast<std::size_t>(record.facility)];
+}
+
+StreamSink::StreamSink(std::ostream& out, std::string_view machine)
+    : out_(out) {
+  out_ << "# BGL-RAS-LOG v1 machine=" << machine << '\n';
+}
+
+void StreamSink::consume(const bgl::RasRecord& record) {
+  out_ << record_to_line(record) << '\n';
+}
+
+}  // namespace dml::logio

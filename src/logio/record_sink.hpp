@@ -1,0 +1,76 @@
+// Sink interfaces for streaming raw-record pipelines.  The generator
+// produces records in time order; sinks consume them without the caller
+// ever materialising multi-gigabyte logs in memory.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "bgl/record.hpp"
+
+namespace dml::logio {
+
+/// Consumer of a raw record stream (records arrive in non-decreasing
+/// event_time order with sequential record ids).
+class RecordSink {
+ public:
+  virtual ~RecordSink() = default;
+  virtual void consume(const bgl::RasRecord& record) = 0;
+};
+
+/// Collects everything (tests; small logs only).
+class VectorSink final : public RecordSink {
+ public:
+  void consume(const bgl::RasRecord& record) override {
+    records_.push_back(record);
+  }
+  const std::vector<bgl::RasRecord>& records() const { return records_; }
+  std::vector<bgl::RasRecord> take() { return std::move(records_); }
+
+ private:
+  std::vector<bgl::RasRecord> records_;
+};
+
+/// Counts records and serialized bytes per facility (Table 2 and the
+/// raw column of Table 4).
+class CountingSink final : public RecordSink {
+ public:
+  void consume(const bgl::RasRecord& record) override;
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t bytes() const { return bytes_; }
+  std::uint64_t per_facility(bgl::Facility f) const {
+    return per_facility_[static_cast<std::size_t>(f)];
+  }
+
+ private:
+  std::uint64_t total_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::array<std::uint64_t, bgl::kNumFacilities> per_facility_{};
+};
+
+/// Serializes records to a text-format stream (header written up front).
+class StreamSink final : public RecordSink {
+ public:
+  StreamSink(std::ostream& out, std::string_view machine);
+  void consume(const bgl::RasRecord& record) override;
+
+ private:
+  std::ostream& out_;
+};
+
+/// Fans one stream out to several sinks.
+class TeeSink final : public RecordSink {
+ public:
+  explicit TeeSink(std::vector<RecordSink*> sinks) : sinks_(std::move(sinks)) {}
+  void consume(const bgl::RasRecord& record) override {
+    for (RecordSink* sink : sinks_) sink->consume(record);
+  }
+
+ private:
+  std::vector<RecordSink*> sinks_;
+};
+
+}  // namespace dml::logio

@@ -1,0 +1,141 @@
+#include "logio/text_format.hpp"
+
+#include <array>
+#include <charconv>
+#include <stdexcept>
+
+#include "common/civil_time.hpp"
+#include "common/string_util.hpp"
+
+namespace dml::logio {
+namespace {
+
+constexpr std::string_view kHeaderPrefix = "# BGL-RAS-LOG v1 machine=";
+
+template <typename T>
+std::optional<T> parse_number(std::string_view s) {
+  T value{};
+  const auto* first = s.data();
+  const auto* last = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+std::string record_to_line(const bgl::RasRecord& r) {
+  std::string line;
+  line.reserve(96 + r.entry_data.size());
+  line += std::to_string(r.record_id);
+  line += '|';
+  line += to_string(r.event_type);
+  line += '|';
+  line += format_timestamp(r.event_time);
+  line += '|';
+  line += std::to_string(r.job_id);
+  line += '|';
+  line += r.location.to_string();
+  line += '|';
+  line += to_string(r.facility);
+  line += '|';
+  line += to_string(r.severity);
+  line += '|';
+  line += r.entry_data;
+  return line;
+}
+
+std::optional<bgl::RasRecord> parse_line(std::string_view line) {
+  // Split into at most 8 fields; ENTRY_DATA keeps any further pipes.
+  std::array<std::string_view, 8> fields;
+  std::size_t start = 0;
+  for (int i = 0; i < 7; ++i) {
+    const std::size_t pos = line.find('|', start);
+    if (pos == std::string_view::npos) return std::nullopt;
+    fields[static_cast<std::size_t>(i)] = line.substr(start, pos - start);
+    start = pos + 1;
+  }
+  fields[7] = line.substr(start);
+
+  const auto record_id = parse_number<RecordId>(fields[0]);
+  const auto event_type = bgl::event_type_from_string(fields[1]);
+  const auto event_time = parse_timestamp(fields[2]);
+  const auto job_id = parse_number<JobId>(fields[3]);
+  const auto location = bgl::Location::parse(fields[4]);
+  const auto facility = bgl::facility_from_string(fields[5]);
+  const auto severity = severity_from_string(fields[6]);
+  if (!record_id || !event_type || !event_time || !job_id || !location ||
+      !facility || !severity) {
+    return std::nullopt;
+  }
+
+  bgl::RasRecord r;
+  r.record_id = *record_id;
+  r.event_type = *event_type;
+  r.event_time = *event_time;
+  r.job_id = *job_id;
+  r.location = *location;
+  r.facility = *facility;
+  r.severity = *severity;
+  r.entry_data = std::string(fields[7]);
+  return r;
+}
+
+void write_log(std::ostream& out, std::string_view machine,
+               const std::vector<bgl::RasRecord>& records) {
+  out << kHeaderPrefix << machine << '\n';
+  for (const auto& r : records) {
+    out << record_to_line(r) << '\n';
+  }
+}
+
+LogFile read_log(std::istream& in) {
+  RecordReader reader(in);
+  LogFile log;
+  log.machine = reader.machine();
+  while (auto record = reader.next()) {
+    log.records.push_back(std::move(*record));
+  }
+  return log;
+}
+
+RecordReader::RecordReader(std::istream& in) : in_(in) {
+  std::string line;
+  if (std::getline(in_, line)) {
+    ++line_number_;
+    if (starts_with(line, kHeaderPrefix)) {
+      machine_ = line.substr(kHeaderPrefix.size());
+    } else {
+      throw std::runtime_error("RAS log: missing header line");
+    }
+  }
+}
+
+std::optional<bgl::RasRecord> RecordReader::next() {
+  std::string line;
+  while (std::getline(in_, line)) {
+    ++line_number_;
+    const std::string_view view = trim(line);
+    if (view.empty() || view.front() == '#') continue;
+    auto record = parse_line(view);
+    if (!record) {
+      throw std::runtime_error("RAS log: malformed record at line " +
+                               std::to_string(line_number_));
+    }
+    return record;
+  }
+  return std::nullopt;
+}
+
+std::size_t serialized_size(const bgl::RasRecord& record) {
+  // RECID digits + fixed-ish fields + entry data + delimiters + newline.
+  return std::to_string(record.record_id).size() + 19 /*timestamp*/ +
+         to_string(record.event_type).size() +
+         std::to_string(record.job_id).size() +
+         record.location.to_string().size() +
+         to_string(record.facility).size() +
+         to_string(record.severity).size() + record.entry_data.size() +
+         8;  // 7 pipes + '\n'
+}
+
+}  // namespace dml::logio

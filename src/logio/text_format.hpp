@@ -1,0 +1,64 @@
+// Plain-text serialization of RAS logs.
+//
+// The production systems archive events in a DB2 repository (paper §2.1);
+// downstream analysis consumes flat per-record extracts.  We use a
+// pipe-delimited line format mirroring Table 1's attribute order:
+//
+//   RECID|EVENT_TYPE|TIMESTAMP|JOBID|LOCATION|FACILITY|SEVERITY|ENTRY_DATA
+//
+// with a single header line `# BGL-RAS-LOG v1 machine=<name>`.
+// ENTRY_DATA is the final field and is taken verbatim to end-of-line.
+#pragma once
+
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bgl/record.hpp"
+
+namespace dml::logio {
+
+std::string record_to_line(const bgl::RasRecord& record);
+
+/// Parses one data line; nullopt on malformed input.
+std::optional<bgl::RasRecord> parse_line(std::string_view line);
+
+struct LogFile {
+  std::string machine;
+  std::vector<bgl::RasRecord> records;
+};
+
+void write_log(std::ostream& out, std::string_view machine,
+               const std::vector<bgl::RasRecord>& records);
+
+/// Reads a full log; throws std::runtime_error on a malformed header or
+/// record line (with the line number).
+LogFile read_log(std::istream& in);
+
+/// Incremental reader for streaming consumption (online prediction).
+class RecordReader {
+ public:
+  explicit RecordReader(std::istream& in);
+
+  const std::string& machine() const { return machine_; }
+
+  /// Next record, or nullopt at end of stream.  Throws on malformed
+  /// lines.  Blank lines and '#' comment lines are skipped.
+  std::optional<bgl::RasRecord> next();
+
+  std::size_t line_number() const { return line_number_; }
+
+ private:
+  std::istream& in_;
+  std::string machine_;
+  std::size_t line_number_ = 0;
+};
+
+/// Approximate serialized size in bytes of a record (for Table 2's
+/// log-size column) without materialising the string.
+std::size_t serialized_size(const bgl::RasRecord& record);
+
+}  // namespace dml::logio

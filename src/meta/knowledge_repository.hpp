@@ -1,0 +1,65 @@
+// The knowledge repository (paper Figure 1): the set of learned failure-
+// pattern rules in force, "subjected to modifications made by the
+// reviser at runtime", plus the churn accounting behind Figure 12.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "learners/rule.hpp"
+#include "stats/metrics.hpp"
+
+namespace dml::meta {
+
+struct StoredRule {
+  std::uint64_t id = 0;
+  learners::Rule rule;
+  /// Per-rule counts measured on the training data by the reviser.
+  stats::ConfusionCounts training_counts;
+  /// sqrt(m1^2 + m2^2) from Algorithm 1; 0 until revised.
+  double roc = 0.0;
+};
+
+class KnowledgeRepository {
+ public:
+  std::uint64_t add(learners::Rule rule);
+
+  /// Removes by id; returns false if absent.
+  bool remove(std::uint64_t id);
+
+  const std::vector<StoredRule>& rules() const { return rules_; }
+  std::size_t size() const { return rules_.size(); }
+  bool empty() const { return rules_.empty(); }
+
+  StoredRule* find(std::uint64_t id);
+  const StoredRule* find(std::uint64_t id) const;
+
+  std::size_t count_by_source(learners::RuleSource source) const;
+
+  /// Rule-churn between consecutive retrainings (Figure 12), matching by
+  /// rule identity: rules present in both are "unchanged", present only
+  /// in `after` are "added", only in `before` are "removed".
+  struct Churn {
+    std::size_t unchanged = 0;
+    std::size_t added = 0;
+    std::size_t removed = 0;
+
+    double change_rate() const {
+      return unchanged == 0
+                 ? 0.0
+                 : static_cast<double>(added + removed) /
+                       static_cast<double>(unchanged);
+    }
+  };
+  static Churn diff(const KnowledgeRepository& before,
+                    const KnowledgeRepository& after);
+
+ private:
+  std::vector<StoredRule> rules_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace dml::meta

@@ -1,0 +1,117 @@
+#include "meta/meta_learner.hpp"
+
+#include <chrono>
+#include <future>
+
+#include "common/thread_pool.hpp"
+
+namespace dml::meta {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+MetaLearner::MetaLearner(MetaLearnerConfig config)
+    : config_(config),
+      association_(config.association),
+      statistical_(config.statistical),
+      distribution_(config.distribution),
+      decision_tree_(config.decision_tree),
+      neural_net_(config.neural_net) {}
+
+KnowledgeRepository MetaLearner::learn(std::span<const bgl::Event> training,
+                                       DurationSec window,
+                                       TrainTimes* times) const {
+  using Clock = std::chrono::steady_clock;
+
+  auto run_learner = [&](const learners::BaseLearner& learner,
+                         double* seconds) {
+    const auto start = Clock::now();
+    auto rules = learner.learn(training, window);
+    if (seconds != nullptr) *seconds = seconds_since(start);
+    return rules;
+  };
+
+  TrainTimes local;
+  std::vector<learners::Rule> association_rules;
+  std::vector<learners::Rule> statistical_rules;
+  std::vector<learners::Rule> distribution_rules;
+  std::vector<learners::Rule> tree_rules;
+  std::vector<learners::Rule> net_rules;
+
+  if (config_.parallel_training && ThreadPool::shared().size() > 1) {
+    // Statistical, distribution, and tree learning go to the pool;
+    // association mining (the expensive stage) runs on the calling
+    // thread.
+    std::future<std::vector<learners::Rule>> stat_future;
+    std::future<std::vector<learners::Rule>> dist_future;
+    std::future<std::vector<learners::Rule>> tree_future;
+    std::future<std::vector<learners::Rule>> net_future;
+    if (config_.enable_statistical) {
+      stat_future = ThreadPool::shared().submit([&] {
+        return run_learner(statistical_, &local.statistical_seconds);
+      });
+    }
+    if (config_.enable_distribution) {
+      dist_future = ThreadPool::shared().submit([&] {
+        return run_learner(distribution_, &local.distribution_seconds);
+      });
+    }
+    if (config_.enable_decision_tree) {
+      tree_future = ThreadPool::shared().submit([&] {
+        return run_learner(decision_tree_, &local.decision_tree_seconds);
+      });
+    }
+    if (config_.enable_neural_net) {
+      net_future = ThreadPool::shared().submit([&] {
+        return run_learner(neural_net_, &local.neural_net_seconds);
+      });
+    }
+    if (config_.enable_association) {
+      association_rules = run_learner(association_, &local.association_seconds);
+    }
+    if (stat_future.valid()) statistical_rules = stat_future.get();
+    if (dist_future.valid()) distribution_rules = dist_future.get();
+    if (tree_future.valid()) tree_rules = tree_future.get();
+    if (net_future.valid()) net_rules = net_future.get();
+  } else {
+    if (config_.enable_association) {
+      association_rules = run_learner(association_, &local.association_seconds);
+    }
+    if (config_.enable_statistical) {
+      statistical_rules = run_learner(statistical_, &local.statistical_seconds);
+    }
+    if (config_.enable_distribution) {
+      distribution_rules =
+          run_learner(distribution_, &local.distribution_seconds);
+    }
+    if (config_.enable_decision_tree) {
+      tree_rules = run_learner(decision_tree_, &local.decision_tree_seconds);
+    }
+    if (config_.enable_neural_net) {
+      net_rules = run_learner(neural_net_, &local.neural_net_seconds);
+    }
+  }
+
+  const auto ensemble_start = Clock::now();
+  KnowledgeRepository repository;
+  // Insertion order encodes the mixture-of-experts precedence:
+  // association, then statistical, then decision tree, then probability
+  // distribution as the fallback expert.
+  for (auto& rule : association_rules) repository.add(std::move(rule));
+  for (auto& rule : statistical_rules) repository.add(std::move(rule));
+  for (auto& rule : tree_rules) repository.add(std::move(rule));
+  for (auto& rule : net_rules) repository.add(std::move(rule));
+  for (auto& rule : distribution_rules) repository.add(std::move(rule));
+  local.ensemble_seconds = seconds_since(ensemble_start);
+
+  if (times != nullptr) *times = local;
+  return repository;
+}
+
+}  // namespace dml::meta

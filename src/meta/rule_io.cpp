@@ -1,0 +1,237 @@
+#include "meta/rule_io.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "common/string_util.hpp"
+
+namespace dml::meta {
+namespace {
+
+constexpr std::string_view kHeader = "# DML-RULES v1";
+
+std::optional<double> parse_double(std::string_view s) {
+  // std::from_chars<double> support is spotty pre-GCC11 for some modes;
+  // strtod via a bounded copy keeps this portable.
+  char buf[64];
+  if (s.size() >= sizeof(buf)) return std::nullopt;
+  std::memcpy(buf, s.data(), s.size());
+  buf[s.size()] = '\0';
+  char* end = nullptr;
+  const double value = std::strtod(buf, &end);
+  if (end != buf + s.size()) return std::nullopt;
+  return value;
+}
+
+std::optional<std::int64_t> parse_int(std::string_view s) {
+  std::int64_t value = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return value;
+}
+
+std::string format_double(double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  return buf;
+}
+
+std::optional<learners::Rule> parse_association(
+    const std::vector<std::string_view>& fields,
+    const bgl::Taxonomy& taxonomy) {
+  if (fields.size() != 5) return std::nullopt;
+  const auto confidence = parse_double(fields[1]);
+  const auto support = parse_double(fields[2]);
+  const auto consequent = taxonomy.find_by_name(fields[3]);
+  if (!confidence || !support || !consequent) return std::nullopt;
+
+  learners::AssociationRule rule;
+  rule.confidence = *confidence;
+  rule.support = *support;
+  rule.consequent = *consequent;
+  for (std::string_view name : split(fields[4], ',')) {
+    const auto id = taxonomy.find_by_name(name);
+    if (!id) return std::nullopt;
+    rule.antecedent.push_back(*id);
+  }
+  if (rule.antecedent.empty()) return std::nullopt;
+  std::sort(rule.antecedent.begin(), rule.antecedent.end());
+  return learners::Rule{learners::Rule::Body(std::move(rule))};
+}
+
+std::optional<learners::Rule> parse_statistical(
+    const std::vector<std::string_view>& fields) {
+  if (fields.size() != 3) return std::nullopt;
+  const auto k = parse_int(fields[1]);
+  const auto probability = parse_double(fields[2]);
+  if (!k || *k < 1 || !probability) return std::nullopt;
+  return learners::Rule{learners::Rule::Body(
+      learners::StatisticalRule{static_cast<int>(*k), *probability})};
+}
+
+// GCC 12's -Wmaybe-uninitialized false-positives on copying a variant
+// whose active alternative is smaller than the storage (the Exponential
+// arm of LifetimeModel); the tail bytes it flags are never read.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+std::optional<learners::Rule> parse_distribution(
+    const std::vector<std::string_view>& fields) {
+  if (fields.size() != 6) return std::nullopt;
+  const auto p1 = parse_double(fields[2]);
+  const auto p2 = parse_double(fields[3]);
+  const auto threshold = parse_double(fields[4]);
+  const auto trigger = parse_int(fields[5]);
+  if (!p1 || !p2 || !threshold || !trigger) return std::nullopt;
+
+  learners::DistributionRule rule;
+  if (fields[1] == "weibull") {
+    rule.model = stats::LifetimeModel{
+        stats::LifetimeModel::Variant(stats::Weibull{*p1, *p2})};
+  } else if (fields[1] == "exponential") {
+    rule.model = stats::LifetimeModel{
+        stats::LifetimeModel::Variant(stats::Exponential{*p1})};
+  } else if (fields[1] == "lognormal") {
+    rule.model = stats::LifetimeModel{
+        stats::LifetimeModel::Variant(stats::LogNormal{*p1, *p2})};
+  } else {
+    return std::nullopt;
+  }
+  rule.cdf_threshold = *threshold;
+  rule.elapsed_trigger = *trigger;
+  return learners::Rule{learners::Rule::Body(std::move(rule))};
+}
+#pragma GCC diagnostic pop
+
+std::optional<learners::Rule> parse_decision_tree(
+    const std::vector<std::string_view>& fields) {
+  if (fields.size() != 3) return std::nullopt;
+  const auto threshold = parse_double(fields[1]);
+  auto tree = learners::DecisionTree::deserialize(fields[2]);
+  if (!threshold || !tree) return std::nullopt;
+  learners::DecisionTreeRule rule;
+  rule.tree = std::move(*tree);
+  rule.probability_threshold = *threshold;
+  return learners::Rule{learners::Rule::Body(std::move(rule))};
+}
+
+std::optional<learners::Rule> parse_neural_net(
+    const std::vector<std::string_view>& fields) {
+  if (fields.size() != 3) return std::nullopt;
+  const auto threshold = parse_double(fields[1]);
+  auto net = learners::NeuralNet::deserialize(fields[2]);
+  if (!threshold || !net) return std::nullopt;
+  learners::NeuralNetRule rule;
+  rule.net = std::move(*net);
+  rule.probability_threshold = *threshold;
+  return learners::Rule{learners::Rule::Body(std::move(rule))};
+}
+
+}  // namespace
+
+std::string rule_to_line(const learners::Rule& rule,
+                         const bgl::Taxonomy& taxonomy) {
+  struct Visitor {
+    const bgl::Taxonomy& tax;
+
+    std::string operator()(const learners::AssociationRule& r) const {
+      std::string line = "AR|" + format_double(r.confidence) + '|' +
+                         format_double(r.support) + '|' +
+                         tax.category(r.consequent).name + '|';
+      for (std::size_t i = 0; i < r.antecedent.size(); ++i) {
+        if (i != 0) line += ',';
+        line += tax.category(r.antecedent[i]).name;
+      }
+      return line;
+    }
+    std::string operator()(const learners::StatisticalRule& r) const {
+      return "SR|" + std::to_string(r.k) + '|' + format_double(r.probability);
+    }
+    std::string operator()(const learners::DistributionRule& r) const {
+      double p1 = 0.0, p2 = 0.0;
+      struct Params {
+        double& p1;
+        double& p2;
+        void operator()(const stats::Weibull& w) const {
+          p1 = w.shape;
+          p2 = w.scale;
+        }
+        void operator()(const stats::Exponential& e) const {
+          p1 = e.rate;
+          p2 = 0.0;
+        }
+        void operator()(const stats::LogNormal& l) const {
+          p1 = l.mu;
+          p2 = l.sigma;
+        }
+      };
+      std::visit(Params{p1, p2}, r.model.variant());
+      return "PD|" + std::string(r.model.family_name()) + '|' +
+             format_double(p1) + '|' + format_double(p2) + '|' +
+             format_double(r.cdf_threshold) + '|' +
+             std::to_string(r.elapsed_trigger);
+    }
+    std::string operator()(const learners::DecisionTreeRule& r) const {
+      return "DT|" + format_double(r.probability_threshold) + '|' +
+             r.tree.serialize();
+    }
+    std::string operator()(const learners::NeuralNetRule& r) const {
+      return "NN|" + format_double(r.probability_threshold) + '|' +
+             r.net.serialize();
+    }
+  };
+  return std::visit(Visitor{taxonomy}, rule.body());
+}
+
+std::optional<learners::Rule> rule_from_line(std::string_view line,
+                                             const bgl::Taxonomy& taxonomy) {
+  const auto fields = split(line, '|');
+  if (fields.empty()) return std::nullopt;
+  if (fields[0] == "AR") return parse_association(fields, taxonomy);
+  if (fields[0] == "SR") return parse_statistical(fields);
+  if (fields[0] == "PD") return parse_distribution(fields);
+  if (fields[0] == "DT") return parse_decision_tree(fields);
+  if (fields[0] == "NN") return parse_neural_net(fields);
+  return std::nullopt;
+}
+
+void write_rules(std::ostream& out, const KnowledgeRepository& repository,
+                 const bgl::Taxonomy& taxonomy) {
+  out << kHeader << '\n';
+  for (const auto& stored : repository.rules()) {
+    out << rule_to_line(stored.rule, taxonomy) << '\n';
+  }
+}
+
+KnowledgeRepository read_rules(std::istream& in,
+                               const bgl::Taxonomy& taxonomy) {
+  KnowledgeRepository repository;
+  std::string line;
+  std::size_t line_number = 0;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string_view view = trim(line);
+    if (view.empty()) continue;
+    if (view.front() == '#') {
+      if (view == kHeader) saw_header = true;
+      continue;
+    }
+    if (!saw_header) {
+      throw std::runtime_error("rules file: missing '# DML-RULES v1' header");
+    }
+    auto rule = rule_from_line(view, taxonomy);
+    if (!rule) {
+      throw std::runtime_error("rules file: malformed rule at line " +
+                               std::to_string(line_number));
+    }
+    repository.add(std::move(*rule));
+  }
+  return repository;
+}
+
+}  // namespace dml::meta

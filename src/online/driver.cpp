@@ -1,0 +1,195 @@
+#include "online/driver.hpp"
+
+#include <chrono>
+
+namespace dml::online {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Scores one candidate window by F1 on a validation slice: rules are
+/// learned on `fit`, revised, and replayed over `validation`.
+double score_window(const meta::MetaLearner& learner,
+                    const DriverConfig& config,
+                    std::span<const bgl::Event> fit,
+                    std::span<const bgl::Event> validation,
+                    DurationSec window) {
+  auto repository = learner.learn(fit, window);
+  if (config.use_reviser) {
+    predict::revise(repository, fit, window, config.reviser);
+  }
+  predict::Predictor predictor(repository, window, config.predictor);
+  const auto warnings = predictor.run(validation, window);
+  const auto evaluation =
+      predict::evaluate_predictions(validation, warnings, window);
+  return stats::f1_score(evaluation.overall);
+}
+
+/// Picks the best window on the training span's held-out tail; falls
+/// back to `current` when the validation slice is too thin to rank.
+DurationSec choose_window(const meta::MetaLearner& learner,
+                          const DriverConfig& config,
+                          std::span<const bgl::Event> training,
+                          DurationSec current) {
+  if (training.size() < 100 || config.window_candidates.empty()) {
+    return current;
+  }
+  const auto split = static_cast<std::size_t>(
+      static_cast<double>(training.size()) *
+      (1.0 - config.validation_fraction));
+  const auto fit = training.subspan(0, split);
+  const auto validation = training.subspan(split);
+  std::size_t validation_fatals = 0;
+  for (const auto& e : validation) validation_fatals += e.fatal ? 1 : 0;
+  if (validation_fatals < 10) return current;
+
+  DurationSec best = current;
+  double best_score = -1.0;
+  for (DurationSec candidate : config.window_candidates) {
+    const double score =
+        score_window(learner, config, fit, validation, candidate);
+    if (score > best_score) {
+      best_score = score;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::string_view to_string(TrainingMode mode) {
+  switch (mode) {
+    case TrainingMode::kStatic: return "static";
+    case TrainingMode::kSlidingWindow: return "sliding";
+    case TrainingMode::kWholeHistory: return "whole";
+  }
+  return "unknown";
+}
+
+stats::ConfusionCounts DriverResult::total_counts() const {
+  stats::ConfusionCounts total;
+  for (const auto& interval : intervals) total += interval.counts;
+  return total;
+}
+
+std::array<stats::ConfusionCounts, learners::kNumRuleSources> DriverResult::total_per_source() const {
+  std::array<stats::ConfusionCounts, learners::kNumRuleSources> total{};
+  for (const auto& interval : intervals) {
+    for (std::size_t s = 0; s < learners::kNumRuleSources; ++s) total[s] += interval.per_source[s];
+  }
+  return total;
+}
+
+double DriverResult::overall_precision() const {
+  return stats::precision(total_counts());
+}
+
+double DriverResult::overall_recall() const {
+  return stats::recall(total_counts());
+}
+
+DynamicDriver::DynamicDriver(DriverConfig config) : config_(config) {}
+
+DriverResult DynamicDriver::run(const logio::EventStore& store) const {
+  using Clock = std::chrono::steady_clock;
+  DriverResult result;
+  if (store.empty()) return result;
+
+  const TimeSec origin = store.first_time();
+  const TimeSec log_end = store.last_time();
+  const DurationSec retrain_span =
+      static_cast<DurationSec>(config_.retrain_weeks) * kSecondsPerWeek;
+  const DurationSec initial_span =
+      static_cast<DurationSec>(config_.training_weeks) * kSecondsPerWeek;
+
+  const meta::MetaLearner learner(config_.learner);
+  meta::KnowledgeRepository repository;
+  meta::KnowledgeRepository previous;
+  bool trained_once = false;
+  DurationSec window = config_.prediction_window;
+
+  int index = 0;
+  for (TimeSec test_begin = origin + initial_span; test_begin < log_end;
+       test_begin += retrain_span, ++index) {
+    const TimeSec test_end = std::min<TimeSec>(test_begin + retrain_span,
+                                               log_end + 1);
+    IntervalResult interval;
+    interval.index = index;
+    interval.week = static_cast<int>(week_index(test_begin, origin));
+    interval.test_begin = test_begin;
+    interval.test_end = test_end;
+
+    const bool retrain = !trained_once || config_.mode != TrainingMode::kStatic;
+    if (retrain) {
+      TimeSec train_begin = origin;
+      TimeSec train_end = test_begin;
+      switch (config_.mode) {
+        case TrainingMode::kStatic:
+          train_end = origin + initial_span;
+          break;
+        case TrainingMode::kSlidingWindow:
+          train_begin = std::max<TimeSec>(origin, test_begin - initial_span);
+          break;
+        case TrainingMode::kWholeHistory:
+          break;
+      }
+      const auto training = store.between(train_begin, train_end);
+
+      if (config_.adaptive_window) {
+        window = choose_window(learner, config_, training, window);
+      }
+
+      previous = std::move(repository);
+      repository = learner.learn(training, window, &interval.train_times);
+      interval.rules_from_meta = repository.size();
+      interval.churn_meta =
+          meta::KnowledgeRepository::diff(previous, repository);
+      if (config_.use_reviser) {
+        const auto revise_start = Clock::now();
+        const auto report =
+            predict::revise(repository, training, window, config_.reviser);
+        interval.revise_seconds = seconds_since(revise_start);
+        interval.rules_removed_by_reviser = report.removed;
+      }
+      interval.churn = meta::KnowledgeRepository::diff(previous, repository);
+      trained_once = true;
+    } else {
+      interval.rules_from_meta = repository.size();
+      // Static mode after the first interval: repository unchanged.
+      interval.churn.unchanged = repository.size();
+    }
+    interval.rules_active = repository.size();
+    interval.window_used = window;
+
+    // Predict over the test interval.  The predictor warms up on the
+    // trailing Wp of history so window state is correct at test_begin;
+    // warnings from the warm-up are discarded.
+    const auto predict_start = Clock::now();
+    predict::Predictor predictor(repository, window, config_.predictor);
+    for (const auto& event : store.between(test_begin - window, test_begin)) {
+      predictor.observe(event);
+    }
+    const auto test_events = store.between(test_begin, test_end);
+    const DurationSec tick =
+        config_.adaptive_window ? window : config_.clock_tick;
+    const auto warnings = predictor.run(test_events, tick);
+    interval.predict_seconds = seconds_since(predict_start);
+
+    const auto evaluation =
+        predict::evaluate_predictions(test_events, warnings, window);
+    interval.counts = evaluation.overall;
+    interval.per_source = evaluation.per_source;
+    interval.fatal_count = evaluation.total_fatals;
+    interval.warning_count = evaluation.total_warnings;
+
+    result.intervals.push_back(std::move(interval));
+  }
+  return result;
+}
+
+}  // namespace dml::online

@@ -1,0 +1,121 @@
+// The dynamic meta-learning driver (paper §4, Figure 3): every Wr weeks
+// (the retraining window) the meta-learner and reviser are re-invoked on
+// the current training set; the resulting knowledge repository serves
+// the event-driven predictor until the next retraining.  The training
+// set is either the whole history (dynamic-whole), a sliding recent
+// window (dynamic-6mo / dynamic-3mo), or frozen at the initial span
+// (static) — the four regimes of Figure 9.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "logio/event_store.hpp"
+#include "meta/meta_learner.hpp"
+#include "predict/outcome_matcher.hpp"
+#include "predict/predictor.hpp"
+#include "predict/reviser.hpp"
+
+namespace dml::online {
+
+enum class TrainingMode {
+  /// Train once on the initial span; never retrain.
+  kStatic,
+  /// Retrain every Wr weeks on the most recent `training_weeks` weeks.
+  kSlidingWindow,
+  /// Retrain every Wr weeks on all history since the log began.
+  kWholeHistory,
+};
+
+std::string_view to_string(TrainingMode mode);
+
+struct DriverConfig {
+  /// Wp: prediction window == rule-generation window (default 300 s).
+  DurationSec prediction_window = 300;
+  /// Wr: retraining cadence in weeks (default 4).
+  int retrain_weeks = 4;
+  TrainingMode mode = TrainingMode::kSlidingWindow;
+  /// Sliding-window length; also the initial training span for every
+  /// mode (paper default: six months = 26 weeks).
+  int training_weeks = 26;
+  bool use_reviser = true;
+  predict::ReviserConfig reviser;
+  meta::MetaLearnerConfig learner;
+  predict::PredictorOptions predictor;
+  /// Cadence of the predictor's periodic self-check (PD expert) during
+  /// replay; 0 disables ticks.  Defaults to Wp.
+  DurationSec clock_tick = 300;
+  /// §7 future work: "adaptively changing this window size such that the
+  /// system can automatically tune its size".  When enabled, each
+  /// retraining holds out the tail of the training set, scores every
+  /// candidate window by F1 on it, and adopts the winner for the next
+  /// interval (prediction_window is then only the starting value).
+  bool adaptive_window = false;
+  std::vector<DurationSec> window_candidates = {60, 300, 900, 1800};
+  /// Fraction of the training span held out for window selection.
+  double validation_fraction = 0.25;
+};
+
+/// Outcome of one retrain-then-predict interval.
+struct IntervalResult {
+  int index = 0;
+  /// Week of the log (0-based, from the log's first event) at which this
+  /// test interval starts — the x-axis of Figures 7 and 9-11.
+  int week = 0;
+  TimeSec test_begin = 0;
+  TimeSec test_end = 0;
+
+  stats::ConfusionCounts counts;
+  std::array<stats::ConfusionCounts, learners::kNumRuleSources> per_source;
+
+  /// Rule churn versus the previous interval's (revised) repository,
+  /// measured on the final rule set in force.
+  meta::KnowledgeRepository::Churn churn;
+  /// Figure 12's breakdown: churn of the meta-learner's raw output
+  /// versus the previous rules — `added`/`removed` here are "added by
+  /// the meta-learner" / "removed by the meta-learner"; the reviser's
+  /// removals are counted separately below.
+  meta::KnowledgeRepository::Churn churn_meta;
+  std::size_t rules_from_meta = 0;
+  std::size_t rules_removed_by_reviser = 0;
+  std::size_t rules_active = 0;
+
+  meta::TrainTimes train_times;
+  double revise_seconds = 0.0;
+  double predict_seconds = 0.0;
+
+  /// The prediction window actually used this interval (differs from the
+  /// configured one only in adaptive-window mode).
+  DurationSec window_used = 0;
+
+  std::size_t fatal_count = 0;
+  std::size_t warning_count = 0;
+
+  double precision() const { return stats::precision(counts); }
+  double recall() const { return stats::recall(counts); }
+};
+
+struct DriverResult {
+  std::vector<IntervalResult> intervals;
+
+  stats::ConfusionCounts total_counts() const;
+  std::array<stats::ConfusionCounts, learners::kNumRuleSources> total_per_source() const;
+  double overall_precision() const;
+  double overall_recall() const;
+};
+
+class DynamicDriver {
+ public:
+  explicit DynamicDriver(DriverConfig config);
+
+  /// Runs the full train/predict/retrain loop over one log.
+  DriverResult run(const logio::EventStore& store) const;
+
+  const DriverConfig& config() const { return config_; }
+
+ private:
+  DriverConfig config_;
+};
+
+}  // namespace dml::online

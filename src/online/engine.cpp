@@ -1,0 +1,114 @@
+#include "online/engine.hpp"
+
+#include <vector>
+
+namespace dml::online {
+
+OnlineEngine::OnlineEngine(OnlineEngineConfig config,
+                           WarningCallback on_warning)
+    : config_(config),
+      on_warning_(std::move(on_warning)),
+      temporal_(config.filter_threshold),
+      spatial_(config.filter_threshold),
+      repository_(std::make_unique<meta::KnowledgeRepository>()) {}
+
+void OnlineEngine::consume(const bgl::RasRecord& record) {
+  ++session_.records_consumed;
+  auto categorized = categorizer_.categorize(record);
+  if (!categorized) return;
+  auto after_temporal = temporal_.push(*categorized);
+  if (!after_temporal) return;
+  auto survivor = spatial_.push(*after_temporal);
+  if (!survivor) return;
+
+  bgl::Event event;
+  event.time = survivor->record.event_time;
+  event.category = survivor->category;
+  event.job_id = survivor->record.job_id;
+  event.location = survivor->record.location;
+  event.fatal = survivor->fatal;
+  observe(event);
+}
+
+void OnlineEngine::consume(const bgl::Event& event) {
+  ++session_.records_consumed;
+  observe(event);
+}
+
+void OnlineEngine::advance_clock(TimeSec t) {
+  now_ = std::max(now_, t);
+  if (!first_event_time_) {
+    first_event_time_ = now_;
+    next_retrain_ = now_ + config_.retrain_interval;
+    if (config_.clock_tick > 0) next_tick_ = now_ + config_.clock_tick;
+  }
+  // Periodic PD self-checks between events.
+  while (predictor_ && next_tick_ && *next_tick_ < t) {
+    for (const auto& warning : predictor_->tick(*next_tick_)) {
+      ++session_.warnings_issued;
+      if (on_warning_) on_warning_(warning);
+    }
+    *next_tick_ += config_.clock_tick;
+  }
+  // Scheduled retraining.
+  if (next_retrain_ && t >= *next_retrain_) {
+    retrain(*next_retrain_);
+    *next_retrain_ += config_.retrain_interval;
+  }
+}
+
+void OnlineEngine::observe(const bgl::Event& event) {
+  advance_clock(event.time);
+  ++session_.events_after_filtering;
+  if (event.fatal) ++session_.failures_seen;
+
+  history_.push_back(event);
+  while (!history_.empty() &&
+         history_.front().time < now_ - config_.training_span) {
+    history_.pop_front();
+  }
+
+  if (predictor_) {
+    for (const auto& warning : predictor_->observe(event)) {
+      ++session_.warnings_issued;
+      if (on_warning_) on_warning_(warning);
+    }
+  }
+}
+
+void OnlineEngine::retrain_now() { retrain(now_); }
+
+void OnlineEngine::retrain(TimeSec now) {
+  if (history_.size() < config_.min_training_events) return;
+  ++session_.retrainings;
+
+  // The deque is contiguous only chunk-wise; copy into a flat span for
+  // the learners.  Training sets are bounded by training_span so this
+  // stays small.
+  const std::vector<bgl::Event> training(history_.begin(), history_.end());
+  const meta::MetaLearner learner(config_.learner);
+  auto fresh = std::make_unique<meta::KnowledgeRepository>(
+      learner.learn(training, config_.prediction_window));
+  if (config_.use_reviser) {
+    predict::revise(*fresh, training, config_.prediction_window,
+                    config_.reviser);
+  }
+  repository_ = std::move(fresh);
+  predictor_ = std::make_unique<predict::Predictor>(
+      *repository_, config_.prediction_window, config_.predictor);
+  // Warm the new predictor's window state on the trailing history so
+  // in-flight patterns survive the swap (warnings suppressed).
+  for (const auto& event : training) {
+    if (event.time >= now - config_.prediction_window) {
+      predictor_->observe(event);
+    }
+  }
+}
+
+OnlineEngine::SessionStats OnlineEngine::stats() const {
+  SessionStats s = session_;
+  s.history_size = history_.size();
+  return s;
+}
+
+}  // namespace dml::online

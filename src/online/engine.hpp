@@ -1,0 +1,102 @@
+// OnlineEngine: the deployable form of the framework.  Feed it raw RAS
+// records (or pre-categorized events) as they arrive; it preprocesses
+// them inline, retrains the meta-learner on schedule, keeps a bounded
+// history, and invokes a callback for every failure warning — the
+// runtime configuration of Figure 1 as a single embeddable object.
+//
+//   online::OnlineEngine engine(config, [](const predict::Warning& w) {
+//     page_the_operator(w);
+//   });
+//   while (auto record = reader.next()) engine.consume(*record);
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "meta/meta_learner.hpp"
+#include "predict/predictor.hpp"
+#include "predict/reviser.hpp"
+#include "preprocess/categorizer.hpp"
+#include "preprocess/spatial_filter.hpp"
+#include "preprocess/temporal_filter.hpp"
+
+namespace dml::online {
+
+struct OnlineEngineConfig {
+  /// Wp: prediction window == rule-generation window.
+  DurationSec prediction_window = 300;
+  /// Filtering threshold for inline preprocessing of raw records.
+  DurationSec filter_threshold = 300;
+  /// Retraining cadence (event time).
+  DurationSec retrain_interval = 4 * kSecondsPerWeek;
+  /// Sliding training-set length; history beyond it is discarded
+  /// (bounded memory).
+  DurationSec training_span = 26 * kSecondsPerWeek;
+  /// Events required before the first training (avoid learning from a
+  /// nearly empty history).
+  std::size_t min_training_events = 200;
+  bool use_reviser = true;
+  predict::ReviserConfig reviser;
+  meta::MetaLearnerConfig learner;
+  predict::PredictorOptions predictor;
+  /// PD self-check cadence; 0 disables ticks.
+  DurationSec clock_tick = 300;
+};
+
+class OnlineEngine {
+ public:
+  using WarningCallback = std::function<void(const predict::Warning&)>;
+
+  OnlineEngine(OnlineEngineConfig config, WarningCallback on_warning);
+
+  /// Feeds one raw record (preprocessed inline: categorize + temporal +
+  /// spatial compression).  Records must arrive in time order.
+  void consume(const bgl::RasRecord& record);
+
+  /// Feeds one already-unique categorized event.
+  void consume(const bgl::Event& event);
+
+  /// Forces a retraining at the current event time.
+  void retrain_now();
+
+  /// Rules currently in force (empty before the first training).
+  const meta::KnowledgeRepository& rules() const { return *repository_; }
+
+  struct SessionStats {
+    std::uint64_t records_consumed = 0;
+    std::uint64_t events_after_filtering = 0;
+    std::uint64_t failures_seen = 0;
+    std::uint64_t warnings_issued = 0;
+    std::uint64_t retrainings = 0;
+    std::size_t history_size = 0;
+  };
+  SessionStats stats() const;
+
+  TimeSec now() const { return now_; }
+
+ private:
+  void advance_clock(TimeSec t);
+  void observe(const bgl::Event& event);
+  void retrain(TimeSec now);
+
+  OnlineEngineConfig config_;
+  WarningCallback on_warning_;
+
+  preprocess::Categorizer categorizer_;
+  preprocess::TemporalFilter temporal_;
+  preprocess::SpatialFilter spatial_;
+
+  std::deque<bgl::Event> history_;
+  std::unique_ptr<meta::KnowledgeRepository> repository_;
+  std::unique_ptr<predict::Predictor> predictor_;
+
+  TimeSec now_ = 0;
+  std::optional<TimeSec> first_event_time_;
+  std::optional<TimeSec> next_retrain_;
+  std::optional<TimeSec> next_tick_;
+  SessionStats session_;
+};
+
+}  // namespace dml::online

@@ -1,0 +1,56 @@
+// Aggregation helpers on top of the driver: per-week accuracy series
+// (the y-values of Figures 7 and 9-11) and the Figure 8 Venn analysis of
+// which base learners capture which failures.
+#pragma once
+
+#include <vector>
+
+#include "online/driver.hpp"
+
+namespace dml::online {
+
+struct SeriesPoint {
+  int week = 0;
+  double precision = 0.0;
+  double recall = 0.0;
+};
+
+/// One point per retrain interval.
+std::vector<SeriesPoint> accuracy_series(const DriverResult& result);
+
+/// Mean of a series field over the tail (skipping the first
+/// `warmup_points`), for compact bench summaries.
+double mean_precision(const DriverResult& result, std::size_t warmup_points = 0);
+double mean_recall(const DriverResult& result, std::size_t warmup_points = 0);
+
+/// Figure 8: failures captured by each subset of {AR, SR, PD} over a
+/// time range, each base learner running standalone.
+struct VennCounts {
+  std::size_t only_ar = 0;
+  std::size_t only_sr = 0;
+  std::size_t only_pd = 0;
+  std::size_t ar_sr = 0;   // AR & SR but not PD
+  std::size_t ar_pd = 0;   // AR & PD but not SR
+  std::size_t sr_pd = 0;   // SR & PD but not AR
+  std::size_t all = 0;     // captured by all three
+  std::size_t none = 0;    // captured by nobody
+  std::size_t total = 0;
+
+  std::size_t captured_by_ar() const { return only_ar + ar_sr + ar_pd + all; }
+  std::size_t captured_by_sr() const { return only_sr + ar_sr + sr_pd + all; }
+  std::size_t captured_by_pd() const { return only_pd + ar_pd + sr_pd + all; }
+  std::size_t captured_by_multiple() const {
+    return ar_sr + ar_pd + sr_pd + all;
+  }
+};
+
+/// Runs each repository's predictor standalone over [begin, end) (with a
+/// Wp warm-up) and intersects the sets of captured failures.
+VennCounts venn_over_range(const logio::EventStore& store, TimeSec begin,
+                           TimeSec end,
+                           const meta::KnowledgeRepository& association,
+                           const meta::KnowledgeRepository& statistical,
+                           const meta::KnowledgeRepository& distribution,
+                           DurationSec window);
+
+}  // namespace dml::online

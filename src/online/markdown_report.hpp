@@ -1,0 +1,31 @@
+// Markdown run reports: renders a DynamicDriver result (plus optional
+// operational analysis) as a self-contained report an operator can file
+// — per-interval accuracy, bootstrap confidence intervals, rule churn,
+// and training-cost summaries.  `dmlfp run --report out.md` uses this.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "logio/event_store.hpp"
+#include "online/driver.hpp"
+
+namespace dml::online {
+
+struct ReportOptions {
+  std::string title = "Failure-prediction run report";
+  /// Re-replay the final interval to include lead-time statistics
+  /// (costs one extra predictor pass).
+  bool include_lead_times = true;
+  /// How many of the most frequent failure categories to break out.
+  std::size_t top_categories = 8;
+};
+
+/// Writes the report; `store` must be the event store the driver ran on
+/// (used for the per-category / lead-time sections).
+void write_markdown_report(std::ostream& out, const DriverConfig& config,
+                           const DriverResult& result,
+                           const logio::EventStore& store,
+                           const ReportOptions& options = {});
+
+}  // namespace dml::online

@@ -1,0 +1,71 @@
+#include "online/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dml::online {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "" : "  ");
+      out << row[c];
+      for (std::size_t pad = row[c].size(); pad < widths[c]; ++pad) {
+        out << ' ';
+      }
+    }
+    out << '\n';
+  };
+  print_row(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    if (c != 0) rule += "  ";
+    rule += std::string(widths[c], '-');
+  }
+  out << rule << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TablePrinter::fmt(double value, int decimals) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string TablePrinter::fmt(std::uint64_t value) {
+  return std::to_string(value);
+}
+
+std::string TablePrinter::fmt(std::int64_t value) {
+  return std::to_string(value);
+}
+
+std::string sparkline(const std::vector<double>& values) {
+  static constexpr const char* kLevels = " .:-=+*#%@";
+  std::string out;
+  out.reserve(values.size());
+  for (double v : values) {
+    const double clamped = std::clamp(v, 0.0, 1.0);
+    const int level =
+        std::min(9, static_cast<int>(clamped * 10.0));
+    out.push_back(kLevels[level]);
+  }
+  return out;
+}
+
+}  // namespace dml::online

@@ -1,0 +1,33 @@
+// Plain-text table rendering shared by the benchmark binaries: every
+// bench prints the same rows/series shape as the paper's table or figure
+// it regenerates.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dml::online {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& out) const;
+
+  static std::string fmt(double value, int decimals = 2);
+  static std::string fmt(std::uint64_t value);
+  static std::string fmt(std::int64_t value);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a crude fixed-width ASCII sparkline of a series in [0, 1]
+/// (for eyeballing figure shapes in bench output).
+std::string sparkline(const std::vector<double>& values);
+
+}  // namespace dml::online

@@ -1,0 +1,113 @@
+#include "predict/analysis.hpp"
+
+#include <algorithm>
+
+namespace dml::predict {
+namespace {
+
+/// For each fatal event (in order), the earliest warning covering it, or
+/// -1.  Reuses the matcher's consumption semantics by re-deriving the
+/// pairing: a warning covers at most one failure (its first match).
+std::vector<std::ptrdiff_t> earliest_cover(
+    std::span<const bgl::Event> events, std::span<const Warning> warnings,
+    std::vector<const bgl::Event*>& fatals_out) {
+  std::vector<const bgl::Event*> fatals;
+  for (const auto& e : events) {
+    if (e.fatal) fatals.push_back(&e);
+  }
+  std::vector<std::ptrdiff_t> cover(fatals.size(), -1);
+  std::vector<bool> consumed(warnings.size(), false);
+  std::size_t w_lo = 0;
+  for (std::size_t fi = 0; fi < fatals.size(); ++fi) {
+    const auto& f = *fatals[fi];
+    while (w_lo < warnings.size() && warnings[w_lo].deadline < f.time) {
+      ++w_lo;
+    }
+    for (std::size_t wi = w_lo; wi < warnings.size(); ++wi) {
+      const auto& w = warnings[wi];
+      if (w.issued_at >= f.time) break;
+      if (w.deadline < f.time || consumed[wi]) continue;
+      if (w.category.has_value() && *w.category != f.category) continue;
+      if (w.location.has_value() &&
+          w.location->packed() != f.location.enclosing_midplane().packed()) {
+        continue;
+      }
+      consumed[wi] = true;
+      if (cover[fi] < 0 ||
+          warnings[static_cast<std::size_t>(cover[fi])].issued_at >
+              w.issued_at) {
+        cover[fi] = static_cast<std::ptrdiff_t>(wi);
+      }
+    }
+  }
+  fatals_out = std::move(fatals);
+  return cover;
+}
+
+}  // namespace
+
+LeadTimeStats lead_time_stats(std::span<const bgl::Event> events,
+                              std::span<const Warning> warnings,
+                              DurationSec /*window*/,
+                              DurationSec actionable_floor) {
+  std::vector<const bgl::Event*> fatals;
+  const auto cover = earliest_cover(events, warnings, fatals);
+
+  std::vector<double> leads;
+  for (std::size_t fi = 0; fi < fatals.size(); ++fi) {
+    if (cover[fi] < 0) continue;
+    leads.push_back(static_cast<double>(
+        fatals[fi]->time -
+        warnings[static_cast<std::size_t>(cover[fi])].issued_at));
+  }
+
+  LeadTimeStats stats;
+  stats.matched_warnings = leads.size();
+  if (leads.empty()) return stats;
+  std::sort(leads.begin(), leads.end());
+  double sum = 0.0;
+  std::size_t actionable = 0;
+  for (double lead : leads) {
+    sum += lead;
+    actionable += lead >= static_cast<double>(actionable_floor) ? 1 : 0;
+  }
+  stats.mean_seconds = sum / static_cast<double>(leads.size());
+  auto quantile = [&](double p) {
+    const auto idx = static_cast<std::size_t>(
+        p * static_cast<double>(leads.size() - 1));
+    return leads[idx];
+  };
+  stats.median_seconds = quantile(0.5);
+  stats.p10_seconds = quantile(0.1);
+  stats.p90_seconds = quantile(0.9);
+  stats.actionable_fraction =
+      static_cast<double>(actionable) / static_cast<double>(leads.size());
+  return stats;
+}
+
+std::vector<CategoryAccuracy> per_category_accuracy(
+    std::span<const bgl::Event> events, std::span<const Warning> warnings,
+    DurationSec /*window*/) {
+  std::vector<const bgl::Event*> fatals;
+  const auto cover = earliest_cover(events, warnings, fatals);
+
+  std::map<CategoryId, CategoryAccuracy> by_category;
+  for (std::size_t fi = 0; fi < fatals.size(); ++fi) {
+    auto& entry = by_category[fatals[fi]->category];
+    entry.category = fatals[fi]->category;
+    ++entry.failures;
+    if (cover[fi] >= 0) ++entry.covered;
+  }
+
+  std::vector<CategoryAccuracy> result;
+  result.reserve(by_category.size());
+  for (const auto& [_, entry] : by_category) result.push_back(entry);
+  std::sort(result.begin(), result.end(),
+            [](const CategoryAccuracy& a, const CategoryAccuracy& b) {
+              if (a.failures != b.failures) return a.failures > b.failures;
+              return a.category < b.category;
+            });
+  return result;
+}
+
+}  // namespace dml::predict

@@ -1,0 +1,54 @@
+// Operational analysis on top of the outcome matcher: warning lead
+// times and per-category accuracy.
+//
+// Lead time is what makes a prediction actionable — "a time window
+// smaller than 5 minutes may become too small for taking preventive
+// action" (paper §5.2.3); proactive process migration needs minutes of
+// notice.  Per-category recall shows *which* failure types the rule set
+// actually covers (the Venn diagram's fine-grained cousin).
+#pragma once
+
+#include <map>
+#include <span>
+#include <vector>
+
+#include "predict/outcome_matcher.hpp"
+
+namespace dml::predict {
+
+struct LeadTimeStats {
+  std::size_t matched_warnings = 0;
+  double mean_seconds = 0.0;
+  double median_seconds = 0.0;
+  double p10_seconds = 0.0;  // 10th percentile: the tight escapes
+  double p90_seconds = 0.0;
+  /// Fraction of covered failures with at least `actionable_floor`
+  /// seconds of notice.
+  double actionable_fraction = 0.0;
+};
+
+/// Lead time = covered failure's time minus the *earliest* warning that
+/// covered it.  `actionable_floor` defaults to one minute.
+LeadTimeStats lead_time_stats(std::span<const bgl::Event> events,
+                              std::span<const Warning> warnings,
+                              DurationSec window,
+                              DurationSec actionable_floor = 60);
+
+struct CategoryAccuracy {
+  CategoryId category = kInvalidCategory;
+  std::size_t failures = 0;
+  std::size_t covered = 0;
+
+  double recall() const {
+    return failures == 0
+               ? 0.0
+               : static_cast<double>(covered) / static_cast<double>(failures);
+  }
+};
+
+/// Per fatal-category coverage, ordered by failure count (descending).
+std::vector<CategoryAccuracy> per_category_accuracy(
+    std::span<const bgl::Event> events, std::span<const Warning> warnings,
+    DurationSec window);
+
+}  // namespace dml::predict

@@ -1,0 +1,244 @@
+#include "predict/predictor.hpp"
+
+#include <algorithm>
+
+namespace dml::predict {
+
+Predictor::Predictor(const meta::KnowledgeRepository& repository,
+                     DurationSec window, PredictorOptions options)
+    : repository_(&repository), window_(window), options_(options) {
+  for (const auto& stored : repository.rules()) {
+    switch (stored.rule.source()) {
+      case learners::RuleSource::kAssociation:
+        for (CategoryId item : stored.rule.as_association()->antecedent) {
+          e_list_[item].push_back(&stored);
+        }
+        by_consequent_[stored.rule.as_association()->consequent].push_back(
+            &stored);
+        break;
+      case learners::RuleSource::kStatistical:
+        statistical_rules_.push_back(&stored);
+        break;
+      case learners::RuleSource::kDistribution:
+        distribution_rules_.push_back(&stored);
+        break;
+      case learners::RuleSource::kDecisionTree:
+        tree_rules_.push_back(&stored);
+        break;
+      case learners::RuleSource::kNeuralNet:
+        net_rules_.push_back(&stored);
+        break;
+    }
+  }
+  if (!tree_rules_.empty() || !net_rules_.empty()) {
+    feature_tracker_.emplace(window_);
+  }
+}
+
+namespace {
+
+std::uint32_t midplane_of(const bgl::Event& event) {
+  return event.location.enclosing_midplane().packed();
+}
+
+std::uint64_t scoped_key(std::uint32_t midplane, CategoryId category) {
+  return (static_cast<std::uint64_t>(midplane) << 16) | category;
+}
+
+}  // namespace
+
+void Predictor::expire(TimeSec now) {
+  while (!recent_.empty() && recent_.front().time <= now - window_) {
+    const RecentEvent& old = recent_.front();
+    auto it = recent_counts_.find(old.category);
+    if (it != recent_counts_.end() && --it->second == 0) {
+      recent_counts_.erase(it);
+    }
+    if (options_.location_scoped) {
+      auto scoped = scoped_counts_.find(scoped_key(old.midplane, old.category));
+      if (scoped != scoped_counts_.end() && --scoped->second == 0) {
+        scoped_counts_.erase(scoped);
+      }
+    }
+    recent_.pop_front();
+  }
+  while (!recent_fatals_.empty() &&
+         recent_fatals_.front().first <= now - window_) {
+    recent_fatals_.pop_front();
+  }
+}
+
+bool Predictor::try_issue(std::vector<Warning>& out, TimeSec now,
+                          const meta::StoredRule& rule,
+                          std::optional<CategoryId> category,
+                          TimeSec deadline,
+                          std::optional<bgl::Location> location) {
+  if (options_.deduplicate_warnings) {
+    const auto it = active_.find(rule.id);
+    if (it != active_.end() && it->second >= now) return false;
+  }
+  Warning warning;
+  warning.issued_at = now;
+  warning.deadline = deadline;
+  warning.category = category;
+  warning.location = location;
+  warning.rule_id = rule.id;
+  warning.source = rule.rule.source();
+  active_[rule.id] = warning.deadline;
+  out.push_back(warning);
+  return true;
+}
+
+void Predictor::check_distribution(std::vector<Warning>& out, TimeSec now) {
+  if (!last_fatal_.has_value()) return;
+  const DurationSec elapsed = now - *last_fatal_;
+  for (const meta::StoredRule* stored : distribution_rules_) {
+    const auto* rule = stored->rule.as_distribution();
+    if (elapsed >= rule->elapsed_trigger) {
+      const auto horizon = static_cast<DurationSec>(
+          options_.pd_horizon_factor * static_cast<double>(elapsed));
+      try_issue(out, now, *stored, std::nullopt,
+                now + std::max(window_, horizon));
+    }
+  }
+}
+
+std::vector<Warning> Predictor::observe(const bgl::Event& event) {
+  std::vector<Warning> out;
+  const TimeSec now = event.time;
+  expire(now);
+  if (feature_tracker_) feature_tracker_->observe(event);
+
+  const std::uint32_t midplane = midplane_of(event);
+  const std::optional<bgl::Location> scope =
+      options_.location_scoped
+          ? std::optional<bgl::Location>(bgl::Location::from_packed(midplane))
+          : std::nullopt;
+
+  bool matched = false;
+  if (!event.fatal) {
+    // Step 2-4 of Algorithm 2: walk the E-List of this category, and for
+    // each candidate rule check its full antecedent against the recent
+    // event set (which includes the current event).  In location-scoped
+    // mode the antecedent must be complete *within this midplane*.
+    recent_.push_back({now, event.category, midplane});
+    ++recent_counts_[event.category];
+    if (options_.location_scoped) {
+      ++scoped_counts_[scoped_key(midplane, event.category)];
+    }
+    auto item_present = [&](CategoryId item) {
+      return options_.location_scoped
+                 ? scoped_counts_.contains(scoped_key(midplane, item))
+                 : recent_counts_.contains(item);
+    };
+    const auto it = e_list_.find(event.category);
+    if (it != e_list_.end()) {
+      for (const meta::StoredRule* stored : it->second) {
+        const auto* rule = stored->rule.as_association();
+        const bool satisfied = std::all_of(rule->antecedent.begin(),
+                                           rule->antecedent.end(),
+                                           item_present);
+        if (satisfied) {
+          matched = true;
+          try_issue(out, now, *stored, rule->consequent, now + window_,
+                    scope);
+        }
+      }
+    }
+  } else {
+    recent_fatals_.emplace_back(now, midplane);
+    const std::size_t fatals_in_scope =
+        options_.location_scoped
+            ? static_cast<std::size_t>(std::count_if(
+                  recent_fatals_.begin(), recent_fatals_.end(),
+                  [&](const auto& f) { return f.second == midplane; }))
+            : recent_fatals_.size();
+    for (const meta::StoredRule* stored : statistical_rules_) {
+      const auto* rule = stored->rule.as_statistical();
+      if (fatals_in_scope >= static_cast<std::size_t>(rule->k)) {
+        matched = true;
+        // Every further failure is a fresh trigger with fresh evidence,
+        // so statistical warnings re-issue per trigger event rather than
+        // deduplicating against the pending one.
+        active_.erase(stored->id);
+        try_issue(out, now, *stored, std::nullopt, now + window_, scope);
+      }
+    }
+  }
+
+  // Classifier experts (optional §7 extensions): the decision tree and
+  // the neural net classify the window features on every event.
+  if (feature_tracker_) {
+    const auto features = feature_tracker_->features();
+    for (const meta::StoredRule* stored : tree_rules_) {
+      const auto* rule = stored->rule.as_decision_tree();
+      if (rule->tree.predict(features) >= rule->probability_threshold) {
+        matched = true;
+        try_issue(out, now, *stored, std::nullopt, now + window_);
+      }
+    }
+    for (const meta::StoredRule* stored : net_rules_) {
+      const auto* rule = stored->rule.as_neural_net();
+      if (rule->net.predict(features) >= rule->probability_threshold) {
+        matched = true;
+        try_issue(out, now, *stored, std::nullopt, now + window_);
+      }
+    }
+  }
+
+  // Mixture-of-experts fallback: the probability-distribution expert
+  // speaks only when no pattern rule matched (or always, in the flat
+  // ensemble ablation).
+  if (!matched || !options_.mixture_precedence) check_distribution(out, now);
+
+  if (event.fatal) {
+    last_fatal_ = now;
+    // A failure resolves every pending warning that predicted it:
+    // re-arm the distribution rules (they predict "a failure") and the
+    // association rules whose consequent is this category, so the next
+    // prediction cycle isn't muted by a stale active-warning entry.
+    for (const meta::StoredRule* stored : distribution_rules_) {
+      active_.erase(stored->id);
+    }
+    for (const meta::StoredRule* stored : tree_rules_) {
+      active_.erase(stored->id);
+    }
+    for (const meta::StoredRule* stored : net_rules_) {
+      active_.erase(stored->id);
+    }
+    const auto it = by_consequent_.find(event.category);
+    if (it != by_consequent_.end()) {
+      for (const meta::StoredRule* stored : it->second) {
+        active_.erase(stored->id);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Warning> Predictor::tick(TimeSec now) {
+  std::vector<Warning> out;
+  check_distribution(out, now);
+  return out;
+}
+
+std::vector<Warning> Predictor::run(std::span<const bgl::Event> events,
+                                    DurationSec tick_interval) {
+  std::vector<Warning> all;
+  std::optional<TimeSec> next_tick;
+  for (const auto& event : events) {
+    if (tick_interval > 0) {
+      if (!next_tick) next_tick = event.time + tick_interval;
+      while (*next_tick < event.time) {
+        auto ticked = tick(*next_tick);
+        all.insert(all.end(), ticked.begin(), ticked.end());
+        *next_tick += tick_interval;
+      }
+    }
+    auto warnings = observe(event);
+    all.insert(all.end(), warnings.begin(), warnings.end());
+  }
+  return all;
+}
+
+}  // namespace dml::predict

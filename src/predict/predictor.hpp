@@ -1,0 +1,134 @@
+// The event-driven predictor (paper Algorithm 2).
+//
+// From the learned rules it builds
+//   F-List: rule -> its triggering event set (the antecedent), and
+//   E-List: event category -> the rules whose antecedent contains it,
+// keeps the most recent events within the prediction window Wp, and on
+// each event occurrence checks the candidate rules.  Dispatch follows
+// the mixture-of-experts precedence (§4.1): a non-fatal event consults
+// association rules, a fatal event consults statistical rules, and only
+// when no match is found does the probability-distribution rule get the
+// floor.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "bgl/record.hpp"
+#include "common/types.hpp"
+#include "learners/features.hpp"
+#include "meta/knowledge_repository.hpp"
+
+namespace dml::predict {
+
+struct Warning {
+  TimeSec issued_at = 0;
+  /// The failure is predicted to occur in (issued_at, deadline].
+  TimeSec deadline = 0;
+  /// Predicted fatal category; nullopt = "a failure" (SR/PD/DT rules).
+  std::optional<CategoryId> category;
+  /// Predicted midplane (location-scoped mode only); nullopt = anywhere.
+  std::optional<bgl::Location> location;
+  std::uint64_t rule_id = 0;
+  learners::RuleSource source = learners::RuleSource::kAssociation;
+};
+
+struct PredictorOptions {
+  /// Suppress re-triggering a rule while it has an unexpired warning —
+  /// keeps the warning stream (and the false-alarm count) meaningful.
+  bool deduplicate_warnings = true;
+  /// Distribution-rule warnings stay valid for
+  /// max(Wp, pd_horizon_factor * elapsed-since-last-failure): with a
+  /// heavy-tailed (decreasing-hazard) inter-arrival law, the expected
+  /// residual wait grows with the elapsed time, so a fixed Wp horizon
+  /// would make the PD expert either blind (warn once, expire) or a
+  /// siren (re-warn every Wp).  This is the interpretation under which
+  /// the paper's reported PD recall (~0.5) and "many false alarms" are
+  /// simultaneously reachable; see DESIGN.md.  Set to 0 to pin PD
+  /// warnings to Wp like the other experts.
+  double pd_horizon_factor = 6.0;
+  /// Mixture-of-experts dispatch (paper Figure 6): the distribution
+  /// expert speaks only when no pattern rule matched.  false = all
+  /// experts run on every event (flat ensemble ablation).
+  bool mixture_precedence = true;
+  /// Scope warnings to the midplane of their triggering events and
+  /// require the predicted failure to strike the same midplane — the
+  /// "where" dimension of §1.1's "when and where to perform
+  /// checkpoints".  Off by default: the paper evaluates time-only.
+  bool location_scoped = false;
+};
+
+class Predictor {
+ public:
+  /// The repository must outlive the predictor.
+  Predictor(const meta::KnowledgeRepository& repository, DurationSec window,
+            PredictorOptions options = {});
+
+  /// Feeds one event (events must arrive in non-decreasing time order);
+  /// returns the warnings it triggered.
+  std::vector<Warning> observe(const bgl::Event& event);
+
+  /// Clock tick: the online monitor's periodic self-check.  Runs only
+  /// the distribution expert (elapsed-time check) — no window state is
+  /// touched, so ticks and events may interleave freely as long as time
+  /// never goes backwards.
+  std::vector<Warning> tick(TimeSec now);
+
+  /// Convenience: runs a whole span and collects every warning, with
+  /// PD clock ticks injected every `tick_interval` (0 = no ticks).
+  std::vector<Warning> run(std::span<const bgl::Event> events,
+                           DurationSec tick_interval = 0);
+
+  DurationSec window() const { return window_; }
+
+  /// Time of the most recent *fatal* event seen (PD elapsed-time base).
+  std::optional<TimeSec> last_fatal_time() const { return last_fatal_; }
+
+ private:
+  void expire(TimeSec now);
+  bool try_issue(std::vector<Warning>& out, TimeSec now,
+                 const meta::StoredRule& rule,
+                 std::optional<CategoryId> category, TimeSec deadline,
+                 std::optional<bgl::Location> location = std::nullopt);
+  void check_distribution(std::vector<Warning>& out, TimeSec now);
+
+  const meta::KnowledgeRepository* repository_;
+  DurationSec window_;
+  PredictorOptions options_;
+
+  /// E-List: category -> association rules referencing it.
+  std::unordered_map<CategoryId, std::vector<const meta::StoredRule*>> e_list_;
+  /// Fatal category -> association rules predicting it (re-arm index).
+  std::unordered_map<CategoryId, std::vector<const meta::StoredRule*>>
+      by_consequent_;
+  std::vector<const meta::StoredRule*> statistical_rules_;
+  std::vector<const meta::StoredRule*> distribution_rules_;
+  std::vector<const meta::StoredRule*> tree_rules_;
+  std::vector<const meta::StoredRule*> net_rules_;
+  /// Window features for the classifier experts (only maintained when
+  /// tree or net rules exist).
+  std::optional<learners::FeatureTracker> feature_tracker_;
+
+  struct RecentEvent {
+    TimeSec time;
+    CategoryId category;
+    std::uint32_t midplane;  // packed midplane-scope location
+  };
+  /// Recent events within Wp plus per-category counts for O(1)
+  /// antecedent checks.
+  std::deque<RecentEvent> recent_;
+  std::unordered_map<CategoryId, std::uint32_t> recent_counts_;
+  /// Per-midplane per-category counts (location-scoped mode only).
+  std::unordered_map<std::uint64_t, std::uint32_t> scoped_counts_;
+  /// Recent fatal events within Wp: (time, midplane).
+  std::deque<std::pair<TimeSec, std::uint32_t>> recent_fatals_;
+  std::optional<TimeSec> last_fatal_;
+
+  /// rule id -> deadline of its active warning (deduplication).
+  std::unordered_map<std::uint64_t, TimeSec> active_;
+};
+
+}  // namespace dml::predict

@@ -1,0 +1,47 @@
+#include "predict/reviser.hpp"
+
+#include "predict/outcome_matcher.hpp"
+
+namespace dml::predict {
+
+ReviserReport revise(meta::KnowledgeRepository& repository,
+                     std::span<const bgl::Event> training, DurationSec window,
+                     const ReviserConfig& config) {
+  ReviserReport report;
+  report.examined = repository.size();
+  if (repository.empty()) return report;
+
+  // One replay with per-rule attribution stands in for Algorithm 1's
+  // per-rule counting loop.
+  Predictor predictor(repository, window);
+  const auto warnings = predictor.run(training, /*tick_interval=*/window);
+  const auto evaluation =
+      evaluate_predictions(training, warnings, window, &repository);
+
+  for (const auto& stored : repository.rules()) {
+    const auto it = evaluation.per_rule.find(stored.id);
+    const stats::ConfusionCounts counts =
+        it == evaluation.per_rule.end() ? stats::ConfusionCounts{} : it->second;
+    const double roc = stats::roc_score(counts);
+    if (roc < config.min_roc) {
+      report.removed_ids.push_back(stored.id);
+    }
+  }
+  for (std::uint64_t id : report.removed_ids) repository.remove(id);
+  report.removed = report.removed_ids.size();
+
+  // Annotate survivors with their training-time statistics.
+  std::vector<std::uint64_t> surviving;
+  for (const auto& stored : repository.rules()) surviving.push_back(stored.id);
+  for (std::uint64_t id : surviving) {
+    auto* stored = repository.find(id);
+    const auto it = evaluation.per_rule.find(id);
+    if (stored != nullptr && it != evaluation.per_rule.end()) {
+      stored->training_counts = it->second;
+      stored->roc = stats::roc_score(it->second);
+    }
+  }
+  return report;
+}
+
+}  // namespace dml::predict

@@ -1,0 +1,34 @@
+// The reviser (paper Algorithm 1): replays the predictor over the
+// training data, counts per-rule TP / FP / FN, computes
+// ROC(r) = sqrt(m1^2 + m2^2) with m1 = TP/(TP+FP), m2 = TP/(TP+FN),
+// and discards every rule below MinROC.  "The reviser acts like an
+// additional learning process ... filters out those rules that are not
+// effective on the training set" (§5.2.2).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "meta/knowledge_repository.hpp"
+#include "predict/predictor.hpp"
+
+namespace dml::predict {
+
+struct ReviserConfig {
+  double min_roc = 0.7;
+};
+
+struct ReviserReport {
+  std::size_t examined = 0;
+  std::size_t removed = 0;
+  std::vector<std::uint64_t> removed_ids;
+};
+
+/// Revises `repository` in place against the training span; returns what
+/// was removed.  Every surviving rule has its training_counts and roc
+/// fields filled in.
+ReviserReport revise(meta::KnowledgeRepository& repository,
+                     std::span<const bgl::Event> training, DurationSec window,
+                     const ReviserConfig& config = {});
+
+}  // namespace dml::predict

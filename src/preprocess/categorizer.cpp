@@ -1,0 +1,25 @@
+#include "preprocess/categorizer.hpp"
+
+namespace dml::preprocess {
+
+std::optional<CategorizedRecord> Categorizer::categorize(
+    const bgl::RasRecord& record) {
+  const auto category = taxonomy_->classify(record.facility, record.severity,
+                                            record.entry_data);
+  if (!category) {
+    ++stats_.unclassified;
+    return std::nullopt;
+  }
+  ++stats_.classified;
+  const auto& cat = taxonomy_->category(*category);
+  if (record.is_fatal_severity() && !cat.fatal) {
+    ++stats_.demoted_nominal_fatal;
+  }
+  CategorizedRecord out;
+  out.record = record;
+  out.category = *category;
+  out.fatal = cat.fatal;
+  return out;
+}
+
+}  // namespace dml::preprocess

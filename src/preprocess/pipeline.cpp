@@ -1,0 +1,74 @@
+#include "preprocess/pipeline.hpp"
+
+#include <stdexcept>
+
+namespace dml::preprocess {
+
+PreprocessPipeline::PreprocessPipeline(DurationSec threshold,
+                                       const bgl::Taxonomy& taxonomy,
+                                       bool collect_events)
+    : categorizer_(taxonomy),
+      temporal_(threshold),
+      spatial_(threshold),
+      collect_events_(collect_events) {}
+
+void PreprocessPipeline::consume(const bgl::RasRecord& record) {
+  ++stats_.raw_records;
+  auto categorized = categorizer_.categorize(record);
+  if (!categorized) {
+    ++stats_.unclassified;
+    return;
+  }
+  auto after_temporal = temporal_.push(*categorized);
+  if (!after_temporal) return;
+  ++stats_.after_temporal;
+  auto survivor = spatial_.push(*after_temporal);
+  if (!survivor) return;
+
+  ++stats_.unique_events;
+  ++stats_.unique_per_facility[static_cast<std::size_t>(
+      survivor->record.facility)];
+  if (!collect_events_) return;
+  bgl::Event event;
+  event.time = survivor->record.event_time;
+  event.category = survivor->category;
+  event.job_id = survivor->record.job_id;
+  event.location = survivor->record.location;
+  event.fatal = survivor->fatal;
+  events_.push_back(event);
+}
+
+logio::EventStore PreprocessPipeline::take_store() {
+  return logio::EventStore(std::move(events_));
+}
+
+ThresholdSweep::ThresholdSweep(std::vector<DurationSec> thresholds)
+    : thresholds_(std::move(thresholds)) {
+  if (thresholds_.empty()) {
+    throw std::invalid_argument("ThresholdSweep: no thresholds");
+  }
+  pipelines_.reserve(thresholds_.size());
+  for (DurationSec t : thresholds_) {
+    pipelines_.emplace_back(t, bgl::taxonomy(), /*collect_events=*/false);
+  }
+}
+
+void ThresholdSweep::consume(const bgl::RasRecord& record) {
+  for (auto& pipeline : pipelines_) pipeline.consume(record);
+}
+
+const PipelineStats& ThresholdSweep::stats_at(std::size_t i) const {
+  return pipelines_.at(i).stats();
+}
+
+DurationSec ThresholdSweep::select_threshold(double epsilon) const {
+  for (std::size_t i = 1; i < pipelines_.size(); ++i) {
+    const auto prev = static_cast<double>(stats_at(i - 1).unique_events);
+    const auto curr = static_cast<double>(stats_at(i).unique_events);
+    if (prev <= 0.0) return thresholds_[i - 1];
+    if ((prev - curr) / prev < epsilon) return thresholds_[i];
+  }
+  return thresholds_.back();
+}
+
+}  // namespace dml::preprocess

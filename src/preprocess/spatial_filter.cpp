@@ -1,0 +1,29 @@
+#include "preprocess/spatial_filter.hpp"
+
+#include <functional>
+
+namespace dml::preprocess {
+
+std::optional<CategorizedRecord> SpatialFilter::push(
+    const CategorizedRecord& record) {
+  if (threshold_ <= 0) {
+    ++passed_;
+    return record;
+  }
+  const Key key{std::hash<std::string>{}(record.record.entry_data),
+                record.record.job_id};
+  const TimeSec t = record.record.event_time;
+  auto [it, inserted] = last_seen_.try_emplace(key, t);
+  if (!inserted) {
+    if (t - it->second <= threshold_) {
+      it->second = t;
+      ++merged_;
+      return std::nullopt;
+    }
+    it->second = t;
+  }
+  ++passed_;
+  return record;
+}
+
+}  // namespace dml::preprocess

@@ -1,0 +1,49 @@
+// Spatial compression across locations (paper §3.2): "we remove those
+// entries that are close to each other within a predefined time
+// duration, with the same Entry Data and Job ID, but from different
+// locations."  The surviving entry is the earliest reporter.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/types.hpp"
+#include "preprocess/categorizer.hpp"
+
+namespace dml::preprocess {
+
+class SpatialFilter {
+ public:
+  /// threshold <= 0 disables compression.
+  explicit SpatialFilter(DurationSec threshold) : threshold_(threshold) {}
+
+  std::optional<CategorizedRecord> push(const CategorizedRecord& record);
+
+  std::uint64_t passed() const { return passed_; }
+  std::uint64_t merged() const { return merged_; }
+  DurationSec threshold() const { return threshold_; }
+
+ private:
+  struct Key {
+    std::uint64_t entry_hash;
+    JobId job;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::uint64_t z = k.entry_hash ^ (static_cast<std::uint64_t>(k.job)
+                                        << 32);
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      return static_cast<std::size_t>(z ^ (z >> 31));
+    }
+  };
+
+  DurationSec threshold_;
+  std::unordered_map<Key, TimeSec, KeyHash> last_seen_;
+  std::uint64_t passed_ = 0;
+  std::uint64_t merged_ = 0;
+};
+
+}  // namespace dml::preprocess

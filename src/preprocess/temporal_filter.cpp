@@ -1,0 +1,33 @@
+#include "preprocess/temporal_filter.hpp"
+
+namespace dml::preprocess {
+
+TemporalFilter::Key TemporalFilter::make_key(const CategorizedRecord& r) {
+  // location (32) | job (hashed into 16) | category (16)
+  const std::uint64_t loc = r.record.location.packed();
+  const std::uint64_t job = r.record.job_id * 0x9E37ULL;
+  return Key{(loc << 32) ^ (job << 16) ^ r.category};
+}
+
+std::optional<CategorizedRecord> TemporalFilter::push(
+    const CategorizedRecord& record) {
+  if (threshold_ <= 0) {
+    ++passed_;
+    return record;
+  }
+  const Key key = make_key(record);
+  const TimeSec t = record.record.event_time;
+  auto [it, inserted] = last_seen_.try_emplace(key, t);
+  if (!inserted) {
+    if (t - it->second <= threshold_) {
+      it->second = t;  // gap-based: the tuple window slides forward
+      ++merged_;
+      return std::nullopt;
+    }
+    it->second = t;
+  }
+  ++passed_;
+  return record;
+}
+
+}  // namespace dml::preprocess

@@ -1,0 +1,57 @@
+// Temporal compression at a single location (paper §3.2): "events from
+// the same location with identical values in the Job ID and Location
+// fields are coalesced into a single entry, if reported within a
+// predefined time duration."  We additionally key on the category so
+// that distinct event types at one location never coalesce.
+//
+// Coalescing is gap-based (Hansen-Siewiorek tupling): a record extends
+// the current tuple if it arrives within `threshold` of the previous
+// record of the same key; the tuple is represented by its first record.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "common/types.hpp"
+#include "preprocess/categorizer.hpp"
+
+namespace dml::preprocess {
+
+class TemporalFilter {
+ public:
+  /// threshold <= 0 disables compression (every record passes).
+  explicit TemporalFilter(DurationSec threshold) : threshold_(threshold) {}
+
+  /// Returns the record if it starts a new tuple, nullopt if it is a
+  /// duplicate of the running tuple.  Records must arrive in
+  /// non-decreasing time order per key.
+  std::optional<CategorizedRecord> push(const CategorizedRecord& record);
+
+  std::uint64_t passed() const { return passed_; }
+  std::uint64_t merged() const { return merged_; }
+  DurationSec threshold() const { return threshold_; }
+
+ private:
+  struct Key {
+    std::uint64_t bits;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::uint64_t z = k.bits + 0x9e3779b97f4a7c15ULL;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      return static_cast<std::size_t>(z ^ (z >> 31));
+    }
+  };
+
+  static Key make_key(const CategorizedRecord& record);
+
+  DurationSec threshold_;
+  std::unordered_map<Key, TimeSec, KeyHash> last_seen_;
+  std::uint64_t passed_ = 0;
+  std::uint64_t merged_ = 0;
+};
+
+}  // namespace dml::preprocess

@@ -1,0 +1,42 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace dml::stats {
+
+Interval95 bootstrap_ci(std::span<const ConfusionCounts> blocks,
+                        MetricFn metric, int resamples,
+                        std::uint64_t seed) {
+  Interval95 interval;
+  ConfusionCounts total;
+  for (const auto& block : blocks) total += block;
+  interval.point = metric(total);
+  if (blocks.size() < 2 || resamples < 10) {
+    interval.lo = interval.hi = interval.point;
+    return interval;
+  }
+
+  Rng rng(seed);
+  std::vector<double> values;
+  values.reserve(static_cast<std::size_t>(resamples));
+  for (int r = 0; r < resamples; ++r) {
+    ConfusionCounts resampled;
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      resampled += blocks[rng.uniform_index(blocks.size())];
+    }
+    values.push_back(metric(resampled));
+  }
+  std::sort(values.begin(), values.end());
+  const auto at = [&](double p) {
+    return values[static_cast<std::size_t>(
+        p * static_cast<double>(values.size() - 1))];
+  };
+  interval.lo = at(0.025);
+  interval.hi = at(0.975);
+  return interval;
+}
+
+}  // namespace dml::stats

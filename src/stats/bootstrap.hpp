@@ -1,0 +1,28 @@
+// Bootstrap confidence intervals for precision / recall, so bench
+// summaries can report uncertainty instead of bare point estimates.
+// Resamples per-interval confusion counts (block bootstrap over retrain
+// intervals — the natural unit of dependence in the driver's output).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "stats/metrics.hpp"
+
+namespace dml::stats {
+
+struct Interval95 {
+  double point = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+using MetricFn = double (*)(const ConfusionCounts&);
+
+/// Percentile-bootstrap 95% CI of `metric` applied to the sum of counts,
+/// resampling whole blocks with replacement.  Deterministic in `seed`.
+Interval95 bootstrap_ci(std::span<const ConfusionCounts> blocks,
+                        MetricFn metric, int resamples = 2000,
+                        std::uint64_t seed = 42);
+
+}  // namespace dml::stats

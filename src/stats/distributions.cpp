@@ -1,0 +1,187 @@
+#include "stats/distributions.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+
+namespace dml::stats {
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+double lgamma_arg(double x) { return std::lgamma(x); }
+
+}  // namespace
+
+// ---------------------------------------------------------------- Weibull
+
+double Weibull::pdf(double t) const {
+  if (t < 0.0) return 0.0;
+  if (t == 0.0) {
+    if (shape < 1.0) return std::numeric_limits<double>::infinity();
+    if (shape == 1.0) return 1.0 / scale;
+    return 0.0;
+  }
+  const double z = t / scale;
+  return (shape / scale) * std::pow(z, shape - 1.0) *
+         std::exp(-std::pow(z, shape));
+}
+
+double Weibull::cdf(double t) const {
+  if (t <= 0.0) return 0.0;
+  return -std::expm1(-std::pow(t / scale, shape));
+}
+
+double Weibull::log_pdf(double t) const {
+  if (t <= 0.0) return kNegInf;
+  const double log_z = std::log(t) - std::log(scale);
+  return std::log(shape) - std::log(scale) + (shape - 1.0) * log_z -
+         std::exp(shape * log_z);
+}
+
+double Weibull::quantile(double p) const {
+  if (p < 0.0 || p >= 1.0) {
+    throw std::domain_error("Weibull::quantile: p must be in [0,1)");
+  }
+  return scale * std::pow(-std::log1p(-p), 1.0 / shape);
+}
+
+double Weibull::mean() const {
+  return scale * std::exp(lgamma_arg(1.0 + 1.0 / shape));
+}
+
+// ------------------------------------------------------------ Exponential
+
+double Exponential::pdf(double t) const {
+  if (t < 0.0) return 0.0;
+  return rate * std::exp(-rate * t);
+}
+
+double Exponential::cdf(double t) const {
+  if (t <= 0.0) return 0.0;
+  return -std::expm1(-rate * t);
+}
+
+double Exponential::log_pdf(double t) const {
+  if (t < 0.0) return kNegInf;
+  return std::log(rate) - rate * t;
+}
+
+double Exponential::quantile(double p) const {
+  if (p < 0.0 || p >= 1.0) {
+    throw std::domain_error("Exponential::quantile: p must be in [0,1)");
+  }
+  return -std::log1p(-p) / rate;
+}
+
+double Exponential::mean() const { return 1.0 / rate; }
+
+// -------------------------------------------------------------- LogNormal
+
+double LogNormal::pdf(double t) const {
+  if (t <= 0.0) return 0.0;
+  const double z = (std::log(t) - mu) / sigma;
+  return std::exp(-0.5 * z * z) /
+         (t * sigma * std::sqrt(2.0 * std::numbers::pi));
+}
+
+double LogNormal::cdf(double t) const {
+  if (t <= 0.0) return 0.0;
+  return normal_cdf((std::log(t) - mu) / sigma);
+}
+
+double LogNormal::log_pdf(double t) const {
+  if (t <= 0.0) return kNegInf;
+  const double z = (std::log(t) - mu) / sigma;
+  return -0.5 * z * z - std::log(t) - std::log(sigma) -
+         0.5 * std::log(2.0 * std::numbers::pi);
+}
+
+double LogNormal::quantile(double p) const {
+  if (p <= 0.0 || p >= 1.0) {
+    throw std::domain_error("LogNormal::quantile: p must be in (0,1)");
+  }
+  return std::exp(mu + sigma * normal_quantile(p));
+}
+
+double LogNormal::mean() const {
+  return std::exp(mu + 0.5 * sigma * sigma);
+}
+
+// ---------------------------------------------------------- LifetimeModel
+
+double LifetimeModel::pdf(double t) const {
+  return std::visit([t](const auto& m) { return m.pdf(t); }, model_);
+}
+double LifetimeModel::cdf(double t) const {
+  return std::visit([t](const auto& m) { return m.cdf(t); }, model_);
+}
+double LifetimeModel::log_pdf(double t) const {
+  return std::visit([t](const auto& m) { return m.log_pdf(t); }, model_);
+}
+double LifetimeModel::quantile(double p) const {
+  return std::visit([p](const auto& m) { return m.quantile(p); }, model_);
+}
+double LifetimeModel::mean() const {
+  return std::visit([](const auto& m) { return m.mean(); }, model_);
+}
+
+std::string_view LifetimeModel::family_name() const {
+  struct Namer {
+    std::string_view operator()(const Weibull&) const { return "weibull"; }
+    std::string_view operator()(const Exponential&) const {
+      return "exponential";
+    }
+    std::string_view operator()(const LogNormal&) const {
+      return "lognormal";
+    }
+  };
+  return std::visit(Namer{}, model_);
+}
+
+// ------------------------------------------------------- normal utilities
+
+double normal_cdf(double z) {
+  return 0.5 * std::erfc(-z / std::numbers::sqrt2);
+}
+
+double normal_quantile(double p) {
+  if (p <= 0.0 || p >= 1.0) {
+    throw std::domain_error("normal_quantile: p must be in (0,1)");
+  }
+  // Peter Acklam's inverse-normal approximation.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+
+  double q, r, x;
+  if (p < p_low) {
+    q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - p_low) {
+    q = p - 0.5;
+    r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+          c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  return x;
+}
+
+}  // namespace dml::stats

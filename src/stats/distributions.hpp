@@ -1,0 +1,82 @@
+// Parametric lifetime distributions used by the probability-distribution
+// base learner (paper §4.1): Weibull, exponential, and log-normal — the
+// three families the paper examines for modelling fatal-event
+// inter-arrival times.
+#pragma once
+
+#include <string_view>
+#include <variant>
+
+namespace dml::stats {
+
+/// Two-parameter Weibull: F(t) = 1 - exp(-(t/scale)^shape), t >= 0.
+struct Weibull {
+  double shape = 1.0;  // k
+  double scale = 1.0;  // lambda
+
+  double pdf(double t) const;
+  double cdf(double t) const;
+  double log_pdf(double t) const;
+  /// Inverse CDF; p in [0, 1).
+  double quantile(double p) const;
+  double mean() const;
+
+  friend bool operator==(const Weibull&, const Weibull&) = default;
+};
+
+/// Exponential with rate lambda: F(t) = 1 - exp(-rate * t).
+struct Exponential {
+  double rate = 1.0;
+
+  double pdf(double t) const;
+  double cdf(double t) const;
+  double log_pdf(double t) const;
+  double quantile(double p) const;
+  double mean() const;
+
+  friend bool operator==(const Exponential&, const Exponential&) = default;
+};
+
+/// Log-normal: log(T) ~ N(mu, sigma^2).
+struct LogNormal {
+  double mu = 0.0;
+  double sigma = 1.0;
+
+  double pdf(double t) const;
+  double cdf(double t) const;
+  double log_pdf(double t) const;
+  double quantile(double p) const;
+  double mean() const;
+
+  friend bool operator==(const LogNormal&, const LogNormal&) = default;
+};
+
+/// A fitted lifetime model of any supported family.
+class LifetimeModel {
+ public:
+  using Variant = std::variant<Weibull, Exponential, LogNormal>;
+
+  LifetimeModel() : model_(Exponential{}) {}
+  explicit LifetimeModel(Variant model) : model_(std::move(model)) {}
+
+  double pdf(double t) const;
+  double cdf(double t) const;
+  double log_pdf(double t) const;
+  double quantile(double p) const;
+  double mean() const;
+
+  std::string_view family_name() const;
+  const Variant& variant() const { return model_; }
+
+ private:
+  Variant model_;
+};
+
+/// Standard normal CDF (used by LogNormal and tests).
+double normal_cdf(double z);
+
+/// Inverse of the standard normal CDF (Acklam's rational approximation,
+/// max relative error ~1.15e-9).
+double normal_quantile(double p);
+
+}  // namespace dml::stats

@@ -1,0 +1,77 @@
+#include "stats/empirical.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace dml::stats {
+
+Ecdf::Ecdf(std::span<const double> samples)
+    : sorted_(samples.begin(), samples.end()) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::operator()(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::quantile(double p) const {
+  if (sorted_.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const double pos = p * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+double ks_statistic(const LifetimeModel& model,
+                    std::span<const double> samples) {
+  if (samples.empty()) return 0.0;
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = static_cast<double>(sorted.size());
+  double sup = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double f = model.cdf(sorted[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    sup = std::max({sup, std::abs(f - lo), std::abs(f - hi)});
+  }
+  return sup;
+}
+
+std::size_t Histogram::total() const {
+  return std::accumulate(bins.begin(), bins.end(), std::size_t{0});
+}
+
+Histogram make_histogram(std::span<const double> samples, double lo,
+                         double hi, std::size_t num_bins) {
+  Histogram h;
+  h.lo = lo;
+  h.bins.assign(std::max<std::size_t>(num_bins, 1), 0);
+  h.width = (hi - lo) / static_cast<double>(h.bins.size());
+  if (h.width <= 0.0) h.width = 1.0;
+  for (double x : samples) {
+    auto idx = static_cast<std::int64_t>(std::floor((x - lo) / h.width));
+    idx = std::clamp<std::int64_t>(idx, 0,
+                                   static_cast<std::int64_t>(h.bins.size()) - 1);
+    ++h.bins[static_cast<std::size_t>(idx)];
+  }
+  return h;
+}
+
+std::vector<double> inter_arrivals(std::span<const double> sorted_times) {
+  std::vector<double> gaps;
+  if (sorted_times.size() < 2) return gaps;
+  gaps.reserve(sorted_times.size() - 1);
+  for (std::size_t i = 1; i < sorted_times.size(); ++i) {
+    gaps.push_back(sorted_times[i] - sorted_times[i - 1]);
+  }
+  return gaps;
+}
+
+}  // namespace dml::stats

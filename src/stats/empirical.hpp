@@ -1,0 +1,54 @@
+// Empirical distribution helpers: ECDF, Kolmogorov-Smirnov statistic,
+// and fixed-width histograms (used by the Figure 4/5 benches and the
+// model-selection diagnostics).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "stats/distributions.hpp"
+
+namespace dml::stats {
+
+/// Empirical CDF over a sample (copies and sorts the data once).
+class Ecdf {
+ public:
+  explicit Ecdf(std::span<const double> samples);
+
+  /// Fraction of samples <= x.
+  double operator()(double x) const;
+
+  std::size_t size() const { return sorted_.size(); }
+  const std::vector<double>& sorted_samples() const { return sorted_; }
+
+  /// p-th sample quantile (linear interpolation), p in [0,1].
+  double quantile(double p) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// sup_t |F_model(t) - F_empirical(t)| over the sample points.
+double ks_statistic(const LifetimeModel& model,
+                    std::span<const double> samples);
+
+/// Fixed-width histogram of counts.
+struct Histogram {
+  double lo = 0.0;
+  double width = 1.0;
+  std::vector<std::size_t> bins;
+
+  std::size_t total() const;
+};
+
+/// Bins samples into `num_bins` equal-width bins on [lo, hi); samples
+/// outside the range are clamped into the edge bins.
+Histogram make_histogram(std::span<const double> samples, double lo,
+                         double hi, std::size_t num_bins);
+
+/// Consecutive differences x[i+1]-x[i] of an already-sorted sequence;
+/// the inter-arrival extractor for the distribution learner.
+std::vector<double> inter_arrivals(std::span<const double> sorted_times);
+
+}  // namespace dml::stats

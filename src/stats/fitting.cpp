@@ -1,0 +1,145 @@
+#include "stats/fitting.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/empirical.hpp"
+
+namespace dml::stats {
+namespace {
+
+bool all_positive(std::span<const double> samples) {
+  return std::all_of(samples.begin(), samples.end(),
+                     [](double x) { return x > 0.0 && std::isfinite(x); });
+}
+
+}  // namespace
+
+std::optional<Weibull> fit_weibull(std::span<const double> samples) {
+  if (samples.size() < 2 || !all_positive(samples)) return std::nullopt;
+  const auto n = static_cast<double>(samples.size());
+
+  // Profile likelihood: given shape k, scale^k = mean(x^k).  The shape
+  // solves g(k) = sum(x^k ln x)/sum(x^k) - 1/k - mean(ln x) = 0.
+  double mean_log = 0.0;
+  for (double x : samples) mean_log += std::log(x);
+  mean_log /= n;
+
+  // If all samples are (numerically) identical the likelihood is
+  // unbounded in the shape; reject.
+  const auto [mn, mx] = std::minmax_element(samples.begin(), samples.end());
+  if (*mx - *mn <= 1e-12 * *mx) return std::nullopt;
+
+  auto g_and_slope = [&](double k) {
+    // Compute sums with x^k evaluated via exp(k ln x) and the max-log
+    // trick for numerical stability on wide-ranged data.
+    double max_term = -1e300;
+    for (double x : samples) max_term = std::max(max_term, k * std::log(x));
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0;  // sum w, sum w*lnx, sum w*lnx^2
+    for (double x : samples) {
+      const double lx = std::log(x);
+      const double w = std::exp(k * lx - max_term);
+      s0 += w;
+      s1 += w * lx;
+      s2 += w * lx * lx;
+    }
+    const double ratio = s1 / s0;
+    const double g = ratio - 1.0 / k - mean_log;
+    // dg/dk = Var_w(ln x) + 1/k^2, always positive -> Newton is safe.
+    const double slope = (s2 / s0 - ratio * ratio) + 1.0 / (k * k);
+    return std::pair{g, slope};
+  };
+
+  double k = 1.0;  // exponential start
+  for (int iter = 0; iter < 200; ++iter) {
+    const auto [g, slope] = g_and_slope(k);
+    if (!std::isfinite(g) || !std::isfinite(slope) || slope <= 0.0) {
+      return std::nullopt;
+    }
+    double next = k - g / slope;
+    if (next <= 0.0) next = k / 2.0;  // keep in the positive domain
+    if (std::abs(next - k) <= 1e-10 * std::max(1.0, k)) {
+      k = next;
+      // scale = (mean(x^k))^(1/k), same max-log trick.
+      double max_term = -1e300;
+      for (double x : samples) {
+        max_term = std::max(max_term, k * std::log(x));
+      }
+      double s0 = 0.0;
+      for (double x : samples) s0 += std::exp(k * std::log(x) - max_term);
+      const double log_scale = (std::log(s0 / n) + max_term) / k;
+      Weibull w{k, std::exp(log_scale)};
+      if (!std::isfinite(w.scale) || w.scale <= 0.0) return std::nullopt;
+      return w;
+    }
+    k = next;
+  }
+  return std::nullopt;
+}
+
+std::optional<Exponential> fit_exponential(std::span<const double> samples) {
+  if (samples.empty() || !all_positive(samples)) return std::nullopt;
+  double sum = 0.0;
+  for (double x : samples) sum += x;
+  if (sum <= 0.0) return std::nullopt;
+  return Exponential{static_cast<double>(samples.size()) / sum};
+}
+
+std::optional<LogNormal> fit_lognormal(std::span<const double> samples) {
+  if (samples.size() < 2 || !all_positive(samples)) return std::nullopt;
+  const auto n = static_cast<double>(samples.size());
+  double mean = 0.0;
+  for (double x : samples) mean += std::log(x);
+  mean /= n;
+  double var = 0.0;
+  for (double x : samples) {
+    const double d = std::log(x) - mean;
+    var += d * d;
+  }
+  var /= n;  // MLE uses 1/n
+  if (var <= 0.0) return std::nullopt;
+  return LogNormal{mean, std::sqrt(var)};
+}
+
+double log_likelihood(const LifetimeModel& model,
+                      std::span<const double> samples) {
+  double total = 0.0;
+  for (double x : samples) total += model.log_pdf(x);
+  return total;
+}
+
+std::optional<ModelSelection> select_lifetime_model(
+    std::span<const double> samples) {
+  if (samples.size() < 2) return std::nullopt;
+  std::vector<FitCandidate> candidates;
+  auto consider = [&](std::optional<LifetimeModel> model) {
+    if (!model) return;
+    FitCandidate c;
+    c.model = *model;
+    c.log_likelihood = log_likelihood(*model, samples);
+    c.ks_statistic = ks_statistic(*model, samples);
+    if (std::isfinite(c.log_likelihood)) candidates.push_back(std::move(c));
+  };
+
+  if (auto w = fit_weibull(samples)) {
+    consider(LifetimeModel(LifetimeModel::Variant(*w)));
+  }
+  if (auto e = fit_exponential(samples)) {
+    consider(LifetimeModel(LifetimeModel::Variant(*e)));
+  }
+  if (auto l = fit_lognormal(samples)) {
+    consider(LifetimeModel(LifetimeModel::Variant(*l)));
+  }
+  if (candidates.empty()) return std::nullopt;
+
+  ModelSelection selection;
+  selection.best = *std::max_element(
+      candidates.begin(), candidates.end(),
+      [](const FitCandidate& a, const FitCandidate& b) {
+        return a.log_likelihood < b.log_likelihood;
+      });
+  selection.candidates = std::move(candidates);
+  return selection;
+}
+
+}  // namespace dml::stats

@@ -1,0 +1,53 @@
+// Maximum-likelihood fitting of lifetime distributions and model
+// selection, as used by the probability-distribution base learner:
+// "the method calculates inter-arrival times between adjacent fatal
+// events and uses maximum likelihood estimation to fit a mathematical
+// model to these data" (paper §4.1).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stats/distributions.hpp"
+
+namespace dml::stats {
+
+/// MLE for a Weibull on positive samples.  The shape parameter solves the
+/// profile-likelihood equation via Newton iteration; the scale follows in
+/// closed form.  Returns nullopt if samples are empty, non-positive, or
+/// the iteration fails to converge.
+std::optional<Weibull> fit_weibull(std::span<const double> samples);
+
+/// MLE for an exponential: rate = 1 / mean.
+std::optional<Exponential> fit_exponential(std::span<const double> samples);
+
+/// MLE for a log-normal: mu/sigma are the moments of log(samples).
+std::optional<LogNormal> fit_lognormal(std::span<const double> samples);
+
+/// Total log-likelihood of samples under a model.
+double log_likelihood(const LifetimeModel& model,
+                      std::span<const double> samples);
+
+/// One candidate from a model-selection run.
+struct FitCandidate {
+  LifetimeModel model;
+  double log_likelihood = 0.0;
+  double ks_statistic = 0.0;  // sup-norm distance to the empirical CDF
+};
+
+struct ModelSelection {
+  FitCandidate best;                    // highest log-likelihood
+  std::vector<FitCandidate> candidates; // all families that fit
+};
+
+/// Fits every supported family and picks the best by log-likelihood
+/// (K-S statistics are reported for diagnostics, matching the paper's
+/// "Distributions like Weibull, exponential, and log-normal are
+/// examined").  Returns nullopt when no family can be fitted (fewer than
+/// 2 positive samples).
+std::optional<ModelSelection> select_lifetime_model(
+    std::span<const double> samples);
+
+}  // namespace dml::stats

@@ -1,0 +1,32 @@
+#include "stats/metrics.hpp"
+
+#include <cmath>
+
+namespace dml::stats {
+
+double precision(const ConfusionCounts& c) {
+  const std::uint64_t denom = c.true_positives + c.false_positives;
+  if (denom == 0) return 0.0;
+  return static_cast<double>(c.true_positives) / static_cast<double>(denom);
+}
+
+double recall(const ConfusionCounts& c) {
+  const std::uint64_t denom = c.true_positives + c.false_negatives;
+  if (denom == 0) return 0.0;
+  return static_cast<double>(c.true_positives) / static_cast<double>(denom);
+}
+
+double f1_score(const ConfusionCounts& c) {
+  const double p = precision(c);
+  const double r = recall(c);
+  if (p + r <= 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+double roc_score(const ConfusionCounts& c) {
+  const double m1 = precision(c);
+  const double m2 = recall(c);
+  return std::sqrt(m1 * m1 + m2 * m2);
+}
+
+}  // namespace dml::stats

@@ -1,0 +1,40 @@
+// Prediction-accuracy metrics (paper §5.1) and the reviser's per-rule
+// ROC score (paper Algorithm 1).
+#pragma once
+
+#include <cstdint>
+
+namespace dml::stats {
+
+/// Confusion counts for a predictor or an individual rule.
+struct ConfusionCounts {
+  std::uint64_t true_positives = 0;
+  std::uint64_t false_positives = 0;
+  std::uint64_t false_negatives = 0;
+
+  ConfusionCounts& operator+=(const ConfusionCounts& other) {
+    true_positives += other.true_positives;
+    false_positives += other.false_positives;
+    false_negatives += other.false_negatives;
+    return *this;
+  }
+
+  friend bool operator==(const ConfusionCounts&,
+                         const ConfusionCounts&) = default;
+};
+
+/// precision = Tp / (Tp + Fp); 0 when no predictions were made.
+double precision(const ConfusionCounts& c);
+
+/// recall = Tp / (Tp + Fn); 0 when there were no failures.
+double recall(const ConfusionCounts& c);
+
+/// F1 = harmonic mean of precision and recall (diagnostic only; the
+/// paper reports precision/recall separately).
+double f1_score(const ConfusionCounts& c);
+
+/// The reviser's rule score: sqrt(m1^2 + m2^2) with m1 = precision and
+/// m2 = recall (Algorithm 1).  Ranges [0, sqrt(2)].
+double roc_score(const ConfusionCounts& c);
+
+}  // namespace dml::stats

@@ -1,0 +1,117 @@
+#include "bgl/location.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dml::bgl {
+namespace {
+
+TEST(Location, ComputeChipFieldsRoundTrip) {
+  const Location loc = Location::compute_chip(2, 1, 15, 7, 1);
+  EXPECT_EQ(loc.kind(), LocationKind::kComputeChip);
+  EXPECT_EQ(loc.rack(), 2);
+  EXPECT_EQ(loc.midplane(), 1);
+  EXPECT_EQ(loc.card(), 15);
+  EXPECT_EQ(loc.compute_card(), 7);
+  EXPECT_EQ(loc.chip(), 1);
+}
+
+TEST(Location, TextCodecRoundTripAllKinds) {
+  const Location locations[] = {
+      Location::compute_chip(0, 0, 0, 0, 0),
+      Location::compute_chip(12, 1, 15, 15, 1),
+      Location::io_node(1, 0, 63),
+      Location::service_card(3, 1),
+      Location::link_card(0, 1, 3),
+      Location::node_card(2, 0, 9),
+      Location::midplane_scope(1, 1),
+  };
+  for (const Location& loc : locations) {
+    const auto parsed = Location::parse(loc.to_string());
+    ASSERT_TRUE(parsed.has_value()) << loc.to_string();
+    EXPECT_EQ(*parsed, loc) << loc.to_string();
+  }
+}
+
+TEST(Location, TextShapes) {
+  EXPECT_EQ(Location::compute_chip(0, 1, 7, 12, 1).to_string(),
+            "R00-M1-N07-C12-J1");
+  EXPECT_EQ(Location::io_node(2, 0, 5).to_string(), "R02-M0-I05");
+  EXPECT_EQ(Location::service_card(0, 0).to_string(), "R00-M0-S");
+  EXPECT_EQ(Location::link_card(1, 1, 2).to_string(), "R01-M1-L2");
+  EXPECT_EQ(Location::node_card(0, 0, 3).to_string(), "R00-M0-N03");
+  EXPECT_EQ(Location::midplane_scope(4, 1).to_string(), "R04-M1");
+}
+
+TEST(Location, ParseRejectsMalformed) {
+  EXPECT_FALSE(Location::parse("").has_value());
+  EXPECT_FALSE(Location::parse("R00").has_value());
+  EXPECT_FALSE(Location::parse("R00-M2").has_value());         // midplane > 1
+  EXPECT_FALSE(Location::parse("R00-M0-X01").has_value());     // bad tag
+  EXPECT_FALSE(Location::parse("R00-M0-N16").has_value());     // card > 15
+  EXPECT_FALSE(Location::parse("R00-M0-N01-C02").has_value()); // 4 parts
+  EXPECT_FALSE(Location::parse("R00-M0-N01-C02-J2").has_value());  // chip > 1
+  EXPECT_FALSE(Location::parse("Rxx-M0").has_value());
+}
+
+TEST(Location, PackedRoundTrip) {
+  const Location loc = Location::io_node(7, 1, 42);
+  EXPECT_EQ(Location::from_packed(loc.packed()), loc);
+}
+
+TEST(Location, EnclosingNodeCard) {
+  const Location chip = Location::compute_chip(1, 0, 5, 9, 1);
+  EXPECT_EQ(chip.enclosing_node_card(), Location::node_card(1, 0, 5));
+  // Card-or-coarser scopes map to themselves.
+  const Location svc = Location::service_card(1, 0);
+  EXPECT_EQ(svc.enclosing_node_card(), svc);
+}
+
+TEST(Location, EnclosingMidplane) {
+  const Location chip = Location::compute_chip(1, 1, 5, 9, 0);
+  EXPECT_EQ(chip.enclosing_midplane(), Location::midplane_scope(1, 1));
+}
+
+TEST(Location, HashDistinguishesLocations) {
+  LocationHash hash;
+  std::set<std::size_t> hashes;
+  for (int card = 0; card < 16; ++card) {
+    for (int cc = 0; cc < 16; ++cc) {
+      hashes.insert(hash(Location::compute_chip(0, 0, card, cc, 0)));
+    }
+  }
+  EXPECT_EQ(hashes.size(), 256u);
+}
+
+TEST(MachineConfig, AnlMatchesPaper) {
+  // §2.2: one rack, 1,024 dual-core compute nodes, 32 I/O nodes.
+  const MachineConfig anl = MachineConfig::anl();
+  EXPECT_EQ(anl.racks, 1);
+  EXPECT_EQ(anl.midplanes(), 2);
+  EXPECT_EQ(anl.compute_nodes(), 1024);
+  EXPECT_EQ(anl.io_nodes(), 32);
+}
+
+TEST(MachineConfig, SdscMatchesPaper) {
+  // §2.2: three racks, 3,072 compute nodes, 384 I/O nodes.
+  const MachineConfig sdsc = MachineConfig::sdsc();
+  EXPECT_EQ(sdsc.racks, 3);
+  EXPECT_EQ(sdsc.compute_nodes(), 3072);
+  EXPECT_EQ(sdsc.io_nodes(), 384);
+}
+
+TEST(MachineConfig, NodeCardEnumeration) {
+  // rack x 2 midplanes x 16 node cards, all distinct.
+  const auto cards = enumerate_node_cards(MachineConfig::sdsc());
+  EXPECT_EQ(cards.size(), 3u * 2 * 16);
+  std::set<std::uint32_t> unique;
+  for (const auto& card : cards) unique.insert(card.packed());
+  EXPECT_EQ(unique.size(), cards.size());
+  for (const auto& card : cards) {
+    EXPECT_EQ(card.kind(), LocationKind::kNodeCard);
+  }
+}
+
+}  // namespace
+}  // namespace dml::bgl

@@ -1,0 +1,64 @@
+#include "bgl/record.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dml::bgl {
+namespace {
+
+Event make_event(TimeSec t, CategoryId cat, bool fatal) {
+  Event e;
+  e.time = t;
+  e.category = cat;
+  e.fatal = fatal;
+  return e;
+}
+
+TEST(RasRecord, FatalSeverityFlag) {
+  RasRecord r;
+  r.severity = Severity::kError;
+  EXPECT_FALSE(r.is_fatal_severity());
+  r.severity = Severity::kFailure;
+  EXPECT_TRUE(r.is_fatal_severity());
+}
+
+TEST(EventTimeOrder, OrdersByTimeThenCategoryThenLocation) {
+  EventTimeOrder less;
+  Event a = make_event(10, 1, false);
+  Event b = make_event(20, 0, false);
+  EXPECT_TRUE(less(a, b));
+  EXPECT_FALSE(less(b, a));
+
+  Event c = make_event(10, 2, false);
+  EXPECT_TRUE(less(a, c));
+
+  Event d = a;
+  d.location = Location::compute_chip(0, 0, 0, 0, 1);
+  a.location = Location::compute_chip(0, 0, 0, 0, 0);
+  EXPECT_TRUE(less(a, d));
+  EXPECT_FALSE(less(a, a));
+}
+
+TEST(FatalTimes, ExtractsOnlyFatalEvents) {
+  const std::vector<Event> events = {
+      make_event(1, 0, false), make_event(2, 1, true),
+      make_event(3, 2, false), make_event(9, 3, true)};
+  EXPECT_EQ(fatal_times(events), (std::vector<TimeSec>{2, 9}));
+}
+
+TEST(FatalTimes, EmptyForNoFatals) {
+  const std::vector<Event> events = {make_event(1, 0, false)};
+  EXPECT_TRUE(fatal_times(events).empty());
+}
+
+TEST(CountFatalBetween, HalfOpenInterval) {
+  const std::vector<Event> events = {
+      make_event(10, 0, true), make_event(20, 0, true),
+      make_event(30, 0, true), make_event(25, 0, false)};
+  EXPECT_EQ(count_fatal_between(events, 10, 30), 2u);  // [10, 30)
+  EXPECT_EQ(count_fatal_between(events, 11, 20), 0u);
+  EXPECT_EQ(count_fatal_between(events, 0, 100), 3u);
+  EXPECT_EQ(count_fatal_between(events, 30, 30), 0u);
+}
+
+}  // namespace
+}  // namespace dml::bgl

@@ -1,0 +1,171 @@
+#include "bgl/taxonomy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace dml::bgl {
+namespace {
+
+TEST(Taxonomy, TotalCountsMatchTable3) {
+  // Table 3: 69 fatal + 150 non-fatal = 219 low-level categories.
+  const Taxonomy& tax = taxonomy();
+  EXPECT_EQ(tax.size(), 219u);
+  EXPECT_EQ(tax.fatal_ids().size(), 69u);
+  EXPECT_EQ(tax.nonfatal_ids().size(), 150u);
+}
+
+TEST(Taxonomy, PerFacilityCountsMatchTable3) {
+  const std::map<Facility, std::pair<int, int>> expected = {
+      {Facility::kApp, {10, 7}},      {Facility::kBglMaster, {2, 2}},
+      {Facility::kCmcs, {0, 4}},      {Facility::kDiscovery, {0, 24}},
+      {Facility::kHardware, {1, 12}}, {Facility::kKernel, {46, 90}},
+      {Facility::kLinkCard, {1, 0}},  {Facility::kMmcs, {0, 5}},
+      {Facility::kMonitor, {9, 5}},   {Facility::kServNet, {0, 1}},
+  };
+  for (const auto& fc : taxonomy().facility_counts()) {
+    const auto it = expected.find(fc.facility);
+    ASSERT_NE(it, expected.end());
+    EXPECT_EQ(fc.fatal, it->second.first) << to_string(fc.facility);
+    EXPECT_EQ(fc.nonfatal, it->second.second) << to_string(fc.facility);
+  }
+}
+
+TEST(Taxonomy, FatalCategoriesHaveFatalSeverity) {
+  for (CategoryId id : taxonomy().fatal_ids()) {
+    const auto& cat = taxonomy().category(id);
+    EXPECT_TRUE(is_fatal_severity(cat.severity)) << cat.name;
+    EXPECT_FALSE(cat.nominally_fatal) << cat.name;
+  }
+}
+
+TEST(Taxonomy, NominallyFatalCategoriesExistAndAreDemoted) {
+  // The "fake fatal" events of Oliner & Stearley: FATAL severity, not in
+  // the cleaned failure list.
+  std::size_t nominal = 0;
+  for (const auto& cat : taxonomy().categories()) {
+    if (cat.nominally_fatal) {
+      ++nominal;
+      EXPECT_FALSE(cat.fatal) << cat.name;
+      EXPECT_TRUE(is_fatal_severity(cat.severity)) << cat.name;
+    }
+  }
+  EXPECT_GE(nominal, 5u);
+  EXPECT_LE(nominal, 12u);
+}
+
+TEST(Taxonomy, NamesAreUniqueAndNamespaced) {
+  std::set<std::string> names;
+  for (const auto& cat : taxonomy().categories()) {
+    EXPECT_TRUE(names.insert(cat.name).second) << "duplicate: " << cat.name;
+    EXPECT_NE(cat.name.find('.'), std::string::npos) << cat.name;
+  }
+}
+
+TEST(Taxonomy, PatternsUniqueWithinFacilityAndSeverity) {
+  std::set<std::tuple<Facility, Severity, std::string>> keys;
+  for (const auto& cat : taxonomy().categories()) {
+    EXPECT_TRUE(
+        keys.insert({cat.facility, cat.severity, cat.pattern}).second)
+        << cat.name;
+  }
+}
+
+TEST(Taxonomy, ContainsPaperQuotedEvents) {
+  // §2.1 quotes "uncorrectable torus error" and "uncorrectable error
+  // detected in edram bank" as fatal KERNEL events.
+  bool torus = false, edram = false;
+  for (CategoryId id : taxonomy().fatal_ids()) {
+    const auto& cat = taxonomy().category(id);
+    if (cat.pattern == "uncorrectable torus error") torus = true;
+    if (cat.pattern == "uncorrectable error detected in edram bank") {
+      edram = true;
+    }
+  }
+  EXPECT_TRUE(torus);
+  EXPECT_TRUE(edram);
+}
+
+TEST(Taxonomy, ClassifyFindsCategoryFromMessage) {
+  const Taxonomy& tax = taxonomy();
+  const auto& cat = tax.category(tax.fatal_ids().front());
+  const auto result = tax.classify(cat.facility, cat.severity,
+                                   cat.pattern + " [inst deadbeef]");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, cat.id);
+}
+
+TEST(Taxonomy, ClassifyPrefersLongestPattern) {
+  // A variant pattern "X (code 1)" must not be shadowed by its stem "X".
+  const Taxonomy& tax = taxonomy();
+  const EventCategory* variant = nullptr;
+  for (const auto& cat : tax.categories()) {
+    if (cat.pattern.find("(code 1)") != std::string::npos) {
+      variant = &cat;
+      break;
+    }
+  }
+  ASSERT_NE(variant, nullptr);
+  const auto result = tax.classify(variant->facility, variant->severity,
+                                   variant->pattern + " extra");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, variant->id);
+}
+
+TEST(Taxonomy, ClassifyEveryCategoryRoundTrips) {
+  const Taxonomy& tax = taxonomy();
+  for (const auto& cat : tax.categories()) {
+    const auto result =
+        tax.classify(cat.facility, cat.severity, cat.pattern + " [x]");
+    ASSERT_TRUE(result.has_value()) << cat.name;
+    EXPECT_EQ(*result, cat.id) << cat.name;
+  }
+}
+
+TEST(Taxonomy, ClassifyFailsForUnknownMessage) {
+  EXPECT_FALSE(taxonomy()
+                   .classify(Facility::kKernel, Severity::kFatal,
+                             "message from another machine entirely")
+                   .has_value());
+}
+
+TEST(Taxonomy, ClassifyRequiresSeverityMatch) {
+  const Taxonomy& tax = taxonomy();
+  const auto& cat = tax.category(tax.fatal_ids().front());
+  EXPECT_FALSE(
+      tax.classify(cat.facility, Severity::kInfo, cat.pattern).has_value());
+}
+
+TEST(Taxonomy, FindByName) {
+  const Taxonomy& tax = taxonomy();
+  const auto& cat = tax.category(5);
+  EXPECT_EQ(tax.find_by_name(cat.name), cat.id);
+  EXPECT_FALSE(tax.find_by_name("no.such.category").has_value());
+}
+
+TEST(Taxonomy, FacilityStringsRoundTrip) {
+  for (int i = 0; i < kNumFacilities; ++i) {
+    const auto f = static_cast<Facility>(i);
+    EXPECT_EQ(facility_from_string(to_string(f)), f);
+  }
+  EXPECT_FALSE(facility_from_string("BOGUS").has_value());
+}
+
+TEST(Taxonomy, EventTypeStringsRoundTrip) {
+  for (EventType t : {EventType::kRas, EventType::kMmcs, EventType::kAppOut}) {
+    EXPECT_EQ(event_type_from_string(to_string(t)), t);
+  }
+  EXPECT_FALSE(event_type_from_string("???").has_value());
+}
+
+TEST(Taxonomy, CategoryThrowsOnBadId) {
+  EXPECT_THROW(taxonomy().category(60000), std::out_of_range);
+}
+
+TEST(Taxonomy, SharedInstanceIsStable) {
+  EXPECT_EQ(&taxonomy(), &taxonomy());
+}
+
+}  // namespace
+}  // namespace dml::bgl

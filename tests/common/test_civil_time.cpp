@@ -1,0 +1,88 @@
+#include "common/civil_time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dml {
+namespace {
+
+TEST(CivilTime, EpochIsUnixEpoch) {
+  const CivilTime c = civil_from_time(0);
+  EXPECT_EQ(c, (CivilTime{1970, 1, 1, 0, 0, 0}));
+  EXPECT_EQ(time_from_civil({1970, 1, 1, 0, 0, 0}), 0);
+}
+
+TEST(CivilTime, KnownDates) {
+  // The ANL log begins 2005-01-21 (paper Table 2).
+  const TimeSec t = time_from_civil({2005, 1, 21, 0, 0, 0});
+  EXPECT_EQ(t, 1106265600);
+  EXPECT_EQ(civil_from_time(t), (CivilTime{2005, 1, 21, 0, 0, 0}));
+}
+
+TEST(CivilTime, LeapYearHandling) {
+  const TimeSec feb29 = time_from_civil({2004, 2, 29, 12, 0, 0});
+  EXPECT_EQ(civil_from_time(feb29), (CivilTime{2004, 2, 29, 12, 0, 0}));
+  // 2004-02-29 + 1 day == 2004-03-01.
+  EXPECT_EQ(civil_from_time(feb29 + kSecondsPerDay),
+            (CivilTime{2004, 3, 1, 12, 0, 0}));
+  // 1900 is not a leap year, 2000 is.
+  EXPECT_EQ(civil_from_time(time_from_civil({2000, 2, 29, 0, 0, 0})).day, 29);
+}
+
+TEST(CivilTime, RoundTripSweep) {
+  // Sweep odd offsets across ~4 years including leap boundaries.
+  const TimeSec start = time_from_civil({2004, 12, 6, 0, 0, 0});
+  for (TimeSec t = start; t < start + 4 * 366 * kSecondsPerDay;
+       t += 86399 * 13) {
+    EXPECT_EQ(time_from_civil(civil_from_time(t)), t) << "t=" << t;
+  }
+}
+
+TEST(CivilTime, NegativeTimesRoundTrip) {
+  for (TimeSec t : {-1, -86400, -86401, -123456789}) {
+    EXPECT_EQ(time_from_civil(civil_from_time(t)), t) << "t=" << t;
+  }
+}
+
+TEST(CivilTime, FormatMatchesBlueGeneShape) {
+  const TimeSec t = time_from_civil({2006, 1, 13, 9, 5, 59});
+  EXPECT_EQ(format_timestamp(t), "2006-01-13-09.05.59");
+}
+
+TEST(CivilTime, ParseRoundTrip) {
+  const TimeSec t = time_from_civil({2007, 6, 11, 23, 59, 1});
+  EXPECT_EQ(parse_timestamp(format_timestamp(t)), t);
+}
+
+TEST(CivilTime, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(parse_timestamp(""));
+  EXPECT_FALSE(parse_timestamp("2006-01-13 09.05.59"));   // wrong separator
+  EXPECT_FALSE(parse_timestamp("2006-01-13-09:05:59"));   // wrong separator
+  EXPECT_FALSE(parse_timestamp("2006-13-01-09.05.59"));   // month 13
+  EXPECT_FALSE(parse_timestamp("2006-02-29-00.00.00"));   // not a leap year
+  EXPECT_FALSE(parse_timestamp("2006-01-13-24.00.00"));   // hour 24
+  EXPECT_FALSE(parse_timestamp("2006-01-13-09.60.00"));   // minute 60
+  EXPECT_FALSE(parse_timestamp("2006-01-13-09.05.5"));    // too short
+  EXPECT_FALSE(parse_timestamp("x006-01-13-09.05.59"));   // non-digit
+}
+
+TEST(CivilTime, ParseAcceptsLeapDay) {
+  EXPECT_TRUE(parse_timestamp("2004-02-29-00.00.00").has_value());
+}
+
+TEST(CivilTime, DaysFromCivilMatchesKnownAnchors) {
+  EXPECT_EQ(days_from_civil(1970, 1, 1), 0);
+  EXPECT_EQ(days_from_civil(1970, 1, 2), 1);
+  EXPECT_EQ(days_from_civil(1969, 12, 31), -1);
+  EXPECT_EQ(days_from_civil(2000, 3, 1), 11017);
+}
+
+TEST(CivilTime, WeekAndDayIndexing) {
+  const TimeSec origin = time_from_civil({2005, 1, 21, 0, 0, 0});
+  EXPECT_EQ(week_index(origin, origin), 0);
+  EXPECT_EQ(week_index(origin + kSecondsPerWeek - 1, origin), 0);
+  EXPECT_EQ(week_index(origin + kSecondsPerWeek, origin), 1);
+  EXPECT_EQ(day_index(origin + 3 * kSecondsPerDay + 1, origin), 3);
+}
+
+}  // namespace
+}  // namespace dml

@@ -1,0 +1,170 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace dml {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformIsInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexCoversRangeUniformly) {
+  Rng rng(13);
+  std::vector<int> counts(7, 0);
+  constexpr int kN = 70000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.uniform_index(7)];
+  for (int c : counts) EXPECT_NEAR(c, kN / 7, kN / 7 * 0.1);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(17);
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(42.0);
+  EXPECT_NEAR(sum / kN, 42.0, 1.0);
+}
+
+TEST(Rng, WeibullShapeOneIsExponential) {
+  // Weibull(shape=1, scale) == Exponential(mean=scale).
+  Rng rng(19);
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.weibull(1.0, 10.0);
+  EXPECT_NEAR(sum / kN, 10.0, 0.25);
+}
+
+TEST(Rng, WeibullLowShapeIsHeavyTailed) {
+  // shape 0.5 => mean = scale * Gamma(3) = 2 * scale.
+  Rng rng(23);
+  double sum = 0.0;
+  constexpr int kN = 400000;
+  for (int i = 0; i < kN; ++i) sum += rng.weibull(0.5, 100.0);
+  EXPECT_NEAR(sum / kN, 200.0, 10.0);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(29);
+  double sum = 0.0, sum2 = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / kN, 1.0, 0.03);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(31);
+  int below = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    if (rng.lognormal(3.0, 1.5) < std::exp(3.0)) ++below;
+  }
+  EXPECT_NEAR(below, kN / 2, kN / 2 * 0.05);
+}
+
+TEST(Rng, PoissonSmallMean) {
+  Rng rng(37);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += static_cast<double>(rng.poisson(3.5));
+  EXPECT_NEAR(sum / kN, 3.5, 0.1);
+}
+
+TEST(Rng, PoissonLargeMeanUsesNormalApprox) {
+  Rng rng(41);
+  double sum = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) sum += static_cast<double>(rng.poisson(120.0));
+  EXPECT_NEAR(sum / kN, 120.0, 1.5);
+}
+
+TEST(Rng, PoissonZeroMeanIsZero) {
+  Rng rng(43);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_EQ(rng.poisson(-1.0), 0u);
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng rng(47);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits, 30000, 1000);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(53);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  constexpr int kN = 40000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[0], kN / 4, kN / 4 * 0.1);
+  EXPECT_NEAR(counts[2], 3 * kN / 4, kN / 4 * 0.1);
+}
+
+TEST(Rng, WeightedIndexAllZeroWeightsReturnsZero) {
+  Rng rng(59);
+  const std::vector<double> weights = {0.0, 0.0};
+  EXPECT_EQ(rng.weighted_index(weights), 0u);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(61);
+  Rng forked = a.fork();
+  // The fork must not replay the parent's stream.
+  Rng b(61);
+  b.next_u64();  // advance past the fork draw
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (forked.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(SplitMix64, KnownSequenceIsStable) {
+  SplitMix64 sm(0);
+  const std::uint64_t first = sm.next();
+  SplitMix64 sm2(0);
+  EXPECT_EQ(sm2.next(), first);
+  EXPECT_NE(sm.next(), first);
+}
+
+}  // namespace
+}  // namespace dml

@@ -1,0 +1,42 @@
+#include "common/severity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dml {
+namespace {
+
+TEST(Severity, OrderingMatchesPaper) {
+  // INFO < WARNING < SEVERE < ERROR < FATAL < FAILURE (paper §2.1).
+  EXPECT_LT(Severity::kInfo, Severity::kWarning);
+  EXPECT_LT(Severity::kWarning, Severity::kSevere);
+  EXPECT_LT(Severity::kSevere, Severity::kError);
+  EXPECT_LT(Severity::kError, Severity::kFatal);
+  EXPECT_LT(Severity::kFatal, Severity::kFailure);
+}
+
+TEST(Severity, OnlyFatalAndFailureAreFatalSeverities) {
+  EXPECT_FALSE(is_fatal_severity(Severity::kInfo));
+  EXPECT_FALSE(is_fatal_severity(Severity::kWarning));
+  EXPECT_FALSE(is_fatal_severity(Severity::kSevere));
+  EXPECT_FALSE(is_fatal_severity(Severity::kError));
+  EXPECT_TRUE(is_fatal_severity(Severity::kFatal));
+  EXPECT_TRUE(is_fatal_severity(Severity::kFailure));
+}
+
+TEST(Severity, StringRoundTrip) {
+  for (int i = 0; i < kNumSeverities; ++i) {
+    const auto s = static_cast<Severity>(i);
+    const auto parsed = severity_from_string(to_string(s));
+    ASSERT_TRUE(parsed.has_value()) << to_string(s);
+    EXPECT_EQ(*parsed, s);
+  }
+}
+
+TEST(Severity, ParseRejectsUnknown) {
+  EXPECT_FALSE(severity_from_string("fatal").has_value());  // case-sensitive
+  EXPECT_FALSE(severity_from_string("").has_value());
+  EXPECT_FALSE(severity_from_string("CRITICAL").has_value());
+}
+
+}  // namespace
+}  // namespace dml

@@ -1,0 +1,73 @@
+#include "common/string_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dml {
+namespace {
+
+TEST(Split, BasicFields) {
+  const auto parts = split("a|b|c", '|');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split("|x||", '|');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, NoDelimiterYieldsWholeString) {
+  const auto parts = split("hello", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(Split, EmptyInputYieldsOneEmptyField) {
+  const auto parts = split("", '|');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim("hello"), "hello");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Trim, PreservesInteriorWhitespace) {
+  EXPECT_EQ(trim(" a b "), "a b");
+}
+
+TEST(Join, BasicAndEdgeCases) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({"only"}, ", "), "only");
+  EXPECT_EQ(join({}, ", "), "");
+}
+
+TEST(StartsWith, Cases) {
+  EXPECT_TRUE(starts_with("# BGL-RAS-LOG", "# "));
+  EXPECT_FALSE(starts_with("#", "# "));
+  EXPECT_TRUE(starts_with("abc", ""));
+  EXPECT_FALSE(starts_with("", "x"));
+}
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(to_lower("KERNEL Panic 42!"), "kernel panic 42!");
+}
+
+TEST(ReplaceAll, Cases) {
+  EXPECT_EQ(replace_all("a-b-c", "-", "+"), "a+b+c");
+  EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(replace_all("none", "x", "y"), "none");
+  EXPECT_EQ(replace_all("abc", "", "z"), "abc");  // empty pattern: no-op
+}
+
+}  // namespace
+}  // namespace dml

@@ -1,0 +1,173 @@
+// Parameterized property sweeps over the framework's key invariants.
+#include <gtest/gtest.h>
+
+#include "learners/transactions.hpp"
+#include "online/driver.hpp"
+#include "predict/outcome_matcher.hpp"
+#include "predict/predictor.hpp"
+#include "support/test_fixtures.hpp"
+
+namespace dml {
+namespace {
+
+// ---------------------------------------------------------------------
+// Property: predictor warnings always respect issue/deadline invariants,
+// for every rule-generation window.
+class WindowProperty : public ::testing::TestWithParam<DurationSec> {};
+
+TEST_P(WindowProperty, WarningsAreWellFormed) {
+  const DurationSec window = GetParam();
+  const auto& store = testing::shared_store();
+  meta::MetaLearner learner{meta::MetaLearnerConfig{}};
+  const auto repo = learner.learn(testing::weeks_of(store, 0, 20), window);
+  predict::Predictor predictor(repo, window);
+  const auto test_events = testing::weeks_of(store, 20, 28);
+  const auto warnings = predictor.run(test_events, window);
+  TimeSec prev = 0;
+  for (const auto& w : warnings) {
+    EXPECT_GE(w.issued_at, prev);
+    prev = w.issued_at;
+    EXPECT_GE(w.deadline, w.issued_at + window);
+    if (w.source != learners::RuleSource::kDistribution) {
+      EXPECT_EQ(w.deadline, w.issued_at + window);
+    }
+    if (w.category.has_value()) {
+      EXPECT_EQ(w.source, learners::RuleSource::kAssociation);
+      EXPECT_TRUE(bgl::taxonomy().category(*w.category).fatal);
+    }
+    EXPECT_NE(repo.find(w.rule_id), nullptr);
+  }
+}
+
+TEST_P(WindowProperty, EvaluationCountsAreConsistent) {
+  const DurationSec window = GetParam();
+  const auto& store = testing::shared_store();
+  meta::MetaLearner learner{meta::MetaLearnerConfig{}};
+  const auto repo = learner.learn(testing::weeks_of(store, 0, 20), window);
+  predict::Predictor predictor(repo, window);
+  const auto test_events = testing::weeks_of(store, 20, 28);
+  const auto warnings = predictor.run(test_events, window);
+  const auto result =
+      predict::evaluate_predictions(test_events, warnings, window);
+  // Tp + Fn == total failures.
+  EXPECT_EQ(result.overall.true_positives + result.overall.false_negatives,
+            result.total_fatals);
+  // Fp cannot exceed the warning count.
+  EXPECT_LE(result.overall.false_positives, result.total_warnings);
+  // Coverage mask agrees with Tp.
+  std::size_t covered = 0;
+  for (auto mask : result.fatal_coverage_mask) covered += mask != 0 ? 1 : 0;
+  EXPECT_EQ(covered, result.overall.true_positives);
+}
+
+INSTANTIATE_TEST_SUITE_P(WindowSweep, WindowProperty,
+                         ::testing::Values<DurationSec>(60, 300, 900, 1800,
+                                                        3600, 7200));
+
+// ---------------------------------------------------------------------
+// Property: Figure 13's monotone trend — recall grows with the
+// prediction window.
+TEST(WindowTrend, RecallGrowsWithWindow) {
+  const auto& store = testing::shared_store();
+  double prev_recall = -1.0;
+  for (DurationSec window : {60, 300, 3600}) {
+    online::DriverConfig config;
+    config.prediction_window = window;
+    config.clock_tick = window;
+    config.training_weeks = 12;
+    const auto result = online::DynamicDriver(config).run(store);
+    const double recall = result.overall_recall();
+    EXPECT_GT(recall, prev_recall - 0.02)
+        << "window " << window << " recall " << recall;
+    prev_recall = recall;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Property: transactions always contain sorted unique non-fatal items
+// within the window, across seeds and windows.
+class TransactionProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, DurationSec>> {
+};
+
+TEST_P(TransactionProperty, InvariantsHold) {
+  const auto [seed, window] = GetParam();
+  auto profile = testing::tiny_profile(6);
+  const auto events =
+      loggen::LogGenerator(profile, seed).generate_unique_events();
+  const auto transactions =
+      learners::build_failure_transactions(events, window);
+  std::size_t fatal_count = 0;
+  for (const auto& e : events) fatal_count += e.fatal ? 1 : 0;
+  EXPECT_EQ(transactions.size(), fatal_count);
+  for (const auto& tx : transactions) {
+    EXPECT_TRUE(bgl::taxonomy().category(tx.consequent).fatal);
+    EXPECT_TRUE(std::is_sorted(tx.items.begin(), tx.items.end()));
+    EXPECT_TRUE(std::adjacent_find(tx.items.begin(), tx.items.end()) ==
+                tx.items.end());
+    for (CategoryId item : tx.items) {
+      EXPECT_FALSE(bgl::taxonomy().category(item).fatal);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndWindows, TransactionProperty,
+    ::testing::Combine(::testing::Values<std::uint64_t>(1, 2, 3),
+                       ::testing::Values<DurationSec>(60, 300, 1800)));
+
+// ---------------------------------------------------------------------
+// Property: the generator respects its profile across seeds.
+class GeneratorProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorProperty, EventStreamInvariants) {
+  auto profile = testing::tiny_profile(5);
+  const auto events =
+      loggen::LogGenerator(profile, GetParam()).generate_unique_events();
+  ASSERT_FALSE(events.empty());
+  std::size_t fatal = 0;
+  for (const auto& e : events) {
+    EXPECT_GE(e.time, profile.start_time);
+    EXPECT_LT(e.time, profile.end_time());
+    fatal += e.fatal ? 1 : 0;
+  }
+  // Failures exist but are rare events relative to all log traffic.
+  EXPECT_GT(fatal, 10u);
+  EXPECT_LT(fatal, events.size() / 2);
+}
+
+TEST_P(GeneratorProperty, MonitorStaysSilentOnSdscProfile) {
+  auto profile = testing::tiny_profile(4);
+  const auto events =
+      loggen::LogGenerator(profile, GetParam()).generate_unique_events();
+  for (const auto& e : events) {
+    const auto& cat = bgl::taxonomy().category(e.category);
+    if (cat.facility == bgl::Facility::kMonitor) {
+      // MONITOR noise is zero on SDSC (Table 4); only MONITOR *fatal*
+      // events (from the fault process) may appear.
+      EXPECT_TRUE(cat.fatal) << cat.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorProperty,
+                         ::testing::Values<std::uint64_t>(11, 22, 33, 44));
+
+// ---------------------------------------------------------------------
+// Property: retraining cadence — more frequent retraining never hurts
+// much (Figure 10: differences < ~0.06 in the paper).
+TEST(RetrainTrend, FrequentRetrainingIsAtLeastComparable) {
+  const auto& store = testing::shared_store();
+  auto run = [&](int weeks) {
+    online::DriverConfig config;
+    config.retrain_weeks = weeks;
+    config.training_weeks = 12;
+    return online::DynamicDriver(config).run(store);
+  };
+  const double recall_2 = run(2).overall_recall();
+  const double recall_8 = run(8).overall_recall();
+  EXPECT_GT(recall_2, recall_8 - 0.12);
+}
+
+}  // namespace
+}  // namespace dml

@@ -1,0 +1,139 @@
+#include "learners/apriori.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/rng.hpp"
+
+namespace dml::learners {
+namespace {
+
+std::map<Itemset, std::uint32_t> as_map(
+    const std::vector<FrequentItemset>& itemsets) {
+  std::map<Itemset, std::uint32_t> m;
+  for (const auto& fi : itemsets) m[fi.items] = fi.count;
+  return m;
+}
+
+TEST(Apriori, TextbookExample) {
+  const std::vector<Itemset> transactions = {
+      {1, 2, 5}, {2, 4}, {2, 3}, {1, 2, 4}, {1, 3}, {2, 3}, {1, 3},
+      {1, 2, 3, 5}, {1, 2, 3}};
+  AprioriConfig config;
+  config.min_support = 2.0 / 9.0;  // min count 2
+  config.max_items = 3;
+  const auto result = as_map(mine_frequent_itemsets(transactions, config));
+  // Classic Han & Kamber example results.
+  EXPECT_EQ(result.at({1}), 6u);
+  EXPECT_EQ(result.at({2}), 7u);
+  EXPECT_EQ(result.at({3}), 6u);
+  EXPECT_EQ(result.at({4}), 2u);
+  EXPECT_EQ(result.at({5}), 2u);
+  EXPECT_EQ(result.at({1, 2}), 4u);
+  EXPECT_EQ(result.at({1, 3}), 4u);
+  EXPECT_EQ(result.at({1, 5}), 2u);
+  EXPECT_EQ(result.at({2, 3}), 4u);
+  EXPECT_EQ(result.at({2, 4}), 2u);
+  EXPECT_EQ(result.at({2, 5}), 2u);
+  EXPECT_EQ(result.at({1, 2, 3}), 2u);
+  EXPECT_EQ(result.at({1, 2, 5}), 2u);
+  EXPECT_EQ(result.size(), 13u);
+  EXPECT_FALSE(result.contains({3, 4}));
+}
+
+TEST(Apriori, MaxItemsLimitsDepth) {
+  const std::vector<Itemset> transactions = {{1, 2, 3}, {1, 2, 3}, {1, 2, 3}};
+  AprioriConfig config;
+  config.min_support = 0.5;
+  config.max_items = 2;
+  const auto result = mine_frequent_itemsets(transactions, config);
+  for (const auto& fi : result) {
+    EXPECT_LE(fi.items.size(), 2u);
+  }
+}
+
+TEST(Apriori, MinSupportOfZeroStillRequiresOneOccurrence) {
+  const std::vector<Itemset> transactions = {{1}, {2}};
+  AprioriConfig config;
+  config.min_support = 0.0;
+  const auto result = as_map(mine_frequent_itemsets(transactions, config));
+  EXPECT_EQ(result.size(), 2u);
+  EXPECT_FALSE(result.contains({3}));
+}
+
+TEST(Apriori, EmptyInputs) {
+  AprioriConfig config;
+  EXPECT_TRUE(mine_frequent_itemsets({}, config).empty());
+  config.max_items = 0;
+  const std::vector<Itemset> transactions = {{1}};
+  EXPECT_TRUE(mine_frequent_itemsets(transactions, config).empty());
+}
+
+TEST(Apriori, CountsMatchBruteForceOnRandomData) {
+  // Property check against a brute-force subset counter.
+  dml::Rng rng(5);
+  std::vector<Itemset> transactions;
+  for (int t = 0; t < 300; ++t) {
+    Itemset tx;
+    for (CategoryId c = 0; c < 12; ++c) {
+      if (rng.bernoulli(0.25)) tx.push_back(c);
+    }
+    transactions.push_back(tx);
+  }
+  AprioriConfig config;
+  config.min_support = 0.05;
+  config.max_items = 3;
+  const auto mined = mine_frequent_itemsets(transactions, config);
+  ASSERT_FALSE(mined.empty());
+  for (const auto& fi : mined) {
+    std::uint32_t brute = 0;
+    for (const auto& tx : transactions) {
+      if (contains_sorted(tx, fi.items)) ++brute;
+    }
+    EXPECT_EQ(fi.count, brute);
+    EXPECT_GE(fi.count, static_cast<std::uint32_t>(
+                            std::ceil(0.05 * transactions.size())));
+  }
+}
+
+TEST(Apriori, FindsAllFrequentPairsOnRandomData) {
+  // Downward-closure completeness: every pair above support must appear.
+  dml::Rng rng(6);
+  std::vector<Itemset> transactions;
+  for (int t = 0; t < 200; ++t) {
+    Itemset tx;
+    for (CategoryId c = 0; c < 8; ++c) {
+      if (rng.bernoulli(0.35)) tx.push_back(c);
+    }
+    transactions.push_back(tx);
+  }
+  AprioriConfig config;
+  config.min_support = 0.1;
+  config.max_items = 2;
+  const auto mined = as_map(mine_frequent_itemsets(transactions, config));
+  const auto min_count = static_cast<std::uint32_t>(
+      std::ceil(0.1 * transactions.size()));
+  for (CategoryId a = 0; a < 8; ++a) {
+    for (CategoryId b = a + 1; b < 8; ++b) {
+      std::uint32_t brute = 0;
+      for (const auto& tx : transactions) {
+        if (contains_sorted(tx, {a, b})) ++brute;
+      }
+      EXPECT_EQ(mined.contains({a, b}), brute >= min_count)
+          << "(" << a << "," << b << ")";
+    }
+  }
+}
+
+TEST(ContainsSorted, Cases) {
+  EXPECT_TRUE(contains_sorted({1, 2, 3}, {2}));
+  EXPECT_TRUE(contains_sorted({1, 2, 3}, {1, 3}));
+  EXPECT_TRUE(contains_sorted({1, 2, 3}, {}));
+  EXPECT_FALSE(contains_sorted({1, 2, 3}, {4}));
+  EXPECT_FALSE(contains_sorted({}, {1}));
+}
+
+}  // namespace
+}  // namespace dml::learners

@@ -1,0 +1,170 @@
+#include "learners/association_learner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "loggen/signatures.hpp"
+#include "support/test_fixtures.hpp"
+
+namespace dml::learners {
+namespace {
+
+bgl::Event ev(TimeSec t, CategoryId cat, bool fatal) {
+  bgl::Event e;
+  e.time = t;
+  e.category = cat;
+  e.fatal = fatal;
+  return e;
+}
+
+/// Synthetic training set: pattern {1,2} -> 50 planted in 20 of 30
+/// failure windows.
+std::vector<bgl::Event> planted_training() {
+  std::vector<bgl::Event> events;
+  TimeSec t = 0;
+  for (int i = 0; i < 30; ++i) {
+    t += 4000;
+    if (i % 3 != 2) {  // 20 of 30 fatals carry the signature
+      events.push_back(ev(t - 120, 1, false));
+      events.push_back(ev(t - 60, 2, false));
+    }
+    events.push_back(ev(t, 50, true));
+  }
+  return events;
+}
+
+TEST(AssociationLearner, FindsPlantedRule) {
+  AssociationLearner learner;
+  const auto rules = learner.learn(planted_training(), 300);
+  const AssociationRule* found = nullptr;
+  for (const auto& rule : rules) {
+    const auto* ar = rule.as_association();
+    if (ar->antecedent == Itemset{1, 2} && ar->consequent == 50) found = ar;
+  }
+  ASSERT_NE(found, nullptr);
+  EXPECT_NEAR(found->support, 20.0 / 30.0, 1e-9);
+  EXPECT_NEAR(found->confidence, 1.0, 1e-9);
+}
+
+TEST(AssociationLearner, RespectsMinAntecedent) {
+  AssociationConfig config;
+  config.min_antecedent = 2;
+  AssociationLearner learner(config);
+  for (const auto& rule : learner.learn(planted_training(), 300)) {
+    EXPECT_GE(rule.as_association()->antecedent.size(), 2u);
+  }
+}
+
+TEST(AssociationLearner, SingleItemRulesWhenAllowed) {
+  AssociationConfig config;
+  config.min_antecedent = 1;
+  AssociationLearner learner(config);
+  const auto rules = learner.learn(planted_training(), 300);
+  bool has_single = false;
+  for (const auto& rule : rules) {
+    if (rule.as_association()->antecedent.size() == 1) has_single = true;
+  }
+  // {1}->50 and {2}->50 are subsumed by nothing shorter but have equal
+  // confidence to {1,2}->50, so the subsumption filter keeps the single
+  // and drops the pair.
+  EXPECT_TRUE(has_single);
+}
+
+TEST(AssociationLearner, ConfidenceThresholdFilters) {
+  // Plant a weak pattern: {3} precedes fatal 50 in 2 of 30 windows, and
+  // appears in 20 windows of fatal 51 -> confidence into 50 is low.
+  std::vector<bgl::Event> events;
+  TimeSec t = 0;
+  for (int i = 0; i < 30; ++i) {
+    t += 4000;
+    events.push_back(ev(t - 100, 3, false));
+    events.push_back(ev(t - 90, 4, false));
+    events.push_back(ev(t, i < 2 ? 50 : 51, true));
+  }
+  AssociationConfig config;
+  config.min_confidence = 0.5;
+  AssociationLearner learner(config);
+  for (const auto& rule : learner.learn(events, 300)) {
+    EXPECT_NE(rule.as_association()->consequent, 50);
+    EXPECT_GE(rule.as_association()->confidence, 0.5);
+  }
+}
+
+TEST(AssociationLearner, SupportThresholdFilters) {
+  AssociationConfig config;
+  config.min_support = 0.9;  // planted pattern has support 2/3
+  AssociationLearner learner(config);
+  EXPECT_TRUE(learner.learn(planted_training(), 300).empty());
+}
+
+TEST(AssociationLearner, EmptyTrainingYieldsNoRules) {
+  AssociationLearner learner;
+  EXPECT_TRUE(learner.learn({}, 300).empty());
+}
+
+TEST(AssociationLearner, NoPrecursorsYieldsNoRules) {
+  std::vector<bgl::Event> events;
+  for (int i = 0; i < 20; ++i) {
+    events.push_back(ev(4000 * (i + 1), 50, true));
+  }
+  AssociationLearner learner;
+  EXPECT_TRUE(learner.learn(events, 300).empty());
+}
+
+TEST(AssociationLearner, RecoversGeneratorSignatures) {
+  // On the shared generated log, the rules surviving the reviser should
+  // overlap the generator's hidden signature library (the raw mined set
+  // additionally contains decoy-pattern rules, which is by design).
+  const auto& store = testing::shared_store();
+  const auto& generator = testing::shared_generator();
+  const auto& repo = testing::shared_repository();
+
+  // Signatures drift during the 26-week training span: a rule counts as
+  // a rediscovery if it matches the library in force at any point of
+  // the span.
+  std::vector<const loggen::SignatureLibrary*> libraries;
+  for (int week = 0; week <= 26; week += 3) {
+    libraries.push_back(
+        &generator.library_at(store.first_time() + week * kSecondsPerWeek));
+  }
+  std::size_t exact = 0, anchored = 0, association = 0;
+  for (const auto& stored : repo.rules()) {
+    const auto* ar = stored.rule.as_association();
+    if (ar == nullptr) continue;
+    ++association;
+    bool is_exact = false, is_anchored = false;
+    for (const auto* library : libraries) {
+      const auto* sig = library->find(ar->consequent);
+      if (sig == nullptr) continue;
+      // Exact rediscovery: antecedent is a subset of the signature.
+      if (std::includes(sig->precursors.begin(), sig->precursors.end(),
+                        ar->antecedent.begin(), ar->antecedent.end())) {
+        is_exact = true;
+      }
+      // Anchored: at least one antecedent item is a true precursor (the
+      // rest may be co-occurring chatter the miner picked up — such
+      // rules still fire on genuine precursor activity).
+      for (CategoryId item : ar->antecedent) {
+        if (std::binary_search(sig->precursors.begin(),
+                               sig->precursors.end(), item)) {
+          is_anchored = true;
+        }
+      }
+    }
+    exact += is_exact ? 1 : 0;
+    anchored += is_anchored ? 1 : 0;
+  }
+  ASSERT_GT(association, 5u);
+  // A meaningful share of survivors are exact rediscoveries (precursor
+  // categories are shared across signatures, so many honest rules mix
+  // items of several signatures), and nearly all are at least anchored
+  // on a true precursor.
+  EXPECT_GT(exact, association / 5);
+  EXPECT_GT(anchored, association * 4 / 5);
+}
+
+TEST(AssociationLearner, SourceTag) {
+  EXPECT_EQ(AssociationLearner().source(), RuleSource::kAssociation);
+}
+
+}  // namespace
+}  // namespace dml::learners

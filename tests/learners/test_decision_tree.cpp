@@ -1,0 +1,129 @@
+#include "learners/decision_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace dml::learners {
+namespace {
+
+LabelledSample sample(double warning_count, double elapsed, bool positive) {
+  LabelledSample s;
+  s.features[kWarningCount] = warning_count;
+  s.features[kLogElapsedSinceFatal] = elapsed;
+  s.positive = positive;
+  return s;
+}
+
+/// Separable data: positive iff warning count > 4.
+std::vector<LabelledSample> separable(int n) {
+  std::vector<LabelledSample> samples;
+  dml::Rng rng(3);
+  for (int i = 0; i < n; ++i) {
+    const double w = static_cast<double>(rng.uniform_index(10));
+    samples.push_back(sample(w, rng.uniform(0.0, 20.0), w > 4.0));
+  }
+  return samples;
+}
+
+TEST(DecisionTree, LearnsSeparableConcept) {
+  const auto samples = separable(500);
+  const auto tree = DecisionTree::fit(samples);
+  for (const auto& s : samples) {
+    const double p = tree.predict(s.features);
+    EXPECT_EQ(p >= 0.5, s.positive)
+        << "warning_count=" << s.features[kWarningCount];
+  }
+  EXPECT_GE(tree.node_count(), 3u);
+}
+
+TEST(DecisionTree, EmptyInputIsConstantZero) {
+  const auto tree = DecisionTree::fit({});
+  EXPECT_DOUBLE_EQ(tree.predict(FeatureVector{}), 0.0);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.depth(), 1);
+}
+
+TEST(DecisionTree, PureInputIsSingleLeaf) {
+  std::vector<LabelledSample> samples(50, sample(1.0, 5.0, true));
+  const auto tree = DecisionTree::fit(samples);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_DOUBLE_EQ(tree.predict(samples[0].features), 1.0);
+}
+
+TEST(DecisionTree, RespectsMaxDepth) {
+  const auto samples = separable(2000);
+  TreeConfig config;
+  config.max_depth = 2;
+  const auto tree = DecisionTree::fit(samples, config);
+  EXPECT_LE(tree.depth(), 3);  // depth counts nodes on the path
+}
+
+TEST(DecisionTree, RespectsMinLeaf) {
+  const auto samples = separable(60);
+  TreeConfig config;
+  config.min_samples_leaf = 30;
+  const auto tree = DecisionTree::fit(samples, config);
+  // 60 samples cannot split into two leaves of >= 30 unless perfectly
+  // balanced; tree stays small.
+  EXPECT_LE(tree.node_count(), 3u);
+}
+
+TEST(DecisionTree, LeafProbabilitiesAreFractions) {
+  // 70/30 mixed data with no separating feature.
+  std::vector<LabelledSample> samples;
+  for (int i = 0; i < 100; ++i) {
+    samples.push_back(sample(1.0, 5.0, i < 70));
+  }
+  const auto tree = DecisionTree::fit(samples);
+  EXPECT_NEAR(tree.predict(samples[0].features), 0.7, 1e-9);
+}
+
+TEST(DecisionTree, MultiFeatureConcept) {
+  // positive iff warning_count > 4 AND elapsed > 10: needs depth 2.
+  std::vector<LabelledSample> samples;
+  dml::Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const double w = static_cast<double>(rng.uniform_index(10));
+    const double e = rng.uniform(0.0, 20.0);
+    samples.push_back(sample(w, e, w > 4.0 && e > 10.0));
+  }
+  const auto tree = DecisionTree::fit(samples);
+  int errors = 0;
+  for (const auto& s : samples) {
+    if ((tree.predict(s.features) >= 0.5) != s.positive) ++errors;
+  }
+  EXPECT_LT(errors, 40);  // < 2%
+}
+
+TEST(DecisionTree, DescribeRendersSplitsAndLeaves) {
+  const auto tree = DecisionTree::fit(separable(300));
+  const std::string text = tree.describe();
+  EXPECT_NE(text.find("warning-count"), std::string::npos);
+  EXPECT_NE(text.find("leaf"), std::string::npos);
+}
+
+TEST(DecisionTree, SerializeRoundTrip) {
+  const auto tree = DecisionTree::fit(separable(800));
+  const auto restored = DecisionTree::deserialize(tree.serialize());
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(*restored, tree);
+  dml::Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    FeatureVector f{};
+    f[kWarningCount] = static_cast<double>(rng.uniform_index(12));
+    f[kLogElapsedSinceFatal] = rng.uniform(0.0, 25.0);
+    EXPECT_DOUBLE_EQ(tree.predict(f), restored->predict(f));
+  }
+}
+
+TEST(DecisionTree, DeserializeRejectsMalformed) {
+  EXPECT_FALSE(DecisionTree::deserialize("").has_value());
+  EXPECT_FALSE(DecisionTree::deserialize("garbage").has_value());
+  EXPECT_FALSE(DecisionTree::deserialize("0:1.0:5:6:0.5:10").has_value());
+  EXPECT_FALSE(
+      DecisionTree::deserialize("99:1.0:-1:-1:0.5:10").has_value());
+}
+
+}  // namespace
+}  // namespace dml::learners

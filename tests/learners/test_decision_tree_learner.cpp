@@ -1,0 +1,85 @@
+#include "learners/decision_tree_learner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "meta/meta_learner.hpp"
+#include "predict/outcome_matcher.hpp"
+#include "predict/predictor.hpp"
+#include "predict/reviser.hpp"
+#include "support/test_fixtures.hpp"
+
+namespace dml::learners {
+namespace {
+
+TEST(DecisionTreeLearner, LearnsATreeOnGeneratedLog) {
+  const auto& store = testing::shared_store();
+  DecisionTreeLearner learner;
+  const auto rules = learner.learn(testing::weeks_of(store, 0, 26),
+                                   testing::kWp);
+  ASSERT_EQ(rules.size(), 1u);
+  const auto* dt = rules[0].as_decision_tree();
+  ASSERT_NE(dt, nullptr);
+  EXPECT_GT(dt->tree.node_count(), 1u);
+  EXPECT_EQ(rules[0].source(), RuleSource::kDecisionTree);
+}
+
+TEST(DecisionTreeLearner, RequiresEnoughPositives) {
+  DecisionTreeLearner learner;
+  EXPECT_TRUE(learner.learn({}, testing::kWp).empty());
+  // A span with very few failures yields no rule.
+  const auto& store = testing::shared_store();
+  const auto tiny = store.between(store.first_time(),
+                                  store.first_time() + kSecondsPerDay);
+  EXPECT_TRUE(learner.learn(tiny, testing::kWp).empty());
+}
+
+TEST(DecisionTreeLearner, StandaloneDetectionHasSignal) {
+  // The classifier must beat the base rate when replayed standalone.
+  const auto& store = testing::shared_store();
+  meta::MetaLearnerConfig config;
+  config.enable_association = false;
+  config.enable_statistical = false;
+  config.enable_distribution = false;
+  config.enable_decision_tree = true;
+  meta::MetaLearner learner{config};
+  const auto repo = learner.learn(testing::weeks_of(store, 0, 26),
+                                  testing::kWp);
+  ASSERT_EQ(repo.count_by_source(RuleSource::kDecisionTree), 1u);
+
+  predict::Predictor predictor(repo, testing::kWp);
+  const auto test_events = testing::weeks_of(store, 26, 34);
+  const auto warnings = predictor.run(test_events, testing::kWp);
+  const auto evaluation =
+      predict::evaluate_predictions(test_events, warnings, testing::kWp);
+  EXPECT_GT(stats::recall(evaluation.overall), 0.1);
+  EXPECT_GT(stats::precision(evaluation.overall), 0.3);
+}
+
+TEST(DecisionTreeLearner, PluggedIntoEnsembleDoesNotHurt) {
+  // "Other predictive methods can be easily incorporated": adding the
+  // tree must not break the trio's accuracy.
+  const auto& store = testing::shared_store();
+  auto run = [&](bool with_tree) {
+    meta::MetaLearnerConfig config;
+    config.enable_decision_tree = with_tree;
+    meta::MetaLearner learner{config};
+    auto repo = learner.learn(testing::weeks_of(store, 0, 26), testing::kWp);
+    predict::revise(repo, testing::weeks_of(store, 0, 26), testing::kWp);
+    predict::Predictor predictor(repo, testing::kWp);
+    const auto test_events = testing::weeks_of(store, 26, 34);
+    const auto warnings = predictor.run(test_events, testing::kWp);
+    return predict::evaluate_predictions(test_events, warnings, testing::kWp);
+  };
+  const auto without = run(false);
+  const auto with = run(true);
+  EXPECT_GE(stats::recall(with.overall), stats::recall(without.overall) - 0.1);
+  EXPECT_GE(stats::precision(with.overall),
+            stats::precision(without.overall) - 0.15);
+}
+
+TEST(DecisionTreeLearner, SourceTag) {
+  EXPECT_EQ(DecisionTreeLearner().source(), RuleSource::kDecisionTree);
+}
+
+}  // namespace
+}  // namespace dml::learners

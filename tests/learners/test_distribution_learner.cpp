@@ -1,0 +1,121 @@
+#include "learners/distribution_learner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "support/test_fixtures.hpp"
+
+namespace dml::learners {
+namespace {
+
+std::vector<bgl::Event> weibull_fatals(double shape, double scale, int n,
+                                       std::uint64_t seed) {
+  dml::Rng rng(seed);
+  std::vector<bgl::Event> events;
+  TimeSec t = 0;
+  for (int i = 0; i < n; ++i) {
+    t += std::max<TimeSec>(1, static_cast<TimeSec>(rng.weibull(shape, scale)));
+    bgl::Event e;
+    e.time = t;
+    e.category = 50;
+    e.fatal = true;
+    events.push_back(e);
+  }
+  return events;
+}
+
+TEST(DistributionLearner, RecoversWeibullAndTrigger) {
+  // The paper's worked example: Weibull(0.507936, 19984.8), threshold
+  // 0.6 => warn when elapsed ~ 20,000 s (F(20000) = 0.63 > 0.6).
+  const auto events = weibull_fatals(0.507936, 19984.8, 8000, 1);
+  DistributionLearner learner;
+  const auto rules = learner.learn(events, 300);
+  ASSERT_EQ(rules.size(), 1u);
+  const auto* pd = rules[0].as_distribution();
+  EXPECT_EQ(pd->model.family_name(), "weibull");
+  EXPECT_DOUBLE_EQ(pd->cdf_threshold, 0.6);
+  // quantile(0.6) of the paper's fit is ~17,650 s.
+  EXPECT_NEAR(static_cast<double>(pd->elapsed_trigger), 17650.0, 2500.0);
+}
+
+TEST(DistributionLearner, TriggerSatisfiesCdfThreshold) {
+  const auto events = weibull_fatals(0.7, 5000.0, 4000, 2);
+  DistributionLearner learner;
+  const auto rules = learner.learn(events, 300);
+  ASSERT_EQ(rules.size(), 1u);
+  const auto* pd = rules[0].as_distribution();
+  EXPECT_NEAR(pd->model.cdf(static_cast<double>(pd->elapsed_trigger)), 0.6,
+              0.01);
+}
+
+TEST(DistributionLearner, ConfigurableThreshold) {
+  const auto events = weibull_fatals(0.6, 8000.0, 4000, 3);
+  DistributionConfig config;
+  config.cdf_threshold = 0.9;
+  DistributionLearner learner(config);
+  const auto rules = learner.learn(events, 300);
+  ASSERT_EQ(rules.size(), 1u);
+  const auto* pd90 = rules[0].as_distribution();
+
+  const auto rules60 = DistributionLearner().learn(events, 300);
+  ASSERT_EQ(rules60.size(), 1u);
+  EXPECT_GT(pd90->elapsed_trigger,
+            rules60[0].as_distribution()->elapsed_trigger);
+}
+
+TEST(DistributionLearner, TooFewSamplesYieldsNoRule) {
+  const auto events = weibull_fatals(0.5, 1000.0, 5, 4);
+  DistributionLearner learner;
+  EXPECT_TRUE(learner.learn(events, 300).empty());
+  EXPECT_TRUE(learner.learn({}, 300).empty());
+}
+
+TEST(DistributionLearner, HandlesZeroGaps) {
+  // Multiple failures in the same second: gaps are floored at 1 s, the
+  // fit must not blow up.
+  std::vector<bgl::Event> events;
+  for (int i = 0; i < 100; ++i) {
+    bgl::Event e;
+    e.time = (i / 2) * 1000;  // pairs share a timestamp
+    e.category = 50;
+    e.fatal = true;
+    events.push_back(e);
+  }
+  DistributionLearner learner;
+  const auto rules = learner.learn(events, 300);
+  EXPECT_EQ(rules.size(), 1u);
+}
+
+TEST(DistributionLearner, FitDiagnosticsExposeAllFamilies) {
+  const auto events = weibull_fatals(0.508, 19984.8, 3000, 5);
+  const auto selection = DistributionLearner::fit_interarrivals(events);
+  ASSERT_TRUE(selection.has_value());
+  EXPECT_EQ(selection->candidates.size(), 3u);
+  EXPECT_EQ(selection->best.model.family_name(), "weibull");
+  EXPECT_LT(selection->best.ks_statistic, 0.05);
+}
+
+TEST(DistributionLearner, GeneratedLogYieldsHeavyTailedFit) {
+  // Cascades + Weibull background => fitted shape < 1 (decreasing
+  // hazard), matching Figure 5's concave CDF.
+  const auto selection =
+      DistributionLearner::fit_interarrivals(testing::shared_store().all());
+  ASSERT_TRUE(selection.has_value());
+  const auto& variant = selection->best.model.variant();
+  if (const auto* weibull = std::get_if<stats::Weibull>(&variant)) {
+    EXPECT_LT(weibull->shape, 1.0);
+  } else {
+    // A log-normal winner is acceptable; it must still be heavy-tailed
+    // (sigma well above 1).
+    const auto* lognormal = std::get_if<stats::LogNormal>(&variant);
+    ASSERT_NE(lognormal, nullptr);
+    EXPECT_GT(lognormal->sigma, 1.0);
+  }
+}
+
+TEST(DistributionLearner, SourceTag) {
+  EXPECT_EQ(DistributionLearner().source(), RuleSource::kDistribution);
+}
+
+}  // namespace
+}  // namespace dml::learners

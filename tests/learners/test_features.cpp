@@ -1,0 +1,128 @@
+#include "learners/features.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/test_fixtures.hpp"
+
+namespace dml::learners {
+namespace {
+
+bgl::Event ev(TimeSec t, CategoryId cat) {
+  bgl::Event e;
+  e.time = t;
+  e.category = cat;
+  e.fatal = bgl::taxonomy().category(cat).fatal;
+  return e;
+}
+
+CategoryId warning_category() {
+  for (const auto& cat : bgl::taxonomy().categories()) {
+    if (!cat.fatal && cat.severity == Severity::kWarning) return cat.id;
+  }
+  return 0;
+}
+
+CategoryId info_category() {
+  for (const auto& cat : bgl::taxonomy().categories()) {
+    if (!cat.fatal && cat.severity == Severity::kInfo) return cat.id;
+  }
+  return 0;
+}
+
+TEST(FeatureTracker, CountsFacilityAndSeverity) {
+  FeatureTracker tracker(300);
+  const CategoryId warn = warning_category();
+  const CategoryId info = info_category();
+  tracker.observe(ev(1000, warn));
+  tracker.observe(ev(1001, warn));
+  tracker.observe(ev(1002, info));
+  const auto f = tracker.features();
+  const auto warn_facility = static_cast<std::size_t>(
+      bgl::taxonomy().category(warn).facility);
+  EXPECT_GE(f[warn_facility], 2.0);
+  EXPECT_DOUBLE_EQ(f[kWarningCount], 2.0);  // INFO doesn't count
+  EXPECT_DOUBLE_EQ(f[kDistinctCategories], 2.0);
+  EXPECT_DOUBLE_EQ(f[kFatalCount], 0.0);
+}
+
+TEST(FeatureTracker, ExpiryRemovesOldEvents) {
+  FeatureTracker tracker(300);
+  const CategoryId warn = warning_category();
+  tracker.observe(ev(1000, warn));
+  tracker.advance(1400);  // 1000 <= 1400 - 300 -> expired
+  const auto f = tracker.features();
+  EXPECT_DOUBLE_EQ(f[kWarningCount], 0.0);
+  EXPECT_DOUBLE_EQ(f[kDistinctCategories], 0.0);
+}
+
+TEST(FeatureTracker, FatalCountAndElapsed) {
+  FeatureTracker tracker(300);
+  const CategoryId fatal = bgl::taxonomy().fatal_ids().front();
+  tracker.observe(ev(1000, fatal));
+  auto f = tracker.features();
+  EXPECT_DOUBLE_EQ(f[kFatalCount], 1.0);
+  EXPECT_DOUBLE_EQ(f[kLogElapsedSinceFatal], 0.0);  // log2(1 + 0)
+
+  tracker.advance(1000 + 1023);
+  f = tracker.features();
+  EXPECT_DOUBLE_EQ(f[kFatalCount], 0.0);  // expired from the window
+  EXPECT_DOUBLE_EQ(f[kLogElapsedSinceFatal], 10.0);  // log2(1024)
+}
+
+TEST(FeatureTracker, NoFatalYetUsesSentinelElapsed) {
+  FeatureTracker tracker(300);
+  tracker.advance(5000);
+  EXPECT_GT(tracker.features()[kLogElapsedSinceFatal], 29.0);  // log2(1e9)
+}
+
+TEST(FeatureTracker, AdvanceNeverGoesBackwards) {
+  FeatureTracker tracker(300);
+  const CategoryId warn = warning_category();
+  tracker.observe(ev(1000, warn));
+  tracker.advance(1400);
+  tracker.advance(1100);  // ignored
+  EXPECT_DOUBLE_EQ(tracker.features()[kWarningCount], 0.0);
+}
+
+TEST(LabelledSamples, LabelsLookAheadWindow) {
+  const CategoryId warn = warning_category();
+  const CategoryId fatal = bgl::taxonomy().fatal_ids().front();
+  const std::vector<bgl::Event> events = {
+      ev(1000, warn),   // fatal at 1200 within 300 -> positive
+      ev(5000, warn),   // nothing follows -> negative
+      ev(1200, fatal),  // next fatal far away -> negative
+  };
+  std::vector<bgl::Event> sorted = events;
+  std::sort(sorted.begin(), sorted.end(), bgl::EventTimeOrder{});
+  const auto samples = build_labelled_samples(sorted, 300, 1000.0);
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_TRUE(samples[0].positive);    // 1000 -> fatal at 1200
+  EXPECT_FALSE(samples[1].positive);   // the fatal itself: none follows
+  EXPECT_FALSE(samples[2].positive);   // 5000: nothing follows
+}
+
+TEST(LabelledSamples, NegativeSubsamplingKeepsAllPositives) {
+  const auto& store = testing::shared_store();
+  const auto events = testing::weeks_of(store, 0, 8);
+  const auto full = build_labelled_samples(events, 300, 1e9);
+  // Force subsampling with a ratio well below the natural class balance.
+  const auto sampled = build_labelled_samples(events, 300, 0.5);
+  std::size_t full_pos = 0, sampled_pos = 0, sampled_neg = 0;
+  for (const auto& s : full) full_pos += s.positive ? 1 : 0;
+  for (const auto& s : sampled) {
+    (s.positive ? sampled_pos : sampled_neg)++;
+  }
+  EXPECT_EQ(sampled_pos, full_pos);
+  EXPECT_LE(sampled_neg, static_cast<std::size_t>(0.55 * full_pos) + 2);
+  EXPECT_LT(sampled.size(), full.size());
+}
+
+TEST(FeatureNames, AllDistinct) {
+  std::set<std::string_view> names;
+  for (std::size_t i = 0; i < kNumFeatures; ++i) {
+    EXPECT_TRUE(names.insert(feature_name(i)).second) << i;
+  }
+}
+
+}  // namespace
+}  // namespace dml::learners

@@ -1,0 +1,130 @@
+#include "learners/neural_net.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace dml::learners {
+namespace {
+
+LabelledSample sample(double warning_count, double elapsed, bool positive) {
+  LabelledSample s;
+  s.features[kWarningCount] = warning_count;
+  s.features[kLogElapsedSinceFatal] = elapsed;
+  s.positive = positive;
+  return s;
+}
+
+std::vector<LabelledSample> linearly_separable(int n, std::uint64_t seed) {
+  std::vector<LabelledSample> samples;
+  dml::Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    const double w = rng.uniform(0.0, 10.0);
+    samples.push_back(sample(w, rng.uniform(0.0, 20.0), w > 5.0));
+  }
+  return samples;
+}
+
+TEST(NeuralNet, LearnsLinearlySeparableConcept) {
+  const auto samples = linearly_separable(600, 1);
+  const auto net = NeuralNet::fit(samples);
+  int errors = 0;
+  for (const auto& s : samples) {
+    // Skip the ambiguous boundary band.
+    if (std::abs(s.features[kWarningCount] - 5.0) < 0.5) continue;
+    if ((net.predict(s.features) >= 0.5) != s.positive) ++errors;
+  }
+  EXPECT_LT(errors, 20);
+  EXPECT_LT(net.training_loss(), 0.3);
+}
+
+TEST(NeuralNet, LearnsNonLinearConcept) {
+  // XOR-ish band: positive iff warning count in (3, 7) — linearly
+  // inseparable, needs the hidden layer.
+  std::vector<LabelledSample> samples;
+  dml::Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    const double w = rng.uniform(0.0, 10.0);
+    samples.push_back(
+        sample(w, rng.uniform(0.0, 20.0), w > 3.0 && w < 7.0));
+  }
+  NeuralNetConfig config;
+  config.epochs = 600;
+  config.hidden_units = 16;
+  const auto net = NeuralNet::fit(samples, config);
+  int errors = 0, counted = 0;
+  for (const auto& s : samples) {
+    if (std::abs(s.features[kWarningCount] - 3.0) < 0.5 ||
+        std::abs(s.features[kWarningCount] - 7.0) < 0.5) {
+      continue;
+    }
+    ++counted;
+    if ((net.predict(s.features) >= 0.5) != s.positive) ++errors;
+  }
+  EXPECT_LT(errors, counted / 10) << errors << "/" << counted;
+}
+
+TEST(NeuralNet, DeterministicForSeed) {
+  const auto samples = linearly_separable(300, 3);
+  const auto a = NeuralNet::fit(samples);
+  const auto b = NeuralNet::fit(samples);
+  EXPECT_EQ(a, b);
+}
+
+TEST(NeuralNet, EmptyInputIsConstantZero) {
+  const auto net = NeuralNet::fit({});
+  EXPECT_DOUBLE_EQ(net.predict(FeatureVector{}), 0.0);
+  EXPECT_EQ(net.hidden_units(), 0u);
+}
+
+TEST(NeuralNet, OutputIsAProbability) {
+  const auto net = NeuralNet::fit(linearly_separable(300, 4));
+  dml::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    FeatureVector f{};
+    f[kWarningCount] = rng.uniform(-100.0, 100.0);
+    f[kLogElapsedSinceFatal] = rng.uniform(-100.0, 100.0);
+    const double p = net.predict(f);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(NeuralNet, ImbalancedBaseRateIsCalibratedish) {
+  // 10% positives, no signal: the net should settle near the base rate,
+  // not at 0 or 1.
+  std::vector<LabelledSample> samples;
+  for (int i = 0; i < 1000; ++i) {
+    samples.push_back(sample(1.0, 5.0, i % 10 == 0));
+  }
+  const auto net = NeuralNet::fit(samples);
+  EXPECT_NEAR(net.predict(samples[0].features), 0.1, 0.06);
+}
+
+TEST(NeuralNet, SerializeRoundTrip) {
+  const auto net = NeuralNet::fit(linearly_separable(400, 6));
+  const auto restored = NeuralNet::deserialize(net.serialize());
+  ASSERT_TRUE(restored.has_value());
+  dml::Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    FeatureVector f{};
+    f[kWarningCount] = rng.uniform(0.0, 10.0);
+    f[kLogElapsedSinceFatal] = rng.uniform(0.0, 20.0);
+    EXPECT_NEAR(net.predict(f), restored->predict(f), 1e-9);
+  }
+  EXPECT_EQ(restored->hidden_units(), net.hidden_units());
+}
+
+TEST(NeuralNet, DeserializeRejectsMalformed) {
+  EXPECT_FALSE(NeuralNet::deserialize("").has_value());
+  EXPECT_FALSE(NeuralNet::deserialize("junk").has_value());
+  EXPECT_FALSE(NeuralNet::deserialize("3;1.0;2.0").has_value());  // short
+  const auto net = NeuralNet::fit(linearly_separable(100, 8));
+  auto text = net.serialize();
+  text.pop_back();
+  text += "x";  // corrupt the tail
+  EXPECT_FALSE(NeuralNet::deserialize(text).has_value());
+}
+
+}  // namespace
+}  // namespace dml::learners

@@ -1,0 +1,61 @@
+#include "learners/neural_net_learner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "meta/meta_learner.hpp"
+#include "predict/outcome_matcher.hpp"
+#include "predict/predictor.hpp"
+#include "support/test_fixtures.hpp"
+
+namespace dml::learners {
+namespace {
+
+TEST(NeuralNetLearner, LearnsANetOnGeneratedLog) {
+  const auto& store = testing::shared_store();
+  NeuralNetLearner learner;
+  const auto rules =
+      learner.learn(testing::weeks_of(store, 0, 26), testing::kWp);
+  ASSERT_EQ(rules.size(), 1u);
+  const auto* nn = rules[0].as_neural_net();
+  ASSERT_NE(nn, nullptr);
+  EXPECT_GT(nn->net.hidden_units(), 0u);
+  EXPECT_EQ(rules[0].source(), RuleSource::kNeuralNet);
+  EXPECT_LT(nn->net.training_loss(), 0.7);
+}
+
+TEST(NeuralNetLearner, RequiresEnoughPositives) {
+  NeuralNetLearner learner;
+  EXPECT_TRUE(learner.learn({}, testing::kWp).empty());
+  const auto& store = testing::shared_store();
+  const auto tiny = store.between(store.first_time(),
+                                  store.first_time() + kSecondsPerDay);
+  EXPECT_TRUE(learner.learn(tiny, testing::kWp).empty());
+}
+
+TEST(NeuralNetLearner, StandaloneDetectionHasSignal) {
+  const auto& store = testing::shared_store();
+  meta::MetaLearnerConfig config;
+  config.enable_association = false;
+  config.enable_statistical = false;
+  config.enable_distribution = false;
+  config.enable_neural_net = true;
+  meta::MetaLearner learner{config};
+  const auto repo =
+      learner.learn(testing::weeks_of(store, 0, 26), testing::kWp);
+  ASSERT_EQ(repo.count_by_source(RuleSource::kNeuralNet), 1u);
+
+  predict::Predictor predictor(repo, testing::kWp);
+  const auto test_events = testing::weeks_of(store, 26, 34);
+  const auto warnings = predictor.run(test_events, testing::kWp);
+  const auto evaluation =
+      predict::evaluate_predictions(test_events, warnings, testing::kWp);
+  EXPECT_GT(stats::recall(evaluation.overall), 0.1);
+  EXPECT_GT(stats::precision(evaluation.overall), 0.3);
+}
+
+TEST(NeuralNetLearner, SourceTag) {
+  EXPECT_EQ(NeuralNetLearner().source(), RuleSource::kNeuralNet);
+}
+
+}  // namespace
+}  // namespace dml::learners

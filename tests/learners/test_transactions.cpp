@@ -1,0 +1,95 @@
+#include "learners/transactions.hpp"
+
+#include <gtest/gtest.h>
+
+#include "learners/apriori.hpp"
+
+namespace dml::learners {
+namespace {
+
+bgl::Event ev(TimeSec t, CategoryId cat, bool fatal) {
+  bgl::Event e;
+  e.time = t;
+  e.category = cat;
+  e.fatal = fatal;
+  return e;
+}
+
+TEST(Transactions, OneTransactionPerFatal) {
+  const std::vector<bgl::Event> events = {
+      ev(100, 1, false), ev(150, 2, false), ev(200, 50, true),
+      ev(900, 3, false), ev(1000, 51, true)};
+  const auto txs = build_failure_transactions(events, 300);
+  ASSERT_EQ(txs.size(), 2u);
+  EXPECT_EQ(txs[0].consequent, 50);
+  EXPECT_EQ(txs[0].fatal_time, 200);
+  EXPECT_EQ(txs[0].items, (Itemset{1, 2}));
+  EXPECT_EQ(txs[1].consequent, 51);
+  EXPECT_EQ(txs[1].items, (Itemset{3}));
+}
+
+TEST(Transactions, WindowBoundaryIsHalfOpen) {
+  // Items in [t - Wp, t): event exactly Wp before is included, event at
+  // the fatal's own second is not.
+  const std::vector<bgl::Event> events = {
+      ev(700, 1, false), ev(999, 2, false), ev(1000, 3, false),
+      ev(1000, 50, true)};
+  const auto txs = build_failure_transactions(events, 300);
+  ASSERT_EQ(txs.size(), 1u);
+  EXPECT_EQ(txs[0].items, (Itemset{1, 2}));
+}
+
+TEST(Transactions, FatalWithNoPrecursorsYieldsEmptyItemset) {
+  // "up to 75% of fatal events are not preceded by precursors" — those
+  // fatals still produce (empty) transactions so support is measured
+  // against all failures.
+  const std::vector<bgl::Event> events = {ev(5000, 50, true)};
+  const auto txs = build_failure_transactions(events, 300);
+  ASSERT_EQ(txs.size(), 1u);
+  EXPECT_TRUE(txs[0].items.empty());
+}
+
+TEST(Transactions, EarlierFatalsAreNotItems) {
+  // Fatal events inside the window are not antecedent items (items are
+  // non-fatal categories only).
+  const std::vector<bgl::Event> events = {
+      ev(100, 50, true), ev(150, 1, false), ev(200, 51, true)};
+  const auto txs = build_failure_transactions(events, 300);
+  ASSERT_EQ(txs.size(), 2u);
+  EXPECT_EQ(txs[1].items, (Itemset{1}));
+}
+
+TEST(Transactions, ItemsAreDeduplicated) {
+  const std::vector<bgl::Event> events = {
+      ev(100, 1, false), ev(120, 1, false), ev(140, 1, false),
+      ev(200, 50, true)};
+  const auto txs = build_failure_transactions(events, 300);
+  ASSERT_EQ(txs.size(), 1u);
+  EXPECT_EQ(txs[0].items, (Itemset{1}));
+}
+
+TEST(Transactions, EmptyInput) {
+  EXPECT_TRUE(build_failure_transactions({}, 300).empty());
+}
+
+TEST(NegativeWindows, ExcludeFatalWindows) {
+  const std::vector<bgl::Event> events = {
+      ev(0, 1, false),   ev(100, 2, false),  ev(350, 50, true),
+      ev(700, 3, false), ev(1000, 4, false), ev(1500, 5, false)};
+  const auto windows = sample_negative_windows(events, 300, 300);
+  // Windows [0,300): {1,2}; [300,600): fatal -> skipped; [600,900): {3};
+  // [900,1200): {4}; [1200,1500): empty -> skipped.
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_EQ(windows[0], (Itemset{1, 2}));
+  EXPECT_EQ(windows[1], (Itemset{3}));
+  EXPECT_EQ(windows[2], (Itemset{4}));
+}
+
+TEST(NegativeWindows, EmptyAndDegenerateInputs) {
+  EXPECT_TRUE(sample_negative_windows({}, 300, 300).empty());
+  const std::vector<bgl::Event> events = {ev(0, 1, false)};
+  EXPECT_TRUE(sample_negative_windows(events, 300, 0).empty());
+}
+
+}  // namespace
+}  // namespace dml::learners

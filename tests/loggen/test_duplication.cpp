@@ -1,0 +1,135 @@
+#include "loggen/duplication.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dml::loggen {
+namespace {
+
+class DuplicationTest : public ::testing::Test {
+ protected:
+  DuplicationTest()
+      : workload_(bgl::MachineConfig::sdsc(), WorkloadParams{}, 0,
+                  2 * kSecondsPerWeek, Rng(1)),
+        model_(workload_) {}
+
+  bgl::RasRecord base_record() const {
+    bgl::RasRecord r;
+    r.event_time = 1000;
+    r.job_id = workload_.jobs().front().id;
+    r.location = bgl::Location::compute_chip(0, 0, 3, 4, 1);
+    r.facility = bgl::Facility::kKernel;
+    r.severity = Severity::kFatal;
+    r.entry_data = "cache failure [inst 0001]";
+    return r;
+  }
+
+  std::vector<bgl::RasRecord> expand(const DuplicationParams& params,
+                                     const Job* job, std::uint64_t seed) {
+    std::vector<bgl::RasRecord> out;
+    Rng rng(seed);
+    model_.expand(base_record(), params, job, rng,
+                  [&](bgl::RasRecord r) { out.push_back(std::move(r)); });
+    return out;
+  }
+
+  WorkloadModel workload_;
+  DuplicationModel model_;
+};
+
+TEST_F(DuplicationTest, BaseRecordAlwaysEmittedFirst) {
+  const auto records = expand({1.0, 100}, nullptr, 2);
+  ASSERT_FALSE(records.empty());
+  EXPECT_EQ(records.front(), base_record());
+}
+
+TEST_F(DuplicationTest, MeanCopiesOneProducesMostlySingles) {
+  std::size_t total = 0;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    total += expand({1.0, 100}, nullptr, seed).size();
+  }
+  EXPECT_EQ(total, 50u);  // Poisson(0) extras
+}
+
+TEST_F(DuplicationTest, MeanCopiesControlsVolume) {
+  std::size_t total = 0;
+  constexpr int kTrials = 200;
+  for (std::uint64_t seed = 0; seed < kTrials; ++seed) {
+    total += expand({30.0, 4096}, nullptr, seed).size();
+  }
+  EXPECT_NEAR(static_cast<double>(total) / kTrials, 30.0, 2.0);
+}
+
+TEST_F(DuplicationTest, MaxCopiesIsHardCap) {
+  const auto records = expand({500.0, 16}, nullptr, 3);
+  EXPECT_LE(records.size(), 16u);
+}
+
+TEST_F(DuplicationTest, CopiesShareEntryDataAndJob) {
+  const Job& job = workload_.jobs().front();
+  const auto records = expand({40.0, 4096}, &job, 4);
+  ASSERT_GT(records.size(), 5u);
+  for (const auto& r : records) {
+    EXPECT_EQ(r.entry_data, base_record().entry_data);
+    EXPECT_EQ(r.job_id, base_record().job_id);
+    EXPECT_EQ(r.facility, base_record().facility);
+  }
+}
+
+TEST_F(DuplicationTest, JitterIsForwardOnlyAndBounded) {
+  const auto records = expand({60.0, 4096}, nullptr, 5);
+  for (const auto& r : records) {
+    EXPECT_GE(r.event_time, base_record().event_time);
+    EXPECT_LE(r.event_time, base_record().event_time + 900);
+  }
+}
+
+TEST_F(DuplicationTest, SpatialCopiesStayInsideJobPartition) {
+  const Job& job = workload_.jobs().front();
+  std::set<std::uint32_t> allowed;
+  for (const auto& card : job.node_cards) allowed.insert(card.packed());
+  allowed.insert(
+      base_record().location.enclosing_node_card().packed());
+  const auto records = expand({60.0, 4096}, &job, 6);
+  for (const auto& r : records) {
+    EXPECT_TRUE(allowed.contains(r.location.enclosing_node_card().packed()))
+        << r.location.to_string();
+  }
+}
+
+TEST_F(DuplicationTest, WithoutJobAllCopiesRepeatAtBaseLocation) {
+  const auto records = expand({40.0, 4096}, nullptr, 7);
+  for (const auto& r : records) {
+    EXPECT_EQ(r.location, base_record().location);
+  }
+}
+
+TEST_F(DuplicationTest, SpatialSpreadExistsWithJob) {
+  const Job& job = workload_.jobs().front();
+  // Jobs with one node card can still spread across compute cards.
+  const auto records = expand({80.0, 4096}, &job, 8);
+  std::set<std::uint32_t> locations;
+  for (const auto& r : records) locations.insert(r.location.packed());
+  EXPECT_GT(locations.size(), 1u);
+}
+
+TEST(DuplicateJitter, DistributionShape) {
+  Rng rng(9);
+  int under_10 = 0, over_100 = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const DurationSec j = sample_duplicate_jitter(rng);
+    EXPECT_GE(j, 0);
+    EXPECT_LE(j, 900);
+    if (j < 10) ++under_10;
+    if (j > 100) ++over_100;
+  }
+  // Most duplicates land within seconds; a heavy tail reaches minutes —
+  // the property behind Table 4's threshold sensitivity.
+  EXPECT_GT(under_10, kN * 6 / 10);
+  EXPECT_GT(over_100, kN / 50);
+}
+
+}  // namespace
+}  // namespace dml::loggen

@@ -1,0 +1,139 @@
+#include "loggen/fault_process.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace dml::loggen {
+namespace {
+
+TEST(FaultProcess, GeneratesTimeOrderedFatalsInRange) {
+  const FaultProcess process({}, 1, 0);
+  Rng rng(2);
+  const auto occurrences = process.generate(0, 20 * kSecondsPerWeek, rng);
+  ASSERT_FALSE(occurrences.empty());
+  TimeSec prev = -1;
+  for (const auto& occ : occurrences) {
+    EXPECT_GE(occ.time, 0);
+    EXPECT_LT(occ.time, 20 * kSecondsPerWeek);
+    EXPECT_GE(occ.time, prev);
+    prev = occ.time;
+    EXPECT_TRUE(bgl::taxonomy().category(occ.category).fatal);
+  }
+}
+
+TEST(FaultProcess, RateMatchesWeibullPlusBursts) {
+  FaultProcessParams params;
+  const FaultProcess process(params, 1, 0);
+  Rng rng(3);
+  const int weeks = 100;
+  const auto occurrences = process.generate(0, weeks * kSecondsPerWeek, rng);
+  // Background mean gap = scale * Gamma(1 + 1/shape) ~ 38,500 s
+  // => ~15.7/week; bursts add ~burst_prob * (4 + extra_mean).
+  const double bg_per_week = kSecondsPerWeek / 38500.0;
+  const double expected =
+      weeks * bg_per_week *
+      (1.0 + params.burst_prob * (4.0 + params.burst_extra_mean));
+  EXPECT_NEAR(static_cast<double>(occurrences.size()), expected,
+              expected * 0.2);
+}
+
+TEST(FaultProcess, CascadeMembersAreClustered) {
+  const FaultProcess process({}, 1, 0);
+  Rng rng(5);
+  const auto occurrences = process.generate(0, 50 * kSecondsPerWeek, rng);
+  std::size_t cascade = 0;
+  for (std::size_t i = 1; i < occurrences.size(); ++i) {
+    if (occurrences[i].cascade_member) {
+      ++cascade;
+      // A cascade member should sit close to the previous fatal.
+      EXPECT_LT(occurrences[i].time - occurrences[i - 1].time, 3600)
+          << "cascade member far from predecessor";
+    }
+  }
+  EXPECT_GT(cascade, 0u);
+}
+
+TEST(FaultProcess, CascadePoolIsNetworkIoFlavoured) {
+  const auto pool = FaultProcess::cascade_pool();
+  ASSERT_FALSE(pool.empty());
+  for (CategoryId id : pool) {
+    const auto& pattern = bgl::taxonomy().category(id).pattern;
+    const bool flavoured = pattern.find("torus") != std::string::npos ||
+                           pattern.find("tree") != std::string::npos ||
+                           pattern.find("socket") != std::string::npos ||
+                           pattern.find("broadcast") != std::string::npos;
+    EXPECT_TRUE(flavoured) << pattern;
+  }
+}
+
+TEST(FaultProcess, CascadeMembersComeFromCascadePool) {
+  const FaultProcess process({}, 1, 0);
+  const auto pool = FaultProcess::cascade_pool();
+  const std::set<CategoryId> pool_set(pool.begin(), pool.end());
+  Rng rng(7);
+  const auto occurrences = process.generate(0, 30 * kSecondsPerWeek, rng);
+  for (const auto& occ : occurrences) {
+    if (occ.cascade_member) {
+      EXPECT_TRUE(pool_set.contains(occ.category));
+    }
+  }
+}
+
+TEST(FaultProcess, EraChangesCategoryMix) {
+  Rng rng_a(9), rng_b(9);
+  const auto occ0 =
+      FaultProcess({}, 1, 0).generate(0, 40 * kSecondsPerWeek, rng_a);
+  const auto occ1 =
+      FaultProcess({}, 1, 1).generate(0, 40 * kSecondsPerWeek, rng_b);
+  auto top_category = [](const std::vector<FatalOccurrence>& occurrences) {
+    std::map<CategoryId, int> counts;
+    for (const auto& occ : occurrences) {
+      if (!occ.cascade_member) ++counts[occ.category];
+    }
+    CategoryId best = kInvalidCategory;
+    int best_count = -1;
+    for (const auto& [cat, count] : counts) {
+      if (count > best_count) {
+        best = cat;
+        best_count = count;
+      }
+    }
+    return best;
+  };
+  EXPECT_NE(top_category(occ0), top_category(occ1));
+}
+
+TEST(FaultProcess, EraAdjustedIncreasesFailureRate) {
+  const auto era0 = era_adjusted({}, 0);
+  const auto era1 = era_adjusted({}, 1);
+  EXPECT_LT(era1.weibull_scale, era0.weibull_scale);
+  EXPECT_GT(era1.burst_gap_mean, era0.burst_gap_mean);
+  EXPECT_GE(era1.burst_prob, era0.burst_prob);
+}
+
+TEST(FaultProcess, StatisticalCorrelationExists) {
+  // P(another fatal within 300 s | 3 fatals within 300 s) must be high —
+  // the signal the statistical learner mines.
+  const FaultProcess process({}, 1, 0);
+  Rng rng(11);
+  const auto occurrences = process.generate(0, 200 * kSecondsPerWeek, rng);
+  std::vector<TimeSec> times;
+  for (const auto& occ : occurrences) times.push_back(occ.time);
+  std::size_t triggers = 0, followed = 0;
+  std::size_t lo = 0;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    while (lo <= i && times[lo] <= times[i] - 300) ++lo;
+    if (i - lo + 1 >= 3) {
+      ++triggers;
+      if (i + 1 < times.size() && times[i + 1] <= times[i] + 300) ++followed;
+    }
+  }
+  ASSERT_GT(triggers, 50u);
+  EXPECT_GT(static_cast<double>(followed) / static_cast<double>(triggers),
+            0.75);
+}
+
+}  // namespace
+}  // namespace dml::loggen

@@ -1,0 +1,253 @@
+#include "loggen/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "support/test_fixtures.hpp"
+
+namespace dml::loggen {
+namespace {
+
+TEST(MachineProfile, PresetsMatchPaperTable2) {
+  const auto anl = MachineProfile::anl();
+  EXPECT_EQ(anl.weeks, 112);
+  EXPECT_EQ(anl.machine.racks, 1);
+  EXPECT_FALSE(anl.reconfig_week.has_value());
+
+  const auto sdsc = MachineProfile::sdsc();
+  EXPECT_EQ(sdsc.weeks, 132);
+  EXPECT_EQ(sdsc.machine.racks, 3);
+  ASSERT_TRUE(sdsc.reconfig_week.has_value());
+  EXPECT_GE(*sdsc.reconfig_week, 60);
+  EXPECT_LE(*sdsc.reconfig_week, 64);
+  // SDSC's MONITOR facility is silent (Table 4).
+  EXPECT_DOUBLE_EQ(
+      sdsc.noise_per_week[static_cast<int>(bgl::Facility::kMonitor)], 0.0);
+}
+
+TEST(LogGenerator, DeterministicForSeed) {
+  const auto profile = testing::tiny_profile(4);
+  const auto a = LogGenerator(profile, 5).generate_unique_events();
+  const auto b = LogGenerator(profile, 5).generate_unique_events();
+  EXPECT_EQ(a, b);
+}
+
+TEST(LogGenerator, DifferentSeedsDiffer) {
+  const auto profile = testing::tiny_profile(4);
+  const auto a = LogGenerator(profile, 5).generate_unique_events();
+  const auto b = LogGenerator(profile, 6).generate_unique_events();
+  EXPECT_NE(a, b);
+}
+
+TEST(LogGenerator, EventsAreTimeOrderedAndInRange) {
+  const auto profile = testing::tiny_profile(4);
+  const auto events = LogGenerator(profile, 5).generate_unique_events();
+  ASSERT_FALSE(events.empty());
+  TimeSec prev = profile.start_time;
+  for (const auto& e : events) {
+    EXPECT_GE(e.time, prev);
+    prev = e.time;
+    EXPECT_GE(e.time, profile.start_time);
+    EXPECT_LT(e.time, profile.end_time());
+    EXPECT_LT(e.category, bgl::taxonomy().size());
+    EXPECT_EQ(e.fatal, bgl::taxonomy().category(e.category).fatal);
+  }
+}
+
+TEST(LogGenerator, FatalRateInExpectedBand) {
+  const auto& store = testing::shared_store();
+  const double per_week =
+      static_cast<double>(store.fatal_times().size()) / 40.0;
+  // Background Weibull ~15/wk + cascades; Figure 8's SDSC window shows
+  // ~39/wk in a bursty stretch.
+  EXPECT_GT(per_week, 10.0);
+  EXPECT_LT(per_week, 45.0);
+}
+
+TEST(LogGenerator, PrecursorEmissionIsPartial) {
+  // "up to 75% of fatal events are not preceded by any precursor
+  // non-fatal events" — some failures must have precursors, many must
+  // not.
+  const auto& store = testing::shared_store();
+  const auto& generator = testing::shared_generator();
+  std::size_t with_signature_match = 0, fatal_count = 0;
+  for (const auto& e : store.all()) {
+    if (!e.fatal) continue;
+    ++fatal_count;
+    const auto* sig = generator.library_at(e.time).find(e.category);
+    if (sig == nullptr) continue;
+    // Count the signature's precursors observed in the 300 s window.
+    std::size_t seen = 0;
+    for (const auto& p : store.between(e.time - 300, e.time)) {
+      for (CategoryId pre : sig->precursors) {
+        if (p.category == pre) {
+          ++seen;
+          break;
+        }
+      }
+    }
+    if (seen >= sig->precursors.size()) ++with_signature_match;
+  }
+  ASSERT_GT(fatal_count, 100u);
+  const double fraction =
+      static_cast<double>(with_signature_match) /
+      static_cast<double>(fatal_count);
+  EXPECT_GT(fraction, 0.1);
+  EXPECT_LT(fraction, 0.6);
+}
+
+TEST(LogGenerator, RawStreamIsOrderedWithSequentialIds) {
+  auto profile = testing::tiny_profile(2);
+  logio::VectorSink sink;
+  const auto ground_truth = LogGenerator(profile, 9).generate(sink);
+  const auto& records = sink.records();
+  ASSERT_FALSE(records.empty());
+  EXPECT_GT(records.size(), ground_truth.size());
+  RecordId expected_id = 1;
+  TimeSec prev = 0;
+  for (const auto& r : records) {
+    EXPECT_EQ(r.record_id, expected_id++);
+    EXPECT_GE(r.event_time, prev);
+    prev = r.event_time;
+  }
+}
+
+TEST(LogGenerator, GroundTruthMatchesUniqueEventFastPath) {
+  const auto profile = testing::tiny_profile(2);
+  logio::CountingSink sink;
+  const auto via_generate = LogGenerator(profile, 9).generate(sink);
+  const auto fast_path = LogGenerator(profile, 9).generate_unique_events();
+  EXPECT_EQ(via_generate, fast_path);
+}
+
+TEST(LogGenerator, DuplicationFollowsFacilityFactors) {
+  auto profile = testing::tiny_profile(3);
+  logio::CountingSink raw;
+  LogGenerator generator(profile, 11);
+  const auto unique = generator.generate(raw);
+  std::map<bgl::Facility, std::size_t> unique_per_facility;
+  for (const auto& e : unique) {
+    ++unique_per_facility[bgl::taxonomy().category(e.category).facility];
+  }
+  // KERNEL carries the heaviest duplication (Table 4's ANL/SDSC shape).
+  const auto kernel_unique = unique_per_facility[bgl::Facility::kKernel];
+  ASSERT_GT(kernel_unique, 0u);
+  const double kernel_factor =
+      static_cast<double>(raw.per_facility(bgl::Facility::kKernel)) /
+      static_cast<double>(kernel_unique);
+  const double expected =
+      profile.dup_factor[static_cast<int>(bgl::Facility::kKernel)] *
+      profile.scale;
+  EXPECT_NEAR(kernel_factor, expected, expected * 0.35);
+}
+
+TEST(LogGenerator, RecordsCarryCategoryConsistentAttributes) {
+  auto profile = testing::tiny_profile(1);
+  logio::VectorSink sink;
+  LogGenerator(profile, 13).generate(sink);
+  for (const auto& r : sink.records()) {
+    const auto classified =
+        bgl::taxonomy().classify(r.facility, r.severity, r.entry_data);
+    ASSERT_TRUE(classified.has_value()) << r.entry_data;
+  }
+}
+
+TEST(LogGenerator, LibraryTimelineDriftsWithinEra) {
+  const auto& generator = testing::shared_generator();
+  const auto& early =
+      generator.library_at(generator.profile().start_time);
+  const auto& late = generator.library_at(generator.profile().end_time() - 1);
+  std::size_t changed = 0;
+  for (const auto& sig : early.signatures()) {
+    const auto* other = late.find(sig.fatal);
+    if (other == nullptr || other->precursors != sig.precursors) ++changed;
+  }
+  EXPECT_GT(changed, 0u);
+}
+
+TEST(LogGenerator, ReconfigurationSwitchesEra) {
+  auto profile = testing::tiny_profile(8);
+  profile.reconfig_week = 4;
+  LogGenerator generator(profile, 15);
+  const auto& before = generator.library_at(
+      profile.start_time + 3 * kSecondsPerWeek);
+  const auto& after = generator.library_at(
+      profile.start_time + 5 * kSecondsPerWeek);
+  std::size_t same = 0;
+  for (const auto& sig : before.signatures()) {
+    const auto* other = after.find(sig.fatal);
+    if (other != nullptr && other->precursors == sig.precursors) ++same;
+  }
+  EXPECT_LT(same, std::max<std::size_t>(1, before.signatures().size() / 4));
+}
+
+TEST(LogGenerator, CascadesAreSpatiallyLocal) {
+  // Error propagation: failures arriving within seconds of each other
+  // should usually strike the same midplane (profile cascade_locality).
+  const auto& store = testing::shared_store();
+  std::size_t close_pairs = 0, same_midplane = 0;
+  const bgl::Event* previous = nullptr;
+  for (const auto& e : store.all()) {
+    if (!e.fatal) continue;
+    if (previous != nullptr && e.time - previous->time <= 120) {
+      ++close_pairs;
+      if (e.location.enclosing_midplane() ==
+          previous->location.enclosing_midplane()) {
+        ++same_midplane;
+      }
+    }
+    previous = &e;
+  }
+  ASSERT_GT(close_pairs, 100u);
+  // SDSC has 6 midplanes: random placement would co-locate ~1/6 of
+  // pairs; locality should push this well above one half.
+  EXPECT_GT(static_cast<double>(same_midplane) /
+                static_cast<double>(close_pairs),
+            0.5);
+}
+
+TEST(LogGenerator, PrecursorsReportFromTheFailingMidplane) {
+  const auto& store = testing::shared_store();
+  const auto& generator = testing::shared_generator();
+  std::size_t checked = 0, colocated = 0;
+  for (const auto& e : store.all()) {
+    if (!e.fatal) continue;
+    const auto* sig = generator.library_at(e.time).find(e.category);
+    if (sig == nullptr) continue;
+    for (const auto& p : store.between(e.time - 300, e.time)) {
+      if (p.fatal) continue;
+      for (CategoryId pre : sig->precursors) {
+        if (p.category != pre) continue;
+        ++checked;
+        if (p.location.enclosing_midplane() ==
+            e.location.enclosing_midplane()) {
+          ++colocated;
+        }
+      }
+    }
+  }
+  ASSERT_GT(checked, 100u);
+  EXPECT_GT(static_cast<double>(colocated) / static_cast<double>(checked),
+            0.6);
+}
+
+TEST(LogGenerator, ScaleScalesNoiseVolume) {
+  // The scale knob multiplies noise rates (fatal events are not scaled:
+  // the failure process is the subject under study).
+  auto small = testing::tiny_profile(12);
+  small.scale = 0.25;
+  auto big = testing::tiny_profile(12);
+  big.scale = 2.0;
+  auto nonfatal_count = [](const std::vector<bgl::Event>& events) {
+    std::size_t n = 0;
+    for (const auto& e : events) n += e.fatal ? 0 : 1;
+    return n;
+  };
+  const auto small_events = LogGenerator(small, 17).generate_unique_events();
+  const auto big_events = LogGenerator(big, 17).generate_unique_events();
+  EXPECT_GT(nonfatal_count(big_events), nonfatal_count(small_events) + 50);
+}
+
+}  // namespace
+}  // namespace dml::loggen

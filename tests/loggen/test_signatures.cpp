@@ -1,0 +1,108 @@
+#include "loggen/signatures.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace dml::loggen {
+namespace {
+
+TEST(SignatureLibrary, DeterministicForSeedAndEra) {
+  const auto a = SignatureLibrary::make(99, 0, 0.5);
+  const auto b = SignatureLibrary::make(99, 0, 0.5);
+  ASSERT_EQ(a.signatures().size(), b.signatures().size());
+  for (std::size_t i = 0; i < a.signatures().size(); ++i) {
+    EXPECT_EQ(a.signatures()[i].fatal, b.signatures()[i].fatal);
+    EXPECT_EQ(a.signatures()[i].precursors, b.signatures()[i].precursors);
+  }
+}
+
+TEST(SignatureLibrary, ErasProduceDifferentPatterns) {
+  const auto era0 = SignatureLibrary::make(99, 0, 1.0);
+  const auto era1 = SignatureLibrary::make(99, 1, 1.0);
+  ASSERT_FALSE(era0.signatures().empty());
+  std::size_t identical = 0;
+  for (const auto& sig : era0.signatures()) {
+    const auto* other = era1.find(sig.fatal);
+    if (other != nullptr && other->precursors == sig.precursors) ++identical;
+  }
+  // A reconfiguration re-rolls patterns: almost none should survive.
+  EXPECT_LT(identical, era0.signatures().size() / 4);
+}
+
+TEST(SignatureLibrary, CoverageControlsSignatureCount) {
+  const auto none = SignatureLibrary::make(7, 0, 0.0);
+  EXPECT_TRUE(none.signatures().empty());
+  const auto all = SignatureLibrary::make(7, 0, 1.0);
+  EXPECT_EQ(all.signatures().size(), bgl::taxonomy().fatal_ids().size());
+  const auto half = SignatureLibrary::make(7, 0, 0.5);
+  EXPECT_GT(half.signatures().size(), all.signatures().size() / 4);
+  EXPECT_LT(half.signatures().size(), 3 * all.signatures().size() / 4);
+}
+
+TEST(SignatureLibrary, SignatureShapeInvariants) {
+  const auto lib = SignatureLibrary::make(13, 0, 1.0);
+  const auto pool = SignatureLibrary::precursor_pool();
+  const std::set<CategoryId> pool_set(pool.begin(), pool.end());
+  for (const auto& sig : lib.signatures()) {
+    EXPECT_GE(sig.precursors.size(), 2u);
+    EXPECT_LE(sig.precursors.size(), 4u);
+    EXPECT_TRUE(std::is_sorted(sig.precursors.begin(), sig.precursors.end()));
+    EXPECT_EQ(std::set<CategoryId>(sig.precursors.begin(),
+                                   sig.precursors.end())
+                  .size(),
+              sig.precursors.size());
+    for (CategoryId pre : sig.precursors) {
+      EXPECT_TRUE(pool_set.contains(pre)) << pre;
+    }
+    EXPECT_GT(sig.emission_prob, 0.5);
+    EXPECT_LT(sig.emission_prob, 1.0);
+    EXPECT_GE(sig.max_lead, 60);
+    EXPECT_LT(sig.max_lead, 300);
+    EXPECT_TRUE(bgl::taxonomy().category(sig.fatal).fatal);
+  }
+}
+
+TEST(SignatureLibrary, PrecursorPoolExcludesFatalAndInfo) {
+  for (CategoryId id : SignatureLibrary::precursor_pool()) {
+    const auto& cat = bgl::taxonomy().category(id);
+    EXPECT_FALSE(cat.fatal) << cat.name;
+    EXPECT_FALSE(cat.nominally_fatal) << cat.name;
+    EXPECT_NE(cat.severity, Severity::kInfo) << cat.name;
+  }
+}
+
+TEST(SignatureLibrary, DriftReplacesRequestedFraction) {
+  auto lib = SignatureLibrary::make(17, 0, 1.0);
+  const auto before = lib.signatures();
+  Rng rng(5);
+  lib.drift(rng, 0.3);
+  ASSERT_EQ(lib.signatures().size(), before.size());
+  std::size_t changed = 0;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(lib.signatures()[i].fatal, before[i].fatal);
+    if (lib.signatures()[i].precursors != before[i].precursors) ++changed;
+  }
+  // ~30% +- statistical slack.
+  EXPECT_GT(changed, before.size() / 8);
+  EXPECT_LT(changed, 2 * before.size() / 3);
+}
+
+TEST(SignatureLibrary, DriftZeroIsIdentity) {
+  auto lib = SignatureLibrary::make(19, 0, 1.0);
+  const auto before = lib.signatures();
+  Rng rng(5);
+  lib.drift(rng, 0.0);
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(lib.signatures()[i].precursors, before[i].precursors);
+  }
+}
+
+TEST(SignatureLibrary, FindReturnsNullForUncovered) {
+  const auto lib = SignatureLibrary::make(23, 0, 0.0);
+  EXPECT_EQ(lib.find(bgl::taxonomy().fatal_ids().front()), nullptr);
+}
+
+}  // namespace
+}  // namespace dml::loggen

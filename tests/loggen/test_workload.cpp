@@ -1,0 +1,102 @@
+#include "loggen/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dml::loggen {
+namespace {
+
+WorkloadModel make_model(int weeks = 4, std::uint64_t seed = 3) {
+  return WorkloadModel(bgl::MachineConfig::sdsc(), WorkloadParams{}, 0,
+                       weeks * kSecondsPerWeek, Rng(seed));
+}
+
+TEST(Workload, JobsHaveValidShape) {
+  const auto model = make_model();
+  ASSERT_FALSE(model.jobs().empty());
+  const std::size_t machine_cards =
+      enumerate_node_cards(model.machine()).size();
+  for (const auto& job : model.jobs()) {
+    EXPECT_GT(job.id, kNoJob);
+    EXPECT_LT(job.start, job.end);
+    EXPECT_GE(job.start, 0);
+    EXPECT_LE(job.end, 4 * kSecondsPerWeek);
+    EXPECT_FALSE(job.node_cards.empty());
+    EXPECT_LE(job.node_cards.size(), machine_cards / 2 + 1);
+    // Power-of-two partition sizes.
+    const auto size = job.node_cards.size();
+    EXPECT_EQ(size & (size - 1), 0u) << size;
+  }
+}
+
+TEST(Workload, JobIdsAreUniqueAndIncreasing) {
+  const auto model = make_model();
+  JobId prev = 0;
+  for (const auto& job : model.jobs()) {
+    EXPECT_GT(job.id, prev);
+    prev = job.id;
+  }
+}
+
+TEST(Workload, ArrivalRateMatchesParams) {
+  WorkloadParams params;
+  params.mean_interarrival = 2 * kSecondsPerHour;
+  const WorkloadModel model(bgl::MachineConfig::anl(), params, 0,
+                            4 * kSecondsPerWeek, Rng(5));
+  const double expected =
+      4.0 * kSecondsPerWeek / static_cast<double>(params.mean_interarrival);
+  EXPECT_NEAR(static_cast<double>(model.jobs().size()), expected,
+              expected * 0.25);
+}
+
+TEST(Workload, SampleActiveJobRespectsTime) {
+  const auto model = make_model();
+  Rng rng(7);
+  int found = 0;
+  for (int i = 0; i < 200; ++i) {
+    const TimeSec t = static_cast<TimeSec>(
+        rng.uniform_index(4 * kSecondsPerWeek));
+    const Job* job = model.sample_active_job(t, rng);
+    if (job != nullptr) {
+      ++found;
+      EXPECT_TRUE(job->active_at(t));
+    }
+  }
+  // With ~2h inter-arrival and multi-hour durations, most instants have
+  // at least one running job.
+  EXPECT_GT(found, 100);
+}
+
+TEST(Workload, SampleActiveJobOutOfRangeIsNull) {
+  const auto model = make_model();
+  Rng rng(9);
+  EXPECT_EQ(model.sample_active_job(-100, rng), nullptr);
+  EXPECT_EQ(model.sample_active_job(100 * kSecondsPerWeek, rng), nullptr);
+}
+
+TEST(Workload, SampleChipStaysInsidePartition) {
+  const auto model = make_model();
+  Rng rng(11);
+  const Job& job = model.jobs().front();
+  std::set<std::uint32_t> allowed;
+  for (const auto& card : job.node_cards) allowed.insert(card.packed());
+  for (int i = 0; i < 100; ++i) {
+    const auto chip = model.sample_chip(job, rng);
+    EXPECT_EQ(chip.kind(), bgl::LocationKind::kComputeChip);
+    EXPECT_TRUE(allowed.contains(chip.enclosing_node_card().packed()));
+  }
+}
+
+TEST(Workload, SampleAnyChipCoversMachine) {
+  const auto model = make_model();
+  Rng rng(13);
+  std::set<int> racks;
+  for (int i = 0; i < 500; ++i) {
+    racks.insert(model.sample_any_chip(rng).rack());
+  }
+  EXPECT_EQ(racks.size(), 3u);  // SDSC has three racks
+}
+
+}  // namespace
+}  // namespace dml::loggen

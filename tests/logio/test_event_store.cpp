@@ -1,0 +1,80 @@
+#include "logio/event_store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dml::logio {
+namespace {
+
+bgl::Event make_event(TimeSec t, bool fatal = false) {
+  bgl::Event e;
+  e.time = t;
+  e.category = 1;
+  e.fatal = fatal;
+  return e;
+}
+
+TEST(EventStore, SortsOnConstruction) {
+  EventStore store({make_event(30), make_event(10), make_event(20)});
+  ASSERT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.all()[0].time, 10);
+  EXPECT_EQ(store.all()[2].time, 30);
+  EXPECT_EQ(store.first_time(), 10);
+  EXPECT_EQ(store.last_time(), 30);
+}
+
+TEST(EventStore, EmptyStore) {
+  const EventStore store;
+  EXPECT_TRUE(store.empty());
+  EXPECT_EQ(store.first_time(), 0);
+  EXPECT_EQ(store.last_time(), 0);
+  EXPECT_TRUE(store.between(0, 100).empty());
+  EXPECT_EQ(store.fatal_count_between(0, 100), 0u);
+}
+
+TEST(EventStore, BetweenIsHalfOpen) {
+  EventStore store({make_event(10), make_event(20), make_event(30)});
+  const auto span = store.between(10, 30);
+  ASSERT_EQ(span.size(), 2u);
+  EXPECT_EQ(span[0].time, 10);
+  EXPECT_EQ(span[1].time, 20);
+  EXPECT_TRUE(store.between(31, 40).empty());
+  EXPECT_TRUE(store.between(15, 15).empty());
+  EXPECT_EQ(store.between(0, 1000).size(), 3u);
+}
+
+TEST(EventStore, FatalTimesCached) {
+  EventStore store({make_event(10, true), make_event(20, false),
+                    make_event(30, true)});
+  EXPECT_EQ(store.fatal_times(), (std::vector<TimeSec>{10, 30}));
+  EXPECT_EQ(store.fatal_count_between(10, 30), 1u);
+  EXPECT_EQ(store.fatal_count_between(10, 31), 2u);
+}
+
+TEST(EventStore, FatalPerDaySeries) {
+  // Three fatals on day 0, one on day 2.
+  EventStore store({make_event(100, true), make_event(200, true),
+                    make_event(86000, true),
+                    make_event(2 * kSecondsPerDay + 5, true)});
+  const auto per_day = store.fatal_per_day(0, 3 * kSecondsPerDay);
+  ASSERT_EQ(per_day.size(), 3u);
+  EXPECT_EQ(per_day[0], 3u);
+  EXPECT_EQ(per_day[1], 0u);
+  EXPECT_EQ(per_day[2], 1u);
+}
+
+TEST(EventStore, FatalPerDayIgnoresOutOfRange) {
+  EventStore store({make_event(-5, true), make_event(100, true),
+                    make_event(kSecondsPerDay * 10, true)});
+  const auto per_day = store.fatal_per_day(0, kSecondsPerDay);
+  ASSERT_EQ(per_day.size(), 1u);
+  EXPECT_EQ(per_day[0], 1u);
+}
+
+TEST(EventStore, FatalPerDayEmptyRange) {
+  EventStore store({make_event(10, true)});
+  EXPECT_TRUE(store.fatal_per_day(100, 100).empty());
+  EXPECT_TRUE(store.fatal_per_day(100, 50).empty());
+}
+
+}  // namespace
+}  // namespace dml::logio

@@ -1,0 +1,66 @@
+#include "logio/record_sink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "logio/text_format.hpp"
+
+namespace dml::logio {
+namespace {
+
+bgl::RasRecord make_record(bgl::Facility facility, RecordId id) {
+  bgl::RasRecord r;
+  r.record_id = id;
+  r.facility = facility;
+  r.entry_data = "message";
+  return r;
+}
+
+TEST(VectorSink, CollectsInOrder) {
+  VectorSink sink;
+  sink.consume(make_record(bgl::Facility::kKernel, 1));
+  sink.consume(make_record(bgl::Facility::kApp, 2));
+  ASSERT_EQ(sink.records().size(), 2u);
+  EXPECT_EQ(sink.records()[0].record_id, 1u);
+  EXPECT_EQ(sink.records()[1].record_id, 2u);
+  const auto taken = sink.take();
+  EXPECT_EQ(taken.size(), 2u);
+}
+
+TEST(CountingSink, CountsPerFacilityAndBytes) {
+  CountingSink sink;
+  sink.consume(make_record(bgl::Facility::kKernel, 1));
+  sink.consume(make_record(bgl::Facility::kKernel, 2));
+  sink.consume(make_record(bgl::Facility::kMonitor, 3));
+  EXPECT_EQ(sink.total(), 3u);
+  EXPECT_EQ(sink.per_facility(bgl::Facility::kKernel), 2u);
+  EXPECT_EQ(sink.per_facility(bgl::Facility::kMonitor), 1u);
+  EXPECT_EQ(sink.per_facility(bgl::Facility::kApp), 0u);
+  EXPECT_GT(sink.bytes(), 0u);
+}
+
+TEST(StreamSink, ProducesParsableLog) {
+  std::stringstream stream;
+  {
+    StreamSink sink(stream, "TEST");
+    sink.consume(make_record(bgl::Facility::kKernel, 1));
+    sink.consume(make_record(bgl::Facility::kApp, 2));
+  }
+  const LogFile log = read_log(stream);
+  EXPECT_EQ(log.machine, "TEST");
+  ASSERT_EQ(log.records.size(), 2u);
+  EXPECT_EQ(log.records[0].facility, bgl::Facility::kKernel);
+}
+
+TEST(TeeSink, FansOutToAllSinks) {
+  VectorSink a;
+  CountingSink b;
+  TeeSink tee({&a, &b});
+  tee.consume(make_record(bgl::Facility::kCmcs, 9));
+  EXPECT_EQ(a.records().size(), 1u);
+  EXPECT_EQ(b.total(), 1u);
+}
+
+}  // namespace
+}  // namespace dml::logio

@@ -1,0 +1,122 @@
+#include "logio/text_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/civil_time.hpp"
+
+namespace dml::logio {
+namespace {
+
+bgl::RasRecord sample_record() {
+  bgl::RasRecord r;
+  r.record_id = 42;
+  r.event_type = bgl::EventType::kRas;
+  r.event_time = time_from_civil({2005, 3, 1, 12, 30, 5});
+  r.job_id = 77;
+  r.location = bgl::Location::compute_chip(0, 1, 7, 12, 1);
+  r.facility = bgl::Facility::kKernel;
+  r.severity = Severity::kFatal;
+  r.entry_data = "uncorrectable torus error [inst 0000abcd]";
+  return r;
+}
+
+TEST(TextFormat, LineShape) {
+  EXPECT_EQ(record_to_line(sample_record()),
+            "42|RAS|2005-03-01-12.30.05|77|R00-M1-N07-C12-J1|KERNEL|FATAL|"
+            "uncorrectable torus error [inst 0000abcd]");
+}
+
+TEST(TextFormat, LineRoundTrip) {
+  const bgl::RasRecord r = sample_record();
+  const auto parsed = parse_line(record_to_line(r));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, r);
+}
+
+TEST(TextFormat, EntryDataMayContainPipes) {
+  bgl::RasRecord r = sample_record();
+  r.entry_data = "weird | message | with pipes";
+  const auto parsed = parse_line(record_to_line(r));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->entry_data, r.entry_data);
+}
+
+TEST(TextFormat, ParseRejectsMalformedLines) {
+  EXPECT_FALSE(parse_line("").has_value());
+  EXPECT_FALSE(parse_line("1|RAS|2005-03-01-12.30.05|77").has_value());
+  EXPECT_FALSE(
+      parse_line("x|RAS|2005-03-01-12.30.05|77|R00-M1|KERNEL|FATAL|m")
+          .has_value());  // bad record id
+  EXPECT_FALSE(
+      parse_line("1|RAS|not-a-time|77|R00-M1|KERNEL|FATAL|m").has_value());
+  EXPECT_FALSE(
+      parse_line("1|RAS|2005-03-01-12.30.05|77|BAD|KERNEL|FATAL|m")
+          .has_value());  // bad location
+  EXPECT_FALSE(
+      parse_line("1|RAS|2005-03-01-12.30.05|77|R00-M1|NOPE|FATAL|m")
+          .has_value());  // bad facility
+  EXPECT_FALSE(
+      parse_line("1|RAS|2005-03-01-12.30.05|77|R00-M1|KERNEL|HUGE|m")
+          .has_value());  // bad severity
+  EXPECT_FALSE(
+      parse_line("1|???|2005-03-01-12.30.05|77|R00-M1|KERNEL|FATAL|m")
+          .has_value());  // bad event type
+}
+
+TEST(TextFormat, WriteReadLogRoundTrip) {
+  std::vector<bgl::RasRecord> records;
+  for (int i = 0; i < 5; ++i) {
+    bgl::RasRecord r = sample_record();
+    r.record_id = static_cast<RecordId>(i + 1);
+    r.event_time += i * 60;
+    records.push_back(r);
+  }
+  std::stringstream stream;
+  write_log(stream, "SDSC", records);
+  const LogFile log = read_log(stream);
+  EXPECT_EQ(log.machine, "SDSC");
+  EXPECT_EQ(log.records, records);
+}
+
+TEST(TextFormat, ReaderSkipsCommentsAndBlankLines) {
+  std::stringstream stream;
+  stream << "# BGL-RAS-LOG v1 machine=ANL\n"
+         << "\n"
+         << "# a comment\n"
+         << record_to_line(sample_record()) << "\n";
+  RecordReader reader(stream);
+  EXPECT_EQ(reader.machine(), "ANL");
+  const auto first = reader.next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, sample_record());
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(TextFormat, ReaderThrowsOnMissingHeader) {
+  std::stringstream stream;
+  stream << record_to_line(sample_record()) << "\n";
+  EXPECT_THROW(RecordReader reader(stream), std::runtime_error);
+}
+
+TEST(TextFormat, ReaderThrowsOnMalformedRecordWithLineNumber) {
+  std::stringstream stream;
+  stream << "# BGL-RAS-LOG v1 machine=ANL\n"
+         << "garbage line\n";
+  RecordReader reader(stream);
+  try {
+    reader.next();
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(TextFormat, SerializedSizeMatchesActualLine) {
+  const bgl::RasRecord r = sample_record();
+  EXPECT_EQ(serialized_size(r), record_to_line(r).size() + 1);  // + newline
+}
+
+}  // namespace
+}  // namespace dml::logio

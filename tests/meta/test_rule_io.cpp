@@ -1,0 +1,176 @@
+#include "meta/rule_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "predict/predictor.hpp"
+#include "support/test_fixtures.hpp"
+
+namespace dml::meta {
+namespace {
+
+learners::Rule sample_ar() {
+  learners::AssociationRule rule;
+  rule.antecedent = {3, 7, 12};
+  rule.consequent = bgl::taxonomy().fatal_ids().front();
+  rule.support = 0.0123;
+  rule.confidence = 0.79;
+  return learners::Rule{learners::Rule::Body(std::move(rule))};
+}
+
+// GCC 12 variant-copy false positive; see the matching note in
+// rule_io.cpp.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+learners::Rule sample_pd(const char* family) {
+  learners::DistributionRule rule;
+  if (std::string_view(family) == "weibull") {
+    rule.model = stats::LifetimeModel{
+        stats::LifetimeModel::Variant(stats::Weibull{0.507936, 19984.8})};
+  } else if (std::string_view(family) == "exponential") {
+    rule.model = stats::LifetimeModel{
+        stats::LifetimeModel::Variant(stats::Exponential{1.25e-4})};
+  } else {
+    rule.model = stats::LifetimeModel{
+        stats::LifetimeModel::Variant(stats::LogNormal{7.5, 2.25})};
+  }
+  rule.cdf_threshold = 0.6;
+  rule.elapsed_trigger = 17654;
+  return learners::Rule{learners::Rule::Body(std::move(rule))};
+}
+#pragma GCC diagnostic pop
+
+TEST(RuleIo, AssociationRoundTrip) {
+  const auto rule = sample_ar();
+  const auto parsed = rule_from_line(rule_to_line(rule));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->identity(), rule.identity());
+  const auto* ar = parsed->as_association();
+  ASSERT_NE(ar, nullptr);
+  EXPECT_EQ(ar->antecedent, rule.as_association()->antecedent);
+  EXPECT_DOUBLE_EQ(ar->confidence, 0.79);
+  EXPECT_DOUBLE_EQ(ar->support, 0.0123);
+}
+
+TEST(RuleIo, StatisticalRoundTrip) {
+  const learners::Rule rule{
+      learners::Rule::Body(learners::StatisticalRule{4, 0.99})};
+  const auto parsed = rule_from_line(rule_to_line(rule));
+  ASSERT_TRUE(parsed.has_value());
+  const auto* sr = parsed->as_statistical();
+  ASSERT_NE(sr, nullptr);
+  EXPECT_EQ(sr->k, 4);
+  EXPECT_DOUBLE_EQ(sr->probability, 0.99);
+}
+
+TEST(RuleIo, DistributionRoundTripAllFamilies) {
+  for (const char* family : {"weibull", "exponential", "lognormal"}) {
+    const auto rule = sample_pd(family);
+    const auto parsed = rule_from_line(rule_to_line(rule));
+    ASSERT_TRUE(parsed.has_value()) << family;
+    const auto* pd = parsed->as_distribution();
+    ASSERT_NE(pd, nullptr) << family;
+    EXPECT_EQ(pd->model.family_name(), family);
+    EXPECT_EQ(pd->elapsed_trigger, 17654);
+    EXPECT_DOUBLE_EQ(pd->cdf_threshold, 0.6);
+    // The model parameters survive exactly (printed with %.12g).
+    for (double t : {100.0, 20000.0, 90000.0}) {
+      EXPECT_NEAR(pd->model.cdf(t),
+                  rule.as_distribution()->model.cdf(t), 1e-9);
+    }
+  }
+}
+
+TEST(RuleIo, RejectsMalformedLines) {
+  EXPECT_FALSE(rule_from_line("").has_value());
+  EXPECT_FALSE(rule_from_line("XX|1|2").has_value());
+  EXPECT_FALSE(rule_from_line("SR|0|0.9").has_value());      // k < 1
+  EXPECT_FALSE(rule_from_line("SR|x|0.9").has_value());
+  EXPECT_FALSE(rule_from_line("AR|0.5|0.01|no.such.category|also.missing")
+                   .has_value());
+  EXPECT_FALSE(rule_from_line("PD|cauchy|1|2|0.6|100").has_value());
+  EXPECT_FALSE(rule_from_line("PD|weibull|1|2|0.6").has_value());  // short
+}
+
+TEST(RuleIo, DecisionTreeRoundTrip) {
+  // Build a small real tree from generated data and ship it through the
+  // text format.
+  std::vector<learners::LabelledSample> samples;
+  for (int i = 0; i < 200; ++i) {
+    learners::LabelledSample s;
+    s.features[learners::kWarningCount] = static_cast<double>(i % 10);
+    s.positive = (i % 10) > 6;
+    samples.push_back(s);
+  }
+  learners::DecisionTreeRule rule;
+  rule.tree = learners::DecisionTree::fit(samples);
+  rule.probability_threshold = 0.5;
+  const learners::Rule original{learners::Rule::Body(std::move(rule))};
+  const auto parsed = rule_from_line(rule_to_line(original));
+  ASSERT_TRUE(parsed.has_value());
+  const auto* dt = parsed->as_decision_tree();
+  ASSERT_NE(dt, nullptr);
+  EXPECT_EQ(dt->tree, original.as_decision_tree()->tree);
+  EXPECT_DOUBLE_EQ(dt->probability_threshold, 0.5);
+}
+
+TEST(RuleIo, RepositoryRoundTrip) {
+  const auto& repo = testing::shared_repository();
+  std::stringstream stream;
+  write_rules(stream, repo);
+  const auto loaded = read_rules(stream);
+  ASSERT_EQ(loaded.size(), repo.size());
+  const auto churn = KnowledgeRepository::diff(repo, loaded);
+  EXPECT_EQ(churn.added, 0u);
+  EXPECT_EQ(churn.removed, 0u);
+  EXPECT_EQ(churn.unchanged, repo.size());
+}
+
+TEST(RuleIo, ReadRequiresHeader) {
+  std::stringstream stream("SR|2|0.9\n");
+  EXPECT_THROW(read_rules(stream), std::runtime_error);
+}
+
+TEST(RuleIo, ReadReportsLineNumber) {
+  std::stringstream stream("# DML-RULES v1\nSR|2|0.9\ngarbage\n");
+  try {
+    read_rules(stream);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(RuleIo, ReadSkipsCommentsAndBlanks) {
+  std::stringstream stream("# DML-RULES v1\n\n# comment\nSR|3|0.85\n");
+  const auto repo = read_rules(stream);
+  ASSERT_EQ(repo.size(), 1u);
+  EXPECT_EQ(repo.rules()[0].rule.as_statistical()->k, 3);
+}
+
+TEST(RuleIo, LoadedRulesDriveThePredictorIdentically) {
+  // A repository shipped through serialization must predict exactly like
+  // the original.
+  const auto& store = testing::shared_store();
+  const auto& repo = testing::shared_repository();
+  std::stringstream stream;
+  write_rules(stream, repo);
+  const auto loaded = read_rules(stream);
+
+  const auto test_events = testing::weeks_of(store, 26, 30);
+  predict::Predictor original(repo, testing::kWp);
+  predict::Predictor reloaded(loaded, testing::kWp);
+  const auto w1 = original.run(test_events, testing::kWp);
+  const auto w2 = reloaded.run(test_events, testing::kWp);
+  ASSERT_EQ(w1.size(), w2.size());
+  for (std::size_t i = 0; i < w1.size(); ++i) {
+    EXPECT_EQ(w1[i].issued_at, w2[i].issued_at);
+    EXPECT_EQ(w1[i].deadline, w2[i].deadline);
+    EXPECT_EQ(w1[i].category, w2[i].category);
+    EXPECT_EQ(w1[i].source, w2[i].source);
+  }
+}
+
+}  // namespace
+}  // namespace dml::meta

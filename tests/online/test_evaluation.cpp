@@ -1,0 +1,92 @@
+#include "online/evaluation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/test_fixtures.hpp"
+
+namespace dml::online {
+namespace {
+
+DriverResult fake_result() {
+  DriverResult result;
+  for (int i = 0; i < 3; ++i) {
+    IntervalResult interval;
+    interval.week = 12 + 4 * i;
+    interval.counts = {static_cast<std::uint64_t>(8 - i),
+                       static_cast<std::uint64_t>(2 + i), 2};
+    result.intervals.push_back(interval);
+  }
+  return result;
+}
+
+TEST(AccuracySeries, OnePointPerInterval) {
+  const auto series = accuracy_series(fake_result());
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_EQ(series[0].week, 12);
+  EXPECT_DOUBLE_EQ(series[0].precision, 0.8);
+  EXPECT_DOUBLE_EQ(series[0].recall, 0.8);
+  EXPECT_EQ(series[2].week, 20);
+  EXPECT_DOUBLE_EQ(series[2].precision, 0.6);
+}
+
+TEST(MeanMetrics, WarmupSkipsEarlyPoints) {
+  const auto result = fake_result();
+  EXPECT_NEAR(mean_precision(result, 0), (0.8 + 0.7 + 0.6) / 3.0, 1e-12);
+  EXPECT_NEAR(mean_precision(result, 2), 0.6, 1e-12);
+  EXPECT_DOUBLE_EQ(mean_precision(result, 5), 0.0);
+  EXPECT_NEAR(mean_recall(result, 0), (0.8 + 7.0 / 9.0 + 0.75) / 3.0, 1e-9);
+}
+
+class VennTest : public ::testing::Test {
+ protected:
+  static meta::KnowledgeRepository single_source(
+      learners::RuleSource source) {
+    const auto& store = testing::shared_store();
+    meta::MetaLearnerConfig config;
+    config.enable_association = source == learners::RuleSource::kAssociation;
+    config.enable_statistical = source == learners::RuleSource::kStatistical;
+    config.enable_distribution =
+        source == learners::RuleSource::kDistribution;
+    meta::MetaLearner learner{config};
+    return learner.learn(testing::weeks_of(store, 0, 26), testing::kWp);
+  }
+};
+
+TEST_F(VennTest, RegionsPartitionTheFailures) {
+  const auto& store = testing::shared_store();
+  const TimeSec origin = store.first_time();
+  const auto venn = venn_over_range(
+      store, origin + 26 * kSecondsPerWeek, origin + 34 * kSecondsPerWeek,
+      single_source(learners::RuleSource::kAssociation),
+      single_source(learners::RuleSource::kStatistical),
+      single_source(learners::RuleSource::kDistribution), testing::kWp);
+  EXPECT_EQ(venn.only_ar + venn.only_sr + venn.only_pd + venn.ar_sr +
+                venn.ar_pd + venn.sr_pd + venn.all + venn.none,
+            venn.total);
+  EXPECT_GT(venn.total, 50u);
+  // Figure 8's headline: no single learner captures everything, and the
+  // learners overlap.
+  EXPECT_GT(venn.none, 0u);
+  EXPECT_GT(venn.captured_by_ar(), 0u);
+  EXPECT_GT(venn.captured_by_sr(), 0u);
+  EXPECT_GT(venn.captured_by_pd(), 0u);
+  EXPECT_LT(venn.captured_by_ar(), venn.total);
+  EXPECT_LT(venn.captured_by_sr(), venn.total);
+  EXPECT_LT(venn.captured_by_pd(), venn.total);
+}
+
+TEST_F(VennTest, AccessorsSumRegions) {
+  VennCounts venn;
+  venn.only_ar = 1;
+  venn.ar_sr = 2;
+  venn.ar_pd = 3;
+  venn.sr_pd = 4;
+  venn.all = 5;
+  EXPECT_EQ(venn.captured_by_ar(), 11u);
+  EXPECT_EQ(venn.captured_by_sr(), 11u);
+  EXPECT_EQ(venn.captured_by_pd(), 12u);
+  EXPECT_EQ(venn.captured_by_multiple(), 14u);
+}
+
+}  // namespace
+}  // namespace dml::online

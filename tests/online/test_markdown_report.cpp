@@ -1,0 +1,66 @@
+#include "online/markdown_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/test_fixtures.hpp"
+
+namespace dml::online {
+namespace {
+
+TEST(MarkdownReport, RendersAllSections) {
+  DriverConfig config;
+  config.training_weeks = 12;
+  const auto& store = testing::shared_store();
+  const auto result = DynamicDriver(config).run(store);
+
+  std::stringstream out;
+  write_markdown_report(out, config, result, store);
+  const std::string text = out.str();
+
+  EXPECT_NE(text.find("# Failure-prediction run report"), std::string::npos);
+  EXPECT_NE(text.find("## Headline"), std::string::npos);
+  EXPECT_NE(text.find("95% CI"), std::string::npos);
+  EXPECT_NE(text.find("## Intervals"), std::string::npos);
+  EXPECT_NE(text.find("recall trend"), std::string::npos);
+  EXPECT_NE(text.find("## Operational analysis"), std::string::npos);
+  EXPECT_NE(text.find("warning lead time"), std::string::npos);
+  EXPECT_NE(text.find("| failure category |"), std::string::npos);
+  // One table row per interval.
+  std::size_t rows = 0, pos = 0;
+  while ((pos = text.find("\n| ", pos)) != std::string::npos) {
+    ++rows;
+    ++pos;
+  }
+  EXPECT_GE(rows, result.intervals.size());
+}
+
+TEST(MarkdownReport, LeadTimesCanBeSkipped) {
+  DriverConfig config;
+  config.training_weeks = 12;
+  const auto& store = testing::shared_store();
+  const auto result = DynamicDriver(config).run(store);
+
+  ReportOptions options;
+  options.include_lead_times = false;
+  options.title = "Custom title";
+  std::stringstream out;
+  write_markdown_report(out, config, result, store, options);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# Custom title"), std::string::npos);
+  EXPECT_EQ(text.find("## Operational analysis"), std::string::npos);
+}
+
+TEST(MarkdownReport, EmptyResultIsGraceful) {
+  DriverConfig config;
+  config.training_weeks = 1000;  // no intervals
+  const auto& store = testing::shared_store();
+  const auto result = DynamicDriver(config).run(store);
+  std::stringstream out;
+  write_markdown_report(out, config, result, store);
+  EXPECT_NE(out.str().find("No prediction intervals"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dml::online

@@ -1,0 +1,65 @@
+#include "online/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+namespace dml::online {
+namespace {
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter table({"Log", "Weeks", "Events"});
+  table.add_row({"ANL BGL", "112", "5887771"});
+  table.add_row({"SDSC BGL", "132", "517247"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+  // Every line has the same width (trailing pad makes columns align).
+  std::istringstream lines(text);
+  std::string line;
+  std::getline(lines, line);
+  const auto width = line.size();
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(line.size(), width) << line;
+  }
+  EXPECT_NE(text.find("SDSC BGL"), std::string::npos);
+}
+
+TEST(TablePrinter, ShortRowsArePadded) {
+  TablePrinter table({"a", "b", "c"});
+  table.add_row({"only"});
+  std::ostringstream out;
+  table.print(out);
+  EXPECT_NE(out.str().find("only"), std::string::npos);
+}
+
+TEST(TablePrinter, FormatHelpers) {
+  EXPECT_EQ(TablePrinter::fmt(0.756789, 2), "0.76");
+  EXPECT_EQ(TablePrinter::fmt(0.7, 3), "0.700");
+  EXPECT_EQ(TablePrinter::fmt(std::uint64_t{5887771}), "5887771");
+  EXPECT_EQ(TablePrinter::fmt(std::int64_t{-12}), "-12");
+}
+
+TEST(Sparkline, MapsValuesToLevels) {
+  const std::string line = sparkline({0.0, 0.5, 1.0});
+  ASSERT_EQ(line.size(), 3u);
+  EXPECT_EQ(line[0], ' ');
+  EXPECT_EQ(line[2], '@');
+  EXPECT_NE(line[1], line[0]);
+}
+
+TEST(Sparkline, ClampsOutOfRange) {
+  const std::string line = sparkline({-1.0, 2.0});
+  EXPECT_EQ(line[0], ' ');
+  EXPECT_EQ(line[1], '@');
+}
+
+TEST(Sparkline, EmptyInput) {
+  EXPECT_TRUE(sparkline({}).empty());
+}
+
+}  // namespace
+}  // namespace dml::online

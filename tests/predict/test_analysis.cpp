@@ -1,0 +1,114 @@
+#include "predict/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "predict/predictor.hpp"
+#include "support/test_fixtures.hpp"
+
+namespace dml::predict {
+namespace {
+
+bgl::Event ev(TimeSec t, CategoryId cat, bool fatal) {
+  bgl::Event e;
+  e.time = t;
+  e.category = cat;
+  e.fatal = fatal;
+  return e;
+}
+
+Warning warn(TimeSec issued, TimeSec deadline,
+             std::optional<CategoryId> category = std::nullopt) {
+  Warning w;
+  w.issued_at = issued;
+  w.deadline = deadline;
+  w.category = category;
+  return w;
+}
+
+TEST(LeadTime, ComputedFromEarliestCoveringWarning) {
+  const std::vector<bgl::Event> events = {ev(1000, 50, true)};
+  // Two warnings cover it; lead time measured from the earliest (t=700).
+  const std::vector<Warning> warnings = {warn(700, 1200), warn(950, 1250)};
+  const auto stats = lead_time_stats(events, warnings, 300);
+  EXPECT_EQ(stats.matched_warnings, 1u);
+  EXPECT_DOUBLE_EQ(stats.mean_seconds, 300.0);
+  EXPECT_DOUBLE_EQ(stats.median_seconds, 300.0);
+  EXPECT_DOUBLE_EQ(stats.actionable_fraction, 1.0);  // >= 60 s
+}
+
+TEST(LeadTime, ActionableFloorSplitsTightEscapes) {
+  const std::vector<bgl::Event> events = {ev(1000, 50, true),
+                                          ev(5000, 50, true)};
+  const std::vector<Warning> warnings = {warn(990, 1200),    // 10 s notice
+                                         warn(4000, 5200)};  // 1000 s notice
+  const auto stats = lead_time_stats(events, warnings, 300, 60);
+  EXPECT_EQ(stats.matched_warnings, 2u);
+  EXPECT_DOUBLE_EQ(stats.actionable_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(stats.mean_seconds, 505.0);
+}
+
+TEST(LeadTime, NoCoverageYieldsEmptyStats) {
+  const std::vector<bgl::Event> events = {ev(1000, 50, true)};
+  const auto stats = lead_time_stats(events, {}, 300);
+  EXPECT_EQ(stats.matched_warnings, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_seconds, 0.0);
+}
+
+TEST(PerCategory, CountsAndOrdering) {
+  const std::vector<bgl::Event> events = {
+      ev(1000, 50, true), ev(2000, 50, true), ev(3000, 50, true),
+      ev(4000, 51, true), ev(500, 1, false)};
+  const std::vector<Warning> warnings = {warn(900, 1200, 50),
+                                         warn(3900, 4200, 51)};
+  const auto accuracy = per_category_accuracy(events, warnings, 300);
+  ASSERT_EQ(accuracy.size(), 2u);
+  // Category 50 has more failures: listed first.
+  EXPECT_EQ(accuracy[0].category, 50);
+  EXPECT_EQ(accuracy[0].failures, 3u);
+  EXPECT_EQ(accuracy[0].covered, 1u);
+  EXPECT_NEAR(accuracy[0].recall(), 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(accuracy[1].category, 51);
+  EXPECT_DOUBLE_EQ(accuracy[1].recall(), 1.0);
+}
+
+TEST(PerCategory, ConsumptionPreventsDoubleCounting) {
+  // One category-less warning, two failures: only the first is covered.
+  const std::vector<bgl::Event> events = {ev(1000, 50, true),
+                                          ev(1100, 50, true)};
+  const std::vector<Warning> warnings = {warn(900, 1500)};
+  const auto accuracy = per_category_accuracy(events, warnings, 300);
+  ASSERT_EQ(accuracy.size(), 1u);
+  EXPECT_EQ(accuracy[0].covered, 1u);
+}
+
+TEST(Analysis, RealisticRunProducesActionableLeadTimes) {
+  const auto& store = testing::shared_store();
+  const auto& repo = testing::shared_repository();
+  Predictor predictor(repo, testing::kWp);
+  const auto test_events = testing::weeks_of(store, 26, 34);
+  const auto warnings = predictor.run(test_events, testing::kWp);
+
+  const auto stats = lead_time_stats(test_events, warnings, testing::kWp);
+  ASSERT_GT(stats.matched_warnings, 20u);
+  EXPECT_GT(stats.mean_seconds, 0.0);
+  EXPECT_LE(stats.p10_seconds, stats.median_seconds);
+  EXPECT_LE(stats.median_seconds, stats.p90_seconds);
+  // A meaningful share of predictions give at least a minute of notice.
+  EXPECT_GT(stats.actionable_fraction, 0.3);
+
+  const auto accuracy = per_category_accuracy(test_events, warnings,
+                                              testing::kWp);
+  ASSERT_FALSE(accuracy.empty());
+  std::size_t total = 0;
+  for (const auto& entry : accuracy) total += entry.failures;
+  EXPECT_EQ(total, store.fatal_count_between(
+                       store.first_time() + 26 * kSecondsPerWeek,
+                       store.first_time() + 34 * kSecondsPerWeek));
+  // Ordering invariant.
+  for (std::size_t i = 1; i < accuracy.size(); ++i) {
+    EXPECT_GE(accuracy[i - 1].failures, accuracy[i].failures);
+  }
+}
+
+}  // namespace
+}  // namespace dml::predict

@@ -1,0 +1,72 @@
+#include "preprocess/categorizer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dml::preprocess {
+namespace {
+
+bgl::RasRecord record_for(const bgl::EventCategory& cat) {
+  bgl::RasRecord r;
+  r.facility = cat.facility;
+  r.severity = cat.severity;
+  r.entry_data = cat.pattern + " [inst 12345678]";
+  return r;
+}
+
+TEST(Categorizer, ClassifiesGeneratedRecords) {
+  Categorizer categorizer;
+  const auto& tax = bgl::taxonomy();
+  for (CategoryId id : tax.fatal_ids()) {
+    const auto result = categorizer.categorize(record_for(tax.category(id)));
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->category, id);
+    EXPECT_TRUE(result->fatal);
+  }
+  EXPECT_EQ(categorizer.stats().classified, tax.fatal_ids().size());
+  EXPECT_EQ(categorizer.stats().unclassified, 0u);
+}
+
+TEST(Categorizer, DemotesNominallyFatalRecords) {
+  Categorizer categorizer;
+  const auto& tax = bgl::taxonomy();
+  const bgl::EventCategory* nominal = nullptr;
+  for (const auto& cat : tax.categories()) {
+    if (cat.nominally_fatal) {
+      nominal = &cat;
+      break;
+    }
+  }
+  ASSERT_NE(nominal, nullptr);
+  const auto result = categorizer.categorize(record_for(*nominal));
+  ASSERT_TRUE(result.has_value());
+  // Severity says FATAL, but the cleaned taxonomy says non-fatal.
+  EXPECT_TRUE(result->record.is_fatal_severity());
+  EXPECT_FALSE(result->fatal);
+  EXPECT_EQ(categorizer.stats().demoted_nominal_fatal, 1u);
+}
+
+TEST(Categorizer, CountsUnclassifiedRecords) {
+  Categorizer categorizer;
+  bgl::RasRecord r;
+  r.facility = bgl::Facility::kKernel;
+  r.severity = Severity::kFatal;
+  r.entry_data = "an entirely unknown message";
+  EXPECT_FALSE(categorizer.categorize(r).has_value());
+  EXPECT_EQ(categorizer.stats().unclassified, 1u);
+  EXPECT_EQ(categorizer.stats().classified, 0u);
+}
+
+TEST(Categorizer, PreservesRecordAttributes) {
+  Categorizer categorizer;
+  const auto& cat = bgl::taxonomy().category(0);
+  bgl::RasRecord r = record_for(cat);
+  r.record_id = 99;
+  r.job_id = 7;
+  r.event_time = 123456;
+  const auto result = categorizer.categorize(r);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->record, r);
+}
+
+}  // namespace
+}  // namespace dml::preprocess

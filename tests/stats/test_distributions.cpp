@@ -1,0 +1,119 @@
+#include "stats/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dml::stats {
+namespace {
+
+TEST(Weibull, PaperFitCdfValue) {
+  // §4.1: F(t) = 1 - e^-(t/19984.8)^0.507936; F(20000) ~= 0.63.
+  const Weibull w{0.507936, 19984.8};
+  EXPECT_NEAR(w.cdf(20000.0), 0.63, 0.01);
+}
+
+TEST(Weibull, CdfBoundaries) {
+  const Weibull w{2.0, 5.0};
+  EXPECT_DOUBLE_EQ(w.cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.cdf(-3.0), 0.0);
+  EXPECT_GT(w.cdf(1e9), 0.999999);
+}
+
+TEST(Weibull, QuantileInvertsCdf) {
+  const Weibull w{0.7, 1234.0};
+  for (double p : {0.01, 0.25, 0.5, 0.6, 0.9, 0.99}) {
+    EXPECT_NEAR(w.cdf(w.quantile(p)), p, 1e-10) << p;
+  }
+  EXPECT_THROW(w.quantile(1.0), std::domain_error);
+  EXPECT_THROW(w.quantile(-0.1), std::domain_error);
+}
+
+TEST(Weibull, ShapeOneEqualsExponential) {
+  const Weibull w{1.0, 10.0};
+  const Exponential e{0.1};
+  for (double t : {0.5, 1.0, 5.0, 20.0}) {
+    EXPECT_NEAR(w.cdf(t), e.cdf(t), 1e-12);
+    EXPECT_NEAR(w.pdf(t), e.pdf(t), 1e-12);
+  }
+}
+
+TEST(Weibull, MeanMatchesGammaFormula) {
+  // mean = scale * Gamma(1 + 1/shape); shape 0.5 => Gamma(3) = 2.
+  const Weibull w{0.5, 100.0};
+  EXPECT_NEAR(w.mean(), 200.0, 1e-9);
+}
+
+TEST(Weibull, LogPdfConsistentWithPdf) {
+  const Weibull w{0.508, 19984.8};
+  for (double t : {10.0, 300.0, 20000.0, 1e6}) {
+    EXPECT_NEAR(w.log_pdf(t), std::log(w.pdf(t)), 1e-9) << t;
+  }
+  EXPECT_EQ(w.log_pdf(0.0), -std::numeric_limits<double>::infinity());
+}
+
+TEST(Exponential, QuantileInverts) {
+  const Exponential e{0.001};
+  EXPECT_NEAR(e.cdf(e.quantile(0.6)), 0.6, 1e-12);
+  EXPECT_NEAR(e.mean(), 1000.0, 1e-12);
+}
+
+TEST(Exponential, Memorylessness) {
+  const Exponential e{0.01};
+  // P(T > s+t | T > s) == P(T > t).
+  const double s = 50.0, t = 70.0;
+  const double lhs = (1.0 - e.cdf(s + t)) / (1.0 - e.cdf(s));
+  EXPECT_NEAR(lhs, 1.0 - e.cdf(t), 1e-12);
+}
+
+TEST(LogNormal, MedianIsExpMu) {
+  const LogNormal l{7.0, 1.3};
+  EXPECT_NEAR(l.cdf(std::exp(7.0)), 0.5, 1e-9);
+  EXPECT_NEAR(l.quantile(0.5), std::exp(7.0), 1e-3);
+}
+
+TEST(LogNormal, QuantileInverts) {
+  const LogNormal l{3.0, 0.8};
+  for (double p : {0.1, 0.5, 0.6, 0.95}) {
+    EXPECT_NEAR(l.cdf(l.quantile(p)), p, 1e-7) << p;
+  }
+}
+
+TEST(LogNormal, MeanFormula) {
+  const LogNormal l{2.0, 1.0};
+  EXPECT_NEAR(l.mean(), std::exp(2.5), 1e-9);
+}
+
+TEST(LogNormal, PdfZeroBelowSupport) {
+  const LogNormal l{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(l.pdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(l.pdf(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(l.cdf(-1.0), 0.0);
+}
+
+TEST(LifetimeModel, DispatchesToUnderlyingFamily) {
+  const LifetimeModel m{LifetimeModel::Variant(Weibull{0.5, 100.0})};
+  EXPECT_EQ(m.family_name(), "weibull");
+  EXPECT_NEAR(m.mean(), 200.0, 1e-9);
+  const LifetimeModel e{LifetimeModel::Variant(Exponential{0.5})};
+  EXPECT_EQ(e.family_name(), "exponential");
+  const LifetimeModel l{LifetimeModel::Variant(LogNormal{0.0, 1.0})};
+  EXPECT_EQ(l.family_name(), "lognormal");
+}
+
+TEST(NormalCdf, StandardValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(NormalQuantile, InvertsCdf) {
+  for (double p : {0.001, 0.01, 0.2, 0.5, 0.6, 0.9, 0.999}) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-7) << p;
+  }
+  EXPECT_THROW(normal_quantile(0.0), std::domain_error);
+  EXPECT_THROW(normal_quantile(1.0), std::domain_error);
+}
+
+}  // namespace
+}  // namespace dml::stats

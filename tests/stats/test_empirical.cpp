@@ -1,0 +1,90 @@
+#include "stats/empirical.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace dml::stats {
+namespace {
+
+TEST(Ecdf, StepFunctionValues) {
+  const std::vector<double> samples = {1.0, 2.0, 2.0, 5.0};
+  const Ecdf ecdf(samples);
+  EXPECT_DOUBLE_EQ(ecdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(ecdf(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(ecdf(4.9), 0.75);
+  EXPECT_DOUBLE_EQ(ecdf(5.0), 1.0);
+  EXPECT_DOUBLE_EQ(ecdf(100.0), 1.0);
+}
+
+TEST(Ecdf, EmptyInput) {
+  const Ecdf ecdf{std::vector<double>{}};
+  EXPECT_DOUBLE_EQ(ecdf(3.0), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf.quantile(0.5), 0.0);
+}
+
+TEST(Ecdf, QuantileInterpolates) {
+  const std::vector<double> samples = {0.0, 10.0};
+  const Ecdf ecdf(samples);
+  EXPECT_DOUBLE_EQ(ecdf.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(ecdf.quantile(1.0), 10.0);
+}
+
+TEST(Ecdf, SortsInput) {
+  const std::vector<double> samples = {5.0, 1.0, 3.0};
+  const Ecdf ecdf(samples);
+  EXPECT_EQ(ecdf.sorted_samples(), (std::vector<double>{1.0, 3.0, 5.0}));
+}
+
+TEST(KsStatistic, ZeroishForPerfectModel) {
+  dml::Rng rng(11);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) samples.push_back(rng.weibull(0.8, 100.0));
+  const LifetimeModel model{LifetimeModel::Variant(Weibull{0.8, 100.0})};
+  EXPECT_LT(ks_statistic(model, samples), 0.02);
+}
+
+TEST(KsStatistic, LargeForWrongModel) {
+  dml::Rng rng(12);
+  std::vector<double> samples;
+  for (int i = 0; i < 5000; ++i) samples.push_back(rng.weibull(0.4, 100.0));
+  const LifetimeModel model{
+      LifetimeModel::Variant(Exponential{1.0 / 10000.0})};
+  EXPECT_GT(ks_statistic(model, samples), 0.2);
+}
+
+TEST(KsStatistic, EmptySamplesIsZero) {
+  const LifetimeModel model{LifetimeModel::Variant(Exponential{1.0})};
+  EXPECT_DOUBLE_EQ(ks_statistic(model, std::vector<double>{}), 0.0);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  const std::vector<double> samples = {-5.0, 0.0, 1.5, 9.9, 50.0};
+  const Histogram h = make_histogram(samples, 0.0, 10.0, 5);
+  ASSERT_EQ(h.bins.size(), 5u);
+  EXPECT_EQ(h.bins[0], 3u);  // -5 clamped in, 0.0, 1.5
+  EXPECT_EQ(h.bins[0] + h.bins[1] + h.bins[2] + h.bins[3] + h.bins[4], 5u);
+  EXPECT_EQ(h.bins[4], 2u);  // 9.9 and clamped 50
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, ZeroWidthRangeDoesNotCrash) {
+  const std::vector<double> samples = {1.0, 1.0};
+  const Histogram h = make_histogram(samples, 1.0, 1.0, 4);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(InterArrivals, ConsecutiveDifferences) {
+  const std::vector<double> times = {10.0, 15.0, 35.0};
+  EXPECT_EQ(inter_arrivals(times), (std::vector<double>{5.0, 20.0}));
+}
+
+TEST(InterArrivals, ShortInputs) {
+  EXPECT_TRUE(inter_arrivals(std::vector<double>{}).empty());
+  EXPECT_TRUE(inter_arrivals(std::vector<double>{1.0}).empty());
+}
+
+}  // namespace
+}  // namespace dml::stats

@@ -1,0 +1,113 @@
+#include "stats/fitting.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace dml::stats {
+namespace {
+
+std::vector<double> weibull_samples(double shape, double scale, int n,
+                                    std::uint64_t seed) {
+  dml::Rng rng(seed);
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) samples.push_back(rng.weibull(shape, scale));
+  return samples;
+}
+
+TEST(FitWeibull, RecoversPaperParameters) {
+  // The SDSC fit from §4.1: shape 0.507936, scale 19984.8.
+  const auto samples = weibull_samples(0.507936, 19984.8, 20000, 1);
+  const auto fit = fit_weibull(samples);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->shape, 0.508, 0.02);
+  EXPECT_NEAR(fit->scale, 19984.8, 800.0);
+}
+
+TEST(FitWeibull, RecoversHighShape) {
+  const auto samples = weibull_samples(2.5, 40.0, 20000, 2);
+  const auto fit = fit_weibull(samples);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->shape, 2.5, 0.1);
+  EXPECT_NEAR(fit->scale, 40.0, 1.0);
+}
+
+TEST(FitWeibull, RejectsDegenerateInput) {
+  EXPECT_FALSE(fit_weibull(std::vector<double>{}).has_value());
+  EXPECT_FALSE(fit_weibull(std::vector<double>{5.0}).has_value());
+  EXPECT_FALSE(fit_weibull(std::vector<double>{1.0, -2.0}).has_value());
+  EXPECT_FALSE(fit_weibull(std::vector<double>{0.0, 3.0}).has_value());
+  // All-identical samples: unbounded likelihood in the shape.
+  EXPECT_FALSE(
+      fit_weibull(std::vector<double>{7.0, 7.0, 7.0, 7.0}).has_value());
+}
+
+TEST(FitExponential, RateIsInverseMean) {
+  const std::vector<double> samples = {1.0, 2.0, 3.0, 4.0};
+  const auto fit = fit_exponential(samples);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->rate, 1.0 / 2.5, 1e-12);
+}
+
+TEST(FitExponential, RejectsNonPositive) {
+  EXPECT_FALSE(fit_exponential(std::vector<double>{}).has_value());
+  EXPECT_FALSE(fit_exponential(std::vector<double>{1.0, 0.0}).has_value());
+}
+
+TEST(FitLogNormal, RecoversParameters) {
+  dml::Rng rng(3);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) samples.push_back(rng.lognormal(6.0, 1.2));
+  const auto fit = fit_lognormal(samples);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->mu, 6.0, 0.05);
+  EXPECT_NEAR(fit->sigma, 1.2, 0.05);
+}
+
+TEST(LogLikelihood, HigherForTrueModel) {
+  const auto samples = weibull_samples(0.5, 1000.0, 5000, 4);
+  const LifetimeModel true_model{
+      LifetimeModel::Variant(Weibull{0.5, 1000.0})};
+  const LifetimeModel wrong_model{
+      LifetimeModel::Variant(Exponential{1.0 / 2000.0})};
+  EXPECT_GT(log_likelihood(true_model, samples),
+            log_likelihood(wrong_model, samples));
+}
+
+TEST(SelectLifetimeModel, PicksWeibullForWeibullData) {
+  const auto samples = weibull_samples(0.508, 19984.8, 10000, 5);
+  const auto selection = select_lifetime_model(samples);
+  ASSERT_TRUE(selection.has_value());
+  EXPECT_EQ(selection->best.model.family_name(), "weibull");
+  // All three families should have been fitted and scored.
+  EXPECT_EQ(selection->candidates.size(), 3u);
+  // The winner has the max log-likelihood among candidates.
+  for (const auto& c : selection->candidates) {
+    EXPECT_LE(c.log_likelihood, selection->best.log_likelihood + 1e-9);
+  }
+}
+
+TEST(SelectLifetimeModel, PicksLogNormalForLogNormalData) {
+  dml::Rng rng(6);
+  std::vector<double> samples;
+  for (int i = 0; i < 10000; ++i) samples.push_back(rng.lognormal(5.0, 2.0));
+  const auto selection = select_lifetime_model(samples);
+  ASSERT_TRUE(selection.has_value());
+  EXPECT_EQ(selection->best.model.family_name(), "lognormal");
+}
+
+TEST(SelectLifetimeModel, KsStatisticSmallForGoodFit) {
+  const auto samples = weibull_samples(0.7, 500.0, 8000, 7);
+  const auto selection = select_lifetime_model(samples);
+  ASSERT_TRUE(selection.has_value());
+  EXPECT_LT(selection->best.ks_statistic, 0.03);
+}
+
+TEST(SelectLifetimeModel, EmptyInputFailsGracefully) {
+  EXPECT_FALSE(select_lifetime_model(std::vector<double>{}).has_value());
+  EXPECT_FALSE(select_lifetime_model(std::vector<double>{3.0}).has_value());
+}
+
+}  // namespace
+}  // namespace dml::stats

@@ -1,0 +1,56 @@
+#include "stats/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dml::stats {
+namespace {
+
+TEST(Metrics, PrecisionRecallDefinitions) {
+  // §5.1: precision = Tp/(Tp+Fp), recall = Tp/(Tp+Fn).
+  const ConfusionCounts c{8, 2, 8};
+  EXPECT_DOUBLE_EQ(precision(c), 0.8);
+  EXPECT_DOUBLE_EQ(recall(c), 0.5);
+}
+
+TEST(Metrics, ZeroDenominators) {
+  EXPECT_DOUBLE_EQ(precision(ConfusionCounts{0, 0, 5}), 0.0);
+  EXPECT_DOUBLE_EQ(recall(ConfusionCounts{0, 3, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(f1_score(ConfusionCounts{0, 0, 0}), 0.0);
+}
+
+TEST(Metrics, PerfectPredictor) {
+  const ConfusionCounts c{10, 0, 0};
+  EXPECT_DOUBLE_EQ(precision(c), 1.0);
+  EXPECT_DOUBLE_EQ(recall(c), 1.0);
+  EXPECT_DOUBLE_EQ(f1_score(c), 1.0);
+  EXPECT_NEAR(roc_score(c), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Metrics, F1IsHarmonicMean) {
+  const ConfusionCounts c{6, 2, 6};  // p=0.75, r=0.5
+  EXPECT_NEAR(f1_score(c), 2 * 0.75 * 0.5 / 1.25, 1e-12);
+}
+
+TEST(Metrics, RocScoreMatchesAlgorithm1) {
+  // ROC(r) = sqrt(m1^2 + m2^2).
+  const ConfusionCounts c{3, 1, 2};  // m1=0.75, m2=0.6
+  EXPECT_NEAR(roc_score(c), std::sqrt(0.75 * 0.75 + 0.6 * 0.6), 1e-12);
+}
+
+TEST(Metrics, RocScoreBelowThresholdForBadRule) {
+  // A rule that mostly false-alarms and misses most failures should fall
+  // below the paper's MinROC of 0.7.
+  const ConfusionCounts bad{1, 20, 30};
+  EXPECT_LT(roc_score(bad), 0.7);
+}
+
+TEST(Metrics, AccumulationOperator) {
+  ConfusionCounts total{1, 2, 3};
+  total += ConfusionCounts{10, 20, 30};
+  EXPECT_EQ(total, (ConfusionCounts{11, 22, 33}));
+}
+
+}  // namespace
+}  // namespace dml::stats

@@ -1,0 +1,52 @@
+#include "support/test_fixtures.hpp"
+
+#include "predict/reviser.hpp"
+
+namespace dml::testing {
+
+loggen::MachineProfile tiny_profile(int weeks) {
+  auto profile = loggen::MachineProfile::sdsc();
+  profile.weeks = weeks;
+  profile.reconfig_week = std::nullopt;
+  profile.scale = 0.5;
+  return profile;
+}
+
+loggen::MachineProfile medium_profile(int weeks) {
+  auto profile = loggen::MachineProfile::sdsc();
+  profile.weeks = weeks;
+  profile.reconfig_week = std::nullopt;
+  return profile;
+}
+
+const loggen::LogGenerator& shared_generator() {
+  static const loggen::LogGenerator generator(medium_profile(), kSeed);
+  return generator;
+}
+
+const logio::EventStore& shared_store() {
+  static const logio::EventStore store(
+      shared_generator().generate_unique_events());
+  return store;
+}
+
+const meta::KnowledgeRepository& shared_repository() {
+  static const meta::KnowledgeRepository repository = [] {
+    const auto& store = shared_store();
+    const auto training = weeks_of(store, 0, 26);
+    meta::MetaLearner learner{meta::MetaLearnerConfig{}};
+    auto repo = learner.learn(training, kWp);
+    predict::revise(repo, training, kWp);
+    return repo;
+  }();
+  return repository;
+}
+
+std::span<const bgl::Event> weeks_of(const logio::EventStore& store, int from,
+                                     int to) {
+  const TimeSec origin = store.first_time();
+  return store.between(origin + from * kSecondsPerWeek,
+                       origin + to * kSecondsPerWeek);
+}
+
+}  // namespace dml::testing

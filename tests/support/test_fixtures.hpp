@@ -1,0 +1,36 @@
+// Shared fixtures: small generated logs and trained repositories, cached
+// across test suites so the binary stays fast on one core.
+#pragma once
+
+#include "loggen/generator.hpp"
+#include "logio/event_store.hpp"
+#include "meta/meta_learner.hpp"
+
+namespace dml::testing {
+
+inline constexpr DurationSec kWp = 300;
+inline constexpr std::uint64_t kSeed = 7;
+
+/// A small single-era profile (SDSC machine shape, reduced volume) for
+/// unit tests that need raw records.
+loggen::MachineProfile tiny_profile(int weeks = 6);
+
+/// A 40-week SDSC-flavoured profile with the week-20 reconfiguration
+/// removed (single era) — the workhorse for learner tests.
+loggen::MachineProfile medium_profile(int weeks = 40);
+
+/// Cached 40-week unique-event store built from medium_profile().
+const logio::EventStore& shared_store();
+
+/// Cached generator matching shared_store() (for signature inspection).
+const loggen::LogGenerator& shared_generator();
+
+/// Cached knowledge repository trained (and revised) on the first 26
+/// weeks of shared_store() with default configs.
+const meta::KnowledgeRepository& shared_repository();
+
+/// Events of shared_store() from week `from` to week `to`.
+std::span<const bgl::Event> weeks_of(const logio::EventStore& store, int from,
+                                     int to);
+
+}  // namespace dml::testing

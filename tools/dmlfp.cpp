@@ -1,0 +1,382 @@
+// dmlfp — command-line front end for the dynamic meta-learning failure
+// predictor.
+//
+//   dmlfp generate  --machine sdsc --weeks 40 --seed 1 --out log.txt
+//   dmlfp summarize --log log.txt
+//   dmlfp train     --log log.txt --from-week 0 --to-week 26 --out rules.txt
+//   dmlfp predict   --log log.txt --rules rules.txt --from-week 26
+//   dmlfp run       --log log.txt [--mode sliding|whole|static]
+//                   [--training-weeks 26] [--retrain-weeks 4] [--window 300]
+//                   [--no-reviser]
+//
+// Subcommands compose through files: `generate` writes the raw text log,
+// `train` ships a rule set, `predict` consumes both — the offline
+// rule-generation / online prediction split of paper §5.2.4.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/civil_time.hpp"
+#include "loggen/generator.hpp"
+#include "logio/record_sink.hpp"
+#include "logio/text_format.hpp"
+#include "meta/meta_learner.hpp"
+#include "meta/rule_io.hpp"
+#include "online/config_file.hpp"
+#include "online/driver.hpp"
+#include "online/markdown_report.hpp"
+#include "online/report.hpp"
+#include "predict/outcome_matcher.hpp"
+#include "predict/reviser.hpp"
+#include "preprocess/pipeline.hpp"
+
+namespace {
+
+using namespace dml;
+
+/// Minimal --flag value parser: flags are "--name value" pairs.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        error_ = "unexpected argument: " + key;
+        return;
+      }
+      key = key.substr(2);
+      if (key == "no-reviser" || key == "help") {  // boolean flags
+        values_[key] = "1";
+        continue;
+      }
+      if (i + 1 >= argc) {
+        error_ = "missing value for --" + key;
+        return;
+      }
+      values_[key] = argv[++i];
+    }
+  }
+
+  const std::string& error() const { return error_; }
+
+  std::optional<std::string> get(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  std::string get_or(const std::string& key, std::string fallback) const {
+    return get(key).value_or(std::move(fallback));
+  }
+
+  long get_long(const std::string& key, long fallback) const {
+    const auto value = get(key);
+    return value ? std::strtol(value->c_str(), nullptr, 10) : fallback;
+  }
+
+  double get_double(const std::string& key, double fallback) const {
+    const auto value = get(key);
+    return value ? std::strtod(value->c_str(), nullptr) : fallback;
+  }
+
+  bool has(const std::string& key) const { return values_.contains(key); }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::string error_;
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: dmlfp <command> [flags]\n"
+      "  generate  --machine anl|sdsc [--weeks N] [--seed S] [--scale X]\n"
+      "            --out FILE                      write a simulated RAS log\n"
+      "  summarize --log FILE                      Tables 2/4-style summary\n"
+      "  train     --log FILE [--from-week A] [--to-week B] [--window 300]\n"
+      "            [--no-reviser] --out RULES      mine + revise a rule set\n"
+      "  predict   --log FILE --rules RULES [--from-week A] [--to-week B]\n"
+      "            [--window 300]                  replay + evaluate\n"
+      "  run       --log FILE [--config FILE] [--mode sliding|whole|static]\n"
+      "            [--training-weeks 26] [--retrain-weeks 4] [--window 300]\n"
+      "            [--no-reviser] [--report FILE]  full dynamic driver\n"
+      "  config-template                           print a config file\n");
+  return 2;
+}
+
+std::optional<logio::EventStore> load_events(const std::string& path,
+                                             DurationSec threshold) {
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "dmlfp: cannot open %s\n", path.c_str());
+    return std::nullopt;
+  }
+  preprocess::PreprocessPipeline pipeline(threshold);
+  try {
+    logio::RecordReader reader(file);
+    while (auto record = reader.next()) pipeline.consume(*record);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dmlfp: %s\n", e.what());
+    return std::nullopt;
+  }
+  return pipeline.take_store();
+}
+
+int cmd_generate(const Flags& flags) {
+  const std::string machine = flags.get_or("machine", "sdsc");
+  auto profile = machine == "anl" ? loggen::MachineProfile::anl()
+                                  : loggen::MachineProfile::sdsc();
+  if (machine != "anl" && machine != "sdsc") {
+    std::fprintf(stderr, "dmlfp: unknown machine '%s'\n", machine.c_str());
+    return 2;
+  }
+  profile.weeks = static_cast<int>(flags.get_long("weeks", profile.weeks));
+  profile.scale = flags.get_double("scale", profile.scale);
+  const auto seed =
+      static_cast<std::uint64_t>(flags.get_long("seed", 1));
+  const auto out_path = flags.get("out");
+  if (!out_path) {
+    std::fprintf(stderr, "dmlfp generate: --out is required\n");
+    return 2;
+  }
+  std::ofstream out(*out_path);
+  if (!out) {
+    std::fprintf(stderr, "dmlfp: cannot write %s\n", out_path->c_str());
+    return 1;
+  }
+  logio::StreamSink sink(out, profile.machine.name);
+  logio::CountingSink counter;
+  logio::TeeSink tee({&sink, &counter});
+  loggen::LogGenerator(profile, seed).generate(tee);
+  std::printf("wrote %llu records (%.1f MB) to %s\n",
+              static_cast<unsigned long long>(counter.total()),
+              static_cast<double>(counter.bytes()) / (1 << 20),
+              out_path->c_str());
+  return 0;
+}
+
+int cmd_summarize(const Flags& flags) {
+  const auto log_path = flags.get("log");
+  if (!log_path) {
+    std::fprintf(stderr, "dmlfp summarize: --log is required\n");
+    return 2;
+  }
+  std::ifstream file(*log_path);
+  if (!file) {
+    std::fprintf(stderr, "dmlfp: cannot open %s\n", log_path->c_str());
+    return 1;
+  }
+  preprocess::ThresholdSweep sweep({0, 10, 60, 120, 200, 300, 400});
+  logio::RecordReader reader(file);
+  const std::string machine = reader.machine();
+  while (auto record = reader.next()) sweep.consume(*record);
+
+  std::printf("machine: %s\n", machine.c_str());
+  online::TablePrinter table(
+      {"facility", "0s", "10s", "60s", "120s", "200s", "300s", "400s"});
+  for (int f = 0; f < bgl::kNumFacilities; ++f) {
+    std::vector<std::string> row = {
+        std::string(to_string(static_cast<bgl::Facility>(f)))};
+    for (std::size_t i = 0; i < sweep.thresholds().size(); ++i) {
+      row.push_back(std::to_string(
+          sweep.stats_at(i).unique_per_facility[static_cast<std::size_t>(f)]));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::printf("iterative threshold choice: %lld s; compression at 300 s: "
+              "%.2f%%\n",
+              static_cast<long long>(sweep.select_threshold()),
+              100.0 * sweep.stats_at(5).compression_rate());
+  return 0;
+}
+
+int cmd_train(const Flags& flags) {
+  const auto log_path = flags.get("log");
+  const auto out_path = flags.get("out");
+  if (!log_path || !out_path) {
+    std::fprintf(stderr, "dmlfp train: --log and --out are required\n");
+    return 2;
+  }
+  const DurationSec window = flags.get_long("window", 300);
+  const auto store = load_events(*log_path, 300);
+  if (!store) return 1;
+
+  const TimeSec origin = store->first_time();
+  const TimeSec from =
+      origin + flags.get_long("from-week", 0) * kSecondsPerWeek;
+  const TimeSec to =
+      flags.has("to-week")
+          ? origin + flags.get_long("to-week", 0) * kSecondsPerWeek
+          : store->last_time() + 1;
+  const auto training = store->between(from, to);
+  if (training.empty()) {
+    std::fprintf(stderr, "dmlfp train: empty training span\n");
+    return 1;
+  }
+
+  meta::MetaLearner learner{meta::MetaLearnerConfig{}};
+  meta::TrainTimes times;
+  auto repository = learner.learn(training, window, &times);
+  std::size_t removed = 0;
+  if (!flags.has("no-reviser")) {
+    removed = predict::revise(repository, training, window).removed;
+  }
+  std::ofstream out(*out_path);
+  if (!out) {
+    std::fprintf(stderr, "dmlfp: cannot write %s\n", out_path->c_str());
+    return 1;
+  }
+  meta::write_rules(out, repository);
+  std::printf(
+      "trained on %zu events: %zu rules (%zu pruned by reviser) in %.2f s "
+      "-> %s\n",
+      training.size(), repository.size(), removed, times.total_seconds(),
+      out_path->c_str());
+  return 0;
+}
+
+int cmd_predict(const Flags& flags) {
+  const auto log_path = flags.get("log");
+  const auto rules_path = flags.get("rules");
+  if (!log_path || !rules_path) {
+    std::fprintf(stderr, "dmlfp predict: --log and --rules are required\n");
+    return 2;
+  }
+  const DurationSec window = flags.get_long("window", 300);
+  const auto store = load_events(*log_path, 300);
+  if (!store) return 1;
+  std::ifstream rules_file(*rules_path);
+  if (!rules_file) {
+    std::fprintf(stderr, "dmlfp: cannot open %s\n", rules_path->c_str());
+    return 1;
+  }
+  meta::KnowledgeRepository repository;
+  try {
+    repository = meta::read_rules(rules_file);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dmlfp: %s\n", e.what());
+    return 1;
+  }
+
+  const TimeSec origin = store->first_time();
+  const TimeSec from =
+      origin + flags.get_long("from-week", 0) * kSecondsPerWeek;
+  const TimeSec to =
+      flags.has("to-week")
+          ? origin + flags.get_long("to-week", 0) * kSecondsPerWeek
+          : store->last_time() + 1;
+
+  predict::Predictor predictor(repository, window);
+  for (const auto& event : store->between(from - window, from)) {
+    predictor.observe(event);
+  }
+  const auto test_events = store->between(from, to);
+  const auto warnings = predictor.run(test_events, window);
+  const auto evaluation =
+      predict::evaluate_predictions(test_events, warnings, window);
+  std::printf("rules: %zu; events replayed: %zu; warnings: %zu\n",
+              repository.size(), test_events.size(), warnings.size());
+  std::printf("failures: %zu; precision %.3f; recall %.3f\n",
+              evaluation.total_fatals, stats::precision(evaluation.overall),
+              stats::recall(evaluation.overall));
+  return 0;
+}
+
+int cmd_run(const Flags& flags) {
+  const auto log_path = flags.get("log");
+  if (!log_path) {
+    std::fprintf(stderr, "dmlfp run: --log is required\n");
+    return 2;
+  }
+  const auto store = load_events(*log_path, 300);
+  if (!store) return 1;
+
+  online::DriverConfig config;
+  // A --config file provides the base; explicit flags override it.
+  if (const auto config_path = flags.get("config")) {
+    std::ifstream file(*config_path);
+    if (!file) {
+      std::fprintf(stderr, "dmlfp: cannot open %s\n", config_path->c_str());
+      return 1;
+    }
+    auto parsed = online::parse_driver_config(file);
+    if (const auto* error = std::get_if<online::ConfigError>(&parsed)) {
+      std::fprintf(stderr, "dmlfp: %s:%zu: %s\n", config_path->c_str(),
+                   error->line, error->message.c_str());
+      return 1;
+    }
+    config = std::get<online::DriverConfig>(parsed);
+  }
+  config.prediction_window =
+      flags.get_long("window", config.prediction_window);
+  config.clock_tick = config.prediction_window;
+  config.training_weeks = static_cast<int>(
+      flags.get_long("training-weeks", config.training_weeks));
+  config.retrain_weeks =
+      static_cast<int>(flags.get_long("retrain-weeks", config.retrain_weeks));
+  if (flags.has("no-reviser")) config.use_reviser = false;
+  const std::string mode =
+      flags.get_or("mode", std::string(to_string(config.mode)));
+  if (mode == "sliding") {
+    config.mode = online::TrainingMode::kSlidingWindow;
+  } else if (mode == "whole") {
+    config.mode = online::TrainingMode::kWholeHistory;
+  } else if (mode == "static") {
+    config.mode = online::TrainingMode::kStatic;
+  } else {
+    std::fprintf(stderr, "dmlfp run: unknown mode '%s'\n", mode.c_str());
+    return 2;
+  }
+
+  const auto result = online::DynamicDriver(config).run(*store);
+  if (const auto report_path = flags.get("report")) {
+    std::ofstream report(*report_path);
+    if (!report) {
+      std::fprintf(stderr, "dmlfp: cannot write %s\n", report_path->c_str());
+      return 1;
+    }
+    online::write_markdown_report(report, config, result, *store);
+    std::printf("wrote report to %s\n", report_path->c_str());
+  }
+  online::TablePrinter table({"week", "precision", "recall", "rules",
+                              "warnings", "failures"});
+  for (const auto& interval : result.intervals) {
+    table.add_row({std::to_string(interval.week),
+                   online::TablePrinter::fmt(interval.precision()),
+                   online::TablePrinter::fmt(interval.recall()),
+                   std::to_string(interval.rules_active),
+                   std::to_string(interval.warning_count),
+                   std::to_string(interval.fatal_count)});
+  }
+  table.print(std::cout);
+  std::printf("overall: precision %.3f, recall %.3f\n",
+              result.overall_precision(), result.overall_recall());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Flags flags(argc, argv, 2);
+  if (!flags.error().empty()) {
+    std::fprintf(stderr, "dmlfp: %s\n", flags.error().c_str());
+    return 2;
+  }
+  if (command == "generate") return cmd_generate(flags);
+  if (command == "summarize") return cmd_summarize(flags);
+  if (command == "train") return cmd_train(flags);
+  if (command == "predict") return cmd_predict(flags);
+  if (command == "run") return cmd_run(flags);
+  if (command == "config-template") {
+    std::printf("%s", online::render_driver_config({}).c_str());
+    return 0;
+  }
+  return usage();
+}
