@@ -2,8 +2,17 @@
 
 #include <algorithm>
 #include <atomic>
+#include <limits>
 
 namespace dml {
+
+namespace {
+/// True on threads that belong to some ThreadPool.  parallel_for from
+/// inside a pool task must not block on sub-tasks of the same pool (all
+/// workers could end up waiting on queued chunks nobody is left to run),
+/// so it degrades to a serial loop there.
+thread_local bool t_pool_worker = false;
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
@@ -25,6 +34,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  t_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -43,11 +53,39 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   if (begin >= end) return;
   const std::size_t n = end - begin;
   const std::size_t num_chunks = std::min(n, size() + 1);
-  if (num_chunks <= 1) {
+  if (num_chunks <= 1 || t_pool_worker) {
     for (std::size_t i = begin; i < end; ++i) fn(i);
     return;
   }
   const std::size_t chunk = (n + num_chunks - 1) / num_chunks;
+
+  // Every chunk (pool or inline) must finish before this function
+  // returns, even on failure: pool chunks capture `fn` by reference, so
+  // unwinding past them while they still run would be a use-after-scope.
+  // Exceptions are therefore trapped per chunk — keyed by chunk index so
+  // the *first* failing chunk wins deterministically — and the winner is
+  // rethrown on the calling thread once every future has been awaited.
+  std::mutex error_mutex;
+  std::size_t error_chunk = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr error;
+  std::atomic<bool> failed{false};
+  const auto run_chunk = [&](std::size_t index, std::size_t lo,
+                             std::size_t hi) {
+    try {
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (failed.load(std::memory_order_relaxed)) return;
+        fn(i);
+      }
+    } catch (...) {
+      failed.store(true, std::memory_order_relaxed);
+      std::scoped_lock lock(error_mutex);
+      if (index < error_chunk) {
+        error_chunk = index;
+        error = std::current_exception();
+      }
+    }
+  };
+
   std::vector<std::future<void>> pending;
   pending.reserve(num_chunks - 1);
   // Chunks after the first go to the pool; the first runs inline so the
@@ -56,13 +94,12 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     const std::size_t lo = begin + c * chunk;
     const std::size_t hi = std::min(end, lo + chunk);
     if (lo >= hi) break;
-    pending.push_back(submit([lo, hi, &fn] {
-      for (std::size_t i = lo; i < hi; ++i) fn(i);
-    }));
+    pending.push_back(submit([c, lo, hi, &run_chunk] { run_chunk(c, lo, hi); }));
   }
   const std::size_t first_hi = std::min(end, begin + chunk);
-  for (std::size_t i = begin; i < first_hi; ++i) fn(i);
+  run_chunk(0, begin, first_hi);
   for (auto& f : pending) f.get();
+  if (error) std::rethrow_exception(error);
 }
 
 ThreadPool& ThreadPool::shared() {

@@ -47,6 +47,9 @@ class ThreadPool {
   /// Runs fn(i) for i in [begin, end), partitioned into contiguous chunks
   /// across the pool (the calling thread also works).  Blocks until all
   /// iterations complete.  fn must be safe to invoke concurrently.
+  /// If fn throws, remaining iterations are abandoned (best effort), every
+  /// chunk is still joined, and the exception of the lowest-indexed
+  /// failing chunk is rethrown on the calling thread.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
 

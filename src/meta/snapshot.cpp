@@ -1,0 +1,11 @@
+#include "meta/snapshot.hpp"
+
+namespace dml::meta {
+
+RepositorySnapshot empty_snapshot() {
+  static const RepositorySnapshot instance =
+      std::make_shared<const KnowledgeRepository>();
+  return instance;
+}
+
+}  // namespace dml::meta

@@ -11,65 +11,33 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-/// Scores one candidate window by F1 on a validation slice: rules are
-/// learned on `fit`, revised, and replayed over `validation`.
-double score_window(const meta::MetaLearner& learner,
-                    const DriverConfig& config,
-                    std::span<const bgl::Event> fit,
-                    std::span<const bgl::Event> validation,
-                    DurationSec window) {
-  auto repository = learner.learn(fit, window);
-  if (config.use_reviser) {
-    predict::revise(repository, fit, window, config.reviser);
-  }
-  predict::Predictor predictor(repository, window, config.predictor);
-  const auto warnings = predictor.run(validation, window);
-  const auto evaluation =
-      predict::evaluate_predictions(validation, warnings, window);
-  return stats::f1_score(evaluation.overall);
-}
-
-/// Picks the best window on the training span's held-out tail; falls
-/// back to `current` when the validation slice is too thin to rank.
-DurationSec choose_window(const meta::MetaLearner& learner,
-                          const DriverConfig& config,
-                          std::span<const bgl::Event> training,
-                          DurationSec current) {
-  if (training.size() < 100 || config.window_candidates.empty()) {
-    return current;
-  }
-  const auto split = static_cast<std::size_t>(
-      static_cast<double>(training.size()) *
-      (1.0 - config.validation_fraction));
-  const auto fit = training.subspan(0, split);
-  const auto validation = training.subspan(split);
-  std::size_t validation_fatals = 0;
-  for (const auto& e : validation) validation_fatals += e.fatal ? 1 : 0;
-  if (validation_fatals < 10) return current;
-
-  DurationSec best = current;
-  double best_score = -1.0;
-  for (DurationSec candidate : config.window_candidates) {
-    const double score =
-        score_window(learner, config, fit, validation, candidate);
-    if (score > best_score) {
-      best_score = score;
-      best = candidate;
-    }
-  }
-  return best;
+/// Maps the driver's per-log configuration onto the streaming engine.
+OnlineEngineConfig engine_config(const DriverConfig& config,
+                                 DurationSec initial_span,
+                                 DurationSec retrain_span) {
+  OnlineEngineConfig ec;
+  ec.prediction_window = config.prediction_window;
+  ec.retrain_interval = retrain_span;
+  ec.initial_training_delay = initial_span;
+  ec.training_span = initial_span;
+  // The driver replays curated logs; the engine's "don't learn from a
+  // nearly empty history" gate would silently skip intervals the paper's
+  // figures expect to exist.
+  ec.min_training_events = 1;
+  ec.mode = config.mode;
+  ec.use_reviser = config.use_reviser;
+  ec.reviser = config.reviser;
+  ec.learner = config.learner;
+  ec.predictor = config.predictor;
+  ec.clock_tick = config.clock_tick;
+  ec.adaptive_window = config.adaptive_window;
+  ec.window_candidates = config.window_candidates;
+  ec.validation_fraction = config.validation_fraction;
+  ec.async_retrain = false;
+  return ec;
 }
 
 }  // namespace
-
-std::string_view to_string(TrainingMode mode) {
-  switch (mode) {
-    case TrainingMode::kStatic: return "static";
-    case TrainingMode::kSlidingWindow: return "sliding";
-    case TrainingMode::kWholeHistory: return "whole";
-  }
-  return "unknown";
-}
 
 stats::ConfusionCounts DriverResult::total_counts() const {
   stats::ConfusionCounts total;
@@ -107,13 +75,18 @@ DriverResult DynamicDriver::run(const logio::EventStore& store) const {
   const DurationSec initial_span =
       static_cast<DurationSec>(config_.training_weeks) * kSecondsPerWeek;
 
-  const meta::MetaLearner learner(config_.learner);
-  meta::KnowledgeRepository repository;
-  meta::KnowledgeRepository previous;
-  bool trained_once = false;
-  DurationSec window = config_.prediction_window;
+  std::vector<predict::Warning> warnings;
+  OnlineEngine engine(engine_config(config_, initial_span, retrain_span),
+                      [&](const predict::Warning& w) {
+                        warnings.push_back(w);
+                      });
 
+  // The engine anchors its boundary schedule at the first event it sees;
+  // feed it the initial training span up front so boundary k lands
+  // exactly at origin + initial_span + k * retrain_span.
+  std::size_t adopted = 0;
   int index = 0;
+  TimeSec fed_until = origin;
   for (TimeSec test_begin = origin + initial_span; test_begin < log_end;
        test_begin += retrain_span, ++index) {
     const TimeSec test_end = std::min<TimeSec>(test_begin + retrain_span,
@@ -124,60 +97,40 @@ DriverResult DynamicDriver::run(const logio::EventStore& store) const {
     interval.test_begin = test_begin;
     interval.test_end = test_end;
 
-    const bool retrain = !trained_once || config_.mode != TrainingMode::kStatic;
-    if (retrain) {
-      TimeSec train_begin = origin;
-      TimeSec train_end = test_begin;
-      switch (config_.mode) {
-        case TrainingMode::kStatic:
-          train_end = origin + initial_span;
-          break;
-        case TrainingMode::kSlidingWindow:
-          train_begin = std::max<TimeSec>(origin, test_begin - initial_span);
-          break;
-        case TrainingMode::kWholeHistory:
-          break;
-      }
-      const auto training = store.between(train_begin, train_end);
-
-      if (config_.adaptive_window) {
-        window = choose_window(learner, config_, training, window);
-      }
-
-      previous = std::move(repository);
-      repository = learner.learn(training, window, &interval.train_times);
-      interval.rules_from_meta = repository.size();
-      interval.churn_meta =
-          meta::KnowledgeRepository::diff(previous, repository);
-      if (config_.use_reviser) {
-        const auto revise_start = Clock::now();
-        const auto report =
-            predict::revise(repository, training, window, config_.reviser);
-        interval.revise_seconds = seconds_since(revise_start);
-        interval.rules_removed_by_reviser = report.removed;
-      }
-      interval.churn = meta::KnowledgeRepository::diff(previous, repository);
-      trained_once = true;
-    } else {
-      interval.rules_from_meta = repository.size();
-      // Static mode after the first interval: repository unchanged.
-      interval.churn.unchanged = repository.size();
+    for (const auto& event : store.between(fed_until, test_begin)) {
+      engine.consume(event);
     }
-    interval.rules_active = repository.size();
+    fed_until = test_begin;
+
+    // Pin the retraining (or static refresh) exactly at the interval
+    // edge; with synchronous retraining the build completes and is
+    // adopted inside this call.
+    engine.advance_to(test_begin);
+    warnings.clear();  // nothing before the boundary is scored
+
+    const auto& log = engine.retrain_log();
+    if (log.size() > adopted) {
+      const SnapshotBuild& build = log.back();
+      adopted = log.size();
+      interval.rules_from_meta = build.rules_from_meta;
+      interval.churn_meta = build.churn_meta;
+      interval.churn = build.churn;
+      interval.rules_removed_by_reviser = build.rules_removed_by_reviser;
+      interval.train_times = build.train_times;
+      interval.revise_seconds = build.revise_seconds;
+    } else {
+      // Static mode after the first interval: repository unchanged.
+      interval.rules_from_meta = engine.rules().size();
+      interval.churn.unchanged = engine.rules().size();
+    }
+    interval.rules_active = engine.rules().size();
+    const DurationSec window = engine.current_window();
     interval.window_used = window;
 
-    // Predict over the test interval.  The predictor warms up on the
-    // trailing Wp of history so window state is correct at test_begin;
-    // warnings from the warm-up are discarded.
-    const auto predict_start = Clock::now();
-    predict::Predictor predictor(repository, window, config_.predictor);
-    for (const auto& event : store.between(test_begin - window, test_begin)) {
-      predictor.observe(event);
-    }
     const auto test_events = store.between(test_begin, test_end);
-    const DurationSec tick =
-        config_.adaptive_window ? window : config_.clock_tick;
-    const auto warnings = predictor.run(test_events, tick);
+    const auto predict_start = Clock::now();
+    for (const auto& event : test_events) engine.consume(event);
+    fed_until = test_begin + retrain_span;
     interval.predict_seconds = seconds_since(predict_start);
 
     const auto evaluation =

@@ -5,6 +5,12 @@
 // set is either the whole history (dynamic-whole), a sliding recent
 // window (dynamic-6mo / dynamic-3mo), or frozen at the initial span
 // (static) — the four regimes of Figure 9.
+//
+// The replay itself is OnlineEngine: the driver configures one engine
+// (interval-parity tick anchoring, synchronous retraining, boundaries
+// pinned at its interval edges via advance_to), streams the log through
+// it, and scores each interval's warnings — so the train/predict/retrain
+// loop lives in the engine and nowhere else.
 #pragma once
 
 #include <array>
@@ -13,22 +19,12 @@
 
 #include "logio/event_store.hpp"
 #include "meta/meta_learner.hpp"
+#include "online/engine.hpp"
 #include "predict/outcome_matcher.hpp"
 #include "predict/predictor.hpp"
 #include "predict/reviser.hpp"
 
 namespace dml::online {
-
-enum class TrainingMode {
-  /// Train once on the initial span; never retrain.
-  kStatic,
-  /// Retrain every Wr weeks on the most recent `training_weeks` weeks.
-  kSlidingWindow,
-  /// Retrain every Wr weeks on all history since the log began.
-  kWholeHistory,
-};
-
-std::string_view to_string(TrainingMode mode);
 
 struct DriverConfig {
   /// Wp: prediction window == rule-generation window (default 300 s).

@@ -1,33 +1,56 @@
 #include "online/engine.hpp"
 
-#include <vector>
+#include <algorithm>
 
 namespace dml::online {
+namespace {
+
+RetrainPolicy make_policy(const OnlineEngineConfig& config) {
+  RetrainPolicy policy;
+  policy.prediction_window = config.prediction_window;
+  policy.retrain_interval = config.retrain_interval;
+  policy.initial_training_delay = config.initial_training_delay;
+  policy.training_span = config.training_span;
+  policy.min_training_events = config.min_training_events;
+  policy.mode = config.mode;
+  policy.use_reviser = config.use_reviser;
+  policy.reviser = config.reviser;
+  policy.learner = config.learner;
+  policy.predictor = config.predictor;
+  policy.adaptive_window = config.adaptive_window;
+  policy.window_candidates = config.window_candidates;
+  policy.validation_fraction = config.validation_fraction;
+  policy.async = config.async_retrain;
+  policy.adoption_lag = config.adoption_lag;
+  return policy;
+}
+
+ServingCore::Options make_serving_options(const OnlineEngineConfig& config) {
+  ServingCore::Options options;
+  options.clock_tick = config.clock_tick;
+  options.predictor = config.predictor;
+  options.tick_anchor = config.absolute_ticks
+                            ? ServingCore::TickAnchor::kAbsolute
+                            : ServingCore::TickAnchor::kInterval;
+  options.tick_follows_window = config.adaptive_window;
+  return options;
+}
+
+}  // namespace
 
 OnlineEngine::OnlineEngine(OnlineEngineConfig config,
                            WarningCallback on_warning)
-    : config_(config),
+    : config_(std::move(config)),
       on_warning_(std::move(on_warning)),
-      temporal_(config.filter_threshold),
-      spatial_(config.filter_threshold),
-      repository_(std::make_unique<meta::KnowledgeRepository>()) {}
+      pipeline_(config_.filter_threshold),
+      scheduler_(make_policy(config_)),
+      serving_(make_serving_options(config_)) {}
+
+OnlineEngine::~OnlineEngine() = default;
 
 void OnlineEngine::consume(const bgl::RasRecord& record) {
   ++session_.records_consumed;
-  auto categorized = categorizer_.categorize(record);
-  if (!categorized) return;
-  auto after_temporal = temporal_.push(*categorized);
-  if (!after_temporal) return;
-  auto survivor = spatial_.push(*after_temporal);
-  if (!survivor) return;
-
-  bgl::Event event;
-  event.time = survivor->record.event_time;
-  event.category = survivor->category;
-  event.job_id = survivor->record.job_id;
-  event.location = survivor->record.location;
-  event.fatal = survivor->fatal;
-  observe(event);
+  if (auto event = pipeline_.push(record)) observe(*event);
 }
 
 void OnlineEngine::consume(const bgl::Event& event) {
@@ -35,79 +58,78 @@ void OnlineEngine::consume(const bgl::Event& event) {
   observe(event);
 }
 
-void OnlineEngine::advance_clock(TimeSec t) {
+void OnlineEngine::advance_to(TimeSec t) { step(t); }
+
+std::vector<bgl::Event> OnlineEngine::warm_tail(TimeSec at,
+                                                DurationSec window) const {
+  const auto& history = scheduler_.history();
+  std::vector<bgl::Event> warm;
+  for (auto it = history.rbegin(); it != history.rend(); ++it) {
+    if (it->time < at - window) break;
+    warm.push_back(*it);
+  }
+  std::reverse(warm.begin(), warm.end());
+  return warm;
+}
+
+void OnlineEngine::adopt(SnapshotBuild build) {
+  const auto warm = warm_tail(build.activate_at, build.window);
+  serving_.adopt(build, warm, scratch_);
+  retrain_log_.push_back(std::move(build));
+}
+
+void OnlineEngine::step(TimeSec t) {
   now_ = std::max(now_, t);
-  if (!first_event_time_) {
-    first_event_time_ = now_;
-    next_retrain_ = now_ + config_.retrain_interval;
-    if (config_.clock_tick > 0) next_tick_ = now_ + config_.clock_tick;
-  }
-  // Periodic PD self-checks between events.
-  while (predictor_ && next_tick_ && *next_tick_ < t) {
-    for (const auto& warning : predictor_->tick(*next_tick_)) {
-      ++session_.warnings_issued;
-      if (on_warning_) on_warning_(warning);
+  if (const auto boundary = scheduler_.boundary_due(t)) {
+    const auto action = scheduler_.fire(*boundary);
+    if (action == RetrainScheduler::BoundaryAction::kRefresh) {
+      const auto warm = warm_tail(*boundary, serving_.window());
+      serving_.refresh(*boundary, warm, scratch_);
     }
-    *next_tick_ += config_.clock_tick;
   }
-  // Scheduled retraining.
-  if (next_retrain_ && t >= *next_retrain_) {
-    retrain(*next_retrain_);
-    *next_retrain_ += config_.retrain_interval;
-  }
+  if (auto build = scheduler_.poll(now_)) adopt(std::move(*build));
+  serving_.advance(t, scratch_);
+  emit();
 }
 
 void OnlineEngine::observe(const bgl::Event& event) {
-  advance_clock(event.time);
+  step(event.time);
   ++session_.events_after_filtering;
   if (event.fatal) ++session_.failures_seen;
-
-  history_.push_back(event);
-  while (!history_.empty() &&
-         history_.front().time < now_ - config_.training_span) {
-    history_.pop_front();
-  }
-
-  if (predictor_) {
-    for (const auto& warning : predictor_->observe(event)) {
-      ++session_.warnings_issued;
-      if (on_warning_) on_warning_(warning);
-    }
-  }
+  scheduler_.observe(event);
+  serving_.observe(event, scratch_);
+  emit();
 }
 
-void OnlineEngine::retrain_now() { retrain(now_); }
-
-void OnlineEngine::retrain(TimeSec now) {
-  if (history_.size() < config_.min_training_events) return;
-  ++session_.retrainings;
-
-  // The deque is contiguous only chunk-wise; copy into a flat span for
-  // the learners.  Training sets are bounded by training_span so this
-  // stays small.
-  const std::vector<bgl::Event> training(history_.begin(), history_.end());
-  const meta::MetaLearner learner(config_.learner);
-  auto fresh = std::make_unique<meta::KnowledgeRepository>(
-      learner.learn(training, config_.prediction_window));
-  if (config_.use_reviser) {
-    predict::revise(*fresh, training, config_.prediction_window,
-                    config_.reviser);
-  }
-  repository_ = std::move(fresh);
-  predictor_ = std::make_unique<predict::Predictor>(
-      *repository_, config_.prediction_window, config_.predictor);
-  // Warm the new predictor's window state on the trailing history so
-  // in-flight patterns survive the swap (warnings suppressed).
-  for (const auto& event : training) {
-    if (event.time >= now - config_.prediction_window) {
-      predictor_->observe(event);
+void OnlineEngine::retrain_now() {
+  if (!scheduler_.build_in_flight()) {
+    const auto action = scheduler_.fire(now_);
+    if (action == RetrainScheduler::BoundaryAction::kRefresh) {
+      const auto warm = warm_tail(now_, serving_.window());
+      serving_.refresh(now_, warm, scratch_);
     }
   }
+  if (auto build = scheduler_.join(now_)) adopt(std::move(*build));
+  emit();
+}
+
+void OnlineEngine::finish() {
+  if (auto build = scheduler_.join(now_)) adopt(std::move(*build));
+  emit();
+}
+
+void OnlineEngine::emit() {
+  for (const auto& warning : scratch_) {
+    ++session_.warnings_issued;
+    if (on_warning_) on_warning_(warning);
+  }
+  scratch_.clear();
 }
 
 OnlineEngine::SessionStats OnlineEngine::stats() const {
   SessionStats s = session_;
-  s.history_size = history_.size();
+  s.retrainings = scheduler_.retrainings();
+  s.history_size = scheduler_.history_size();
   return s;
 }
 

@@ -1,26 +1,26 @@
 // OnlineEngine: the deployable form of the framework.  Feed it raw RAS
 // records (or pre-categorized events) as they arrive; it preprocesses
-// them inline, retrains the meta-learner on schedule, keeps a bounded
-// history, and invokes a callback for every failure warning — the
-// runtime configuration of Figure 1 as a single embeddable object.
+// them inline (preprocess::StreamingPipeline), retrains the meta-learner
+// on schedule (RetrainScheduler — synchronously, or on the shared pool
+// with an RCU snapshot swap so consume() never blocks on training), and
+// invokes a callback for every failure warning — the runtime
+// configuration of Figure 1 as a single embeddable object.
 //
 //   online::OnlineEngine engine(config, [](const predict::Warning& w) {
 //     page_the_operator(w);
 //   });
 //   while (auto record = reader.next()) engine.consume(*record);
+//
+// DynamicDriver::run() replays a whole log through this same object, so
+// the train/predict/retrain loop exists exactly once.
 #pragma once
 
-#include <deque>
 #include <functional>
-#include <memory>
-#include <optional>
+#include <vector>
 
-#include "meta/meta_learner.hpp"
-#include "predict/predictor.hpp"
-#include "predict/reviser.hpp"
-#include "preprocess/categorizer.hpp"
-#include "preprocess/spatial_filter.hpp"
-#include "preprocess/temporal_filter.hpp"
+#include "online/retraining.hpp"
+#include "online/serving.hpp"
+#include "preprocess/streaming_pipeline.hpp"
 
 namespace dml::online {
 
@@ -31,18 +31,37 @@ struct OnlineEngineConfig {
   DurationSec filter_threshold = 300;
   /// Retraining cadence (event time).
   DurationSec retrain_interval = 4 * kSecondsPerWeek;
-  /// Sliding training-set length; history beyond it is discarded
-  /// (bounded memory).
+  /// Event time before the first training; 0 = retrain_interval.
+  DurationSec initial_training_delay = 0;
+  /// Sliding training-set length (kSlidingWindow); history beyond it is
+  /// discarded (bounded memory).
   DurationSec training_span = 26 * kSecondsPerWeek;
   /// Events required before the first training (avoid learning from a
   /// nearly empty history).
   std::size_t min_training_events = 200;
+  /// Training-set regime at each boundary (Figure 9).
+  TrainingMode mode = TrainingMode::kSlidingWindow;
   bool use_reviser = true;
   predict::ReviserConfig reviser;
   meta::MetaLearnerConfig learner;
   predict::PredictorOptions predictor;
   /// PD self-check cadence; 0 disables ticks.
   DurationSec clock_tick = 300;
+  /// Adaptive prediction-window selection (§7 future work).
+  bool adaptive_window = false;
+  std::vector<DurationSec> window_candidates = {60, 300, 900, 1800};
+  double validation_fraction = 0.25;
+  /// Build rule sets on ThreadPool::shared(): consume() keeps serving
+  /// the old snapshot while the new one is mined, and the swap is one
+  /// atomic publish.  Off = deterministic inline training at the
+  /// boundary (replay / test mode).
+  bool async_retrain = false;
+  /// Event-time lag from boundary to adoption in async mode; see
+  /// RetrainPolicy::adoption_lag.
+  DurationSec adoption_lag = 0;
+  /// Tick on the absolute grid first-adoption + k * clock_tick instead
+  /// of re-anchoring per adoption; see ServingCore::TickAnchor.
+  bool absolute_ticks = false;
 };
 
 class OnlineEngine {
@@ -51,6 +70,9 @@ class OnlineEngine {
 
   OnlineEngine(OnlineEngineConfig config, WarningCallback on_warning);
 
+  /// Joins any in-flight retraining.
+  ~OnlineEngine();
+
   /// Feeds one raw record (preprocessed inline: categorize + temporal +
   /// spatial compression).  Records must arrive in time order.
   void consume(const bgl::RasRecord& record);
@@ -58,11 +80,38 @@ class OnlineEngine {
   /// Feeds one already-unique categorized event.
   void consume(const bgl::Event& event);
 
-  /// Forces a retraining at the current event time.
+  /// Advances the engine clock without an event: fires any due
+  /// retraining boundary, adopts finished builds, and runs ticks due
+  /// strictly before t.  The driver uses this to pin boundaries at its
+  /// interval edges even across event gaps.
+  void advance_to(TimeSec t);
+
+  /// Forces a retraining at the current event time: joins the in-flight
+  /// build if one is running (async), otherwise schedules and completes
+  /// one synchronously ("schedule + join").
   void retrain_now();
 
+  /// End of stream: joins and adopts any in-flight build.
+  void finish();
+
   /// Rules currently in force (empty before the first training).
-  const meta::KnowledgeRepository& rules() const { return *repository_; }
+  const meta::KnowledgeRepository& rules() const {
+    return *serving_.snapshot();
+  }
+  /// Pins the snapshot in force — stays valid (and immutable) across
+  /// later retrainings.
+  meta::RepositorySnapshot rules_snapshot() const {
+    return serving_.snapshot();
+  }
+
+  /// Every adopted retraining, in adoption order (churn, timings,
+  /// window — the per-interval bookkeeping the driver reports).
+  const std::vector<SnapshotBuild>& retrain_log() const {
+    return retrain_log_;
+  }
+
+  /// Prediction window in force (moves only in adaptive mode).
+  DurationSec current_window() const { return serving_.window(); }
 
   struct SessionStats {
     std::uint64_t records_consumed = 0;
@@ -77,25 +126,22 @@ class OnlineEngine {
   TimeSec now() const { return now_; }
 
  private:
-  void advance_clock(TimeSec t);
+  void step(TimeSec t);
   void observe(const bgl::Event& event);
-  void retrain(TimeSec now);
+  void adopt(SnapshotBuild build);
+  std::vector<bgl::Event> warm_tail(TimeSec at, DurationSec window) const;
+  void emit();
 
   OnlineEngineConfig config_;
   WarningCallback on_warning_;
 
-  preprocess::Categorizer categorizer_;
-  preprocess::TemporalFilter temporal_;
-  preprocess::SpatialFilter spatial_;
-
-  std::deque<bgl::Event> history_;
-  std::unique_ptr<meta::KnowledgeRepository> repository_;
-  std::unique_ptr<predict::Predictor> predictor_;
+  preprocess::StreamingPipeline pipeline_;
+  RetrainScheduler scheduler_;
+  ServingCore serving_;
+  std::vector<SnapshotBuild> retrain_log_;
+  std::vector<predict::Warning> scratch_;
 
   TimeSec now_ = 0;
-  std::optional<TimeSec> first_event_time_;
-  std::optional<TimeSec> next_retrain_;
-  std::optional<TimeSec> next_tick_;
   SessionStats session_;
 };
 

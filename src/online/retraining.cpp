@@ -1,0 +1,234 @@
+#include "online/retraining.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "common/thread_pool.hpp"
+#include "predict/outcome_matcher.hpp"
+
+namespace dml::online {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Scores one candidate window by F1 on a validation slice: rules are
+/// learned on `fit`, revised, and replayed over `validation`.
+double score_window(const meta::MetaLearner& learner,
+                    const RetrainPolicy& policy,
+                    std::span<const bgl::Event> fit,
+                    std::span<const bgl::Event> validation,
+                    DurationSec window) {
+  auto repository = learner.learn(fit, window);
+  if (policy.use_reviser) {
+    predict::revise(repository, fit, window, policy.reviser);
+  }
+  predict::Predictor predictor(repository, window, policy.predictor);
+  const auto warnings = predictor.run(validation, window);
+  const auto evaluation =
+      predict::evaluate_predictions(validation, warnings, window);
+  return stats::f1_score(evaluation.overall);
+}
+
+/// Picks the best window on the training span's held-out tail; falls
+/// back to `current` when the validation slice is too thin to rank.
+DurationSec choose_window(const meta::MetaLearner& learner,
+                          const RetrainPolicy& policy,
+                          std::span<const bgl::Event> training,
+                          DurationSec current) {
+  if (training.size() < 100 || policy.window_candidates.empty()) {
+    return current;
+  }
+  const auto split = static_cast<std::size_t>(
+      static_cast<double>(training.size()) *
+      (1.0 - policy.validation_fraction));
+  const auto fit = training.subspan(0, split);
+  const auto validation = training.subspan(split);
+  std::size_t validation_fatals = 0;
+  for (const auto& e : validation) validation_fatals += e.fatal ? 1 : 0;
+  if (validation_fatals < 10) return current;
+
+  DurationSec best = current;
+  double best_score = -1.0;
+  for (DurationSec candidate : policy.window_candidates) {
+    const double score =
+        score_window(learner, policy, fit, validation, candidate);
+    if (score > best_score) {
+      best_score = score;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::string_view to_string(TrainingMode mode) {
+  switch (mode) {
+    case TrainingMode::kStatic: return "static";
+    case TrainingMode::kSlidingWindow: return "sliding";
+    case TrainingMode::kWholeHistory: return "whole";
+  }
+  return "unknown";
+}
+
+RetrainScheduler::RetrainScheduler(RetrainPolicy policy)
+    : policy_(std::move(policy)),
+      window_(policy_.prediction_window),
+      latest_(meta::empty_snapshot()) {}
+
+RetrainScheduler::~RetrainScheduler() {
+  if (pending_.valid()) pending_.wait();
+}
+
+std::optional<TimeSec> RetrainScheduler::boundary_due(TimeSec t) {
+  if (!anchor_) {
+    anchor_ = t;
+    const DurationSec delay = policy_.initial_training_delay > 0
+                                  ? policy_.initial_training_delay
+                                  : policy_.retrain_interval;
+    next_boundary_ = t + delay;
+    return std::nullopt;
+  }
+  if (!next_boundary_ || t < *next_boundary_) return std::nullopt;
+  // Collapse skipped boundaries (an event gap longer than the cadence)
+  // onto the latest one that is due.
+  TimeSec boundary = *next_boundary_;
+  while (boundary + policy_.retrain_interval <= t) {
+    boundary += policy_.retrain_interval;
+  }
+  *next_boundary_ = boundary + policy_.retrain_interval;
+  return boundary;
+}
+
+RetrainScheduler::BoundaryAction RetrainScheduler::fire(TimeSec boundary) {
+  if (policy_.mode == TrainingMode::kStatic && trained_once_) {
+    return BoundaryAction::kRefresh;
+  }
+  // One build at a time: if the previous one is still running (or not
+  // yet adopted), skip this boundary rather than queueing work the
+  // stream has already outpaced.
+  if (pending_.valid() || ready_) return BoundaryAction::kNone;
+
+  if (policy_.mode == TrainingMode::kSlidingWindow) {
+    while (!history_.empty() &&
+           history_.front().time < boundary - policy_.training_span) {
+      history_.pop_front();
+    }
+  }
+  if (history_.empty() || history_.size() < policy_.min_training_events) {
+    return BoundaryAction::kNone;
+  }
+
+  ++retrainings_;
+  trained_once_ = true;
+  std::vector<bgl::Event> training(history_.begin(), history_.end());
+  meta::RepositorySnapshot previous = latest_;
+  if (policy_.async) {
+    pending_scheduled_ = boundary;
+    pending_ = ThreadPool::shared().submit(
+        [this, training = std::move(training), boundary,
+         previous = std::move(previous)]() mutable {
+          return run_build(std::move(training), boundary,
+                           std::move(previous));
+        });
+  } else {
+    ready_ = run_build(std::move(training), boundary, std::move(previous));
+    ready_->activate_at = boundary;
+  }
+  return BoundaryAction::kRetrain;
+}
+
+void RetrainScheduler::observe(const bgl::Event& event) {
+  history_.push_back(event);
+  // Keep memory bounded between boundaries too; the exact per-boundary
+  // trim happens in fire().
+  if (policy_.mode == TrainingMode::kSlidingWindow) {
+    while (!history_.empty() &&
+           history_.front().time < event.time - policy_.training_span) {
+      history_.pop_front();
+    }
+  }
+}
+
+SnapshotBuild RetrainScheduler::run_build(
+    std::vector<bgl::Event> training, TimeSec boundary,
+    meta::RepositorySnapshot previous) const {
+  using Clock = std::chrono::steady_clock;
+  SnapshotBuild build;
+  build.scheduled_at = boundary;
+
+  meta::MetaLearnerConfig learner_config = policy_.learner;
+  // An asynchronous build already runs on the shared pool; fanning the
+  // base learners out to the same pool again would have pool tasks
+  // blocking on pool tasks.
+  if (policy_.async) learner_config.parallel_training = false;
+  const meta::MetaLearner learner(learner_config);
+
+  DurationSec window = window_;
+  if (policy_.adaptive_window) {
+    window = choose_window(learner, policy_, training, window);
+  }
+  build.window = window;
+
+  auto repository = learner.learn(training, window, &build.train_times);
+  build.rules_from_meta = repository.size();
+  build.churn_meta = meta::KnowledgeRepository::diff(*previous, repository);
+  if (policy_.use_reviser) {
+    const auto revise_start = Clock::now();
+    const auto report =
+        predict::revise(repository, training, window, policy_.reviser);
+    build.revise_seconds = seconds_since(revise_start);
+    build.rules_removed_by_reviser = report.removed;
+  }
+  build.churn = meta::KnowledgeRepository::diff(*previous, repository);
+  build.repository = meta::freeze(std::move(repository));
+  return build;
+}
+
+std::optional<SnapshotBuild> RetrainScheduler::take_pending(
+    TimeSec activate_at) {
+  auto build = pending_.get();
+  build.activate_at = activate_at;
+  window_ = build.window;
+  latest_ = build.repository;
+  return build;
+}
+
+std::optional<SnapshotBuild> RetrainScheduler::poll(TimeSec t) {
+  if (ready_) {
+    auto build = std::move(*ready_);
+    ready_.reset();
+    window_ = build.window;
+    latest_ = build.repository;
+    return build;
+  }
+  if (!pending_.valid()) return std::nullopt;
+  if (policy_.adoption_lag > 0) {
+    if (t < pending_scheduled_ + policy_.adoption_lag) return std::nullopt;
+    // The adoption point is fixed in event time; if the build is still
+    // running when the stream reaches it, wait for it (replay
+    // determinism beats latency here — serving chooses lag 0 instead).
+    return take_pending(pending_scheduled_ + policy_.adoption_lag);
+  }
+  if (pending_.wait_for(std::chrono::seconds(0)) !=
+      std::future_status::ready) {
+    return std::nullopt;
+  }
+  return take_pending(t);
+}
+
+std::optional<SnapshotBuild> RetrainScheduler::join(TimeSec t) {
+  if (ready_) return poll(t);
+  if (!pending_.valid()) return std::nullopt;
+  return take_pending(t);
+}
+
+bool RetrainScheduler::build_in_flight() const {
+  return pending_.valid() || ready_.has_value();
+}
+
+}  // namespace dml::online

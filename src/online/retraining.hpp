@@ -1,0 +1,167 @@
+// Retraining scheduling and snapshot building — the "learn" half of the
+// serving core, shared by OnlineEngine, ShardedEngine and DynamicDriver.
+//
+// The scheduler owns the bounded event history, decides *when* a
+// retraining boundary is due (event time, anchored at the first observed
+// event), and builds each new rule set as an immutable
+// meta::RepositorySnapshot — synchronously for deterministic replay, or
+// on ThreadPool::shared() so the serving path never blocks on training
+// (paper Table 5, Observation #8).  Adoption of an asynchronous build is
+// still expressed in *event* time (`adoption_lag`), which keeps a replay
+// bit-for-bit reproducible even though the build itself raced the
+// stream.
+#pragma once
+
+#include <deque>
+#include <future>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "bgl/record.hpp"
+#include "meta/meta_learner.hpp"
+#include "meta/snapshot.hpp"
+#include "predict/predictor.hpp"
+#include "predict/reviser.hpp"
+
+namespace dml::online {
+
+enum class TrainingMode {
+  /// Train once on the initial span; never retrain.
+  kStatic,
+  /// Retrain every Wr weeks on the most recent `training_span` of events.
+  kSlidingWindow,
+  /// Retrain every Wr weeks on all history since the log began.
+  kWholeHistory,
+};
+
+std::string_view to_string(TrainingMode mode);
+
+/// Everything a retraining needs to know; a strict subset of the engine
+/// and driver configs.
+struct RetrainPolicy {
+  DurationSec prediction_window = 300;
+  /// Retraining cadence (event time).
+  DurationSec retrain_interval = 4 * kSecondsPerWeek;
+  /// Event time between the first event and the first boundary;
+  /// 0 = retrain_interval.  The driver sets this to its initial
+  /// training span.
+  DurationSec initial_training_delay = 0;
+  /// Sliding-window length (kSlidingWindow only); history beyond it is
+  /// discarded at each boundary (bounded memory).
+  DurationSec training_span = 26 * kSecondsPerWeek;
+  /// Events required before a boundary actually trains.
+  std::size_t min_training_events = 200;
+  TrainingMode mode = TrainingMode::kSlidingWindow;
+  bool use_reviser = true;
+  predict::ReviserConfig reviser;
+  meta::MetaLearnerConfig learner;
+  /// Predictor options, needed to score candidate windows.
+  predict::PredictorOptions predictor;
+  /// Adaptive prediction-window selection (§7 future work); see
+  /// DriverConfig for the semantics.
+  bool adaptive_window = false;
+  std::vector<DurationSec> window_candidates = {60, 300, 900, 1800};
+  double validation_fraction = 0.25;
+  /// Build snapshots on ThreadPool::shared() instead of inline.
+  bool async = false;
+  /// Event-time delay from a boundary B to the adoption of its build
+  /// (async only).  > 0: the build is adopted exactly at B + lag —
+  /// deterministic in event time (poll() joins the build if the stream
+  /// got there first).  0: adopted at the first event after the build
+  /// happens to finish — lowest latency, not replay-deterministic.
+  DurationSec adoption_lag = 0;
+};
+
+/// One finished retraining: the frozen rule set plus the bookkeeping the
+/// driver reports per interval (Figure 12 churn, Table 5 timings).
+struct SnapshotBuild {
+  meta::RepositorySnapshot repository;
+  /// Prediction window the rules were mined with (== the window the
+  /// predictor must serve them with).
+  DurationSec window = 300;
+  /// Boundary that scheduled the build.
+  TimeSec scheduled_at = 0;
+  /// Event time at which the serving side adopts the snapshot.
+  TimeSec activate_at = 0;
+  meta::KnowledgeRepository::Churn churn;
+  meta::KnowledgeRepository::Churn churn_meta;
+  std::size_t rules_from_meta = 0;
+  std::size_t rules_removed_by_reviser = 0;
+  meta::TrainTimes train_times;
+  double revise_seconds = 0.0;
+};
+
+class RetrainScheduler {
+ public:
+  explicit RetrainScheduler(RetrainPolicy policy);
+
+  RetrainScheduler(const RetrainScheduler&) = delete;
+  RetrainScheduler& operator=(const RetrainScheduler&) = delete;
+
+  /// Joins any in-flight build.
+  ~RetrainScheduler();
+
+  enum class BoundaryAction {
+    kNone,     ///< gate failed (too few events) or a build is in flight
+    kRetrain,  ///< a build was started (async) or completed (sync)
+    kRefresh,  ///< static mode after the first training: rules unchanged,
+               ///< but the serving side should refresh its predictor
+  };
+
+  /// Advances the boundary schedule to event time t.  Returns the due
+  /// boundary (the latest one <= t when several were skipped), or
+  /// nullopt.  The first call anchors the schedule.
+  std::optional<TimeSec> boundary_due(TimeSec t);
+
+  /// Fires a boundary: trims history per mode, checks the
+  /// min_training_events gate, and starts (async) or runs (sync) the
+  /// build.  Does not touch the boundary schedule, so forced retrains
+  /// (`retrain_now`) can fire at arbitrary times.
+  BoundaryAction fire(TimeSec boundary);
+
+  /// Appends one preprocessed event to the training history.  Events at
+  /// a boundary must be observed *after* fire() so the boundary's
+  /// training set is exactly the events strictly before it.
+  void observe(const bgl::Event& event);
+
+  /// Returns a finished build once event time t reaches its adoption
+  /// point: immediately after a synchronous fire(); at scheduled_at +
+  /// adoption_lag for async (joining the build if it is still running);
+  /// at the first poll that finds the build complete for adoption_lag 0.
+  std::optional<SnapshotBuild> poll(TimeSec t);
+
+  /// Forces completion of any outstanding build and returns it with
+  /// activate_at = t (retrain_now / end-of-stream).
+  std::optional<SnapshotBuild> join(TimeSec t);
+
+  bool build_in_flight() const;
+  std::size_t history_size() const { return history_.size(); }
+  const std::deque<bgl::Event>& history() const { return history_; }
+  /// Prediction window currently in force (moves in adaptive mode).
+  DurationSec current_window() const { return window_; }
+  /// Number of trainings actually scheduled/run (gate passes).
+  std::uint64_t retrainings() const { return retrainings_; }
+
+ private:
+  SnapshotBuild run_build(std::vector<bgl::Event> training, TimeSec boundary,
+                          meta::RepositorySnapshot previous) const;
+  std::optional<SnapshotBuild> take_pending(TimeSec activate_at);
+
+  RetrainPolicy policy_;
+  std::deque<bgl::Event> history_;
+  std::optional<TimeSec> anchor_;
+  std::optional<TimeSec> next_boundary_;
+  bool trained_once_ = false;
+  DurationSec window_;
+  /// Last built (revised) rule set — the `previous` of the next diff.
+  meta::RepositorySnapshot latest_;
+  /// Finished synchronous build waiting for the next poll().
+  std::optional<SnapshotBuild> ready_;
+  /// In-flight asynchronous build.
+  std::future<SnapshotBuild> pending_;
+  TimeSec pending_scheduled_ = 0;
+  std::uint64_t retrainings_ = 0;
+};
+
+}  // namespace dml::online

@@ -1,0 +1,102 @@
+#include "online/serving.hpp"
+
+namespace dml::online {
+
+ServingCore::ServingCore(Options options)
+    : options_(options),
+      snapshot_(meta::empty_snapshot()),
+      window_(300) {}
+
+void ServingCore::rebuild_predictor(TimeSec at,
+                                    std::span<const bgl::Event> warm) {
+  predictor_ = std::make_unique<predict::Predictor>(*snapshot_, window_,
+                                                    options_.predictor);
+  // Warm the fresh predictor's window state on the trailing history so
+  // in-flight patterns survive the swap; warm-up warnings are discarded.
+  for (const auto& event : warm) {
+    if (event.time >= at - window_ && event.time < at) {
+      predictor_->observe(event);
+    }
+  }
+}
+
+void ServingCore::adopt(const SnapshotBuild& build,
+                        std::span<const bgl::Event> warm_override,
+                        std::vector<predict::Warning>& out) {
+  if (options_.tick_anchor == TickAnchor::kAbsolute) {
+    // Ticks due before the activation instant fire on the old rules; a
+    // tick exactly at it fires on the new ones.
+    advance(build.activate_at, out);
+  } else {
+    // Replay parity: adoption discards the pending grid; the first event
+    // served by the new predictor re-anchors it.
+    next_tick_.reset();
+  }
+  snapshot_ = build.repository;
+  window_ = build.window;
+  rebuild_predictor(build.activate_at, warm_override);
+  if (options_.tick_anchor == TickAnchor::kAbsolute && !next_tick_ &&
+      tick_interval() > 0) {
+    next_tick_ = build.activate_at + tick_interval();
+  }
+}
+
+void ServingCore::adopt(const SnapshotBuild& build,
+                        std::vector<predict::Warning>& out) {
+  warm_scratch_.assign(warm_buffer_.begin(), warm_buffer_.end());
+  adopt(build, warm_scratch_, out);
+}
+
+void ServingCore::refresh(TimeSec at,
+                          std::span<const bgl::Event> warm_override,
+                          std::vector<predict::Warning>& out) {
+  if (options_.tick_anchor == TickAnchor::kAbsolute) {
+    advance(at, out);
+  } else {
+    next_tick_.reset();
+  }
+  rebuild_predictor(at, warm_override);
+  if (options_.tick_anchor == TickAnchor::kAbsolute && !next_tick_ &&
+      tick_interval() > 0) {
+    next_tick_ = at + tick_interval();
+  }
+}
+
+void ServingCore::refresh(TimeSec at, std::vector<predict::Warning>& out) {
+  warm_scratch_.assign(warm_buffer_.begin(), warm_buffer_.end());
+  refresh(at, warm_scratch_, out);
+}
+
+void ServingCore::advance(TimeSec t, std::vector<predict::Warning>& out) {
+  while (predictor_ && next_tick_ && *next_tick_ < t) {
+    auto ticked = predictor_->tick(*next_tick_);
+    out.insert(out.end(), ticked.begin(), ticked.end());
+    *next_tick_ += tick_interval();
+  }
+}
+
+void ServingCore::observe(const bgl::Event& event,
+                          std::vector<predict::Warning>& out) {
+  advance(event.time, out);
+  if (options_.tick_anchor == TickAnchor::kInterval && predictor_ &&
+      !next_tick_ && tick_interval() > 0) {
+    next_tick_ = event.time + tick_interval();
+  }
+  if (predictor_) {
+    auto warnings = predictor_->observe(event);
+    out.insert(out.end(), warnings.begin(), warnings.end());
+  }
+  if (options_.warm_retention > 0) {
+    warm_buffer_.push_back(event);
+    while (!warm_buffer_.empty() &&
+           warm_buffer_.front().time < event.time - options_.warm_retention) {
+      warm_buffer_.pop_front();
+    }
+  }
+}
+
+void ServingCore::flush(TimeSec end, std::vector<predict::Warning>& out) {
+  advance(end, out);
+}
+
+}  // namespace dml::online

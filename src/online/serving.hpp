@@ -1,0 +1,104 @@
+// ServingCore — the "predict" half of the serving core: owns the
+// predictor in force, adopts retrained snapshots published by the
+// RetrainScheduler, and drives the PD expert's clock ticks.  This is the
+// single implementation of the per-event serving loop; OnlineEngine runs
+// one, ShardedEngine runs one per shard, and DynamicDriver replays
+// through OnlineEngine.
+//
+// Two tick-anchoring disciplines are supported:
+//  - kInterval (replay parity): ticks re-anchor at the first event after
+//    each snapshot adoption, exactly the batch driver's per-interval
+//    `Predictor::run` semantics — replaying a log through the engine
+//    reproduces DynamicDriver's warning stream bit for bit.
+//  - kAbsolute (sharded serving): ticks fire on the fixed grid
+//    first-adoption + k * clock_tick regardless of adoptions or event
+//    arrivals, so every shard of a partitioned stream ticks at the same
+//    instants — the invariant that makes an N-shard run produce the
+//    same warning multiset as a single shard.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "online/retraining.hpp"
+#include "predict/predictor.hpp"
+
+namespace dml::online {
+
+class ServingCore {
+ public:
+  enum class TickAnchor { kInterval, kAbsolute };
+
+  struct Options {
+    /// PD self-check cadence; 0 disables ticks.
+    DurationSec clock_tick = 300;
+    predict::PredictorOptions predictor;
+    TickAnchor tick_anchor = TickAnchor::kInterval;
+    /// Ticks fire every `window` of the adopted snapshot instead of
+    /// clock_tick (the adaptive-window driver's replay semantics).
+    bool tick_follows_window = false;
+    /// Trailing event-time span buffered internally for warming fresh
+    /// predictors at adoption.  0 = no internal buffer; the owner must
+    /// provide warm history via adopt()'s `warm` argument instead.
+    DurationSec warm_retention = 0;
+  };
+
+  explicit ServingCore(Options options);
+
+  /// Adopts a finished build at build.activate_at: publishes the
+  /// snapshot, rebuilds the predictor, warms its window state on `warm`
+  /// (events in [activate_at - window, activate_at), oldest first;
+  /// warm-up warnings are discarded) and re-anchors or preserves the
+  /// tick grid per the anchoring discipline.  In kAbsolute mode, ticks
+  /// still pending before the activation instant fire first (into
+  /// `out`).
+  void adopt(const SnapshotBuild& build,
+             std::span<const bgl::Event> warm_override,
+             std::vector<predict::Warning>& out);
+  /// Same, warming from the internal warm_retention buffer.
+  void adopt(const SnapshotBuild& build, std::vector<predict::Warning>& out);
+
+  /// Static-mode boundary: same rules, fresh predictor (window state
+  /// rebuilt, deduplication cleared, ticks re-anchored) — the batch
+  /// driver's fresh-Predictor-per-interval semantics.
+  void refresh(TimeSec at, std::span<const bgl::Event> warm_override,
+               std::vector<predict::Warning>& out);
+  void refresh(TimeSec at, std::vector<predict::Warning>& out);
+
+  /// Fires every tick due strictly before event time t.
+  void advance(TimeSec t, std::vector<predict::Warning>& out);
+
+  /// advance(event.time) + predictor observation + warm-buffer upkeep.
+  void observe(const bgl::Event& event, std::vector<predict::Warning>& out);
+
+  /// End of stream (kAbsolute): fires the remaining ticks strictly
+  /// before `end`, so every shard's grid is flushed to the same global
+  /// instant.
+  void flush(TimeSec end, std::vector<predict::Warning>& out);
+
+  bool serving() const { return predictor_ != nullptr; }
+  /// Snapshot currently in force (empty_snapshot before first adoption).
+  const meta::RepositorySnapshot& snapshot() const { return snapshot_; }
+  DurationSec window() const { return window_; }
+
+ private:
+  void rebuild_predictor(TimeSec at, std::span<const bgl::Event> warm);
+  DurationSec tick_interval() const {
+    return options_.tick_follows_window ? window_ : options_.clock_tick;
+  }
+
+  Options options_;
+  meta::RepositorySnapshot snapshot_;
+  DurationSec window_;
+  std::unique_ptr<predict::Predictor> predictor_;
+  std::optional<TimeSec> next_tick_;
+  /// Scratch for adoption warm-up (events copied from the caller's span
+  /// or the internal buffer).
+  std::vector<bgl::Event> warm_scratch_;
+  /// Internal trailing-event buffer (warm_retention > 0).
+  std::deque<bgl::Event> warm_buffer_;
+};
+
+}  // namespace dml::online

@@ -1,0 +1,420 @@
+#include "online/sharded_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <tuple>
+#include <variant>
+
+#include "bgl/location.hpp"
+#include "online/serving.hpp"
+
+namespace dml::online {
+namespace {
+
+/// Messages flowing producer -> shard worker, in time order per shard.
+struct EventMsg {
+  bgl::Event event;
+};
+struct AdoptMsg {
+  /// Shared: one build fans out to every shard.
+  std::shared_ptr<const SnapshotBuild> build;
+};
+struct RefreshMsg {
+  TimeSec at = 0;
+};
+struct FlushMsg {
+  /// Fire ticks strictly before this instant and advance the watermark
+  /// to it (heartbeat / end of stream).
+  TimeSec to = 0;
+};
+using Message = std::variant<EventMsg, AdoptMsg, RefreshMsg, FlushMsg>;
+
+/// Single-producer single-consumer bounded queue.  push() blocks when
+/// full — that is the backpressure contract: a slow shard throttles the
+/// producer instead of buffering without bound.
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+  void push(Message message) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock,
+                   [&] { return queue_.size() < capacity_ || closed_; });
+    if (closed_) return;  // receiver died; drop to let the producer finish
+    queue_.push_back(std::move(message));
+    lock.unlock();
+    not_empty_.notify_one();
+  }
+
+  /// Moves every queued message into `out`; blocks until at least one is
+  /// available.  Returns false once the queue is closed and drained.
+  bool pop_all(std::vector<Message>& out) {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [&] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return false;
+    out.assign(std::move_iterator(queue_.begin()),
+               std::move_iterator(queue_.end()));
+    queue_.clear();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+ private:
+  const std::size_t capacity_;
+  std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<Message> queue_;
+  bool closed_ = false;
+};
+
+bool warning_before(const predict::Warning& a, const predict::Warning& b) {
+  const auto key = [](const predict::Warning& w) {
+    return std::tuple(w.issued_at, w.deadline, w.rule_id,
+                      static_cast<int>(w.source),
+                      w.category.value_or(std::numeric_limits<CategoryId>::max()),
+                      w.location ? w.location->packed()
+                                 : std::numeric_limits<std::uint32_t>::max());
+  };
+  return key(a) < key(b);
+}
+
+}  // namespace
+
+/// Reorders the per-shard warning streams into one globally time-ordered
+/// callback stream.  Each shard's own stream is nondecreasing in
+/// issued_at; a warning is releasable once every shard's watermark has
+/// passed its issue instant.  Ties across shards are broken by a fixed
+/// field order so the merged sequence is identical for any shard count.
+class ShardedEngine::WarningMerger {
+ public:
+  WarningMerger(std::size_t shards, WarningCallback callback)
+      : callback_(std::move(callback)), buffers_(shards),
+        watermarks_(shards, std::numeric_limits<TimeSec>::min()) {}
+
+  /// Called by shard workers: appends `fresh` and releases everything
+  /// now below the global watermark.  The callback runs under the merger
+  /// lock, so it is serial — cheap callbacks only.
+  void push(std::size_t shard, std::vector<predict::Warning>& fresh,
+            TimeSec watermark) {
+    std::lock_guard lock(mutex_);
+    auto& buffer = buffers_[shard];
+    buffer.insert(buffer.end(), fresh.begin(), fresh.end());
+    watermarks_[shard] = std::max(watermarks_[shard], watermark);
+    release(*std::min_element(watermarks_.begin(), watermarks_.end()));
+  }
+
+  /// End of stream: every remaining buffered warning goes out in order.
+  void finish() {
+    std::lock_guard lock(mutex_);
+    release(std::numeric_limits<TimeSec>::max());
+  }
+
+  std::uint64_t emitted() const {
+    std::lock_guard lock(mutex_);
+    return emitted_;
+  }
+
+ private:
+  /// Emits every buffered warning with issued_at strictly below `safe`.
+  /// (Strict: a shard at watermark t can still issue at t itself — a
+  /// tick at t fires only when the shard moves past t.)
+  void release(TimeSec safe) {
+    scratch_.clear();
+    for (auto& buffer : buffers_) {
+      auto cut = std::find_if(buffer.begin(), buffer.end(),
+                              [&](const predict::Warning& w) {
+                                return w.issued_at >= safe;
+                              });
+      scratch_.insert(scratch_.end(), buffer.begin(), cut);
+      buffer.erase(buffer.begin(), cut);
+    }
+    std::sort(scratch_.begin(), scratch_.end(), warning_before);
+    for (const auto& warning : scratch_) {
+      ++emitted_;
+      if (callback_) callback_(warning);
+    }
+  }
+
+  WarningCallback callback_;
+  mutable std::mutex mutex_;
+  /// Per-shard pending warnings, each nondecreasing in issued_at.
+  std::vector<std::vector<predict::Warning>> buffers_;
+  std::vector<TimeSec> watermarks_;
+  std::vector<predict::Warning> scratch_;
+  std::uint64_t emitted_ = 0;
+};
+
+struct ShardedEngine::Shard {
+  explicit Shard(std::size_t queue_capacity) : queue(queue_capacity) {}
+
+  BoundedQueue queue;
+  std::thread thread;
+  std::atomic<std::uint64_t> events{0};
+  std::atomic<std::uint64_t> fatals{0};
+  std::atomic<std::uint64_t> warnings{0};
+  std::atomic<double> busy_seconds{0.0};
+  std::exception_ptr error;
+};
+
+namespace {
+
+RetrainPolicy sharded_policy(const OnlineEngineConfig& config) {
+  RetrainPolicy policy;
+  policy.prediction_window = config.prediction_window;
+  policy.retrain_interval = config.retrain_interval;
+  policy.initial_training_delay = config.initial_training_delay;
+  policy.training_span = config.training_span;
+  policy.min_training_events = config.min_training_events;
+  policy.mode = config.mode;
+  policy.use_reviser = config.use_reviser;
+  policy.reviser = config.reviser;
+  policy.learner = config.learner;
+  policy.predictor = config.predictor;
+  policy.adaptive_window = config.adaptive_window;
+  policy.window_candidates = config.window_candidates;
+  policy.validation_fraction = config.validation_fraction;
+  policy.async = config.async_retrain;
+  // Deterministic adoption: with no explicit lag, adopt one prediction
+  // window after the boundary — enough slack for a build to finish in
+  // the background at realistic event rates.
+  policy.adoption_lag = config.adoption_lag > 0 ? config.adoption_lag
+                                                : config.prediction_window;
+  // The tree/net experts build features over the whole machine's recent
+  // stream, which does not decompose by midplane; drop them so sharded
+  // and single-shard runs see the same rule space.
+  policy.learner.enable_decision_tree = false;
+  policy.learner.enable_neural_net = false;
+  policy.predictor.location_scoped = true;
+  policy.predictor.per_scope_state = true;
+  return policy;
+}
+
+ServingCore::Options sharded_serving_options(const OnlineEngineConfig& config,
+                                             const RetrainPolicy& policy) {
+  ServingCore::Options options;
+  options.clock_tick = config.clock_tick;
+  options.predictor = policy.predictor;
+  // Absolute grid: every shard ticks at the same instants regardless of
+  // which events it happens to receive.
+  options.tick_anchor = ServingCore::TickAnchor::kAbsolute;
+  options.tick_follows_window = false;
+  // Each shard warms fresh predictors from its own trailing buffer; keep
+  // the largest window a build could adopt.
+  DurationSec retention = policy.prediction_window;
+  if (policy.adaptive_window) {
+    for (const auto candidate : policy.window_candidates) {
+      retention = std::max(retention, candidate);
+    }
+  }
+  options.warm_retention = retention;
+  return options;
+}
+
+}  // namespace
+
+ShardedEngine::ShardedEngine(ShardedEngineConfig config,
+                             WarningCallback on_warning)
+    : config_(std::move(config)),
+      on_warning_(std::move(on_warning)),
+      pipeline_(config_.engine.filter_threshold),
+      scheduler_(sharded_policy(config_.engine)) {
+  std::size_t n = config_.shards;
+  if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
+  merger_ = std::make_unique<WarningMerger>(n, on_warning_);
+  publisher_.store(meta::empty_snapshot());
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>(config_.queue_capacity));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_[i]->thread = std::thread([this, i] { worker(i); });
+  }
+}
+
+ShardedEngine::~ShardedEngine() {
+  try {
+    finish();
+  } catch (...) {
+    // Destructor swallows worker failures; call finish() to observe them.
+  }
+}
+
+std::size_t ShardedEngine::shard_of(const bgl::Event& event) const {
+  return bgl::LocationHash{}(event.location.enclosing_midplane()) %
+         shards_.size();
+}
+
+void ShardedEngine::consume(const bgl::RasRecord& record) {
+  ++records_consumed_;
+  if (auto event = pipeline_.push(record)) feed(*event);
+}
+
+void ShardedEngine::consume(const bgl::Event& event) {
+  ++records_consumed_;
+  feed(event);
+}
+
+void ShardedEngine::broadcast_heartbeats(TimeSec t) {
+  if (config_.heartbeat_interval <= 0) return;
+  if (!next_heartbeat_) {
+    next_heartbeat_ = t + config_.heartbeat_interval;
+    return;
+  }
+  while (*next_heartbeat_ <= t) {
+    for (auto& shard : shards_) {
+      shard->queue.push(FlushMsg{*next_heartbeat_});
+    }
+    *next_heartbeat_ += config_.heartbeat_interval;
+  }
+}
+
+void ShardedEngine::feed(const bgl::Event& event) {
+  const TimeSec t = event.time;
+  // Boundary/adoption decisions happen on the producer so every shard
+  // sees them at the same position in its event sequence.
+  if (const auto boundary = scheduler_.boundary_due(t)) {
+    const auto action = scheduler_.fire(*boundary);
+    if (action == RetrainScheduler::BoundaryAction::kRefresh) {
+      for (auto& shard : shards_) shard->queue.push(RefreshMsg{*boundary});
+    }
+  }
+  if (auto build = scheduler_.poll(t)) {
+    auto shared = std::make_shared<const SnapshotBuild>(std::move(*build));
+    publisher_.store(shared->repository);
+    for (auto& shard : shards_) shard->queue.push(AdoptMsg{shared});
+  }
+  broadcast_heartbeats(t);
+  scheduler_.observe(event);
+  last_event_time_ = std::max(last_event_time_, t);
+  shards_[shard_of(event)]->queue.push(EventMsg{event});
+}
+
+void ShardedEngine::worker(std::size_t index) {
+  Shard& shard = *shards_[index];
+  ServingCore core(
+      sharded_serving_options(config_.engine, sharded_policy(config_.engine)));
+  std::vector<Message> batch;
+  std::vector<predict::Warning> out;
+  TimeSec watermark = std::numeric_limits<TimeSec>::min();
+  while (shard.queue.pop_all(batch)) {
+    if (shard.error) continue;  // drain-only: keep the producer unblocked
+    const auto start = std::chrono::steady_clock::now();
+    try {
+      for (auto& message : batch) {
+        if (auto* msg = std::get_if<EventMsg>(&message)) {
+          core.observe(msg->event, out);
+          shard.events.fetch_add(1, std::memory_order_relaxed);
+          if (msg->event.fatal) {
+            shard.fatals.fetch_add(1, std::memory_order_relaxed);
+          }
+          watermark = std::max(watermark, msg->event.time);
+        } else if (auto* adopt = std::get_if<AdoptMsg>(&message)) {
+          core.adopt(*adopt->build, out);
+        } else if (auto* refresh = std::get_if<RefreshMsg>(&message)) {
+          core.refresh(refresh->at, out);
+        } else if (auto* flush = std::get_if<FlushMsg>(&message)) {
+          core.flush(flush->to, out);
+          watermark = std::max(watermark, flush->to);
+        }
+      }
+    } catch (...) {
+      shard.error = std::current_exception();
+      out.clear();
+      continue;
+    }
+    shard.busy_seconds.store(
+        shard.busy_seconds.load(std::memory_order_relaxed) +
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count(),
+        std::memory_order_relaxed);
+    if (!out.empty() ||
+        watermark != std::numeric_limits<TimeSec>::min()) {
+      shard.warnings.fetch_add(out.size(), std::memory_order_relaxed);
+      merger_->push(index, out, watermark);
+      out.clear();
+    }
+  }
+}
+
+ShardedEngine::SessionStats ShardedEngine::finish() {
+  if (finished_) return final_stats_;
+  finished_ = true;
+  // A build still in flight past the end of the stream is abandoned
+  // (identically for every shard count — it would activate after the
+  // last event anyway).
+  scheduler_.join(last_event_time_);
+  // Flush every shard's tick grid to the same global end instant; ticks
+  // fire strictly before it, matching a single predictor that stops at
+  // the last event.
+  if (last_event_time_ != 0) {
+    for (auto& shard : shards_) {
+      shard->queue.push(FlushMsg{last_event_time_});
+    }
+  }
+  for (auto& shard : shards_) shard->queue.close();
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+  merger_->finish();
+  for (auto& shard : shards_) {
+    if (shard->error) std::rethrow_exception(shard->error);
+  }
+  final_stats_ = collect_stats();
+  return final_stats_;
+}
+
+ShardedEngine::SessionStats ShardedEngine::stats() const {
+  if (finished_) return final_stats_;
+  return collect_stats();
+}
+
+ShardedEngine::SessionStats ShardedEngine::collect_stats() const {
+  SessionStats s;
+  s.records_consumed = records_consumed_;
+  for (const auto& shard : shards_) {
+    s.events_after_filtering +=
+        shard->events.load(std::memory_order_relaxed);
+    s.failures_seen += shard->fatals.load(std::memory_order_relaxed);
+  }
+  s.warnings_issued = merger_->emitted();
+  s.retrainings = scheduler_.retrainings();
+  s.history_size = scheduler_.history_size();
+  return s;
+}
+
+std::vector<ShardedEngine::ShardReport> ShardedEngine::shard_reports() const {
+  std::vector<ShardReport> reports;
+  reports.reserve(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    ShardReport report;
+    report.index = i;
+    report.events = shards_[i]->events.load(std::memory_order_relaxed);
+    report.warnings = shards_[i]->warnings.load(std::memory_order_relaxed);
+    report.busy_seconds =
+        shards_[i]->busy_seconds.load(std::memory_order_relaxed);
+    reports.push_back(report);
+  }
+  return reports;
+}
+
+}  // namespace dml::online

@@ -1,0 +1,125 @@
+// ShardedEngine — the concurrent serving front-end: one producer thread
+// (the caller of consume()) preprocesses the record stream and drives
+// the retraining schedule; the surviving events are hash-partitioned by
+// midplane across N shard workers, each running its own ServingCore
+// against the shared rule snapshot; per-shard warning streams are merged
+// back into one time-ordered callback.
+//
+//  - Partitioning is by bgl::Location midplane, and the per-shard
+//    predictors run with PredictorOptions::per_scope_state, so the
+//    merged warning *multiset* is identical for any shard count
+//    (tests/integration/test_sharded_determinism.cpp).
+//  - Shard queues are bounded: a stalled shard back-pressures the
+//    producer instead of growing without bound.
+//  - Retraining runs on ThreadPool::shared() (async mode); the new rule
+//    set is published with one atomic snapshot swap and adopted by every
+//    shard at the same event-time instant, so consume() never executes
+//    training work inline.
+//  - The warning callback is invoked serially (under the merger lock)
+//    with warnings in nondecreasing issued_at order; ties are broken by
+//    a fixed field order so replays are byte-stable.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "meta/snapshot.hpp"
+#include "online/engine.hpp"
+
+namespace dml::online {
+
+struct ShardedEngineConfig {
+  /// Number of serving shards; 0 = hardware_concurrency.
+  std::size_t shards = 0;
+  /// Bounded per-shard queue length (messages); the producer blocks when
+  /// a shard falls this far behind (backpressure).
+  std::size_t queue_capacity = 4096;
+  /// Event-time cadence of watermark heartbeats broadcast to every
+  /// shard: they bound how long a quiet shard can hold back the merged
+  /// stream and keep PD ticks flowing on idle midplanes.  0 disables
+  /// (warnings then drain fully only at finish()).
+  DurationSec heartbeat_interval = 300;
+  /// Retraining/serving knobs.  per-scope prediction and asynchronous
+  /// snapshot builds are forced (per_scope_state, location_scoped,
+  /// absolute ticks); the classifier experts (decision tree/neural net)
+  /// are disabled because their whole-machine feature window does not
+  /// decompose by midplane.  async_retrain defaults on here; adoption
+  /// happens at boundary + adoption_lag (default: prediction_window) so
+  /// replays stay deterministic.
+  OnlineEngineConfig engine;
+};
+
+class ShardedEngine {
+ public:
+  using WarningCallback = OnlineEngine::WarningCallback;
+  using SessionStats = OnlineEngine::SessionStats;
+
+  ShardedEngine(ShardedEngineConfig config, WarningCallback on_warning);
+
+  /// finish()es if the caller did not.
+  ~ShardedEngine();
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  /// Producer side; records must arrive in time order.  Blocks only on
+  /// shard backpressure (and, in deterministic-adoption mode, when the
+  /// stream reaches an adoption point before the build finished).
+  void consume(const bgl::RasRecord& record);
+  void consume(const bgl::Event& event);
+
+  /// Flushes every shard to the global last event time, joins the
+  /// workers, drains the merger, and rethrows the first worker failure
+  /// if any.  Idempotent; returns the final aggregate stats.
+  SessionStats finish();
+
+  /// Aggregate stats (call from the producer thread; shard counters are
+  /// read atomically, the scheduler's are producer-owned).
+  SessionStats stats() const;
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// Rule snapshot currently in force (atomic load; any thread).
+  meta::RepositorySnapshot rules_snapshot() const {
+    return publisher_.load();
+  }
+
+  struct ShardReport {
+    std::size_t index = 0;
+    std::uint64_t events = 0;
+    std::uint64_t warnings = 0;
+    /// Wall time the worker spent processing (not queue-waiting).
+    double busy_seconds = 0.0;
+  };
+  /// Per-shard accounting (complete after finish()).
+  std::vector<ShardReport> shard_reports() const;
+
+ private:
+  struct Shard;
+  class WarningMerger;
+
+  SessionStats collect_stats() const;
+  void feed(const bgl::Event& event);
+  void broadcast_heartbeats(TimeSec t);
+  void worker(std::size_t index);
+  std::size_t shard_of(const bgl::Event& event) const;
+
+  ShardedEngineConfig config_;
+  WarningCallback on_warning_;
+
+  preprocess::StreamingPipeline pipeline_;
+  RetrainScheduler scheduler_;
+  meta::SnapshotPublisher publisher_;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<WarningMerger> merger_;
+
+  // Producer-side state.
+  std::uint64_t records_consumed_ = 0;
+  std::optional<TimeSec> next_heartbeat_;
+  TimeSec last_event_time_ = 0;
+  bool finished_ = false;
+  SessionStats final_stats_;
+};
+
+}  // namespace dml::online

@@ -54,10 +54,11 @@ void Predictor::expire(TimeSec now) {
     if (it != recent_counts_.end() && --it->second == 0) {
       recent_counts_.erase(it);
     }
-    if (options_.location_scoped) {
-      auto scoped = scoped_counts_.find(scoped_key(old.midplane, old.category));
-      if (scoped != scoped_counts_.end() && --scoped->second == 0) {
-        scoped_counts_.erase(scoped);
+    if (scoped()) {
+      auto scoped_it =
+          scoped_counts_.find(scoped_key(old.midplane, old.category));
+      if (scoped_it != scoped_counts_.end() && --scoped_it->second == 0) {
+        scoped_counts_.erase(scoped_it);
       }
     }
     recent_.pop_front();
@@ -68,13 +69,25 @@ void Predictor::expire(TimeSec now) {
   }
 }
 
+namespace {
+
+std::uint64_t active_key(std::uint64_t rule_id, std::uint32_t scope,
+                         bool per_scope) {
+  return per_scope ? (rule_id << 32) | scope : rule_id;
+}
+
+}  // namespace
+
 bool Predictor::try_issue(std::vector<Warning>& out, TimeSec now,
                           const meta::StoredRule& rule,
                           std::optional<CategoryId> category,
                           TimeSec deadline,
-                          std::optional<bgl::Location> location) {
+                          std::optional<bgl::Location> location,
+                          std::uint32_t scope) {
+  const std::uint64_t key =
+      active_key(rule.id, scope, options_.per_scope_state);
   if (options_.deduplicate_warnings) {
-    const auto it = active_.find(rule.id);
+    const auto it = active_.find(key);
     if (it != active_.end() && it->second >= now) return false;
   }
   Warning warning;
@@ -84,12 +97,41 @@ bool Predictor::try_issue(std::vector<Warning>& out, TimeSec now,
   warning.location = location;
   warning.rule_id = rule.id;
   warning.source = rule.rule.source();
-  active_[rule.id] = warning.deadline;
+  active_[key] = warning.deadline;
   out.push_back(warning);
   return true;
 }
 
+void Predictor::erase_active(std::uint64_t rule_id, std::uint32_t scope) {
+  active_.erase(active_key(rule_id, scope, options_.per_scope_state));
+}
+
+void Predictor::check_distribution_scope(std::vector<Warning>& out,
+                                         TimeSec now, std::uint32_t midplane,
+                                         TimeSec last_fatal) {
+  const DurationSec elapsed = now - last_fatal;
+  for (const meta::StoredRule* stored : distribution_rules_) {
+    const auto* rule = stored->rule.as_distribution();
+    if (elapsed >= rule->elapsed_trigger) {
+      const auto horizon = static_cast<DurationSec>(
+          options_.pd_horizon_factor * static_cast<double>(elapsed));
+      try_issue(out, now, *stored, std::nullopt,
+                now + std::max(window_, horizon),
+                bgl::Location::from_packed(midplane), midplane);
+    }
+  }
+}
+
 void Predictor::check_distribution(std::vector<Warning>& out, TimeSec now) {
+  if (options_.per_scope_state) {
+    // Clock-tick sweep: every midplane with an elapsed-time clock is
+    // checked independently (same union of scopes however the stream is
+    // partitioned).
+    for (const auto& [midplane, last] : last_fatal_by_scope_) {
+      check_distribution_scope(out, now, midplane, last);
+    }
+    return;
+  }
   if (!last_fatal_.has_value()) return;
   const DurationSec elapsed = now - *last_fatal_;
   for (const meta::StoredRule* stored : distribution_rules_) {
@@ -111,7 +153,7 @@ std::vector<Warning> Predictor::observe(const bgl::Event& event) {
 
   const std::uint32_t midplane = midplane_of(event);
   const std::optional<bgl::Location> scope =
-      options_.location_scoped
+      scoped()
           ? std::optional<bgl::Location>(bgl::Location::from_packed(midplane))
           : std::nullopt;
 
@@ -123,13 +165,12 @@ std::vector<Warning> Predictor::observe(const bgl::Event& event) {
     // mode the antecedent must be complete *within this midplane*.
     recent_.push_back({now, event.category, midplane});
     ++recent_counts_[event.category];
-    if (options_.location_scoped) {
+    if (scoped()) {
       ++scoped_counts_[scoped_key(midplane, event.category)];
     }
     auto item_present = [&](CategoryId item) {
-      return options_.location_scoped
-                 ? scoped_counts_.contains(scoped_key(midplane, item))
-                 : recent_counts_.contains(item);
+      return scoped() ? scoped_counts_.contains(scoped_key(midplane, item))
+                      : recent_counts_.contains(item);
     };
     const auto it = e_list_.find(event.category);
     if (it != e_list_.end()) {
@@ -141,18 +182,17 @@ std::vector<Warning> Predictor::observe(const bgl::Event& event) {
         if (satisfied) {
           matched = true;
           try_issue(out, now, *stored, rule->consequent, now + window_,
-                    scope);
+                    scope, midplane);
         }
       }
     }
   } else {
     recent_fatals_.emplace_back(now, midplane);
     const std::size_t fatals_in_scope =
-        options_.location_scoped
-            ? static_cast<std::size_t>(std::count_if(
-                  recent_fatals_.begin(), recent_fatals_.end(),
-                  [&](const auto& f) { return f.second == midplane; }))
-            : recent_fatals_.size();
+        scoped() ? static_cast<std::size_t>(std::count_if(
+                       recent_fatals_.begin(), recent_fatals_.end(),
+                       [&](const auto& f) { return f.second == midplane; }))
+                 : recent_fatals_.size();
     for (const meta::StoredRule* stored : statistical_rules_) {
       const auto* rule = stored->rule.as_statistical();
       if (fatals_in_scope >= static_cast<std::size_t>(rule->k)) {
@@ -160,8 +200,9 @@ std::vector<Warning> Predictor::observe(const bgl::Event& event) {
         // Every further failure is a fresh trigger with fresh evidence,
         // so statistical warnings re-issue per trigger event rather than
         // deduplicating against the pending one.
-        active_.erase(stored->id);
-        try_issue(out, now, *stored, std::nullopt, now + window_, scope);
+        erase_active(stored->id, midplane);
+        try_issue(out, now, *stored, std::nullopt, now + window_, scope,
+                  midplane);
       }
     }
   }
@@ -188,28 +229,40 @@ std::vector<Warning> Predictor::observe(const bgl::Event& event) {
 
   // Mixture-of-experts fallback: the probability-distribution expert
   // speaks only when no pattern rule matched (or always, in the flat
-  // ensemble ablation).
-  if (!matched || !options_.mixture_precedence) check_distribution(out, now);
+  // ensemble ablation).  In per-scope mode an event speaks for its own
+  // midplane only — other midplanes' clocks are swept by ticks — so the
+  // warning stream decomposes exactly by midplane.
+  if (!matched || !options_.mixture_precedence) {
+    if (options_.per_scope_state) {
+      const auto it = last_fatal_by_scope_.find(midplane);
+      if (it != last_fatal_by_scope_.end()) {
+        check_distribution_scope(out, now, midplane, it->second);
+      }
+    } else {
+      check_distribution(out, now);
+    }
+  }
 
   if (event.fatal) {
     last_fatal_ = now;
+    if (options_.per_scope_state) last_fatal_by_scope_[midplane] = now;
     // A failure resolves every pending warning that predicted it:
     // re-arm the distribution rules (they predict "a failure") and the
     // association rules whose consequent is this category, so the next
     // prediction cycle isn't muted by a stale active-warning entry.
     for (const meta::StoredRule* stored : distribution_rules_) {
-      active_.erase(stored->id);
+      erase_active(stored->id, midplane);
     }
     for (const meta::StoredRule* stored : tree_rules_) {
-      active_.erase(stored->id);
+      erase_active(stored->id, midplane);
     }
     for (const meta::StoredRule* stored : net_rules_) {
-      active_.erase(stored->id);
+      erase_active(stored->id, midplane);
     }
     const auto it = by_consequent_.find(event.category);
     if (it != by_consequent_.end()) {
       for (const meta::StoredRule* stored : it->second) {
-        active_.erase(stored->id);
+        erase_active(stored->id, midplane);
       }
     }
   }

@@ -59,6 +59,19 @@ struct PredictorOptions {
   /// "where" dimension of §1.1's "when and where to perform
   /// checkpoints".  Off by default: the paper evaluates time-only.
   bool location_scoped = false;
+  /// Keep *all* expert state per midplane: the distribution expert's
+  /// elapsed-since-last-failure clock, warning deduplication and rule
+  /// re-arming are keyed by (rule, midplane), and an event consults the
+  /// distribution expert only for its own midplane (clock ticks still
+  /// sweep every known midplane).  Under this option the prediction
+  /// stream decomposes exactly by midplane — feeding each midplane's
+  /// events to a separate Predictor yields the same warning multiset as
+  /// one Predictor seeing everything — which is the invariant
+  /// online::ShardedEngine relies on.  Implies location_scoped.  The
+  /// classifier experts (decision tree / neural net) aggregate features
+  /// across the whole machine and do not decompose; keep them disabled
+  /// when sharding.
+  bool per_scope_state = false;
 };
 
 class Predictor {
@@ -88,12 +101,19 @@ class Predictor {
   std::optional<TimeSec> last_fatal_time() const { return last_fatal_; }
 
  private:
+  bool scoped() const {
+    return options_.location_scoped || options_.per_scope_state;
+  }
   void expire(TimeSec now);
   bool try_issue(std::vector<Warning>& out, TimeSec now,
                  const meta::StoredRule& rule,
                  std::optional<CategoryId> category, TimeSec deadline,
-                 std::optional<bgl::Location> location = std::nullopt);
+                 std::optional<bgl::Location> location = std::nullopt,
+                 std::uint32_t scope = 0);
+  void erase_active(std::uint64_t rule_id, std::uint32_t scope);
   void check_distribution(std::vector<Warning>& out, TimeSec now);
+  void check_distribution_scope(std::vector<Warning>& out, TimeSec now,
+                                std::uint32_t midplane, TimeSec last_fatal);
 
   const meta::KnowledgeRepository* repository_;
   DurationSec window_;
@@ -126,8 +146,11 @@ class Predictor {
   /// Recent fatal events within Wp: (time, midplane).
   std::deque<std::pair<TimeSec, std::uint32_t>> recent_fatals_;
   std::optional<TimeSec> last_fatal_;
+  /// Per-midplane last-fatal clocks (per_scope_state mode only).
+  std::unordered_map<std::uint32_t, TimeSec> last_fatal_by_scope_;
 
-  /// rule id -> deadline of its active warning (deduplication).
+  /// Deduplication: active-warning deadline per rule id — or per
+  /// (rule id << 32 | midplane) in per_scope_state mode.
   std::unordered_map<std::uint64_t, TimeSec> active_;
 };
 

@@ -7,35 +7,11 @@ namespace dml::preprocess {
 PreprocessPipeline::PreprocessPipeline(DurationSec threshold,
                                        const bgl::Taxonomy& taxonomy,
                                        bool collect_events)
-    : categorizer_(taxonomy),
-      temporal_(threshold),
-      spatial_(threshold),
-      collect_events_(collect_events) {}
+    : streaming_(threshold, taxonomy), collect_events_(collect_events) {}
 
 void PreprocessPipeline::consume(const bgl::RasRecord& record) {
-  ++stats_.raw_records;
-  auto categorized = categorizer_.categorize(record);
-  if (!categorized) {
-    ++stats_.unclassified;
-    return;
-  }
-  auto after_temporal = temporal_.push(*categorized);
-  if (!after_temporal) return;
-  ++stats_.after_temporal;
-  auto survivor = spatial_.push(*after_temporal);
-  if (!survivor) return;
-
-  ++stats_.unique_events;
-  ++stats_.unique_per_facility[static_cast<std::size_t>(
-      survivor->record.facility)];
-  if (!collect_events_) return;
-  bgl::Event event;
-  event.time = survivor->record.event_time;
-  event.category = survivor->category;
-  event.job_id = survivor->record.job_id;
-  event.location = survivor->record.location;
-  event.fatal = survivor->fatal;
-  events_.push_back(event);
+  auto event = streaming_.push(record);
+  if (event && collect_events_) events_.push_back(*event);
 }
 
 logio::EventStore PreprocessPipeline::take_store() {

@@ -4,32 +4,13 @@
 // straight into it with bounded memory.
 #pragma once
 
-#include <array>
-#include <cstdint>
 #include <vector>
 
 #include "logio/event_store.hpp"
 #include "logio/record_sink.hpp"
-#include "preprocess/categorizer.hpp"
-#include "preprocess/spatial_filter.hpp"
-#include "preprocess/temporal_filter.hpp"
+#include "preprocess/streaming_pipeline.hpp"
 
 namespace dml::preprocess {
-
-struct PipelineStats {
-  std::uint64_t raw_records = 0;
-  std::uint64_t unclassified = 0;
-  std::uint64_t after_temporal = 0;
-  std::uint64_t unique_events = 0;
-  /// Unique events per facility (one Table 4 column).
-  std::array<std::uint64_t, bgl::kNumFacilities> unique_per_facility{};
-
-  double compression_rate() const {
-    if (raw_records == 0) return 0.0;
-    return 1.0 - static_cast<double>(unique_events) /
-                     static_cast<double>(raw_records);
-  }
-};
 
 class PreprocessPipeline final : public logio::RecordSink {
  public:
@@ -43,9 +24,9 @@ class PreprocessPipeline final : public logio::RecordSink {
 
   void consume(const bgl::RasRecord& record) override;
 
-  const PipelineStats& stats() const { return stats_; }
+  const PipelineStats& stats() const { return streaming_.stats(); }
   const Categorizer::Stats& categorizer_stats() const {
-    return categorizer_.stats();
+    return streaming_.categorizer_stats();
   }
 
   /// Unique events accumulated so far (time-ordered as pushed).
@@ -55,10 +36,7 @@ class PreprocessPipeline final : public logio::RecordSink {
   logio::EventStore take_store();
 
  private:
-  Categorizer categorizer_;
-  TemporalFilter temporal_;
-  SpatialFilter spatial_;
-  PipelineStats stats_;
+  StreamingPipeline streaming_;
   bool collect_events_;
   std::vector<bgl::Event> events_;
 };

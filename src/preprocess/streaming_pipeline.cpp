@@ -1,0 +1,35 @@
+#include "preprocess/streaming_pipeline.hpp"
+
+namespace dml::preprocess {
+
+StreamingPipeline::StreamingPipeline(DurationSec threshold,
+                                     const bgl::Taxonomy& taxonomy)
+    : categorizer_(taxonomy), temporal_(threshold), spatial_(threshold) {}
+
+std::optional<bgl::Event> StreamingPipeline::push(
+    const bgl::RasRecord& record) {
+  ++stats_.raw_records;
+  auto categorized = categorizer_.categorize(record);
+  if (!categorized) {
+    ++stats_.unclassified;
+    return std::nullopt;
+  }
+  auto after_temporal = temporal_.push(*categorized);
+  if (!after_temporal) return std::nullopt;
+  ++stats_.after_temporal;
+  auto survivor = spatial_.push(*after_temporal);
+  if (!survivor) return std::nullopt;
+
+  ++stats_.unique_events;
+  ++stats_.unique_per_facility[static_cast<std::size_t>(
+      survivor->record.facility)];
+  bgl::Event event;
+  event.time = survivor->record.event_time;
+  event.category = survivor->category;
+  event.job_id = survivor->record.job_id;
+  event.location = survivor->record.location;
+  event.fatal = survivor->fatal;
+  return event;
+}
+
+}  // namespace dml::preprocess

@@ -78,6 +78,56 @@ TEST(ThreadPool, SharedPoolIsSingleton) {
   EXPECT_EQ(&ThreadPool::shared(), &ThreadPool::shared());
 }
 
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 1000,
+                        [](std::size_t i) {
+                          if (i == 357) throw std::runtime_error("chunk fail");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForRethrowsOneOfTheThrownExceptions) {
+  // Several chunks throw; the caller must see exactly one of the thrown
+  // exceptions (the lowest-index chunk among those that threw), with its
+  // payload intact.
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(0, 4000, [](std::size_t i) {
+      if (i % 1000 == 1) {
+        throw std::runtime_error("fail at " + std::to_string(i));
+      }
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()).rfind("fail at ", 0), 0u) << e.what();
+  }
+}
+
+TEST(ThreadPool, ParallelForUsableAfterException) {
+  // An exception must leave the pool (and its queue) healthy.
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(
+                   0, 100, [](std::size_t) { throw std::logic_error("x"); }),
+               std::logic_error);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, 100, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 100);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // parallel_for from inside a pool worker runs serially instead of
+  // waiting on the (possibly exhausted) pool.
+  ThreadPool pool(2);
+  std::atomic<int> inner_calls{0};
+  auto future = pool.submit([&] {
+    pool.parallel_for(0, 64, [&](std::size_t) { ++inner_calls; });
+  });
+  future.get();
+  EXPECT_EQ(inner_calls.load(), 64);
+}
+
 TEST(ThreadPool, DestructionDrainsQueue) {
   std::atomic<int> counter{0};
   {

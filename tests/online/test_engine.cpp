@@ -95,6 +95,114 @@ TEST(OnlineEngine, RetrainNowForcesTraining) {
   EXPECT_FALSE(engine.rules().empty());
 }
 
+bgl::Event synthetic_event(TimeSec time, CategoryId category, bool fatal) {
+  bgl::Event event;
+  event.time = time;
+  event.category = category;
+  event.fatal = fatal;
+  event.location = bgl::Location::compute_chip(0, 0, 0, 0, 0);
+  return event;
+}
+
+TEST(OnlineEngine, MinTrainingEventsGatesEveryBoundary) {
+  auto config = fast_config();
+  config.min_training_events = 1u << 30;  // never satisfiable
+  std::size_t warnings = 0;
+  OnlineEngine engine(config, [&](const predict::Warning&) { ++warnings; });
+  const auto& store = testing::shared_store();
+  for (const auto& event : testing::weeks_of(store, 0, 20)) {
+    engine.consume(event);
+  }
+  // Boundaries keep coming due, but the gate refuses them all: no rules,
+  // no warnings, and the schedule does not wedge.
+  EXPECT_EQ(engine.stats().retrainings, 0u);
+  EXPECT_TRUE(engine.rules().empty());
+  EXPECT_EQ(warnings, 0u);
+}
+
+TEST(OnlineEngine, RetrainNowBeforeAnyEventsIsSafe) {
+  OnlineEngine engine(fast_config(), nullptr);
+  engine.retrain_now();  // empty history: gate refuses, nothing to join
+  EXPECT_EQ(engine.stats().retrainings, 0u);
+  EXPECT_TRUE(engine.rules().empty());
+  engine.finish();
+  EXPECT_EQ(engine.stats().retrainings, 0u);
+}
+
+TEST(OnlineEngine, BoundaryTrainingSetExcludesTheBoundaryEvent) {
+  // First event at t=0 anchors the schedule; the first boundary is at
+  // t=1000.  The training set at a boundary is the events *strictly*
+  // before it, so with min_training_events=3:
+  //  - events {0, 500} before the boundary, one exactly at t=1000:
+  //    2 < 3 -> the gate must refuse (the t=1000 event does not count);
+  auto config = fast_config();
+  config.retrain_interval = 1000;
+  config.initial_training_delay = 1000;
+  config.min_training_events = 3;
+  {
+    OnlineEngine engine(config, nullptr);
+    engine.consume(synthetic_event(0, 1, false));
+    engine.consume(synthetic_event(500, 2, true));
+    engine.consume(synthetic_event(1000, 1, false));
+    EXPECT_EQ(engine.stats().retrainings, 0u);
+  }
+  //  - events {0, 400, 800} strictly before it: 3 >= 3 -> it trains the
+  //    moment the boundary-time event arrives.
+  {
+    OnlineEngine engine(config, nullptr);
+    engine.consume(synthetic_event(0, 1, false));
+    engine.consume(synthetic_event(400, 2, true));
+    engine.consume(synthetic_event(800, 1, false));
+    EXPECT_EQ(engine.stats().retrainings, 0u);
+    engine.consume(synthetic_event(1000, 1, false));
+    EXPECT_EQ(engine.stats().retrainings, 1u);
+  }
+}
+
+TEST(OnlineEngine, PinnedSnapshotSurvivesRetraining) {
+  auto config = fast_config();
+  OnlineEngine engine(config, nullptr);
+  const auto& store = testing::shared_store();
+  for (const auto& event : testing::weeks_of(store, 0, 6)) {
+    engine.consume(event);
+  }
+  ASSERT_EQ(engine.stats().retrainings, 1u);
+  const meta::RepositorySnapshot pinned = engine.rules_snapshot();
+  const std::size_t pinned_size = pinned->size();
+  ASSERT_GT(pinned_size, 0u);
+
+  for (const auto& event : testing::weeks_of(store, 6, 12)) {
+    engine.consume(event);
+  }
+  ASSERT_GE(engine.stats().retrainings, 2u);
+  // The RCU contract: the pinned snapshot is untouched by later swaps.
+  EXPECT_EQ(pinned->size(), pinned_size);
+  EXPECT_NE(engine.rules_snapshot().get(), pinned.get());
+}
+
+TEST(OnlineEngine, AsyncBuildAdoptsAtBoundaryPlusLag) {
+  auto config = fast_config();
+  config.async_retrain = true;
+  config.adoption_lag = 600;
+  std::vector<predict::Warning> warnings;
+  OnlineEngine engine(config, [&](const predict::Warning& w) {
+    warnings.push_back(w);
+  });
+  const auto& store = testing::shared_store();
+  for (const auto& event : testing::weeks_of(store, 0, 10)) {
+    engine.consume(event);
+  }
+  engine.finish();
+  ASSERT_GE(engine.retrain_log().size(), 2u);
+  for (const auto& build : engine.retrain_log()) {
+    EXPECT_EQ(build.activate_at, build.scheduled_at + 600);
+  }
+  EXPECT_FALSE(engine.rules().empty());
+  // No warning was issued from the new rules before their adoption
+  // instant (the old snapshot serves the gap).
+  EXPECT_GT(warnings.size(), 0u);
+}
+
 TEST(OnlineEngine, MatchesBatchAccuracyBallpark) {
   // The streaming engine over weeks 0-24 should produce warnings whose
   // quality is in the same band as the batch driver's on that span.

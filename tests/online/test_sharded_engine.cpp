@@ -1,0 +1,97 @@
+#include "online/sharded_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "support/test_fixtures.hpp"
+
+namespace dml::online {
+namespace {
+
+ShardedEngineConfig sharded_config(std::size_t shards) {
+  ShardedEngineConfig config;
+  config.shards = shards;
+  config.engine.retrain_interval = 4 * kSecondsPerWeek;
+  config.engine.training_span = 12 * kSecondsPerWeek;
+  config.engine.async_retrain = true;
+  return config;
+}
+
+TEST(ShardedEngine, ServesAndRetrainsAcrossShards) {
+  std::mutex mutex;
+  std::vector<predict::Warning> warnings;
+  ShardedEngine engine(sharded_config(3), [&](const predict::Warning& w) {
+    std::lock_guard lock(mutex);
+    warnings.push_back(w);
+  });
+  EXPECT_EQ(engine.shard_count(), 3u);
+
+  const auto& store = testing::shared_store();
+  const auto events = testing::weeks_of(store, 0, 12);
+  for (const auto& event : events) engine.consume(event);
+  const auto stats = engine.finish();
+
+  EXPECT_EQ(stats.records_consumed, events.size());
+  EXPECT_EQ(stats.events_after_filtering, events.size());
+  EXPECT_EQ(stats.retrainings, 2u);  // boundaries at weeks 4 and 8
+  EXPECT_GT(stats.warnings_issued, 0u);
+  EXPECT_EQ(stats.warnings_issued, warnings.size());
+  EXPECT_FALSE(engine.rules_snapshot()->empty());
+
+  // Every event landed on exactly one shard, and the hash actually
+  // spread this multi-rack log around.
+  const auto reports = engine.shard_reports();
+  std::uint64_t total = 0;
+  std::size_t nonempty = 0;
+  for (const auto& report : reports) {
+    total += report.events;
+    if (report.events > 0) ++nonempty;
+  }
+  EXPECT_EQ(total, events.size());
+  EXPECT_GT(nonempty, 1u);
+}
+
+TEST(ShardedEngine, MergedWarningStreamIsTimeOrdered) {
+  std::vector<TimeSec> issued;
+  ShardedEngine engine(sharded_config(4), [&](const predict::Warning& w) {
+    issued.push_back(w.issued_at);  // callback is serialized by the merger
+  });
+  const auto& store = testing::shared_store();
+  for (const auto& event : testing::weeks_of(store, 0, 10)) {
+    engine.consume(event);
+  }
+  engine.finish();
+  ASSERT_GT(issued.size(), 10u);
+  for (std::size_t i = 1; i < issued.size(); ++i) {
+    EXPECT_LE(issued[i - 1], issued[i]) << "at " << i;
+  }
+}
+
+TEST(ShardedEngine, FinishIsIdempotentAndDestructorSafe) {
+  std::atomic<std::size_t> warnings{0};
+  auto engine = std::make_unique<ShardedEngine>(
+      sharded_config(2), [&](const predict::Warning&) { ++warnings; });
+  const auto& store = testing::shared_store();
+  for (const auto& event : testing::weeks_of(store, 0, 6)) {
+    engine->consume(event);
+  }
+  const auto first = engine->finish();
+  const auto second = engine->finish();
+  EXPECT_EQ(first.warnings_issued, second.warnings_issued);
+  EXPECT_EQ(first.warnings_issued, warnings.load());
+  engine.reset();  // destructor after finish() must be a no-op
+}
+
+TEST(ShardedEngine, EmptyStreamFinishesCleanly) {
+  ShardedEngine engine(sharded_config(2), nullptr);
+  const auto stats = engine.finish();
+  EXPECT_EQ(stats.records_consumed, 0u);
+  EXPECT_EQ(stats.warnings_issued, 0u);
+  EXPECT_EQ(stats.retrainings, 0u);
+}
+
+}  // namespace
+}  // namespace dml::online

@@ -12,6 +12,7 @@
 // Subcommands compose through files: `generate` writes the raw text log,
 // `train` ships a rule set, `predict` consumes both — the offline
 // rule-generation / online prediction split of paper §5.2.4.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -19,6 +20,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/civil_time.hpp"
 #include "loggen/generator.hpp"
@@ -28,6 +30,7 @@
 #include "meta/rule_io.hpp"
 #include "online/config_file.hpp"
 #include "online/driver.hpp"
+#include "online/sharded_engine.hpp"
 #include "online/markdown_report.hpp"
 #include "online/report.hpp"
 #include "predict/outcome_matcher.hpp"
@@ -104,6 +107,7 @@ int usage() {
       "  run       --log FILE [--config FILE] [--mode sliding|whole|static]\n"
       "            [--training-weeks 26] [--retrain-weeks 4] [--window 300]\n"
       "            [--no-reviser] [--report FILE]  full dynamic driver\n"
+      "            [--threads N]  N-shard concurrent serving replay\n"
       "  config-template                           print a config file\n");
   return 2;
 }
@@ -287,6 +291,82 @@ int cmd_predict(const Flags& flags) {
   return 0;
 }
 
+/// `run --threads N`: replay the log through the sharded concurrent
+/// serving core (retraining on the shared pool, events hash-partitioned
+/// by midplane) instead of the interval-by-interval batch driver, then
+/// score the merged warning stream over the post-training span.
+int run_sharded(const online::DriverConfig& config,
+                const logio::EventStore& store, long threads) {
+  using Clock = std::chrono::steady_clock;
+  const DurationSec initial_span =
+      static_cast<DurationSec>(config.training_weeks) * kSecondsPerWeek;
+
+  online::ShardedEngineConfig sharded;
+  sharded.shards = static_cast<std::size_t>(threads);
+  sharded.engine.prediction_window = config.prediction_window;
+  sharded.engine.clock_tick = config.clock_tick;
+  sharded.engine.retrain_interval =
+      static_cast<DurationSec>(config.retrain_weeks) * kSecondsPerWeek;
+  sharded.engine.initial_training_delay = initial_span;
+  sharded.engine.training_span = initial_span;
+  sharded.engine.min_training_events = 1;
+  sharded.engine.mode = config.mode;
+  sharded.engine.use_reviser = config.use_reviser;
+  sharded.engine.reviser = config.reviser;
+  sharded.engine.learner = config.learner;
+  sharded.engine.predictor = config.predictor;
+  sharded.engine.async_retrain = true;
+
+  std::vector<predict::Warning> warnings;
+  const auto wall_start = Clock::now();
+  online::ShardedEngine engine(
+      sharded, [&](const predict::Warning& w) { warnings.push_back(w); });
+  for (const auto& event : store.all()) engine.consume(event);
+  const auto stats = engine.finish();
+  const double wall_seconds =
+      std::chrono::duration<double>(Clock::now() - wall_start).count();
+
+  online::TablePrinter table({"shard", "events", "warnings", "busy-s",
+                              "events/s"});
+  for (const auto& report : engine.shard_reports()) {
+    table.add_row(
+        {std::to_string(report.index), std::to_string(report.events),
+         std::to_string(report.warnings),
+         online::TablePrinter::fmt(report.busy_seconds),
+         report.busy_seconds > 0
+             ? std::to_string(static_cast<long long>(
+                   static_cast<double>(report.events) / report.busy_seconds))
+             : "-"});
+  }
+  table.print(std::cout);
+
+  // Score the stream the way the driver scores its intervals: everything
+  // after the initial training span, against the configured window.
+  const TimeSec serve_from = store.first_time() + initial_span;
+  const auto test_events =
+      store.between(serve_from, store.last_time() + 1);
+  std::vector<predict::Warning> scored;
+  for (const auto& w : warnings) {
+    if (w.issued_at >= serve_from) scored.push_back(w);
+  }
+  const auto evaluation = predict::evaluate_predictions(
+      test_events, scored, config.prediction_window);
+  std::printf(
+      "shards: %zu; retrainings: %llu; events: %llu; wall %.2f s "
+      "(%.0f events/s)\n",
+      engine.shard_count(),
+      static_cast<unsigned long long>(stats.retrainings),
+      static_cast<unsigned long long>(stats.events_after_filtering),
+      wall_seconds,
+      wall_seconds > 0
+          ? static_cast<double>(stats.events_after_filtering) / wall_seconds
+          : 0.0);
+  std::printf("overall: precision %.3f, recall %.3f\n",
+              stats::precision(evaluation.overall),
+              stats::recall(evaluation.overall));
+  return 0;
+}
+
 int cmd_run(const Flags& flags) {
   const auto log_path = flags.get("log");
   if (!log_path) {
@@ -332,6 +412,9 @@ int cmd_run(const Flags& flags) {
     std::fprintf(stderr, "dmlfp run: unknown mode '%s'\n", mode.c_str());
     return 2;
   }
+
+  const long threads = flags.get_long("threads", 1);
+  if (threads > 1) return run_sharded(config, *store, threads);
 
   const auto result = online::DynamicDriver(config).run(*store);
   if (const auto report_path = flags.get("report")) {
