@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "bgl/record.hpp"
+#include "logio/text_format.hpp"
 
 namespace dml::logio {
 
@@ -35,6 +36,13 @@ class EventStore {
   /// Number of fatal events in [begin, end).
   std::size_t fatal_count_between(TimeSec begin, TimeSec end) const;
 
+  /// Loader bookkeeping carried with the store: when the events came
+  /// from a lenient log read, how many input lines parsed vs. were
+  /// skipped as malformed (and why).  Default-empty for stores built
+  /// from in-memory events.
+  void set_load_stats(ReadStats stats) { load_stats_ = std::move(stats); }
+  const ReadStats& load_stats() const { return load_stats_; }
+
   /// Fatal events per day relative to `origin` covering [origin, end_time)
   /// — the Figure 4 series.
   std::vector<std::size_t> fatal_per_day(TimeSec origin,
@@ -43,6 +51,7 @@ class EventStore {
  private:
   std::vector<bgl::Event> events_;
   std::vector<TimeSec> fatal_times_;
+  ReadStats load_stats_;
 };
 
 }  // namespace dml::logio

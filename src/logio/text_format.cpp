@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/civil_time.hpp"
+#include "common/failpoint.hpp"
 #include "common/string_util.hpp"
 
 namespace dml::logio {
@@ -45,29 +46,39 @@ std::string record_to_line(const bgl::RasRecord& r) {
   return line;
 }
 
-std::optional<bgl::RasRecord> parse_line(std::string_view line) {
+std::optional<bgl::RasRecord> parse_line(std::string_view line,
+                                         std::string* reason) {
+  const auto reject = [&](std::string_view what) {
+    if (reason) *reason = std::string(what);
+    return std::nullopt;
+  };
   // Split into at most 8 fields; ENTRY_DATA keeps any further pipes.
   std::array<std::string_view, 8> fields;
   std::size_t start = 0;
   for (int i = 0; i < 7; ++i) {
     const std::size_t pos = line.find('|', start);
-    if (pos == std::string_view::npos) return std::nullopt;
+    if (pos == std::string_view::npos) {
+      return reject("expected 8 '|'-delimited fields");
+    }
     fields[static_cast<std::size_t>(i)] = line.substr(start, pos - start);
     start = pos + 1;
   }
   fields[7] = line.substr(start);
 
   const auto record_id = parse_number<RecordId>(fields[0]);
+  if (!record_id) return reject("bad RECID");
   const auto event_type = bgl::event_type_from_string(fields[1]);
+  if (!event_type) return reject("bad EVENT_TYPE");
   const auto event_time = parse_timestamp(fields[2]);
+  if (!event_time) return reject("bad TIMESTAMP");
   const auto job_id = parse_number<JobId>(fields[3]);
+  if (!job_id) return reject("bad JOBID");
   const auto location = bgl::Location::parse(fields[4]);
+  if (!location) return reject("bad LOCATION");
   const auto facility = bgl::facility_from_string(fields[5]);
+  if (!facility) return reject("bad FACILITY");
   const auto severity = severity_from_string(fields[6]);
-  if (!record_id || !event_type || !event_time || !job_id || !location ||
-      !facility || !severity) {
-    return std::nullopt;
-  }
+  if (!severity) return reject("bad SEVERITY");
 
   bgl::RasRecord r;
   r.record_id = *record_id;
@@ -99,7 +110,8 @@ LogFile read_log(std::istream& in) {
   return log;
 }
 
-RecordReader::RecordReader(std::istream& in) : in_(in) {
+RecordReader::RecordReader(std::istream& in, OnError on_error)
+    : in_(in), on_error_(on_error) {
   std::string line;
   if (std::getline(in_, line)) {
     ++line_number_;
@@ -113,15 +125,38 @@ RecordReader::RecordReader(std::istream& in) : in_(in) {
 
 std::optional<bgl::RasRecord> RecordReader::next() {
   std::string line;
+  std::string corrupted;
   while (std::getline(in_, line)) {
     ++line_number_;
-    const std::string_view view = trim(line);
+    std::string_view view = trim(line);
     if (view.empty() || view.front() == '#') continue;
-    auto record = parse_line(view);
-    if (!record) {
-      throw std::runtime_error("RAS log: malformed record at line " +
-                               std::to_string(line_number_));
+    ++stats_.lines;
+    switch (common::failpoint(common::failpoints::kLogioParse)) {
+      case common::FailAction::kDrop:
+        stats_.note_skip(line_number_, "dropped by failpoint");
+        continue;
+      case common::FailAction::kCorrupt:
+        // Mangle the RECID field so the parser must reject the line —
+        // the simulated "corrupt record in the archive" case.
+        corrupted.assign(1, '\x01');
+        corrupted += view;
+        view = corrupted;
+        break;
+      default:
+        break;
     }
+    std::string reason;
+    auto record = parse_line(view, &reason);
+    if (!record) {
+      stats_.note_skip(line_number_, reason);
+      if (on_error_ == OnError::kThrow) {
+        throw std::runtime_error("RAS log: malformed record at line " +
+                                 std::to_string(line_number_) + ": " +
+                                 reason);
+      }
+      continue;
+    }
+    ++stats_.parsed;
     return record;
   }
   return std::nullopt;

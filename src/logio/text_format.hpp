@@ -23,8 +23,39 @@ namespace dml::logio {
 
 std::string record_to_line(const bgl::RasRecord& record);
 
-/// Parses one data line; nullopt on malformed input.
-std::optional<bgl::RasRecord> parse_line(std::string_view line);
+/// Parses one data line; nullopt on malformed input.  When `reason` is
+/// non-null, a rejection fills it with which field was bad (line numbers
+/// are the reader's job).
+std::optional<bgl::RasRecord> parse_line(std::string_view line,
+                                         std::string* reason = nullptr);
+
+/// One skipped/rejected input line.
+struct ParseDiagnostic {
+  std::size_t line = 0;
+  std::string reason;
+};
+
+/// Loader bookkeeping: how much of a log stream actually parsed.  The
+/// diagnostics list keeps only the first kMaxDiagnostics entries so a
+/// wholly corrupt file cannot balloon memory.
+struct ReadStats {
+  static constexpr std::size_t kMaxDiagnostics = 16;
+
+  /// Data lines seen (blank lines and '#' comments excluded).
+  std::uint64_t lines = 0;
+  std::uint64_t parsed = 0;
+  /// Malformed (or fault-injected) lines skipped — nonzero only in
+  /// OnError::kSkip mode, where they are counted instead of thrown.
+  std::uint64_t skipped = 0;
+  std::vector<ParseDiagnostic> diagnostics;
+
+  void note_skip(std::size_t line, std::string reason) {
+    ++skipped;
+    if (diagnostics.size() < kMaxDiagnostics) {
+      diagnostics.push_back({line, std::move(reason)});
+    }
+  }
+};
 
 struct LogFile {
   std::string machine;
@@ -41,20 +72,30 @@ LogFile read_log(std::istream& in);
 /// Incremental reader for streaming consumption (online prediction).
 class RecordReader {
  public:
-  explicit RecordReader(std::istream& in);
+  /// Malformed-line policy: kThrow (default) raises std::runtime_error
+  /// with the line number and reason; kSkip counts the line in
+  /// read_stats() and moves on — the graceful-degradation mode for
+  /// production log pipelines that must survive corrupt records.
+  enum class OnError { kThrow, kSkip };
+
+  explicit RecordReader(std::istream& in, OnError on_error = OnError::kThrow);
 
   const std::string& machine() const { return machine_; }
 
-  /// Next record, or nullopt at end of stream.  Throws on malformed
-  /// lines.  Blank lines and '#' comment lines are skipped.
+  /// Next record, or nullopt at end of stream.  Blank lines and '#'
+  /// comment lines are skipped; malformed lines follow the OnError
+  /// policy.
   std::optional<bgl::RasRecord> next();
 
   std::size_t line_number() const { return line_number_; }
+  const ReadStats& read_stats() const { return stats_; }
 
  private:
   std::istream& in_;
+  OnError on_error_;
   std::string machine_;
   std::size_t line_number_ = 0;
+  ReadStats stats_;
 };
 
 /// Approximate serialized size in bytes of a record (for Table 2's

@@ -11,6 +11,7 @@
 #include <mutex>
 #include <utility>
 
+#include "common/failpoint.hpp"
 #include "meta/knowledge_repository.hpp"
 
 namespace dml::meta {
@@ -56,6 +57,9 @@ class SnapshotPublisher {
 
   /// Replaces the snapshot in force with one pointer swap.
   void store(RepositorySnapshot next) {
+    // Fault injection: `snapshot.publish` can stall (delay) or abort
+    // (throw) a publication before the swap; evaluated outside the lock.
+    common::failpoint(common::failpoints::kSnapshotPublish);
     RepositorySnapshot displaced;
     {
       std::lock_guard lock(mutex_);

@@ -3,6 +3,17 @@
 #include <algorithm>
 
 namespace dml::online {
+
+std::string_view to_string(DegradationEvent::Kind kind) {
+  switch (kind) {
+    case DegradationEvent::Kind::kRetrainFailure: return "retrain-failure";
+    case DegradationEvent::Kind::kShardQuarantined:
+      return "shard-quarantined";
+    case DegradationEvent::Kind::kRecordsSkipped: return "records-skipped";
+  }
+  return "unknown";
+}
+
 namespace {
 
 RetrainPolicy make_policy(const OnlineEngineConfig& config) {
@@ -130,7 +141,25 @@ OnlineEngine::SessionStats OnlineEngine::stats() const {
   SessionStats s = session_;
   s.retrainings = scheduler_.retrainings();
   s.history_size = scheduler_.history_size();
+  s.records_rejected = pipeline_.stats().dropped_by_failpoint;
+  s.retrain_failures = scheduler_.failures().size();
   return s;
+}
+
+std::vector<DegradationEvent> OnlineEngine::degradation_log() const {
+  std::vector<DegradationEvent> log;
+  for (const auto& failure : scheduler_.failures()) {
+    log.push_back({DegradationEvent::Kind::kRetrainFailure, failure.boundary,
+                   failure.attempts,
+                   "retraining abandoned: " + failure.error});
+  }
+  const auto dropped = pipeline_.stats().dropped_by_failpoint;
+  if (dropped > 0) {
+    log.push_back({DegradationEvent::Kind::kRecordsSkipped, now_,
+                   static_cast<std::size_t>(dropped),
+                   "records dropped in preprocessing"});
+  }
+  return log;
 }
 
 }  // namespace dml::online

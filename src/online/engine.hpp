@@ -24,6 +24,34 @@
 
 namespace dml::online {
 
+/// One graceful-degradation incident, in a form reports can print: the
+/// serving side kept going, this records what it gave up.
+struct DegradationEvent {
+  enum class Kind {
+    /// A retraining boundary was abandoned after every build attempt
+    /// failed; the last good snapshot stayed in force.
+    kRetrainFailure,
+    /// A shard worker threw; the shard drained without serving from
+    /// then on, its watermark still advancing so the merged stream
+    /// never stalled.
+    kShardQuarantined,
+    /// Summary entry: input records dropped/skipped as corrupt or by
+    /// fault injection (counted, not individually logged).
+    kRecordsSkipped,
+  };
+
+  Kind kind = Kind::kRetrainFailure;
+  /// Event time of the incident (boundary, quarantine watermark, or end
+  /// of stream for summaries).
+  TimeSec at = 0;
+  /// Build attempts spent (kRetrainFailure) or records lost
+  /// (kRecordsSkipped).
+  std::size_t count = 0;
+  std::string detail;
+};
+
+std::string_view to_string(DegradationEvent::Kind kind);
+
 struct OnlineEngineConfig {
   /// Wp: prediction window == rule-generation window.
   DurationSec prediction_window = 300;
@@ -120,8 +148,19 @@ class OnlineEngine {
     std::uint64_t warnings_issued = 0;
     std::uint64_t retrainings = 0;
     std::size_t history_size = 0;
+    /// Input units dropped or skipped instead of served (corrupt
+    /// records, drop failpoints) — the counted-divergence budget of a
+    /// degraded run.
+    std::uint64_t records_rejected = 0;
+    /// Retraining boundaries abandoned after every build attempt threw.
+    std::uint64_t retrain_failures = 0;
+    /// Shard workers stopped by an exception (ShardedEngine only).
+    std::uint64_t shards_quarantined = 0;
   };
   SessionStats stats() const;
+
+  /// Degradation incidents so far (abandoned retrain boundaries).
+  std::vector<DegradationEvent> degradation_log() const;
 
   TimeSec now() const { return now_; }
 

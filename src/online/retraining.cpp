@@ -1,13 +1,32 @@
 #include "online/retraining.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <thread>
 #include <utility>
 
+#include "common/failpoint.hpp"
 #include "common/thread_pool.hpp"
 #include "predict/outcome_matcher.hpp"
 
 namespace dml::online {
 namespace {
+
+/// Internal carrier for an exhausted retry budget.  Converted into
+/// failure *data* (a failed SnapshotBuild or a RetrainFailure) on the
+/// thread that ran the build — an exception rethrown through the future
+/// would leave the owner reading what() while the pool thread disposes
+/// of the task state that owns it.
+class BuildFailed : public std::runtime_error {
+ public:
+  BuildFailed(std::size_t attempts, const std::string& message)
+      : std::runtime_error(message), attempts_(attempts) {}
+
+  std::size_t attempts() const { return attempts_; }
+
+ private:
+  std::size_t attempts_;
+};
 
 double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -131,15 +150,48 @@ RetrainScheduler::BoundaryAction RetrainScheduler::fire(TimeSec boundary) {
     pending_scheduled_ = boundary;
     pending_ = ThreadPool::shared().submit(
         [this, training = std::move(training), boundary,
-         previous = std::move(previous)]() mutable {
-          return run_build(std::move(training), boundary,
-                           std::move(previous));
+         previous = std::move(previous)]() mutable -> SnapshotBuild {
+          try {
+            return run_build_with_retry(training, boundary,
+                                        std::move(previous));
+          } catch (const BuildFailed& e) {
+            SnapshotBuild failed;
+            failed.scheduled_at = boundary;
+            failed.failed_attempts = e.attempts();
+            failed.error = e.what();
+            return failed;
+          }
         });
   } else {
-    ready_ = run_build(std::move(training), boundary, std::move(previous));
-    ready_->activate_at = boundary;
+    try {
+      ready_ = run_build_with_retry(training, boundary, std::move(previous));
+      ready_->activate_at = boundary;
+    } catch (const BuildFailed& e) {
+      failures_.push_back({boundary, e.attempts(), e.what()});
+      return BoundaryAction::kNone;
+    }
   }
   return BoundaryAction::kRetrain;
+}
+
+SnapshotBuild RetrainScheduler::run_build_with_retry(
+    const std::vector<bgl::Event>& training, TimeSec boundary,
+    meta::RepositorySnapshot previous) const {
+  const std::size_t budget = std::max<std::size_t>(1, policy_.max_build_attempts);
+  std::uint32_t backoff_ms = policy_.retry_backoff_ms;
+  for (std::size_t attempt = 1;; ++attempt) {
+    try {
+      return run_build(training, boundary, previous);
+    } catch (const std::exception& e) {
+      if (attempt >= budget) throw BuildFailed(attempt, e.what());
+    } catch (...) {
+      if (attempt >= budget) throw BuildFailed(attempt, "unknown exception");
+    }
+    if (backoff_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms *= 2;
+    }
+  }
 }
 
 void RetrainScheduler::observe(const bgl::Event& event) {
@@ -155,9 +207,13 @@ void RetrainScheduler::observe(const bgl::Event& event) {
 }
 
 SnapshotBuild RetrainScheduler::run_build(
-    std::vector<bgl::Event> training, TimeSec boundary,
+    const std::vector<bgl::Event>& training, TimeSec boundary,
     meta::RepositorySnapshot previous) const {
   using Clock = std::chrono::steady_clock;
+  // Fault injection: `retrain.build` throw exercises the bounded-retry /
+  // keep-last-snapshot path, delay simulates a slow build racing the
+  // stream to its adoption point.
+  common::failpoint(common::failpoints::kRetrainBuild);
   SnapshotBuild build;
   build.scheduled_at = boundary;
 
@@ -191,7 +247,16 @@ SnapshotBuild RetrainScheduler::run_build(
 
 std::optional<SnapshotBuild> RetrainScheduler::take_pending(
     TimeSec activate_at) {
+  const TimeSec boundary = pending_scheduled_;
   auto build = pending_.get();
+  if (build.failed()) {
+    // Every attempt failed: abandon the boundary, keep serving the last
+    // good snapshot.  (pending_ was consumed by get(), so the next
+    // boundary is free to train again.)
+    failures_.push_back(
+        {boundary, build.failed_attempts, std::move(build.error)});
+    return std::nullopt;
+  }
   build.activate_at = activate_at;
   window_ = build.window;
   latest_ = build.repository;

@@ -71,6 +71,14 @@ struct RetrainPolicy {
   /// got there first).  0: adopted at the first event after the build
   /// happens to finish — lowest latency, not replay-deterministic.
   DurationSec adoption_lag = 0;
+  /// Build-failure degradation: a build that throws (out of the learner,
+  /// reviser, or a `retrain.build` failpoint) is retried up to this many
+  /// total attempts; when they are all spent the boundary is abandoned,
+  /// recorded in failures(), and the last good snapshot stays in force —
+  /// a retrain failure never crashes the serving loop.
+  std::size_t max_build_attempts = 3;
+  /// Wall-clock backoff before each retry, doubling per attempt.
+  std::uint32_t retry_backoff_ms = 10;
 };
 
 /// One finished retraining: the frozen rule set plus the bookkeeping the
@@ -90,6 +98,23 @@ struct SnapshotBuild {
   std::size_t rules_removed_by_reviser = 0;
   meta::TrainTimes train_times;
   double revise_seconds = 0.0;
+  /// Nonzero when every build attempt failed (asynchronous path): the
+  /// failure rides the future as *data* rather than a rethrown
+  /// exception, so the pool thread's disposal of the task state never
+  /// races the owner reading the error text.  `repository` is null.
+  std::size_t failed_attempts = 0;
+  std::string error;
+
+  bool failed() const { return failed_attempts > 0; }
+};
+
+/// One abandoned retraining boundary: every build attempt threw.  The
+/// serving side keeps the previously adopted snapshot — degradation the
+/// report can surface, never a crash.
+struct RetrainFailure {
+  TimeSec boundary = 0;
+  std::size_t attempts = 0;
+  std::string error;
 };
 
 class RetrainScheduler {
@@ -143,9 +168,18 @@ class RetrainScheduler {
   /// Number of trainings actually scheduled/run (gate passes).
   std::uint64_t retrainings() const { return retrainings_; }
 
+  /// Boundaries abandoned because every build attempt failed (the
+  /// degradation log; the snapshot in force was left untouched).  Only
+  /// grows at fire()/poll()/join() — i.e. on the owner's thread.
+  const std::vector<RetrainFailure>& failures() const { return failures_; }
+
  private:
-  SnapshotBuild run_build(std::vector<bgl::Event> training, TimeSec boundary,
+  SnapshotBuild run_build(const std::vector<bgl::Event>& training,
+                          TimeSec boundary,
                           meta::RepositorySnapshot previous) const;
+  SnapshotBuild run_build_with_retry(const std::vector<bgl::Event>& training,
+                                     TimeSec boundary,
+                                     meta::RepositorySnapshot previous) const;
   std::optional<SnapshotBuild> take_pending(TimeSec activate_at);
 
   RetrainPolicy policy_;
@@ -162,6 +196,7 @@ class RetrainScheduler {
   std::future<SnapshotBuild> pending_;
   TimeSec pending_scheduled_ = 0;
   std::uint64_t retrainings_ = 0;
+  std::vector<RetrainFailure> failures_;
 };
 
 }  // namespace dml::online

@@ -1,5 +1,7 @@
 #include "online/serving.hpp"
 
+#include "common/failpoint.hpp"
+
 namespace dml::online {
 
 ServingCore::ServingCore(Options options)
@@ -77,6 +79,10 @@ void ServingCore::advance(TimeSec t, std::vector<predict::Warning>& out) {
 
 void ServingCore::observe(const bgl::Event& event,
                           std::vector<predict::Warning>& out) {
+  // Fault injection: `serving.observe` supports throw (the owner's
+  // worker quarantines) and delay (a slow serving step); drop/corrupt
+  // are ignored here — counted drops live at the owner's feed level.
+  common::failpoint(common::failpoints::kServingObserve);
   advance(event.time, out);
   if (options_.tick_anchor == TickAnchor::kInterval && predictor_ &&
       !next_tick_ && tick_interval() > 0) {

@@ -13,6 +13,7 @@
 #include <variant>
 
 #include "bgl/location.hpp"
+#include "common/failpoint.hpp"
 #include "online/serving.hpp"
 
 namespace dml::online {
@@ -171,6 +172,9 @@ struct ShardedEngine::Shard {
   std::atomic<std::uint64_t> events{0};
   std::atomic<std::uint64_t> fatals{0};
   std::atomic<std::uint64_t> warnings{0};
+  /// Events not served: drop-failpoint skips plus everything drained
+  /// after quarantine.
+  std::atomic<std::uint64_t> rejected{0};
   std::atomic<double> busy_seconds{0.0};
   std::exception_ptr error;
 };
@@ -288,6 +292,17 @@ void ShardedEngine::broadcast_heartbeats(TimeSec t) {
 }
 
 void ShardedEngine::feed(const bgl::Event& event) {
+  // Fault injection: `engine.feed` drop/corrupt discards the event
+  // before it reaches the scheduler or any shard (a counted skip);
+  // throw propagates to the producer, delay stalls it.
+  switch (common::failpoint(common::failpoints::kEngineFeed)) {
+    case common::FailAction::kDrop:
+    case common::FailAction::kCorrupt:
+      ++feed_rejected_;
+      return;
+    default:
+      break;
+  }
   const TimeSec t = event.time;
   // Boundary/adoption decisions happen on the producer so every shard
   // sees them at the same position in its event sequence.
@@ -308,6 +323,14 @@ void ShardedEngine::feed(const bgl::Event& event) {
   shards_[shard_of(event)]->queue.push(EventMsg{event});
 }
 
+void ShardedEngine::note_quarantine(std::size_t index, TimeSec at,
+                                    std::string what) {
+  std::lock_guard lock(quarantine_mutex_);
+  quarantines_.push_back({DegradationEvent::Kind::kShardQuarantined, at, 1,
+                          "shard " + std::to_string(index) +
+                              " quarantined: " + std::move(what)});
+}
+
 void ShardedEngine::worker(std::size_t index) {
   Shard& shard = *shards_[index];
   ServingCore core(
@@ -315,12 +338,36 @@ void ShardedEngine::worker(std::size_t index) {
   std::vector<Message> batch;
   std::vector<predict::Warning> out;
   TimeSec watermark = std::numeric_limits<TimeSec>::min();
+  // Advances the watermark without serving — the quarantine drain: the
+  // merged stream (and the producer, via backpressure relief) must keep
+  // moving even when this shard has stopped serving.
+  const auto drain = [&](const Message& message) {
+    if (const auto* msg = std::get_if<EventMsg>(&message)) {
+      watermark = std::max(watermark, msg->event.time);
+      shard.rejected.fetch_add(1, std::memory_order_relaxed);
+    } else if (const auto* flush = std::get_if<FlushMsg>(&message)) {
+      watermark = std::max(watermark, flush->to);
+    }
+  };
   while (shard.queue.pop_all(batch)) {
-    if (shard.error) continue;  // drain-only: keep the producer unblocked
     const auto start = std::chrono::steady_clock::now();
-    try {
-      for (auto& message : batch) {
+    for (auto& message : batch) {
+      if (shard.error) {
+        drain(message);
+        continue;
+      }
+      try {
         if (auto* msg = std::get_if<EventMsg>(&message)) {
+          // Fault injection: throw quarantines this shard, delay stalls
+          // its queue (backpressure), drop skips the event (counted).
+          const auto action =
+              common::failpoint(common::failpoints::kShardWorker);
+          if (action == common::FailAction::kDrop ||
+              action == common::FailAction::kCorrupt) {
+            shard.rejected.fetch_add(1, std::memory_order_relaxed);
+            watermark = std::max(watermark, msg->event.time);
+            continue;
+          }
           core.observe(msg->event, out);
           shard.events.fetch_add(1, std::memory_order_relaxed);
           if (msg->event.fatal) {
@@ -335,11 +382,17 @@ void ShardedEngine::worker(std::size_t index) {
           core.flush(flush->to, out);
           watermark = std::max(watermark, flush->to);
         }
+      } catch (const std::exception& e) {
+        shard.error = std::current_exception();
+        out.clear();
+        drain(message);
+        note_quarantine(index, watermark, e.what());
+      } catch (...) {
+        shard.error = std::current_exception();
+        out.clear();
+        drain(message);
+        note_quarantine(index, watermark, "unknown exception");
       }
-    } catch (...) {
-      shard.error = std::current_exception();
-      out.clear();
-      continue;
     }
     shard.busy_seconds.store(
         shard.busy_seconds.load(std::memory_order_relaxed) +
@@ -347,6 +400,9 @@ void ShardedEngine::worker(std::size_t index) {
                                           start)
                 .count(),
         std::memory_order_relaxed);
+    // Push even when quarantined or warning-free: the watermark alone
+    // releases other shards' buffered warnings, keeping the merged
+    // stream monotone and live.
     if (!out.empty() ||
         watermark != std::numeric_limits<TimeSec>::min()) {
       shard.warnings.fetch_add(out.size(), std::memory_order_relaxed);
@@ -376,10 +432,14 @@ ShardedEngine::SessionStats ShardedEngine::finish() {
     if (shard->thread.joinable()) shard->thread.join();
   }
   merger_->finish();
-  for (auto& shard : shards_) {
-    if (shard->error) std::rethrow_exception(shard->error);
-  }
+  // Stats first: a rethrow must not lose the session's accounting — the
+  // caller can catch and still read stats()/degradation_log().
   final_stats_ = collect_stats();
+  if (config_.rethrow_worker_errors) {
+    for (auto& shard : shards_) {
+      if (shard->error) std::rethrow_exception(shard->error);
+    }
+  }
   return final_stats_;
 }
 
@@ -391,15 +451,48 @@ ShardedEngine::SessionStats ShardedEngine::stats() const {
 ShardedEngine::SessionStats ShardedEngine::collect_stats() const {
   SessionStats s;
   s.records_consumed = records_consumed_;
+  s.records_rejected =
+      feed_rejected_ + pipeline_.stats().dropped_by_failpoint;
   for (const auto& shard : shards_) {
     s.events_after_filtering +=
         shard->events.load(std::memory_order_relaxed);
     s.failures_seen += shard->fatals.load(std::memory_order_relaxed);
+    s.records_rejected += shard->rejected.load(std::memory_order_relaxed);
+    if (shard->error) ++s.shards_quarantined;
   }
   s.warnings_issued = merger_->emitted();
   s.retrainings = scheduler_.retrainings();
   s.history_size = scheduler_.history_size();
+  s.retrain_failures = scheduler_.failures().size();
   return s;
+}
+
+std::vector<DegradationEvent> ShardedEngine::degradation_log() const {
+  std::vector<DegradationEvent> log;
+  for (const auto& failure : scheduler_.failures()) {
+    log.push_back({DegradationEvent::Kind::kRetrainFailure, failure.boundary,
+                   failure.attempts,
+                   "retraining abandoned: " + failure.error});
+  }
+  {
+    std::lock_guard lock(quarantine_mutex_);
+    log.insert(log.end(), quarantines_.begin(), quarantines_.end());
+  }
+  std::uint64_t skipped =
+      feed_rejected_ + pipeline_.stats().dropped_by_failpoint;
+  for (const auto& shard : shards_) {
+    skipped += shard->rejected.load(std::memory_order_relaxed);
+  }
+  if (skipped > 0) {
+    log.push_back({DegradationEvent::Kind::kRecordsSkipped, last_event_time_,
+                   static_cast<std::size_t>(skipped),
+                   "records dropped or drained without serving"});
+  }
+  std::stable_sort(log.begin(), log.end(),
+                   [](const DegradationEvent& a, const DegradationEvent& b) {
+                     return a.at < b.at;
+                   });
+  return log;
 }
 
 std::vector<ShardedEngine::ShardReport> ShardedEngine::shard_reports() const {

@@ -21,6 +21,8 @@
 #pragma once
 
 #include <cstddef>
+#include <mutex>
+#include <string>
 #include <vector>
 
 #include "meta/snapshot.hpp"
@@ -39,6 +41,13 @@ struct ShardedEngineConfig {
   /// stream and keep PD ticks flowing on idle midplanes.  0 disables
   /// (warnings then drain fully only at finish()).
   DurationSec heartbeat_interval = 300;
+  /// Worker-exception policy.  true (default): finish() rethrows the
+  /// first shard failure after draining — replay/test semantics.  false:
+  /// a failed shard is quarantined (it drains, its watermark keeps
+  /// advancing so the merged stream and the producer never stall, its
+  /// events are counted as rejected) and finish() returns normally with
+  /// the failure in stats()/degradation_log() — serving semantics.
+  bool rethrow_worker_errors = true;
   /// Retraining/serving knobs.  per-scope prediction and asynchronous
   /// snapshot builds are forced (per_scope_state, location_scoped,
   /// absolute ticks); the classifier experts (decision tree/neural net)
@@ -94,6 +103,12 @@ class ShardedEngine {
   /// Per-shard accounting (complete after finish()).
   std::vector<ShardReport> shard_reports() const;
 
+  /// Every degradation incident of the session, time-ordered: abandoned
+  /// retrain boundaries, quarantined shards, and a counted-skip summary
+  /// when records were dropped.  Complete after finish(); safe to call
+  /// from the producer thread at any time.
+  std::vector<DegradationEvent> degradation_log() const;
+
  private:
   struct Shard;
   class WarningMerger;
@@ -102,6 +117,7 @@ class ShardedEngine {
   void feed(const bgl::Event& event);
   void broadcast_heartbeats(TimeSec t);
   void worker(std::size_t index);
+  void note_quarantine(std::size_t index, TimeSec at, std::string what);
   std::size_t shard_of(const bgl::Event& event) const;
 
   ShardedEngineConfig config_;
@@ -116,10 +132,15 @@ class ShardedEngine {
 
   // Producer-side state.
   std::uint64_t records_consumed_ = 0;
+  std::uint64_t feed_rejected_ = 0;
   std::optional<TimeSec> next_heartbeat_;
   TimeSec last_event_time_ = 0;
   bool finished_ = false;
   SessionStats final_stats_;
+
+  // Quarantine incidents, appended by shard workers.
+  mutable std::mutex quarantine_mutex_;
+  std::vector<DegradationEvent> quarantines_;
 };
 
 }  // namespace dml::online

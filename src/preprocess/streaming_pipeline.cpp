@@ -1,5 +1,7 @@
 #include "preprocess/streaming_pipeline.hpp"
 
+#include "common/failpoint.hpp"
+
 namespace dml::preprocess {
 
 StreamingPipeline::StreamingPipeline(DurationSec threshold,
@@ -9,6 +11,16 @@ StreamingPipeline::StreamingPipeline(DurationSec threshold,
 std::optional<bgl::Event> StreamingPipeline::push(
     const bgl::RasRecord& record) {
   ++stats_.raw_records;
+  switch (common::failpoint(common::failpoints::kPreprocessPush)) {
+    case common::FailAction::kDrop:
+    case common::FailAction::kCorrupt:
+      // A corrupt raw record would be rejected by the categorizer
+      // anyway; both actions degrade to a counted drop here.
+      ++stats_.dropped_by_failpoint;
+      return std::nullopt;
+    default:
+      break;
+  }
   auto categorized = categorizer_.categorize(record);
   if (!categorized) {
     ++stats_.unclassified;

@@ -23,6 +23,9 @@ struct PipelineStats {
   std::uint64_t unclassified = 0;
   std::uint64_t after_temporal = 0;
   std::uint64_t unique_events = 0;
+  /// Records swallowed by an armed `preprocess.push` drop/corrupt
+  /// failpoint (fault injection; see common/failpoint.hpp).
+  std::uint64_t dropped_by_failpoint = 0;
   /// Unique events per facility (one Table 4 column).
   std::array<std::uint64_t, bgl::kNumFacilities> unique_per_facility{};
 

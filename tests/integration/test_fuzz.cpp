@@ -56,7 +56,7 @@ bgl::RasRecord sample_record(Rng& rng) {
 }
 
 TEST(Fuzz, RecordLineParserNeverCrashesOnMutations) {
-  Rng rng(101);
+  Rng rng(testing::fuzz_seed(101));
   for (int i = 0; i < 3000; ++i) {
     auto record = sample_record(rng);
     std::string line = logio::record_to_line(record);
@@ -73,7 +73,7 @@ TEST(Fuzz, RecordLineParserNeverCrashesOnMutations) {
 }
 
 TEST(Fuzz, LocationParserNeverCrashes) {
-  Rng rng(103);
+  Rng rng(testing::fuzz_seed(103));
   for (int i = 0; i < 5000; ++i) {
     std::string text;
     const auto len = rng.uniform_index(16);
@@ -90,7 +90,7 @@ TEST(Fuzz, LocationParserNeverCrashes) {
 }
 
 TEST(Fuzz, TimestampParserNeverCrashes) {
-  Rng rng(107);
+  Rng rng(testing::fuzz_seed(107));
   for (int i = 0; i < 5000; ++i) {
     std::string text = format_timestamp(static_cast<TimeSec>(
         rng.uniform_index(4000000000ULL)));
@@ -105,7 +105,7 @@ TEST(Fuzz, TimestampParserNeverCrashes) {
 TEST(Fuzz, RuleLineParserNeverCrashesOnMutations) {
   // Start from every rule of a real trained repository.
   const auto& repo = testing::shared_repository();
-  Rng rng(109);
+  Rng rng(testing::fuzz_seed(109));
   for (const auto& stored : repo.rules()) {
     std::string line = meta::rule_to_line(stored.rule);
     const auto clean = meta::rule_from_line(line);
@@ -119,7 +119,7 @@ TEST(Fuzz, RuleLineParserNeverCrashesOnMutations) {
 }
 
 TEST(Fuzz, ConfigParserNeverCrashesOnMutations) {
-  Rng rng(113);
+  Rng rng(testing::fuzz_seed(113));
   const std::string base = online::render_driver_config({});
   for (int i = 0; i < 500; ++i) {
     std::string text = base;
@@ -130,7 +130,7 @@ TEST(Fuzz, ConfigParserNeverCrashesOnMutations) {
 }
 
 TEST(Fuzz, LogReaderRejectsCorruptStreamsGracefully) {
-  Rng rng(127);
+  Rng rng(testing::fuzz_seed(127));
   // Serialize a small log, corrupt random bytes, and re-read: the reader
   // must either produce records or throw std::runtime_error — nothing
   // else.

@@ -76,5 +76,19 @@ TEST(EventStore, FatalPerDayEmptyRange) {
   EXPECT_TRUE(store.fatal_per_day(100, 50).empty());
 }
 
+TEST(EventStore, CarriesLoadStatsFromALenientRead) {
+  EventStore store({make_event(10, true)});
+  EXPECT_EQ(store.load_stats().skipped, 0u);  // default: nothing rejected
+  ReadStats stats;
+  stats.lines = 10;
+  stats.parsed = 8;
+  stats.note_skip(3, "bad RECID");
+  stats.note_skip(7, "bad TIMESTAMP");
+  store.set_load_stats(stats);
+  EXPECT_EQ(store.load_stats().skipped, 2u);
+  ASSERT_EQ(store.load_stats().diagnostics.size(), 2u);
+  EXPECT_EQ(store.load_stats().diagnostics[1].line, 7u);
+}
+
 }  // namespace
 }  // namespace dml::logio

@@ -118,5 +118,77 @@ TEST(TextFormat, SerializedSizeMatchesActualLine) {
   EXPECT_EQ(serialized_size(r), record_to_line(r).size() + 1);  // + newline
 }
 
+TEST(TextFormat, ParseReportsAFieldLevelReason) {
+  std::string reason;
+  EXPECT_FALSE(parse_line("no pipes at all", &reason).has_value());
+  EXPECT_EQ(reason, "expected 8 '|'-delimited fields");
+  EXPECT_FALSE(
+      parse_line("x|RAS|2005-03-01-12.30.05|77|R00-M1|KERNEL|FATAL|m",
+                 &reason)
+          .has_value());
+  EXPECT_EQ(reason, "bad RECID");
+  EXPECT_FALSE(
+      parse_line("1|RAS|not-a-time|77|R00-M1|KERNEL|FATAL|m", &reason)
+          .has_value());
+  EXPECT_EQ(reason, "bad TIMESTAMP");
+  EXPECT_FALSE(
+      parse_line("1|RAS|2005-03-01-12.30.05|77|BAD|KERNEL|FATAL|m", &reason)
+          .has_value());
+  EXPECT_EQ(reason, "bad LOCATION");
+}
+
+TEST(TextFormat, ThrownMessageCarriesLineNumberAndReason) {
+  std::stringstream stream;
+  stream << "# BGL-RAS-LOG v1 machine=ANL\n"
+         << record_to_line(sample_record()) << "\n"
+         << "1|RAS|not-a-time|77|R00-M1-N07-C12-J1|KERNEL|FATAL|m\n";
+  RecordReader reader(stream);
+  ASSERT_TRUE(reader.next().has_value());
+  try {
+    reader.next();
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("bad TIMESTAMP"), std::string::npos) << what;
+  }
+}
+
+TEST(TextFormat, LenientReaderSkipsCountsAndDiagnosesBadLines) {
+  std::stringstream stream;
+  stream << "# BGL-RAS-LOG v1 machine=ANL\n"
+         << record_to_line(sample_record()) << "\n"
+         << "garbage line\n"
+         << "x|RAS|2005-03-01-12.30.05|77|R00-M1|KERNEL|FATAL|m\n"
+         << record_to_line(sample_record()) << "\n";
+  RecordReader reader(stream, RecordReader::OnError::kSkip);
+  std::size_t records = 0;
+  while (reader.next()) ++records;
+  EXPECT_EQ(records, 2u);
+
+  const auto& stats = reader.read_stats();
+  EXPECT_EQ(stats.lines, 4u);
+  EXPECT_EQ(stats.parsed, 2u);
+  EXPECT_EQ(stats.skipped, 2u);
+  ASSERT_EQ(stats.diagnostics.size(), 2u);
+  EXPECT_EQ(stats.diagnostics[0].line, 3u);
+  EXPECT_EQ(stats.diagnostics[0].reason, "expected 8 '|'-delimited fields");
+  EXPECT_EQ(stats.diagnostics[1].line, 4u);
+  EXPECT_EQ(stats.diagnostics[1].reason, "bad RECID");
+}
+
+TEST(TextFormat, DiagnosticListIsBoundedButTheCountIsNot) {
+  std::stringstream stream;
+  stream << "# BGL-RAS-LOG v1 machine=ANL\n";
+  const std::size_t bad_lines = ReadStats::kMaxDiagnostics + 10;
+  for (std::size_t i = 0; i < bad_lines; ++i) stream << "garbage\n";
+  RecordReader reader(stream, RecordReader::OnError::kSkip);
+  while (reader.next()) {
+  }
+  const auto& stats = reader.read_stats();
+  EXPECT_EQ(stats.skipped, bad_lines);
+  EXPECT_EQ(stats.diagnostics.size(), ReadStats::kMaxDiagnostics);
+}
+
 }  // namespace
 }  // namespace dml::logio

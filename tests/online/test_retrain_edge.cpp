@@ -1,0 +1,206 @@
+// RetrainScheduler / snapshot-adoption edge cases: empty training
+// windows, adoption boundaries landing exactly on an event timestamp,
+// teardown with a build in flight, and build-failure degradation (the
+// bounded-retry / keep-last-snapshot path).
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "common/failpoint.hpp"
+#include "online/retraining.hpp"
+#include "online/sharded_engine.hpp"
+#include "support/test_fixtures.hpp"
+
+namespace dml::online {
+namespace {
+
+class RetrainEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override { common::FailpointRegistry::instance().reset(); }
+  void TearDown() override { common::FailpointRegistry::instance().reset(); }
+};
+
+RetrainPolicy edge_policy() {
+  RetrainPolicy policy;
+  policy.retrain_interval = kSecondsPerWeek;
+  policy.min_training_events = 1;
+  policy.max_build_attempts = 2;
+  policy.retry_backoff_ms = 1;
+  return policy;
+}
+
+/// Drives the scheduler through the anchoring event and returns the
+/// first due boundary at or after `t`.
+std::optional<TimeSec> anchor_and_advance(RetrainScheduler& scheduler,
+                                          TimeSec t0, TimeSec t) {
+  scheduler.boundary_due(t0);  // anchors; never returns a boundary
+  return scheduler.boundary_due(t);
+}
+
+TEST_F(RetrainEdgeTest, EmptyHistoryBoundaryIsSkippedWithoutTraining) {
+  RetrainScheduler scheduler(edge_policy());
+  const auto boundary =
+      anchor_and_advance(scheduler, 0, kSecondsPerWeek + 1);
+  ASSERT_TRUE(boundary.has_value());
+  // No events observed: the zero-event window must be a no-op, not a
+  // crash or an empty-rule-set adoption.
+  EXPECT_EQ(scheduler.fire(*boundary), RetrainScheduler::BoundaryAction::kNone);
+  EXPECT_EQ(scheduler.retrainings(), 0u);
+  EXPECT_TRUE(scheduler.failures().empty());
+  EXPECT_FALSE(scheduler.poll(*boundary).has_value());
+}
+
+TEST_F(RetrainEdgeTest, SlidingWindowTrimmedToZeroEventsIsSkipped) {
+  auto policy = edge_policy();
+  policy.training_span = kSecondsPerWeek;
+  RetrainScheduler scheduler(policy);
+  const auto& store = testing::shared_store();
+  const TimeSec origin = store.first_time();
+  scheduler.boundary_due(origin);
+  // Events only in week 0; the due boundary lands far beyond
+  // origin + training_span, so the per-boundary trim leaves nothing to
+  // train on — the boundary must be skipped, not trained empty.
+  for (const auto& event : testing::weeks_of(store, 0, 1)) {
+    scheduler.observe(event);
+  }
+  const auto boundary =
+      scheduler.boundary_due(origin + 10 * kSecondsPerWeek);
+  ASSERT_TRUE(boundary.has_value());
+  EXPECT_EQ(scheduler.fire(*boundary), RetrainScheduler::BoundaryAction::kNone);
+  EXPECT_EQ(scheduler.retrainings(), 0u);
+}
+
+TEST_F(RetrainEdgeTest, AsyncAdoptionLandsExactlyOnTheLagInstant) {
+  auto policy = edge_policy();
+  policy.async = true;
+  policy.adoption_lag = 3600;
+  RetrainScheduler scheduler(policy);
+  const auto& store = testing::shared_store();
+  const TimeSec origin = store.first_time();
+  scheduler.boundary_due(origin);
+  for (const auto& event : testing::weeks_of(store, 0, 1)) {
+    scheduler.observe(event);
+  }
+  const auto boundary = scheduler.boundary_due(origin + kSecondsPerWeek + 1);
+  ASSERT_TRUE(boundary.has_value());
+  ASSERT_EQ(scheduler.fire(*boundary),
+            RetrainScheduler::BoundaryAction::kRetrain);
+  // One tick before the adoption instant: nothing, even if the build
+  // already finished (event-time determinism).
+  EXPECT_FALSE(scheduler.poll(*boundary + policy.adoption_lag - 1));
+  // Exactly at boundary + lag — e.g. an event timestamped right on the
+  // adoption point — the build must be adopted, joining it if needed.
+  const auto build = scheduler.poll(*boundary + policy.adoption_lag);
+  ASSERT_TRUE(build.has_value());
+  EXPECT_EQ(build->scheduled_at, *boundary);
+  EXPECT_EQ(build->activate_at, *boundary + policy.adoption_lag);
+  EXPECT_TRUE(scheduler.failures().empty());
+}
+
+TEST_F(RetrainEdgeTest, SchedulerTearsDownCleanlyWithBuildInFlight) {
+  ASSERT_TRUE(common::FailpointRegistry::instance().arm_from_string(
+      "retrain.build=delay:ms=100"));
+  auto policy = edge_policy();
+  policy.async = true;
+  policy.adoption_lag = kSecondsPerWeek;  // adoption far in the future
+  {
+    RetrainScheduler scheduler(policy);
+    const auto& store = testing::shared_store();
+    const TimeSec origin = store.first_time();
+    scheduler.boundary_due(origin);
+    for (const auto& event : testing::weeks_of(store, 0, 1)) {
+      scheduler.observe(event);
+    }
+    const auto boundary =
+        scheduler.boundary_due(origin + kSecondsPerWeek + 1);
+    ASSERT_TRUE(boundary.has_value());
+    ASSERT_EQ(scheduler.fire(*boundary),
+              RetrainScheduler::BoundaryAction::kRetrain);
+    EXPECT_TRUE(scheduler.build_in_flight());
+    // Scheduler destroyed here with the delayed build still running: the
+    // destructor must join it, not crash or leak the pool task.
+  }
+  SUCCEED();
+}
+
+TEST_F(RetrainEdgeTest, EngineTearsDownCleanlyWithBuildInFlight) {
+  ASSERT_TRUE(common::FailpointRegistry::instance().arm_from_string(
+      "retrain.build=delay:ms=100"));
+  ShardedEngineConfig config;
+  config.shards = 2;
+  config.engine.retrain_interval = kSecondsPerWeek;
+  config.engine.min_training_events = 1;
+  config.engine.async_retrain = true;
+  config.engine.adoption_lag = kSecondsPerWeek;
+  {
+    // The publisher is a member of the engine: this is "publisher torn
+    // down while a retrain is in flight" — the engine (and with it the
+    // SnapshotPublisher the workers read from) dies while the build is
+    // still on the pool.  The destructor's finish() must join first.
+    ShardedEngine engine(config, nullptr);
+    const auto& store = testing::shared_store();
+    for (const auto& event : testing::weeks_of(store, 0, 2)) {
+      engine.consume(event);
+    }
+  }
+  SUCCEED();
+}
+
+TEST_F(RetrainEdgeTest, SyncBuildFailureKeepsSchedulingAndRecordsAttempts) {
+  ASSERT_TRUE(common::FailpointRegistry::instance().arm_from_string(
+      "retrain.build=throw"));
+  RetrainScheduler scheduler(edge_policy());
+  const auto& store = testing::shared_store();
+  const TimeSec origin = store.first_time();
+  scheduler.boundary_due(origin);
+  for (const auto& event : testing::weeks_of(store, 0, 1)) {
+    scheduler.observe(event);
+  }
+  const auto boundary = scheduler.boundary_due(origin + kSecondsPerWeek + 1);
+  ASSERT_TRUE(boundary.has_value());
+  EXPECT_EQ(scheduler.fire(*boundary), RetrainScheduler::BoundaryAction::kNone);
+  ASSERT_EQ(scheduler.failures().size(), 1u);
+  EXPECT_EQ(scheduler.failures()[0].boundary, *boundary);
+  EXPECT_EQ(scheduler.failures()[0].attempts, 2u);  // max_build_attempts
+  EXPECT_NE(scheduler.failures()[0].error.find("retrain.build"),
+            std::string::npos);
+
+  // Disarm and fire the next boundary: the scheduler must recover.
+  common::FailpointRegistry::instance().disarm("retrain.build");
+  const auto next =
+      scheduler.boundary_due(origin + 2 * kSecondsPerWeek + 1);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(scheduler.fire(*next), RetrainScheduler::BoundaryAction::kRetrain);
+  const auto build = scheduler.poll(*next);
+  ASSERT_TRUE(build.has_value());
+  EXPECT_TRUE(build->repository != nullptr);
+}
+
+TEST_F(RetrainEdgeTest, AsyncBuildFailureSurfacesAtTheAdoptionPoint) {
+  ASSERT_TRUE(common::FailpointRegistry::instance().arm_from_string(
+      "retrain.build=throw"));
+  auto policy = edge_policy();
+  policy.async = true;
+  policy.adoption_lag = 3600;
+  RetrainScheduler scheduler(policy);
+  const auto& store = testing::shared_store();
+  const TimeSec origin = store.first_time();
+  scheduler.boundary_due(origin);
+  for (const auto& event : testing::weeks_of(store, 0, 1)) {
+    scheduler.observe(event);
+  }
+  const auto boundary = scheduler.boundary_due(origin + kSecondsPerWeek + 1);
+  ASSERT_TRUE(boundary.has_value());
+  ASSERT_EQ(scheduler.fire(*boundary),
+            RetrainScheduler::BoundaryAction::kRetrain);
+  // The failure is converted to a RetrainFailure at the adoption point,
+  // never thrown into the serving path.
+  EXPECT_FALSE(scheduler.poll(*boundary + policy.adoption_lag).has_value());
+  ASSERT_EQ(scheduler.failures().size(), 1u);
+  EXPECT_EQ(scheduler.failures()[0].attempts, 2u);
+  // A consumed failed build leaves the scheduler free to train again.
+  EXPECT_FALSE(scheduler.build_in_flight());
+}
+
+}  // namespace
+}  // namespace dml::online

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/failpoint.hpp"
 #include "support/test_fixtures.hpp"
 
 namespace dml::online {
@@ -91,6 +92,87 @@ TEST(ShardedEngine, EmptyStreamFinishesCleanly) {
   EXPECT_EQ(stats.records_consumed, 0u);
   EXPECT_EQ(stats.warnings_issued, 0u);
   EXPECT_EQ(stats.retrainings, 0u);
+}
+
+class ShardedEngineFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { common::FailpointRegistry::instance().reset(); }
+  void TearDown() override { common::FailpointRegistry::instance().reset(); }
+};
+
+TEST_F(ShardedEngineFaultTest, BackpressuredProducerSurvivesWorkerThrow) {
+  // Capacity-1 queues put the producer to sleep on queue.push() almost
+  // immediately.  Every shard worker then throws on its first event: the
+  // quarantine drain must keep consuming so the blocked producer wakes,
+  // and finish() must rethrow the failure instead of hanging.  (Guarded
+  // by the gtest-level test timeout: a regression here deadlocks, which
+  // the suite reports as a timeout failure.)
+  ASSERT_TRUE(common::FailpointRegistry::instance().arm_from_string(
+      "shard.worker=throw"));
+  auto config = sharded_config(2);
+  config.queue_capacity = 1;
+  ShardedEngine engine(config, nullptr);
+  const auto& store = testing::shared_store();
+  const auto events = testing::weeks_of(store, 0, 2);
+  for (const auto& event : events) engine.consume(event);
+  EXPECT_THROW(engine.finish(), common::FailpointError);
+  // The rethrow must not lose the accounting of what was given up.
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.shards_quarantined, 2u);
+  EXPECT_EQ(stats.events_after_filtering + stats.records_rejected,
+            events.size());
+}
+
+TEST_F(ShardedEngineFaultTest, QuarantineModeKeepsMergedStreamFlowing) {
+  // One shard is killed mid-stream; with rethrow_worker_errors off the
+  // run must complete normally, stay time-ordered, and report the
+  // quarantine as degradation instead of throwing.
+  ASSERT_TRUE(common::FailpointRegistry::instance().arm_from_string(
+      "shard.worker=throw:after=200:max=1"));
+  auto config = sharded_config(3);
+  config.rethrow_worker_errors = false;
+  std::vector<TimeSec> issued;
+  ShardedEngine engine(config, [&](const predict::Warning& w) {
+    issued.push_back(w.issued_at);
+  });
+  const auto& store = testing::shared_store();
+  const auto events = testing::weeks_of(store, 0, 10);
+  for (const auto& event : events) engine.consume(event);
+  const auto stats = engine.finish();
+
+  EXPECT_EQ(stats.shards_quarantined, 1u);
+  EXPECT_GT(stats.records_rejected, 0u);
+  EXPECT_EQ(stats.events_after_filtering + stats.records_rejected,
+            events.size());
+  // The surviving shards' warnings still came out, in order.
+  EXPECT_GT(issued.size(), 0u);
+  for (std::size_t i = 1; i < issued.size(); ++i) {
+    ASSERT_LE(issued[i - 1], issued[i]) << "at " << i;
+  }
+  // The incident is in the degradation log, once.
+  const auto log = engine.degradation_log();
+  std::size_t quarantined = 0;
+  for (const auto& incident : log) {
+    if (incident.kind == DegradationEvent::Kind::kShardQuarantined) {
+      ++quarantined;
+      EXPECT_NE(incident.detail.find("shard.worker"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(quarantined, 1u);
+}
+
+TEST_F(ShardedEngineFaultTest, FeedDropFailpointIsCountedNotServed) {
+  ASSERT_TRUE(common::FailpointRegistry::instance().arm_from_string(
+      "engine.feed=drop:p=0.2"));
+  ShardedEngine engine(sharded_config(2), nullptr);
+  const auto& store = testing::shared_store();
+  const auto events = testing::weeks_of(store, 0, 4);
+  for (const auto& event : events) engine.consume(event);
+  const auto stats = engine.finish();
+  EXPECT_GT(stats.records_rejected, 0u);
+  EXPECT_EQ(stats.events_after_filtering + stats.records_rejected,
+            events.size());
+  EXPECT_EQ(stats.records_consumed, events.size());
 }
 
 }  // namespace

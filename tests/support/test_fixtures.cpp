@@ -1,5 +1,8 @@
 #include "support/test_fixtures.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "predict/reviser.hpp"
 
 namespace dml::testing {
@@ -47,6 +50,21 @@ std::span<const bgl::Event> weeks_of(const logio::EventStore& store, int from,
   const TimeSec origin = store.first_time();
   return store.between(origin + from * kSecondsPerWeek,
                        origin + to * kSecondsPerWeek);
+}
+
+std::uint64_t fuzz_seed(std::uint64_t fallback) {
+  std::uint64_t seed = fallback;
+  if (const char* env = std::getenv("DMLFP_TEST_SEED")) {
+    char* end = nullptr;
+    const auto parsed = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0') seed = parsed;
+  }
+  // Printed unconditionally: a failure report must carry the seed needed
+  // to replay it (DMLFP_TEST_SEED=<seed>).
+  std::printf("[   SEED   ] DMLFP_TEST_SEED=%llu\n",
+              static_cast<unsigned long long>(seed));
+  std::fflush(stdout);
+  return seed;
 }
 
 }  // namespace dml::testing

@@ -33,4 +33,10 @@ const meta::KnowledgeRepository& shared_repository();
 std::span<const bgl::Event> weeks_of(const logio::EventStore& store, int from,
                                      int to);
 
+/// Seed for randomized (fuzz/stress/chaos) tests: `fallback` unless the
+/// DMLFP_TEST_SEED environment variable overrides it.  Always prints the
+/// seed in use, so a failing run can be replayed with
+/// `DMLFP_TEST_SEED=<seed> ctest -R <test>`.
+std::uint64_t fuzz_seed(std::uint64_t fallback);
+
 }  // namespace dml::testing

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/civil_time.hpp"
+#include "common/failpoint.hpp"
 #include "loggen/generator.hpp"
 #include "logio/record_sink.hpp"
 #include "logio/text_format.hpp"
@@ -108,6 +109,10 @@ int usage() {
       "            [--training-weeks 26] [--retrain-weeks 4] [--window 300]\n"
       "            [--no-reviser] [--report FILE]  full dynamic driver\n"
       "            [--threads N]  N-shard concurrent serving replay\n"
+      "            [--failpoint NAME=SPEC[,NAME=SPEC...]]  arm fault\n"
+      "            injection; SPEC is throw|delay|drop|corrupt|off with\n"
+      "            optional :p=PROB :ms=MILLIS :after=N :max=N\n"
+      "            [--failpoint-seed S]  RNG seed for probabilistic faults\n"
       "  config-template                           print a config file\n");
   return 2;
 }
@@ -120,14 +125,52 @@ std::optional<logio::EventStore> load_events(const std::string& path,
     return std::nullopt;
   }
   preprocess::PreprocessPipeline pipeline(threshold);
-  try {
-    logio::RecordReader reader(file);
-    while (auto record = reader.next()) pipeline.consume(*record);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "dmlfp: %s\n", e.what());
-    return std::nullopt;
+  // Lenient mode: a malformed line is counted and skipped (with a
+  // bounded diagnostic list), not fatal — a real log tail may be torn.
+  logio::RecordReader reader(file, logio::RecordReader::OnError::kSkip);
+  while (auto record = reader.next()) pipeline.consume(*record);
+  const auto& read_stats = reader.read_stats();
+  if (read_stats.skipped > 0) {
+    std::fprintf(stderr,
+                 "dmlfp: skipped %llu of %llu malformed line(s) in %s\n",
+                 static_cast<unsigned long long>(read_stats.skipped),
+                 static_cast<unsigned long long>(read_stats.lines),
+                 path.c_str());
+    for (const auto& diagnostic : read_stats.diagnostics) {
+      std::fprintf(stderr, "dmlfp:   line %llu: %s\n",
+                   static_cast<unsigned long long>(diagnostic.line),
+                   diagnostic.reason.c_str());
+    }
+    if (read_stats.skipped > read_stats.diagnostics.size()) {
+      std::fprintf(stderr, "dmlfp:   ... and %llu more\n",
+                   static_cast<unsigned long long>(
+                       read_stats.skipped - read_stats.diagnostics.size()));
+    }
   }
-  return pipeline.take_store();
+  auto store = pipeline.take_store();
+  store.set_load_stats(read_stats);
+  return store;
+}
+
+/// Prints the post-run fault-injection accounting: what fired, and what
+/// the engine gave up (degradation incidents), on stderr so a piped
+/// report stays clean.
+void print_failpoint_summary(
+    const std::vector<dml::online::DegradationEvent>& degradations) {
+  for (const auto& incident : degradations) {
+    std::fprintf(stderr, "dmlfp: degraded [%s] at t=%lld (count %zu): %s\n",
+                 std::string(to_string(incident.kind)).c_str(),
+                 static_cast<long long>(incident.at), incident.count,
+                 incident.detail.c_str());
+  }
+  for (const auto& [name, stats] : common::FailpointRegistry::instance().all()) {
+    if (stats.evaluations == 0 && stats.triggers == 0) continue;
+    std::fprintf(stderr,
+                 "dmlfp: failpoint %s: %llu evaluation(s), %llu trigger(s)\n",
+                 name.c_str(),
+                 static_cast<unsigned long long>(stats.evaluations),
+                 static_cast<unsigned long long>(stats.triggers));
+  }
 }
 
 int cmd_generate(const Flags& flags) {
@@ -303,6 +346,9 @@ int run_sharded(const online::DriverConfig& config,
 
   online::ShardedEngineConfig sharded;
   sharded.shards = static_cast<std::size_t>(threads);
+  // Serving semantics at the CLI: a quarantined shard degrades the run
+  // (reported below) instead of aborting it.
+  sharded.rethrow_worker_errors = false;
   sharded.engine.prediction_window = config.prediction_window;
   sharded.engine.clock_tick = config.clock_tick;
   sharded.engine.retrain_interval =
@@ -364,6 +410,16 @@ int run_sharded(const online::DriverConfig& config,
   std::printf("overall: precision %.3f, recall %.3f\n",
               stats::precision(evaluation.overall),
               stats::recall(evaluation.overall));
+  if (stats.records_rejected > 0 || stats.retrain_failures > 0 ||
+      stats.shards_quarantined > 0) {
+    std::printf(
+        "degraded: %llu record(s) rejected, %llu retrain failure(s), "
+        "%llu shard(s) quarantined\n",
+        static_cast<unsigned long long>(stats.records_rejected),
+        static_cast<unsigned long long>(stats.retrain_failures),
+        static_cast<unsigned long long>(stats.shards_quarantined));
+  }
+  print_failpoint_summary(engine.degradation_log());
   return 0;
 }
 
@@ -372,6 +428,29 @@ int cmd_run(const Flags& flags) {
   if (!log_path) {
     std::fprintf(stderr, "dmlfp run: --log is required\n");
     return 2;
+  }
+  // Arm fault injection before touching the log: logio.parse applies to
+  // loading as well as the run itself.
+  if (flags.has("failpoint-seed")) {
+    common::FailpointRegistry::instance().reseed(
+        static_cast<std::uint64_t>(flags.get_long("failpoint-seed", 0)));
+  }
+  if (const auto failpoints = flags.get("failpoint")) {
+    std::string_view rest = *failpoints;
+    while (!rest.empty()) {
+      const auto comma = rest.find(',');
+      const auto assignment = rest.substr(0, comma);
+      rest = comma == std::string_view::npos ? std::string_view{}
+                                             : rest.substr(comma + 1);
+      std::string error;
+      if (!common::FailpointRegistry::instance().arm_from_string(assignment,
+                                                                 &error)) {
+        std::fprintf(stderr, "dmlfp run: bad --failpoint '%.*s': %s\n",
+                     static_cast<int>(assignment.size()), assignment.data(),
+                     error.c_str());
+        return 2;
+      }
+    }
   }
   const auto store = load_events(*log_path, 300);
   if (!store) return 1;
@@ -439,6 +518,7 @@ int cmd_run(const Flags& flags) {
   table.print(std::cout);
   std::printf("overall: precision %.3f, recall %.3f\n",
               result.overall_precision(), result.overall_recall());
+  print_failpoint_summary({});
   return 0;
 }
 
