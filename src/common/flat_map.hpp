@@ -1,0 +1,133 @@
+// Open-addressing hash map for unsigned-integer keys on serving hot
+// paths.  One flat slot array, linear probing, backward-shift deletion
+// (no tombstones), power-of-two capacity: a lookup is one multiply-shift
+// hash plus a short contiguous scan, instead of the pointer chase of
+// std::unordered_map's separate chaining.  The predictor keys recent
+// counts, scoped counts and active-warning deadlines with this; those
+// maps are hit 4-6 times per served event.
+//
+// Not a general-purpose container: keys are values (no sentinel is
+// reserved — occupancy is a per-slot flag), iteration order is
+// unspecified, and pointers/references are invalidated by any insert.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace dml::common {
+
+template <typename K, typename V>
+class FlatMap {
+  static_assert(std::is_unsigned_v<K>, "FlatMap keys are unsigned integers");
+
+ public:
+  FlatMap() = default;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void clear() {
+    slots_.clear();
+    mask_ = 0;
+    size_ = 0;
+  }
+
+  bool contains(K key) const { return find(key) != nullptr; }
+
+  const V* find(K key) const {
+    if (slots_.empty()) return nullptr;
+    std::size_t i = index_of(key);
+    while (slots_[i].used) {
+      if (slots_[i].key == key) return &slots_[i].value;
+      i = (i + 1) & mask_;
+    }
+    return nullptr;
+  }
+
+  V* find(K key) {
+    return const_cast<V*>(std::as_const(*this).find(key));
+  }
+
+  /// Inserts a default V when absent (like std::unordered_map::operator[]).
+  V& operator[](K key) {
+    if (slots_.empty() || (size_ + 1) * 4 > slots_.size() * 3) grow();
+    std::size_t i = index_of(key);
+    while (slots_[i].used) {
+      if (slots_[i].key == key) return slots_[i].value;
+      i = (i + 1) & mask_;
+    }
+    slots_[i].used = true;
+    slots_[i].key = key;
+    slots_[i].value = V{};
+    ++size_;
+    return slots_[i].value;
+  }
+
+  /// Removes `key` if present (returns whether it was).  Backward-shift:
+  /// every displaced follower in the probe chain moves one slot closer
+  /// to its ideal position, so lookups never traverse deleted slots.
+  bool erase(K key) {
+    if (slots_.empty()) return false;
+    std::size_t i = index_of(key);
+    while (slots_[i].used && slots_[i].key != key) i = (i + 1) & mask_;
+    if (!slots_[i].used) return false;
+    std::size_t hole = i;
+    std::size_t cur = (i + 1) & mask_;
+    while (slots_[cur].used) {
+      const std::size_t ideal = index_of(slots_[cur].key);
+      // Movable iff its probe distance reaches back to the hole.
+      if (((cur - ideal) & mask_) >= ((cur - hole) & mask_)) {
+        slots_[hole].key = slots_[cur].key;
+        slots_[hole].value = std::move(slots_[cur].value);
+        hole = cur;
+      }
+      cur = (cur + 1) & mask_;
+    }
+    slots_[hole].used = false;
+    --size_;
+    return true;
+  }
+
+  /// Visits every (key, value) pair in unspecified order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& slot : slots_) {
+      if (slot.used) fn(slot.key, slot.value);
+    }
+  }
+
+ private:
+  struct Slot {
+    K key{};
+    V value{};
+    bool used = false;
+  };
+
+  std::size_t index_of(K key) const {
+    // Fibonacci multiply-shift; the high bits carry the mix.
+    std::uint64_t h = static_cast<std::uint64_t>(key);
+    h *= 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 32;
+    return static_cast<std::size_t>(h) & mask_;
+  }
+
+  void grow() {
+    const std::size_t capacity = slots_.empty() ? 16 : slots_.size() * 2;
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(capacity, Slot{});
+    mask_ = capacity - 1;
+    size_ = 0;
+    for (Slot& slot : old) {
+      if (slot.used) (*this)[slot.key] = std::move(slot.value);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace dml::common

@@ -48,13 +48,26 @@ void ThreadPool::worker_loop() {
   }
 }
 
+std::size_t ThreadPool::max_parallel_chunks() const {
+  return t_pool_worker ? 1 : size() + 1;
+}
+
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& fn) {
+  parallel_for_ranges(begin, end,
+                      [&fn](std::size_t, std::size_t lo, std::size_t hi) {
+                        for (std::size_t i = lo; i < hi; ++i) fn(i);
+                      });
+}
+
+void ThreadPool::parallel_for_ranges(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
-  const std::size_t num_chunks = std::min(n, size() + 1);
-  if (num_chunks <= 1 || t_pool_worker) {
-    for (std::size_t i = begin; i < end; ++i) fn(i);
+  const std::size_t num_chunks = std::min(n, max_parallel_chunks());
+  if (num_chunks <= 1) {
+    fn(0, begin, end);
     return;
   }
   const std::size_t chunk = (n + num_chunks - 1) / num_chunks;
@@ -72,10 +85,10 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   const auto run_chunk = [&](std::size_t index, std::size_t lo,
                              std::size_t hi) {
     try {
-      for (std::size_t i = lo; i < hi; ++i) {
-        if (failed.load(std::memory_order_relaxed)) return;
-        fn(i);
-      }
+      // Chunks not yet started are abandoned after a failure (best
+      // effort); a running chunk finishes its range.
+      if (failed.load(std::memory_order_relaxed)) return;
+      fn(index, lo, hi);
     } catch (...) {
       failed.store(true, std::memory_order_relaxed);
       std::scoped_lock lock(error_mutex);

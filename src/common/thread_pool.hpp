@@ -53,6 +53,26 @@ class ThreadPool {
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
 
+  /// Upper bound on the chunk count parallel_for_ranges will use from
+  /// the calling context: pool size + 1 (the caller works too), or 1
+  /// when called from a pool worker (nested calls degrade to serial).
+  /// Size per-chunk accumulation buffers with this.
+  std::size_t max_parallel_chunks() const;
+
+  /// Range form of parallel_for: partitions [begin, end) into at most
+  /// max_parallel_chunks() contiguous ranges and runs
+  /// fn(chunk_index, lo, hi) once per range — one task dispatch per
+  /// chunk rather than per index, so fine-grained loops (Apriori
+  /// support counting) can keep per-chunk state without paying a
+  /// std::function call per element.  chunk_index values are dense in
+  /// [0, max_parallel_chunks()).  Exception propagation and nested-call
+  /// behaviour match parallel_for: every chunk is joined before
+  /// returning and the lowest-indexed failing chunk's exception is
+  /// rethrown.
+  void parallel_for_ranges(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
   /// Shared process-wide pool sized to the machine.
   static ThreadPool& shared();
 

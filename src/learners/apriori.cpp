@@ -1,11 +1,12 @@
 #include "learners/apriori.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
-#include <map>
 #include <optional>
 
 #include "common/thread_pool.hpp"
+#include "learners/transactions.hpp"
 
 namespace dml::learners {
 namespace {
@@ -40,29 +41,56 @@ bool all_subsets_frequent(const Itemset& candidate,
   return true;
 }
 
-std::vector<std::uint32_t> count_support(std::span<const Itemset> transactions,
-                                         const std::vector<Itemset>& candidates,
-                                         std::size_t parallel_threshold) {
-  std::vector<std::uint32_t> counts(candidates.size(), 0);
-  const std::size_t work = transactions.size() * candidates.size();
-  if (work < parallel_threshold || dml::ThreadPool::shared().size() <= 1) {
-    for (const Itemset& tx : transactions) {
+/// Counts candidate support with word-wise subset tests over the bitset
+/// rows: transaction t supports candidate c iff every word of c's mask
+/// is covered by t's row.  Transactions are chunked across the pool
+/// (one task per chunk) with per-chunk count buffers, so there is no
+/// write sharing and no per-index dispatch.
+std::vector<std::uint32_t> count_support_bitset(
+    const TransactionBitsets& bits, const std::vector<Itemset>& candidates,
+    std::size_t parallel_threshold) {
+  const std::size_t words = bits.words_per_row;
+  const std::size_t rows = bits.rows();
+  // Candidate masks, row-major like the transactions.
+  std::vector<std::uint64_t> masks(candidates.size() * words, 0);
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    std::uint64_t* mask = masks.data() + c * words;
+    for (CategoryId d : candidates[c]) {
+      mask[d >> 6] |= std::uint64_t{1} << (d & 63);
+    }
+  }
+
+  auto count_range = [&](std::size_t lo, std::size_t hi,
+                         std::uint32_t* counts) {
+    for (std::size_t t = lo; t < hi; ++t) {
+      const std::uint64_t* row = bits.row(t);
       for (std::size_t c = 0; c < candidates.size(); ++c) {
-        if (contains_sorted(tx, candidates[c])) ++counts[c];
+        if (bitset_contains(row, masks.data() + c * words, words)) {
+          ++counts[c];
+        }
       }
     }
+  };
+
+  const std::size_t work = rows * candidates.size();
+  auto& pool = dml::ThreadPool::shared();
+  if (work < parallel_threshold || pool.max_parallel_chunks() <= 1) {
+    std::vector<std::uint32_t> counts(candidates.size(), 0);
+    count_range(0, rows, counts.data());
     return counts;
   }
-  // Parallel: each worker owns a candidate slice, scanning all
-  // transactions — no write sharing.
-  dml::ThreadPool::shared().parallel_for(
-      0, candidates.size(), [&](std::size_t c) {
-        std::uint32_t n = 0;
-        for (const Itemset& tx : transactions) {
-          if (contains_sorted(tx, candidates[c])) ++n;
-        }
-        counts[c] = n;
-      });
+  std::vector<std::vector<std::uint32_t>> per_chunk(
+      pool.max_parallel_chunks(),
+      std::vector<std::uint32_t>(candidates.size(), 0));
+  pool.parallel_for_ranges(0, rows,
+                           [&](std::size_t chunk, std::size_t lo,
+                               std::size_t hi) {
+                             count_range(lo, hi, per_chunk[chunk].data());
+                           });
+  std::vector<std::uint32_t> counts(candidates.size(), 0);
+  for (const auto& partial : per_chunk) {
+    for (std::size_t c = 0; c < counts.size(); ++c) counts[c] += partial[c];
+  }
   return counts;
 }
 
@@ -81,47 +109,112 @@ std::vector<FrequentItemset> mine_frequent_itemsets(
       1.0,
       std::ceil(config.min_support * static_cast<double>(transactions.size()))));
 
-  // L1: single-item counts.
-  std::map<CategoryId, std::uint32_t> singles;
+  // Remap the live categories onto [0, n): flat arrays instead of hash
+  // maps, and ascending dense order == ascending CategoryId order, so
+  // results come out in the same size-then-lexicographic sequence as the
+  // classic formulation.
+  const DenseCategoryMap dense = build_dense_category_map(transactions);
+  const std::size_t n = dense.size();
+  if (n == 0) return result;
+
+  // L1: single-item counts in one dense array pass.
+  std::vector<std::uint32_t> singles(n, 0);
   for (const Itemset& tx : transactions) {
-    for (CategoryId item : tx) ++singles[item];
+    for (CategoryId item : tx) ++singles[dense.dense_of(item)];
   }
-  std::vector<Itemset> frequent;  // current level, sorted
-  for (const auto& [item, count] : singles) {
-    if (count >= min_count) {
-      frequent.push_back({item});
-      result.push_back({{item}, count});
+  // Frequent itemsets carry *dense* ids until the final mapping back.
+  std::vector<Itemset> frequent;
+  for (std::size_t d = 0; d < n; ++d) {
+    if (singles[d] >= min_count) {
+      frequent.push_back({static_cast<CategoryId>(d)});
+      result.push_back({{static_cast<CategoryId>(d)}, singles[d]});
     }
   }
 
-  for (std::size_t level = 2;
-       level <= config.max_items && frequent.size() >= 2; ++level) {
-    std::vector<Itemset> candidates;
-    for (std::size_t i = 0; i < frequent.size(); ++i) {
-      for (std::size_t j = i + 1; j < frequent.size(); ++j) {
-        auto candidate = join(frequent[i], frequent[j]);
-        if (!candidate) {
-          // frequent is sorted lexicographically: once prefixes diverge,
-          // no later j will share i's prefix.
-          break;
+  if (config.max_items >= 2 && frequent.size() >= 2) {
+    // L2 is counted vertically: one tidset bitmap per frequent single
+    // (bit t set iff transaction t contains the item), pair support =
+    // popcount of the AND.  Every pair of frequent singles is a valid
+    // candidate (the prune is vacuous at k=2), in the same (i, j)
+    // lexicographic order as join-based generation.
+    const std::size_t f = frequent.size();
+    const std::size_t tid_words = (transactions.size() + 63) / 64;
+    std::vector<std::uint64_t> tids(f * tid_words, 0);
+    std::vector<CategoryId> single_to_rank(n, kInvalidCategory);
+    for (std::size_t r = 0; r < f; ++r) {
+      single_to_rank[frequent[r][0]] = static_cast<CategoryId>(r);
+    }
+    for (std::size_t t = 0; t < transactions.size(); ++t) {
+      for (CategoryId item : transactions[t]) {
+        const CategoryId rank = single_to_rank[dense.dense_of(item)];
+        if (rank == kInvalidCategory) continue;
+        tids[rank * tid_words + (t >> 6)] |= std::uint64_t{1} << (t & 63);
+      }
+    }
+    std::vector<Itemset> pairs;
+    std::vector<std::uint32_t> pair_counts;
+    for (std::size_t i = 0; i < f; ++i) {
+      const std::uint64_t* a = tids.data() + i * tid_words;
+      for (std::size_t j = i + 1; j < f; ++j) {
+        const std::uint64_t* b = tids.data() + j * tid_words;
+        std::uint32_t count = 0;
+        for (std::size_t w = 0; w < tid_words; ++w) {
+          count += static_cast<std::uint32_t>(std::popcount(a[w] & b[w]));
         }
-        if (all_subsets_frequent(*candidate, frequent)) {
-          candidates.push_back(std::move(*candidate));
+        if (count >= min_count) {
+          pairs.push_back({frequent[i][0], frequent[j][0]});
+          pair_counts.push_back(count);
         }
       }
     }
-    if (candidates.empty()) break;
+    for (std::size_t c = 0; c < pairs.size(); ++c) {
+      result.push_back({pairs[c], pair_counts[c]});
+    }
+    frequent = std::move(pairs);
+  }
 
-    const auto counts = count_support(transactions, candidates,
-                                      config.parallel_work_threshold);
-    std::vector<Itemset> next;
-    for (std::size_t c = 0; c < candidates.size(); ++c) {
-      if (counts[c] >= min_count) {
-        result.push_back({candidates[c], counts[c]});
-        next.push_back(std::move(candidates[c]));
+  // L3+: classic join-and-prune candidate generation over dense ids;
+  // support counted horizontally with fixed-width bitset rows (at most
+  // ceil(n/64) words per transaction).
+  if (config.max_items >= 3 && frequent.size() >= 2) {
+    const TransactionBitsets bits = encode_transaction_bitsets(
+        transactions, dense);
+    for (std::size_t level = 3;
+         level <= config.max_items && frequent.size() >= 2; ++level) {
+      std::vector<Itemset> candidates;
+      for (std::size_t i = 0; i < frequent.size(); ++i) {
+        for (std::size_t j = i + 1; j < frequent.size(); ++j) {
+          auto candidate = join(frequent[i], frequent[j]);
+          if (!candidate) {
+            // frequent is sorted lexicographically: once prefixes
+            // diverge, no later j will share i's prefix.
+            break;
+          }
+          if (all_subsets_frequent(*candidate, frequent)) {
+            candidates.push_back(std::move(*candidate));
+          }
+        }
       }
+      if (candidates.empty()) break;
+
+      const auto counts = count_support_bitset(
+          bits, candidates, config.parallel_work_threshold);
+      std::vector<Itemset> next;
+      for (std::size_t c = 0; c < candidates.size(); ++c) {
+        if (counts[c] >= min_count) {
+          result.push_back({candidates[c], counts[c]});
+          next.push_back(std::move(candidates[c]));
+        }
+      }
+      frequent = std::move(next);  // already lexicographically ordered
     }
-    frequent = std::move(next);  // already lexicographically ordered
+  }
+
+  // Map dense ids back to original categories.  The remap is monotone,
+  // so sortedness and ordering are untouched; L1 entries were emitted
+  // with dense ids too, so one pass rewrites everything.
+  for (auto& fi : result) {
+    for (CategoryId& item : fi.items) item = dense.to_original[item];
   }
   return result;
 }

@@ -1,8 +1,14 @@
-// Hand-rolled Apriori frequent-itemset miner over category transactions
-// ("we then apply the standard association rule algorithm", paper §4.1).
-// Itemsets are sorted CategoryId vectors; candidate generation is the
-// classic join-and-prune; support counting is chunked across the shared
-// thread pool for large transaction databases.
+// Apriori frequent-itemset miner over category transactions ("we then
+// apply the standard association rule algorithm", paper §4.1).  Itemsets
+// are sorted CategoryId vectors; candidate generation is the classic
+// join-and-prune.  Counting is layout-optimized (DESIGN.md §9): live
+// categories are remapped to a dense id space, L2 support is computed
+// vertically (per-item tidset bitmaps, pair support = popcount of the
+// AND), and L3+ candidates are tested word-wise against fixed-width
+// transaction bitsets, chunked across the shared thread pool with
+// per-chunk count buffers.  The frequent-itemset multiset and its
+// ordering are bit-identical to the textbook formulation (golden tests
+// enforce this against a reference miner).
 #pragma once
 
 #include <cstdint>

@@ -27,14 +27,25 @@ std::vector<Rule> AssociationLearner::learn(
   apriori.max_items = config_.max_antecedent;
   const auto frequent = mine_frequent_itemsets(itemsets, apriori);
 
+  // Rule extraction reuses the miner's dense bitset layout: one subset
+  // test per (frequent itemset, transaction) is a few word-wise ANDs.
+  const auto dense = build_dense_category_map(itemsets);
+  const auto bits = encode_transaction_bitsets(itemsets, dense);
+  std::vector<std::uint64_t> mask(bits.words_per_row);
+
   // For each frequent X and fatal f: support(X -> f) = |tx containing X
   // with consequent f| / N, confidence = that count / |tx containing X|.
   for (const auto& fi : frequent) {
     if (fi.items.size() < config_.min_antecedent) continue;
+    std::fill(mask.begin(), mask.end(), 0);
+    for (CategoryId item : fi.items) {
+      const CategoryId d = dense.dense_of(item);
+      mask[d >> 6] |= std::uint64_t{1} << (d & 63);
+    }
     std::map<CategoryId, std::uint32_t> per_consequent;
-    for (const auto& tx : transactions) {
-      if (contains_sorted(tx.items, fi.items)) {
-        ++per_consequent[tx.consequent];
+    for (std::size_t t = 0; t < transactions.size(); ++t) {
+      if (bitset_contains(bits.row(t), mask.data(), bits.words_per_row)) {
+        ++per_consequent[transactions[t].consequent];
       }
     }
     for (const auto& [consequent, count] : per_consequent) {

@@ -69,27 +69,90 @@ std::vector<std::vector<CategoryId>> sample_negative_windows(
   if (events.empty() || stride <= 0) return windows;
   const TimeSec first = events.front().time;
   const TimeSec last = events.back().time;
+  // Sliding state for [begin, begin + window): per-category counts of the
+  // non-fatal events inside the window, the sorted set of distinct
+  // non-fatal categories, and a fatal counter.  `hi` chases the window's
+  // end and `lo` its start; each event enters and leaves exactly once
+  // across the whole sweep, and emitting a window is a copy of `present`
+  // rather than a rescan of anything.
+  std::vector<std::uint32_t> counts;
+  std::vector<CategoryId> present;
+  std::size_t fatals = 0;
   std::size_t lo = 0;
+  std::size_t hi = 0;
   for (TimeSec begin = first; begin + window <= last; begin += stride) {
     const TimeSec end = begin + window;
-    while (lo < events.size() && events[lo].time < begin) ++lo;
-    std::size_t hi = lo;
-    bool has_fatal = false;
-    std::vector<CategoryId> items;
     while (hi < events.size() && events[hi].time < end) {
-      if (events[hi].fatal) {
-        has_fatal = true;
-      } else {
-        items.push_back(events[hi].category);
+      const auto& e = events[hi++];
+      if (e.fatal) {
+        ++fatals;
+        continue;
       }
-      ++hi;
+      if (e.category >= counts.size()) counts.resize(e.category + 1, 0);
+      if (counts[e.category]++ == 0) {
+        present.insert(
+            std::lower_bound(present.begin(), present.end(), e.category),
+            e.category);
+      }
     }
-    if (has_fatal || items.empty()) continue;
-    std::sort(items.begin(), items.end());
-    items.erase(std::unique(items.begin(), items.end()), items.end());
-    windows.push_back(std::move(items));
+    while (lo < hi && events[lo].time < begin) {
+      const auto& e = events[lo++];
+      if (e.fatal) {
+        --fatals;
+        continue;
+      }
+      if (--counts[e.category] == 0) {
+        present.erase(
+            std::lower_bound(present.begin(), present.end(), e.category));
+      }
+    }
+    if (fatals > 0 || present.empty()) continue;
+    windows.push_back(present);
   }
   return windows;
+}
+
+DenseCategoryMap build_dense_category_map(
+    std::span<const std::vector<CategoryId>> transactions) {
+  DenseCategoryMap map;
+  CategoryId max_category = 0;
+  bool any = false;
+  for (const auto& tx : transactions) {
+    if (tx.empty()) continue;
+    any = true;
+    max_category = std::max(max_category, tx.back());  // sorted: back is max
+  }
+  if (!any) return map;
+  std::vector<bool> present(static_cast<std::size_t>(max_category) + 1, false);
+  for (const auto& tx : transactions) {
+    for (CategoryId item : tx) present[item] = true;
+  }
+  map.to_dense.assign(present.size(), kInvalidCategory);
+  for (std::size_t c = 0; c < present.size(); ++c) {
+    if (present[c]) {
+      map.to_dense[c] = static_cast<CategoryId>(map.to_original.size());
+      map.to_original.push_back(static_cast<CategoryId>(c));
+    }
+  }
+  return map;
+}
+
+TransactionBitsets encode_transaction_bitsets(
+    std::span<const std::vector<CategoryId>> transactions,
+    const DenseCategoryMap& map) {
+  TransactionBitsets bits;
+  bits.words_per_row = (map.size() + 63) / 64;
+  if (bits.words_per_row == 0) return bits;
+  bits.words.assign(transactions.size() * bits.words_per_row, 0);
+  for (std::size_t t = 0; t < transactions.size(); ++t) {
+    std::uint64_t* row = bits.words.data() + t * bits.words_per_row;
+    for (CategoryId item : transactions[t]) {
+      const CategoryId d = map.dense_of(item);
+      if (d == kInvalidCategory) continue;
+      row[d >> 6] |= std::uint64_t{1} << (d & 63);
+    }
+  }
+  return bits;
 }
 
 }  // namespace dml::learners

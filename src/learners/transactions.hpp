@@ -42,9 +42,74 @@ std::vector<Transaction> collapse_cascade_transactions(
     std::vector<Transaction> transactions, DurationSec window);
 
 /// Item sets of non-fatal categories observed in failure-free windows,
-/// sampled by sliding a Wp-wide window with the given stride.  Not used
-/// by the paper's miner (kept for the negative-sampling ablation bench).
+/// sampled by sliding a Wp-wide window with the given stride.  A true
+/// sliding window: per-category counts are updated incrementally as the
+/// window advances, so the cost is O(events + windows) instead of
+/// re-scanning every window from its low edge.  Not used by the paper's
+/// miner (kept for the negative-sampling ablation bench).
 std::vector<std::vector<CategoryId>> sample_negative_windows(
     std::span<const bgl::Event> events, DurationSec window, DurationSec stride);
+
+// ---- Dense category ids + bitset transaction encoding -----------------
+//
+// CategoryId is a uint16 over a ~219-entry taxonomy, but any one
+// retrain's transaction database touches far fewer live categories.
+// Remapping the live set to a dense id space [0, n) lets the miner use
+// flat arrays instead of hash maps and encode each transaction as a
+// fixed-width bitset of ceil(n/64) words, so an antecedent-subset test
+// is a handful of word-wise ANDs instead of a std::includes merge walk.
+
+/// Order-preserving remap of the categories present in a transaction
+/// database onto [0, size()).  Ascending CategoryId maps to ascending
+/// dense id, so lexicographic itemset order is preserved either way.
+struct DenseCategoryMap {
+  /// dense id -> original category, ascending.
+  std::vector<CategoryId> to_original;
+  /// original category -> dense id; kInvalidCategory entries are absent.
+  /// Sized to the largest live category + 1.
+  std::vector<CategoryId> to_dense;
+
+  std::size_t size() const { return to_original.size(); }
+
+  CategoryId dense_of(CategoryId original) const {
+    return original < to_dense.size() ? to_dense[original] : kInvalidCategory;
+  }
+};
+
+/// Builds the dense remap over every category occurring in `transactions`
+/// (each a sorted unique item list).
+DenseCategoryMap build_dense_category_map(
+    std::span<const std::vector<CategoryId>> transactions);
+
+/// Transaction database as fixed-width bitset rows over dense ids: row t
+/// has bit d set iff transaction t contains dense category d.
+struct TransactionBitsets {
+  std::size_t words_per_row = 0;
+  std::vector<std::uint64_t> words;  // row-major, rows * words_per_row
+
+  std::size_t rows() const {
+    return words_per_row == 0 ? 0 : words.size() / words_per_row;
+  }
+  const std::uint64_t* row(std::size_t t) const {
+    return words.data() + t * words_per_row;
+  }
+};
+
+/// Encodes each transaction as a dense bitset row.  Items not present in
+/// `map` are skipped.
+TransactionBitsets encode_transaction_bitsets(
+    std::span<const std::vector<CategoryId>> transactions,
+    const DenseCategoryMap& map);
+
+/// True if every set bit of `subset` (a words_per_row-long mask) is set
+/// in `row` — the word-wise replacement for contains_sorted on the
+/// mining hot path.
+inline bool bitset_contains(const std::uint64_t* row,
+                            const std::uint64_t* subset, std::size_t words) {
+  for (std::size_t w = 0; w < words; ++w) {
+    if ((row[w] & subset[w]) != subset[w]) return false;
+  }
+  return true;
+}
 
 }  // namespace dml::learners

@@ -34,6 +34,7 @@ OnlineEngineConfig engine_config(const DriverConfig& config,
   ec.window_candidates = config.window_candidates;
   ec.validation_fraction = config.validation_fraction;
   ec.async_retrain = false;
+  ec.profile = config.profile;
   return ec;
 }
 
@@ -142,6 +143,7 @@ DriverResult DynamicDriver::run(const logio::EventStore& store) const {
 
     result.intervals.push_back(std::move(interval));
   }
+  result.engine_stats = engine.stats();
   return result;
 }
 

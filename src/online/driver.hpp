@@ -51,6 +51,9 @@ struct DriverConfig {
   std::vector<DurationSec> window_candidates = {60, 300, 900, 1800};
   /// Fraction of the training span held out for window selection.
   double validation_fraction = 0.25;
+  /// Time the serving path inside the engine (per-event observation);
+  /// surfaced as DriverResult::engine_stats.serving_seconds.
+  bool profile = false;
 };
 
 /// Outcome of one retrain-then-predict interval.
@@ -94,6 +97,10 @@ struct IntervalResult {
 
 struct DriverResult {
   std::vector<IntervalResult> intervals;
+
+  /// Whole-replay engine accounting (records, warnings, retrain-build
+  /// and — under DriverConfig::profile — serving wall time).
+  OnlineEngine::SessionStats engine_stats;
 
   stats::ConfusionCounts total_counts() const;
   std::array<stats::ConfusionCounts, learners::kNumRuleSources> total_per_source() const;

@@ -1,6 +1,7 @@
 #include "online/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 namespace dml::online {
 
@@ -108,7 +109,15 @@ void OnlineEngine::observe(const bgl::Event& event) {
   ++session_.events_after_filtering;
   if (event.fatal) ++session_.failures_seen;
   scheduler_.observe(event);
-  serving_.observe(event, scratch_);
+  if (config_.profile) {
+    const auto t0 = std::chrono::steady_clock::now();
+    serving_.observe(event, scratch_);
+    session_.serving_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  } else {
+    serving_.observe(event, scratch_);
+  }
   emit();
 }
 
@@ -143,6 +152,10 @@ OnlineEngine::SessionStats OnlineEngine::stats() const {
   s.history_size = scheduler_.history_size();
   s.records_rejected = pipeline_.stats().dropped_by_failpoint;
   s.retrain_failures = scheduler_.failures().size();
+  for (const auto& build : retrain_log_) {
+    s.retrain_build_seconds +=
+        build.train_times.total_seconds() + build.revise_seconds;
+  }
   return s;
 }
 

@@ -90,6 +90,9 @@ struct OnlineEngineConfig {
   /// Tick on the absolute grid first-adoption + k * clock_tick instead
   /// of re-anchoring per adoption; see ServingCore::TickAnchor.
   bool absolute_ticks = false;
+  /// Time the serving path (SessionStats::serving_seconds).  Off by
+  /// default: the per-event clock reads are cheap but not free.
+  bool profile = false;
 };
 
 class OnlineEngine {
@@ -156,6 +159,14 @@ class OnlineEngine {
     std::uint64_t retrain_failures = 0;
     /// Shard workers stopped by an exception (ShardedEngine only).
     std::uint64_t shards_quarantined = 0;
+    /// Wall seconds spent building adopted rule sets (training +
+    /// revision, summed over the retrain log; measured on the build
+    /// thread, so async builds overlap serving).
+    double retrain_build_seconds = 0.0;
+    /// Wall seconds inside the serving path (ticks + per-event
+    /// observation).  Only measured when OnlineEngineConfig::profile is
+    /// set; 0 otherwise.
+    double serving_seconds = 0.0;
   };
   SessionStats stats() const;
 

@@ -15,11 +15,13 @@ void ServingCore::rebuild_predictor(TimeSec at,
                                                     options_.predictor);
   // Warm the fresh predictor's window state on the trailing history so
   // in-flight patterns survive the swap; warm-up warnings are discarded.
+  discard_.clear();
   for (const auto& event : warm) {
     if (event.time >= at - window_ && event.time < at) {
-      predictor_->observe(event);
+      predictor_->observe_into(event, discard_);
     }
   }
+  discard_.clear();
 }
 
 void ServingCore::adopt(const SnapshotBuild& build,
@@ -71,8 +73,7 @@ void ServingCore::refresh(TimeSec at, std::vector<predict::Warning>& out) {
 
 void ServingCore::advance(TimeSec t, std::vector<predict::Warning>& out) {
   while (predictor_ && next_tick_ && *next_tick_ < t) {
-    auto ticked = predictor_->tick(*next_tick_);
-    out.insert(out.end(), ticked.begin(), ticked.end());
+    predictor_->tick_into(*next_tick_, out);
     *next_tick_ += tick_interval();
   }
 }
@@ -89,8 +90,7 @@ void ServingCore::observe(const bgl::Event& event,
     next_tick_ = event.time + tick_interval();
   }
   if (predictor_) {
-    auto warnings = predictor_->observe(event);
-    out.insert(out.end(), warnings.begin(), warnings.end());
+    predictor_->observe_into(event, out);
   }
   if (options_.warm_retention > 0) {
     warm_buffer_.push_back(event);

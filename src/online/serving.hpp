@@ -95,8 +95,9 @@ class ServingCore {
   std::unique_ptr<predict::Predictor> predictor_;
   std::optional<TimeSec> next_tick_;
   /// Scratch for adoption warm-up (events copied from the caller's span
-  /// or the internal buffer).
+  /// or the internal buffer) and for its discarded warm-up warnings.
   std::vector<bgl::Event> warm_scratch_;
+  std::vector<predict::Warning> discard_;
   /// Internal trailing-event buffer (warm_retention > 0).
   std::deque<bgl::Event> warm_buffer_;
 };

@@ -314,6 +314,8 @@ void ShardedEngine::feed(const bgl::Event& event) {
   }
   if (auto build = scheduler_.poll(t)) {
     auto shared = std::make_shared<const SnapshotBuild>(std::move(*build));
+    retrain_build_seconds_ +=
+        shared->train_times.total_seconds() + shared->revise_seconds;
     publisher_.store(shared->repository);
     for (auto& shard : shards_) shard->queue.push(AdoptMsg{shared});
   }
@@ -458,12 +460,14 @@ ShardedEngine::SessionStats ShardedEngine::collect_stats() const {
         shard->events.load(std::memory_order_relaxed);
     s.failures_seen += shard->fatals.load(std::memory_order_relaxed);
     s.records_rejected += shard->rejected.load(std::memory_order_relaxed);
+    s.serving_seconds += shard->busy_seconds.load(std::memory_order_relaxed);
     if (shard->error) ++s.shards_quarantined;
   }
   s.warnings_issued = merger_->emitted();
   s.retrainings = scheduler_.retrainings();
   s.history_size = scheduler_.history_size();
   s.retrain_failures = scheduler_.failures().size();
+  s.retrain_build_seconds = retrain_build_seconds_;
   return s;
 }
 

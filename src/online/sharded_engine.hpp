@@ -135,6 +135,9 @@ class ShardedEngine {
   std::uint64_t feed_rejected_ = 0;
   std::optional<TimeSec> next_heartbeat_;
   TimeSec last_event_time_ = 0;
+  /// Build wall time (training + revision) of every adopted snapshot,
+  /// accumulated at publication (SessionStats::retrain_build_seconds).
+  double retrain_build_seconds_ = 0.0;
   bool finished_ = false;
   SessionStats final_stats_;
 

@@ -4,6 +4,17 @@
 
 namespace dml::predict {
 
+namespace {
+
+/// Dense-table append at `index`, growing the table on demand.
+void add_rule_at(std::vector<std::vector<const meta::StoredRule*>>& table,
+                 CategoryId index, const meta::StoredRule* rule) {
+  if (index >= table.size()) table.resize(index + 1);
+  table[index].push_back(rule);
+}
+
+}  // namespace
+
 Predictor::Predictor(const meta::KnowledgeRepository& repository,
                      DurationSec window, PredictorOptions options)
     : repository_(&repository), window_(window), options_(options) {
@@ -11,10 +22,10 @@ Predictor::Predictor(const meta::KnowledgeRepository& repository,
     switch (stored.rule.source()) {
       case learners::RuleSource::kAssociation:
         for (CategoryId item : stored.rule.as_association()->antecedent) {
-          e_list_[item].push_back(&stored);
+          add_rule_at(e_list_, item, &stored);
         }
-        by_consequent_[stored.rule.as_association()->consequent].push_back(
-            &stored);
+        add_rule_at(by_consequent_, stored.rule.as_association()->consequent,
+                    &stored);
         break;
       case learners::RuleSource::kStatistical:
         statistical_rules_.push_back(&stored);
@@ -47,24 +58,49 @@ std::uint64_t scoped_key(std::uint32_t midplane, CategoryId category) {
 
 }  // namespace
 
+TimeSec* Predictor::find_scope_clock(std::uint32_t midplane) {
+  const auto it = std::lower_bound(
+      last_fatal_by_scope_.begin(), last_fatal_by_scope_.end(), midplane,
+      [](const auto& entry, std::uint32_t key) { return entry.first < key; });
+  if (it == last_fatal_by_scope_.end() || it->first != midplane) {
+    return nullptr;
+  }
+  return &it->second;
+}
+
+void Predictor::set_scope_clock(std::uint32_t midplane, TimeSec at) {
+  const auto it = std::lower_bound(
+      last_fatal_by_scope_.begin(), last_fatal_by_scope_.end(), midplane,
+      [](const auto& entry, std::uint32_t key) { return entry.first < key; });
+  if (it != last_fatal_by_scope_.end() && it->first == midplane) {
+    it->second = at;
+  } else {
+    last_fatal_by_scope_.insert(it, {midplane, at});
+  }
+}
+
 void Predictor::expire(TimeSec now) {
   while (!recent_.empty() && recent_.front().time <= now - window_) {
     const RecentEvent& old = recent_.front();
-    auto it = recent_counts_.find(old.category);
-    if (it != recent_counts_.end() && --it->second == 0) {
-      recent_counts_.erase(it);
-    }
+    --recent_counts_[old.category];
     if (scoped()) {
-      auto scoped_it =
+      auto* scoped_count =
           scoped_counts_.find(scoped_key(old.midplane, old.category));
-      if (scoped_it != scoped_counts_.end() && --scoped_it->second == 0) {
-        scoped_counts_.erase(scoped_it);
+      if (scoped_count != nullptr && --*scoped_count == 0) {
+        scoped_counts_.erase(scoped_key(old.midplane, old.category));
       }
     }
     recent_.pop_front();
   }
   while (!recent_fatals_.empty() &&
          recent_fatals_.front().first <= now - window_) {
+    if (scoped()) {
+      const std::uint32_t midplane = recent_fatals_.front().second;
+      auto* count = scoped_fatal_counts_.find(midplane);
+      if (count != nullptr && --*count == 0) {
+        scoped_fatal_counts_.erase(midplane);
+      }
+    }
     recent_fatals_.pop_front();
   }
 }
@@ -87,8 +123,10 @@ bool Predictor::try_issue(std::vector<Warning>& out, TimeSec now,
   const std::uint64_t key =
       active_key(rule.id, scope, options_.per_scope_state);
   if (options_.deduplicate_warnings) {
-    const auto it = active_.find(key);
-    if (it != active_.end() && it->second >= now) return false;
+    const auto* deadline_in_force = active_.find(key);
+    if (deadline_in_force != nullptr && *deadline_in_force >= now) {
+      return false;
+    }
   }
   Warning warning;
   warning.issued_at = now;
@@ -126,7 +164,8 @@ void Predictor::check_distribution(std::vector<Warning>& out, TimeSec now) {
   if (options_.per_scope_state) {
     // Clock-tick sweep: every midplane with an elapsed-time clock is
     // checked independently (same union of scopes however the stream is
-    // partitioned).
+    // partitioned), in ascending-midplane order so the emitted sequence
+    // is deterministic.
     for (const auto& [midplane, last] : last_fatal_by_scope_) {
       check_distribution_scope(out, now, midplane, last);
     }
@@ -145,8 +184,8 @@ void Predictor::check_distribution(std::vector<Warning>& out, TimeSec now) {
   }
 }
 
-std::vector<Warning> Predictor::observe(const bgl::Event& event) {
-  std::vector<Warning> out;
+void Predictor::observe_into(const bgl::Event& event,
+                             std::vector<Warning>& out) {
   const TimeSec now = event.time;
   expire(now);
   if (feature_tracker_) feature_tracker_->observe(event);
@@ -164,21 +203,27 @@ std::vector<Warning> Predictor::observe(const bgl::Event& event) {
     // event set (which includes the current event).  In location-scoped
     // mode the antecedent must be complete *within this midplane*.
     recent_.push_back({now, event.category, midplane});
+    if (event.category >= recent_counts_.size()) {
+      recent_counts_.resize(event.category + 1, 0);
+    }
     ++recent_counts_[event.category];
     if (scoped()) {
       ++scoped_counts_[scoped_key(midplane, event.category)];
     }
-    auto item_present = [&](CategoryId item) {
-      return scoped() ? scoped_counts_.contains(scoped_key(midplane, item))
-                      : recent_counts_.contains(item);
-    };
-    const auto it = e_list_.find(event.category);
-    if (it != e_list_.end()) {
-      for (const meta::StoredRule* stored : it->second) {
+    if (event.category < e_list_.size()) {
+      const bool use_scoped = scoped();
+      for (const meta::StoredRule* stored : e_list_[event.category]) {
         const auto* rule = stored->rule.as_association();
-        const bool satisfied = std::all_of(rule->antecedent.begin(),
-                                           rule->antecedent.end(),
-                                           item_present);
+        bool satisfied = true;
+        for (CategoryId item : rule->antecedent) {
+          if (use_scoped
+                  ? !scoped_counts_.contains(scoped_key(midplane, item))
+                  : (item >= recent_counts_.size() ||
+                     recent_counts_[item] == 0)) {
+            satisfied = false;
+            break;
+          }
+        }
         if (satisfied) {
           matched = true;
           try_issue(out, now, *stored, rule->consequent, now + window_,
@@ -188,11 +233,12 @@ std::vector<Warning> Predictor::observe(const bgl::Event& event) {
     }
   } else {
     recent_fatals_.emplace_back(now, midplane);
-    const std::size_t fatals_in_scope =
-        scoped() ? static_cast<std::size_t>(std::count_if(
-                       recent_fatals_.begin(), recent_fatals_.end(),
-                       [&](const auto& f) { return f.second == midplane; }))
-                 : recent_fatals_.size();
+    std::size_t fatals_in_scope;
+    if (scoped()) {
+      fatals_in_scope = ++scoped_fatal_counts_[midplane];
+    } else {
+      fatals_in_scope = recent_fatals_.size();
+    }
     for (const meta::StoredRule* stored : statistical_rules_) {
       const auto* rule = stored->rule.as_statistical();
       if (fatals_in_scope >= static_cast<std::size_t>(rule->k)) {
@@ -234,9 +280,8 @@ std::vector<Warning> Predictor::observe(const bgl::Event& event) {
   // warning stream decomposes exactly by midplane.
   if (!matched || !options_.mixture_precedence) {
     if (options_.per_scope_state) {
-      const auto it = last_fatal_by_scope_.find(midplane);
-      if (it != last_fatal_by_scope_.end()) {
-        check_distribution_scope(out, now, midplane, it->second);
+      if (const TimeSec* last = find_scope_clock(midplane)) {
+        check_distribution_scope(out, now, midplane, *last);
       }
     } else {
       check_distribution(out, now);
@@ -245,7 +290,7 @@ std::vector<Warning> Predictor::observe(const bgl::Event& event) {
 
   if (event.fatal) {
     last_fatal_ = now;
-    if (options_.per_scope_state) last_fatal_by_scope_[midplane] = now;
+    if (options_.per_scope_state) set_scope_clock(midplane, now);
     // A failure resolves every pending warning that predicted it:
     // re-arm the distribution rules (they predict "a failure") and the
     // association rules whose consequent is this category, so the next
@@ -259,19 +304,27 @@ std::vector<Warning> Predictor::observe(const bgl::Event& event) {
     for (const meta::StoredRule* stored : net_rules_) {
       erase_active(stored->id, midplane);
     }
-    const auto it = by_consequent_.find(event.category);
-    if (it != by_consequent_.end()) {
-      for (const meta::StoredRule* stored : it->second) {
+    if (event.category < by_consequent_.size()) {
+      for (const meta::StoredRule* stored : by_consequent_[event.category]) {
         erase_active(stored->id, midplane);
       }
     }
   }
+}
+
+std::vector<Warning> Predictor::observe(const bgl::Event& event) {
+  std::vector<Warning> out;
+  observe_into(event, out);
   return out;
+}
+
+void Predictor::tick_into(TimeSec now, std::vector<Warning>& out) {
+  check_distribution(out, now);
 }
 
 std::vector<Warning> Predictor::tick(TimeSec now) {
   std::vector<Warning> out;
-  check_distribution(out, now);
+  tick_into(now, out);
   return out;
 }
 
@@ -283,13 +336,11 @@ std::vector<Warning> Predictor::run(std::span<const bgl::Event> events,
     if (tick_interval > 0) {
       if (!next_tick) next_tick = event.time + tick_interval;
       while (*next_tick < event.time) {
-        auto ticked = tick(*next_tick);
-        all.insert(all.end(), ticked.begin(), ticked.end());
+        tick_into(*next_tick, all);
         *next_tick += tick_interval;
       }
     }
-    auto warnings = observe(event);
-    all.insert(all.end(), warnings.begin(), warnings.end());
+    observe_into(event, all);
   }
   return all;
 }

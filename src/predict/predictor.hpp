@@ -9,15 +9,23 @@
 // association rules, a fatal event consults statistical rules, and only
 // when no match is found does the probability-distribution rule get the
 // floor.
+//
+// The per-event path is allocation-lean (DESIGN.md §9): the E-List and
+// recent-count table are dense arrays indexed by CategoryId, the scoped
+// counts / active-warning deadlines live in open-addressing flat maps
+// (common/flat_map.hpp), per-midplane fatal counts are maintained
+// incrementally instead of re-scanning the fatal window on every
+// failure, and observe_into() appends to a caller-owned warning buffer
+// so a serving loop allocates nothing per event.
 #pragma once
 
 #include <deque>
 #include <optional>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "bgl/record.hpp"
+#include "common/flat_map.hpp"
 #include "common/types.hpp"
 #include "learners/features.hpp"
 #include "meta/knowledge_repository.hpp"
@@ -81,13 +89,19 @@ class Predictor {
             PredictorOptions options = {});
 
   /// Feeds one event (events must arrive in non-decreasing time order);
-  /// returns the warnings it triggered.
+  /// appends the warnings it triggered to `out` (which is NOT cleared —
+  /// serving loops reuse one buffer across events).
+  void observe_into(const bgl::Event& event, std::vector<Warning>& out);
+
+  /// Convenience wrapper: observe_into with a fresh vector per call.
   std::vector<Warning> observe(const bgl::Event& event);
 
   /// Clock tick: the online monitor's periodic self-check.  Runs only
   /// the distribution expert (elapsed-time check) — no window state is
   /// touched, so ticks and events may interleave freely as long as time
-  /// never goes backwards.
+  /// never goes backwards.  Appends to `out` like observe_into.
+  void tick_into(TimeSec now, std::vector<Warning>& out);
+
   std::vector<Warning> tick(TimeSec now);
 
   /// Convenience: runs a whole span and collects every warning, with
@@ -114,16 +128,22 @@ class Predictor {
   void check_distribution(std::vector<Warning>& out, TimeSec now);
   void check_distribution_scope(std::vector<Warning>& out, TimeSec now,
                                 std::uint32_t midplane, TimeSec last_fatal);
+  /// Pointer to the scope's last-fatal clock, or nullptr (sorted-vector
+  /// lookup; the sweep iterates it in ascending-midplane order so tick
+  /// output is deterministic).
+  TimeSec* find_scope_clock(std::uint32_t midplane);
+  void set_scope_clock(std::uint32_t midplane, TimeSec at);
 
   const meta::KnowledgeRepository* repository_;
   DurationSec window_;
   PredictorOptions options_;
 
-  /// E-List: category -> association rules referencing it.
-  std::unordered_map<CategoryId, std::vector<const meta::StoredRule*>> e_list_;
-  /// Fatal category -> association rules predicting it (re-arm index).
-  std::unordered_map<CategoryId, std::vector<const meta::StoredRule*>>
-      by_consequent_;
+  /// E-List: category -> association rules referencing it, as a dense
+  /// table indexed by CategoryId (the taxonomy is ~219 entries).
+  std::vector<std::vector<const meta::StoredRule*>> e_list_;
+  /// Fatal category -> association rules predicting it (re-arm index),
+  /// dense like the E-List.
+  std::vector<std::vector<const meta::StoredRule*>> by_consequent_;
   std::vector<const meta::StoredRule*> statistical_rules_;
   std::vector<const meta::StoredRule*> distribution_rules_;
   std::vector<const meta::StoredRule*> tree_rules_;
@@ -138,20 +158,26 @@ class Predictor {
     std::uint32_t midplane;  // packed midplane-scope location
   };
   /// Recent events within Wp plus per-category counts for O(1)
-  /// antecedent checks.
+  /// antecedent checks (dense array, grown on demand).
   std::deque<RecentEvent> recent_;
-  std::unordered_map<CategoryId, std::uint32_t> recent_counts_;
-  /// Per-midplane per-category counts (location-scoped mode only).
-  std::unordered_map<std::uint64_t, std::uint32_t> scoped_counts_;
+  std::vector<std::uint32_t> recent_counts_;
+  /// Per-midplane per-category counts (location-scoped mode only),
+  /// keyed by (midplane << 16 | category).
+  common::FlatMap<std::uint64_t, std::uint32_t> scoped_counts_;
   /// Recent fatal events within Wp: (time, midplane).
   std::deque<std::pair<TimeSec, std::uint32_t>> recent_fatals_;
+  /// Running per-midplane fatal counts over recent_fatals_ (scoped mode
+  /// only): incremented on arrival, decremented in expire(), so a fatal
+  /// burst never re-scans the whole window.
+  common::FlatMap<std::uint32_t, std::uint32_t> scoped_fatal_counts_;
   std::optional<TimeSec> last_fatal_;
-  /// Per-midplane last-fatal clocks (per_scope_state mode only).
-  std::unordered_map<std::uint32_t, TimeSec> last_fatal_by_scope_;
+  /// Per-midplane last-fatal clocks (per_scope_state mode only), sorted
+  /// by midplane so distribution sweeps are deterministic.
+  std::vector<std::pair<std::uint32_t, TimeSec>> last_fatal_by_scope_;
 
   /// Deduplication: active-warning deadline per rule id — or per
   /// (rule id << 32 | midplane) in per_scope_state mode.
-  std::unordered_map<std::uint64_t, TimeSec> active_;
+  common::FlatMap<std::uint64_t, TimeSec> active_;
 };
 
 }  // namespace dml::predict

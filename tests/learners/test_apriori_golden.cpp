@@ -1,0 +1,142 @@
+// Golden equivalence: the bitset-vertical miner and the sliding-window
+// negative sampler must reproduce the reference (pre-optimization)
+// implementations bit for bit — same itemsets, same counts, same order —
+// across fuzzed transaction databases and event streams.  This is the
+// contract that lets the optimized layouts replace the textbook ones
+// without perturbing any downstream rule set.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "learners/apriori.hpp"
+#include "learners/transactions.hpp"
+#include "reference_impl.hpp"
+#include "support/test_fixtures.hpp"
+
+namespace dml::learners {
+namespace {
+
+void expect_identical(const std::vector<FrequentItemset>& optimized,
+                      const std::vector<FrequentItemset>& reference,
+                      const std::string& label) {
+  ASSERT_EQ(optimized.size(), reference.size()) << label;
+  for (std::size_t i = 0; i < optimized.size(); ++i) {
+    EXPECT_EQ(optimized[i].items, reference[i].items) << label << " #" << i;
+    EXPECT_EQ(optimized[i].count, reference[i].count) << label << " #" << i;
+  }
+}
+
+/// A random transaction database with clustered co-occurrence (a few
+/// "signature" item groups injected on top of uniform noise), so levels
+/// 2-4 actually materialize.
+std::vector<Itemset> fuzz_transactions(Rng& rng, std::size_t count,
+                                       std::size_t universe) {
+  std::vector<Itemset> signatures;
+  const std::size_t num_signatures = 2 + rng.uniform_index(4);
+  for (std::size_t s = 0; s < num_signatures; ++s) {
+    Itemset sig;
+    const std::size_t len = 2 + rng.uniform_index(4);
+    for (std::size_t i = 0; i < len; ++i) {
+      sig.push_back(static_cast<CategoryId>(rng.uniform_index(universe)));
+    }
+    signatures.push_back(std::move(sig));
+  }
+  std::vector<Itemset> transactions;
+  for (std::size_t t = 0; t < count; ++t) {
+    Itemset tx;
+    if (!signatures.empty() && rng.uniform_index(3) != 0) {
+      const auto& sig = signatures[rng.uniform_index(signatures.size())];
+      tx.insert(tx.end(), sig.begin(), sig.end());
+    }
+    const std::size_t noise = rng.uniform_index(6);
+    for (std::size_t i = 0; i < noise; ++i) {
+      tx.push_back(static_cast<CategoryId>(rng.uniform_index(universe)));
+    }
+    std::sort(tx.begin(), tx.end());
+    tx.erase(std::unique(tx.begin(), tx.end()), tx.end());
+    transactions.push_back(std::move(tx));  // may be empty — valid input
+  }
+  return transactions;
+}
+
+TEST(AprioriGolden, FuzzedDatabasesMatchReferenceExactly) {
+  Rng rng(testing::fuzz_seed(4501));
+  const double supports[] = {0.01, 0.05, 0.2, 0.5};
+  const std::size_t max_items[] = {1, 2, 3, 4, 6};
+  for (int round = 0; round < 40; ++round) {
+    const std::size_t universe = 3 + rng.uniform_index(120);
+    const std::size_t count = 1 + rng.uniform_index(400);
+    const auto transactions = fuzz_transactions(rng, count, universe);
+    AprioriConfig config;
+    config.min_support = supports[rng.uniform_index(4)];
+    config.max_items = max_items[rng.uniform_index(5)];
+    const auto optimized = mine_frequent_itemsets(transactions, config);
+    const auto reference =
+        reference::mine_frequent_itemsets(transactions, config);
+    expect_identical(optimized, reference,
+                     "round " + std::to_string(round) + " support " +
+                         std::to_string(config.min_support) + " k" +
+                         std::to_string(config.max_items));
+  }
+}
+
+TEST(AprioriGolden, ParallelCountingMatchesReference) {
+  // Force the chunked pool path by dropping the threshold to zero.
+  Rng rng(testing::fuzz_seed(4502));
+  const auto transactions = fuzz_transactions(rng, 600, 40);
+  AprioriConfig config;
+  config.min_support = 0.02;
+  config.max_items = 4;
+  config.parallel_work_threshold = 0;
+  const auto optimized = mine_frequent_itemsets(transactions, config);
+  AprioriConfig reference_config = config;
+  const auto reference =
+      reference::mine_frequent_itemsets(transactions, reference_config);
+  expect_identical(optimized, reference, "parallel");
+}
+
+TEST(AprioriGolden, RealisticTransactionsFromSharedLogMatch) {
+  const auto& store = testing::shared_store();
+  const auto events = testing::weeks_of(store, 0, 8);
+  const auto txs = collapse_cascade_transactions(
+      build_failure_transactions(events, testing::kWp), testing::kWp);
+  std::vector<Itemset> itemsets;
+  for (const auto& tx : txs) itemsets.push_back(tx.items);
+  AprioriConfig config;  // paper-default support over an 8-week window
+  const auto optimized = mine_frequent_itemsets(itemsets, config);
+  const auto reference = reference::mine_frequent_itemsets(itemsets, config);
+  ASSERT_FALSE(optimized.empty());
+  expect_identical(optimized, reference, "shared-log");
+}
+
+TEST(NegativeWindowGolden, SlidingSamplerMatchesRescanReference) {
+  const auto& store = testing::shared_store();
+  const auto events = testing::weeks_of(store, 0, 6);
+  for (const DurationSec window : {60, 300, 900}) {
+    for (const DurationSec stride : {30, 300, 1200}) {
+      const auto optimized =
+          sample_negative_windows(events, window, stride);
+      const auto reference =
+          reference::sample_negative_windows(events, window, stride);
+      ASSERT_EQ(optimized.size(), reference.size())
+          << "w" << window << " s" << stride;
+      for (std::size_t i = 0; i < optimized.size(); ++i) {
+        EXPECT_EQ(optimized[i], reference[i])
+            << "w" << window << " s" << stride << " #" << i;
+      }
+    }
+  }
+}
+
+TEST(NegativeWindowGolden, StrideLargerThanWindowMatches) {
+  const auto& store = testing::shared_store();
+  const auto events = testing::weeks_of(store, 2, 4);
+  // stride > window leaves gaps the sliding state must skip over.
+  const auto optimized = sample_negative_windows(events, 120, 3600);
+  const auto reference = reference::sample_negative_windows(events, 120, 3600);
+  EXPECT_EQ(optimized, reference);
+}
+
+}  // namespace
+}  // namespace dml::learners

@@ -1,0 +1,413 @@
+#include "reference_impl.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace dml::reference {
+
+namespace {
+
+using learners::AprioriConfig;
+using learners::FrequentItemset;
+using learners::Itemset;
+using learners::contains_sorted;
+
+std::optional<Itemset> join(const Itemset& a, const Itemset& b) {
+  if (a.size() != b.size() || a.empty()) return std::nullopt;
+  for (std::size_t i = 0; i + 1 < a.size(); ++i) {
+    if (a[i] != b[i]) return std::nullopt;
+  }
+  if (a.back() >= b.back()) return std::nullopt;
+  Itemset out = a;
+  out.push_back(b.back());
+  return out;
+}
+
+bool all_subsets_frequent(const Itemset& candidate,
+                          const std::vector<Itemset>& frequent_prev) {
+  Itemset subset(candidate.size() - 1);
+  for (std::size_t skip = 0; skip < candidate.size(); ++skip) {
+    std::size_t j = 0;
+    for (std::size_t i = 0; i < candidate.size(); ++i) {
+      if (i != skip) subset[j++] = candidate[i];
+    }
+    if (!std::binary_search(frequent_prev.begin(), frequent_prev.end(),
+                            subset)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::uint32_t> count_support(
+    std::span<const Itemset> transactions,
+    const std::vector<Itemset>& candidates) {
+  std::vector<std::uint32_t> counts(candidates.size(), 0);
+  for (const Itemset& tx : transactions) {
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      if (contains_sorted(tx, candidates[c])) ++counts[c];
+    }
+  }
+  return counts;
+}
+
+}  // namespace
+
+std::vector<FrequentItemset> mine_frequent_itemsets(
+    std::span<const Itemset> transactions, const AprioriConfig& config) {
+  std::vector<FrequentItemset> result;
+  if (transactions.empty() || config.max_items == 0) return result;
+  const auto min_count = static_cast<std::uint32_t>(std::max<double>(
+      1.0, std::ceil(config.min_support *
+                     static_cast<double>(transactions.size()))));
+
+  std::map<CategoryId, std::uint32_t> singles;
+  for (const Itemset& tx : transactions) {
+    for (CategoryId item : tx) ++singles[item];
+  }
+  std::vector<Itemset> frequent;  // current level, sorted
+  for (const auto& [item, count] : singles) {
+    if (count >= min_count) {
+      frequent.push_back({item});
+      result.push_back({{item}, count});
+    }
+  }
+
+  for (std::size_t level = 2;
+       level <= config.max_items && frequent.size() >= 2; ++level) {
+    std::vector<Itemset> candidates;
+    for (std::size_t i = 0; i < frequent.size(); ++i) {
+      for (std::size_t j = i + 1; j < frequent.size(); ++j) {
+        auto candidate = join(frequent[i], frequent[j]);
+        if (!candidate) break;  // sorted: prefixes diverged for good
+        if (all_subsets_frequent(*candidate, frequent)) {
+          candidates.push_back(std::move(*candidate));
+        }
+      }
+    }
+    if (candidates.empty()) break;
+
+    const auto counts = count_support(transactions, candidates);
+    std::vector<Itemset> next;
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      if (counts[c] >= min_count) {
+        result.push_back({candidates[c], counts[c]});
+        next.push_back(std::move(candidates[c]));
+      }
+    }
+    frequent = std::move(next);
+  }
+  return result;
+}
+
+std::vector<std::vector<CategoryId>> sample_negative_windows(
+    std::span<const bgl::Event> events, DurationSec window,
+    DurationSec stride) {
+  std::vector<std::vector<CategoryId>> windows;
+  if (events.empty() || stride <= 0) return windows;
+  const TimeSec first = events.front().time;
+  const TimeSec last = events.back().time;
+  std::size_t lo = 0;
+  for (TimeSec begin = first; begin + window <= last; begin += stride) {
+    const TimeSec end = begin + window;
+    while (lo < events.size() && events[lo].time < begin) ++lo;
+    std::size_t hi = lo;
+    bool has_fatal = false;
+    std::vector<CategoryId> items;
+    while (hi < events.size() && events[hi].time < end) {
+      if (events[hi].fatal) {
+        has_fatal = true;
+      } else {
+        items.push_back(events[hi].category);
+      }
+      ++hi;
+    }
+    if (has_fatal || items.empty()) continue;
+    std::sort(items.begin(), items.end());
+    items.erase(std::unique(items.begin(), items.end()), items.end());
+    windows.push_back(std::move(items));
+  }
+  return windows;
+}
+
+ReferencePredictor::ReferencePredictor(
+    const meta::KnowledgeRepository& repository, DurationSec window,
+    Options options)
+    : repository_(&repository), window_(window), options_(options) {
+  for (const auto& stored : repository.rules()) {
+    switch (stored.rule.source()) {
+      case learners::RuleSource::kAssociation:
+        for (CategoryId item : stored.rule.as_association()->antecedent) {
+          e_list_[item].push_back(&stored);
+        }
+        by_consequent_[stored.rule.as_association()->consequent].push_back(
+            &stored);
+        break;
+      case learners::RuleSource::kStatistical:
+        statistical_rules_.push_back(&stored);
+        break;
+      case learners::RuleSource::kDistribution:
+        distribution_rules_.push_back(&stored);
+        break;
+      case learners::RuleSource::kDecisionTree:
+        tree_rules_.push_back(&stored);
+        break;
+      case learners::RuleSource::kNeuralNet:
+        net_rules_.push_back(&stored);
+        break;
+    }
+  }
+  if (!tree_rules_.empty() || !net_rules_.empty()) {
+    feature_tracker_.emplace(window_);
+  }
+}
+
+namespace {
+
+std::uint32_t midplane_of(const bgl::Event& event) {
+  return event.location.enclosing_midplane().packed();
+}
+
+std::uint64_t scoped_key(std::uint32_t midplane, CategoryId category) {
+  return (static_cast<std::uint64_t>(midplane) << 16) | category;
+}
+
+std::uint64_t active_key(std::uint64_t rule_id, std::uint32_t scope,
+                         bool per_scope) {
+  return per_scope ? (rule_id << 32) | scope : rule_id;
+}
+
+}  // namespace
+
+void ReferencePredictor::expire(TimeSec now) {
+  while (!recent_.empty() && recent_.front().time <= now - window_) {
+    const RecentEvent& old = recent_.front();
+    auto it = recent_counts_.find(old.category);
+    if (it != recent_counts_.end() && --it->second == 0) {
+      recent_counts_.erase(it);
+    }
+    if (scoped()) {
+      auto scoped_it =
+          scoped_counts_.find(scoped_key(old.midplane, old.category));
+      if (scoped_it != scoped_counts_.end() && --scoped_it->second == 0) {
+        scoped_counts_.erase(scoped_it);
+      }
+    }
+    recent_.pop_front();
+  }
+  while (!recent_fatals_.empty() &&
+         recent_fatals_.front().first <= now - window_) {
+    recent_fatals_.pop_front();
+  }
+}
+
+bool ReferencePredictor::try_issue(std::vector<Warning>& out, TimeSec now,
+                                   const meta::StoredRule& rule,
+                                   std::optional<CategoryId> category,
+                                   TimeSec deadline,
+                                   std::optional<bgl::Location> location,
+                                   std::uint32_t scope) {
+  const std::uint64_t key =
+      active_key(rule.id, scope, options_.per_scope_state);
+  if (options_.deduplicate_warnings) {
+    const auto it = active_.find(key);
+    if (it != active_.end() && it->second >= now) return false;
+  }
+  Warning warning;
+  warning.issued_at = now;
+  warning.deadline = deadline;
+  warning.category = category;
+  warning.location = location;
+  warning.rule_id = rule.id;
+  warning.source = rule.rule.source();
+  active_[key] = warning.deadline;
+  out.push_back(warning);
+  return true;
+}
+
+void ReferencePredictor::erase_active(std::uint64_t rule_id,
+                                      std::uint32_t scope) {
+  active_.erase(active_key(rule_id, scope, options_.per_scope_state));
+}
+
+void ReferencePredictor::check_distribution_scope(std::vector<Warning>& out,
+                                                  TimeSec now,
+                                                  std::uint32_t midplane,
+                                                  TimeSec last_fatal) {
+  const DurationSec elapsed = now - last_fatal;
+  for (const meta::StoredRule* stored : distribution_rules_) {
+    const auto* rule = stored->rule.as_distribution();
+    if (elapsed >= rule->elapsed_trigger) {
+      const auto horizon = static_cast<DurationSec>(
+          options_.pd_horizon_factor * static_cast<double>(elapsed));
+      try_issue(out, now, *stored, std::nullopt,
+                now + std::max(window_, horizon),
+                bgl::Location::from_packed(midplane), midplane);
+    }
+  }
+}
+
+void ReferencePredictor::check_distribution(std::vector<Warning>& out,
+                                            TimeSec now) {
+  if (options_.per_scope_state) {
+    // Ascending-midplane sweep (see the header note on determinism).
+    std::vector<std::uint32_t> midplanes;
+    midplanes.reserve(last_fatal_by_scope_.size());
+    for (const auto& [midplane, last] : last_fatal_by_scope_) {
+      midplanes.push_back(midplane);
+    }
+    std::sort(midplanes.begin(), midplanes.end());
+    for (std::uint32_t midplane : midplanes) {
+      check_distribution_scope(out, now, midplane,
+                               last_fatal_by_scope_.at(midplane));
+    }
+    return;
+  }
+  if (!last_fatal_.has_value()) return;
+  const DurationSec elapsed = now - *last_fatal_;
+  for (const meta::StoredRule* stored : distribution_rules_) {
+    const auto* rule = stored->rule.as_distribution();
+    if (elapsed >= rule->elapsed_trigger) {
+      const auto horizon = static_cast<DurationSec>(
+          options_.pd_horizon_factor * static_cast<double>(elapsed));
+      try_issue(out, now, *stored, std::nullopt,
+                now + std::max(window_, horizon));
+    }
+  }
+}
+
+std::vector<ReferencePredictor::Warning> ReferencePredictor::observe(
+    const bgl::Event& event) {
+  std::vector<Warning> out;
+  const TimeSec now = event.time;
+  expire(now);
+  if (feature_tracker_) feature_tracker_->observe(event);
+
+  const std::uint32_t midplane = midplane_of(event);
+  const std::optional<bgl::Location> scope =
+      scoped()
+          ? std::optional<bgl::Location>(bgl::Location::from_packed(midplane))
+          : std::nullopt;
+
+  bool matched = false;
+  if (!event.fatal) {
+    recent_.push_back({now, event.category, midplane});
+    ++recent_counts_[event.category];
+    if (scoped()) {
+      ++scoped_counts_[scoped_key(midplane, event.category)];
+    }
+    auto item_present = [&](CategoryId item) {
+      return scoped() ? scoped_counts_.contains(scoped_key(midplane, item))
+                      : recent_counts_.contains(item);
+    };
+    const auto it = e_list_.find(event.category);
+    if (it != e_list_.end()) {
+      for (const meta::StoredRule* stored : it->second) {
+        const auto* rule = stored->rule.as_association();
+        const bool satisfied = std::all_of(rule->antecedent.begin(),
+                                           rule->antecedent.end(),
+                                           item_present);
+        if (satisfied) {
+          matched = true;
+          try_issue(out, now, *stored, rule->consequent, now + window_,
+                    scope, midplane);
+        }
+      }
+    }
+  } else {
+    recent_fatals_.emplace_back(now, midplane);
+    const std::size_t fatals_in_scope =
+        scoped() ? static_cast<std::size_t>(std::count_if(
+                       recent_fatals_.begin(), recent_fatals_.end(),
+                       [&](const auto& f) { return f.second == midplane; }))
+                 : recent_fatals_.size();
+    for (const meta::StoredRule* stored : statistical_rules_) {
+      const auto* rule = stored->rule.as_statistical();
+      if (fatals_in_scope >= static_cast<std::size_t>(rule->k)) {
+        matched = true;
+        erase_active(stored->id, midplane);
+        try_issue(out, now, *stored, std::nullopt, now + window_, scope,
+                  midplane);
+      }
+    }
+  }
+
+  if (feature_tracker_) {
+    const auto features = feature_tracker_->features();
+    for (const meta::StoredRule* stored : tree_rules_) {
+      const auto* rule = stored->rule.as_decision_tree();
+      if (rule->tree.predict(features) >= rule->probability_threshold) {
+        matched = true;
+        try_issue(out, now, *stored, std::nullopt, now + window_);
+      }
+    }
+    for (const meta::StoredRule* stored : net_rules_) {
+      const auto* rule = stored->rule.as_neural_net();
+      if (rule->net.predict(features) >= rule->probability_threshold) {
+        matched = true;
+        try_issue(out, now, *stored, std::nullopt, now + window_);
+      }
+    }
+  }
+
+  if (!matched || !options_.mixture_precedence) {
+    if (options_.per_scope_state) {
+      const auto it = last_fatal_by_scope_.find(midplane);
+      if (it != last_fatal_by_scope_.end()) {
+        check_distribution_scope(out, now, midplane, it->second);
+      }
+    } else {
+      check_distribution(out, now);
+    }
+  }
+
+  if (event.fatal) {
+    last_fatal_ = now;
+    if (options_.per_scope_state) last_fatal_by_scope_[midplane] = now;
+    for (const meta::StoredRule* stored : distribution_rules_) {
+      erase_active(stored->id, midplane);
+    }
+    for (const meta::StoredRule* stored : tree_rules_) {
+      erase_active(stored->id, midplane);
+    }
+    for (const meta::StoredRule* stored : net_rules_) {
+      erase_active(stored->id, midplane);
+    }
+    const auto it = by_consequent_.find(event.category);
+    if (it != by_consequent_.end()) {
+      for (const meta::StoredRule* stored : it->second) {
+        erase_active(stored->id, midplane);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ReferencePredictor::Warning> ReferencePredictor::tick(
+    TimeSec now) {
+  std::vector<Warning> out;
+  check_distribution(out, now);
+  return out;
+}
+
+std::vector<ReferencePredictor::Warning> ReferencePredictor::run(
+    std::span<const bgl::Event> events, DurationSec tick_interval) {
+  std::vector<Warning> all;
+  std::optional<TimeSec> next_tick;
+  for (const auto& event : events) {
+    if (tick_interval > 0) {
+      if (!next_tick) next_tick = event.time + tick_interval;
+      while (*next_tick < event.time) {
+        auto ticked = tick(*next_tick);
+        all.insert(all.end(), ticked.begin(), ticked.end());
+        *next_tick += tick_interval;
+      }
+    }
+    auto warnings = observe(event);
+    all.insert(all.end(), warnings.begin(), warnings.end());
+  }
+  return all;
+}
+
+}  // namespace dml::reference

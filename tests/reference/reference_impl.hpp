@@ -1,0 +1,100 @@
+// Pre-optimization reference implementations of the hot paths rewritten
+// in DESIGN.md §9: the horizontal std::includes Apriori miner, the
+// rescan-per-stride negative-window sampler, and the hash-map Predictor.
+// They are kept verbatim (modulo naming) as the equivalence oracle for
+// the golden tests and the "before" side of bench_hot_paths — the
+// optimized implementations must reproduce their itemset multisets and
+// warning streams bit for bit.
+//
+// One deliberate deviation: the original per-scope clock-tick sweep
+// iterated an unordered_map (unspecified within-tick order).  Both the
+// optimized Predictor and this reference sweep scopes in ascending
+// midplane order, so tick output is comparable element-wise; the
+// warning multiset is unchanged either way.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "bgl/record.hpp"
+#include "common/types.hpp"
+#include "learners/apriori.hpp"
+#include "learners/features.hpp"
+#include "meta/knowledge_repository.hpp"
+#include "predict/predictor.hpp"
+
+namespace dml::reference {
+
+/// Classic horizontal Apriori: std::map L1 counting, join-and-prune from
+/// level 2 up, std::includes subset tests per (transaction, candidate).
+std::vector<learners::FrequentItemset> mine_frequent_itemsets(
+    std::span<const learners::Itemset> transactions,
+    const learners::AprioriConfig& config);
+
+/// Per-stride rescan sampler: every window re-collects, sorts and
+/// uniques its events.
+std::vector<std::vector<CategoryId>> sample_negative_windows(
+    std::span<const bgl::Event> events, DurationSec window,
+    DurationSec stride);
+
+/// The hash-map predictor (paper Algorithm 2), emitting the same
+/// predict::Warning stream as predict::Predictor.
+class ReferencePredictor {
+ public:
+  using Warning = predict::Warning;
+  using Options = predict::PredictorOptions;
+
+  ReferencePredictor(const meta::KnowledgeRepository& repository,
+                     DurationSec window, Options options = {});
+
+  std::vector<Warning> observe(const bgl::Event& event);
+  std::vector<Warning> tick(TimeSec now);
+  std::vector<Warning> run(std::span<const bgl::Event> events,
+                           DurationSec tick_interval = 0);
+
+ private:
+  bool scoped() const {
+    return options_.location_scoped || options_.per_scope_state;
+  }
+  void expire(TimeSec now);
+  bool try_issue(std::vector<Warning>& out, TimeSec now,
+                 const meta::StoredRule& rule,
+                 std::optional<CategoryId> category, TimeSec deadline,
+                 std::optional<bgl::Location> location = std::nullopt,
+                 std::uint32_t scope = 0);
+  void erase_active(std::uint64_t rule_id, std::uint32_t scope);
+  void check_distribution(std::vector<Warning>& out, TimeSec now);
+  void check_distribution_scope(std::vector<Warning>& out, TimeSec now,
+                                std::uint32_t midplane, TimeSec last_fatal);
+
+  const meta::KnowledgeRepository* repository_;
+  DurationSec window_;
+  Options options_;
+
+  std::unordered_map<CategoryId, std::vector<const meta::StoredRule*>> e_list_;
+  std::unordered_map<CategoryId, std::vector<const meta::StoredRule*>>
+      by_consequent_;
+  std::vector<const meta::StoredRule*> statistical_rules_;
+  std::vector<const meta::StoredRule*> distribution_rules_;
+  std::vector<const meta::StoredRule*> tree_rules_;
+  std::vector<const meta::StoredRule*> net_rules_;
+  std::optional<learners::FeatureTracker> feature_tracker_;
+
+  struct RecentEvent {
+    TimeSec time;
+    CategoryId category;
+    std::uint32_t midplane;
+  };
+  std::deque<RecentEvent> recent_;
+  std::unordered_map<CategoryId, std::uint32_t> recent_counts_;
+  std::unordered_map<std::uint64_t, std::uint32_t> scoped_counts_;
+  std::deque<std::pair<TimeSec, std::uint32_t>> recent_fatals_;
+  std::optional<TimeSec> last_fatal_;
+  std::unordered_map<std::uint32_t, TimeSec> last_fatal_by_scope_;
+  std::unordered_map<std::uint64_t, TimeSec> active_;
+};
+
+}  // namespace dml::reference

@@ -15,6 +15,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -53,7 +54,8 @@ class Flags {
         return;
       }
       key = key.substr(2);
-      if (key == "no-reviser" || key == "help") {  // boolean flags
+      if (key == "no-reviser" || key == "help" ||
+          key == "profile") {  // boolean flags
         values_[key] = "1";
         continue;
       }
@@ -109,6 +111,8 @@ int usage() {
       "            [--training-weeks 26] [--retrain-weeks 4] [--window 300]\n"
       "            [--no-reviser] [--report FILE]  full dynamic driver\n"
       "            [--threads N]  N-shard concurrent serving replay\n"
+      "            [--profile]  print per-stage wall/CPU time (parse,\n"
+      "            preprocess, retrain builds, serving)\n"
       "            [--failpoint NAME=SPEC[,NAME=SPEC...]]  arm fault\n"
       "            injection; SPEC is throw|delay|drop|corrupt|off with\n"
       "            optional :p=PROB :ms=MILLIS :after=N :max=N\n"
@@ -117,8 +121,32 @@ int usage() {
   return 2;
 }
 
+/// Process CPU clock (all threads), for the --profile table.
+double process_cpu_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+struct StageTimes {
+  double wall = 0.0;
+  double cpu = 0.0;
+};
+
+/// One row of the --profile table; cpu < 0 means "not measured".
+void add_profile_row(online::TablePrinter& table, const char* stage,
+                     double wall, double cpu) {
+  table.add_row({stage, online::TablePrinter::fmt(wall, 4),
+                 cpu < 0 ? "-" : online::TablePrinter::fmt(cpu, 4)});
+}
+
 std::optional<logio::EventStore> load_events(const std::string& path,
-                                             DurationSec threshold) {
+                                             DurationSec threshold,
+                                             StageTimes* parse_times = nullptr,
+                                             StageTimes* preprocess_times =
+                                                 nullptr) {
+  using Clock = std::chrono::steady_clock;
   std::ifstream file(path);
   if (!file) {
     std::fprintf(stderr, "dmlfp: cannot open %s\n", path.c_str());
@@ -128,7 +156,27 @@ std::optional<logio::EventStore> load_events(const std::string& path,
   // Lenient mode: a malformed line is counted and skipped (with a
   // bounded diagnostic list), not fatal — a real log tail may be torn.
   logio::RecordReader reader(file, logio::RecordReader::OnError::kSkip);
-  while (auto record = reader.next()) pipeline.consume(*record);
+  if (parse_times != nullptr && preprocess_times != nullptr) {
+    // Profiled load: parse (text -> records) and preprocess (categorize
+    // + compress) are interleaved per record, so each call is clocked.
+    for (;;) {
+      auto wall0 = Clock::now();
+      auto cpu0 = process_cpu_seconds();
+      auto record = reader.next();
+      parse_times->wall +=
+          std::chrono::duration<double>(Clock::now() - wall0).count();
+      parse_times->cpu += process_cpu_seconds() - cpu0;
+      if (!record) break;
+      wall0 = Clock::now();
+      cpu0 = process_cpu_seconds();
+      pipeline.consume(*record);
+      preprocess_times->wall +=
+          std::chrono::duration<double>(Clock::now() - wall0).count();
+      preprocess_times->cpu += process_cpu_seconds() - cpu0;
+    }
+  } else {
+    while (auto record = reader.next()) pipeline.consume(*record);
+  }
   const auto& read_stats = reader.read_stats();
   if (read_stats.skipped > 0) {
     std::fprintf(stderr,
@@ -339,7 +387,9 @@ int cmd_predict(const Flags& flags) {
 /// by midplane) instead of the interval-by-interval batch driver, then
 /// score the merged warning stream over the post-training span.
 int run_sharded(const online::DriverConfig& config,
-                const logio::EventStore& store, long threads) {
+                const logio::EventStore& store, long threads, bool profile,
+                const StageTimes& parse_times,
+                const StageTimes& preprocess_times) {
   using Clock = std::chrono::steady_clock;
   const DurationSec initial_span =
       static_cast<DurationSec>(config.training_weeks) * kSecondsPerWeek;
@@ -362,15 +412,35 @@ int run_sharded(const online::DriverConfig& config,
   sharded.engine.learner = config.learner;
   sharded.engine.predictor = config.predictor;
   sharded.engine.async_retrain = true;
+  sharded.engine.profile = profile;
 
   std::vector<predict::Warning> warnings;
   const auto wall_start = Clock::now();
+  const double cpu_start = process_cpu_seconds();
   online::ShardedEngine engine(
       sharded, [&](const predict::Warning& w) { warnings.push_back(w); });
   for (const auto& event : store.all()) engine.consume(event);
   const auto stats = engine.finish();
   const double wall_seconds =
       std::chrono::duration<double>(Clock::now() - wall_start).count();
+  const double cpu_seconds = process_cpu_seconds() - cpu_start;
+
+  if (profile) {
+    // Serving is the sum of every shard worker's busy time (may exceed
+    // the run's wall time when shards overlap); retrain builds run on
+    // the shared pool, overlapped with serving.
+    online::TablePrinter profile_table({"stage", "wall-s", "cpu-s"});
+    add_profile_row(profile_table, "parse", parse_times.wall,
+                    parse_times.cpu);
+    add_profile_row(profile_table, "preprocess", preprocess_times.wall,
+                    preprocess_times.cpu);
+    add_profile_row(profile_table, "retrain-builds",
+                    stats.retrain_build_seconds, -1.0);
+    add_profile_row(profile_table, "serving", stats.serving_seconds, -1.0);
+    add_profile_row(profile_table, "replay-total", wall_seconds,
+                    cpu_seconds);
+    profile_table.print(std::cout);
+  }
 
   online::TablePrinter table({"shard", "events", "warnings", "busy-s",
                               "events/s"});
@@ -452,7 +522,12 @@ int cmd_run(const Flags& flags) {
       }
     }
   }
-  const auto store = load_events(*log_path, 300);
+  const bool profile = flags.has("profile");
+  StageTimes parse_times;
+  StageTimes preprocess_times;
+  const auto store =
+      profile ? load_events(*log_path, 300, &parse_times, &preprocess_times)
+              : load_events(*log_path, 300);
   if (!store) return 1;
 
   online::DriverConfig config;
@@ -492,10 +567,34 @@ int cmd_run(const Flags& flags) {
     return 2;
   }
 
+  config.profile = profile;
   const long threads = flags.get_long("threads", 1);
-  if (threads > 1) return run_sharded(config, *store, threads);
+  if (threads > 1) {
+    return run_sharded(config, *store, threads, profile, parse_times,
+                       preprocess_times);
+  }
 
+  using Clock = std::chrono::steady_clock;
+  const auto wall_start = Clock::now();
+  const double cpu_start = process_cpu_seconds();
   const auto result = online::DynamicDriver(config).run(*store);
+  if (profile) {
+    const double wall_seconds =
+        std::chrono::duration<double>(Clock::now() - wall_start).count();
+    const double cpu_seconds = process_cpu_seconds() - cpu_start;
+    online::TablePrinter profile_table({"stage", "wall-s", "cpu-s"});
+    add_profile_row(profile_table, "parse", parse_times.wall,
+                    parse_times.cpu);
+    add_profile_row(profile_table, "preprocess", preprocess_times.wall,
+                    preprocess_times.cpu);
+    add_profile_row(profile_table, "retrain-builds",
+                    result.engine_stats.retrain_build_seconds, -1.0);
+    add_profile_row(profile_table, "serving",
+                    result.engine_stats.serving_seconds, -1.0);
+    add_profile_row(profile_table, "replay-total", wall_seconds,
+                    cpu_seconds);
+    profile_table.print(std::cout);
+  }
   if (const auto report_path = flags.get("report")) {
     std::ofstream report(*report_path);
     if (!report) {
