@@ -10,7 +10,9 @@
 namespace dml::bench {
 
 double raw_scale() {
-  const char* env = std::getenv("DML_BENCH_SCALE");
+  // Benchmarks read the environment once, before any worker threads
+  // exist, and never call setenv.
+  const char* env = std::getenv("DML_BENCH_SCALE");  // NOLINT(concurrency-mt-unsafe)
   if (env == nullptr) return 1.0;
   const double value = std::atof(env);
   return value > 0.0 ? value : 1.0;
@@ -64,7 +66,8 @@ std::string sanitize(std::string text) {
 
 void write_series_csv(const std::string& label,
                       const online::DriverResult& result) {
-  const char* env = std::getenv("DML_BENCH_RESULTS");
+  // Read-only env access on the single-threaded reporting path.
+  const char* env = std::getenv("DML_BENCH_RESULTS");  // NOLINT(concurrency-mt-unsafe)
   std::string dir = env != nullptr ? env : "results";
   if (dir == "none") return;
   std::error_code ec;

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <stdexcept>
 
+#include "common/check.hpp"
 #include "common/string_util.hpp"
 
 namespace dml::bgl {
@@ -234,6 +235,14 @@ Taxonomy::Taxonomy() : by_facility_(kNumFacilities) {
                    make_variant(stem, variant));
     }
   }
+  // Table 3 pins the taxonomy: 69 fatal + 150 non-fatal = 219
+  // categories.  Everything downstream (CategoryId tables, golden logs,
+  // the dense remap) is sized off these counts, so a drifted spec must
+  // fail here, not as silent misclassification later.
+  DML_CHECK_MSG(fatal_ids_.size() == 69, "Table 3: 69 fatal categories");
+  DML_CHECK_MSG(nonfatal_ids_.size() == 150,
+                "Table 3: 150 non-fatal categories");
+  DML_CHECK_MSG(categories_.size() == 219, "Table 3: 219 categories total");
 }
 
 const EventCategory& Taxonomy::category(CategoryId id) const {

@@ -1,0 +1,21 @@
+#include "common/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dml::common::detail {
+
+void check_failed(const char* file, int line, const char* condition,
+                  const char* message) {
+  if (message != nullptr) {
+    std::fprintf(stderr, "DML_CHECK failed: %s (%s) at %s:%d\n", condition,
+                 message, file, line);
+  } else {
+    std::fprintf(stderr, "DML_CHECK failed: %s at %s:%d\n", condition, file,
+                 line);
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace dml::common::detail

@@ -1,0 +1,60 @@
+// Always-on and debug-only invariant checks — the contract layer the
+// golden tests pin implicitly, made explicit at the point of truth.
+//
+//   DML_CHECK(cond)            always compiled; aborts with file:line
+//   DML_CHECK_MSG(cond, msg)   same, with a fixed explanatory string
+//   DML_DCHECK(cond)           debug builds only; compiles to *nothing*
+//   DML_DCHECK_MSG(cond, msg)  under NDEBUG (hot paths stay hot)
+//
+// Policy (DESIGN.md §10): DML_CHECK guards cheap, load-bearing
+// invariants whose violation means the process state is already wrong
+// (construction-time counts, configuration plumbing, stream health at
+// the point a result is reported).  DML_DCHECK expresses hot-path
+// contracts — probe-table load factors, dense-id bounds, time-ordering
+// preconditions — that Debug/TSan/ASan CI builds verify on every run
+// and Release serving never pays for.  A DCHECK condition must be free
+// of side effects: in Release it is parsed but never evaluated.
+//
+// On failure the process aborts (SIGABRT) after printing one line to
+// stderr:
+//   DML_CHECK failed: <condition> (<message>) at <file>:<line>
+// Abort rather than throw: a broken invariant means later code would
+// compute garbage from corrupted state; unwinding through it only moves
+// the crash somewhere less diagnosable.
+#pragma once
+
+namespace dml::common::detail {
+
+/// Prints the one-line diagnostic and aborts.  Out of line so the
+/// check macros inline to a compare + predictable branch.
+[[noreturn]] void check_failed(const char* file, int line,
+                               const char* condition, const char* message);
+
+}  // namespace dml::common::detail
+
+#if defined(__GNUC__) || defined(__clang__)
+#define DML_CHECK_LIKELY(x) __builtin_expect(static_cast<bool>(x), true)
+#else
+#define DML_CHECK_LIKELY(x) static_cast<bool>(x)
+#endif
+
+#define DML_CHECK_MSG(condition, message)                             \
+  (DML_CHECK_LIKELY(condition)                                        \
+       ? static_cast<void>(0)                                         \
+       : ::dml::common::detail::check_failed(__FILE__, __LINE__,      \
+                                             #condition, (message)))
+
+#define DML_CHECK(condition) DML_CHECK_MSG(condition, nullptr)
+
+#ifdef NDEBUG
+// sizeof keeps the condition parsed (typos still break the build, and
+// variables referenced only by DCHECKs stay "used") without generating
+// any code or evaluating any operand.
+#define DML_DCHECK(condition) \
+  static_cast<void>(sizeof((condition) ? 1 : 0))
+#define DML_DCHECK_MSG(condition, message) \
+  static_cast<void>(sizeof((condition) ? 1 : 0))
+#else
+#define DML_DCHECK(condition) DML_CHECK(condition)
+#define DML_DCHECK_MSG(condition, message) DML_CHECK_MSG(condition, message)
+#endif

@@ -173,7 +173,7 @@ void FailpointRegistry::recount_armed() {
 }
 
 void FailpointRegistry::arm(std::string_view name, FailpointSpec spec) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   Entry* entry = find(name);
   if (!entry) {
     entries_.emplace_back();
@@ -201,7 +201,7 @@ bool FailpointRegistry::arm_from_string(std::string_view assignment,
 }
 
 void FailpointRegistry::disarm(std::string_view name) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (Entry* entry = find(name)) {
     entry->spec.action = FailAction::kOff;
     recount_armed();
@@ -209,14 +209,14 @@ void FailpointRegistry::disarm(std::string_view name) {
 }
 
 void FailpointRegistry::reset() {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   entries_.clear();
   seed_ = kDefaultSeed;
   armed_.store(0, std::memory_order_relaxed);
 }
 
 void FailpointRegistry::reseed(std::uint64_t seed) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   seed_ = seed;
   for (auto& entry : entries_) {
     entry.rng = Rng(seed_ ^ name_hash(entry.name));
@@ -225,14 +225,14 @@ void FailpointRegistry::reseed(std::uint64_t seed) {
 
 FailpointRegistry::Stats FailpointRegistry::stats(
     std::string_view name) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   const Entry* entry = find(name);
   return entry ? entry->stats : Stats{};
 }
 
 std::vector<std::pair<std::string, FailpointRegistry::Stats>>
 FailpointRegistry::all() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::pair<std::string, Stats>> out;
   out.reserve(entries_.size());
   for (const auto& entry : entries_) {
@@ -245,7 +245,7 @@ FailAction FailpointRegistry::evaluate(std::string_view name) {
   FailAction action = FailAction::kOff;
   std::uint32_t delay_ms = 0;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     Entry* entry = find(name);
     if (!entry || entry->spec.action == FailAction::kOff) {
       return FailAction::kOff;

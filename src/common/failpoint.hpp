@@ -27,7 +27,6 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -35,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/rng.hpp"
 
 namespace dml::common {
@@ -145,13 +145,15 @@ class FailpointRegistry {
   };
 
   FailpointRegistry();
-  Entry* find(std::string_view name);
-  const Entry* find(std::string_view name) const;
-  void recount_armed();
+  Entry* find(std::string_view name) DML_REQUIRES(mutex_);
+  const Entry* find(std::string_view name) const DML_REQUIRES(mutex_);
+  void recount_armed() DML_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::vector<Entry> entries_;
-  std::uint64_t seed_;
+  mutable Mutex mutex_;
+  std::vector<Entry> entries_ DML_GUARDED_BY(mutex_);
+  std::uint64_t seed_ DML_GUARDED_BY(mutex_);
+  /// armed-count fast path: read lock-free by failpoint(); written only
+  /// under mutex_ (recount_armed / reset).
   std::atomic<std::size_t> armed_{0};
 };
 

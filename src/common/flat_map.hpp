@@ -17,6 +17,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/check.hpp"
+
 namespace dml::common {
 
 template <typename K, typename V>
@@ -39,6 +41,9 @@ class FlatMap {
 
   const V* find(K key) const {
     if (slots_.empty()) return nullptr;
+    // Probe termination: the load factor keeps at least one slot free,
+    // so every probe chain ends at an unused slot.
+    DML_DCHECK(size_ < slots_.size());
     std::size_t i = index_of(key);
     while (slots_[i].used) {
       if (slots_[i].key == key) return &slots_[i].value;
@@ -54,6 +59,9 @@ class FlatMap {
   /// Inserts a default V when absent (like std::unordered_map::operator[]).
   V& operator[](K key) {
     if (slots_.empty() || (size_ + 1) * 4 > slots_.size() * 3) grow();
+    // grow() re-established the <= 3/4 load factor, so insertion cannot
+    // fill the table and the probe below terminates.
+    DML_DCHECK((size_ + 1) * 4 <= slots_.size() * 3);
     std::size_t i = index_of(key);
     while (slots_[i].used) {
       if (slots_[i].key == key) return slots_[i].value;
@@ -71,9 +79,11 @@ class FlatMap {
   /// to its ideal position, so lookups never traverse deleted slots.
   bool erase(K key) {
     if (slots_.empty()) return false;
+    DML_DCHECK(size_ < slots_.size());
     std::size_t i = index_of(key);
     while (slots_[i].used && slots_[i].key != key) i = (i + 1) & mask_;
     if (!slots_[i].used) return false;
+    DML_DCHECK(size_ > 0);
     std::size_t hole = i;
     std::size_t cur = (i + 1) & mask_;
     while (slots_[cur].used) {
@@ -116,6 +126,9 @@ class FlatMap {
 
   void grow() {
     const std::size_t capacity = slots_.empty() ? 16 : slots_.size() * 2;
+    // index_of masks with capacity - 1; anything but a power of two
+    // would alias probe chains.
+    DML_DCHECK((capacity & (capacity - 1)) == 0);
     std::vector<Slot> old = std::move(slots_);
     slots_.assign(capacity, Slot{});
     mask_ = capacity - 1;

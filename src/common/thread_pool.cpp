@@ -26,7 +26,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::scoped_lock lock(mutex_);
+    common::MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -38,8 +38,10 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      common::MutexLock lock(mutex_);
+      // Explicit loop, not a predicate lambda: thread-safety analysis
+      // does not see capabilities inside lambda bodies.
+      while (!stopping_ && queue_.empty()) cv_.wait(lock);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop();
@@ -78,7 +80,7 @@ void ThreadPool::parallel_for_ranges(
   // Exceptions are therefore trapped per chunk — keyed by chunk index so
   // the *first* failing chunk wins deterministically — and the winner is
   // rethrown on the calling thread once every future has been awaited.
-  std::mutex error_mutex;
+  common::Mutex error_mutex;
   std::size_t error_chunk = std::numeric_limits<std::size_t>::max();
   std::exception_ptr error;
   std::atomic<bool> failed{false};
@@ -91,7 +93,7 @@ void ThreadPool::parallel_for_ranges(
       fn(index, lo, hi);
     } catch (...) {
       failed.store(true, std::memory_order_relaxed);
-      std::scoped_lock lock(error_mutex);
+      common::MutexLock lock(error_mutex);
       if (index < error_chunk) {
         error_chunk = index;
         error = std::current_exception();

@@ -5,14 +5,14 @@
 // learners and to chunk Apriori support counting across workers.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.hpp"
 
 namespace dml {
 
@@ -31,13 +31,13 @@ class ThreadPool {
   /// Enqueues a task; the future resolves when it completes.  Tasks must
   /// not themselves block on other tasks submitted to the same pool.
   template <typename F>
-  std::future<std::invoke_result_t<F>> submit(F&& fn) {
+  std::future<std::invoke_result_t<F>> submit(F&& fn) DML_EXCLUDES(mutex_) {
     using R = std::invoke_result_t<F>;
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> result = task->get_future();
     {
-      std::scoped_lock lock(mutex_);
+      common::MutexLock lock(mutex_);
       queue_.emplace([task]() mutable { (*task)(); });
     }
     cv_.notify_one();
@@ -80,10 +80,10 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  common::Mutex mutex_;
+  common::CondVar cv_;
+  std::queue<std::function<void()>> queue_ DML_GUARDED_BY(mutex_);
+  bool stopping_ DML_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace dml

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/check.hpp"
+
 namespace dml::learners {
 namespace {
 
@@ -67,6 +69,12 @@ std::vector<std::vector<CategoryId>> sample_negative_windows(
     DurationSec stride) {
   std::vector<std::vector<CategoryId>> windows;
   if (events.empty() || stride <= 0) return windows;
+  // The incremental enter/leave sweep is only sound over a time-ordered
+  // span (each event must enter and leave exactly once).
+  DML_DCHECK(std::is_sorted(events.begin(), events.end(),
+                            [](const bgl::Event& a, const bgl::Event& b) {
+                              return a.time < b.time;
+                            }));
   const TimeSec first = events.front().time;
   const TimeSec last = events.back().time;
   // Sliding state for [begin, begin + window): per-category counts of the
@@ -119,6 +127,11 @@ DenseCategoryMap build_dense_category_map(
   bool any = false;
   for (const auto& tx : transactions) {
     if (tx.empty()) continue;
+    // Input contract: each transaction is a sorted unique item list —
+    // the `back() is max` shortcut and the miner's lexicographic
+    // itemset order both depend on it.
+    DML_DCHECK(std::is_sorted(tx.begin(), tx.end()));
+    DML_DCHECK(std::adjacent_find(tx.begin(), tx.end()) == tx.end());
     any = true;
     max_category = std::max(max_category, tx.back());  // sorted: back is max
   }
@@ -149,6 +162,10 @@ TransactionBitsets encode_transaction_bitsets(
     for (CategoryId item : transactions[t]) {
       const CategoryId d = map.dense_of(item);
       if (d == kInvalidCategory) continue;
+      // Dense ids index fixed-width rows; one out-of-range id would
+      // corrupt a neighbouring transaction's bits.
+      DML_DCHECK(d < map.size());
+      DML_DCHECK((d >> 6) < bits.words_per_row);
       row[d >> 6] |= std::uint64_t{1} << (d & 63);
     }
   }

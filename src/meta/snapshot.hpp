@@ -8,9 +8,9 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <utility>
 
+#include "common/annotations.hpp"
 #include "common/failpoint.hpp"
 #include "meta/knowledge_repository.hpp"
 
@@ -50,27 +50,27 @@ class SnapshotPublisher {
   SnapshotPublisher& operator=(const SnapshotPublisher&) = delete;
 
   /// Pins and returns the snapshot currently in force.
-  RepositorySnapshot load() const {
-    std::lock_guard lock(mutex_);
+  RepositorySnapshot load() const DML_EXCLUDES(mutex_) {
+    common::MutexLock lock(mutex_);
     return current_;
   }
 
   /// Replaces the snapshot in force with one pointer swap.
-  void store(RepositorySnapshot next) {
+  void store(RepositorySnapshot next) DML_EXCLUDES(mutex_) {
     // Fault injection: `snapshot.publish` can stall (delay) or abort
     // (throw) a publication before the swap; evaluated outside the lock.
     common::failpoint(common::failpoints::kSnapshotPublish);
     RepositorySnapshot displaced;
     {
-      std::lock_guard lock(mutex_);
+      common::MutexLock lock(mutex_);
       displaced = std::exchange(current_, std::move(next));
     }
     // `displaced` destroyed here, outside the lock.
   }
 
  private:
-  mutable std::mutex mutex_;
-  RepositorySnapshot current_;
+  mutable common::Mutex mutex_;
+  RepositorySnapshot current_ DML_GUARDED_BY(mutex_);
 };
 
 }  // namespace dml::meta

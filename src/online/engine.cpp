@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/check.hpp"
+
 namespace dml::online {
 
 std::string_view to_string(DegradationEvent::Kind kind) {
@@ -85,6 +87,10 @@ std::vector<bgl::Event> OnlineEngine::warm_tail(TimeSec at,
 }
 
 void OnlineEngine::adopt(SnapshotBuild build) {
+  // Snapshot epoch ordering: adoptions land in nondecreasing event
+  // time, so the retrain log reads as the serving timeline.
+  DML_DCHECK(retrain_log_.empty() ||
+             retrain_log_.back().activate_at <= build.activate_at);
   const auto warm = warm_tail(build.activate_at, build.window);
   serving_.adopt(build, warm, scratch_);
   retrain_log_.push_back(std::move(build));

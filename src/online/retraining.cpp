@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/check.hpp"
 #include "common/failpoint.hpp"
 #include "common/thread_pool.hpp"
 #include "predict/outcome_matcher.hpp"
@@ -97,7 +98,15 @@ std::string_view to_string(TrainingMode mode) {
 RetrainScheduler::RetrainScheduler(RetrainPolicy policy)
     : policy_(std::move(policy)),
       window_(policy_.prediction_window),
-      latest_(meta::empty_snapshot()) {}
+      latest_(meta::empty_snapshot()) {
+  // Config contracts, checked once at construction: a non-positive
+  // cadence would spin boundary_due's skipped-boundary collapse loop
+  // forever, and a non-positive window mines rules over an empty span.
+  DML_CHECK_MSG(policy_.retrain_interval > 0,
+                "retrain cadence must be positive");
+  DML_CHECK_MSG(policy_.prediction_window > 0,
+                "prediction window must be positive");
+}
 
 RetrainScheduler::~RetrainScheduler() {
   if (pending_.valid()) pending_.wait();
@@ -120,6 +129,9 @@ std::optional<TimeSec> RetrainScheduler::boundary_due(TimeSec t) {
     boundary += policy_.retrain_interval;
   }
   *next_boundary_ = boundary + policy_.retrain_interval;
+  // The schedule only moves forward: the boundary just returned is in
+  // the past of the one armed next (snapshot epoch ordering).
+  DML_DCHECK(*next_boundary_ > boundary);
   return boundary;
 }
 
@@ -248,6 +260,10 @@ SnapshotBuild RetrainScheduler::run_build(
 std::optional<SnapshotBuild> RetrainScheduler::take_pending(
     TimeSec activate_at) {
   const TimeSec boundary = pending_scheduled_;
+  // Adoption never precedes the boundary that scheduled the build; the
+  // serving side relies on activate_at >= scheduled_at to warm its
+  // predictor from events strictly before adoption.
+  DML_DCHECK(activate_at >= boundary);
   auto build = pending_.get();
   if (build.failed()) {
     // Every attempt failed: abandon the boundary, keep serving the last

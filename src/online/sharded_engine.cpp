@@ -3,16 +3,16 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <exception>
 #include <limits>
-#include <mutex>
 #include <thread>
 #include <tuple>
 #include <variant>
 
 #include "bgl/location.hpp"
+#include "common/annotations.hpp"
+#include "common/check.hpp"
 #include "common/failpoint.hpp"
 #include "online/serving.hpp"
 
@@ -45,10 +45,9 @@ class BoundedQueue {
   explicit BoundedQueue(std::size_t capacity)
       : capacity_(std::max<std::size_t>(1, capacity)) {}
 
-  void push(Message message) {
-    std::unique_lock lock(mutex_);
-    not_full_.wait(lock,
-                   [&] { return queue_.size() < capacity_ || closed_; });
+  void push(Message message) DML_EXCLUDES(mutex_) {
+    common::MutexLock lock(mutex_);
+    while (queue_.size() >= capacity_ && !closed_) not_full_.wait(lock);
     if (closed_) return;  // receiver died; drop to let the producer finish
     queue_.push_back(std::move(message));
     lock.unlock();
@@ -57,9 +56,9 @@ class BoundedQueue {
 
   /// Moves every queued message into `out`; blocks until at least one is
   /// available.  Returns false once the queue is closed and drained.
-  bool pop_all(std::vector<Message>& out) {
-    std::unique_lock lock(mutex_);
-    not_empty_.wait(lock, [&] { return !queue_.empty() || closed_; });
+  bool pop_all(std::vector<Message>& out) DML_EXCLUDES(mutex_) {
+    common::MutexLock lock(mutex_);
+    while (queue_.empty() && !closed_) not_empty_.wait(lock);
     if (queue_.empty()) return false;
     out.assign(std::move_iterator(queue_.begin()),
                std::move_iterator(queue_.end()));
@@ -69,9 +68,9 @@ class BoundedQueue {
     return true;
   }
 
-  void close() {
+  void close() DML_EXCLUDES(mutex_) {
     {
-      std::lock_guard lock(mutex_);
+      common::MutexLock lock(mutex_);
       closed_ = true;
     }
     not_empty_.notify_all();
@@ -80,11 +79,11 @@ class BoundedQueue {
 
  private:
   const std::size_t capacity_;
-  std::mutex mutex_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<Message> queue_;
-  bool closed_ = false;
+  common::Mutex mutex_;
+  common::CondVar not_full_;
+  common::CondVar not_empty_;
+  std::deque<Message> queue_ DML_GUARDED_BY(mutex_);
+  bool closed_ DML_GUARDED_BY(mutex_) = false;
 };
 
 bool warning_before(const predict::Warning& a, const predict::Warning& b) {
@@ -115,22 +114,32 @@ class ShardedEngine::WarningMerger {
   /// now below the global watermark.  The callback runs under the merger
   /// lock, so it is serial — cheap callbacks only.
   void push(std::size_t shard, std::vector<predict::Warning>& fresh,
-            TimeSec watermark) {
-    std::lock_guard lock(mutex_);
+            TimeSec watermark) DML_EXCLUDES(mutex_) {
+    common::MutexLock lock(mutex_);
     auto& buffer = buffers_[shard];
+    // Contract: each shard's own stream is nondecreasing in issued_at —
+    // the property release() relies on to cut buffers with one scan.
+    DML_DCHECK(fresh.empty() || buffer.empty() ||
+               buffer.back().issued_at <= fresh.front().issued_at);
+    DML_DCHECK(std::is_sorted(fresh.begin(), fresh.end(),
+                              [](const predict::Warning& a,
+                                 const predict::Warning& b) {
+                                return a.issued_at < b.issued_at;
+                              }));
     buffer.insert(buffer.end(), fresh.begin(), fresh.end());
+    // Watermarks only advance (monotone per shard by construction).
     watermarks_[shard] = std::max(watermarks_[shard], watermark);
     release(*std::min_element(watermarks_.begin(), watermarks_.end()));
   }
 
   /// End of stream: every remaining buffered warning goes out in order.
-  void finish() {
-    std::lock_guard lock(mutex_);
+  void finish() DML_EXCLUDES(mutex_) {
+    common::MutexLock lock(mutex_);
     release(std::numeric_limits<TimeSec>::max());
   }
 
-  std::uint64_t emitted() const {
-    std::lock_guard lock(mutex_);
+  std::uint64_t emitted() const DML_EXCLUDES(mutex_) {
+    common::MutexLock lock(mutex_);
     return emitted_;
   }
 
@@ -138,7 +147,7 @@ class ShardedEngine::WarningMerger {
   /// Emits every buffered warning with issued_at strictly below `safe`.
   /// (Strict: a shard at watermark t can still issue at t itself — a
   /// tick at t fires only when the shard moves past t.)
-  void release(TimeSec safe) {
+  void release(TimeSec safe) DML_REQUIRES(mutex_) {
     scratch_.clear();
     for (auto& buffer : buffers_) {
       auto cut = std::find_if(buffer.begin(), buffer.end(),
@@ -156,12 +165,12 @@ class ShardedEngine::WarningMerger {
   }
 
   WarningCallback callback_;
-  mutable std::mutex mutex_;
+  mutable common::Mutex mutex_;
   /// Per-shard pending warnings, each nondecreasing in issued_at.
-  std::vector<std::vector<predict::Warning>> buffers_;
-  std::vector<TimeSec> watermarks_;
-  std::vector<predict::Warning> scratch_;
-  std::uint64_t emitted_ = 0;
+  std::vector<std::vector<predict::Warning>> buffers_ DML_GUARDED_BY(mutex_);
+  std::vector<TimeSec> watermarks_ DML_GUARDED_BY(mutex_);
+  std::vector<predict::Warning> scratch_ DML_GUARDED_BY(mutex_);
+  std::uint64_t emitted_ DML_GUARDED_BY(mutex_) = 0;
 };
 
 struct ShardedEngine::Shard {
@@ -327,7 +336,7 @@ void ShardedEngine::feed(const bgl::Event& event) {
 
 void ShardedEngine::note_quarantine(std::size_t index, TimeSec at,
                                     std::string what) {
-  std::lock_guard lock(quarantine_mutex_);
+  common::MutexLock lock(quarantine_mutex_);
   quarantines_.push_back({DegradationEvent::Kind::kShardQuarantined, at, 1,
                           "shard " + std::to_string(index) +
                               " quarantined: " + std::move(what)});
@@ -479,7 +488,7 @@ std::vector<DegradationEvent> ShardedEngine::degradation_log() const {
                    "retraining abandoned: " + failure.error});
   }
   {
-    std::lock_guard lock(quarantine_mutex_);
+    common::MutexLock lock(quarantine_mutex_);
     log.insert(log.end(), quarantines_.begin(), quarantines_.end());
   }
   std::uint64_t skipped =

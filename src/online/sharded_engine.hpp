@@ -21,10 +21,10 @@
 #pragma once
 
 #include <cstddef>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "meta/snapshot.hpp"
 #include "online/engine.hpp"
 
@@ -117,7 +117,8 @@ class ShardedEngine {
   void feed(const bgl::Event& event);
   void broadcast_heartbeats(TimeSec t);
   void worker(std::size_t index);
-  void note_quarantine(std::size_t index, TimeSec at, std::string what);
+  void note_quarantine(std::size_t index, TimeSec at, std::string what)
+      DML_EXCLUDES(quarantine_mutex_);
   std::size_t shard_of(const bgl::Event& event) const;
 
   ShardedEngineConfig config_;
@@ -142,8 +143,8 @@ class ShardedEngine {
   SessionStats final_stats_;
 
   // Quarantine incidents, appended by shard workers.
-  mutable std::mutex quarantine_mutex_;
-  std::vector<DegradationEvent> quarantines_;
+  mutable common::Mutex quarantine_mutex_;
+  std::vector<DegradationEvent> quarantines_ DML_GUARDED_BY(quarantine_mutex_);
 };
 
 }  // namespace dml::online

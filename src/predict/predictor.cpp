@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/check.hpp"
+
 namespace dml::predict {
 
 namespace {
@@ -82,6 +84,9 @@ void Predictor::set_scope_clock(std::uint32_t midplane, TimeSec at) {
 void Predictor::expire(TimeSec now) {
   while (!recent_.empty() && recent_.front().time <= now - window_) {
     const RecentEvent& old = recent_.front();
+    // Every queued event was counted on entry; an underflow here means
+    // the count table and the recency deque have diverged.
+    DML_DCHECK(recent_counts_[old.category] > 0);
     --recent_counts_[old.category];
     if (scoped()) {
       auto* scoped_count =
@@ -120,6 +125,10 @@ bool Predictor::try_issue(std::vector<Warning>& out, TimeSec now,
                           TimeSec deadline,
                           std::optional<bgl::Location> location,
                           std::uint32_t scope) {
+  // Deadline ordering: a warning's window never closes before it opens;
+  // the active-warning table and the outcome matcher both assume
+  // issued_at <= deadline.
+  DML_DCHECK(deadline >= now);
   const std::uint64_t key =
       active_key(rule.id, scope, options_.per_scope_state);
   if (options_.deduplicate_warnings) {

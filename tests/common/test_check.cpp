@@ -1,0 +1,70 @@
+#include "common/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dml {
+namespace {
+
+TEST(CheckDeathTest, CheckAbortsOnFalse) {
+  EXPECT_DEATH(DML_CHECK(1 + 1 == 3), "DML_CHECK failed: 1 \\+ 1 == 3");
+}
+
+TEST(CheckDeathTest, CheckMsgPrintsMessage) {
+  EXPECT_DEATH(DML_CHECK_MSG(false, "the sky is falling"),
+               "the sky is falling");
+}
+
+TEST(CheckDeathTest, FailureReportsSourceLocation) {
+  EXPECT_DEATH(DML_CHECK(false), "test_check\\.cpp");
+}
+
+TEST(Check, PassingCheckIsANoOp) {
+  DML_CHECK(true);
+  DML_CHECK_MSG(2 + 2 == 4, "arithmetic still works");
+}
+
+TEST(Check, ConditionEvaluatedExactlyOnceOnSuccess) {
+  int evaluations = 0;
+  DML_CHECK(++evaluations > 0);
+  EXPECT_EQ(evaluations, 1);
+}
+
+#ifdef NDEBUG
+
+TEST(DCheck, ElidedInReleaseBuilds) {
+  // The condition must not be evaluated at all: DML_DCHECK compiles to
+  // an unevaluated sizeof in NDEBUG builds, so side effects vanish and
+  // even a false condition is inert.
+  int evaluations = 0;
+  DML_DCHECK(++evaluations > 0);
+  EXPECT_EQ(evaluations, 0);
+  DML_DCHECK(false);
+  DML_DCHECK_MSG(false, "never printed");
+}
+
+#else  // !NDEBUG
+
+TEST(DCheckDeathTest, FiresInDebugBuilds) {
+  EXPECT_DEATH(DML_DCHECK(false), "DML_CHECK failed");
+  EXPECT_DEATH(DML_DCHECK_MSG(false, "debug contract"), "debug contract");
+}
+
+TEST(DCheck, PassingDCheckIsANoOp) {
+  int evaluations = 0;
+  DML_DCHECK(++evaluations > 0);
+  EXPECT_EQ(evaluations, 1);
+}
+
+#endif  // NDEBUG
+
+TEST(Check, LambdaConditionsCompileInBothModes) {
+  // Contracts like the transaction-sortedness DCHECK use lambdas inside
+  // the condition; C++20 allows them in unevaluated operands, so this
+  // must compile whether or not NDEBUG elides the expression.
+  const int values[] = {1, 2, 3};
+  DML_DCHECK([&] { return values[0] < values[2]; }());
+  DML_CHECK([&] { return values[1] == 2; }());
+}
+
+}  // namespace
+}  // namespace dml

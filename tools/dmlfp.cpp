@@ -247,6 +247,13 @@ int cmd_generate(const Flags& flags) {
   logio::CountingSink counter;
   logio::TeeSink tee({&sink, &counter});
   loggen::LogGenerator(profile, seed).generate(tee);
+  out.flush();
+  if (!out) {
+    // A full disk surfaces here, not at open(): without this check the
+    // tool would report success over a truncated log.
+    std::fprintf(stderr, "dmlfp: write to %s failed\n", out_path->c_str());
+    return 1;
+  }
   std::printf("wrote %llu records (%.1f MB) to %s\n",
               static_cast<unsigned long long>(counter.total()),
               static_cast<double>(counter.bytes()) / (1 << 20),
@@ -327,6 +334,11 @@ int cmd_train(const Flags& flags) {
     return 1;
   }
   meta::write_rules(out, repository);
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "dmlfp: write to %s failed\n", out_path->c_str());
+    return 1;
+  }
   std::printf(
       "trained on %zu events: %zu rules (%zu pruned by reviser) in %.2f s "
       "-> %s\n",
@@ -602,6 +614,12 @@ int cmd_run(const Flags& flags) {
       return 1;
     }
     online::write_markdown_report(report, config, result, *store);
+    report.flush();
+    if (!report) {
+      std::fprintf(stderr, "dmlfp: write to %s failed\n",
+                   report_path->c_str());
+      return 1;
+    }
     std::printf("wrote report to %s\n", report_path->c_str());
   }
   online::TablePrinter table({"week", "precision", "recall", "rules",

@@ -1,0 +1,90 @@
+#!/bin/sh
+# Negative-compilation smoke test for the thread-safety annotation
+# layer (src/common/annotations.hpp).
+#
+# Two tiny translation units are compiled with Clang under
+# -Werror=thread-safety:
+#   * the positive TU takes the lock before touching a guarded member
+#     and must COMPILE;
+#   * the negative TU touches the same member without the lock and
+#     must FAIL.
+# If the negative TU ever starts compiling, the macros have silently
+# stopped expanding (e.g. a gate on __has_attribute regressed) and the
+# whole analysis is off without anyone noticing — that is exactly the
+# failure mode this script exists to catch.
+#
+# Exits 77 (the ctest/automake skip convention) when no Clang is
+# available: the analysis is a Clang frontend pass, so there is nothing
+# meaningful to test under other compilers.
+
+set -u
+
+repo_root=$(cd "$(dirname "$0")/../.." && pwd)
+
+CLANGXX=${CLANGXX:-clang++}
+if ! command -v "$CLANGXX" >/dev/null 2>&1; then
+  echo "check_annotations: $CLANGXX not found; skipping (exit 77)" >&2
+  exit 77
+fi
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+cat > "$tmpdir/positive.cpp" <<'EOF'
+#include "common/annotations.hpp"
+
+class Counter {
+ public:
+  void bump() DML_EXCLUDES(mutex_) {
+    dml::common::MutexLock lock(mutex_);
+    ++value_;
+  }
+
+ private:
+  dml::common::Mutex mutex_;
+  int value_ DML_GUARDED_BY(mutex_) = 0;
+};
+
+int main() {
+  Counter c;
+  c.bump();
+  return 0;
+}
+EOF
+
+cat > "$tmpdir/negative.cpp" <<'EOF'
+#include "common/annotations.hpp"
+
+class Counter {
+ public:
+  void bump() DML_EXCLUDES(mutex_) {
+    ++value_;  // guarded member touched without mutex_: must not compile
+  }
+
+ private:
+  dml::common::Mutex mutex_;
+  int value_ DML_GUARDED_BY(mutex_) = 0;
+};
+
+int main() {
+  Counter c;
+  c.bump();
+  return 0;
+}
+EOF
+
+flags="-std=c++20 -I$repo_root/src -Werror=thread-safety -fsyntax-only"
+
+if ! "$CLANGXX" $flags "$tmpdir/positive.cpp"; then
+  echo "check_annotations: FAIL - correctly locked code was rejected" >&2
+  exit 1
+fi
+
+if "$CLANGXX" $flags "$tmpdir/negative.cpp" 2>/dev/null; then
+  echo "check_annotations: FAIL - unguarded access to a DML_GUARDED_BY" \
+       "member compiled cleanly; annotations are not being enforced" >&2
+  exit 1
+fi
+
+echo "check_annotations: OK (positive TU compiles, negative TU rejected)"
+exit 0
