@@ -1,0 +1,287 @@
+// Storage data-plane benchmarks for the segmented on-disk log of
+// DESIGN.md §11, on the full-length generated ANL and SDSC corpora:
+//
+//   - ingest: LogWriter + CanonicalAppender throughput writing the
+//     whole unique-event corpus into a fresh repository (events/s and
+//     MB/s of encoded records), verified clean afterwards,
+//   - cold_replay: cold-start replay throughput — open the repository
+//     fresh and stream every event through an EventCursor, checked
+//     against the in-memory store size and fatal count,
+//   - seek_replay: verified mid-corpus seek-by-time — position a cursor
+//     half-way into the corpus via the segment indexes and replay a
+//     bounded window, checked event-for-event against the in-memory
+//     store, touching only the segments the window covers.
+//
+// Every timed stage is also a correctness check; a throughput number on
+// a diverging replay would be meaningless.
+//
+// Emits machine-readable JSON (default BENCH_storage.json; --out FILE)
+// alongside the printed table.  --quick shrinks the corpus slices for
+// CI smoke runs; numbers from --quick are not comparable.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "online/report.hpp"
+#include "storage/disk_repository.hpp"
+#include "storage/format.hpp"
+#include "storage/log_writer.hpp"
+#include "storage/maintenance.hpp"
+#include "support/bench_logs.hpp"
+
+namespace {
+
+using namespace dml;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Self-cleaning scratch directory (bench-local stand-in for the test
+/// tree's ScopedTempDir, which bench binaries do not link).
+class ScratchDir {
+ public:
+  ScratchDir() {
+    std::string tpl =
+        (std::filesystem::temp_directory_path() / "dml-bench-storage-XXXXXX")
+            .string();
+    if (::mkdtemp(tpl.data()) == nullptr) {
+      std::fprintf(stderr, "bench_storage: mkdtemp failed\n");
+      std::exit(1);
+    }
+    path_ = tpl;
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  std::string sub(const std::string& name) const { return path_ + "/" + name; }
+
+ private:
+  std::string path_;
+};
+
+struct StageResult {
+  std::string stage;
+  std::string machine;
+  double seconds = 0.0;
+  std::uint64_t events = 0;
+  std::uint64_t bytes = 0;
+  std::string detail;
+
+  double events_per_second() const {
+    return seconds > 0 ? static_cast<double>(events) / seconds : 0.0;
+  }
+  double mb_per_second() const {
+    return seconds > 0 ? static_cast<double>(bytes) / (1e6 * seconds) : 0.0;
+  }
+};
+
+template <typename Range>
+bool same_events(const std::vector<bgl::Event>& got, const Range& expected) {
+  if (got.size() != expected.size()) return false;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (!(got[i] == expected[i])) return false;
+  }
+  return true;
+}
+
+/// Streams [begin, end) through a cursor, returning the events.
+std::vector<bgl::Event> drain(const storage::EventRepository& repo,
+                              TimeSec begin, TimeSec end) {
+  std::vector<bgl::Event> events;
+  auto cursor = repo.scan(begin, end);
+  std::vector<bgl::Event> batch;
+  while (cursor->next(batch, storage::kDefaultScanBatch) > 0) {
+    events.insert(events.end(), batch.begin(), batch.end());
+    batch.clear();
+  }
+  return events;
+}
+
+/// One machine's three stages; returns false if any verification fails
+/// (the bench then exits non-zero).
+bool run_machine(const std::string& machine, const logio::EventStore& store,
+                 bool quick, std::vector<StageResult>& results) {
+  ScratchDir scratch;
+  const std::string repo_dir = scratch.sub(machine + ".repo");
+
+  // Quick mode ingests an 8-week slice instead of the full corpus.
+  const auto slice =
+      quick ? store.between(store.first_time(),
+                            store.first_time() + 8 * kSecondsPerWeek)
+            : store.all();
+  if (slice.empty()) {
+    std::fprintf(stderr, "FAIL: empty corpus slice (%s)\n", machine.c_str());
+    return false;
+  }
+
+  // ---- Stage 1: ingest -------------------------------------------------
+  StageResult ingest;
+  ingest.stage = "ingest";
+  ingest.machine = machine;
+  {
+    // Small enough that the unique-event corpora span dozens of
+    // segments — otherwise rolls, indexes, and lazy mapping never fire.
+    storage::LogWriterOptions options;
+    options.segment_bytes = quick ? 16u * 1024 : 32u * 1024;
+    const auto start = Clock::now();
+    storage::LogWriter writer(repo_dir, machine, options);
+    storage::CanonicalAppender appender(writer);
+    for (const auto& event : slice) appender.append(event);
+    appender.flush();
+    writer.close();
+    ingest.seconds = seconds_since(start);
+    ingest.events = slice.size();
+    ingest.bytes = slice.size() * storage::kEventRecordSize;
+    ingest.detail = std::to_string(writer.sealed_segments()) +
+                    " sealed segments, fsync on roll/close";
+  }
+  const auto report = storage::verify_repository(repo_dir);
+  if (!report.ok() || report.records != slice.size()) {
+    std::fprintf(stderr, "FAIL: ingested repository does not verify (%s)\n",
+                 machine.c_str());
+    return false;
+  }
+  results.push_back(ingest);
+
+  // ---- Stage 2: cold-start replay --------------------------------------
+  StageResult replay;
+  replay.stage = "cold_replay";
+  replay.machine = machine;
+  {
+    const auto start = Clock::now();
+    storage::OnDiskRepository repo(repo_dir);
+    const auto events = drain(repo, repo.first_time(), repo.last_time() + 1);
+    replay.seconds = seconds_since(start);
+    if (!same_events(events, slice)) {
+      std::fprintf(stderr, "FAIL: cold replay diverges from the store (%s)\n",
+                   machine.c_str());
+      return false;
+    }
+    const auto io = repo.io_stats();
+    replay.events = events.size();
+    replay.bytes = io.bytes_read;
+    replay.detail = std::to_string(io.segments_opened) +
+                    " segments mapped (open + full scan)";
+  }
+  results.push_back(replay);
+
+  // ---- Stage 3: verified mid-corpus seek-by-time -----------------------
+  StageResult seek;
+  seek.stage = "seek_replay";
+  seek.machine = machine;
+  {
+    const TimeSec first = slice.front().time;
+    const TimeSec last = slice.back().time;
+    const TimeSec mid = first + (last - first) / 2;
+    const TimeSec window_end =
+        std::min<TimeSec>(last + 1, mid + (quick ? 1 : 4) * kSecondsPerWeek);
+
+    storage::OnDiskRepository repo(repo_dir);
+    const auto io_before = repo.io_stats();
+    const auto start = Clock::now();
+    const auto got = drain(repo, mid, window_end);
+    seek.seconds = seconds_since(start);
+    const auto io = repo.io_stats() - io_before;
+
+    const auto expected = store.between(mid, window_end);
+    if (!same_events(got, expected)) {
+      std::fprintf(stderr, "FAIL: seek-by-time replay diverges (%s)\n",
+                   machine.c_str());
+      return false;
+    }
+    // The whole point of the sidecar indexes: a mid-corpus window must
+    // not touch segments outside it.
+    if (!quick && repo.segment_count() > 4 &&
+        io.segments_opened >= repo.segment_count()) {
+      std::fprintf(stderr, "FAIL: seek mapped the whole log (%s: %llu/%zu)\n",
+                   machine.c_str(),
+                   static_cast<unsigned long long>(io.segments_opened),
+                   repo.segment_count());
+      return false;
+    }
+    seek.events = got.size();
+    seek.bytes = io.bytes_read;
+    seek.detail = std::to_string(io.segments_opened) + "/" +
+                  std::to_string(repo.segment_count()) +
+                  " segments touched, window verified against the store";
+  }
+  results.push_back(seek);
+  return true;
+}
+
+void write_json(const std::string& path, bool quick,
+                const std::vector<StageResult>& results) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench_storage: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"storage\",\n");
+  std::fprintf(out, "  \"quick\": %s,\n", quick ? "true" : "false");
+  std::fprintf(out, "  \"record_bytes\": %zu,\n", storage::kEventRecordSize);
+  std::fprintf(out, "  \"stages\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::fprintf(out,
+                 "    {\"stage\": \"%s\", \"machine\": \"%s\", "
+                 "\"seconds\": %.6f, \"events\": %llu, "
+                 "\"events_per_second\": %.0f, \"bytes\": %llu, "
+                 "\"mb_per_second\": %.2f, \"detail\": \"%s\"}%s\n",
+                 r.stage.c_str(), r.machine.c_str(), r.seconds,
+                 static_cast<unsigned long long>(r.events),
+                 r.events_per_second(),
+                 static_cast<unsigned long long>(r.bytes), r.mb_per_second(),
+                 r.detail.c_str(), i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_storage.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_storage [--quick] [--out FILE]\n");
+      return 2;
+    }
+  }
+
+  bench::print_header(
+      "Storage data plane — segmented on-disk log (DESIGN.md section 11)",
+      "ingest, cold-start replay, and indexed mid-corpus seek throughput; "
+      "every replay verified event-for-event against the in-memory store");
+
+  std::vector<StageResult> results;
+  const std::vector<std::pair<std::string, const logio::EventStore*>>
+      workloads = {{"anl", &bench::anl_store()}, {"sdsc", &bench::sdsc_store()}};
+  for (const auto& [machine, store] : workloads) {
+    if (!run_machine(machine, *store, quick, results)) return 1;
+  }
+
+  online::TablePrinter table(
+      {"stage", "machine", "seconds", "events/s", "MB/s", "detail"});
+  for (const auto& r : results) {
+    table.add_row({r.stage, r.machine, online::TablePrinter::fmt(r.seconds, 3),
+                   online::TablePrinter::fmt(r.events_per_second(), 0),
+                   online::TablePrinter::fmt(r.mb_per_second(), 2), r.detail});
+  }
+  table.print(std::cout);
+  write_json(out_path, quick, results);
+  return 0;
+}

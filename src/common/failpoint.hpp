@@ -96,6 +96,17 @@ inline constexpr std::string_view kShardWorker = "shard.worker";
 /// ServingCore::observe — throw/delay only; drop/corrupt are ignored
 /// here because the core has no owner-visible skip counter.
 inline constexpr std::string_view kServingObserve = "serving.observe";
+/// storage::LogWriter::append — throw aborts before any byte is
+/// written; corrupt writes a torn record prefix and then throws (the
+/// simulated kill mid-write the crash-recovery chaos tier sweeps).
+inline constexpr std::string_view kStorageAppend = "storage.append";
+/// storage::LogWriter segment roll — throw aborts before the roll;
+/// corrupt seals the segment but "crashes" before its sidecar index is
+/// written, exercising the index-rebuild recovery path.
+inline constexpr std::string_view kStorageRoll = "storage.roll";
+/// storage::LogWriter::sync — throw simulates a failed fsync; the
+/// writer refuses to report durability it does not have.
+inline constexpr std::string_view kStorageSync = "storage.sync";
 }  // namespace failpoints
 
 class FailpointRegistry {

@@ -1,0 +1,204 @@
+#include "logio/binary_format.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "common/crc32.hpp"
+#include "common/failpoint.hpp"
+
+namespace dml::logio {
+namespace {
+
+/// Fixed bytes of one frame before ENTRY_DATA.
+constexpr std::size_t kFramePrefix = 32;
+constexpr std::size_t kHeaderFixed = 16;  // magic + version + machine_len
+
+void put_u32(unsigned char* out, std::uint32_t v) {
+  out[0] = static_cast<unsigned char>(v);
+  out[1] = static_cast<unsigned char>(v >> 8);
+  out[2] = static_cast<unsigned char>(v >> 16);
+  out[3] = static_cast<unsigned char>(v >> 24);
+}
+
+void put_u64(unsigned char* out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t get_u32(const unsigned char* in) {
+  return static_cast<std::uint32_t>(in[0]) |
+         static_cast<std::uint32_t>(in[1]) << 8 |
+         static_cast<std::uint32_t>(in[2]) << 16 |
+         static_cast<std::uint32_t>(in[3]) << 24;
+}
+
+std::uint64_t get_u64(const unsigned char* in) {
+  return static_cast<std::uint64_t>(get_u32(in)) |
+         static_cast<std::uint64_t>(get_u32(in + 4)) << 32;
+}
+
+void encode_prefix(const bgl::RasRecord& record,
+                   unsigned char out[kFramePrefix]) {
+  put_u64(out, record.record_id);
+  put_u64(out + 8, static_cast<std::uint64_t>(record.event_time));
+  put_u32(out + 16, record.job_id);
+  put_u32(out + 20, record.location.packed());
+  out[24] = static_cast<unsigned char>(record.event_type);
+  out[25] = static_cast<unsigned char>(record.facility);
+  out[26] = static_cast<unsigned char>(record.severity);
+  out[27] = 0;
+  put_u32(out + 28, static_cast<std::uint32_t>(record.entry_data.size()));
+}
+
+}  // namespace
+
+std::size_t binary_serialized_size(const bgl::RasRecord& record) {
+  return kFramePrefix + record.entry_data.size() + 4;
+}
+
+BinaryStreamSink::BinaryStreamSink(std::ostream& out, std::string_view machine)
+    : out_(out) {
+  unsigned char header[kHeaderFixed];
+  std::memcpy(header, kBinaryLogMagic, 8);
+  put_u32(header + 8, kBinaryLogVersion);
+  put_u32(header + 12, static_cast<std::uint32_t>(machine.size()));
+  out_.write(reinterpret_cast<const char*>(header), kHeaderFixed);
+  out_.write(machine.data(), static_cast<std::streamsize>(machine.size()));
+  bytes_written_ = kHeaderFixed + machine.size();
+}
+
+void BinaryStreamSink::consume(const bgl::RasRecord& record) {
+  unsigned char prefix[kFramePrefix];
+  encode_prefix(record, prefix);
+  std::uint32_t crc = common::crc32(prefix, kFramePrefix);
+  crc = common::crc32(record.entry_data.data(), record.entry_data.size(), crc);
+  unsigned char trailer[4];
+  put_u32(trailer, crc);
+
+  out_.write(reinterpret_cast<const char*>(prefix), kFramePrefix);
+  out_.write(record.entry_data.data(),
+             static_cast<std::streamsize>(record.entry_data.size()));
+  out_.write(reinterpret_cast<const char*>(trailer), 4);
+  ++records_written_;
+  bytes_written_ += binary_serialized_size(record);
+}
+
+void write_binary_log(std::ostream& out, std::string_view machine,
+                      const std::vector<bgl::RasRecord>& records) {
+  BinaryStreamSink sink(out, machine);
+  for (const auto& record : records) sink.consume(record);
+  out.flush();
+}
+
+BinaryRecordReader::BinaryRecordReader(std::istream& in, OnError on_error)
+    : in_(in), on_error_(on_error) {
+  unsigned char header[kHeaderFixed];
+  in_.read(reinterpret_cast<char*>(header), kHeaderFixed);
+  if (in_.gcount() != kHeaderFixed ||
+      std::memcmp(header, kBinaryLogMagic, 8) != 0) {
+    throw std::runtime_error("binary log: bad magic (not a DMLRAW1 stream)");
+  }
+  const std::uint32_t version = get_u32(header + 8);
+  if (version != kBinaryLogVersion) {
+    throw std::runtime_error("binary log: unsupported version " +
+                             std::to_string(version));
+  }
+  const std::uint32_t machine_len = get_u32(header + 12);
+  if (machine_len > 4096) {
+    throw std::runtime_error("binary log: implausible machine name length");
+  }
+  machine_.resize(machine_len);
+  in_.read(machine_.data(), machine_len);
+  if (in_.gcount() != static_cast<std::streamsize>(machine_len)) {
+    throw std::runtime_error("binary log: truncated header");
+  }
+  offset_ = kHeaderFixed + machine_len;
+}
+
+std::optional<bgl::RasRecord> BinaryRecordReader::next() {
+  while (!done_) {
+    unsigned char prefix[kFramePrefix];
+    in_.read(reinterpret_cast<char*>(prefix), kFramePrefix);
+    const std::streamsize got = in_.gcount();
+    if (got == 0) return std::nullopt;  // clean end of stream
+
+    ++stats_.lines;
+    const std::uint64_t ordinal = stats_.lines;
+    const auto reject = [&](const std::string& reason)
+        -> std::optional<bgl::RasRecord> {
+      if (on_error_ == OnError::kThrow) {
+        throw std::runtime_error("binary log: " + reason + " (record " +
+                                 std::to_string(ordinal) + ", offset " +
+                                 std::to_string(offset_) + ")");
+      }
+      stats_.note_skip(static_cast<std::size_t>(ordinal), reason);
+      done_ = true;  // cannot resynchronise a variable-length stream
+      return std::nullopt;
+    };
+
+    if (got != static_cast<std::streamsize>(kFramePrefix)) {
+      return reject("truncated record prefix");
+    }
+
+    const common::FailAction action =
+        common::failpoint(common::failpoints::kLogioParse);
+    if (action == common::FailAction::kCorrupt) {
+      prefix[0] ^= 0xFF;  // the CRC check below must now reject it
+    }
+
+    const std::uint32_t entry_len = get_u32(prefix + 28);
+    if (entry_len > kMaxEntryData) {
+      return reject("entry length " + std::to_string(entry_len) +
+                    " exceeds limit");
+    }
+
+    bgl::RasRecord record;
+    record.entry_data.resize(entry_len);
+    in_.read(record.entry_data.data(), entry_len);
+    unsigned char trailer[4];
+    std::streamsize tail_got = 0;
+    if (in_.gcount() == static_cast<std::streamsize>(entry_len)) {
+      in_.read(reinterpret_cast<char*>(trailer), 4);
+      tail_got = in_.gcount();
+    }
+    if (tail_got != 4) return reject("truncated record body");
+    offset_ += kFramePrefix + entry_len + 4;
+
+    std::uint32_t crc = common::crc32(prefix, kFramePrefix);
+    crc = common::crc32(record.entry_data.data(), entry_len, crc);
+    if (crc != get_u32(trailer)) return reject("record CRC mismatch");
+
+    if (action == common::FailAction::kDrop) {
+      stats_.note_skip(static_cast<std::size_t>(ordinal),
+                       "record dropped by failpoint");
+      continue;  // frame fully consumed; the stream is still aligned
+    }
+
+    if (prefix[24] > 2) return reject("bad event type");
+    if (prefix[25] >= bgl::kNumFacilities) return reject("bad facility");
+    if (prefix[26] >= kNumSeverities) return reject("bad severity");
+
+    record.record_id = get_u64(prefix);
+    record.event_time = static_cast<TimeSec>(get_u64(prefix + 8));
+    record.job_id = get_u32(prefix + 16);
+    record.location = bgl::Location::from_packed(get_u32(prefix + 20));
+    record.event_type = static_cast<bgl::EventType>(prefix[24]);
+    record.facility = static_cast<bgl::Facility>(prefix[25]);
+    record.severity = static_cast<Severity>(prefix[26]);
+    ++stats_.parsed;
+    return record;
+  }
+  return std::nullopt;
+}
+
+LogFile read_binary_log(std::istream& in) {
+  BinaryRecordReader reader(in);
+  LogFile file;
+  file.machine = reader.machine();
+  while (auto record = reader.next()) {
+    file.records.push_back(std::move(*record));
+  }
+  return file;
+}
+
+}  // namespace dml::logio

@@ -4,12 +4,42 @@
 
 namespace dml::logio {
 
+namespace {
+
+/// Batch reads over a contiguous span; the owning store must outlive it.
+class SpanCursor : public storage::EventCursor {
+ public:
+  explicit SpanCursor(std::span<const bgl::Event> span) : span_(span) {}
+
+  std::size_t next(std::vector<bgl::Event>& out, std::size_t max) override {
+    const std::size_t n = std::min(max, span_.size() - pos_);
+    out.insert(out.end(), span_.begin() + pos_, span_.begin() + pos_ + n);
+    pos_ += n;
+    return n;
+  }
+
+ private:
+  std::span<const bgl::Event> span_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
 EventStore::EventStore(std::vector<bgl::Event> events)
     : events_(std::move(events)) {
-  std::sort(events_.begin(), events_.end(), bgl::EventTimeOrder{});
+  // stable_sort, not sort: ties under EventTimeOrder must land in input
+  // order so this store and a CanonicalAppender-written disk log agree
+  // on the exact event sequence (duplicate events do occur upstream of
+  // temporal filtering).
+  std::stable_sort(events_.begin(), events_.end(), bgl::EventTimeOrder{});
   for (const auto& e : events_) {
     if (e.fatal) fatal_times_.push_back(e.time);
   }
+}
+
+std::unique_ptr<storage::EventCursor> EventStore::scan(TimeSec begin,
+                                                       TimeSec end) const {
+  return std::make_unique<SpanCursor>(between(begin, end));
 }
 
 std::span<const bgl::Event> EventStore::between(TimeSec begin,

@@ -1,25 +1,32 @@
 // In-memory, time-ordered store of categorized events — the substrate the
 // learners, predictor, and online driver query.  Events are immutable
 // once loaded; all queries are binary searches over the time axis.
+//
+// EventStore is the in-memory implementation of storage::EventRepository;
+// the same pipelines run off storage::OnDiskRepository unchanged.  The
+// canonical order (stable sort under bgl::EventTimeOrder) is shared with
+// storage::CanonicalAppender, which is what makes the in-memory and
+// on-disk serving paths produce byte-identical warning streams.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "bgl/record.hpp"
 #include "logio/text_format.hpp"
+#include "storage/event_repository.hpp"
 
 namespace dml::logio {
 
-class EventStore {
+class EventStore : public storage::EventRepository {
  public:
   EventStore() = default;
 
-  /// Takes ownership of events; sorts them into canonical time order.
+  /// Takes ownership of events; stable-sorts them into canonical order.
   explicit EventStore(std::vector<bgl::Event> events);
 
-  std::size_t size() const { return events_.size(); }
-  bool empty() const { return events_.empty(); }
+  std::size_t size() const override { return events_.size(); }
 
   std::span<const bgl::Event> all() const { return events_; }
 
@@ -27,14 +34,19 @@ class EventStore {
   std::span<const bgl::Event> between(TimeSec begin, TimeSec end) const;
 
   /// Timestamp bounds; both 0 when empty.
-  TimeSec first_time() const;
-  TimeSec last_time() const;
+  TimeSec first_time() const override;
+  TimeSec last_time() const override;
+
+  /// Cursor over between(begin, end) — the EventRepository view of the
+  /// same data.  The store must outlive the cursor.
+  std::unique_ptr<storage::EventCursor> scan(TimeSec begin, TimeSec end)
+      const override;
 
   /// Timestamps of fatal events (cached, ascending).
   const std::vector<TimeSec>& fatal_times() const { return fatal_times_; }
 
   /// Number of fatal events in [begin, end).
-  std::size_t fatal_count_between(TimeSec begin, TimeSec end) const;
+  std::size_t fatal_count_between(TimeSec begin, TimeSec end) const override;
 
   /// Loader bookkeeping carried with the store: when the events came
   /// from a lenient log read, how many input lines parsed vs. were

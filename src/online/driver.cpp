@@ -64,13 +64,14 @@ double DriverResult::overall_recall() const {
 
 DynamicDriver::DynamicDriver(DriverConfig config) : config_(config) {}
 
-DriverResult DynamicDriver::run(const logio::EventStore& store) const {
+DriverResult DynamicDriver::run(const storage::EventRepository& repo) const {
   using Clock = std::chrono::steady_clock;
   DriverResult result;
-  if (store.empty()) return result;
+  if (repo.empty()) return result;
 
-  const TimeSec origin = store.first_time();
-  const TimeSec log_end = store.last_time();
+  const TimeSec origin = repo.first_time();
+  const TimeSec log_end = repo.last_time();
+  const storage::IoStats io_before = repo.io_stats();
   const DurationSec retrain_span =
       static_cast<DurationSec>(config_.retrain_weeks) * kSecondsPerWeek;
   const DurationSec initial_span =
@@ -80,15 +81,46 @@ DriverResult DynamicDriver::run(const logio::EventStore& store) const {
   OnlineEngine engine(engine_config(config_, initial_span, retrain_span),
                       [&](const predict::Warning& w) {
                         warnings.push_back(w);
+                        if (config_.warning_observer) config_.warning_observer(w);
                       });
+
+  // Streamed feed of [from, to) — the archive is never materialised
+  // outside the bounded test spans below.
+  std::vector<bgl::Event> batch;
+  const auto feed = [&](TimeSec from, TimeSec to) {
+    auto cursor = repo.scan(from, to);
+    while (true) {
+      batch.clear();
+      if (cursor->next(batch, storage::kDefaultScanBatch) == 0) break;
+      for (const auto& event : batch) engine.consume(event);
+    }
+  };
+
+  // Resume: cold-start the engine at the first interval boundary at or
+  // after the requested week, keeping full-run interval numbering.
+  int index = 0;
+  if (config_.resume_week > 0) {
+    const TimeSec resume_time =
+        origin +
+        static_cast<DurationSec>(config_.resume_week) * kSecondsPerWeek;
+    while (origin + initial_span +
+               static_cast<DurationSec>(index) * retrain_span <
+           resume_time) {
+      ++index;
+    }
+  }
+  const TimeSec first_test =
+      origin + initial_span + static_cast<DurationSec>(index) * retrain_span;
+  if (index > 0 && first_test < log_end) {
+    engine.cold_start(repo, first_test);
+  }
 
   // The engine anchors its boundary schedule at the first event it sees;
   // feed it the initial training span up front so boundary k lands
   // exactly at origin + initial_span + k * retrain_span.
-  std::size_t adopted = 0;
-  int index = 0;
-  TimeSec fed_until = origin;
-  for (TimeSec test_begin = origin + initial_span; test_begin < log_end;
+  std::size_t adopted = engine.retrain_log().size();
+  TimeSec fed_until = index > 0 ? first_test : origin;
+  for (TimeSec test_begin = first_test; test_begin < log_end;
        test_begin += retrain_span, ++index) {
     const TimeSec test_end = std::min<TimeSec>(test_begin + retrain_span,
                                                log_end + 1);
@@ -98,9 +130,7 @@ DriverResult DynamicDriver::run(const logio::EventStore& store) const {
     interval.test_begin = test_begin;
     interval.test_end = test_end;
 
-    for (const auto& event : store.between(fed_until, test_begin)) {
-      engine.consume(event);
-    }
+    feed(fed_until, test_begin);
     fed_until = test_begin;
 
     // Pin the retraining (or static refresh) exactly at the interval
@@ -128,7 +158,8 @@ DriverResult DynamicDriver::run(const logio::EventStore& store) const {
     const DurationSec window = engine.current_window();
     interval.window_used = window;
 
-    const auto test_events = store.between(test_begin, test_end);
+    const std::vector<bgl::Event> test_events =
+        storage::materialize(repo, test_begin, test_end);
     const auto predict_start = Clock::now();
     for (const auto& event : test_events) engine.consume(event);
     fed_until = test_begin + retrain_span;
@@ -144,6 +175,11 @@ DriverResult DynamicDriver::run(const logio::EventStore& store) const {
     result.intervals.push_back(std::move(interval));
   }
   result.engine_stats = engine.stats();
+  const storage::IoStats io = repo.io_stats() - io_before;
+  result.engine_stats.log_bytes_read = io.bytes_read;
+  result.engine_stats.log_segments_opened = io.segments_opened;
+  result.engine_stats.log_map_seconds = io.map_seconds;
+  result.engine_stats.log_read_seconds = io.read_seconds;
   return result;
 }
 

@@ -15,6 +15,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "logio/event_store.hpp"
@@ -54,6 +55,18 @@ struct DriverConfig {
   /// Time the serving path inside the engine (per-event observation);
   /// surfaced as DriverResult::engine_stats.serving_seconds.
   bool profile = false;
+  /// Restartable replay: skip serving (and scoring) before this week of
+  /// the log.  The engine is cold-started at the first interval boundary
+  /// at or after it — training state is rebuilt from the repository
+  /// without per-event serving — and DriverResult then holds only the
+  /// intervals from that boundary on, with index/week numbering matching
+  /// a full run.  0 = replay everything (the default).
+  int resume_week = 0;
+  /// Observer invoked for every warning the engine emits during the
+  /// replay, in emission order, independent of interval scoring.
+  /// `dmlfp run --warnings` uses it to dump the stream so the in-memory
+  /// and on-disk paths can be diffed byte for byte.
+  std::function<void(const predict::Warning&)> warning_observer;
 };
 
 /// Outcome of one retrain-then-predict interval.
@@ -112,8 +125,11 @@ class DynamicDriver {
  public:
   explicit DynamicDriver(DriverConfig config);
 
-  /// Runs the full train/predict/retrain loop over one log.
-  DriverResult run(const logio::EventStore& store) const;
+  /// Runs the full train/predict/retrain loop over one log, consumed
+  /// through the EventRepository interface — an in-memory EventStore
+  /// and an on-disk storage::OnDiskRepository replay identically (same
+  /// canonical order, byte-identical warning stream).
+  DriverResult run(const storage::EventRepository& repo) const;
 
   const DriverConfig& config() const { return config_; }
 

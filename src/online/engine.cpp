@@ -74,6 +74,66 @@ void OnlineEngine::consume(const bgl::Event& event) {
 
 void OnlineEngine::advance_to(TimeSec t) { step(t); }
 
+void OnlineEngine::cold_start(const storage::EventRepository& repo,
+                              TimeSec serve_from) {
+  // Restart is only exact with deterministic inline builds: an async
+  // build's adoption depends on wall time unless adoption_lag pins it,
+  // and a fresh replay has no way to reproduce the race.
+  DML_CHECK(!config_.async_retrain);
+  DML_CHECK(session_.records_consumed == 0 &&
+            session_.events_after_filtering == 0);
+  if (repo.empty() || serve_from <= repo.first_time()) return;
+
+  // Event time of the last adopt/refresh — serving state older than
+  // this was discarded by the rebuild, so only the tail needs
+  // re-observing.  No rebuild => predictor never existed => no tail.
+  std::optional<TimeSec> last_rebuild;
+  const auto silent_step = [&](TimeSec t) {
+    now_ = std::max(now_, t);
+    if (const auto boundary = scheduler_.boundary_due(t)) {
+      const auto action = scheduler_.fire(*boundary);
+      if (action == RetrainScheduler::BoundaryAction::kRefresh) {
+        const auto warm = warm_tail(*boundary, serving_.window());
+        serving_.refresh(*boundary, warm, scratch_);
+        last_rebuild = *boundary;
+      }
+    }
+    if (auto build = scheduler_.poll(now_)) {
+      last_rebuild = build->activate_at;
+      adopt(std::move(*build));
+    }
+    scratch_.clear();  // nothing before serve_from is ever emitted
+  };
+
+  auto cursor = repo.scan(repo.first_time(), serve_from);
+  std::vector<bgl::Event> batch;
+  while (true) {
+    batch.clear();
+    if (cursor->next(batch, storage::kDefaultScanBatch) == 0) break;
+    for (const bgl::Event& event : batch) {
+      silent_step(event.time);
+      scheduler_.observe(event);
+      ++session_.cold_start_events;
+    }
+  }
+  // Fire boundaries strictly before serve_from; one exactly at
+  // serve_from belongs to the resumed session (advance_to will run it).
+  silent_step(serve_from - 1);
+
+  // Re-observe the serving tail from the scheduler's history so the
+  // predictor's window state, dedup memory and tick cursor match a
+  // live engine at serve_from.  Interleaving advance+observe mirrors
+  // the live step()/observe() order; warnings are discarded.
+  if (last_rebuild.has_value()) {
+    for (const auto& event : scheduler_.history()) {
+      if (event.time < *last_rebuild) continue;
+      serving_.advance(event.time, scratch_);
+      serving_.observe(event, scratch_);
+      scratch_.clear();
+    }
+  }
+}
+
 std::vector<bgl::Event> OnlineEngine::warm_tail(TimeSec at,
                                                 DurationSec window) const {
   const auto& history = scheduler_.history();

@@ -21,6 +21,7 @@
 #include "online/retraining.hpp"
 #include "online/serving.hpp"
 #include "preprocess/streaming_pipeline.hpp"
+#include "storage/event_repository.hpp"
 
 namespace dml::online {
 
@@ -111,6 +112,24 @@ class OnlineEngine {
   /// Feeds one already-unique categorized event.
   void consume(const bgl::Event& event);
 
+  /// Restart path: brings a freshly constructed engine to the exact
+  /// state a live engine would hold just before serving event time
+  /// `serve_from`, reading history straight from the repository.
+  ///
+  /// Events in [repo.first_time(), serve_from) are replayed through the
+  /// retraining schedule only — every boundary fires and every snapshot
+  /// is adopted just as live, but per-event serving is skipped, which is
+  /// sound because adoption/refresh rebuilds the predictor from scratch.
+  /// The serving tail since the last rebuild is then re-observed from
+  /// the scheduler's history (its warnings discarded), so predictor
+  /// window state, deduplication and tick grid all match a live engine.
+  /// Warnings emitted from serve_from on are byte-identical to an
+  /// uninterrupted replay.
+  ///
+  /// Must be called on a fresh engine (nothing consumed) with
+  /// synchronous retraining; categorized-event repositories only.
+  void cold_start(const storage::EventRepository& repo, TimeSec serve_from);
+
   /// Advances the engine clock without an event: fires any due
   /// retraining boundary, adopts finished builds, and runs ticks due
   /// strictly before t.  The driver uses this to pin boundaries at its
@@ -167,6 +186,17 @@ class OnlineEngine {
     /// observation).  Only measured when OnlineEngineConfig::profile is
     /// set; 0 otherwise.
     double serving_seconds = 0.0;
+    /// Events replayed without serving by cold_start() before the
+    /// session began (not counted in records_consumed).
+    std::uint64_t cold_start_events = 0;
+    /// Log-I/O accounting of the backing EventRepository, filled by
+    /// owners that replay from one (DynamicDriver::run, `dmlfp run
+    /// --repo`); all zero for in-memory replays.  The map/read split is
+    /// the "mmap vs read time" row of the --profile table.
+    std::uint64_t log_bytes_read = 0;
+    std::uint64_t log_segments_opened = 0;
+    double log_map_seconds = 0.0;
+    double log_read_seconds = 0.0;
   };
   SessionStats stats() const;
 

@@ -20,6 +20,7 @@
 //    a fixed field order so replays are byte-stable.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <string>
 #include <vector>
@@ -77,6 +78,15 @@ class ShardedEngine {
   void consume(const bgl::RasRecord& record);
   void consume(const bgl::Event& event);
 
+  /// Restart path: replays [repo.first_time(), serve_from) through the
+  /// normal concurrent pipeline — same schedule, same shard state — with
+  /// every warning issued before serve_from suppressed at the merger.
+  /// After it returns, keep consuming from serve_from; the post-resume
+  /// warning multiset matches an uninterrupted run (the shard-count
+  /// invariance argument, applied to a time-split of one stream).
+  /// Must run before the first consume() call.
+  void cold_start(const storage::EventRepository& repo, TimeSec serve_from);
+
   /// Flushes every shard to the global last event time, joins the
   /// workers, drains the merger, and rethrows the first worker failure
   /// if any.  Idempotent; returns the final aggregate stats.
@@ -133,7 +143,13 @@ class ShardedEngine {
 
   // Producer-side state.
   std::uint64_t records_consumed_ = 0;
+  std::uint64_t cold_start_events_ = 0;
   std::uint64_t feed_rejected_ = 0;
+  /// Warnings with issued_at before this instant are swallowed at the
+  /// merger (cold_start's pre-resume replay).  Written once, before any
+  /// event flows; read from the merger's emit path.
+  std::atomic<TimeSec> suppress_until_{0};
+  std::atomic<std::uint64_t> suppressed_warnings_{0};
   std::optional<TimeSec> next_heartbeat_;
   TimeSec last_event_time_ = 0;
   /// Build wall time (training + revision) of every adopted snapshot,

@@ -1,0 +1,277 @@
+#include "storage/disk_repository.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <chrono>
+#include <filesystem>
+#include <stdexcept>
+
+#include "common/check.hpp"
+#include "storage/paths.hpp"
+
+namespace dml::storage {
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::optional<std::uint64_t> parse_segment_name(const std::string& name) {
+  if (name.size() < 4 + 6 + 4) return std::nullopt;
+  if (name.compare(0, 4, "seg-") != 0) return std::nullopt;
+  if (name.compare(name.size() - 4, 4, ".log") != 0) return std::nullopt;
+  const char* first = name.data() + 4;
+  const char* last = name.data() + name.size() - 4;
+  std::uint64_t number = 0;
+  const auto [ptr, ec] = std::from_chars(first, last, number);
+  if (ec != std::errc{} || ptr != last) return std::nullopt;
+  return number;
+}
+
+}  // namespace
+
+/// Streams [begin, end) across segment boundaries.  Holds only indices
+/// into the owning repository; the mmap cache there keeps record
+/// pointers valid for the repository's lifetime.
+class DiskCursor : public EventCursor {
+ public:
+  DiskCursor(const OnDiskRepository& repo, TimeSec begin, TimeSec end)
+      : repo_(repo), end_(end) {
+    // Outer seek: first segment that can hold a record with time >=
+    // begin (segment max times are non-decreasing across the log).
+    const auto& segments = repo_.segments_;
+    while (segment_ < segments.size() &&
+           (segments[segment_].index.count == 0 ||
+            segments[segment_].index.max_time < begin)) {
+      ++segment_;
+    }
+    if (segment_ >= segments.size()) return;
+    // Inner seek: binary search the fixed-stride records.
+    const unsigned char* base = repo_.records_of(segment_);
+    record_ = lower_bound_time(base, segments[segment_].index.count, begin);
+  }
+
+  std::size_t next(std::vector<bgl::Event>& out, std::size_t max) override {
+    const auto start = Clock::now();
+    std::size_t produced = 0;
+    std::uint64_t records_decoded = 0;
+    const auto& segments = repo_.segments_;
+    while (produced < max && segment_ < segments.size()) {
+      const SegmentIndex& index = segments[segment_].index;
+      if (index.count == 0 || record_ >= index.count) {
+        ++segment_;
+        record_ = 0;
+        continue;
+      }
+      if (index.min_time >= end_) break;  // everything later is >= end
+      const unsigned char* base = repo_.records_of(segment_);
+      while (produced < max && record_ < index.count) {
+        bgl::Event event;
+        if (!decode_event(base + record_ * kEventRecordSize, &event)) {
+          throw std::runtime_error(
+              "storage: CRC failure in " + segments[segment_].path +
+              " record " + std::to_string(record_) +
+              " (corruption after open)");
+        }
+        ++records_decoded;
+        if (event.time >= end_) {
+          segment_ = segments.size();  // exhausted
+          break;
+        }
+        out.push_back(event);
+        ++produced;
+        ++record_;
+      }
+    }
+    IoStats delta;
+    delta.bytes_read = records_decoded * kEventRecordSize;
+    delta.read_seconds = seconds_since(start);
+    repo_.add_io(delta);
+    return produced;
+  }
+
+ private:
+  const OnDiskRepository& repo_;
+  TimeSec end_;
+  std::size_t segment_ = 0;
+  std::uint64_t record_ = 0;
+};
+
+OnDiskRepository::OnDiskRepository(const std::string& dir) : dir_(dir) {
+  std::string error;
+  const auto manifest = read_manifest(dir_, &error);
+  if (!manifest) {
+    throw std::runtime_error("storage: not a repository (" + dir_ +
+                             "): " + error);
+  }
+  manifest_ = *manifest;
+
+  std::vector<std::uint64_t> sealed;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (const auto number =
+            parse_segment_name(entry.path().filename().string())) {
+      sealed.push_back(*number);
+    }
+  }
+  std::sort(sealed.begin(), sealed.end());
+  for (std::size_t i = 0; i < sealed.size(); ++i) {
+    if (sealed[i] != i) {
+      throw std::runtime_error("storage: sealed segments not contiguous in " +
+                               dir_ + " (missing seg " + std::to_string(i) +
+                               ")");
+    }
+  }
+
+  std::uint64_t running_total = 0;
+  for (std::uint64_t number = 0; number < sealed.size(); ++number) {
+    Segment segment;
+    segment.path = join_path(dir_, segment_name(number));
+    const std::string idx_path = join_path(dir_, index_name(number));
+    bool index_ok = false;
+    if (fs::exists(idx_path)) {
+      const MappedFile map = MappedFile::open(idx_path);
+      index_ok = decode_index(map.data(), map.size(), &segment.index);
+    }
+    if (!index_ok) {
+      // Read-side self-heal: rebuild the summary by scanning the
+      // segment (kept mapped — we paid for the pages already).
+      const auto start = Clock::now();
+      MappedFile map = MappedFile::open(segment.path);
+      const SegmentScan scan = scan_segment(map.data(), map.size());
+      if (!scan.header_ok) {
+        throw std::runtime_error("storage: sealed segment " + segment.path +
+                                 " has a corrupt header");
+      }
+      segment.index = scan.index;
+      segment.map = std::move(map);
+      ++open_info_.indexes_rebuilt;
+      io_unlocked_.segments_opened += 1;
+      io_unlocked_.bytes_read += scan.valid_bytes;
+      io_unlocked_.map_seconds += seconds_since(start);
+    }
+    if (segment.index.first_ordinal != running_total) {
+      throw std::runtime_error(
+          "storage: " + segment.path + " first ordinal " +
+          std::to_string(segment.index.first_ordinal) + " != expected " +
+          std::to_string(running_total));
+    }
+    running_total += segment.index.count;
+    segments_.push_back(std::move(segment));
+  }
+
+  // The active tail: scan it (no index exists), ignore a torn suffix.
+  const std::string active_path = join_path(dir_, kActiveName);
+  if (fs::exists(active_path)) {
+    const auto start = Clock::now();
+    MappedFile map = MappedFile::open(active_path);
+    const SegmentScan scan = scan_segment(map.data(), map.size());
+    io_unlocked_.segments_opened += 1;
+    io_unlocked_.bytes_read += scan.valid_bytes;
+    io_unlocked_.map_seconds += seconds_since(start);
+    open_info_.torn_bytes_ignored += scan.torn_bytes;
+    if (scan.header_ok) {
+      if (scan.header.first_ordinal != running_total) {
+        throw std::runtime_error(
+            "storage: active.log first ordinal " +
+            std::to_string(scan.header.first_ordinal) + " != expected " +
+            std::to_string(running_total) + " in " + dir_);
+      }
+      if (scan.valid_records > 0) {
+        Segment segment;
+        segment.path = active_path;
+        segment.index = scan.index;
+        segment.map = std::move(map);
+        running_total += scan.valid_records;
+        segments_.push_back(std::move(segment));
+      }
+    }
+  }
+
+  total_records_ = running_total;
+  bool any = false;
+  for (const Segment& segment : segments_) {
+    if (segment.index.count == 0) continue;
+    if (!any) first_time_ = segment.index.min_time;
+    any = true;
+    last_time_ = std::max(last_time_, segment.index.max_time);
+  }
+}
+
+OnDiskRepository::~OnDiskRepository() = default;
+
+const unsigned char* OnDiskRepository::records_of(std::size_t i) const {
+  const Segment& segment = segments_[i];
+  if (segment.index.count == 0) return nullptr;
+  common::MutexLock lock(mutex_);
+  if (!segment.map.has_value()) {
+    const auto start = Clock::now();
+    MappedFile map = MappedFile::open(segment.path);
+    const std::size_t need =
+        kSegmentHeaderSize + segment.index.count * kEventRecordSize;
+    if (map.size() < need) {
+      throw std::runtime_error("storage: " + segment.path +
+                               " shrank under an open repository");
+    }
+    segment.map = std::move(map);
+    io_.segments_opened += 1;
+    io_.map_seconds += seconds_since(start);
+  }
+  return segment.map->data() + kSegmentHeaderSize;
+}
+
+std::unique_ptr<EventCursor> OnDiskRepository::scan(TimeSec begin,
+                                                    TimeSec end) const {
+  return std::make_unique<DiskCursor>(*this, begin, end);
+}
+
+std::size_t OnDiskRepository::fatal_count_between(TimeSec begin,
+                                                  TimeSec end) const {
+  if (begin >= end) return 0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    const SegmentIndex& index = segments_[i].index;
+    if (index.count == 0 || index.max_time < begin) continue;
+    if (index.min_time >= end) break;
+    if (index.min_time >= begin && index.max_time < end) {
+      count += index.fatal_count;  // fully covered: the index suffices
+      continue;
+    }
+    // Boundary segment: narrow with two in-segment binary searches,
+    // then decode just the overlap.
+    const auto start = Clock::now();
+    const unsigned char* base = records_of(i);
+    const std::uint64_t lo = lower_bound_time(base, index.count, begin);
+    const std::uint64_t hi = lower_bound_time(base, index.count, end);
+    for (std::uint64_t r = lo; r < hi; ++r) {
+      bgl::Event event;
+      if (!decode_event(base + r * kEventRecordSize, &event)) {
+        throw std::runtime_error("storage: CRC failure in " +
+                                 segments_[i].path + " record " +
+                                 std::to_string(r));
+      }
+      if (event.fatal) ++count;
+    }
+    IoStats delta;
+    delta.bytes_read = (hi - lo) * kEventRecordSize;
+    delta.read_seconds = seconds_since(start);
+    add_io(delta);
+  }
+  return count;
+}
+
+IoStats OnDiskRepository::io_stats() const {
+  common::MutexLock lock(mutex_);
+  IoStats total = io_unlocked_;
+  total += io_;
+  return total;
+}
+
+void OnDiskRepository::add_io(const IoStats& delta) const {
+  common::MutexLock lock(mutex_);
+  io_ += delta;
+}
+
+}  // namespace dml::storage

@@ -1,0 +1,175 @@
+#include "storage/format.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.hpp"
+#include "common/crc32.hpp"
+
+namespace dml::storage {
+namespace {
+
+void put_u16(unsigned char* out, std::uint16_t v) {
+  out[0] = static_cast<unsigned char>(v);
+  out[1] = static_cast<unsigned char>(v >> 8);
+}
+
+void put_u32(unsigned char* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out[i] = static_cast<unsigned char>(v >> (8 * i));
+  }
+}
+
+void put_u64(unsigned char* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<unsigned char>(v >> (8 * i));
+  }
+}
+
+std::uint16_t get_u16(const unsigned char* in) {
+  return static_cast<std::uint16_t>(in[0] | (in[1] << 8));
+}
+
+std::uint32_t get_u32(const unsigned char* in) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | in[i];
+  return v;
+}
+
+std::uint64_t get_u64(const unsigned char* in) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | in[i];
+  return v;
+}
+
+}  // namespace
+
+void encode_event(const bgl::Event& event,
+                  unsigned char out[kEventRecordSize]) {
+  put_u64(out, static_cast<std::uint64_t>(event.time));
+  put_u32(out + 8, event.location.packed());
+  put_u32(out + 12, event.job_id);
+  put_u16(out + 16, event.category);
+  out[18] = event.fatal ? 1 : 0;
+  out[19] = 0;
+  put_u32(out + 20, common::crc32(out, 20));
+}
+
+bool decode_event(const unsigned char* in, bgl::Event* out) {
+  if (common::crc32(in, 20) != get_u32(in + 20)) return false;
+  out->time = static_cast<TimeSec>(get_u64(in));
+  out->location = bgl::Location::from_packed(get_u32(in + 8));
+  out->job_id = get_u32(in + 12);
+  out->category = get_u16(in + 16);
+  out->fatal = in[18] != 0;
+  return true;
+}
+
+TimeSec decode_event_time(const unsigned char* in) {
+  return static_cast<TimeSec>(get_u64(in));
+}
+
+void encode_segment_header(const SegmentHeader& header,
+                           unsigned char out[kSegmentHeaderSize]) {
+  std::memcpy(out, kSegmentMagic, 8);
+  put_u32(out + 8, header.version);
+  put_u32(out + 12, static_cast<std::uint32_t>(kEventRecordSize));
+  put_u64(out + 16, header.first_ordinal);
+  put_u32(out + 24, 0);  // reserved
+  put_u32(out + 28, common::crc32(out, 28));
+}
+
+bool decode_segment_header(const unsigned char* in, SegmentHeader* out) {
+  if (std::memcmp(in, kSegmentMagic, 8) != 0) return false;
+  if (common::crc32(in, 28) != get_u32(in + 28)) return false;
+  out->version = get_u32(in + 8);
+  if (out->version != kFormatVersion) return false;
+  if (get_u32(in + 12) != kEventRecordSize) return false;
+  out->first_ordinal = get_u64(in + 16);
+  return true;
+}
+
+void SegmentIndex::note(const bgl::Event& event) {
+  if (count == 0) min_time = event.time;
+  DML_DCHECK(event.time >= max_time || count == 0);
+  max_time = event.time;
+  ++count;
+  if (event.fatal) ++fatal_count;
+
+  const std::uint32_t midplane = event.location.enclosing_midplane().packed();
+  auto it = std::lower_bound(
+      midplanes.begin(), midplanes.end(), midplane,
+      [](const MidplaneRecord& r, std::uint32_t m) { return r.midplane < m; });
+  if (it == midplanes.end() || it->midplane != midplane) {
+    it = midplanes.insert(it, {midplane, 0, event.time, event.time});
+  }
+  ++it->count;
+  it->last_time = event.time;
+}
+
+namespace {
+
+// Index layout: magic(8) version(4) count(8) first_ordinal(8) min(8)
+// max(8) fatal(8) midplane_count(4), then 28 bytes per midplane record,
+// then crc32(4) over everything before it.
+constexpr std::size_t kIndexFixedSize = 8 + 4 + 8 + 8 + 8 + 8 + 8 + 4;
+constexpr std::size_t kMidplaneRecordSize = 4 + 8 + 8 + 8;
+
+}  // namespace
+
+std::vector<unsigned char> encode_index(const SegmentIndex& index) {
+  std::vector<unsigned char> out(
+      kIndexFixedSize + index.midplanes.size() * kMidplaneRecordSize + 4);
+  unsigned char* p = out.data();
+  std::memcpy(p, kIndexMagic, 8);
+  put_u32(p + 8, kFormatVersion);
+  put_u64(p + 12, index.count);
+  put_u64(p + 20, index.first_ordinal);
+  put_u64(p + 28, static_cast<std::uint64_t>(index.min_time));
+  put_u64(p + 36, static_cast<std::uint64_t>(index.max_time));
+  put_u64(p + 44, index.fatal_count);
+  put_u32(p + 52, static_cast<std::uint32_t>(index.midplanes.size()));
+  p += kIndexFixedSize;
+  for (const auto& record : index.midplanes) {
+    put_u32(p, record.midplane);
+    put_u64(p + 4, record.count);
+    put_u64(p + 12, static_cast<std::uint64_t>(record.first_time));
+    put_u64(p + 20, static_cast<std::uint64_t>(record.last_time));
+    p += kMidplaneRecordSize;
+  }
+  put_u32(p, common::crc32(out.data(),
+                           static_cast<std::size_t>(p - out.data())));
+  return out;
+}
+
+bool decode_index(const unsigned char* data, std::size_t size,
+                  SegmentIndex* out) {
+  if (size < kIndexFixedSize + 4) return false;
+  if (std::memcmp(data, kIndexMagic, 8) != 0) return false;
+  if (get_u32(data + 8) != kFormatVersion) return false;
+  const std::uint32_t midplane_count = get_u32(data + 52);
+  const std::size_t expected =
+      kIndexFixedSize + midplane_count * kMidplaneRecordSize + 4;
+  if (size != expected) return false;
+  if (common::crc32(data, size - 4) != get_u32(data + size - 4)) return false;
+
+  out->count = get_u64(data + 12);
+  out->first_ordinal = get_u64(data + 20);
+  out->min_time = static_cast<TimeSec>(get_u64(data + 28));
+  out->max_time = static_cast<TimeSec>(get_u64(data + 36));
+  out->fatal_count = get_u64(data + 44);
+  out->midplanes.clear();
+  const unsigned char* p = data + kIndexFixedSize;
+  for (std::uint32_t i = 0; i < midplane_count; ++i) {
+    MidplaneRecord record;
+    record.midplane = get_u32(p);
+    record.count = get_u64(p + 4);
+    record.first_time = static_cast<TimeSec>(get_u64(p + 12));
+    record.last_time = static_cast<TimeSec>(get_u64(p + 20));
+    out->midplanes.push_back(record);
+    p += kMidplaneRecordSize;
+  }
+  return true;
+}
+
+}  // namespace dml::storage

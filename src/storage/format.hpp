@@ -1,0 +1,105 @@
+// On-disk layouts of the segmented event log (DESIGN.md §11).
+//
+// A repository directory holds:
+//   repo.meta          text manifest (magic line, machine, options)
+//   seg-NNNNNN.log     sealed segments (immutable once renamed in)
+//   seg-NNNNNN.idx     sidecar index per sealed segment
+//   active.log         the append tail (no index until sealed)
+//
+// Segment file = 32-byte header + fixed-stride records.  Every record
+// carries its own CRC-32, so a torn or garbage tail is detectable record
+// by record; the fixed stride makes seek-by-time a plain binary search
+// over the mmap'd body (times are non-decreasing within a segment).
+//
+// Event record (24 bytes, little-endian):
+//   0  time            i64
+//   8  location packed u32
+//   12 job_id          u32
+//   16 category        u16
+//   18 fatal           u8  (0/1)
+//   19 pad             u8  (0)
+//   20 crc32           u32 of bytes [0, 20)
+//
+// Sidecar index = whole-segment summary (count, time range, fatal
+// count) plus midplane address records (per enclosing midplane: event
+// count and time range — the BigWorld message_logger address-record
+// idea, used by `dmlfp verify` and the sharded feed accounting), all
+// under one trailing CRC.  An index is always rebuildable from its
+// segment, so a crash between sealing a segment and writing its index
+// self-heals on the next open.
+//
+// All integers are little-endian on disk regardless of host order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bgl/record.hpp"
+
+namespace dml::storage {
+
+inline constexpr std::size_t kEventRecordSize = 24;
+inline constexpr std::size_t kSegmentHeaderSize = 32;
+
+inline constexpr unsigned char kSegmentMagic[8] = {'D', 'M', 'L', 'S',
+                                                   'E', 'G', '1', '\0'};
+inline constexpr unsigned char kIndexMagic[8] = {'D', 'M', 'L', 'I',
+                                                 'D', 'X', '1', '\0'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// Fixed per-segment preamble.  `first_ordinal` is the zero-based global
+/// ordinal of the segment's first record, so any record's position in
+/// the whole log is known without summing earlier segments.
+struct SegmentHeader {
+  std::uint32_t version = kFormatVersion;
+  std::uint64_t first_ordinal = 0;
+};
+
+void encode_event(const bgl::Event& event,
+                  unsigned char out[kEventRecordSize]);
+/// Returns false on CRC mismatch (torn or corrupt record).
+bool decode_event(const unsigned char* in, bgl::Event* out);
+/// The record's timestamp without CRC validation — the binary-search
+/// probe (validated records only).
+TimeSec decode_event_time(const unsigned char* in);
+
+void encode_segment_header(const SegmentHeader& header,
+                           unsigned char out[kSegmentHeaderSize]);
+/// Returns false on bad magic, version, stride, or CRC.
+bool decode_segment_header(const unsigned char* in, SegmentHeader* out);
+
+/// One midplane address record: where (in time) one midplane's events
+/// live inside the segment.
+struct MidplaneRecord {
+  std::uint32_t midplane = 0;  ///< bgl::Location::packed() of the midplane
+  std::uint64_t count = 0;
+  TimeSec first_time = 0;
+  TimeSec last_time = 0;
+
+  friend bool operator==(const MidplaneRecord&,
+                         const MidplaneRecord&) = default;
+};
+
+/// Whole-segment summary, accumulated record by record while writing
+/// (or rebuilt by scanning a sealed segment).
+struct SegmentIndex {
+  std::uint64_t count = 0;
+  std::uint64_t first_ordinal = 0;
+  TimeSec min_time = 0;
+  TimeSec max_time = 0;
+  std::uint64_t fatal_count = 0;
+  /// Sorted by `midplane` for deterministic serialization.
+  std::vector<MidplaneRecord> midplanes;
+
+  /// Accumulates one appended event (events arrive in time order).
+  void note(const bgl::Event& event);
+
+  friend bool operator==(const SegmentIndex&, const SegmentIndex&) = default;
+};
+
+std::vector<unsigned char> encode_index(const SegmentIndex& index);
+/// Returns false on bad magic, version, truncation, or CRC.
+bool decode_index(const unsigned char* data, std::size_t size,
+                  SegmentIndex* out);
+
+}  // namespace dml::storage

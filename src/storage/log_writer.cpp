@@ -1,0 +1,390 @@
+#include "storage/log_writer.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+
+#include "common/check.hpp"
+#include "common/failpoint.hpp"
+#include "storage/manifest.hpp"
+#include "storage/paths.hpp"
+#include "storage/segment.hpp"
+
+namespace dml::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Parses "seg-NNNNNN.log" → NNNNNN; nullopt for anything else.
+std::optional<std::uint64_t> parse_segment_name(const std::string& name) {
+  // Name layout: "seg-" + >=6 digits + ".log".
+  if (name.size() < 4 + 6 + 4) return std::nullopt;
+  if (name.compare(0, 4, "seg-") != 0) return std::nullopt;
+  if (name.compare(name.size() - 4, 4, ".log") != 0) return std::nullopt;
+  const char* first = name.data() + 4;
+  const char* last = name.data() + name.size() - 4;
+  std::uint64_t number = 0;
+  const auto [ptr, ec] = std::from_chars(first, last, number);
+  if (ec != std::errc{} || ptr != last) return std::nullopt;
+  return number;
+}
+
+int open_for_append(const std::string& path, bool create) {
+  int flags = O_WRONLY | O_APPEND | O_CLOEXEC;
+  if (create) flags |= O_CREAT | O_TRUNC;
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    throw std::runtime_error("storage: cannot open " + path + ": " +
+                             std::strerror(errno));
+  }
+  return fd;
+}
+
+}  // namespace
+
+LogWriter::LogWriter(const std::string& dir, const std::string& machine,
+                     const LogWriterOptions& options)
+    : dir_(dir), machine_(machine), options_(options) {
+  DML_CHECK(options_.segment_bytes >=
+            kSegmentHeaderSize + kEventRecordSize);
+  Manifest manifest;
+  manifest.machine = machine_;
+  manifest.segment_bytes = options_.segment_bytes;
+  manifest.threshold = options_.threshold;
+  write_manifest(dir_, manifest);
+  open_active(/*first_ordinal=*/0);
+}
+
+LogWriter::LogWriter(const std::string& dir) : dir_(dir) {
+  std::string error;
+  const auto manifest = read_manifest(dir_, &error);
+  if (!manifest) {
+    throw std::runtime_error("storage: not a repository (" + dir_ +
+                             "): " + error);
+  }
+  machine_ = manifest->machine;
+  options_.segment_bytes = manifest->segment_bytes;
+  options_.threshold = manifest->threshold;
+
+  // Pass 1 over the directory: sweep temp files, collect sealed numbers.
+  std::vector<std::uint64_t> sealed;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      fs::remove(entry.path());
+      ++recovery_.temp_files_removed;
+      continue;
+    }
+    if (const auto number = parse_segment_name(name)) {
+      sealed.push_back(*number);
+    }
+  }
+  std::sort(sealed.begin(), sealed.end());
+  for (std::size_t i = 0; i < sealed.size(); ++i) {
+    if (sealed[i] != i) {
+      throw std::runtime_error("storage: sealed segments not contiguous in " +
+                               dir_ + " (missing seg " + std::to_string(i) +
+                               ")");
+    }
+  }
+  sealed_segments_ = sealed.size();
+
+  // Pass 2: validate every sealed segment, repairing sidecar indexes.
+  // Sealed files were fsynced before their rename, so a torn sealed
+  // segment means foul play — but the scan is the source of truth, so
+  // recover what is intact rather than refuse the whole repository.
+  std::uint64_t running_total = 0;
+  for (std::uint64_t number = 0; number < sealed_segments_; ++number) {
+    const std::string path = join_path(dir_, segment_name(number));
+    SegmentScan scan;
+    {
+      const MappedFile map = MappedFile::open(path);
+      scan = scan_segment(map.data(), map.size());
+    }
+    if (!scan.header_ok) {
+      throw std::runtime_error("storage: sealed segment " + path +
+                               " has a corrupt header");
+    }
+    if (scan.header.first_ordinal != running_total) {
+      throw std::runtime_error("storage: " + path + " first ordinal " +
+                               std::to_string(scan.header.first_ordinal) +
+                               " != expected " +
+                               std::to_string(running_total));
+    }
+    if (scan.torn_bytes > 0) {
+      if (::truncate(path.c_str(), static_cast<off_t>(scan.valid_bytes)) !=
+          0) {
+        throw std::runtime_error("storage: cannot truncate " + path + ": " +
+                                 std::strerror(errno));
+      }
+      recovery_.truncated_bytes += scan.torn_bytes;
+    }
+    SegmentIndex stored;
+    bool index_ok = false;
+    const std::string idx_path = join_path(dir_, index_name(number));
+    if (fs::exists(idx_path)) {
+      const MappedFile map = MappedFile::open(idx_path);
+      index_ok = decode_index(map.data(), map.size(), &stored) &&
+                 stored == scan.index;
+    }
+    if (!index_ok) {
+      write_index(number, scan.index);
+      ++recovery_.indexes_rebuilt;
+    }
+    running_total += scan.valid_records;
+    if (scan.valid_records > 0) last_time_ = scan.index.max_time;
+  }
+
+  // Pass 3: the active tail — truncate the torn suffix, or recreate the
+  // file outright if even the header never made it to disk.
+  const std::string active_path = join_path(dir_, kActiveName);
+  if (!fs::exists(active_path)) {
+    open_active(running_total);
+    total_records_ = running_total;
+    return;
+  }
+  SegmentScan scan;
+  std::uint64_t active_size = 0;
+  {
+    const MappedFile map = MappedFile::open(active_path);
+    active_size = map.size();
+    scan = scan_segment(map.data(), map.size());
+  }
+  if (!scan.header_ok) {
+    recovery_.truncated_bytes += active_size;
+    open_active(running_total);
+    total_records_ = running_total;
+    return;
+  }
+  if (scan.header.first_ordinal != running_total) {
+    throw std::runtime_error(
+        "storage: active.log first ordinal " +
+        std::to_string(scan.header.first_ordinal) + " != expected " +
+        std::to_string(running_total) + " in " + dir_);
+  }
+  if (scan.torn_bytes > 0) {
+    if (::truncate(active_path.c_str(),
+                   static_cast<off_t>(scan.valid_bytes)) != 0) {
+      throw std::runtime_error("storage: cannot truncate " + active_path +
+                               ": " + std::strerror(errno));
+    }
+    recovery_.truncated_bytes += scan.torn_bytes;
+  }
+  active_index_ = scan.index;
+  active_bytes_ = scan.valid_bytes;
+  total_records_ = running_total + scan.valid_records;
+  if (scan.valid_records > 0) last_time_ = scan.index.max_time;
+  active_fd_ = open_for_append(active_path, /*create=*/false);
+}
+
+LogWriter::~LogWriter() {
+  // Deliberately crash-like: no flush, no seal (see header).
+  if (active_fd_ >= 0) ::close(active_fd_);
+}
+
+common::FailAction LogWriter::hit_failpoint(std::string_view name) {
+  try {
+    return common::failpoint(name);
+  } catch (...) {
+    failed_ = true;
+    throw;
+  }
+}
+
+void LogWriter::append(const bgl::Event& event) {
+  if (failed_) fail("writer already failed; reopen the repository");
+  if (closed_) fail("writer is closed");
+  DML_CHECK(event.time >= last_time_);
+
+  const common::FailAction action =
+      hit_failpoint(common::failpoints::kStorageAppend);
+
+  if (active_bytes_ + kEventRecordSize > options_.segment_bytes &&
+      active_index_.count > 0) {
+    roll();
+  }
+
+  unsigned char record[kEventRecordSize];
+  encode_event(event, record);
+  if (action == common::FailAction::kCorrupt) {
+    // Simulated kill mid-write: half a record lands on disk, then the
+    // "process" dies.  Recovery must truncate exactly these bytes.
+    write_all(record, kEventRecordSize / 2);
+    failed_ = true;
+    throw common::FailpointError(
+        std::string(common::failpoints::kStorageAppend));
+  }
+  write_all(record, kEventRecordSize);
+
+  active_bytes_ += kEventRecordSize;
+  ++total_records_;
+  ++appended_;
+  last_time_ = event.time;
+  active_index_.note(event);
+
+  if (options_.sync_every_records > 0 &&
+      ++unsynced_records_ >= options_.sync_every_records) {
+    sync();
+  }
+}
+
+void LogWriter::roll() {
+  const common::FailAction action =
+      hit_failpoint(common::failpoints::kStorageRoll);
+
+  // Seal: make the data durable, then move it into the numbered series.
+  sync_fd(active_fd_, kActiveName);
+  ::close(active_fd_);
+  active_fd_ = -1;
+
+  const std::string from = join_path(dir_, kActiveName);
+  const std::string to = join_path(dir_, segment_name(sealed_segments_));
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    fail("cannot seal " + to + ": " + std::strerror(errno));
+  }
+  sync_dir();
+
+  if (action == common::FailAction::kCorrupt) {
+    // Simulated kill between sealing the segment and writing its index;
+    // recovery must rebuild the index by scanning the segment.
+    failed_ = true;
+    throw common::FailpointError(
+        std::string(common::failpoints::kStorageRoll));
+  }
+
+  write_index(sealed_segments_, active_index_);
+  ++sealed_segments_;
+  open_active(total_records_);
+}
+
+void LogWriter::sync() {
+  if (failed_) fail("writer already failed; reopen the repository");
+  hit_failpoint(common::failpoints::kStorageSync);
+  sync_fd(active_fd_, kActiveName);
+  unsynced_records_ = 0;
+}
+
+void LogWriter::close() {
+  if (closed_) return;
+  sync();
+
+  // Post-write health check: read the active tail back and make every
+  // record justify its CRC.  An unsynced index or torn segment must not
+  // be reported as a successful ingest.
+  const std::string active_path = join_path(dir_, kActiveName);
+  SegmentScan scan;
+  {
+    const MappedFile map = MappedFile::open(active_path);
+    scan = scan_segment(map.data(), map.size());
+  }
+  if (!scan.header_ok || scan.torn_bytes > 0 ||
+      scan.valid_records != active_index_.count) {
+    fail("read-back validation of " + active_path + " failed (" +
+         std::to_string(scan.valid_records) + "/" +
+         std::to_string(active_index_.count) + " records intact, " +
+         std::to_string(scan.torn_bytes) + " torn bytes)");
+  }
+
+  ::close(active_fd_);
+  active_fd_ = -1;
+  closed_ = true;
+}
+
+void LogWriter::open_active(std::uint64_t first_ordinal) {
+  const std::string path = join_path(dir_, kActiveName);
+  active_fd_ = open_for_append(path, /*create=*/true);
+  unsigned char header[kSegmentHeaderSize];
+  SegmentHeader h;
+  h.first_ordinal = first_ordinal;
+  encode_segment_header(h, header);
+  write_all(header, kSegmentHeaderSize);
+  active_bytes_ = kSegmentHeaderSize;
+  active_index_ = SegmentIndex{};
+  active_index_.first_ordinal = first_ordinal;
+}
+
+void LogWriter::write_index(std::uint64_t segment_number,
+                            const SegmentIndex& index) {
+  const std::vector<unsigned char> bytes = encode_index(index);
+  const std::string path = join_path(dir_, index_name(segment_number));
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    fail("cannot create " + tmp + ": " + std::strerror(errno));
+  }
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      fail("cannot write " + tmp + ": " + std::strerror(err));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  sync_fd(fd, tmp);
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    fail("cannot rename " + tmp + ": " + std::strerror(errno));
+  }
+  sync_dir();
+}
+
+void LogWriter::write_all(const unsigned char* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(active_fd_, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("write to active.log failed: " + std::string(std::strerror(errno)));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+void LogWriter::sync_fd(int fd, const std::string& what) {
+  if (::fsync(fd) != 0) {
+    fail("fsync " + what + " failed: " + std::strerror(errno));
+  }
+}
+
+void LogWriter::sync_dir() {
+  const int fd = ::open(dir_.c_str(), O_DIRECTORY | O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    fail("cannot open directory " + dir_ + ": " + std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  const int err = errno;
+  ::close(fd);
+  if (rc != 0) {
+    fail("fsync directory " + dir_ + " failed: " + std::strerror(err));
+  }
+}
+
+void LogWriter::fail(const std::string& what) {
+  failed_ = true;
+  throw std::runtime_error("storage: " + what);
+}
+
+void CanonicalAppender::append(const bgl::Event& event) {
+  if (!pending_.empty() && event.time != pending_.back().time) flush();
+  pending_.push_back(event);
+}
+
+void CanonicalAppender::flush() {
+  if (pending_.empty()) return;
+  std::stable_sort(pending_.begin(), pending_.end(), bgl::EventTimeOrder{});
+  for (const bgl::Event& event : pending_) writer_.append(event);
+  pending_.clear();
+}
+
+}  // namespace dml::storage

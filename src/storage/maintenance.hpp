@@ -1,0 +1,53 @@
+// Offline repository maintenance: the deep checker behind
+// `dmlfp verify` and the rewriter behind `dmlfp compact`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/log_writer.hpp"
+
+namespace dml::storage {
+
+/// Everything `verify_repository` concluded.  `ok()` means the
+/// repository is fully readable and internally consistent; `issues`
+/// lists every violation found (the check does not stop at the first).
+struct VerifyReport {
+  std::vector<std::string> issues;
+
+  std::uint64_t segments = 0;  ///< sealed + active-with-records
+  std::uint64_t records = 0;
+  std::uint64_t fatal_records = 0;
+  std::uint64_t bytes = 0;
+  TimeSec first_time = 0;
+  TimeSec last_time = 0;
+  /// Torn bytes found at the active tail.  Benign (a reopen truncates
+  /// them) and therefore reported separately, not as an issue.
+  std::uint64_t active_torn_bytes = 0;
+
+  bool ok() const { return issues.empty(); }
+};
+
+/// Full-scan audit of a repository directory: manifest, per-record
+/// CRCs, in- and cross-segment time order, ordinal continuity, and
+/// sidecar indexes (including the midplane address records) re-derived
+/// from the data and compared against what is stored.  Read-only.
+VerifyReport verify_repository(const std::string& dir);
+
+struct CompactStats {
+  std::uint64_t records = 0;
+  std::uint64_t segments_before = 0;
+  std::uint64_t segments_after = 0;
+};
+
+/// Rewrites `src_dir` into a fresh repository at `dst_dir` (which must
+/// not already hold one): torn tails are dropped, undersized sealed
+/// segments are merged into full ones of `options.segment_bytes`, and
+/// every index is freshly built.  The machine name and threshold carry
+/// over from the source manifest.
+CompactStats compact_repository(const std::string& src_dir,
+                                const std::string& dst_dir,
+                                const LogWriterOptions& options = {});
+
+}  // namespace dml::storage

@@ -1,0 +1,119 @@
+#include "storage/manifest.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "storage/format.hpp"
+#include "storage/paths.hpp"
+
+namespace dml::storage {
+namespace {
+
+void fsync_path(const std::string& path, bool directory) {
+  const int fd =
+      ::open(path.c_str(), (directory ? O_DIRECTORY : 0) | O_RDONLY);
+  if (fd < 0) {
+    throw std::runtime_error("storage: cannot open " + path +
+                             " for fsync: " + std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  const int err = errno;
+  ::close(fd);
+  if (rc != 0) {
+    throw std::runtime_error("storage: fsync " + path + " failed: " +
+                             std::strerror(err));
+  }
+}
+
+}  // namespace
+
+void write_manifest(const std::string& dir, const Manifest& manifest) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    throw std::runtime_error("storage: cannot create " + dir + ": " +
+                             ec.message());
+  }
+  const std::string path = join_path(dir, kManifestName);
+  if (std::filesystem::exists(path)) {
+    throw std::runtime_error("storage: repository already exists at " + dir);
+  }
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    out << kManifestMagic << '\n'
+        << "machine=" << manifest.machine << '\n'
+        << "segment_bytes=" << manifest.segment_bytes << '\n'
+        << "threshold=" << manifest.threshold << '\n';
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("storage: cannot write " + tmp);
+    }
+  }
+  fsync_path(tmp, false);
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    throw std::runtime_error("storage: cannot rename " + tmp + ": " +
+                             ec.message());
+  }
+  fsync_path(dir, true);
+}
+
+std::optional<Manifest> read_manifest(const std::string& dir,
+                                      std::string* error) {
+  const auto reject = [&](std::string what) -> std::optional<Manifest> {
+    if (error != nullptr) *error = std::move(what);
+    return std::nullopt;
+  };
+  std::ifstream in(join_path(dir, kManifestName));
+  if (!in) return reject("missing " + std::string(kManifestName));
+  std::string line;
+  if (!std::getline(in, line) || line != kManifestMagic) {
+    return reject("bad manifest magic line");
+  }
+  Manifest manifest;
+  bool saw_machine = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line.front() == '#') continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) return reject("bad manifest line: " + line);
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    const auto parse_number = [&](auto* out) {
+      const auto [ptr, ec2] = std::from_chars(
+          value.data(), value.data() + value.size(), *out);
+      return ec2 == std::errc{} && ptr == value.data() + value.size();
+    };
+    if (key == "machine") {
+      manifest.machine = value;
+      saw_machine = true;
+    } else if (key == "segment_bytes") {
+      if (!parse_number(&manifest.segment_bytes)) {
+        return reject("bad segment_bytes: " + value);
+      }
+    } else if (key == "threshold") {
+      if (!parse_number(&manifest.threshold)) {
+        return reject("bad threshold: " + value);
+      }
+    }
+    // Unknown keys are ignored for forward compatibility.
+  }
+  if (!saw_machine) return reject("manifest missing machine=");
+  // The same floor LogWriter enforces at create time: a repository the
+  // writer could produce must always be reopenable.
+  if (manifest.segment_bytes < kSegmentHeaderSize + kEventRecordSize) {
+    return reject("segment_bytes implausibly small");
+  }
+  return manifest;
+}
+
+}  // namespace dml::storage

@@ -1,0 +1,29 @@
+// The repository manifest (`repo.meta`): a tiny text file naming the
+// machine the log belongs to and the writer options baked into the
+// directory.  Written once at create time through temp + fsync + rename
+// so a repository is never visible half-initialised.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace dml::storage {
+
+struct Manifest {
+  std::string machine;
+  std::size_t segment_bytes = 4u << 20;
+  /// Preprocessing threshold the events were ingested with (recorded so
+  /// `dmlfp run --repo` can refuse a mismatched --window pipeline).
+  std::int64_t threshold = 300;
+};
+
+/// Creates `dir` if needed and writes the manifest durably; throws on
+/// I/O failure or if a manifest already exists.
+void write_manifest(const std::string& dir, const Manifest& manifest);
+
+/// nullopt (with *error filled) on missing/malformed manifest.
+std::optional<Manifest> read_manifest(const std::string& dir,
+                                      std::string* error = nullptr);
+
+}  // namespace dml::storage

@@ -1,0 +1,35 @@
+// File naming inside a repository directory.  Sealed segments count up
+// from zero; the append tail is always `active.log` and gains its
+// sidecar index only when sealed (rename into the numbered series).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace dml::storage {
+
+inline constexpr const char* kManifestName = "repo.meta";
+inline constexpr const char* kActiveName = "active.log";
+inline constexpr const char* kManifestMagic = "# DML-EVENT-REPO v1";
+
+inline std::string join_path(const std::string& dir, const std::string& name) {
+  if (dir.empty() || dir.back() == '/') return dir + name;
+  return dir + "/" + name;
+}
+
+inline std::string segment_name(std::uint64_t number) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "seg-%06llu.log",
+                static_cast<unsigned long long>(number));
+  return buf;
+}
+
+inline std::string index_name(std::uint64_t number) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "seg-%06llu.idx",
+                static_cast<unsigned long long>(number));
+  return buf;
+}
+
+}  // namespace dml::storage

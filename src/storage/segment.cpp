@@ -1,0 +1,109 @@
+#include "storage/segment.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace dml::storage {
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<unsigned char*>(data_), size_);
+  }
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) {
+      ::munmap(const_cast<unsigned char*>(data_), size_);
+    }
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+MappedFile MappedFile::open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    throw std::runtime_error("storage: cannot open " + path + ": " +
+                             std::strerror(errno));
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("storage: cannot stat " + path + ": " +
+                             std::strerror(err));
+  }
+  MappedFile file;
+  file.size_ = static_cast<std::size_t>(st.st_size);
+  if (file.size_ > 0) {
+    void* map = ::mmap(nullptr, file.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (map == MAP_FAILED) {
+      const int err = errno;
+      ::close(fd);
+      throw std::runtime_error("storage: cannot mmap " + path + ": " +
+                               std::strerror(err));
+    }
+    file.data_ = static_cast<const unsigned char*>(map);
+  }
+  ::close(fd);
+  return file;
+}
+
+SegmentScan scan_segment(const unsigned char* data, std::size_t size) {
+  SegmentScan scan;
+  if (size < kSegmentHeaderSize ||
+      !decode_segment_header(data, &scan.header)) {
+    scan.torn_bytes = size;
+    return scan;
+  }
+  scan.header_ok = true;
+  scan.valid_bytes = kSegmentHeaderSize;
+  scan.index.first_ordinal = scan.header.first_ordinal;
+
+  const unsigned char* p = data + kSegmentHeaderSize;
+  std::size_t remaining = size - kSegmentHeaderSize;
+  TimeSec last_time = 0;
+  while (remaining >= kEventRecordSize) {
+    bgl::Event event;
+    if (!decode_event(p, &event)) break;
+    if (scan.valid_records > 0 && event.time < last_time) break;
+    last_time = event.time;
+    scan.index.note(event);
+    ++scan.valid_records;
+    scan.valid_bytes += kEventRecordSize;
+    p += kEventRecordSize;
+    remaining -= kEventRecordSize;
+  }
+  scan.torn_bytes = size - scan.valid_bytes;
+  return scan;
+}
+
+std::uint64_t lower_bound_time(const unsigned char* records,
+                               std::uint64_t count, TimeSec t) {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = count;
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if (decode_event_time(records + mid * kEventRecordSize) < t) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace dml::storage

@@ -1,0 +1,66 @@
+// Read side of one segment file: an RAII read-only memory mapping plus
+// the validating scanner that turns raw bytes into "N intact records,
+// M torn trailing bytes" — the recovery primitive every open path
+// (writer restart, repository open, verify) is built on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "storage/format.hpp"
+
+namespace dml::storage {
+
+/// Read-only mmap of a whole file.  Move-only; unmapped on destruction.
+/// A zero-length file maps to {nullptr, 0}.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Maps `path` read-only; throws std::runtime_error on any failure.
+  static MappedFile open(const std::string& path);
+
+  const unsigned char* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool mapped() const { return data_ != nullptr || size_ == 0; }
+
+ private:
+  const unsigned char* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Result of validating a segment image front to back.  `valid_bytes`
+/// (header + intact records) is the truncation point that recovers the
+/// file; anything beyond it is the torn tail.
+struct SegmentScan {
+  bool header_ok = false;
+  SegmentHeader header;
+  std::uint64_t valid_records = 0;
+  /// Bytes from offset 0 through the last intact record.
+  std::uint64_t valid_bytes = 0;
+  /// Trailing bytes past the last intact record (0 for a clean file).
+  std::uint64_t torn_bytes = 0;
+  /// Summary rebuilt from the intact records (first_ordinal filled from
+  /// the header).
+  SegmentIndex index;
+};
+
+/// Walks a segment image: header, then per-record CRC + non-decreasing
+/// time validation, stopping at the first record that fails either.  A
+/// failed (or short) header yields header_ok == false with the whole
+/// file counted as torn.
+SegmentScan scan_segment(const unsigned char* data, std::size_t size);
+
+/// First record index in [records, records + count) with time >= t —
+/// the in-segment half of seek-by-time.  Records must be intact (their
+/// times are read without CRC checks).
+std::uint64_t lower_bound_time(const unsigned char* records,
+                               std::uint64_t count, TimeSec t);
+
+}  // namespace dml::storage

@@ -1,0 +1,248 @@
+// Chaos tier, storage edition: kill the log writer mid-append and
+// mid-roll through the storage.* failpoints, across ≥50 seeded
+// iterations, and assert the crash-recovery contract every time:
+//
+//   - a kill mid-append leaves exactly the torn half-record on disk;
+//     reopen truncates exactly those bytes and not one more,
+//   - a kill between sealing a segment and writing its index loses no
+//     data; reopen rebuilds the index from the segment,
+//   - the intact prefix reads back byte-for-byte (the read side ignores
+//     the torn tail without help),
+//   - appending resumes after recovery and the final repository equals
+//     the uninterrupted one, verify-clean.
+//
+// Runs under `ctest -C chaos -L chaos` (excluded from tier-1).  Seeded:
+// DMLFP_TEST_SEED=<n> replays the whole sweep shifted to that base.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bgl/location.hpp"
+#include "common/failpoint.hpp"
+#include "common/rng.hpp"
+#include "storage/disk_repository.hpp"
+#include "storage/log_writer.hpp"
+#include "storage/maintenance.hpp"
+#include "support/temp_dir.hpp"
+#include "support/test_fixtures.hpp"
+
+namespace dml::storage {
+namespace {
+
+class ChaosStorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override { common::FailpointRegistry::instance().reset(); }
+  void TearDown() override { common::FailpointRegistry::instance().reset(); }
+};
+
+/// Seed-derived corpus: lumpy timestamps, varying locations/categories.
+std::vector<bgl::Event> corpus_for(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  std::vector<bgl::Event> events;
+  TimeSec t = static_cast<TimeSec>(1000 + rng.uniform_index(1000));
+  for (std::size_t i = 0; i < n; ++i) {
+    t += static_cast<TimeSec>(rng.uniform_index(90));
+    bgl::Event event;
+    event.time = t;
+    event.category = static_cast<CategoryId>(rng.uniform_index(40));
+    event.job_id = static_cast<std::uint32_t>(rng.next_u64() % 10000);
+    event.location = bgl::Location::compute_chip(
+        static_cast<int>(rng.uniform_index(8)),
+        static_cast<int>(rng.uniform_index(2)),
+        static_cast<int>(rng.uniform_index(16)), 0, 0);
+    event.fatal = rng.uniform_index(13) == 0;
+    events.push_back(event);
+  }
+  return events;
+}
+
+LogWriterOptions small_segments() {
+  LogWriterOptions options;
+  options.segment_bytes = kSegmentHeaderSize + 16 * kEventRecordSize;
+  return options;
+}
+
+/// One crash-recovery iteration.  Arms `failpoint_spec`, appends until
+/// the writer dies, and asserts the full recovery contract.  Returns
+/// how many events survived the crash (for sanity accounting).
+std::size_t run_iteration(std::uint64_t seed, const std::string& failpoint_spec,
+                          std::uint64_t expected_torn_bytes,
+                          std::size_t expected_index_rebuilds) {
+  testing::ScopedTempDir dir("dml-chaos-storage");
+  const auto repo_dir = dir.sub("repo");
+  const std::size_t total = 160 + seed % 160;
+  const auto events = corpus_for(seed, total);
+
+  auto& registry = common::FailpointRegistry::instance();
+  registry.reset();
+  registry.reseed(seed);
+  EXPECT_TRUE(registry.arm_from_string(failpoint_spec)) << failpoint_spec;
+
+  // Phase 1: append until the failpoint kills the writer.
+  std::size_t survived = 0;
+  bool crashed = false;
+  {
+    LogWriter writer(repo_dir, "chaos", small_segments());
+    for (const auto& event : events) {
+      try {
+        writer.append(event);
+        ++survived;
+      } catch (const common::FailpointError&) {
+        crashed = true;
+        break;
+      }
+    }
+    // Crash-like destruction: no close(), nothing else flushed.
+  }
+  registry.reset();
+  EXPECT_TRUE(crashed) << "failpoint never fired (seed " << seed << ", "
+                       << failpoint_spec << ")";
+  EXPECT_LT(survived, total);
+
+  const std::vector<bgl::Event> prefix(events.begin(),
+                                       events.begin() + survived);
+
+  // Phase 2: the read side sees exactly the intact prefix, unaided.
+  {
+    OnDiskRepository repo(repo_dir);
+    EXPECT_EQ(repo.size(), prefix.size()) << "seed " << seed;
+    EXPECT_EQ(repo.open_info().torn_bytes_ignored, expected_torn_bytes)
+        << "seed " << seed;
+    EXPECT_EQ(repo.open_info().indexes_rebuilt, expected_index_rebuilds)
+        << "seed " << seed;
+    if (!prefix.empty()) {
+      const auto got =
+          materialize(repo, repo.first_time(), repo.last_time() + 1);
+      EXPECT_EQ(got, prefix) << "seed " << seed;
+    }
+  }
+
+  // Phase 3: reopen for append — exact torn-tail truncation, index
+  // rebuilt on disk, nothing lost.
+  {
+    LogWriter writer(repo_dir);
+    EXPECT_EQ(writer.recovery().truncated_bytes, expected_torn_bytes)
+        << "seed " << seed;
+    EXPECT_EQ(writer.recovery().indexes_rebuilt, expected_index_rebuilds)
+        << "seed " << seed;
+    EXPECT_EQ(writer.total_records(), prefix.size()) << "seed " << seed;
+
+    // Phase 4: resume appending the lost suffix and finish cleanly.
+    for (std::size_t i = survived; i < events.size(); ++i) {
+      writer.append(events[i]);
+    }
+    writer.close();
+  }
+
+  // Phase 5: the final repository is the uninterrupted sequence and
+  // passes the deep audit.
+  {
+    OnDiskRepository repo(repo_dir);
+    EXPECT_EQ(repo.size(), events.size()) << "seed " << seed;
+    EXPECT_EQ(materialize(repo, repo.first_time(), repo.last_time() + 1),
+              events)
+        << "seed " << seed;
+  }
+  const auto report = verify_repository(repo_dir);
+  EXPECT_TRUE(report.ok()) << "seed " << seed << ": "
+                           << (report.issues.empty() ? ""
+                                                     : report.issues.front());
+  EXPECT_EQ(report.records, events.size());
+  return survived;
+}
+
+// ≥50-seed acceptance sweep: 30 kill-mid-append iterations (torn
+// half-record truncated exactly) + 25 kill-mid-roll iterations (sealed
+// segment with no index, rebuilt with zero loss).
+TEST_F(ChaosStorageTest, FiftySeedCrashRecoverySweep) {
+  const auto base = testing::fuzz_seed(7100);
+
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    const auto seed = base + i;
+    // Crash position varies per seed, spread across segment boundaries.
+    const auto after = 10 + (seed * 17) % 140;
+    run_iteration(seed,
+                  "storage.append=corrupt:after=" + std::to_string(after) +
+                      ":max=1",
+                  /*expected_torn_bytes=*/kEventRecordSize / 2,
+                  /*expected_index_rebuilds=*/0);
+  }
+
+  for (std::uint64_t i = 0; i < 25; ++i) {
+    const auto seed = base + 1000 + i;
+    // Rolls happen every 16 records; crash at a varying roll ordinal.
+    const auto after = (seed * 13) % 7;
+    run_iteration(seed,
+                  "storage.roll=corrupt:after=" + std::to_string(after) +
+                      ":max=1",
+                  /*expected_torn_bytes=*/0,
+                  /*expected_index_rebuilds=*/1);
+  }
+}
+
+// A kill mid-append on the very first record: the repository recovers
+// to empty and is still appendable.
+TEST_F(ChaosStorageTest, CrashOnFirstAppendRecoversToEmpty) {
+  const auto seed = testing::fuzz_seed(7200);
+  run_iteration(seed, "storage.append=corrupt:after=0:max=1",
+                kEventRecordSize / 2, 0);
+}
+
+// Double crash: kill mid-append, recover, kill mid-roll, recover — the
+// contract holds across stacked recoveries.
+TEST_F(ChaosStorageTest, StackedCrashesRecoverCleanly) {
+  const auto seed = testing::fuzz_seed(7300);
+  testing::ScopedTempDir dir("dml-chaos-storage");
+  const auto repo_dir = dir.sub("repo");
+  const auto events = corpus_for(seed, 300);
+  auto& registry = common::FailpointRegistry::instance();
+
+  std::size_t next = 0;
+  ASSERT_TRUE(registry.arm_from_string("storage.append=corrupt:after=40:max=1"));
+  {
+    LogWriter writer(repo_dir, "chaos", small_segments());
+    while (next < events.size()) {
+      try {
+        writer.append(events[next]);
+        ++next;
+      } catch (const common::FailpointError&) {
+        break;
+      }
+    }
+  }
+  registry.reset();
+  ASSERT_EQ(next, 40u);
+
+  ASSERT_TRUE(registry.arm_from_string("storage.roll=corrupt:after=2:max=1"));
+  {
+    LogWriter writer(repo_dir);
+    EXPECT_EQ(writer.recovery().truncated_bytes, kEventRecordSize / 2);
+    while (next < events.size()) {
+      try {
+        writer.append(events[next]);
+        ++next;
+      } catch (const common::FailpointError&) {
+        break;
+      }
+    }
+  }
+  registry.reset();
+  ASSERT_LT(next, events.size());
+
+  {
+    LogWriter writer(repo_dir);
+    EXPECT_EQ(writer.recovery().indexes_rebuilt, 1u);
+    EXPECT_EQ(writer.total_records(), next);
+    for (; next < events.size(); ++next) writer.append(events[next]);
+    writer.close();
+  }
+
+  OnDiskRepository repo(repo_dir);
+  EXPECT_EQ(materialize(repo, repo.first_time(), repo.last_time() + 1),
+            events);
+  EXPECT_TRUE(verify_repository(repo_dir).ok());
+}
+
+}  // namespace
+}  // namespace dml::storage

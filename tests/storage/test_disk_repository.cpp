@@ -1,0 +1,208 @@
+#include "storage/disk_repository.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <vector>
+
+#include "bgl/location.hpp"
+#include "logio/event_store.hpp"
+#include "storage/log_writer.hpp"
+#include "support/temp_dir.hpp"
+
+namespace dml::storage {
+namespace {
+
+/// A deterministic, lumpy corpus: bursts of same-timestamp events with
+/// gaps, fatal sprinkled in — the shapes the two-level seek must handle.
+std::vector<bgl::Event> make_corpus(std::size_t n, unsigned seed = 11) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> gap(0, 40);
+  std::uniform_int_distribution<int> rack(0, 7);
+  std::vector<bgl::Event> events;
+  TimeSec t = 1000;
+  for (std::size_t i = 0; i < n; ++i) {
+    t += gap(rng);
+    bgl::Event event;
+    event.time = t;
+    event.category = static_cast<CategoryId>(i % 13);
+    event.job_id = static_cast<std::uint32_t>(i);
+    event.location = bgl::Location::compute_chip(rack(rng), 0, 1, 0, 0);
+    event.fatal = i % 17 == 0;
+    events.push_back(event);
+  }
+  return events;
+}
+
+/// Writes `events` (already time-ordered) into a fresh repository with
+/// small segments so multi-segment behavior is always exercised.
+void write_repo(const std::string& dir, const std::vector<bgl::Event>& events,
+                std::size_t records_per_segment = 64) {
+  LogWriterOptions options;
+  options.segment_bytes =
+      kSegmentHeaderSize + records_per_segment * kEventRecordSize;
+  LogWriter writer(dir, "sdsc", options);
+  CanonicalAppender appender(writer);
+  for (const auto& event : events) appender.append(event);
+  appender.flush();
+  writer.close();
+}
+
+class DiskRepositoryTest : public ::testing::Test {
+ protected:
+  DiskRepositoryTest() : events_(make_corpus(1000)), store_(events_) {
+    write_repo(dir_.sub("repo"), events_);
+    repo_ = std::make_unique<OnDiskRepository>(dir_.sub("repo"));
+  }
+
+  testing::ScopedTempDir dir_{"dml-repo"};
+  std::vector<bgl::Event> events_;
+  logio::EventStore store_;
+  std::unique_ptr<OnDiskRepository> repo_;
+};
+
+TEST_F(DiskRepositoryTest, MatchesInMemoryStoreOnBasics) {
+  EXPECT_EQ(repo_->size(), store_.size());
+  EXPECT_EQ(repo_->first_time(), store_.first_time());
+  EXPECT_EQ(repo_->last_time(), store_.last_time());
+  EXPECT_GT(repo_->segment_count(), 10u);
+  EXPECT_EQ(repo_->manifest().machine, "sdsc");
+  EXPECT_EQ(repo_->open_info().torn_bytes_ignored, 0u);
+  EXPECT_EQ(repo_->open_info().indexes_rebuilt, 0u);
+}
+
+TEST_F(DiskRepositoryTest, ScanMatchesInMemoryStoreOverManyRanges) {
+  const TimeSec lo = repo_->first_time();
+  const TimeSec hi = repo_->last_time();
+  const TimeSec span = hi - lo;
+  // Full range, empty ranges, mid-corpus seeks, and boundary-grazing
+  // windows, with a deliberately tiny batch size to exercise resumes.
+  const std::vector<std::pair<TimeSec, TimeSec>> ranges = {
+      {lo, hi + 1},        {0, lo},
+      {hi + 1, hi + 100},  {lo + span / 3, lo + span / 2},
+      {lo + span / 2, hi}, {lo + 1, lo + 2},
+      {hi, hi + 1},        {lo + span / 4, lo + span / 4},
+  };
+  for (const auto& [begin, end] : ranges) {
+    const auto expected = store_.between(begin, end);
+    std::vector<bgl::Event> got;
+    auto cursor = repo_->scan(begin, end);
+    while (cursor->next(got, 7) > 0) {
+    }
+    ASSERT_EQ(got.size(), expected.size())
+        << "range [" << begin << ", " << end << ")";
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i], expected[i]) << "range [" << begin << ", " << end
+                                     << ") event " << i;
+    }
+  }
+}
+
+TEST_F(DiskRepositoryTest, FatalCountMatchesInMemoryStore) {
+  const TimeSec lo = repo_->first_time();
+  const TimeSec hi = repo_->last_time();
+  const TimeSec span = hi - lo;
+  const std::vector<std::pair<TimeSec, TimeSec>> ranges = {
+      {lo, hi + 1}, {lo + span / 5, lo + 4 * span / 5}, {hi, hi},
+      {0, lo},      {lo + span / 2, lo + span / 2 + 1},
+  };
+  for (const auto& [begin, end] : ranges) {
+    EXPECT_EQ(repo_->fatal_count_between(begin, end),
+              store_.fatal_count_between(begin, end))
+        << "range [" << begin << ", " << end << ")";
+  }
+}
+
+TEST_F(DiskRepositoryTest, FatalCountOverFullSegmentsUsesIndexOnly) {
+  // Counting fatal events across the whole corpus should not need to
+  // map every segment: interior segments are answered from their
+  // sidecar index alone.
+  const auto before = repo_->io_stats();
+  const auto count =
+      repo_->fatal_count_between(repo_->first_time(), repo_->last_time() + 1);
+  EXPECT_EQ(count, store_.fatal_count_between(store_.first_time(),
+                                              store_.last_time() + 1));
+  const auto after = repo_->io_stats();
+  EXPECT_LT(after.segments_opened - before.segments_opened,
+            repo_->segment_count());
+}
+
+TEST_F(DiskRepositoryTest, IoStatsGrowMonotonically) {
+  const auto start = repo_->io_stats();
+  std::vector<bgl::Event> sink;
+  repo_->scan(repo_->first_time(), repo_->last_time() + 1)
+      ->next(sink, repo_->size());
+  const auto after_scan = repo_->io_stats();
+  EXPECT_GT(after_scan.bytes_read, start.bytes_read);
+  EXPECT_GT(after_scan.segments_opened, start.segments_opened);
+  EXPECT_GE(after_scan.map_seconds, start.map_seconds);
+  EXPECT_GE(after_scan.read_seconds, start.read_seconds);
+}
+
+TEST_F(DiskRepositoryTest, MidCorpusSeekMapsOnlyWhatItReads) {
+  // A narrow window deep in the corpus must not touch every segment.
+  OnDiskRepository fresh(dir_.sub("repo"));
+  const TimeSec mid =
+      fresh.first_time() + (fresh.last_time() - fresh.first_time()) / 2;
+  std::vector<bgl::Event> got;
+  auto cursor = fresh.scan(mid, mid + 50);
+  while (cursor->next(got, 64) > 0) {
+  }
+  const auto expected = store_.between(mid, mid + 50);
+  ASSERT_EQ(got.size(), expected.size());
+  EXPECT_LT(fresh.io_stats().segments_opened, fresh.segment_count() / 2);
+}
+
+TEST_F(DiskRepositoryTest, TornActiveTailIsIgnored) {
+  const auto repo_dir = dir_.sub("torn");
+  write_repo(repo_dir, events_);
+  {
+    std::ofstream out(repo_dir + "/active.log",
+                      std::ios::binary | std::ios::app);
+    out.write("xxxxxxxxxxx", 11);
+  }
+  OnDiskRepository repo(repo_dir);
+  EXPECT_EQ(repo.open_info().torn_bytes_ignored, 11u);
+  EXPECT_EQ(repo.size(), events_.size());
+  EXPECT_EQ(materialize(repo, repo.first_time(), repo.last_time() + 1),
+            materialize(*repo_, repo_->first_time(), repo_->last_time() + 1));
+}
+
+TEST_F(DiskRepositoryTest, MissingIndexIsRebuiltInMemory) {
+  const auto repo_dir = dir_.sub("noidx");
+  write_repo(repo_dir, events_);
+  ASSERT_TRUE(std::filesystem::remove(repo_dir + "/seg-000002.idx"));
+  OnDiskRepository repo(repo_dir);
+  EXPECT_EQ(repo.open_info().indexes_rebuilt, 1u);
+  // The read side never writes the index back.
+  EXPECT_FALSE(std::filesystem::exists(repo_dir + "/seg-000002.idx"));
+  EXPECT_EQ(repo.size(), events_.size());
+  EXPECT_EQ(materialize(repo, repo.first_time(), repo.last_time() + 1),
+            materialize(*repo_, repo_->first_time(), repo_->last_time() + 1));
+}
+
+TEST_F(DiskRepositoryTest, OpenRejectsNonRepository) {
+  EXPECT_THROW(OnDiskRepository(dir_.sub("nothing-here")),
+               std::runtime_error);
+}
+
+TEST(DiskRepositoryEmpty, EmptyRepositoryBehavesLikeEmptyStore) {
+  testing::ScopedTempDir dir("dml-repo");
+  const auto repo_dir = dir.sub("repo");
+  {
+    LogWriter writer(repo_dir, "anl", {});
+    writer.close();
+  }
+  OnDiskRepository repo(repo_dir);
+  EXPECT_TRUE(repo.empty());
+  EXPECT_EQ(repo.first_time(), 0);
+  EXPECT_EQ(repo.last_time(), 0);
+  std::vector<bgl::Event> sink;
+  EXPECT_EQ(repo.scan(0, 1000)->next(sink, 16), 0u);
+  EXPECT_EQ(repo.fatal_count_between(0, 1000), 0u);
+}
+
+}  // namespace
+}  // namespace dml::storage

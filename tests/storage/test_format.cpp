@@ -1,0 +1,142 @@
+#include "storage/format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "bgl/location.hpp"
+
+namespace dml::storage {
+namespace {
+
+bgl::Event sample_event() {
+  bgl::Event event;
+  event.time = 0x0102030405060708;
+  event.category = 0x1234;
+  event.job_id = 0xdeadbeef;
+  event.location = bgl::Location::compute_chip(3, 1, 7, 12, 1);
+  event.fatal = true;
+  return event;
+}
+
+TEST(EventRecordFormat, RoundTrips) {
+  const auto event = sample_event();
+  unsigned char buf[kEventRecordSize];
+  encode_event(event, buf);
+  bgl::Event decoded;
+  ASSERT_TRUE(decode_event(buf, &decoded));
+  EXPECT_EQ(decoded, event);
+  EXPECT_EQ(decode_event_time(buf), event.time);
+}
+
+// Pins the on-disk byte layout: little-endian fields at their documented
+// offsets.  A change here is a format break, not a refactor.
+TEST(EventRecordFormat, ByteLayoutIsStable) {
+  const auto event = sample_event();
+  unsigned char buf[kEventRecordSize];
+  encode_event(event, buf);
+  const unsigned char expected_prefix[] = {
+      // time i64 LE
+      0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01};
+  EXPECT_EQ(std::memcmp(buf, expected_prefix, 8), 0);
+  // location packed u32 LE at offset 8
+  const std::uint32_t packed = event.location.packed();
+  EXPECT_EQ(buf[8], packed & 0xff);
+  EXPECT_EQ(buf[9], (packed >> 8) & 0xff);
+  // job u32 LE at offset 12
+  EXPECT_EQ(buf[12], 0xef);
+  EXPECT_EQ(buf[13], 0xbe);
+  EXPECT_EQ(buf[14], 0xad);
+  EXPECT_EQ(buf[15], 0xde);
+  // category u16 LE at 16, fatal u8 at 18, pad zero at 19
+  EXPECT_EQ(buf[16], 0x34);
+  EXPECT_EQ(buf[17], 0x12);
+  EXPECT_EQ(buf[18], 1);
+  EXPECT_EQ(buf[19], 0);
+}
+
+TEST(EventRecordFormat, CrcRejectsEveryFlippedByte) {
+  const auto event = sample_event();
+  unsigned char buf[kEventRecordSize];
+  encode_event(event, buf);
+  for (std::size_t i = 0; i < kEventRecordSize; ++i) {
+    unsigned char mangled[kEventRecordSize];
+    std::memcpy(mangled, buf, sizeof buf);
+    mangled[i] ^= 0x40;
+    bgl::Event decoded;
+    EXPECT_FALSE(decode_event(mangled, &decoded)) << "byte " << i;
+  }
+}
+
+TEST(SegmentHeaderFormat, RoundTripsAndRejectsCorruption) {
+  SegmentHeader header;
+  header.first_ordinal = 123456789;
+  unsigned char buf[kSegmentHeaderSize];
+  encode_segment_header(header, buf);
+  SegmentHeader decoded;
+  ASSERT_TRUE(decode_segment_header(buf, &decoded));
+  EXPECT_EQ(decoded.version, kFormatVersion);
+  EXPECT_EQ(decoded.first_ordinal, header.first_ordinal);
+
+  for (std::size_t i = 0; i < kSegmentHeaderSize; ++i) {
+    unsigned char mangled[kSegmentHeaderSize];
+    std::memcpy(mangled, buf, sizeof buf);
+    mangled[i] ^= 0x01;
+    SegmentHeader out;
+    // Flipping any bit of the magic, version, stride, ordinal or CRC
+    // must be caught.  (Some pad bytes may be unchecked; the header has
+    // none today.)
+    EXPECT_FALSE(decode_segment_header(mangled, &out)) << "byte " << i;
+  }
+}
+
+TEST(SegmentIndexFormat, NoteAccumulatesAndRoundTrips) {
+  SegmentIndex index;
+  index.first_ordinal = 42;
+  bgl::Event event = sample_event();
+  event.fatal = false;
+  event.time = 100;
+  event.location = bgl::Location::compute_chip(0, 0, 1, 2, 0);
+  index.note(event);
+  event.time = 150;
+  event.fatal = true;
+  event.location = bgl::Location::compute_chip(2, 1, 0, 0, 1);
+  index.note(event);
+  event.time = 160;
+  event.fatal = false;
+  event.location = bgl::Location::compute_chip(0, 0, 3, 0, 0);
+  index.note(event);
+
+  EXPECT_EQ(index.count, 3u);
+  EXPECT_EQ(index.min_time, 100);
+  EXPECT_EQ(index.max_time, 160);
+  EXPECT_EQ(index.fatal_count, 1u);
+  // Two distinct enclosing midplanes, sorted by packed id.
+  ASSERT_EQ(index.midplanes.size(), 2u);
+  EXPECT_LT(index.midplanes[0].midplane, index.midplanes[1].midplane);
+  EXPECT_EQ(index.midplanes[0].count + index.midplanes[1].count, 3u);
+
+  const auto bytes = encode_index(index);
+  SegmentIndex decoded;
+  ASSERT_TRUE(decode_index(bytes.data(), bytes.size(), &decoded));
+  EXPECT_EQ(decoded, index);
+}
+
+TEST(SegmentIndexFormat, DecodeRejectsTruncationAndCorruption) {
+  SegmentIndex index;
+  index.note(sample_event());
+  const auto bytes = encode_index(index);
+  SegmentIndex out;
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_FALSE(decode_index(bytes.data(), cut, &out)) << "cut " << cut;
+  }
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    auto mangled = bytes;
+    mangled[i] ^= 0x80;
+    EXPECT_FALSE(decode_index(mangled.data(), mangled.size(), &out))
+        << "byte " << i;
+  }
+}
+
+}  // namespace
+}  // namespace dml::storage

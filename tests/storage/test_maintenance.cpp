@@ -1,0 +1,157 @@
+#include "storage/maintenance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "bgl/location.hpp"
+#include "storage/disk_repository.hpp"
+#include "support/temp_dir.hpp"
+
+namespace dml::storage {
+namespace {
+
+std::vector<bgl::Event> make_events(std::size_t n) {
+  std::vector<bgl::Event> events;
+  for (std::size_t i = 0; i < n; ++i) {
+    bgl::Event event;
+    event.time = static_cast<TimeSec>(100 + 3 * i);
+    event.category = static_cast<CategoryId>(i % 7);
+    event.job_id = static_cast<std::uint32_t>(i);
+    event.location =
+        bgl::Location::compute_chip(static_cast<int>(i % 8), 0, 0, 0, 0);
+    event.fatal = i % 11 == 0;
+    events.push_back(event);
+  }
+  return events;
+}
+
+std::string write_repo(const testing::ScopedTempDir& dir,
+                       const std::string& name,
+                       const std::vector<bgl::Event>& events,
+                       std::size_t records_per_segment = 32) {
+  const auto repo_dir = dir.sub(name);
+  LogWriterOptions options;
+  options.segment_bytes =
+      kSegmentHeaderSize + records_per_segment * kEventRecordSize;
+  LogWriter writer(repo_dir, "sdsc", options);
+  for (const auto& event : events) writer.append(event);
+  writer.close();
+  return repo_dir;
+}
+
+TEST(VerifyRepository, CleanRepositoryIsOk) {
+  testing::ScopedTempDir dir("dml-maint");
+  const auto events = make_events(200);
+  const auto repo_dir = write_repo(dir, "repo", events);
+  const auto report = verify_repository(repo_dir);
+  EXPECT_TRUE(report.ok()) << (report.issues.empty() ? ""
+                                                     : report.issues.front());
+  EXPECT_EQ(report.records, events.size());
+  EXPECT_EQ(report.fatal_records, (events.size() + 10) / 11);
+  EXPECT_GT(report.segments, 5u);
+  EXPECT_EQ(report.first_time, events.front().time);
+  EXPECT_EQ(report.last_time, events.back().time);
+  EXPECT_EQ(report.active_torn_bytes, 0u);
+}
+
+TEST(VerifyRepository, TornActiveTailIsBenign) {
+  testing::ScopedTempDir dir("dml-maint");
+  const auto repo_dir = write_repo(dir, "repo", make_events(50));
+  {
+    std::ofstream out(repo_dir + "/active.log",
+                      std::ios::binary | std::ios::app);
+    out.write("torn", 4);
+  }
+  const auto report = verify_repository(repo_dir);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.active_torn_bytes, 4u);
+}
+
+TEST(VerifyRepository, CorruptSealedByteIsAnIssue) {
+  testing::ScopedTempDir dir("dml-maint");
+  const auto repo_dir = write_repo(dir, "repo", make_events(200));
+  {
+    // Flip one record byte in the middle of a sealed segment.
+    std::fstream f(repo_dir + "/seg-000001.log",
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(kSegmentHeaderSize + 5 * kEventRecordSize + 2);
+    char byte;
+    f.get(byte);
+    f.seekp(kSegmentHeaderSize + 5 * kEventRecordSize + 2);
+    f.put(static_cast<char>(byte ^ 0x20));
+  }
+  const auto report = verify_repository(repo_dir);
+  EXPECT_FALSE(report.ok());
+  ASSERT_FALSE(report.issues.empty());
+}
+
+TEST(VerifyRepository, MissingIndexIsAnIssue) {
+  testing::ScopedTempDir dir("dml-maint");
+  const auto repo_dir = write_repo(dir, "repo", make_events(200));
+  ASSERT_TRUE(std::filesystem::remove(repo_dir + "/seg-000000.idx"));
+  const auto report = verify_repository(repo_dir);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(VerifyRepository, StaleIndexIsAnIssue) {
+  testing::ScopedTempDir dir("dml-maint");
+  const auto repo_dir = write_repo(dir, "repo", make_events(200));
+  // Replace seg-000001's index with seg-000000's: structurally valid,
+  // semantically wrong.  The audit re-derives and must catch it.
+  std::filesystem::copy_file(
+      repo_dir + "/seg-000000.idx", repo_dir + "/seg-000001.idx",
+      std::filesystem::copy_options::overwrite_existing);
+  const auto report = verify_repository(repo_dir);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(VerifyRepository, MissingManifestIsAnIssue) {
+  testing::ScopedTempDir dir("dml-maint");
+  std::filesystem::create_directories(dir.sub("empty"));
+  const auto report = verify_repository(dir.sub("empty"));
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(CompactRepository, MergesSegmentsAndPreservesEvents) {
+  testing::ScopedTempDir dir("dml-maint");
+  const auto events = make_events(300);
+  const auto src = write_repo(dir, "src", events, 16);
+  const auto dst = dir.sub("dst");
+
+  LogWriterOptions options;
+  options.segment_bytes = 1u << 20;
+  const auto stats = compact_repository(src, dst, options);
+  EXPECT_EQ(stats.records, events.size());
+  EXPECT_GT(stats.segments_before, stats.segments_after);
+
+  EXPECT_TRUE(verify_repository(dst).ok());
+  OnDiskRepository before(src);
+  OnDiskRepository after(dst);
+  EXPECT_EQ(after.manifest().machine, before.manifest().machine);
+  EXPECT_EQ(
+      materialize(after, after.first_time(), after.last_time() + 1),
+      materialize(before, before.first_time(), before.last_time() + 1));
+}
+
+TEST(CompactRepository, DropsTornTailAndRefusesExistingTarget) {
+  testing::ScopedTempDir dir("dml-maint");
+  const auto events = make_events(40);
+  const auto src = write_repo(dir, "src", events);
+  {
+    std::ofstream out(src + "/active.log", std::ios::binary | std::ios::app);
+    out.write("half-a-record", 13);
+  }
+  const auto dst = dir.sub("dst");
+  const auto stats = compact_repository(src, dst);
+  EXPECT_EQ(stats.records, events.size());
+  EXPECT_TRUE(verify_repository(dst).ok());
+  EXPECT_EQ(verify_repository(dst).active_torn_bytes, 0u);
+
+  EXPECT_THROW(compact_repository(src, dst), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dml::storage

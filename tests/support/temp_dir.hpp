@@ -1,0 +1,40 @@
+// RAII scratch directory for tests that exercise on-disk state (the
+// storage layer, CLI round-trips).  Created under the system temp root,
+// removed recursively on destruction.
+#pragma once
+
+#include <cstdlib>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+
+namespace dml::testing {
+
+class ScopedTempDir {
+ public:
+  explicit ScopedTempDir(const std::string& tag = "dml-test") {
+    auto pattern =
+        (std::filesystem::temp_directory_path() / (tag + ".XXXXXX")).string();
+    if (::mkdtemp(pattern.data()) == nullptr) {
+      throw std::runtime_error("mkdtemp failed for " + pattern);
+    }
+    path_ = pattern;
+  }
+
+  ~ScopedTempDir() {
+    std::error_code ec;  // best-effort cleanup; never throw from a dtor
+    std::filesystem::remove_all(path_, ec);
+  }
+
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+  /// A path inside the directory.
+  std::string sub(const std::string& name) const { return path_ + "/" + name; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace dml::testing

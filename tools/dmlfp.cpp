@@ -3,13 +3,19 @@
 //
 //   dmlfp generate  --machine sdsc --weeks 40 --seed 1 --out log.txt
 //   dmlfp summarize --log log.txt
+//   dmlfp ingest    --log log.txt --out repo/          build an on-disk
+//                                                      event repository
+//   dmlfp verify    --repo repo/                       audit it
+//   dmlfp compact   --repo repo/ --out packed/         rewrite it
 //   dmlfp train     --log log.txt --from-week 0 --to-week 26 --out rules.txt
 //   dmlfp predict   --log log.txt --rules rules.txt --from-week 26
-//   dmlfp run       --log log.txt [--mode sliding|whole|static]
+//   dmlfp run       --log log.txt | --repo repo/  [--mode sliding|whole|static]
 //                   [--training-weeks 26] [--retrain-weeks 4] [--window 300]
-//                   [--no-reviser]
+//                   [--no-reviser] [--resume-week N] [--warnings FILE]
 //
-// Subcommands compose through files: `generate` writes the raw text log,
+// Subcommands compose through files: `generate` writes the raw log
+// (text or binary), `ingest` preprocesses it once into a segmented
+// on-disk repository that `run --repo` replays without re-parsing,
 // `train` ships a rule set, `predict` consumes both — the offline
 // rule-generation / online prediction split of paper §5.2.4.
 #include <chrono>
@@ -25,7 +31,9 @@
 
 #include "common/civil_time.hpp"
 #include "common/failpoint.hpp"
+#include "learners/rule.hpp"
 #include "loggen/generator.hpp"
+#include "logio/binary_format.hpp"
 #include "logio/record_sink.hpp"
 #include "logio/text_format.hpp"
 #include "meta/meta_learner.hpp"
@@ -38,6 +46,9 @@
 #include "predict/outcome_matcher.hpp"
 #include "predict/reviser.hpp"
 #include "preprocess/pipeline.hpp"
+#include "storage/disk_repository.hpp"
+#include "storage/log_writer.hpp"
+#include "storage/maintenance.hpp"
 
 namespace {
 
@@ -101,24 +112,65 @@ int usage() {
       stderr,
       "usage: dmlfp <command> [flags]\n"
       "  generate  --machine anl|sdsc [--weeks N] [--seed S] [--scale X]\n"
-      "            --out FILE                      write a simulated RAS log\n"
+      "            [--format text|binary] --out FILE  write a simulated log\n"
       "  summarize --log FILE                      Tables 2/4-style summary\n"
+      "  ingest    --log FILE --out DIR [--segment-bytes N] [--sync-every N]\n"
+      "            [--threshold 300]               preprocess a raw log into\n"
+      "            a segmented on-disk event repository (refuses success\n"
+      "            unless the written segments read back clean)\n"
+      "  verify    --repo DIR                      full-scan audit of a\n"
+      "            repository (CRCs, time order, sidecar indexes)\n"
+      "  compact   --repo DIR --out DIR [--segment-bytes N]  rewrite into\n"
+      "            full segments with fresh indexes\n"
       "  train     --log FILE [--from-week A] [--to-week B] [--window 300]\n"
       "            [--no-reviser] --out RULES      mine + revise a rule set\n"
       "  predict   --log FILE --rules RULES [--from-week A] [--to-week B]\n"
       "            [--window 300]                  replay + evaluate\n"
-      "  run       --log FILE [--config FILE] [--mode sliding|whole|static]\n"
+      "  run       --log FILE | --repo DIR [--config FILE]\n"
+      "            [--mode sliding|whole|static]\n"
       "            [--training-weeks 26] [--retrain-weeks 4] [--window 300]\n"
       "            [--no-reviser] [--report FILE]  full dynamic driver\n"
       "            [--threads N]  N-shard concurrent serving replay\n"
+      "            [--resume-week N]  restart: rebuild training state from\n"
+      "            the repository, serve only from that week on\n"
+      "            [--warnings FILE]  dump the warning stream (one per\n"
+      "            line) for byte-identity diffs across data planes\n"
       "            [--profile]  print per-stage wall/CPU time (parse,\n"
-      "            preprocess, retrain builds, serving)\n"
+      "            preprocess, log I/O, retrain builds, serving)\n"
       "            [--failpoint NAME=SPEC[,NAME=SPEC...]]  arm fault\n"
       "            injection; SPEC is throw|delay|drop|corrupt|off with\n"
       "            optional :p=PROB :ms=MILLIS :after=N :max=N\n"
       "            [--failpoint-seed S]  RNG seed for probabilistic faults\n"
       "  config-template                           print a config file\n");
   return 2;
+}
+
+/// Arms --failpoint/--failpoint-seed (shared by run and ingest; the
+/// storage.* failpoints make ingest a crash-injection target).  Returns
+/// false on a malformed spec.
+bool arm_failpoints(const Flags& flags, const char* command) {
+  if (flags.has("failpoint-seed")) {
+    common::FailpointRegistry::instance().reseed(
+        static_cast<std::uint64_t>(flags.get_long("failpoint-seed", 0)));
+  }
+  const auto failpoints = flags.get("failpoint");
+  if (!failpoints) return true;
+  std::string_view rest = *failpoints;
+  while (!rest.empty()) {
+    const auto comma = rest.find(',');
+    const auto assignment = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    std::string error;
+    if (!common::FailpointRegistry::instance().arm_from_string(assignment,
+                                                               &error)) {
+      std::fprintf(stderr, "dmlfp %s: bad --failpoint '%.*s': %s\n", command,
+                   static_cast<int>(assignment.size()), assignment.data(),
+                   error.c_str());
+      return false;
+    }
+  }
+  return true;
 }
 
 /// Process CPU clock (all threads), for the --profile table.
@@ -141,23 +193,93 @@ void add_profile_row(online::TablePrinter& table, const char* stage,
                  cpu < 0 ? "-" : online::TablePrinter::fmt(cpu, 4)});
 }
 
+/// The log-I/O rows of the --profile table — mmap time vs record-decode
+/// time; both zero for in-memory replays.
+void add_log_io_rows(online::TablePrinter& table,
+                     const storage::IoStats& io) {
+  add_profile_row(table, "log-mmap", io.map_seconds, -1.0);
+  add_profile_row(table, "log-read", io.read_seconds, -1.0);
+}
+
+void print_log_io_summary(const storage::IoStats& io) {
+  if (io.bytes_read == 0 && io.segments_opened == 0) return;
+  std::printf("log-io: %.1f MB read, %llu segment open(s)\n",
+              static_cast<double>(io.bytes_read) / (1 << 20),
+              static_cast<unsigned long long>(io.segments_opened));
+}
+
+/// Raw-record source over either log format, detected from the stream
+/// magic ("DMLRAW1\0" = binary, anything else = text).
+class AnyRecordReader {
+ public:
+  AnyRecordReader(std::istream& in, logio::RecordReader::OnError on_error) {
+    char magic[sizeof logio::kBinaryLogMagic] = {};
+    in.read(magic, sizeof magic);
+    const bool binary =
+        in.gcount() == static_cast<std::streamsize>(sizeof magic) &&
+        std::memcmp(magic, logio::kBinaryLogMagic, sizeof magic) == 0;
+    in.clear();
+    in.seekg(0);
+    if (binary) {
+      binary_.emplace(in, on_error);
+    } else {
+      text_.emplace(in, on_error);
+    }
+  }
+
+  const std::string& machine() const {
+    return binary_ ? binary_->machine() : text_->machine();
+  }
+  std::optional<bgl::RasRecord> next() {
+    return binary_ ? binary_->next() : text_->next();
+  }
+  const logio::ReadStats& read_stats() const {
+    return binary_ ? binary_->read_stats() : text_->read_stats();
+  }
+
+ private:
+  std::optional<logio::RecordReader> text_;
+  std::optional<logio::BinaryRecordReader> binary_;
+};
+
+/// Lenient-read accounting: what was skipped and why (bounded list).
+void report_skipped(const logio::ReadStats& read_stats,
+                    const std::string& path) {
+  if (read_stats.skipped == 0) return;
+  std::fprintf(stderr,
+               "dmlfp: skipped %llu of %llu malformed record(s) in %s\n",
+               static_cast<unsigned long long>(read_stats.skipped),
+               static_cast<unsigned long long>(read_stats.lines),
+               path.c_str());
+  for (const auto& diagnostic : read_stats.diagnostics) {
+    std::fprintf(stderr, "dmlfp:   record %llu: %s\n",
+                 static_cast<unsigned long long>(diagnostic.line),
+                 diagnostic.reason.c_str());
+  }
+  if (read_stats.skipped > read_stats.diagnostics.size()) {
+    std::fprintf(stderr, "dmlfp:   ... and %llu more\n",
+                 static_cast<unsigned long long>(
+                     read_stats.skipped - read_stats.diagnostics.size()));
+  }
+}
+
 std::optional<logio::EventStore> load_events(const std::string& path,
                                              DurationSec threshold,
                                              StageTimes* parse_times = nullptr,
                                              StageTimes* preprocess_times =
                                                  nullptr) {
   using Clock = std::chrono::steady_clock;
-  std::ifstream file(path);
+  std::ifstream file(path, std::ios::binary);
   if (!file) {
     std::fprintf(stderr, "dmlfp: cannot open %s\n", path.c_str());
     return std::nullopt;
   }
   preprocess::PreprocessPipeline pipeline(threshold);
-  // Lenient mode: a malformed line is counted and skipped (with a
+  // Lenient mode: a malformed record is counted and skipped (with a
   // bounded diagnostic list), not fatal — a real log tail may be torn.
-  logio::RecordReader reader(file, logio::RecordReader::OnError::kSkip);
+  AnyRecordReader reader(file, logio::RecordReader::OnError::kSkip);
   if (parse_times != nullptr && preprocess_times != nullptr) {
-    // Profiled load: parse (text -> records) and preprocess (categorize
+    // Profiled load: parse (bytes -> records) and preprocess (categorize
     // + compress) are interleaved per record, so each call is clocked.
     for (;;) {
       auto wall0 = Clock::now();
@@ -177,27 +299,44 @@ std::optional<logio::EventStore> load_events(const std::string& path,
   } else {
     while (auto record = reader.next()) pipeline.consume(*record);
   }
-  const auto& read_stats = reader.read_stats();
-  if (read_stats.skipped > 0) {
-    std::fprintf(stderr,
-                 "dmlfp: skipped %llu of %llu malformed line(s) in %s\n",
-                 static_cast<unsigned long long>(read_stats.skipped),
-                 static_cast<unsigned long long>(read_stats.lines),
-                 path.c_str());
-    for (const auto& diagnostic : read_stats.diagnostics) {
-      std::fprintf(stderr, "dmlfp:   line %llu: %s\n",
-                   static_cast<unsigned long long>(diagnostic.line),
-                   diagnostic.reason.c_str());
-    }
-    if (read_stats.skipped > read_stats.diagnostics.size()) {
-      std::fprintf(stderr, "dmlfp:   ... and %llu more\n",
-                   static_cast<unsigned long long>(
-                       read_stats.skipped - read_stats.diagnostics.size()));
-    }
-  }
+  report_skipped(reader.read_stats(), path);
   auto store = pipeline.take_store();
-  store.set_load_stats(read_stats);
+  store.set_load_stats(reader.read_stats());
   return store;
+}
+
+/// One warning per line in a fixed field order (issued_at, deadline,
+/// category, midplane, rule id, source) so two runs can be diffed byte
+/// for byte — the run --repo equivalence contract.
+bool dump_warnings(const std::string& path,
+                   const std::vector<predict::Warning>& warnings) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "dmlfp: cannot write %s\n", path.c_str());
+    return false;
+  }
+  for (const auto& w : warnings) {
+    out << w.issued_at << ' ' << w.deadline << ' ';
+    if (w.category) {
+      out << *w.category;
+    } else {
+      out << '-';
+    }
+    out << ' ';
+    if (w.location) {
+      out << w.location->packed();
+    } else {
+      out << '-';
+    }
+    out << ' ' << w.rule_id << ' ' << to_string(w.source) << '\n';
+  }
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "dmlfp: write to %s failed\n", path.c_str());
+    return false;
+  }
+  std::printf("wrote %zu warning(s) to %s\n", warnings.size(), path.c_str());
+  return true;
 }
 
 /// Prints the post-run fault-injection accounting: what fired, and what
@@ -233,20 +372,39 @@ int cmd_generate(const Flags& flags) {
   profile.scale = flags.get_double("scale", profile.scale);
   const auto seed =
       static_cast<std::uint64_t>(flags.get_long("seed", 1));
+  const std::string format = flags.get_or("format", "text");
+  if (format != "text" && format != "binary") {
+    std::fprintf(stderr, "dmlfp generate: unknown format '%s'\n",
+                 format.c_str());
+    return 2;
+  }
   const auto out_path = flags.get("out");
   if (!out_path) {
     std::fprintf(stderr, "dmlfp generate: --out is required\n");
     return 2;
   }
-  std::ofstream out(*out_path);
+  std::ofstream out(*out_path,
+                    format == "binary" ? std::ios::out | std::ios::binary
+                                       : std::ios::out);
   if (!out) {
     std::fprintf(stderr, "dmlfp: cannot write %s\n", out_path->c_str());
     return 1;
   }
-  logio::StreamSink sink(out, profile.machine.name);
-  logio::CountingSink counter;
-  logio::TeeSink tee({&sink, &counter});
-  loggen::LogGenerator(profile, seed).generate(tee);
+  std::uint64_t records = 0;
+  double mb = 0.0;
+  if (format == "binary") {
+    logio::BinaryStreamSink sink(out, profile.machine.name);
+    loggen::LogGenerator(profile, seed).generate(sink);
+    records = sink.records_written();
+    mb = static_cast<double>(sink.bytes_written()) / (1 << 20);
+  } else {
+    logio::StreamSink sink(out, profile.machine.name);
+    logio::CountingSink counter;
+    logio::TeeSink tee({&sink, &counter});
+    loggen::LogGenerator(profile, seed).generate(tee);
+    records = counter.total();
+    mb = static_cast<double>(counter.bytes()) / (1 << 20);
+  }
   out.flush();
   if (!out) {
     // A full disk surfaces here, not at open(): without this check the
@@ -255,8 +413,7 @@ int cmd_generate(const Flags& flags) {
     return 1;
   }
   std::printf("wrote %llu records (%.1f MB) to %s\n",
-              static_cast<unsigned long long>(counter.total()),
-              static_cast<double>(counter.bytes()) / (1 << 20),
+              static_cast<unsigned long long>(records), mb,
               out_path->c_str());
   return 0;
 }
@@ -267,13 +424,13 @@ int cmd_summarize(const Flags& flags) {
     std::fprintf(stderr, "dmlfp summarize: --log is required\n");
     return 2;
   }
-  std::ifstream file(*log_path);
+  std::ifstream file(*log_path, std::ios::binary);
   if (!file) {
     std::fprintf(stderr, "dmlfp: cannot open %s\n", log_path->c_str());
     return 1;
   }
   preprocess::ThresholdSweep sweep({0, 10, 60, 120, 200, 300, 400});
-  logio::RecordReader reader(file);
+  AnyRecordReader reader(file, logio::RecordReader::OnError::kThrow);
   const std::string machine = reader.machine();
   while (auto record = reader.next()) sweep.consume(*record);
 
@@ -294,6 +451,129 @@ int cmd_summarize(const Flags& flags) {
               "%.2f%%\n",
               static_cast<long long>(sweep.select_threshold()),
               100.0 * sweep.stats_at(5).compression_rate());
+  return 0;
+}
+
+/// `ingest`: raw log (text or binary) -> preprocess -> segmented on-disk
+/// event repository.  Streaming end to end (bounded memory), and success
+/// is gated on the written data reading back clean: the writer's close()
+/// re-scans the active tail, then verify_repository() re-derives every
+/// sealed segment's index and compares — a torn segment or unsynced
+/// index fails the command.
+int cmd_ingest(const Flags& flags) {
+  const auto log_path = flags.get("log");
+  const auto out_dir = flags.get("out");
+  if (!log_path || !out_dir) {
+    std::fprintf(stderr, "dmlfp ingest: --log and --out are required\n");
+    return 2;
+  }
+  if (!arm_failpoints(flags, "ingest")) return 2;
+  std::ifstream file(*log_path, std::ios::binary);
+  if (!file) {
+    std::fprintf(stderr, "dmlfp: cannot open %s\n", log_path->c_str());
+    return 1;
+  }
+  storage::LogWriterOptions options;
+  options.segment_bytes = static_cast<std::size_t>(flags.get_long(
+      "segment-bytes", static_cast<long>(options.segment_bytes)));
+  options.sync_every_records =
+      static_cast<std::size_t>(flags.get_long("sync-every", 0));
+  options.threshold = flags.get_long("threshold", options.threshold);
+
+  AnyRecordReader reader(file, logio::RecordReader::OnError::kSkip);
+  preprocess::StreamingPipeline pipeline(options.threshold);
+  std::uint64_t events_written = 0;
+  std::uint64_t sealed_segments = 0;
+  try {
+    storage::LogWriter writer(*out_dir, reader.machine(), options);
+    storage::CanonicalAppender appender(writer);
+    while (auto record = reader.next()) {
+      if (auto event = pipeline.push(*record)) {
+        appender.append(*event);
+        ++events_written;
+      }
+    }
+    appender.flush();
+    writer.close();
+    sealed_segments = writer.sealed_segments();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dmlfp ingest: %s\n", e.what());
+    print_failpoint_summary({});
+    return 1;
+  }
+  report_skipped(reader.read_stats(), *log_path);
+
+  const auto verdict = storage::verify_repository(*out_dir);
+  for (const auto& issue : verdict.issues) {
+    std::fprintf(stderr, "dmlfp ingest: post-write check: %s\n",
+                 issue.c_str());
+  }
+  if (!verdict.ok()) {
+    print_failpoint_summary({});
+    return 1;
+  }
+  std::printf(
+      "ingested %llu event(s) from %llu record(s) into %s "
+      "(%llu sealed segment(s) + active, %.1f MB, verified)\n",
+      static_cast<unsigned long long>(events_written),
+      static_cast<unsigned long long>(reader.read_stats().lines),
+      out_dir->c_str(), static_cast<unsigned long long>(sealed_segments),
+      static_cast<double>(verdict.bytes) / (1 << 20));
+  print_failpoint_summary({});
+  return 0;
+}
+
+int cmd_verify(const Flags& flags) {
+  const auto repo_path = flags.get("repo");
+  if (!repo_path) {
+    std::fprintf(stderr, "dmlfp verify: --repo is required\n");
+    return 2;
+  }
+  const auto report = storage::verify_repository(*repo_path);
+  std::printf("segments: %llu\n",
+              static_cast<unsigned long long>(report.segments));
+  std::printf("records: %llu (%llu fatal), %.1f MB\n",
+              static_cast<unsigned long long>(report.records),
+              static_cast<unsigned long long>(report.fatal_records),
+              static_cast<double>(report.bytes) / (1 << 20));
+  if (report.records > 0) {
+    std::printf("time range: [%lld, %lld]\n",
+                static_cast<long long>(report.first_time),
+                static_cast<long long>(report.last_time));
+  }
+  if (report.active_torn_bytes > 0) {
+    std::printf("active tail: %llu torn byte(s) (recoverable on reopen)\n",
+                static_cast<unsigned long long>(report.active_torn_bytes));
+  }
+  for (const auto& issue : report.issues) {
+    std::fprintf(stderr, "dmlfp verify: %s\n", issue.c_str());
+  }
+  std::printf("%s\n", report.ok() ? "ok" : "FAILED");
+  return report.ok() ? 0 : 1;
+}
+
+int cmd_compact(const Flags& flags) {
+  const auto repo_path = flags.get("repo");
+  const auto out_dir = flags.get("out");
+  if (!repo_path || !out_dir) {
+    std::fprintf(stderr, "dmlfp compact: --repo and --out are required\n");
+    return 2;
+  }
+  storage::LogWriterOptions options;
+  options.segment_bytes = static_cast<std::size_t>(flags.get_long(
+      "segment-bytes", static_cast<long>(options.segment_bytes)));
+  storage::CompactStats stats;
+  try {
+    stats = storage::compact_repository(*repo_path, *out_dir, options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dmlfp compact: %s\n", e.what());
+    return 1;
+  }
+  std::printf("compacted %llu record(s): %llu -> %llu segment(s) at %s\n",
+              static_cast<unsigned long long>(stats.records),
+              static_cast<unsigned long long>(stats.segments_before),
+              static_cast<unsigned long long>(stats.segments_after),
+              out_dir->c_str());
   return 0;
 }
 
@@ -399,12 +679,16 @@ int cmd_predict(const Flags& flags) {
 /// by midplane) instead of the interval-by-interval batch driver, then
 /// score the merged warning stream over the post-training span.
 int run_sharded(const online::DriverConfig& config,
-                const logio::EventStore& store, long threads, bool profile,
-                const StageTimes& parse_times,
-                const StageTimes& preprocess_times) {
+                const storage::EventRepository& repo, long threads,
+                bool profile, const StageTimes& parse_times,
+                const StageTimes& preprocess_times,
+                const std::optional<std::string>& warnings_path) {
   using Clock = std::chrono::steady_clock;
   const DurationSec initial_span =
       static_cast<DurationSec>(config.training_weeks) * kSecondsPerWeek;
+  const DurationSec retrain_span =
+      static_cast<DurationSec>(config.retrain_weeks) * kSecondsPerWeek;
+  const storage::IoStats io_before = repo.io_stats();
 
   online::ShardedEngineConfig sharded;
   sharded.shards = static_cast<std::size_t>(threads);
@@ -413,8 +697,7 @@ int run_sharded(const online::DriverConfig& config,
   sharded.rethrow_worker_errors = false;
   sharded.engine.prediction_window = config.prediction_window;
   sharded.engine.clock_tick = config.clock_tick;
-  sharded.engine.retrain_interval =
-      static_cast<DurationSec>(config.retrain_weeks) * kSecondsPerWeek;
+  sharded.engine.retrain_interval = retrain_span;
   sharded.engine.initial_training_delay = initial_span;
   sharded.engine.training_span = initial_span;
   sharded.engine.min_training_events = 1;
@@ -426,16 +709,39 @@ int run_sharded(const online::DriverConfig& config,
   sharded.engine.async_retrain = true;
   sharded.engine.profile = profile;
 
+  // --resume-week: serve only from the first retrain boundary at or
+  // after the requested week; everything earlier is replayed silently
+  // through cold_start (same schedule, warnings suppressed).
+  const TimeSec origin = repo.first_time();
+  TimeSec serve_from = origin;
+  if (config.resume_week > 0 && !repo.empty()) {
+    const TimeSec resume_time =
+        origin +
+        static_cast<DurationSec>(config.resume_week) * kSecondsPerWeek;
+    serve_from = origin + initial_span;
+    while (serve_from < resume_time) serve_from += retrain_span;
+  }
+
   std::vector<predict::Warning> warnings;
   const auto wall_start = Clock::now();
   const double cpu_start = process_cpu_seconds();
   online::ShardedEngine engine(
       sharded, [&](const predict::Warning& w) { warnings.push_back(w); });
-  for (const auto& event : store.all()) engine.consume(event);
+  if (serve_from > origin) engine.cold_start(repo, serve_from);
+  {
+    auto cursor = repo.scan(serve_from, repo.last_time() + 1);
+    std::vector<bgl::Event> batch;
+    while (true) {
+      batch.clear();
+      if (cursor->next(batch, storage::kDefaultScanBatch) == 0) break;
+      for (const auto& event : batch) engine.consume(event);
+    }
+  }
   const auto stats = engine.finish();
   const double wall_seconds =
       std::chrono::duration<double>(Clock::now() - wall_start).count();
   const double cpu_seconds = process_cpu_seconds() - cpu_start;
+  const storage::IoStats io = repo.io_stats() - io_before;
 
   if (profile) {
     // Serving is the sum of every shard worker's busy time (may exceed
@@ -446,12 +752,14 @@ int run_sharded(const online::DriverConfig& config,
                     parse_times.cpu);
     add_profile_row(profile_table, "preprocess", preprocess_times.wall,
                     preprocess_times.cpu);
+    add_log_io_rows(profile_table, io);
     add_profile_row(profile_table, "retrain-builds",
                     stats.retrain_build_seconds, -1.0);
     add_profile_row(profile_table, "serving", stats.serving_seconds, -1.0);
     add_profile_row(profile_table, "replay-total", wall_seconds,
                     cpu_seconds);
     profile_table.print(std::cout);
+    print_log_io_summary(io);
   }
 
   online::TablePrinter table({"shard", "events", "warnings", "busy-s",
@@ -469,13 +777,14 @@ int run_sharded(const online::DriverConfig& config,
   table.print(std::cout);
 
   // Score the stream the way the driver scores its intervals: everything
-  // after the initial training span, against the configured window.
-  const TimeSec serve_from = store.first_time() + initial_span;
+  // after the initial training span (or the resume point, whichever is
+  // later), against the configured window.
+  const TimeSec score_from = std::max(origin + initial_span, serve_from);
   const auto test_events =
-      store.between(serve_from, store.last_time() + 1);
+      storage::materialize(repo, score_from, repo.last_time() + 1);
   std::vector<predict::Warning> scored;
   for (const auto& w : warnings) {
-    if (w.issued_at >= serve_from) scored.push_back(w);
+    if (w.issued_at >= score_from) scored.push_back(w);
   }
   const auto evaluation = predict::evaluate_predictions(
       test_events, scored, config.prediction_window);
@@ -502,45 +811,55 @@ int run_sharded(const online::DriverConfig& config,
         static_cast<unsigned long long>(stats.shards_quarantined));
   }
   print_failpoint_summary(engine.degradation_log());
+  if (warnings_path && !dump_warnings(*warnings_path, warnings)) return 1;
   return 0;
 }
 
 int cmd_run(const Flags& flags) {
   const auto log_path = flags.get("log");
-  if (!log_path) {
-    std::fprintf(stderr, "dmlfp run: --log is required\n");
+  const auto repo_path = flags.get("repo");
+  if (log_path.has_value() == repo_path.has_value()) {
+    std::fprintf(stderr,
+                 "dmlfp run: exactly one of --log or --repo is required\n");
     return 2;
   }
   // Arm fault injection before touching the log: logio.parse applies to
   // loading as well as the run itself.
-  if (flags.has("failpoint-seed")) {
-    common::FailpointRegistry::instance().reseed(
-        static_cast<std::uint64_t>(flags.get_long("failpoint-seed", 0)));
-  }
-  if (const auto failpoints = flags.get("failpoint")) {
-    std::string_view rest = *failpoints;
-    while (!rest.empty()) {
-      const auto comma = rest.find(',');
-      const auto assignment = rest.substr(0, comma);
-      rest = comma == std::string_view::npos ? std::string_view{}
-                                             : rest.substr(comma + 1);
-      std::string error;
-      if (!common::FailpointRegistry::instance().arm_from_string(assignment,
-                                                                 &error)) {
-        std::fprintf(stderr, "dmlfp run: bad --failpoint '%.*s': %s\n",
-                     static_cast<int>(assignment.size()), assignment.data(),
-                     error.c_str());
-        return 2;
-      }
-    }
-  }
+  if (!arm_failpoints(flags, "run")) return 2;
   const bool profile = flags.has("profile");
   StageTimes parse_times;
   StageTimes preprocess_times;
-  const auto store =
-      profile ? load_events(*log_path, 300, &parse_times, &preprocess_times)
-              : load_events(*log_path, 300);
-  if (!store) return 1;
+  std::optional<logio::EventStore> store;
+  std::optional<storage::OnDiskRepository> disk;
+  const storage::EventRepository* repo = nullptr;
+  if (log_path) {
+    store = profile
+                ? load_events(*log_path, 300, &parse_times, &preprocess_times)
+                : load_events(*log_path, 300);
+    if (!store) return 1;
+    repo = &*store;
+  } else {
+    try {
+      disk.emplace(*repo_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "dmlfp: %s\n", e.what());
+      return 1;
+    }
+    const auto& info = disk->open_info();
+    if (info.torn_bytes_ignored > 0 || info.indexes_rebuilt > 0) {
+      std::fprintf(stderr,
+                   "dmlfp: repository recovered at open: %llu torn byte(s) "
+                   "ignored, %zu index(es) rebuilt\n",
+                   static_cast<unsigned long long>(info.torn_bytes_ignored),
+                   info.indexes_rebuilt);
+    }
+    std::printf("repository %s: machine %s, %zu event(s), %zu segment(s), "
+                "threshold %lld s\n",
+                repo_path->c_str(), disk->manifest().machine.c_str(),
+                disk->size(), disk->segment_count(),
+                static_cast<long long>(disk->manifest().threshold));
+    repo = &*disk;
+  }
 
   online::DriverConfig config;
   // A --config file provides the base; explicit flags override it.
@@ -565,6 +884,8 @@ int cmd_run(const Flags& flags) {
       flags.get_long("training-weeks", config.training_weeks));
   config.retrain_weeks =
       static_cast<int>(flags.get_long("retrain-weeks", config.retrain_weeks));
+  config.resume_week =
+      static_cast<int>(flags.get_long("resume-week", config.resume_week));
   if (flags.has("no-reviser")) config.use_reviser = false;
   const std::string mode =
       flags.get_or("mode", std::string(to_string(config.mode)));
@@ -580,25 +901,38 @@ int cmd_run(const Flags& flags) {
   }
 
   config.profile = profile;
+  const auto warnings_path = flags.get("warnings");
   const long threads = flags.get_long("threads", 1);
   if (threads > 1) {
-    return run_sharded(config, *store, threads, profile, parse_times,
-                       preprocess_times);
+    return run_sharded(config, *repo, threads, profile, parse_times,
+                       preprocess_times, warnings_path);
+  }
+  std::vector<predict::Warning> warning_log;
+  if (warnings_path) {
+    config.warning_observer = [&warning_log](const predict::Warning& w) {
+      warning_log.push_back(w);
+    };
   }
 
   using Clock = std::chrono::steady_clock;
   const auto wall_start = Clock::now();
   const double cpu_start = process_cpu_seconds();
-  const auto result = online::DynamicDriver(config).run(*store);
+  const auto result = online::DynamicDriver(config).run(*repo);
   if (profile) {
     const double wall_seconds =
         std::chrono::duration<double>(Clock::now() - wall_start).count();
     const double cpu_seconds = process_cpu_seconds() - cpu_start;
+    storage::IoStats io;
+    io.bytes_read = result.engine_stats.log_bytes_read;
+    io.segments_opened = result.engine_stats.log_segments_opened;
+    io.map_seconds = result.engine_stats.log_map_seconds;
+    io.read_seconds = result.engine_stats.log_read_seconds;
     online::TablePrinter profile_table({"stage", "wall-s", "cpu-s"});
     add_profile_row(profile_table, "parse", parse_times.wall,
                     parse_times.cpu);
     add_profile_row(profile_table, "preprocess", preprocess_times.wall,
                     preprocess_times.cpu);
+    add_log_io_rows(profile_table, io);
     add_profile_row(profile_table, "retrain-builds",
                     result.engine_stats.retrain_build_seconds, -1.0);
     add_profile_row(profile_table, "serving",
@@ -606,6 +940,7 @@ int cmd_run(const Flags& flags) {
     add_profile_row(profile_table, "replay-total", wall_seconds,
                     cpu_seconds);
     profile_table.print(std::cout);
+    print_log_io_summary(io);
   }
   if (const auto report_path = flags.get("report")) {
     std::ofstream report(*report_path);
@@ -613,7 +948,15 @@ int cmd_run(const Flags& flags) {
       std::fprintf(stderr, "dmlfp: cannot write %s\n", report_path->c_str());
       return 1;
     }
-    online::write_markdown_report(report, config, result, *store);
+    if (store) {
+      online::write_markdown_report(report, config, result, *store);
+    } else {
+      // The report's per-category/lead-time sections need random access;
+      // materialise the archive into a store once for them.
+      const logio::EventStore report_store(storage::materialize(
+          *repo, repo->first_time(), repo->last_time() + 1));
+      online::write_markdown_report(report, config, result, report_store);
+    }
     report.flush();
     if (!report) {
       std::fprintf(stderr, "dmlfp: write to %s failed\n",
@@ -636,6 +979,7 @@ int cmd_run(const Flags& flags) {
   std::printf("overall: precision %.3f, recall %.3f\n",
               result.overall_precision(), result.overall_recall());
   print_failpoint_summary({});
+  if (warnings_path && !dump_warnings(*warnings_path, warning_log)) return 1;
   return 0;
 }
 
@@ -651,6 +995,9 @@ int main(int argc, char** argv) {
   }
   if (command == "generate") return cmd_generate(flags);
   if (command == "summarize") return cmd_summarize(flags);
+  if (command == "ingest") return cmd_ingest(flags);
+  if (command == "verify") return cmd_verify(flags);
+  if (command == "compact") return cmd_compact(flags);
   if (command == "train") return cmd_train(flags);
   if (command == "predict") return cmd_predict(flags);
   if (command == "run") return cmd_run(flags);
