@@ -107,6 +107,19 @@ inline constexpr std::string_view kStorageRoll = "storage.roll";
 /// storage::LogWriter::sync — throw simulates a failed fsync; the
 /// writer refuses to report durability it does not have.
 inline constexpr std::string_view kStorageSync = "storage.sync";
+/// net::Daemon acceptor, per accepted connection — throw closes the new
+/// connection immediately (the client sees a reset), drop refuses it
+/// silently; both are counted in DaemonStats::accepts_failed.
+inline constexpr std::string_view kNetAccept = "net.accept";
+/// net::Daemon reactor read path, per readable wakeup — throw/corrupt
+/// tears the connection down (counted), drop skips this wakeup without
+/// reading (level-triggered epoll re-reports it, so the connection
+/// survives with the frame merely delayed).
+inline constexpr std::string_view kNetRead = "net.read";
+/// net::Daemon reactor write path, per writable flush — throw tears the
+/// connection down (counted); delay stalls the flush (slow-subscriber
+/// backpressure).
+inline constexpr std::string_view kNetWrite = "net.write";
 }  // namespace failpoints
 
 class FailpointRegistry {

@@ -56,6 +56,56 @@ std::size_t binary_serialized_size(const bgl::RasRecord& record) {
   return kFramePrefix + record.entry_data.size() + 4;
 }
 
+void append_record_frame(std::vector<unsigned char>& out,
+                         const bgl::RasRecord& record) {
+  unsigned char prefix[kFramePrefix];
+  encode_prefix(record, prefix);
+  std::uint32_t crc = common::crc32(prefix, kFramePrefix);
+  crc = common::crc32(record.entry_data.data(), record.entry_data.size(), crc);
+  unsigned char trailer[4];
+  put_u32(trailer, crc);
+  out.insert(out.end(), prefix, prefix + kFramePrefix);
+  out.insert(out.end(), record.entry_data.begin(), record.entry_data.end());
+  out.insert(out.end(), trailer, trailer + 4);
+}
+
+RecordFrameStatus decode_record_frame(const unsigned char* data,
+                                      std::size_t size, bgl::RasRecord* out,
+                                      std::size_t* consumed,
+                                      std::string* reason) {
+  const auto bad = [&](const char* why) {
+    if (reason != nullptr) *reason = why;
+    *consumed = 0;
+    return RecordFrameStatus::kBad;
+  };
+  *consumed = 0;
+  if (size < kFramePrefix) return RecordFrameStatus::kNeedMore;
+  const std::uint32_t entry_len = get_u32(data + 28);
+  if (entry_len > kMaxEntryData) return bad("entry length exceeds limit");
+  const std::size_t frame = kFramePrefix + entry_len + 4;
+  if (size < frame) return RecordFrameStatus::kNeedMore;
+
+  std::uint32_t crc = common::crc32(data, kFramePrefix + entry_len);
+  if (crc != get_u32(data + kFramePrefix + entry_len)) {
+    return bad("record CRC mismatch");
+  }
+  if (data[24] > 2) return bad("bad event type");
+  if (data[25] >= bgl::kNumFacilities) return bad("bad facility");
+  if (data[26] >= kNumSeverities) return bad("bad severity");
+
+  out->record_id = get_u64(data);
+  out->event_time = static_cast<TimeSec>(get_u64(data + 8));
+  out->job_id = get_u32(data + 16);
+  out->location = bgl::Location::from_packed(get_u32(data + 20));
+  out->event_type = static_cast<bgl::EventType>(data[24]);
+  out->facility = static_cast<bgl::Facility>(data[25]);
+  out->severity = static_cast<Severity>(data[26]);
+  out->entry_data.assign(reinterpret_cast<const char*>(data) + kFramePrefix,
+                         entry_len);
+  *consumed = frame;
+  return RecordFrameStatus::kOk;
+}
+
 BinaryStreamSink::BinaryStreamSink(std::ostream& out, std::string_view machine)
     : out_(out) {
   unsigned char header[kHeaderFixed];
@@ -68,19 +118,12 @@ BinaryStreamSink::BinaryStreamSink(std::ostream& out, std::string_view machine)
 }
 
 void BinaryStreamSink::consume(const bgl::RasRecord& record) {
-  unsigned char prefix[kFramePrefix];
-  encode_prefix(record, prefix);
-  std::uint32_t crc = common::crc32(prefix, kFramePrefix);
-  crc = common::crc32(record.entry_data.data(), record.entry_data.size(), crc);
-  unsigned char trailer[4];
-  put_u32(trailer, crc);
-
-  out_.write(reinterpret_cast<const char*>(prefix), kFramePrefix);
-  out_.write(record.entry_data.data(),
-             static_cast<std::streamsize>(record.entry_data.size()));
-  out_.write(reinterpret_cast<const char*>(trailer), 4);
+  scratch_.clear();
+  append_record_frame(scratch_, record);
+  out_.write(reinterpret_cast<const char*>(scratch_.data()),
+             static_cast<std::streamsize>(scratch_.size()));
   ++records_written_;
-  bytes_written_ += binary_serialized_size(record);
+  bytes_written_ += scratch_.size();
 }
 
 void write_binary_log(std::ostream& out, std::string_view machine,

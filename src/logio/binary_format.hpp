@@ -54,6 +54,7 @@ class BinaryStreamSink final : public RecordSink {
 
  private:
   std::ostream& out_;
+  std::vector<unsigned char> scratch_;
   std::uint64_t records_written_ = 0;
   std::uint64_t bytes_written_ = 0;
 };
@@ -94,5 +95,29 @@ class BinaryRecordReader {
 
 /// Exact serialized size in bytes of one record in this format.
 std::size_t binary_serialized_size(const bgl::RasRecord& record);
+
+// ---- Record-frame codec -------------------------------------------------
+// The per-record byte layout of the stream (prefix + ENTRY_DATA + CRC
+// trailer), exposed as buffer-level functions so other transports — the
+// network wire protocol's INGEST_RECORDS frames — carry records in
+// exactly the on-disk encoding.  BinaryStreamSink and the stream reader
+// are thin wrappers over these.
+
+/// Appends one framed record to `out`.
+void append_record_frame(std::vector<unsigned char>& out,
+                         const bgl::RasRecord& record);
+
+enum class RecordFrameStatus {
+  kOk,        ///< *out filled, *consumed = whole frame
+  kNeedMore,  ///< buffer ends mid-frame (*consumed = 0)
+  kBad,       ///< CRC or field validation failed (*reason says why)
+};
+
+/// Decodes one framed record from the front of [data, data + size),
+/// with the same CRC and field validation as the stream reader.
+RecordFrameStatus decode_record_frame(const unsigned char* data,
+                                      std::size_t size, bgl::RasRecord* out,
+                                      std::size_t* consumed,
+                                      std::string* reason = nullptr);
 
 }  // namespace dml::logio

@@ -1,0 +1,807 @@
+#include "net/daemon.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/failpoint.hpp"
+
+namespace dml::net {
+namespace {
+
+/// One unit of admitted ingest work handed from a reactor to a stream
+/// pump.  A `finish` sentinel closes the stream after everything ahead
+/// of it is served.
+struct Batch {
+  std::vector<bgl::Event> events;
+  std::vector<bgl::RasRecord> records;
+  bool finish = false;
+};
+
+}  // namespace
+
+/// One subscription: the bounded warning queue between a stream's
+/// engine callback and a subscriber connection.  The callback side
+/// (engine merger thread) only try-pushes and counts overflow; the
+/// reactor side drains on kick.
+struct Daemon::Subscriber {
+  Reactor* reactor = nullptr;
+  std::uint64_t conn_id = 0;
+  std::uint32_t stream_id = 0;
+  std::size_t cap = 0;
+
+  common::Mutex mutex;
+  std::deque<predict::Warning> warnings DML_GUARDED_BY(mutex);
+  std::uint64_t dropped DML_GUARDED_BY(mutex) = 0;
+  /// Stream drained; FINISHED goes out after the queue empties.
+  bool finished DML_GUARDED_BY(mutex) = false;
+  StreamStatsMsg final_stats DML_GUARDED_BY(mutex);
+  /// Connection gone; stop queueing and notifying.
+  bool detached DML_GUARDED_BY(mutex) = false;
+
+  /// Engine-callback side.  Returns true when the reactor should be
+  /// kicked (queue went non-empty or FINISHED became deliverable).
+  bool push(const predict::Warning& warning) DML_EXCLUDES(mutex) {
+    common::MutexLock lock(mutex);
+    if (detached) return false;
+    if (warnings.size() >= cap) {
+      ++dropped;
+      return false;
+    }
+    warnings.push_back(warning);
+    return warnings.size() == 1;
+  }
+};
+
+/// One logical machine stream: its engine, durable log, bounded
+/// admission queue and subscriber fan-out.
+struct Daemon::Stream {
+  std::uint32_t id = 0;
+  std::string name;
+
+  // Pump-owned (constructed before the pump starts).
+  std::unique_ptr<storage::LogWriter> writer;
+  std::unique_ptr<storage::CanonicalAppender> appender;
+  std::unique_ptr<online::ShardedEngine> engine;
+  std::thread pump;
+
+  /// Warnings emitted by the engine (callback-side counter; the only
+  /// engine-derived figure available before finish()).
+  std::atomic<std::uint64_t> warnings_emitted{0};
+
+  common::Mutex mutex;
+  common::CondVar cv;
+  std::deque<Batch> queue DML_GUARDED_BY(mutex);
+  std::uint64_t expected_seq DML_GUARDED_BY(mutex) = 0;
+  TimeSec last_event_time DML_GUARDED_BY(mutex) = 0;
+  /// Reactor connection currently owning ingest; 0 = claimable.
+  std::uint64_t owner_conn DML_GUARDED_BY(mutex) = 0;
+  bool finishing DML_GUARDED_BY(mutex) = false;
+  bool finished DML_GUARDED_BY(mutex) = false;
+  std::uint64_t events_ingested DML_GUARDED_BY(mutex) = 0;
+  std::uint64_t batches_refused DML_GUARDED_BY(mutex) = 0;
+  StreamStatsMsg final_stats DML_GUARDED_BY(mutex);
+  /// FINISH_STREAM repliers: pre-encoded FINISHED goes to these
+  /// mailboxes when the pump completes.
+  struct FinishWaiter {
+    Reactor* reactor = nullptr;
+    std::uint64_t conn_id = 0;
+    std::shared_ptr<Session> session;
+  };
+  std::vector<FinishWaiter> finish_waiters DML_GUARDED_BY(mutex);
+
+  common::Mutex sub_mutex;
+  std::vector<std::shared_ptr<Subscriber>> subscribers
+      DML_GUARDED_BY(sub_mutex);
+
+  /// Engine warning callback (merger thread, must stay cheap): fan out
+  /// to every subscriber queue, kicking reactors only on empty->
+  /// non-empty transitions.
+  void on_warning(const predict::Warning& warning) {
+    warnings_emitted.fetch_add(1, std::memory_order_relaxed);
+    common::MutexLock lock(sub_mutex);
+    for (const auto& sub : subscribers) {
+      if (sub->push(warning)) sub->reactor->notify(sub->conn_id);
+    }
+  }
+};
+
+/// Per-connection protocol state, owned by the reactor thread via
+/// ReactorConnection::context().  The mailbox half is shared with pump
+/// threads (pre-encoded control frames delivered via notify()).
+struct Daemon::Session {
+  std::uint64_t conn_id = 0;
+  Reactor* reactor = nullptr;
+  bool hello_done = false;
+
+  /// Streams this connection owns ingest for.
+  std::unordered_map<std::uint32_t, std::shared_ptr<Stream>> ingest;
+  /// Streams this connection subscribed to.
+  std::unordered_map<std::uint32_t, std::shared_ptr<Subscriber>>
+      subscriptions;
+
+  common::Mutex mutex;
+  std::vector<unsigned char> control DML_GUARDED_BY(mutex);
+
+  /// Pump-thread side: queue pre-encoded frames for the reactor.
+  void post_control(std::span<const unsigned char> bytes)
+      DML_EXCLUDES(mutex) {
+    common::MutexLock lock(mutex);
+    control.insert(control.end(), bytes.begin(), bytes.end());
+  }
+};
+
+Daemon::Daemon(DaemonConfig config) : config_(std::move(config)) {
+  DML_CHECK_MSG(config_.reactors > 0, "daemon needs at least one reactor");
+  DML_CHECK_MSG(config_.ingest_queue_frames > 0,
+                "ingest queue must admit at least one frame");
+  // Serving semantics: a failed shard quarantines instead of killing
+  // the pump thread.
+  config_.engine.rethrow_worker_errors = false;
+}
+
+Daemon::~Daemon() {
+  if (!stopped_.load()) stop();
+}
+
+void Daemon::start() {
+  auto [fd, port] = listen_tcp(config_.bind_address, config_.port);
+  listen_fd_ = std::move(fd);
+  port_ = port;
+  set_nonblocking(listen_fd_.get());
+  for (std::size_t i = 0; i < config_.reactors; ++i) {
+    // Plain new: the Daemon-to-handler conversion crosses a private
+    // base, which make_unique (outside the class) cannot perform.
+    reactors_.emplace_back(new Reactor(*this));
+    reactors_.back()->start();
+  }
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+Reactor& Daemon::next_reactor() {
+  const std::size_t i =
+      next_reactor_.fetch_add(1, std::memory_order_relaxed);
+  return *reactors_[i % reactors_.size()];
+}
+
+void Daemon::accept_loop() {
+  pollfd fds[2];
+  fds[0] = {listen_fd_.get(), POLLIN, 0};
+  fds[1] = {acceptor_wakeup_.fd(), POLLIN, 0};
+  while (!draining_.load(std::memory_order_acquire)) {
+    const int n = ::poll(fds, 2, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if ((fds[1].revents & POLLIN) != 0) acceptor_wakeup_.drain();
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    while (true) {
+      FdHandle client(::accept4(listen_fd_.get(), nullptr, nullptr,
+                                SOCK_CLOEXEC));
+      if (!client.valid()) break;  // EAGAIN or transient failure
+      accepts_.fetch_add(1, std::memory_order_relaxed);
+      bool refuse = false;
+      try {
+        const common::FailAction action =
+            common::failpoint(common::failpoints::kNetAccept);
+        refuse = action == common::FailAction::kDrop ||
+                 action == common::FailAction::kCorrupt;
+      } catch (const common::FailpointError&) {
+        refuse = true;
+      }
+      if (refuse) {
+        accepts_failed_.fetch_add(1, std::memory_order_relaxed);
+        continue;  // FdHandle closes: the peer sees a reset
+      }
+      next_reactor().adopt(std::move(client));
+    }
+  }
+}
+
+// ---- Reactor-thread protocol handling ------------------------------------
+
+Daemon::Session& Daemon::session_of(ReactorConnection& conn) {
+  if (conn.context() == nullptr) {
+    // Ownership: the shared_ptr lives as a heap cell referenced from
+    // the connection context; pumps hold weak copies via finish
+    // waiters.  Freed in on_disconnect.
+    auto* cell = new std::shared_ptr<Session>(std::make_shared<Session>());
+    (*cell)->conn_id = conn.id();
+    (*cell)->reactor = &conn.reactor();
+    conn.set_context(cell);
+  }
+  return **static_cast<std::shared_ptr<Session>*>(conn.context());
+}
+
+void Daemon::send_error(ReactorConnection& conn, ErrorCode code,
+                        std::uint32_t stream_id, const std::string& message,
+                        bool fatal) {
+  std::vector<unsigned char> out;
+  append_error(out, ErrorMsg{code, stream_id, message});
+  conn.send(out);
+  if (fatal) conn.close_after_flush();
+}
+
+void Daemon::on_frame(ReactorConnection& conn, FrameType type,
+                      std::span<const unsigned char> payload) {
+  Session& session = session_of(conn);
+
+  if (!session.hello_done) {
+    if (type != FrameType::kHello) {
+      send_error(conn, ErrorCode::kProtocol, 0, "expected HELLO first",
+                 /*fatal=*/true);
+      return;
+    }
+    const auto hello = decode_hello(payload);
+    if (!hello || hello->version != kProtocolVersion) {
+      send_error(conn, ErrorCode::kProtocol, 0, "unsupported version",
+                 /*fatal=*/true);
+      return;
+    }
+    session.hello_done = true;
+    std::vector<unsigned char> out;
+    append_hello_ack(out, HelloMsg{});
+    conn.send(out);
+    return;
+  }
+
+  switch (type) {
+    case FrameType::kOpenStream: {
+      const auto msg = decode_open_stream(payload);
+      if (!msg) {
+        send_error(conn, ErrorCode::kProtocol, 0, "bad OPEN_STREAM",
+                   /*fatal=*/true);
+        return;
+      }
+      handle_open_stream(conn, session, *msg);
+      return;
+    }
+    case FrameType::kIngestEvents: {
+      auto msg = decode_ingest_events(payload);
+      if (!msg) {
+        send_error(conn, ErrorCode::kProtocol, 0, "bad INGEST_EVENTS",
+                   /*fatal=*/true);
+        return;
+      }
+      handle_ingest(conn, session, msg->stream_id, msg->seq,
+                    std::move(msg->events), {});
+      return;
+    }
+    case FrameType::kIngestRecords: {
+      auto msg = decode_ingest_records(payload);
+      if (!msg) {
+        send_error(conn, ErrorCode::kProtocol, 0, "bad INGEST_RECORDS",
+                   /*fatal=*/true);
+        return;
+      }
+      handle_ingest(conn, session, msg->stream_id, msg->seq, {},
+                    std::move(msg->records));
+      return;
+    }
+    case FrameType::kFinishStream: {
+      const auto msg = decode_finish_stream(payload);
+      if (!msg) {
+        send_error(conn, ErrorCode::kProtocol, 0, "bad FINISH_STREAM",
+                   /*fatal=*/true);
+        return;
+      }
+      handle_finish(conn, session, *msg);
+      return;
+    }
+    case FrameType::kStats: {
+      const auto msg = decode_stats(payload);
+      if (!msg) {
+        send_error(conn, ErrorCode::kProtocol, 0, "bad STATS",
+                   /*fatal=*/true);
+        return;
+      }
+      handle_stats(conn, *msg);
+      return;
+    }
+    case FrameType::kBye:
+      conn.close_after_flush();
+      return;
+    default:
+      send_error(conn, ErrorCode::kProtocol, 0,
+                 std::string("unexpected frame ") +
+                     std::string(to_string(type)),
+                 /*fatal=*/true);
+      return;
+  }
+}
+
+void Daemon::handle_open_stream(ReactorConnection& conn, Session& session,
+                                const OpenStreamMsg& msg) {
+  if (draining_.load(std::memory_order_acquire)) {
+    send_error(conn, ErrorCode::kDraining, 0, "daemon draining",
+               /*fatal=*/false);
+    return;
+  }
+
+  std::shared_ptr<Stream> stream;
+  {
+    common::MutexLock lock(streams_mutex_);
+    auto it = streams_by_name_.find(msg.name);
+    if (it != streams_by_name_.end()) {
+      stream = it->second;
+    } else {
+      stream = std::make_shared<Stream>();
+      stream->id = next_stream_id_++;
+      stream->name = msg.name;
+      streams_by_name_.emplace(msg.name, stream);
+      streams_by_id_.emplace(stream->id, stream);
+    }
+  }
+
+  // First open constructs the engine (outside the registry lock; the
+  // stream mutex serialises racing openers).
+  {
+    common::MutexLock lock(stream->mutex);
+    if (stream->finished || stream->finishing) {
+      send_error(conn, ErrorCode::kUnknownStream, stream->id,
+                 "stream already finished", /*fatal=*/false);
+      return;
+    }
+    if (stream->engine == nullptr) {
+      if (!config_.repo_dir.empty()) {
+        storage::LogWriterOptions options;
+        options.threshold = config_.engine.engine.filter_threshold;
+        stream->writer = std::make_unique<storage::LogWriter>(
+            config_.repo_dir + "/" + stream->name, stream->name, options);
+        stream->appender =
+            std::make_unique<storage::CanonicalAppender>(*stream->writer);
+      }
+      Stream* raw = stream.get();
+      stream->engine = std::make_unique<online::ShardedEngine>(
+          config_.engine,
+          [raw](const predict::Warning& w) { raw->on_warning(w); });
+      std::shared_ptr<Stream> pump_ref = stream;
+      stream->pump =
+          std::thread([this, pump_ref] { pump_main(pump_ref); });
+    }
+
+    if ((msg.flags & kOpenIngest) != 0) {
+      if (stream->owner_conn != 0 && stream->owner_conn != conn.id()) {
+        send_error(conn, ErrorCode::kStreamBusy, stream->id,
+                   "stream has an ingest owner", /*fatal=*/false);
+        return;
+      }
+      stream->owner_conn = conn.id();
+      session.ingest.emplace(stream->id, stream);
+    }
+  }
+
+  if ((msg.flags & kOpenSubscribe) != 0) {
+    auto sub = std::make_shared<Subscriber>();
+    sub->reactor = &conn.reactor();
+    sub->conn_id = conn.id();
+    sub->stream_id = stream->id;
+    sub->cap = config_.subscriber_queue_warnings;
+    {
+      common::MutexLock lock(stream->sub_mutex);
+      stream->subscribers.push_back(sub);
+    }
+    session.subscriptions.emplace(stream->id, sub);
+  }
+
+  StreamOpenedMsg reply;
+  reply.stream_id = stream->id;
+  {
+    common::MutexLock lock(stream->mutex);
+    reply.next_seq = stream->expected_seq;
+  }
+  std::vector<unsigned char> out;
+  append_stream_opened(out, reply);
+  conn.send(out);
+}
+
+void Daemon::handle_ingest(ReactorConnection& conn, Session& session,
+                           std::uint32_t stream_id, std::uint64_t seq,
+                           std::vector<bgl::Event> events,
+                           std::vector<bgl::RasRecord> records) {
+  auto it = session.ingest.find(stream_id);
+  if (it == session.ingest.end()) {
+    send_error(conn, ErrorCode::kUnknownStream, stream_id,
+               "no ingest stream with this id on this connection",
+               /*fatal=*/true);
+    return;
+  }
+  Stream& stream = *it->second;
+
+  if (!records.empty() && stream.appender != nullptr) {
+    send_error(conn, ErrorCode::kProtocol, stream_id,
+               "durable streams ingest categorized events only",
+               /*fatal=*/true);
+    return;
+  }
+
+  // Time-order validation: the whole batch must be non-decreasing and
+  // start no earlier than everything already admitted.
+  TimeSec first = 0;
+  TimeSec last = 0;
+  bool ordered = true;
+  if (!events.empty()) {
+    first = events.front().time;
+    last = first;
+    for (const bgl::Event& event : events) {
+      if (event.time < last) ordered = false;
+      last = event.time;
+    }
+  } else if (!records.empty()) {
+    first = records.front().event_time;
+    last = first;
+    for (const bgl::RasRecord& record : records) {
+      if (record.event_time < last) ordered = false;
+      last = record.event_time;
+    }
+  }
+  const std::size_t count = events.size() + records.size();
+
+  common::MutexLock lock(stream.mutex);
+  if (stream.finishing || stream.finished) {
+    lock.unlock();
+    send_error(conn, ErrorCode::kUnknownStream, stream_id,
+               "stream is finishing", /*fatal=*/true);
+    return;
+  }
+  if (seq < stream.expected_seq) {
+    // Retransmission of an already-admitted frame (client rewind or
+    // reconnect): re-acknowledge, idempotently.
+    IngestAckMsg ack{stream_id, stream.expected_seq,
+                     static_cast<std::uint32_t>(
+                         config_.ingest_queue_frames - stream.queue.size())};
+    lock.unlock();
+    std::vector<unsigned char> out;
+    append_ingest_ack(out, ack);
+    conn.send(out);
+    return;
+  }
+  if (seq > stream.expected_seq || stream.queue.size() >=
+                                       config_.ingest_queue_frames) {
+    ++stream.batches_refused;
+    RetryAfterMsg retry{stream_id, stream.expected_seq, config_.retry_ms};
+    lock.unlock();
+    std::vector<unsigned char> out;
+    append_retry_after(out, retry);
+    conn.send(out);
+    return;
+  }
+  if (count > 0 && (!ordered || first < stream.last_event_time)) {
+    ++stream.batches_refused;
+    lock.unlock();
+    send_error(conn, ErrorCode::kOutOfOrder, stream_id,
+               "event times regressed", /*fatal=*/true);
+    return;
+  }
+
+  Batch batch;
+  batch.events = std::move(events);
+  batch.records = std::move(records);
+  stream.queue.push_back(std::move(batch));
+  ++stream.expected_seq;
+  if (count > 0) stream.last_event_time = last;
+  stream.events_ingested += count;
+  IngestAckMsg ack{stream_id, stream.expected_seq,
+                   static_cast<std::uint32_t>(config_.ingest_queue_frames -
+                                              stream.queue.size())};
+  lock.unlock();
+  stream.cv.notify_one();
+  std::vector<unsigned char> out;
+  append_ingest_ack(out, ack);
+  conn.send(out);
+}
+
+void Daemon::handle_finish(ReactorConnection& conn, Session& session,
+                           const FinishStreamMsg& msg) {
+  auto it = session.ingest.find(msg.stream_id);
+  if (it == session.ingest.end()) {
+    send_error(conn, ErrorCode::kUnknownStream, msg.stream_id,
+               "no ingest stream with this id on this connection",
+               /*fatal=*/true);
+    return;
+  }
+  Stream& stream = *it->second;
+  auto* cell = static_cast<std::shared_ptr<Session>*>(conn.context());
+
+  common::MutexLock lock(stream.mutex);
+  if (stream.finished) {
+    const StreamStatsMsg stats = stream.final_stats;
+    lock.unlock();
+    std::vector<unsigned char> out;
+    append_finished(out, stats);
+    conn.send(out);
+    return;
+  }
+  if (msg.seq != stream.expected_seq) {
+    // The client believes it sent more (or less) than we admitted:
+    // make it rewind/resend before the stream can drain.
+    RetryAfterMsg retry{msg.stream_id, stream.expected_seq,
+                        config_.retry_ms};
+    lock.unlock();
+    std::vector<unsigned char> out;
+    append_retry_after(out, retry);
+    conn.send(out);
+    return;
+  }
+  stream.finish_waiters.push_back(
+      {&conn.reactor(), conn.id(), *cell});
+  if (!stream.finishing) {
+    stream.finishing = true;
+    Batch sentinel;
+    sentinel.finish = true;
+    stream.queue.push_back(std::move(sentinel));
+  }
+  lock.unlock();
+  stream.cv.notify_one();
+}
+
+void Daemon::handle_stats(ReactorConnection& conn, const StatsMsg& msg) {
+  std::shared_ptr<Stream> stream = find_stream(msg.stream_id);
+  if (stream == nullptr) {
+    send_error(conn, ErrorCode::kUnknownStream, msg.stream_id,
+               "unknown stream", /*fatal=*/false);
+    return;
+  }
+  const StreamStatsMsg stats = snapshot_stream_stats(*stream);
+  std::vector<unsigned char> out;
+  append_stats_reply(out, stats);
+  conn.send(out);
+}
+
+void Daemon::on_kick(ReactorConnection& conn) {
+  if (conn.context() == nullptr) return;
+  Session& session = session_of(conn);
+
+  // Control frames posted by pump threads (FINISHED replies).
+  {
+    common::MutexLock lock(session.mutex);
+    if (!session.control.empty()) {
+      conn.send(session.control);
+      session.control.clear();
+    }
+  }
+
+  // Subscriber queues: drain warnings, then FINISHED once empty.
+  bool all_finished = !session.subscriptions.empty();
+  std::vector<unsigned char> out;
+  std::vector<std::uint32_t> done;
+  for (auto& [stream_id, sub] : session.subscriptions) {
+    common::MutexLock lock(sub->mutex);
+    while (!sub->warnings.empty()) {
+      append_warning(out, WarningMsg{stream_id, sub->warnings.front()});
+      sub->warnings.pop_front();
+    }
+    if (sub->finished) {
+      StreamStatsMsg stats = sub->final_stats;
+      stats.warnings_dropped += sub->dropped;
+      append_finished(out, stats);
+      done.push_back(stream_id);
+    } else {
+      all_finished = false;
+    }
+  }
+  for (std::uint32_t id : done) session.subscriptions.erase(id);
+  if (!out.empty()) conn.send(out);
+
+  // During drain, a connection whose subscriptions have all delivered
+  // FINISHED (and with no ingest role left active) is closed once its
+  // socket flushes.
+  if (draining_.load(std::memory_order_acquire) && all_finished) {
+    conn.close_after_flush();
+  }
+}
+
+void Daemon::on_disconnect(ReactorConnection& conn,
+                           const std::string& reason) {
+  (void)reason;
+  if (conn.context() == nullptr) return;
+  auto* cell = static_cast<std::shared_ptr<Session>*>(conn.context());
+  Session& session = **cell;
+
+  // Release ingest ownership: the stream survives for
+  // reconnect-with-resume.
+  for (auto& [stream_id, stream] : session.ingest) {
+    common::MutexLock lock(stream->mutex);
+    if (stream->owner_conn == session.conn_id) stream->owner_conn = 0;
+  }
+  // Detach subscriptions: the engine callback stops queueing for them.
+  for (auto& [stream_id, sub] : session.subscriptions) {
+    common::MutexLock lock(sub->mutex);
+    sub->detached = true;
+  }
+  delete cell;
+  conn.set_context(nullptr);
+}
+
+// ---- Stream pump ---------------------------------------------------------
+
+void Daemon::pump_main(std::shared_ptr<Stream> stream) {
+  std::string error;
+  try {
+    while (true) {
+      Batch batch;
+      {
+        common::MutexLock lock(stream->mutex);
+        while (stream->queue.empty()) stream->cv.wait(lock);
+        batch = std::move(stream->queue.front());
+        stream->queue.pop_front();
+      }
+      if (batch.finish) break;
+      for (const bgl::Event& event : batch.events) {
+        if (stream->appender != nullptr) stream->appender->append(event);
+        stream->engine->consume(event);
+      }
+      for (const bgl::RasRecord& record : batch.records) {
+        stream->engine->consume(record);
+      }
+    }
+  } catch (const std::exception& e) {
+    error = e.what();
+  }
+
+  online::ShardedEngine::SessionStats engine_stats{};
+  try {
+    if (stream->appender != nullptr) stream->appender->flush();
+    engine_stats = stream->engine->finish();
+    if (stream->writer != nullptr) stream->writer->close();
+  } catch (const std::exception& e) {
+    if (error.empty()) error = e.what();
+  }
+
+  StreamStatsMsg stats;
+  {
+    common::MutexLock lock(stream->mutex);
+    stats.stream_id = stream->id;
+    stats.events_ingested = stream->events_ingested;
+    stats.events_served = engine_stats.events_after_filtering;
+    stats.records_rejected = engine_stats.records_rejected;
+    stats.warnings_emitted =
+        stream->warnings_emitted.load(std::memory_order_relaxed);
+    stats.retrainings = engine_stats.retrainings;
+    stats.batches_refused = stream->batches_refused;
+    stats.finished = 1;
+    stream->final_stats = stats;
+    stream->finished = true;
+  }
+
+  // Deliver FINISHED: to FINISH_STREAM repliers via their session
+  // mailboxes, to subscribers via their queues (after any still-queued
+  // warnings).
+  std::vector<Stream::FinishWaiter> waiters;
+  {
+    common::MutexLock lock(stream->mutex);
+    waiters.swap(stream->finish_waiters);
+  }
+  std::vector<unsigned char> frame;
+  append_finished(frame, stats);
+  for (const Stream::FinishWaiter& waiter : waiters) {
+    waiter.session->post_control(frame);
+    waiter.reactor->notify(waiter.conn_id);
+  }
+  {
+    common::MutexLock lock(stream->sub_mutex);
+    for (const auto& sub : stream->subscribers) {
+      bool kick = false;
+      {
+        common::MutexLock sub_lock(sub->mutex);
+        if (sub->detached) continue;
+        sub->finished = true;
+        sub->final_stats = stats;
+        kick = true;
+      }
+      if (kick) sub->reactor->notify(sub->conn_id);
+    }
+  }
+}
+
+// ---- Lifecycle / stats ---------------------------------------------------
+
+std::shared_ptr<Daemon::Stream> Daemon::find_stream(
+    std::uint32_t id) const {
+  common::MutexLock lock(streams_mutex_);
+  auto it = streams_by_id_.find(id);
+  return it == streams_by_id_.end() ? nullptr : it->second;
+}
+
+StreamStatsMsg Daemon::snapshot_stream_stats(Stream& stream) const {
+  common::MutexLock lock(stream.mutex);
+  if (stream.finished) return stream.final_stats;
+  StreamStatsMsg stats;
+  stats.stream_id = stream.id;
+  stats.events_ingested = stream.events_ingested;
+  stats.warnings_emitted =
+      stream.warnings_emitted.load(std::memory_order_relaxed);
+  stats.batches_refused = stream.batches_refused;
+  // events_served / records_rejected / retrainings are engine-side and
+  // only safely readable from the pump; they fill in at finish.
+  return stats;
+}
+
+void Daemon::request_drain() {
+  draining_.store(true, std::memory_order_release);
+  acceptor_wakeup_.signal();
+}
+
+DaemonStats Daemon::wait() {
+  request_drain();
+  if (acceptor_.joinable()) acceptor_.join();
+
+  // Finish every stream that has no FINISH_STREAM yet: everything
+  // already admitted is served, segments seal, FINISHED reaches
+  // subscribers.
+  std::vector<std::shared_ptr<Stream>> streams;
+  {
+    common::MutexLock lock(streams_mutex_);
+    for (auto& [name, stream] : streams_by_name_) streams.push_back(stream);
+  }
+  for (const auto& stream : streams) {
+    {
+      common::MutexLock lock(stream->mutex);
+      if (stream->engine == nullptr || stream->finishing ||
+          stream->finished) {
+        continue;
+      }
+      stream->finishing = true;
+      Batch sentinel;
+      sentinel.finish = true;
+      stream->queue.push_back(std::move(sentinel));
+    }
+    stream->cv.notify_one();
+  }
+  for (const auto& stream : streams) {
+    if (stream->pump.joinable()) stream->pump.join();
+  }
+
+  // Kick every live connection so drained subscribers get FINISHED and
+  // close; then give the reactors a bounded grace period to flush.
+  using clock = std::chrono::steady_clock;
+  const auto deadline = clock::now() + std::chrono::seconds(1);
+  while (clock::now() < deadline) {
+    std::uint64_t open = 0;
+    for (const auto& reactor : reactors_) {
+      const ReactorStats rs = reactor->stats();
+      open += rs.connections_adopted - rs.connections_closed;
+    }
+    if (open == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  for (const auto& reactor : reactors_) reactor->stop();
+  stopped_.store(true);
+  return stats();
+}
+
+DaemonStats Daemon::stop() { return wait(); }
+
+DaemonStats Daemon::stats() const {
+  DaemonStats total;
+  total.accepts = accepts_.load(std::memory_order_relaxed);
+  total.accepts_failed = accepts_failed_.load(std::memory_order_relaxed);
+  for (const auto& reactor : reactors_) {
+    const ReactorStats rs = reactor->stats();
+    total.frames_received += rs.frames_received;
+    total.connections_adopted += rs.connections_adopted;
+    total.connections_closed += rs.connections_closed;
+    total.connections_failed += rs.connections_failed;
+  }
+  std::vector<std::shared_ptr<Stream>> streams;
+  {
+    common::MutexLock lock(streams_mutex_);
+    for (const auto& [id, stream] : streams_by_id_) {
+      streams.push_back(stream);
+    }
+  }
+  for (const auto& stream : streams) {
+    total.streams.push_back(snapshot_stream_stats(*stream));
+  }
+  return total;
+}
+
+}  // namespace dml::net

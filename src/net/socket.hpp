@@ -1,0 +1,69 @@
+// Thin RAII layer over the POSIX sockets the daemon uses: owned file
+// descriptors, IPv4 TCP listen/connect helpers, and an eventfd-based
+// cross-thread wakeup.  Everything throws std::runtime_error with
+// errno text on failure; nothing here knows about frames or streams.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace dml::net {
+
+/// Owned file descriptor (close-on-destroy, move-only).
+class FdHandle {
+ public:
+  FdHandle() = default;
+  explicit FdHandle(int fd) : fd_(fd) {}
+  ~FdHandle() { reset(); }
+
+  FdHandle(FdHandle&& other) noexcept : fd_(other.release()) {}
+  FdHandle& operator=(FdHandle&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  FdHandle(const FdHandle&) = delete;
+  FdHandle& operator=(const FdHandle&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() { return std::exchange(fd_, -1); }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates a listening IPv4 TCP socket bound to `address:port`
+/// (port 0 = kernel-assigned ephemeral port — the socket-test fixture
+/// contract).  Returns the socket and the actually bound port.
+std::pair<FdHandle, std::uint16_t> listen_tcp(const std::string& address,
+                                              std::uint16_t port,
+                                              int backlog = 128);
+
+/// Blocking IPv4 TCP connect with TCP_NODELAY set.
+FdHandle connect_tcp(const std::string& address, std::uint16_t port);
+
+void set_nonblocking(int fd);
+void set_nodelay(int fd);
+
+/// eventfd wrapper: one write wakes a poller however many times it was
+/// signalled (the reactor's cross-thread doorbell).
+class WakeupFd {
+ public:
+  WakeupFd();
+
+  int fd() const { return fd_.get(); }
+  /// Signals the poller (async-signal- and thread-safe).
+  void signal();
+  /// Consumes all pending signals (called from the poller thread).
+  void drain();
+
+ private:
+  FdHandle fd_;
+};
+
+}  // namespace dml::net

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "online/sharded_engine.hpp"
+
 namespace dml::online {
 namespace {
 
@@ -39,6 +41,28 @@ OnlineEngineConfig engine_config(const DriverConfig& config,
 }
 
 }  // namespace
+
+ShardedEngineConfig sharded_config_from_driver(const DriverConfig& config,
+                                               std::size_t shards,
+                                               bool profile) {
+  const DurationSec initial_span =
+      static_cast<DurationSec>(config.training_weeks) * kSecondsPerWeek;
+  const DurationSec retrain_span =
+      static_cast<DurationSec>(config.retrain_weeks) * kSecondsPerWeek;
+  ShardedEngineConfig sharded;
+  sharded.shards = shards;
+  // Serving semantics: a quarantined shard degrades the run instead of
+  // aborting it.
+  sharded.rethrow_worker_errors = false;
+  sharded.engine = engine_config(config, initial_span, retrain_span);
+  // The sharded engine forces its own tick anchoring and per-scope
+  // predictor options; async retraining on the shared pool is the point
+  // of the concurrent front-end.
+  sharded.engine.adaptive_window = false;
+  sharded.engine.async_retrain = true;
+  sharded.engine.profile = profile;
+  return sharded;
+}
 
 stats::ConfusionCounts DriverResult::total_counts() const {
   stats::ConfusionCounts total;

@@ -121,6 +121,18 @@ struct DriverResult {
   double overall_recall() const;
 };
 
+/// The one DriverConfig -> ShardedEngineConfig mapping, shared by every
+/// concurrent front-end (`dmlfp run --threads N` and the dmlfpd network
+/// daemon), so "same flags => same warning multiset" holds across them
+/// by construction.  Serving semantics: async retraining on the shared
+/// pool, shard failures quarantine instead of rethrowing, and the first
+/// training fires after the full training span regardless of event
+/// count (min_training_events = 1, matching the batch driver).
+struct ShardedEngineConfig;  // online/sharded_engine.hpp
+ShardedEngineConfig sharded_config_from_driver(const DriverConfig& config,
+                                               std::size_t shards,
+                                               bool profile = false);
+
 class DynamicDriver {
  public:
   explicit DynamicDriver(DriverConfig config);

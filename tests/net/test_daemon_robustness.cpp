@@ -1,0 +1,232 @@
+// Daemon robustness: a stalled subscriber must never stall ingest (its
+// bounded queue overflows and the overflow is counted, per-subscriber);
+// an ingest connection dying mid-session must leave the stream's
+// predictor state intact for reconnect-with-resume; and protocol
+// violations (busy stream, raw records into a durable stream, event
+// time regression) surface as typed ERROR frames, not as corrupted
+// engine state.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "loggen/generator.hpp"
+#include "net/client.hpp"
+#include "online/sharded_engine.hpp"
+#include "support/socket_fixture.hpp"
+#include "support/temp_dir.hpp"
+#include "support/test_fixtures.hpp"
+
+namespace dml::net {
+namespace {
+
+/// Cached 8-week ANL corpus shared by every test in this file.
+const std::vector<bgl::Event>& corpus() {
+  static const std::vector<bgl::Event> events = [] {
+    loggen::MachineProfile profile = loggen::MachineProfile::anl();
+    profile.weeks = 8;
+    return loggen::LogGenerator(profile, 1005).generate_unique_events();
+  }();
+  return events;
+}
+
+/// Warnings the equivalent batch engine emits on corpus() under the
+/// fixture's default flags — the oracle for "state was not corrupted".
+std::size_t reference_warning_count() {
+  static const std::size_t count = [] {
+    const auto config = online::sharded_config_from_driver(
+        [] {
+          online::DriverConfig driver;
+          driver.training_weeks = 4;
+          driver.retrain_weeks = 2;
+          return driver;
+        }(),
+        2);
+    std::size_t warnings = 0;
+    online::ShardedEngine engine(config,
+                                 [&](const predict::Warning&) { ++warnings; });
+    for (const auto& event : corpus()) engine.consume(event);
+    engine.finish();
+    return warnings;
+  }();
+  return count;
+}
+
+void send_all(Client& client, std::uint32_t stream_id,
+              std::span<const bgl::Event> events) {
+  constexpr std::size_t kChunk = 1024;
+  for (std::size_t offset = 0; offset < events.size(); offset += kChunk) {
+    const std::size_t n = std::min(kChunk, events.size() - offset);
+    client.send_events(stream_id, events.subspan(offset, n));
+  }
+}
+
+TEST(DaemonRobustnessTest, StalledSubscriberNeverStallsIngest) {
+  // Subscriber queue of zero: every warning overflows immediately —
+  // the deterministic worst case of a subscriber that consumes
+  // nothing.  Ingest must run to completion regardless, and the
+  // subscriber's FINISHED must account for every dropped warning.
+  auto config = testing::daemon_test_config(4, 2);
+  config.subscriber_queue_warnings = 0;
+  testing::DaemonFixture fixture(std::move(config));
+
+  Client subscriber("127.0.0.1", fixture.port());
+  const auto sub_open = subscriber.open_stream("s", kOpenSubscribe);
+  // The subscriber now goes silent: it reads nothing until the end.
+
+  Client ingest("127.0.0.1", fixture.port());
+  const auto opened = ingest.open_stream("s", kOpenIngest);
+  EXPECT_EQ(opened.stream_id, sub_open.stream_id);
+  send_all(ingest, opened.stream_id, corpus());
+  const StreamStatsMsg stats = ingest.finish_stream(opened.stream_id);
+  EXPECT_EQ(stats.events_ingested, corpus().size());
+  EXPECT_EQ(stats.warnings_emitted, reference_warning_count());
+  ASSERT_GT(stats.warnings_emitted, 0u);
+
+  // The stalled subscriber still gets its FINISHED, with the whole
+  // stream counted as dropped on its queue.
+  while (!subscriber.finished(sub_open.stream_id).has_value()) {
+    subscriber.wait_warnings();
+  }
+  EXPECT_TRUE(subscriber.take_warnings().empty());
+  const auto sub_stats = *subscriber.finished(sub_open.stream_id);
+  EXPECT_EQ(sub_stats.warnings_dropped, stats.warnings_emitted);
+}
+
+TEST(DaemonRobustnessTest, SlowSubscriberGetsTheTailAndDropsAreCounted) {
+  // A queue of one: the subscriber keeps up only when the reactor
+  // drains between emissions.  Whatever it receives plus whatever its
+  // FINISHED counts as dropped must reconcile exactly with the
+  // engine's emission count — nothing lost without being counted.
+  auto config = testing::daemon_test_config(4, 2);
+  config.subscriber_queue_warnings = 1;
+  testing::DaemonFixture fixture(std::move(config));
+
+  Client subscriber("127.0.0.1", fixture.port());
+  const auto sub_open = subscriber.open_stream("s", kOpenSubscribe);
+
+  Client ingest("127.0.0.1", fixture.port());
+  const auto opened = ingest.open_stream("s", kOpenIngest);
+  send_all(ingest, opened.stream_id, corpus());
+  const StreamStatsMsg stats = ingest.finish_stream(opened.stream_id);
+  ASSERT_GT(stats.warnings_emitted, 0u);
+
+  std::size_t received = 0;
+  while (!subscriber.finished(sub_open.stream_id).has_value()) {
+    received += subscriber.wait_warnings().size();
+  }
+  received += subscriber.take_warnings().size();
+  const auto sub_stats = *subscriber.finished(sub_open.stream_id);
+  EXPECT_EQ(received + sub_stats.warnings_dropped, stats.warnings_emitted);
+}
+
+TEST(DaemonRobustnessTest, ReconnectWithResumeDoesNotCorruptStreamState) {
+  testing::DaemonFixture fixture(testing::daemon_test_config(4, 2));
+  const auto& events = corpus();
+  const std::size_t half = events.size() / 2;
+
+  std::uint32_t stream_id = 0;
+  std::uint64_t frames_sent = 0;
+  {
+    // First connection: half the corpus, fully acknowledged, then the
+    // connection goes away without finishing the stream.
+    Client first("127.0.0.1", fixture.port());
+    const auto opened = first.open_stream("r");
+    EXPECT_EQ(opened.next_seq, 0u);
+    stream_id = opened.stream_id;
+    send_all(first, stream_id, std::span(events.data(), half));
+    first.flush(stream_id);
+    // The client frames batches of ClientConfig::batch_events (512);
+    // flush() sends the partial tail as one more frame.
+    frames_sent = (half + 511) / 512;
+  }
+
+  // Second connection: the stream is still there, ownership transfers,
+  // and STREAM_OPENED says exactly where ingest must resume.
+  Client second("127.0.0.1", fixture.port());
+  const auto reopened = second.open_stream("r");
+  EXPECT_EQ(reopened.stream_id, stream_id);
+  EXPECT_EQ(reopened.next_seq, frames_sent);
+  send_all(second, stream_id,
+           std::span(events.data() + half, events.size() - half));
+  const StreamStatsMsg stats = second.finish_stream(stream_id);
+
+  // The engine saw one uninterrupted stream: every event, and exactly
+  // the warning count of the single-connection batch replay.
+  EXPECT_EQ(stats.events_ingested, events.size());
+  EXPECT_EQ(stats.warnings_emitted, reference_warning_count());
+  EXPECT_TRUE(stats.finished);
+}
+
+TEST(DaemonRobustnessTest, IngestOwnershipIsExclusiveUntilDisconnect) {
+  testing::DaemonFixture fixture(testing::daemon_test_config());
+  auto first = std::make_unique<Client>("127.0.0.1", fixture.port());
+  first->open_stream("owned");
+
+  Client second("127.0.0.1", fixture.port());
+  try {
+    second.open_stream("owned");
+    FAIL() << "second ingest open on an owned stream was accepted";
+  } catch (const ClientError& e) {
+    ASSERT_TRUE(e.code().has_value());
+    EXPECT_EQ(*e.code(), ErrorCode::kStreamBusy);
+  }
+
+  // Subscribing to the owned stream is fine on a fresh connection...
+  Client watcher("127.0.0.1", fixture.port());
+  EXPECT_NO_THROW(watcher.open_stream("owned", kOpenSubscribe));
+
+  // ...and ingest ownership is claimable again once the owner is gone.
+  first.reset();
+  Client third("127.0.0.1", fixture.port());
+  EXPECT_NO_THROW(third.open_stream("owned"));
+}
+
+TEST(DaemonRobustnessTest, DurableStreamRejectsRawRecordFrames) {
+  testing::ScopedTempDir dir("dmlfpd-robust");
+  auto config = testing::daemon_test_config();
+  config.repo_dir = dir.path();
+  testing::DaemonFixture fixture(std::move(config));
+
+  Client client("127.0.0.1", fixture.port());
+  const auto opened = client.open_stream("durable");
+  bgl::RasRecord record;
+  record.record_id = 1;
+  record.event_time = 100;
+  record.location = bgl::Location::midplane_scope(0, 0);
+  record.entry_data = "raw record into a durable stream";
+  try {
+    client.send_records(opened.stream_id, std::span(&record, 1));
+    client.flush(opened.stream_id);
+    FAIL() << "raw records into a durable stream were accepted";
+  } catch (const ClientError& e) {
+    ASSERT_TRUE(e.code().has_value());
+    EXPECT_EQ(*e.code(), ErrorCode::kProtocol);
+  }
+}
+
+TEST(DaemonRobustnessTest, EventTimeRegressionIsRefusedAsOutOfOrder) {
+  testing::DaemonFixture fixture(testing::daemon_test_config());
+  Client client("127.0.0.1", fixture.port());
+  const auto opened = client.open_stream("ordered");
+
+  std::vector<bgl::Event> batch(2);
+  batch[0].time = 1000;
+  batch[0].category = 1;
+  batch[1].time = 500;  // regression inside the batch
+  batch[1].category = 1;
+  try {
+    client.send_events(opened.stream_id, batch);
+    client.flush(opened.stream_id);
+    FAIL() << "time-regressing batch was admitted";
+  } catch (const ClientError& e) {
+    ASSERT_TRUE(e.code().has_value());
+    EXPECT_EQ(*e.code(), ErrorCode::kOutOfOrder);
+  }
+}
+
+}  // namespace
+}  // namespace dml::net

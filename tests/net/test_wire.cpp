@@ -1,0 +1,502 @@
+// Wire-protocol codec: golden byte-layout vectors (the frame grammar of
+// DESIGN.md §12 is a compatibility contract), seeded round-trip fuzz
+// over every message type, and a truncation/corruption sweep asserting
+// the precise rejection semantics — a short buffer is kNeedMore, a
+// flipped bit is kBad at that exact frame, and nothing corrupt ever
+// decodes.  Mirrors tests/logio/test_binary_format.cpp.
+#include "net/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bgl/location.hpp"
+#include "common/crc32.hpp"
+#include "common/rng.hpp"
+#include "storage/format.hpp"
+#include "support/test_fixtures.hpp"
+
+namespace dml::net {
+namespace {
+
+// ---- Golden vectors ----------------------------------------------------
+// Produced by the codec at protocol version 1 and frozen: any layout
+// change must bump kProtocolVersion, not silently re-golden these.
+
+const std::vector<unsigned char> kGoldenHello = {
+    0x04, 0x00, 0x00, 0x00, 0x01, 0x01, 0x00, 0x00, 0x00, 0xc8,
+    0xb9, 0xfe, 0x43};
+
+const std::vector<unsigned char> kGoldenStreamOpened = {
+    0x0c, 0x00, 0x00, 0x00, 0x04, 0x07, 0x00, 0x00, 0x00, 0x2a,
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x05, 0xbb, 0xe3,
+    0xd3};
+
+const std::vector<unsigned char> kGoldenRetryAfter = {
+    0x10, 0x00, 0x00, 0x00, 0x08, 0x03, 0x00, 0x00, 0x00, 0x09,
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x02, 0x00, 0x00,
+    0x00, 0xcb, 0xf8, 0x97, 0x31};
+
+const std::vector<unsigned char> kGoldenWarning = {
+    0x26, 0x00, 0x00, 0x00, 0x09, 0x01, 0x00, 0x00, 0x00, 0xe8,
+    0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x14, 0x05, 0x00,
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x03, 0x11, 0x00, 0x00, 0x00,
+    0xf9, 0x02, 0x00, 0x00, 0xef, 0xbe, 0xad, 0xde, 0x00, 0x00,
+    0x00, 0x00, 0x00, 0x22, 0xe5, 0x23, 0x28};
+
+const std::vector<unsigned char> kGoldenIngestEvents = {
+    0x40, 0x00, 0x00, 0x00, 0x05, 0x02, 0x00, 0x00, 0x00, 0x05,
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x02, 0x00, 0x00,
+    0x00, 0x64, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    0x02, 0x14, 0x00, 0x00, 0x00, 0x00, 0x00, 0x05, 0x00, 0x00,
+    0x00, 0xa8, 0xe8, 0xcb, 0x2f, 0xa0, 0x00, 0x00, 0x00, 0x00,
+    0x00, 0x00, 0x00, 0x65, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    0x00, 0x09, 0x00, 0x01, 0x00, 0x79, 0xee, 0x3a, 0xaa, 0xca,
+    0x28, 0x9d, 0x42};
+
+predict::Warning golden_warning() {
+  predict::Warning w;
+  w.issued_at = 1000;
+  w.deadline = 1300;
+  w.category = static_cast<CategoryId>(17);
+  w.location = bgl::Location::compute_chip(0, 1, 7, 12, 1);
+  w.rule_id = 0xDEADBEEFu;
+  w.source = static_cast<learners::RuleSource>(0);
+  return w;
+}
+
+std::vector<bgl::Event> golden_events() {
+  bgl::Event e1;
+  e1.time = 100;
+  e1.category = 5;
+  e1.location = bgl::Location::midplane_scope(0, 1);
+  bgl::Event e2;
+  e2.time = 160;
+  e2.category = 9;
+  e2.fatal = true;
+  e2.location = bgl::Location::compute_chip(0, 0, 3, 2, 1);
+  return {e1, e2};
+}
+
+/// Hand-assembles a frame per the documented grammar, independent of
+/// append_frame — for crafting invalid frames the encoder refuses to
+/// emit (unknown types) and for validating the grammar itself.
+std::vector<unsigned char> raw_frame(std::uint8_t type,
+                                     std::vector<unsigned char> payload,
+                                     std::uint32_t length_override =
+                                         0xffffffff) {
+  std::vector<unsigned char> out;
+  const std::uint32_t length =
+      length_override != 0xffffffff
+          ? length_override
+          : static_cast<std::uint32_t>(payload.size());
+  put_u32(out, length);
+  out.push_back(type);
+  std::uint32_t crc = common::crc32(&type, 1);
+  crc = common::crc32(payload.data(), payload.size(), crc);
+  out.insert(out.end(), payload.begin(), payload.end());
+  put_u32(out, crc);
+  return out;
+}
+
+TEST(WireGoldenTest, HelloFrameLayout) {
+  std::vector<unsigned char> out;
+  append_hello(out, HelloMsg{});
+  EXPECT_EQ(out, kGoldenHello);
+
+  // Structural re-derivation: length prefix covers the payload only,
+  // the CRC covers type byte + payload.
+  ASSERT_EQ(out.size(), 4u + 1u + 4u + 4u);
+  EXPECT_EQ(out[0], 4u);  // payload_len (LE) = 4
+  EXPECT_EQ(out[4], static_cast<unsigned char>(FrameType::kHello));
+  const std::uint32_t crc = common::crc32(out.data() + 4, 1u + 4u);
+  EXPECT_EQ(out[9], static_cast<unsigned char>(crc & 0xff));
+  EXPECT_EQ(out[12], static_cast<unsigned char>((crc >> 24) & 0xff));
+}
+
+TEST(WireGoldenTest, ControlFrameLayouts) {
+  std::vector<unsigned char> out;
+  append_stream_opened(out, StreamOpenedMsg{7, 42});
+  EXPECT_EQ(out, kGoldenStreamOpened);
+
+  out.clear();
+  append_retry_after(out, RetryAfterMsg{3, 9, 2});
+  EXPECT_EQ(out, kGoldenRetryAfter);
+}
+
+TEST(WireGoldenTest, WarningFrameLayout) {
+  std::vector<unsigned char> out;
+  append_warning(out, WarningMsg{1, golden_warning()});
+  EXPECT_EQ(out, kGoldenWarning);
+
+  const DecodedFrame frame = decode_frame(out.data(), out.size());
+  ASSERT_EQ(frame.status, DecodeStatus::kFrame);
+  ASSERT_EQ(frame.type, FrameType::kWarning);
+  const auto msg = decode_warning(frame.payload);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->stream_id, 1u);
+  EXPECT_EQ(msg->warning.issued_at, 1000);
+  EXPECT_EQ(msg->warning.deadline, 1300);
+  ASSERT_TRUE(msg->warning.category.has_value());
+  EXPECT_EQ(*msg->warning.category, 17);
+  ASSERT_TRUE(msg->warning.location.has_value());
+  EXPECT_EQ(msg->warning.location->packed(),
+            bgl::Location::compute_chip(0, 1, 7, 12, 1).packed());
+  EXPECT_EQ(msg->warning.rule_id, 0xDEADBEEFu);
+}
+
+TEST(WireGoldenTest, IngestEventsFrameEmbedsStorageRecords) {
+  std::vector<unsigned char> out;
+  const auto events = golden_events();
+  append_ingest_events(out, 2, 5, events);
+  EXPECT_EQ(out, kGoldenIngestEvents);
+
+  // Batch payload = u32 stream | u64 seq | u32 count | count 24-byte
+  // storage-plane records; each record region is byte-identical to
+  // storage::format::encode_event — the wire and the on-disk segment
+  // share one event encoding.
+  ASSERT_EQ(out.size(),
+            kFrameOverhead + 16 + events.size() * storage::kEventRecordSize);
+  unsigned char record[storage::kEventRecordSize];
+  storage::encode_event(events[0], record);
+  EXPECT_EQ(std::vector<unsigned char>(out.begin() + 21,
+                                       out.begin() + 21 +
+                                           storage::kEventRecordSize),
+            std::vector<unsigned char>(record,
+                                       record + storage::kEventRecordSize));
+}
+
+// ---- Round-trip fuzz ---------------------------------------------------
+
+bgl::Event random_event(Rng& rng, TimeSec& t) {
+  bgl::Event event;
+  t += static_cast<TimeSec>(rng.uniform_index(600));
+  event.time = t;
+  event.category = static_cast<CategoryId>(1 + rng.uniform_index(200));
+  event.job_id = static_cast<JobId>(rng.uniform_index(100));
+  event.location = bgl::Location::compute_chip(
+      static_cast<int>(rng.uniform_index(8)),
+      static_cast<int>(rng.uniform_index(2)),
+      static_cast<int>(rng.uniform_index(16)),
+      static_cast<int>(rng.uniform_index(16)),
+      static_cast<int>(rng.uniform_index(2)));
+  event.fatal = rng.uniform_index(10) == 0;
+  return event;
+}
+
+predict::Warning random_warning(Rng& rng) {
+  predict::Warning w;
+  w.issued_at = static_cast<TimeSec>(rng.uniform_index(1 << 30));
+  w.deadline = w.issued_at + static_cast<TimeSec>(rng.uniform_index(3600));
+  if (rng.uniform_index(2) == 0) {
+    w.category = static_cast<CategoryId>(rng.uniform_index(1 << 16));
+  }
+  if (rng.uniform_index(2) == 0) {
+    w.location = bgl::Location::midplane_scope(
+        static_cast<int>(rng.uniform_index(8)),
+        static_cast<int>(rng.uniform_index(2)));
+  }
+  w.rule_id = rng.next_u64();
+  w.source = static_cast<learners::RuleSource>(
+      rng.uniform_index(learners::kNumRuleSources));
+  return w;
+}
+
+bool warnings_equal(const predict::Warning& a, const predict::Warning& b) {
+  return a.issued_at == b.issued_at && a.deadline == b.deadline &&
+         a.category == b.category && a.location == b.location &&
+         a.rule_id == b.rule_id && a.source == b.source;
+}
+
+TEST(WireFuzzTest, EveryMessageTypeRoundTrips) {
+  Rng rng(testing::fuzz_seed(12001));
+  for (int round = 0; round < 200; ++round) {
+    std::vector<unsigned char> out;
+    switch (rng.uniform_index(9)) {
+      case 0: {
+        const HelloMsg msg{static_cast<std::uint32_t>(rng.next_u64())};
+        rng.uniform_index(2) == 0 ? append_hello(out, msg)
+                                  : append_hello_ack(out, msg);
+        const DecodedFrame frame = decode_frame(out.data(), out.size());
+        ASSERT_EQ(frame.status, DecodeStatus::kFrame);
+        const auto got = decode_hello(frame.payload);
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(got->version, msg.version);
+        break;
+      }
+      case 1: {
+        OpenStreamMsg msg;
+        msg.flags = static_cast<std::uint8_t>(1 + rng.uniform_index(3));
+        msg.name.assign(1 + rng.uniform_index(256),
+                        static_cast<char>('a' + rng.uniform_index(26)));
+        append_open_stream(out, msg);
+        const DecodedFrame frame = decode_frame(out.data(), out.size());
+        ASSERT_EQ(frame.status, DecodeStatus::kFrame);
+        const auto got = decode_open_stream(frame.payload);
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(got->flags, msg.flags);
+        EXPECT_EQ(got->name, msg.name);
+        break;
+      }
+      case 2: {
+        const StreamOpenedMsg msg{static_cast<std::uint32_t>(rng.next_u64()),
+                                  rng.next_u64()};
+        append_stream_opened(out, msg);
+        const DecodedFrame frame = decode_frame(out.data(), out.size());
+        ASSERT_EQ(frame.status, DecodeStatus::kFrame);
+        const auto got = decode_stream_opened(frame.payload);
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(got->stream_id, msg.stream_id);
+        EXPECT_EQ(got->next_seq, msg.next_seq);
+        break;
+      }
+      case 3: {
+        std::vector<bgl::Event> events;
+        TimeSec t = static_cast<TimeSec>(rng.uniform_index(1 << 20));
+        const std::size_t n = rng.uniform_index(64);
+        for (std::size_t i = 0; i < n; ++i) {
+          events.push_back(random_event(rng, t));
+        }
+        const std::uint32_t stream = static_cast<std::uint32_t>(rng.next_u64());
+        const std::uint64_t seq = rng.next_u64();
+        append_ingest_events(out, stream, seq, events);
+        const DecodedFrame frame = decode_frame(out.data(), out.size());
+        ASSERT_EQ(frame.status, DecodeStatus::kFrame);
+        const auto got = decode_ingest_events(frame.payload);
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(got->stream_id, stream);
+        EXPECT_EQ(got->seq, seq);
+        ASSERT_EQ(got->events.size(), events.size());
+        for (std::size_t i = 0; i < events.size(); ++i) {
+          EXPECT_EQ(got->events[i], events[i]) << "event " << i;
+        }
+        break;
+      }
+      case 4: {
+        const IngestAckMsg msg{static_cast<std::uint32_t>(rng.next_u64()),
+                               rng.next_u64(),
+                               static_cast<std::uint32_t>(rng.next_u64())};
+        append_ingest_ack(out, msg);
+        const DecodedFrame frame = decode_frame(out.data(), out.size());
+        ASSERT_EQ(frame.status, DecodeStatus::kFrame);
+        const auto got = decode_ingest_ack(frame.payload);
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(got->stream_id, msg.stream_id);
+        EXPECT_EQ(got->next_seq, msg.next_seq);
+        EXPECT_EQ(got->queue_free, msg.queue_free);
+        break;
+      }
+      case 5: {
+        const WarningMsg msg{static_cast<std::uint32_t>(rng.next_u64()),
+                             random_warning(rng)};
+        append_warning(out, msg);
+        const DecodedFrame frame = decode_frame(out.data(), out.size());
+        ASSERT_EQ(frame.status, DecodeStatus::kFrame);
+        const auto got = decode_warning(frame.payload);
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(got->stream_id, msg.stream_id);
+        EXPECT_TRUE(warnings_equal(got->warning, msg.warning));
+        break;
+      }
+      case 6: {
+        StreamStatsMsg msg;
+        msg.stream_id = static_cast<std::uint32_t>(rng.next_u64());
+        msg.events_ingested = rng.next_u64();
+        msg.events_served = rng.next_u64();
+        msg.records_rejected = rng.next_u64();
+        msg.warnings_emitted = rng.next_u64();
+        msg.warnings_dropped = rng.next_u64();
+        msg.retrainings = rng.next_u64();
+        msg.batches_refused = rng.next_u64();
+        msg.finished = static_cast<std::uint8_t>(rng.uniform_index(2));
+        rng.uniform_index(2) == 0 ? append_finished(out, msg)
+                                  : append_stats_reply(out, msg);
+        const DecodedFrame frame = decode_frame(out.data(), out.size());
+        ASSERT_EQ(frame.status, DecodeStatus::kFrame);
+        const auto got = decode_stream_stats(frame.payload);
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(got->events_ingested, msg.events_ingested);
+        EXPECT_EQ(got->warnings_dropped, msg.warnings_dropped);
+        EXPECT_EQ(got->batches_refused, msg.batches_refused);
+        EXPECT_EQ(got->finished, msg.finished);
+        break;
+      }
+      case 7: {
+        const RetryAfterMsg msg{static_cast<std::uint32_t>(rng.next_u64()),
+                                rng.next_u64(),
+                                static_cast<std::uint32_t>(rng.next_u64())};
+        append_retry_after(out, msg);
+        const DecodedFrame frame = decode_frame(out.data(), out.size());
+        ASSERT_EQ(frame.status, DecodeStatus::kFrame);
+        const auto got = decode_retry_after(frame.payload);
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(got->expected_seq, msg.expected_seq);
+        EXPECT_EQ(got->retry_ms, msg.retry_ms);
+        break;
+      }
+      default: {
+        ErrorMsg msg;
+        msg.code = static_cast<ErrorCode>(1 + rng.uniform_index(5));
+        msg.stream_id = static_cast<std::uint32_t>(rng.next_u64());
+        msg.message.assign(rng.uniform_index(80),
+                           static_cast<char>('!' + rng.uniform_index(90)));
+        append_error(out, msg);
+        const DecodedFrame frame = decode_frame(out.data(), out.size());
+        ASSERT_EQ(frame.status, DecodeStatus::kFrame);
+        const auto got = decode_error(frame.payload);
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(got->code, msg.code);
+        EXPECT_EQ(got->message, msg.message);
+        break;
+      }
+    }
+  }
+}
+
+// ---- Truncation / corruption sweep -------------------------------------
+
+std::vector<unsigned char> sample_stream() {
+  std::vector<unsigned char> out;
+  append_hello(out, HelloMsg{});
+  append_open_stream(out, OpenStreamMsg{kOpenIngest | kOpenSubscribe, "anl"});
+  append_ingest_events(out, 2, 5, golden_events());
+  append_warning(out, WarningMsg{1, golden_warning()});
+  append_bye(out);
+  return out;
+}
+
+TEST(WireRejectionTest, EveryTruncationIsNeedMoreNeverBad) {
+  const auto bytes = sample_stream();
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    // Decode greedily from the front of the truncated buffer: complete
+    // frames decode, then the tail must report kNeedMore — truncation
+    // is indistinguishable from "more data coming" and must never be
+    // mistaken for corruption.
+    std::size_t offset = 0;
+    while (true) {
+      const DecodedFrame frame =
+          decode_frame(bytes.data() + offset, cut - offset);
+      if (frame.status == DecodeStatus::kFrame) {
+        offset += frame.consumed;
+        continue;
+      }
+      ASSERT_EQ(frame.status, DecodeStatus::kNeedMore)
+          << "cut at byte " << cut << " misreported: " << frame.error;
+      break;
+    }
+  }
+}
+
+TEST(WireRejectionTest, EveryCorruptBitIsRejectedPreciselY) {
+  std::vector<unsigned char> frame_bytes;
+  append_warning(frame_bytes, WarningMsg{1, golden_warning()});
+  for (std::size_t i = 0; i < frame_bytes.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto mutated = frame_bytes;
+      mutated[i] = static_cast<unsigned char>(mutated[i] ^ (1u << bit));
+      const DecodedFrame frame =
+          decode_frame(mutated.data(), mutated.size());
+      if (i < 4) {
+        // A flipped length byte either promises more data than present
+        // (kNeedMore — harmless, the connection stalls and dies) or
+        // mis-frames the CRC check (kBad).  It must never decode.
+        EXPECT_NE(frame.status, DecodeStatus::kFrame)
+            << "byte " << i << " bit " << bit;
+      } else {
+        // With an intact length, any flipped bit in type, payload, or
+        // CRC trailer must be caught by the CRC (or the type check) at
+        // exactly this frame.
+        EXPECT_EQ(frame.status, DecodeStatus::kBad)
+            << "byte " << i << " bit " << bit;
+      }
+    }
+  }
+}
+
+TEST(WireRejectionTest, OversizedLengthPrefixIsCorruptionNotAllocation) {
+  std::vector<unsigned char> out = raw_frame(
+      static_cast<std::uint8_t>(FrameType::kHello), {0x01, 0x00, 0x00, 0x00},
+      static_cast<std::uint32_t>(kMaxFramePayload) + 1);
+  const DecodedFrame frame = decode_frame(out.data(), out.size());
+  EXPECT_EQ(frame.status, DecodeStatus::kBad);
+  EXPECT_NE(frame.error.find("payload"), std::string::npos);
+}
+
+TEST(WireRejectionTest, UnknownFrameTypeIsBadEvenWithValidCrc) {
+  for (const std::uint8_t type : {std::uint8_t{0}, std::uint8_t{16},
+                                  std::uint8_t{0xff}}) {
+    const auto out = raw_frame(type, {0xaa, 0xbb});
+    const DecodedFrame frame = decode_frame(out.data(), out.size());
+    EXPECT_EQ(frame.status, DecodeStatus::kBad) << "type " << int{type};
+  }
+}
+
+TEST(WireRejectionTest, MessageDecodersRejectSemanticGarbage) {
+  // OPEN_STREAM: no intent flags, unknown flag bits, empty name.
+  std::vector<unsigned char> payload;
+  payload.push_back(0);  // flags = 0
+  put_u16(payload, 1);
+  payload.push_back('x');
+  EXPECT_FALSE(decode_open_stream(payload).has_value());
+  payload[0] = 0x80;  // unknown flag bit
+  EXPECT_FALSE(decode_open_stream(payload).has_value());
+
+  std::vector<unsigned char> empty_name;
+  empty_name.push_back(kOpenIngest);
+  put_u16(empty_name, 0);
+  EXPECT_FALSE(decode_open_stream(empty_name).has_value());
+
+  // WARNING: a rule source beyond the enum must not round-trip.
+  std::vector<unsigned char> warning_frame;
+  append_warning(warning_frame, WarningMsg{1, golden_warning()});
+  const DecodedFrame frame =
+      decode_frame(warning_frame.data(), warning_frame.size());
+  ASSERT_EQ(frame.status, DecodeStatus::kFrame);
+  std::vector<unsigned char> warning_payload(frame.payload.begin(),
+                                             frame.payload.end());
+  // Last payload byte is the source enum.
+  warning_payload.back() =
+      static_cast<unsigned char>(learners::kNumRuleSources);
+  EXPECT_FALSE(decode_warning(warning_payload).has_value());
+
+  // INGEST_EVENTS: count that disagrees with the byte count, and a
+  // flipped bit inside an embedded record's own CRC region.
+  std::vector<unsigned char> ingest_frame;
+  append_ingest_events(ingest_frame, 2, 5, golden_events());
+  const DecodedFrame ingest =
+      decode_frame(ingest_frame.data(), ingest_frame.size());
+  ASSERT_EQ(ingest.status, DecodeStatus::kFrame);
+  std::vector<unsigned char> ingest_payload(ingest.payload.begin(),
+                                            ingest.payload.end());
+  auto count_mismatch = ingest_payload;
+  count_mismatch[12] = 3;  // u32 count at offset 12, actual records: 2
+  EXPECT_FALSE(decode_ingest_events(count_mismatch).has_value());
+  auto record_corrupt = ingest_payload;
+  record_corrupt.back() ^= 0x01;  // inside the last record's CRC
+  EXPECT_FALSE(decode_ingest_events(record_corrupt).has_value());
+
+  // Trailing bytes after a complete message are a framing bug.
+  std::vector<unsigned char> hello_payload;
+  put_u32(hello_payload, kProtocolVersion);
+  hello_payload.push_back(0x00);
+  EXPECT_FALSE(decode_hello(hello_payload).has_value());
+}
+
+TEST(WireRejectionTest, ByteReaderLatchesOnOverrun) {
+  const unsigned char bytes[] = {0x01, 0x02, 0x03};
+  ByteReader reader(bytes, sizeof bytes);
+  EXPECT_EQ(reader.u16(), 0x0201u);
+  EXPECT_TRUE(reader.ok());
+  EXPECT_FALSE(reader.done());
+  EXPECT_EQ(reader.u32(), 0u);  // overrun clamps to zero...
+  EXPECT_FALSE(reader.ok());    // ...and latches
+  EXPECT_FALSE(reader.done());
+  ByteReader exact(bytes, sizeof bytes);
+  exact.u16();
+  exact.u8();
+  EXPECT_TRUE(exact.done());
+}
+
+}  // namespace
+}  // namespace dml::net

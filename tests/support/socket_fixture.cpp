@@ -1,0 +1,32 @@
+#include "support/socket_fixture.hpp"
+
+#include "online/sharded_engine.hpp"
+
+namespace dml::testing {
+
+net::DaemonConfig daemon_test_config(int training_weeks,
+                                     int retrain_weeks) {
+  online::DriverConfig driver;
+  driver.training_weeks = training_weeks;
+  driver.retrain_weeks = retrain_weeks;
+  net::DaemonConfig config;
+  config.bind_address = "127.0.0.1";
+  config.port = 0;
+  config.reactors = 2;
+  config.engine = online::sharded_config_from_driver(driver, 2);
+  return config;
+}
+
+DaemonFixture::DaemonFixture(net::DaemonConfig config)
+    : daemon_(std::make_unique<net::Daemon>(std::move(config))) {
+  daemon_->start();
+}
+
+DaemonFixture::~DaemonFixture() { stop(); }
+
+net::DaemonStats DaemonFixture::stop() {
+  if (!final_.has_value()) final_ = daemon_->stop();
+  return *final_;
+}
+
+}  // namespace dml::testing

@@ -1,0 +1,46 @@
+// Shared socket-test fixture: an in-process dmlfpd daemon bound to
+// port 0, so the kernel assigns a free ephemeral loopback port and
+// parallel ctest jobs can never collide on a hardcoded one.  Every
+// daemon test goes through this — no test binds its own port.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "net/daemon.hpp"
+#include "online/driver.hpp"
+
+namespace dml::testing {
+
+/// Daemon config for tests: loopback, ephemeral port, two reactors,
+/// two engine shards per stream, and spans small enough that generated
+/// corpora train within seconds.
+net::DaemonConfig daemon_test_config(int training_weeks = 4,
+                                     int retrain_weeks = 4);
+
+/// Starts the daemon in the constructor; drains and stops it (at most
+/// once) in the destructor.  Tests that assert on final stats call
+/// stop() themselves and read the returned snapshot.
+class DaemonFixture {
+ public:
+  explicit DaemonFixture(net::DaemonConfig config = daemon_test_config());
+  ~DaemonFixture();
+
+  DaemonFixture(const DaemonFixture&) = delete;
+  DaemonFixture& operator=(const DaemonFixture&) = delete;
+
+  /// The kernel-chosen port (valid from construction on).
+  std::uint16_t port() const { return daemon_->port(); }
+  net::Daemon& daemon() { return *daemon_; }
+
+  /// Graceful drain + shutdown; idempotent (later calls return the
+  /// first final snapshot).
+  net::DaemonStats stop();
+
+ private:
+  std::unique_ptr<net::Daemon> daemon_;
+  std::optional<net::DaemonStats> final_;
+};
+
+}  // namespace dml::testing

@@ -49,63 +49,12 @@
 #include "storage/disk_repository.hpp"
 #include "storage/log_writer.hpp"
 #include "storage/maintenance.hpp"
+#include "support/flags.hpp"
 
 namespace {
 
 using namespace dml;
-
-/// Minimal --flag value parser: flags are "--name value" pairs.
-class Flags {
- public:
-  Flags(int argc, char** argv, int first) {
-    for (int i = first; i < argc; ++i) {
-      std::string key = argv[i];
-      if (key.rfind("--", 0) != 0) {
-        error_ = "unexpected argument: " + key;
-        return;
-      }
-      key = key.substr(2);
-      if (key == "no-reviser" || key == "help" ||
-          key == "profile") {  // boolean flags
-        values_[key] = "1";
-        continue;
-      }
-      if (i + 1 >= argc) {
-        error_ = "missing value for --" + key;
-        return;
-      }
-      values_[key] = argv[++i];
-    }
-  }
-
-  const std::string& error() const { return error_; }
-
-  std::optional<std::string> get(const std::string& key) const {
-    const auto it = values_.find(key);
-    if (it == values_.end()) return std::nullopt;
-    return it->second;
-  }
-
-  std::string get_or(const std::string& key, std::string fallback) const {
-    return get(key).value_or(std::move(fallback));
-  }
-
-  long get_long(const std::string& key, long fallback) const {
-    const auto value = get(key);
-    return value ? std::strtol(value->c_str(), nullptr, 10) : fallback;
-  }
-
-  double get_double(const std::string& key, double fallback) const {
-    const auto value = get(key);
-    return value ? std::strtod(value->c_str(), nullptr) : fallback;
-  }
-
-  bool has(const std::string& key) const { return values_.contains(key); }
-
- private:
-  std::map<std::string, std::string> values_;
-  std::string error_;
-};
+using tools::Flags;
 
 int usage() {
   std::fprintf(
@@ -143,34 +92,6 @@ int usage() {
       "            [--failpoint-seed S]  RNG seed for probabilistic faults\n"
       "  config-template                           print a config file\n");
   return 2;
-}
-
-/// Arms --failpoint/--failpoint-seed (shared by run and ingest; the
-/// storage.* failpoints make ingest a crash-injection target).  Returns
-/// false on a malformed spec.
-bool arm_failpoints(const Flags& flags, const char* command) {
-  if (flags.has("failpoint-seed")) {
-    common::FailpointRegistry::instance().reseed(
-        static_cast<std::uint64_t>(flags.get_long("failpoint-seed", 0)));
-  }
-  const auto failpoints = flags.get("failpoint");
-  if (!failpoints) return true;
-  std::string_view rest = *failpoints;
-  while (!rest.empty()) {
-    const auto comma = rest.find(',');
-    const auto assignment = rest.substr(0, comma);
-    rest = comma == std::string_view::npos ? std::string_view{}
-                                           : rest.substr(comma + 1);
-    std::string error;
-    if (!common::FailpointRegistry::instance().arm_from_string(assignment,
-                                                               &error)) {
-      std::fprintf(stderr, "dmlfp %s: bad --failpoint '%.*s': %s\n", command,
-                   static_cast<int>(assignment.size()), assignment.data(),
-                   error.c_str());
-      return false;
-    }
-  }
-  return true;
 }
 
 /// Process CPU clock (all threads), for the --profile table.
@@ -467,7 +388,7 @@ int cmd_ingest(const Flags& flags) {
     std::fprintf(stderr, "dmlfp ingest: --log and --out are required\n");
     return 2;
   }
-  if (!arm_failpoints(flags, "ingest")) return 2;
+  if (!tools::arm_failpoints(flags, "dmlfp ingest")) return 2;
   std::ifstream file(*log_path, std::ios::binary);
   if (!file) {
     std::fprintf(stderr, "dmlfp: cannot open %s\n", log_path->c_str());
@@ -690,24 +611,10 @@ int run_sharded(const online::DriverConfig& config,
       static_cast<DurationSec>(config.retrain_weeks) * kSecondsPerWeek;
   const storage::IoStats io_before = repo.io_stats();
 
-  online::ShardedEngineConfig sharded;
-  sharded.shards = static_cast<std::size_t>(threads);
-  // Serving semantics at the CLI: a quarantined shard degrades the run
-  // (reported below) instead of aborting it.
-  sharded.rethrow_worker_errors = false;
-  sharded.engine.prediction_window = config.prediction_window;
-  sharded.engine.clock_tick = config.clock_tick;
-  sharded.engine.retrain_interval = retrain_span;
-  sharded.engine.initial_training_delay = initial_span;
-  sharded.engine.training_span = initial_span;
-  sharded.engine.min_training_events = 1;
-  sharded.engine.mode = config.mode;
-  sharded.engine.use_reviser = config.use_reviser;
-  sharded.engine.reviser = config.reviser;
-  sharded.engine.learner = config.learner;
-  sharded.engine.predictor = config.predictor;
-  sharded.engine.async_retrain = true;
-  sharded.engine.profile = profile;
+  // The same mapping dmlfpd uses for its per-stream engines, so the
+  // daemon's warning stream is comparable to this path by construction.
+  const online::ShardedEngineConfig sharded = online::sharded_config_from_driver(
+      config, static_cast<std::size_t>(threads), profile);
 
   // --resume-week: serve only from the first retrain boundary at or
   // after the requested week; everything earlier is replayed silently
@@ -825,7 +732,7 @@ int cmd_run(const Flags& flags) {
   }
   // Arm fault injection before touching the log: logio.parse applies to
   // loading as well as the run itself.
-  if (!arm_failpoints(flags, "run")) return 2;
+  if (!tools::arm_failpoints(flags, "dmlfp run")) return 2;
   const bool profile = flags.has("profile");
   StageTimes parse_times;
   StageTimes preprocess_times;

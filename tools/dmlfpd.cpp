@@ -1,0 +1,201 @@
+// dmlfpd — the failure-prediction daemon (DESIGN.md §12): serves the
+// net::wire protocol over TCP, one online::ShardedEngine per named
+// stream, with RETRY_AFTER admission control on ingest and bounded
+// fan-out queues on warning subscribers.
+//
+//   dmlfpd --port 7070 --shards 4 --training-weeks 26 --retrain-weeks 4
+//   dmlfpd --port 0 --port-file /tmp/dmlfpd.port --repo /data/streams
+//
+// Engine flags deliberately mirror `dmlfp run`: both front ends map a
+// DriverConfig through online::sharded_config_from_driver, so the same
+// flags produce the same warning multiset whether a log is replayed in
+// batch or streamed over the wire.
+//
+// SIGTERM/SIGINT trigger a graceful drain: stop accepting, finish every
+// stream (seal durable segments, engine.finish()), deliver FINISHED to
+// subscribers, flush outboxes, then print the final per-stream stats.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "net/daemon.hpp"
+#include "online/config_file.hpp"
+#include "online/driver.hpp"
+#include "online/sharded_engine.hpp"
+#include "support/flags.hpp"
+
+namespace {
+
+using namespace dml;
+using tools::Flags;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: dmlfpd [flags]\n"
+      "  --bind ADDR            listen address (default 127.0.0.1)\n"
+      "  --port N               listen port; 0 = kernel-assigned (default)\n"
+      "  --port-file FILE       write the bound port to FILE once listening\n"
+      "  --reactors N           epoll reactor threads (default 2)\n"
+      "  --shards N             engine shards per stream (0 = hardware)\n"
+      "  --repo DIR             durable ingest: segmented per-stream\n"
+      "                         repositories under DIR/<stream>\n"
+      "  --config FILE          driver config base (same file as dmlfp run)\n"
+      "  --window S             prediction window Wp, seconds (default 300)\n"
+      "  --training-weeks N     initial training span (default 26)\n"
+      "  --retrain-weeks N      retraining cadence Wr (default 4)\n"
+      "  --mode sliding|whole|static\n"
+      "  --no-reviser           disable the rule reviser\n"
+      "  --profile              per-shard serving-time accounting\n"
+      "  --queue-frames N       reactor->pump admission queue (default 64)\n"
+      "  --subscriber-queue N   per-subscriber warning queue (default 4096)\n"
+      "  --retry-ms MS          RETRY_AFTER pacing hint (default 2)\n"
+      "  --failpoint NAME=SPEC[,...]   fault injection (net.accept,\n"
+      "                         net.read, net.write, storage.*, ...)\n"
+      "  --failpoint-seed S     RNG seed for probabilistic faults\n"
+      "SIGTERM/SIGINT drain gracefully: streams finish, durable segments\n"
+      "seal, subscribers get FINISHED, then a stats report prints.\n");
+  return 2;
+}
+
+/// The `dmlfp run` flag surface, minus replay-only flags: a --config
+/// file provides the base, explicit flags override it.
+bool driver_config_from_flags(const Flags& flags,
+                              online::DriverConfig& config) {
+  if (const auto config_path = flags.get("config")) {
+    std::ifstream file(*config_path);
+    if (!file) {
+      std::fprintf(stderr, "dmlfpd: cannot open %s\n", config_path->c_str());
+      return false;
+    }
+    auto parsed = online::parse_driver_config(file);
+    if (const auto* error = std::get_if<online::ConfigError>(&parsed)) {
+      std::fprintf(stderr, "dmlfpd: %s:%zu: %s\n", config_path->c_str(),
+                   error->line, error->message.c_str());
+      return false;
+    }
+    config = std::get<online::DriverConfig>(parsed);
+  }
+  config.prediction_window =
+      flags.get_long("window", config.prediction_window);
+  config.clock_tick = config.prediction_window;
+  config.training_weeks = static_cast<int>(
+      flags.get_long("training-weeks", config.training_weeks));
+  config.retrain_weeks =
+      static_cast<int>(flags.get_long("retrain-weeks", config.retrain_weeks));
+  if (flags.has("no-reviser")) config.use_reviser = false;
+  const std::string mode =
+      flags.get_or("mode", std::string(to_string(config.mode)));
+  if (mode == "sliding") {
+    config.mode = online::TrainingMode::kSlidingWindow;
+  } else if (mode == "whole") {
+    config.mode = online::TrainingMode::kWholeHistory;
+  } else if (mode == "static") {
+    config.mode = online::TrainingMode::kStatic;
+  } else {
+    std::fprintf(stderr, "dmlfpd: unknown mode '%s'\n", mode.c_str());
+    return false;
+  }
+  config.profile = flags.has("profile");
+  return true;
+}
+
+void print_stats(const net::DaemonStats& stats) {
+  std::printf(
+      "dmlfpd: %llu accept(s) (%llu failed), %llu frame(s), "
+      "%llu connection(s) adopted, %llu closed, %llu failed\n",
+      static_cast<unsigned long long>(stats.accepts),
+      static_cast<unsigned long long>(stats.accepts_failed),
+      static_cast<unsigned long long>(stats.frames_received),
+      static_cast<unsigned long long>(stats.connections_adopted),
+      static_cast<unsigned long long>(stats.connections_closed),
+      static_cast<unsigned long long>(stats.connections_failed));
+  for (const auto& s : stats.streams) {
+    std::printf(
+        "  stream %u: ingested %llu, served %llu, rejected %llu, "
+        "warnings %llu (+%llu dropped), retrainings %llu, refused %llu%s\n",
+        s.stream_id, static_cast<unsigned long long>(s.events_ingested),
+        static_cast<unsigned long long>(s.events_served),
+        static_cast<unsigned long long>(s.records_rejected),
+        static_cast<unsigned long long>(s.warnings_emitted),
+        static_cast<unsigned long long>(s.warnings_dropped),
+        static_cast<unsigned long long>(s.retrainings),
+        static_cast<unsigned long long>(s.batches_refused),
+        s.finished ? "" : " [unfinished]");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv, 1);
+  if (!flags.error().empty()) {
+    std::fprintf(stderr, "dmlfpd: %s\n", flags.error().c_str());
+    return usage();
+  }
+  if (flags.has("help")) return usage();
+  if (!tools::arm_failpoints(flags, "dmlfpd")) return 2;
+
+  online::DriverConfig driver;
+  if (!driver_config_from_flags(flags, driver)) return 2;
+
+  net::DaemonConfig config;
+  config.bind_address = flags.get_or("bind", config.bind_address);
+  config.port = static_cast<std::uint16_t>(flags.get_long("port", 0));
+  config.reactors = static_cast<std::size_t>(flags.get_long(
+      "reactors", static_cast<long>(config.reactors)));
+  config.ingest_queue_frames = static_cast<std::size_t>(flags.get_long(
+      "queue-frames", static_cast<long>(config.ingest_queue_frames)));
+  config.subscriber_queue_warnings =
+      static_cast<std::size_t>(flags.get_long(
+          "subscriber-queue",
+          static_cast<long>(config.subscriber_queue_warnings)));
+  config.retry_ms = static_cast<std::uint32_t>(
+      flags.get_long("retry-ms", config.retry_ms));
+  config.repo_dir = flags.get_or("repo", "");
+  config.engine = online::sharded_config_from_driver(
+      driver, static_cast<std::size_t>(flags.get_long("shards", 0)),
+      driver.profile);
+
+  // Block the shutdown signals before any thread exists, so the
+  // daemon's threads inherit the mask and sigwait below is the only
+  // consumer.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  net::Daemon daemon(config);
+  try {
+    daemon.start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dmlfpd: %s\n", e.what());
+    return 1;
+  }
+
+  std::printf("dmlfpd: listening on %s:%u\n", config.bind_address.c_str(),
+              static_cast<unsigned>(daemon.port()));
+  std::fflush(stdout);
+  if (const auto port_file = flags.get("port-file")) {
+    std::ofstream out(*port_file, std::ios::trunc);
+    out << daemon.port() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "dmlfpd: cannot write %s\n", port_file->c_str());
+      daemon.stop();
+      return 1;
+    }
+  }
+
+  int signal_number = 0;
+  sigwait(&signals, &signal_number);
+  std::fprintf(stderr, "dmlfpd: %s received, draining\n",
+               signal_number == SIGTERM ? "SIGTERM" : "SIGINT");
+
+  daemon.request_drain();
+  const net::DaemonStats stats = daemon.wait();
+  print_stats(stats);
+  return 0;
+}

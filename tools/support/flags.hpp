@@ -1,0 +1,103 @@
+// Shared CLI plumbing for the dmlfp tool family (dmlfp, dmlfpd,
+// dmlfp_loadgen): the "--name value" flag parser and the
+// --failpoint/--failpoint-seed arming helper.  One definition so every
+// front end accepts the same grammar.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/failpoint.hpp"
+
+namespace dml::tools {
+
+/// Minimal --flag value parser: flags are "--name value" pairs.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        error_ = "unexpected argument: " + key;
+        return;
+      }
+      key = key.substr(2);
+      // Boolean flags across the whole tool family; a value-less flag
+      // unknown to one tool is still rejected by that tool's own
+      // validation, so the union here is harmless.
+      if (key == "no-reviser" || key == "help" || key == "profile" ||
+          key == "quick") {
+        values_[key] = "1";
+        continue;
+      }
+      if (i + 1 >= argc) {
+        error_ = "missing value for --" + key;
+        return;
+      }
+      values_[key] = argv[++i];
+    }
+  }
+
+  const std::string& error() const { return error_; }
+
+  std::optional<std::string> get(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  std::string get_or(const std::string& key, std::string fallback) const {
+    return get(key).value_or(std::move(fallback));
+  }
+
+  long get_long(const std::string& key, long fallback) const {
+    const auto value = get(key);
+    return value ? std::strtol(value->c_str(), nullptr, 10) : fallback;
+  }
+
+  double get_double(const std::string& key, double fallback) const {
+    const auto value = get(key);
+    return value ? std::strtod(value->c_str(), nullptr) : fallback;
+  }
+
+  bool has(const std::string& key) const { return values_.contains(key); }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::string error_;
+};
+
+/// Arms --failpoint/--failpoint-seed.  `who` names the command for
+/// error messages ("dmlfp run", "dmlfpd", ...).  Returns false on a
+/// malformed spec.
+inline bool arm_failpoints(const Flags& flags, const char* who) {
+  if (flags.has("failpoint-seed")) {
+    common::FailpointRegistry::instance().reseed(
+        static_cast<std::uint64_t>(flags.get_long("failpoint-seed", 0)));
+  }
+  const auto failpoints = flags.get("failpoint");
+  if (!failpoints) return true;
+  std::string_view rest = *failpoints;
+  while (!rest.empty()) {
+    const auto comma = rest.find(',');
+    const auto assignment = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    std::string error;
+    if (!common::FailpointRegistry::instance().arm_from_string(assignment,
+                                                               &error)) {
+      std::fprintf(stderr, "%s: bad --failpoint '%.*s': %s\n", who,
+                   static_cast<int>(assignment.size()), assignment.data(),
+                   error.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dml::tools
