@@ -1,26 +1,31 @@
-// Hot-path microbenchmarks for the layout optimizations of DESIGN.md §9:
-//   - Apriori mining: bitset-vertical miner vs the reference horizontal
-//     std::includes miner, on paper-scale inputs (8-week training
-//     window, default support) from the generated ANL and SDSC logs.
-//   - Transaction building: failure transactions + the sliding-window
-//     negative sampler vs the per-stride rescan reference.
-//   - Serving: per-event latency/throughput of the allocation-lean
-//     Predictor (observe_into sink) vs the hash-map reference predictor,
-//     replaying the post-training weeks through trained rules.
+// Hot-path benchmarks for the layout + SIMD optimizations of DESIGN.md
+// §9/§13:
+//   - Apriori mining: bitset-vertical miner (SIMD tidset kernels) vs the
+//     reference horizontal std::includes miner at paper scale, and
+//     forced-scalar vs dispatched-SIMD at million-transaction scale.
+//   - Transaction building: sliding-window negative sampler vs the
+//     per-stride rescan reference.
+//   - Serving: the allocation-lean Predictor (observe_into/observe_batch)
+//     vs the hash-map reference predictor, at paper scale and on a
+//     ten-million-event tiled stream (--scale).
+//   - Raw kernels (--scale): and_popcount / subset_count per compiled
+//     SIMD variant against the scalar reference, on miner-shaped inputs.
 //
 // Both sides of every comparison are checked for identical output before
-// timing — a speedup on diverging results would be meaningless.
+// timing — a speedup on diverging results would be meaningless.  Every
+// timing is warmup + repeat-and-take-min (bench_timing.hpp); repeat
+// counts land in the JSON next to the numbers.
 //
 // Emits machine-readable JSON (default BENCH_hotpaths.json; --out FILE)
 // alongside the printed table.  --quick shrinks the slices and rep
 // counts for CI smoke runs; numbers from --quick are not comparable.
-#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "common/simd.hpp"
 #include "learners/apriori.hpp"
 #include "learners/transactions.hpp"
 #include "meta/meta_learner.hpp"
@@ -28,42 +33,34 @@
 #include "predict/predictor.hpp"
 #include "reference_impl.hpp"
 #include "support/bench_logs.hpp"
+#include "support/bench_timing.hpp"
+#include "support/scale_corpus.hpp"
 
 namespace {
 
 using namespace dml;
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
-/// Times fn() often enough to accumulate ~`target` seconds (at least
-/// once, at most max_reps), returning seconds per call.
-template <typename Fn>
-double time_per_call(Fn&& fn, double target, int max_reps) {
-  const auto first_start = Clock::now();
-  fn();
-  const double first = seconds_since(first_start);
-  int reps = target > first
-                 ? static_cast<int>(target / std::max(first, 1e-9))
-                 : 0;
-  reps = std::min(reps, max_reps - 1);
-  if (reps <= 0) return first;
-  const auto start = Clock::now();
-  for (int r = 0; r < reps; ++r) fn();
-  return (first + seconds_since(start)) / static_cast<double>(reps + 1);
-}
 
 struct StageResult {
   std::string stage;
   std::string machine;
   double baseline_seconds = 0.0;
   double optimized_seconds = 0.0;
+  int baseline_repeats = 0;
+  int optimized_repeats = 0;
+  /// Optimized-side throughput (serving and kernel stages; 0 = n/a).
+  double events_per_second = 0.0;
   std::string detail;
 
   double speedup() const {
     return optimized_seconds > 0 ? baseline_seconds / optimized_seconds : 0;
+  }
+
+  void set_timings(const bench::Timing& baseline,
+                   const bench::Timing& optimized) {
+    baseline_seconds = baseline.seconds;
+    baseline_repeats = baseline.repeats;
+    optimized_seconds = optimized.seconds;
+    optimized_repeats = optimized.repeats;
   }
 };
 
@@ -94,8 +91,8 @@ struct Workload {
   const logio::EventStore* store;
 };
 
-/// One machine's three stages; returns false if any equivalence check
-/// fails (the bench then exits non-zero).
+/// One machine's paper-scale stages; returns false if any equivalence
+/// check fails (the bench then exits non-zero).
 bool run_machine(const Workload& workload, bool quick, double target,
                  int max_reps, std::vector<StageResult>& results) {
   const auto& store = *workload.store;
@@ -127,18 +124,21 @@ bool run_machine(const Workload& workload, bool quick, double target,
   sampler.machine = workload.machine;
   sampler.detail = std::to_string(sampled.size()) + " windows over " +
                    std::to_string(train_weeks) + " weeks";
-  sampler.baseline_seconds = time_per_call(
-      [&] {
-        auto w = reference::sample_negative_windows(training, window, stride);
-        if (w.size() != sampled.size()) std::abort();
-      },
-      target, max_reps);
-  sampler.optimized_seconds = time_per_call(
-      [&] {
-        auto w = learners::sample_negative_windows(training, window, stride);
-        if (w.size() != sampled.size()) std::abort();
-      },
-      target, max_reps);
+  sampler.set_timings(
+      bench::min_of_reps(
+          [&] {
+            auto w =
+                reference::sample_negative_windows(training, window, stride);
+            if (w.size() != sampled.size()) std::abort();
+          },
+          target, max_reps),
+      bench::min_of_reps(
+          [&] {
+            auto w = learners::sample_negative_windows(training, window,
+                                                       stride);
+            if (w.size() != sampled.size()) std::abort();
+          },
+          target, max_reps));
   results.push_back(sampler);
 
   // ---- Stage 2: Apriori mining ----------------------------------------
@@ -155,18 +155,19 @@ bool run_machine(const Workload& workload, bool quick, double target,
   mining.machine = workload.machine;
   mining.detail = std::to_string(itemsets.size()) + " transactions, " +
                   std::to_string(mined.size()) + " frequent itemsets";
-  mining.baseline_seconds = time_per_call(
-      [&] {
-        auto f = reference::mine_frequent_itemsets(itemsets, apriori);
-        if (f.size() != mined.size()) std::abort();
-      },
-      target, max_reps);
-  mining.optimized_seconds = time_per_call(
-      [&] {
-        auto f = learners::mine_frequent_itemsets(itemsets, apriori);
-        if (f.size() != mined.size()) std::abort();
-      },
-      target, max_reps);
+  mining.set_timings(
+      bench::min_of_reps(
+          [&] {
+            auto f = reference::mine_frequent_itemsets(itemsets, apriori);
+            if (f.size() != mined.size()) std::abort();
+          },
+          target, max_reps),
+      bench::min_of_reps(
+          [&] {
+            auto f = learners::mine_frequent_itemsets(itemsets, apriori);
+            if (f.size() != mined.size()) std::abort();
+          },
+          target, max_reps));
   results.push_back(mining);
 
   // ---- Stage 3: single-shard serving ----------------------------------
@@ -185,9 +186,7 @@ bool run_machine(const Workload& workload, bool quick, double target,
     std::vector<predict::Warning> optimized_stream;
     {
       predict::Predictor predictor(repository, window, options);
-      for (const auto& event : serving) {
-        predictor.observe_into(event, optimized_stream);
-      }
+      predictor.observe_batch(serving, optimized_stream);
     }
     std::vector<predict::Warning> reference_stream;
     {
@@ -210,42 +209,287 @@ bool run_machine(const Workload& workload, bool quick, double target,
     stage.machine = workload.machine;
     stage.detail = std::to_string(serving.size()) + " events, " +
                    std::to_string(optimized_stream.size()) + " warnings";
-    stage.baseline_seconds = time_per_call(
-        [&] {
-          reference::ReferencePredictor predictor(repository, window,
-                                                  options);
-          std::size_t total = 0;
-          for (const auto& event : serving) {
-            total += predictor.observe(event).size();
-          }
-          if (total != reference_stream.size()) std::abort();
-        },
-        target, max_reps);
-    stage.optimized_seconds = time_per_call(
-        [&] {
-          predict::Predictor predictor(repository, window, options);
-          std::vector<predict::Warning> out;
-          std::size_t total = 0;
-          for (const auto& event : serving) {
-            predictor.observe_into(event, out);
-            total += out.size();
-            out.clear();
-          }
-          if (total != optimized_stream.size()) std::abort();
-        },
-        target, max_reps);
-    // Per-event numbers make the JSON directly comparable across logs.
-    stage.detail += ", " +
-                    std::to_string(static_cast<long long>(
-                        static_cast<double>(serving.size()) /
-                        std::max(stage.optimized_seconds, 1e-12))) +
-                    " events/s optimized";
+    stage.set_timings(
+        bench::min_of_reps(
+            [&] {
+              reference::ReferencePredictor predictor(repository, window,
+                                                      options);
+              std::size_t total = 0;
+              for (const auto& event : serving) {
+                total += predictor.observe(event).size();
+              }
+              if (total != reference_stream.size()) std::abort();
+            },
+            target, max_reps),
+        bench::min_of_reps(
+            [&] {
+              predict::Predictor predictor(repository, window, options);
+              std::vector<predict::Warning> out;
+              predictor.observe_batch(serving, out);
+              if (out.size() != optimized_stream.size()) std::abort();
+            },
+            target, max_reps));
+    stage.events_per_second = static_cast<double>(serving.size()) /
+                              std::max(stage.optimized_seconds, 1e-12);
     results.push_back(stage);
   }
   return true;
 }
 
-void write_json(const std::string& path, bool quick,
+// ---- --scale stages ----------------------------------------------------
+
+std::vector<simd::Variant> vector_variants() {
+  std::vector<simd::Variant> variants;
+  if (simd::supported(simd::Variant::kAvx2)) {
+    variants.push_back(simd::Variant::kAvx2);
+  }
+  if (simd::supported(simd::Variant::kAvx512)) {
+    variants.push_back(simd::Variant::kAvx512);
+  }
+  return variants;
+}
+
+/// Raw kernel throughput on miner-shaped inputs: tidsets as wide as a
+/// million-transaction bitmap, subset rows shaped like L3 candidates.
+void run_kernel_stages(bool quick, double target, int max_reps,
+                       std::vector<StageResult>& results) {
+  const std::size_t words = quick ? 1563 : 15625;  // 100k / 1M tx bitmap
+  const std::size_t tidsets = 48;
+  Rng rng(2026);
+  std::vector<std::uint64_t> bits(tidsets * words);
+  for (auto& word : bits) word = rng.next_u64();
+
+  const auto pair_sweep = [&](const simd::Kernels& kernels) {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < tidsets; ++i) {
+      for (std::size_t j = i + 1; j < tidsets; ++j) {
+        total += kernels.and_popcount(bits.data() + i * words,
+                                      bits.data() + j * words, words);
+      }
+    }
+    return total;
+  };
+  const std::uint64_t pair_words = tidsets * (tidsets - 1) / 2 * words;
+  const std::uint64_t expected = pair_sweep(simd::kernels(simd::Variant::kScalar));
+
+  // Subset rows shaped like the L3 counter's inputs: transaction bitmaps
+  // with a handful of set bits over a 256-category dense id space, and a
+  // 3-item candidate mask.
+  const std::size_t n_rows = quick ? 100'000 : 1'000'000;
+  constexpr std::size_t stride = 4;
+  std::vector<std::uint64_t> rows(n_rows * stride, 0);
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    const std::size_t bits = 2 + rng.next_u64() % 5;
+    for (std::size_t b = 0; b < bits; ++b) {
+      const std::uint64_t bit = rng.next_u64() % (stride * 64);
+      rows[r * stride + bit / 64] |= 1ULL << (bit % 64);
+    }
+  }
+  std::uint64_t mask[stride] = {0, 0, 0, 0};
+  for (int b = 0; b < 3; ++b) {
+    const std::uint64_t bit = rng.next_u64() % (stride * 64);
+    mask[bit / 64] |= 1ULL << (bit % 64);
+  }
+  const std::uint32_t expected_subset = simd::kernels(simd::Variant::kScalar)
+      .subset_count(rows.data(), n_rows, stride, mask, stride);
+
+  for (const simd::Variant variant : vector_variants()) {
+    const auto& kernels = simd::kernels(variant);
+    if (pair_sweep(kernels) != expected) {
+      std::fprintf(stderr, "FAIL: and_popcount diverges (%s)\n",
+                   std::string(simd::to_string(variant)).c_str());
+      std::abort();
+    }
+    StageResult popcnt;
+    popcnt.stage = "kernel_and_popcount";
+    popcnt.machine = std::string(simd::to_string(variant));
+    popcnt.detail = std::to_string(tidsets) + " tidsets x " +
+                    std::to_string(words) + " words";
+    popcnt.set_timings(
+        bench::min_of_reps(
+            [&] {
+              if (pair_sweep(simd::kernels(simd::Variant::kScalar)) !=
+                  expected) {
+                std::abort();
+              }
+            },
+            target, max_reps),
+        bench::min_of_reps(
+            [&] {
+              if (pair_sweep(kernels) != expected) std::abort();
+            },
+            target, max_reps));
+    // Words intersected per second: the kernel's native unit.
+    popcnt.events_per_second = static_cast<double>(pair_words) /
+                               std::max(popcnt.optimized_seconds, 1e-12);
+    results.push_back(popcnt);
+
+    if (kernels.subset_count(rows.data(), n_rows, stride, mask, stride) !=
+        expected_subset) {
+      std::fprintf(stderr, "FAIL: subset_count diverges (%s)\n",
+                   std::string(simd::to_string(variant)).c_str());
+      std::abort();
+    }
+    StageResult subset;
+    subset.stage = "kernel_subset_count";
+    subset.machine = std::string(simd::to_string(variant));
+    subset.detail = std::to_string(n_rows) + " rows x " +
+                    std::to_string(stride) + " words";
+    subset.set_timings(
+        bench::min_of_reps(
+            [&] {
+              if (simd::kernels(simd::Variant::kScalar)
+                      .subset_count(rows.data(), n_rows, stride, mask,
+                                    stride) != expected_subset) {
+                std::abort();
+              }
+            },
+            target, max_reps),
+        bench::min_of_reps(
+            [&] {
+              if (kernels.subset_count(rows.data(), n_rows, stride, mask,
+                                       stride) != expected_subset) {
+                std::abort();
+              }
+            },
+            target, max_reps));
+    subset.events_per_second = static_cast<double>(n_rows) /
+                               std::max(subset.optimized_seconds, 1e-12);
+    results.push_back(subset);
+  }
+}
+
+/// Million-transaction mining and ten-million-event serving.  Returns
+/// false on an equivalence failure.
+bool run_scale_stages(bool quick, double target, int max_reps,
+                      std::vector<StageResult>& results) {
+  const auto& store = bench::anl_store();
+  const DurationSec window = 300;
+  const TimeSec serve_after = store.first_time() + 8 * kSecondsPerWeek;
+  std::printf("building scale corpus (%s)...\n", quick ? "quick" : "full");
+  const bench::ScaleCorpus corpus =
+      bench::build_scale_corpus(store, serve_after, quick);
+
+  // ---- Mining: forced-scalar vs dispatched SIMD -----------------------
+  // Lower support than the paper default so the candidate lattice (and
+  // with it the kernel share of the runtime) matches the breadth a
+  // million-transaction corpus actually produces.
+  learners::AprioriConfig apriori;
+  apriori.min_support = 0.002;
+  const simd::Variant best = simd::best_variant();
+
+  simd::force_variant(simd::Variant::kScalar);
+  const auto mined_scalar =
+      learners::mine_frequent_itemsets(corpus.transactions, apriori);
+  simd::force_variant(best);
+  const auto mined_simd =
+      learners::mine_frequent_itemsets(corpus.transactions, apriori);
+  if (!same_itemsets(mined_scalar, mined_simd)) {
+    std::fprintf(stderr, "FAIL: scale miners diverge (scalar vs %s)\n",
+                 std::string(simd::to_string(best)).c_str());
+    return false;
+  }
+
+  StageResult mining;
+  mining.stage = "scale_mining";
+  mining.machine = "anl";
+  mining.detail = std::to_string(corpus.transactions.size()) +
+                  " transactions, " + std::to_string(mined_simd.size()) +
+                  " frequent itemsets, scalar vs " +
+                  std::string(simd::to_string(best));
+  mining.set_timings(
+      bench::min_of_reps(
+          [&] {
+            simd::force_variant(simd::Variant::kScalar);
+            auto f =
+                learners::mine_frequent_itemsets(corpus.transactions, apriori);
+            if (f.size() != mined_scalar.size()) std::abort();
+          },
+          target, max_reps),
+      bench::min_of_reps(
+          [&] {
+            simd::force_variant(best);
+            auto f =
+                learners::mine_frequent_itemsets(corpus.transactions, apriori);
+            if (f.size() != mined_simd.size()) std::abort();
+          },
+          target, max_reps));
+  simd::force_variant(best);
+  mining.events_per_second = static_cast<double>(corpus.transactions.size()) /
+                             std::max(mining.optimized_seconds, 1e-12);
+  results.push_back(mining);
+
+  // ---- Serving: reference per-event vs batched Predictor --------------
+  const auto training = store.between(store.first_time(), serve_after);
+  const meta::MetaLearner learner{meta::MetaLearnerConfig{}};
+  const auto repository = learner.learn(training, window);
+  const predict::PredictorOptions options;  // plain serving
+
+  std::vector<predict::Warning> optimized_stream;
+  {
+    predict::Predictor predictor(repository, window, options);
+    predictor.observe_batch(corpus.serving, optimized_stream);
+  }
+  {
+    // Reference equivalence on the first tile only: the reference
+    // predictor is the per-event semantics anchor, and tiles beyond the
+    // first replay the same events (observe_batch-vs-serial identity at
+    // full depth is covered by tests/online/test_batch_equivalence.cpp).
+    std::vector<predict::Warning> reference_stream;
+    reference::ReferencePredictor predictor(repository, window, options);
+    const std::span<const bgl::Event> first_tile(
+        corpus.serving.data(), corpus.serving_slice_events);
+    for (const auto& event : first_tile) {
+      const auto warnings = predictor.observe(event);
+      reference_stream.insert(reference_stream.end(), warnings.begin(),
+                              warnings.end());
+    }
+    std::vector<predict::Warning> optimized_first;
+    predict::Predictor optimized(repository, window, options);
+    optimized.observe_batch(first_tile, optimized_first);
+    if (!same_warnings(optimized_first, reference_stream)) {
+      std::fprintf(stderr, "FAIL: scale serving diverges from reference\n");
+      return false;
+    }
+  }
+
+  StageResult serving;
+  serving.stage = "scale_serving_plain";
+  serving.machine = "anl";
+  serving.detail = std::to_string(corpus.serving.size()) + " events (" +
+                   std::to_string(corpus.serving_tiles) + " tiles x " +
+                   std::to_string(corpus.serving_slice_events) +
+                   "), " + std::to_string(optimized_stream.size()) +
+                   " warnings";
+  serving.set_timings(
+      bench::min_of_reps(
+          [&] {
+            reference::ReferencePredictor predictor(repository, window,
+                                                    options);
+            std::size_t total = 0;
+            for (const auto& event : corpus.serving) {
+              total += predictor.observe(event).size();
+            }
+            (void)total;
+          },
+          target, max_reps),
+      bench::min_of_reps(
+          [&, out = std::vector<predict::Warning>()]() mutable {
+            // One reused buffer across reps — the documented serving
+            // pattern (observe_into appends; callers own the buffer).
+            out.clear();
+            predict::Predictor predictor(repository, window, options);
+            predictor.observe_batch(corpus.serving, out);
+            if (out.size() != optimized_stream.size()) std::abort();
+          },
+          target, max_reps));
+  serving.events_per_second = static_cast<double>(corpus.serving.size()) /
+                              std::max(serving.optimized_seconds, 1e-12);
+  results.push_back(serving);
+  return true;
+}
+
+void write_json(const std::string& path, bool quick, bool scale,
                 const std::vector<StageResult>& results) {
   std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
@@ -254,8 +498,13 @@ void write_json(const std::string& path, bool quick,
   }
   std::fprintf(out, "{\n  \"bench\": \"hot_paths\",\n");
   std::fprintf(out, "  \"quick\": %s,\n", quick ? "true" : "false");
+  std::fprintf(out, "  \"scale\": %s,\n", scale ? "true" : "false");
+  std::fprintf(out, "  \"simd_variant\": \"%s\",\n",
+               std::string(simd::to_string(simd::best_variant())).c_str());
   double min_mining = 0.0;
   double min_serving = 0.0;
+  double scale_mining = 0.0;
+  double scale_serving_eps = 0.0;
   for (const auto& r : results) {
     const double s = r.speedup();
     if (r.stage == "apriori_mining") {
@@ -264,19 +513,31 @@ void write_json(const std::string& path, bool quick,
     if (r.stage == "serving_plain") {
       min_serving = min_serving == 0.0 ? s : std::min(min_serving, s);
     }
+    if (r.stage == "scale_mining") scale_mining = s;
+    if (r.stage == "scale_serving_plain") {
+      scale_serving_eps = r.events_per_second;
+    }
   }
   std::fprintf(out, "  \"min_mining_speedup\": %.3f,\n", min_mining);
   std::fprintf(out, "  \"min_serving_speedup\": %.3f,\n", min_serving);
+  if (scale) {
+    std::fprintf(out, "  \"scale_mining_speedup\": %.3f,\n", scale_mining);
+    std::fprintf(out, "  \"scale_serving_events_per_second\": %.0f,\n",
+                 scale_serving_eps);
+  }
   std::fprintf(out, "  \"stages\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
     std::fprintf(out,
                  "    {\"stage\": \"%s\", \"machine\": \"%s\", "
                  "\"baseline_seconds\": %.6f, \"optimized_seconds\": %.6f, "
-                 "\"speedup\": %.3f, \"detail\": \"%s\"}%s\n",
+                 "\"baseline_repeats\": %d, \"optimized_repeats\": %d, "
+                 "\"speedup\": %.3f, \"events_per_second\": %.0f, "
+                 "\"detail\": \"%s\"}%s\n",
                  r.stage.c_str(), r.machine.c_str(), r.baseline_seconds,
-                 r.optimized_seconds, r.speedup(), r.detail.c_str(),
-                 i + 1 < results.size() ? "," : "");
+                 r.optimized_seconds, r.baseline_repeats,
+                 r.optimized_repeats, r.speedup(), r.events_per_second,
+                 r.detail.c_str(), i + 1 < results.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
@@ -287,22 +548,29 @@ void write_json(const std::string& path, bool quick,
 
 int main(int argc, char** argv) {
   bool quick = false;
+  bool scale = false;
   std::string out_path = "BENCH_hotpaths.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--scale") == 0) {
+      scale = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: bench_hot_paths [--quick] [--out FILE]\n");
+      std::fprintf(stderr,
+                   "usage: bench_hot_paths [--quick] [--scale] [--out FILE]\n");
       return 2;
     }
   }
 
   bench::print_header(
-      "Hot paths — bitset-vertical mining & allocation-lean serving",
+      "Hot paths — SIMD vertical mining & batched allocation-lean serving",
       "reproduction targets: >=5x Apriori mining, >=1.5x single-shard "
-      "serving vs the reference implementations (DESIGN.md section 9)");
+      "serving vs reference; --scale: >=100M events/s plain serving "
+      "(DESIGN.md sections 9 and 13)");
+  std::printf("simd dispatch: %s\n",
+              std::string(simd::to_string(simd::best_variant())).c_str());
 
   const double target = quick ? 0.05 : 1.0;
   const int max_reps = quick ? 3 : 200;
@@ -314,16 +582,33 @@ int main(int argc, char** argv) {
   for (const auto& workload : workloads) {
     if (!run_machine(workload, quick, target, max_reps, results)) return 1;
   }
+  if (scale) {
+    // Long single calls: cap repeats well below the paper-scale count so
+    // a full --scale run stays in minutes, min-of-N still applies.
+    const double scale_target = quick ? 0.05 : 2.0;
+    const int scale_reps = quick ? 2 : 5;
+    run_kernel_stages(quick, scale_target, scale_reps, results);
+    if (!run_scale_stages(quick, scale_target, scale_reps, results)) {
+      return 1;
+    }
+  }
 
-  online::TablePrinter table(
-      {"stage", "machine", "baseline-s", "optimized-s", "speedup", "detail"});
+  online::TablePrinter table({"stage", "machine", "baseline-s",
+                              "optimized-s", "reps", "speedup", "unit/s",
+                              "detail"});
   for (const auto& r : results) {
     table.add_row({r.stage, r.machine,
                    online::TablePrinter::fmt(r.baseline_seconds, 4),
                    online::TablePrinter::fmt(r.optimized_seconds, 4),
-                   online::TablePrinter::fmt(r.speedup()) + "x", r.detail});
+                   std::to_string(r.baseline_repeats) + "/" +
+                       std::to_string(r.optimized_repeats),
+                   online::TablePrinter::fmt(r.speedup()) + "x",
+                   r.events_per_second > 0
+                       ? online::TablePrinter::fmt(r.events_per_second, 0)
+                       : "-",
+                   r.detail});
   }
   table.print(std::cout);
-  write_json(out_path, quick, results);
+  write_json(out_path, quick, scale, results);
   return 0;
 }

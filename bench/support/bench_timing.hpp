@@ -1,0 +1,46 @@
+// Timing methodology for the bench binaries (ISSUE 8 satellite): every
+// measurement is one untimed warmup call (page-in, branch predictors,
+// dispatch resolution) followed by N timed repeats, reporting the
+// MINIMUM — the run least disturbed by the machine — together with the
+// repeat count, which the JSON emitters record so readers can judge how
+// settled a number is.  Sub-millisecond single-shot timings (the old
+// scheme) jitter by 2-3x run to run; min-of-N is stable to a few
+// percent on an idle core.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+namespace dml::bench {
+
+struct Timing {
+  /// Best (minimum) seconds per call across the timed repeats.
+  double seconds = 0.0;
+  /// Number of timed repeats the minimum was taken over (>= 1).
+  int repeats = 0;
+};
+
+/// One untimed warmup call, then timed repeats until ~`target_seconds`
+/// of measurement accumulates (always at least one, at most
+/// `max_reps`); returns the minimum with its repeat count.
+template <typename Fn>
+Timing min_of_reps(Fn&& fn, double target_seconds, int max_reps) {
+  using Clock = std::chrono::steady_clock;
+  fn();  // warmup, untimed
+  Timing timing;
+  timing.seconds = std::numeric_limits<double>::infinity();
+  double total = 0.0;
+  do {
+    const auto start = Clock::now();
+    fn();
+    const double dt =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    timing.seconds = std::min(timing.seconds, dt);
+    total += dt;
+    ++timing.repeats;
+  } while (total < target_seconds && timing.repeats < max_reps);
+  return timing;
+}
+
+}  // namespace dml::bench

@@ -1,0 +1,134 @@
+// Bump (arena) allocator for retrain-build scratch (DESIGN.md §13): a
+// rule-set build allocates thousands of short-lived buffers — candidate
+// itemsets, tidset bitmaps, per-chunk count arrays — whose lifetimes all
+// end when the build does.  An arena turns each of those into a pointer
+// bump inside a geometrically-growing block chain, and the whole build's
+// scratch is released wholesale (blocks are retained across reset() so a
+// long-lived miner reuses them allocation-free).
+//
+// Not thread-safe: one arena per build, owned by the building thread.
+// Deallocation is a no-op except for the trailing-allocation fast path,
+// which lets a growing std::vector<T, ArenaAllocator<T>> reuse its old
+// storage when nothing was bump-allocated after it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace dml::common {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t first_block_bytes = 1u << 16)
+      : next_block_bytes_(std::max<std::size_t>(first_block_bytes, 64)) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  void* allocate(std::size_t bytes, std::size_t align) {
+    // Alignment must be a power of two (std allocator contract).
+    DML_DCHECK(align != 0 && (align & (align - 1)) == 0);
+    std::uintptr_t p = (cursor_ + (align - 1)) & ~(align - 1);
+    if (p + bytes > limit_) {
+      grow(bytes + align);
+      p = (cursor_ + (align - 1)) & ~(align - 1);
+    }
+    cursor_ = p + bytes;
+    return reinterpret_cast<void*>(p);
+  }
+
+  /// No-op unless `p` is the most recent allocation, in which case the
+  /// cursor rewinds — the pattern a growing vector produces (allocate
+  /// bigger, copy, free smaller is NOT rewindable; free-then-allocate
+  /// at the same tail is).
+  void deallocate(void* p, std::size_t bytes) {
+    const auto addr = reinterpret_cast<std::uintptr_t>(p);
+    if (addr + bytes == cursor_) cursor_ = addr;
+  }
+
+  /// Rewinds the arena to empty, keeping every block for reuse.  Only
+  /// legal once all objects allocated from it are dead.
+  void reset() {
+    if (!blocks_.empty()) {
+      cursor_ = reinterpret_cast<std::uintptr_t>(blocks_.front().get());
+      limit_ = cursor_ + block_sizes_.front();
+      active_block_ = 0;
+    }
+  }
+
+  /// Total bytes owned (block chain), for tests and accounting.
+  std::size_t capacity() const {
+    std::size_t total = 0;
+    for (const std::size_t size : block_sizes_) total += size;
+    return total;
+  }
+
+ private:
+  void grow(std::size_t min_bytes) {
+    // Reuse the next retained block if it fits, else append a new one
+    // at least twice the previous size.
+    while (active_block_ + 1 < blocks_.size()) {
+      ++active_block_;
+      if (block_sizes_[active_block_] >= min_bytes) {
+        cursor_ =
+            reinterpret_cast<std::uintptr_t>(blocks_[active_block_].get());
+        limit_ = cursor_ + block_sizes_[active_block_];
+        return;
+      }
+    }
+    std::size_t bytes = next_block_bytes_;
+    while (bytes < min_bytes) bytes *= 2;
+    next_block_bytes_ = bytes * 2;
+    blocks_.push_back(std::unique_ptr<std::byte[]>(new std::byte[bytes]));
+    block_sizes_.push_back(bytes);
+    active_block_ = blocks_.size() - 1;
+    cursor_ = reinterpret_cast<std::uintptr_t>(blocks_.back().get());
+    limit_ = cursor_ + bytes;
+  }
+
+  std::vector<std::unique_ptr<std::byte[]>> blocks_;
+  std::vector<std::size_t> block_sizes_;
+  std::size_t active_block_ = 0;
+  std::uintptr_t cursor_ = 0;
+  std::uintptr_t limit_ = 0;
+  std::size_t next_block_bytes_;
+};
+
+/// std-compatible allocator over an Arena, for the build-scratch
+/// containers (the arena must outlive every container bound to it).
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena& arena) : arena_(&arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T* p, std::size_t n) {
+    arena_->deallocate(p, n * sizeof(T));
+  }
+
+  Arena* arena() const { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& other) const {
+    return arena_ == other.arena();
+  }
+
+ private:
+  Arena* arena_;
+};
+
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace dml::common

@@ -1,0 +1,76 @@
+// Growable power-of-two ring buffer with std::deque's FIFO interface
+// subset.  The predictor's recent-event window pushes ~16-byte PODs at
+// serving rate; libstdc++'s deque allocates a fresh 512-byte node every
+// ~32 pushes, which is the dominant cost of an otherwise allocation-free
+// hot path.  A ring reuses one contiguous buffer: push/pop are an index
+// bump and a store, and growth (amortized, rare once the window reaches
+// steady state) relinearizes into a doubled buffer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace dml::common {
+
+template <typename T>
+class RingQueue {
+ public:
+  bool empty() const { return head_ == tail_; }
+  std::size_t size() const { return static_cast<std::size_t>(tail_ - head_); }
+
+  const T& front() const {
+    DML_DCHECK(!empty());
+    return data_[head_ & mask_];
+  }
+
+  /// FIFO order, index 0 = front.  For tests and draining scans.
+  const T& operator[](std::size_t i) const {
+    DML_DCHECK(i < size());
+    return data_[(head_ + i) & mask_];
+  }
+
+  void push_back(const T& value) {
+    if (size() == data_.size()) grow();
+    data_[tail_++ & mask_] = value;
+  }
+
+  template <typename... Args>
+  void emplace_back(Args&&... args) {
+    push_back(T{std::forward<Args>(args)...});
+  }
+
+  void pop_front() {
+    DML_DCHECK(!empty());
+    ++head_;
+  }
+
+  void clear() { head_ = tail_ = 0; }
+
+ private:
+  void grow() {
+    const std::size_t old_size = size();
+    std::vector<T> bigger(data_.empty() ? kInitialCapacity
+                                        : data_.size() * 2);
+    for (std::size_t i = 0; i < old_size; ++i) {
+      bigger[i] = data_[(head_ + i) & mask_];
+    }
+    data_ = std::move(bigger);
+    mask_ = data_.size() - 1;
+    head_ = 0;
+    tail_ = old_size;
+  }
+
+  static constexpr std::size_t kInitialCapacity = 16;
+
+  std::vector<T> data_;
+  std::size_t mask_ = 0;
+  // Monotonic positions; masked on access.  64-bit, so wraparound is
+  // not reachable in practice.
+  std::uint64_t head_ = 0;
+  std::uint64_t tail_ = 0;
+};
+
+}  // namespace dml::common

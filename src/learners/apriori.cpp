@@ -5,93 +5,124 @@
 #include <cmath>
 #include <optional>
 
+#include "common/arena.hpp"
+#include "common/check.hpp"
+#include "common/simd.hpp"
 #include "common/thread_pool.hpp"
 #include "learners/transactions.hpp"
 
 namespace dml::learners {
 namespace {
 
-/// Joins two size-k itemsets sharing their first k-1 items into a
-/// size-k+1 candidate; nullopt if they don't share a prefix.
-std::optional<Itemset> join(const Itemset& a, const Itemset& b) {
-  if (a.size() != b.size() || a.empty()) return std::nullopt;
-  for (std::size_t i = 0; i + 1 < a.size(); ++i) {
-    if (a[i] != b[i]) return std::nullopt;
-  }
-  if (a.back() >= b.back()) return std::nullopt;
-  Itemset out = a;
-  out.push_back(b.back());
-  return out;
+/// Row stride the SIMD subset kernels are specialized for: rows and
+/// masks are zero-padded to 1/2/4 words (a zero mask word always
+/// passes, so padding never changes a count).
+std::size_t padded_words(std::size_t words) {
+  if (words <= 1) return 1;
+  if (words <= 2) return 2;
+  if (words <= 4) return 4;
+  return words;
 }
 
-/// Apriori pruning: every (k-1)-subset of the candidate must be frequent.
-bool all_subsets_frequent(const Itemset& candidate,
-                          const std::vector<Itemset>& frequent_prev) {
-  Itemset subset(candidate.size() - 1);
-  for (std::size_t skip = 0; skip < candidate.size(); ++skip) {
-    std::size_t j = 0;
-    for (std::size_t i = 0; i < candidate.size(); ++i) {
-      if (i != skip) subset[j++] = candidate[i];
-    }
-    if (!std::binary_search(frequent_prev.begin(), frequent_prev.end(),
-                            subset)) {
-      return false;
-    }
+/// Tidset word-chunk for the vertical L2 pass, sized so every frequent
+/// single's chunk fits in cache together (f * kTidChunkWords * 8 bytes;
+/// ~800 KB at f = 200): each chunk is pulled from memory once and
+/// reused across all O(f^2) pair intersections.
+constexpr std::size_t kTidChunkWords = 512;
+
+/// Row block for the L3+ counter: the block is streamed once per
+/// candidate, so it must stay resident across the candidate loop
+/// (stride 4 -> 8192 rows = 256 KB).
+constexpr std::size_t kRowBlockBytes = 256u << 10;
+
+/// Flat (k-1)-prefix equality for the join step: candidates at level k
+/// are joins of two level-(k-1) itemsets sharing their first k-2 items.
+bool same_prefix(const CategoryId* a, const CategoryId* b, std::size_t k) {
+  for (std::size_t i = 0; i + 1 < k; ++i) {
+    if (a[i] != b[i]) return false;
   }
   return true;
 }
 
-/// Counts candidate support with word-wise subset tests over the bitset
-/// rows: transaction t supports candidate c iff every word of c's mask
-/// is covered by t's row.  Transactions are chunked across the pool
-/// (one task per chunk) with per-chunk count buffers, so there is no
-/// write sharing and no per-index dispatch.
-std::vector<std::uint32_t> count_support_bitset(
-    const TransactionBitsets& bits, const std::vector<Itemset>& candidates,
-    std::size_t parallel_threshold) {
-  const std::size_t words = bits.words_per_row;
-  const std::size_t rows = bits.rows();
-  // Candidate masks, row-major like the transactions.
-  std::vector<std::uint64_t> masks(candidates.size() * words, 0);
-  for (std::size_t c = 0; c < candidates.size(); ++c) {
-    std::uint64_t* mask = masks.data() + c * words;
-    for (CategoryId d : candidates[c]) {
-      mask[d >> 6] |= std::uint64_t{1} << (d & 63);
+/// Binary search for `subset` (k items) among the flat level-k rows of
+/// `prev` (sorted lexicographically — generation order preserves this).
+bool flat_contains(const std::vector<CategoryId>& prev, std::size_t k,
+                   const CategoryId* subset) {
+  std::size_t lo = 0;
+  std::size_t hi = prev.size() / k;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    const CategoryId* row = prev.data() + mid * k;
+    const auto order = std::lexicographical_compare_three_way(
+        row, row + k, subset, subset + k);
+    if (order == std::strong_ordering::less) {
+      lo = mid + 1;
+    } else if (order == std::strong_ordering::greater) {
+      hi = mid;
+    } else {
+      return true;
     }
   }
+  return false;
+}
 
-  auto count_range = [&](std::size_t lo, std::size_t hi,
-                         std::uint32_t* counts) {
-    for (std::size_t t = lo; t < hi; ++t) {
-      const std::uint64_t* row = bits.row(t);
-      for (std::size_t c = 0; c < candidates.size(); ++c) {
-        if (bitset_contains(row, masks.data() + c * words, words)) {
-          ++counts[c];
-        }
+/// Apriori pruning over the flat representation: every (k-1)-subset of
+/// the k-item candidate must be frequent.  The two subsets that formed
+/// the join are skipped — they are frequent by construction.
+bool all_subsets_frequent(const std::vector<CategoryId>& prev, std::size_t k,
+                          const CategoryId* candidate,
+                          CategoryId* subset_scratch) {
+  for (std::size_t skip = 0; skip + 2 < k; ++skip) {
+    std::size_t j = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (i != skip) subset_scratch[j++] = candidate[i];
+    }
+    if (!flat_contains(prev, k - 1, subset_scratch)) return false;
+  }
+  return true;
+}
+
+/// Counts candidate support with the dispatched subset kernel over
+/// zero-padded bitset rows, cache-blocked (row blocks stay hot across
+/// the candidate loop) and chunked across the pool with per-chunk count
+/// buffers, so there is no write sharing.
+void count_candidates(const std::uint64_t* rows, std::size_t n_rows,
+                      std::size_t stride,
+                      const std::uint64_t* masks, std::size_t n_candidates,
+                      std::size_t parallel_threshold,
+                      std::uint32_t* counts) {
+  const auto& kernels = simd::active();
+  const std::size_t block_rows =
+      std::max<std::size_t>(1, kRowBlockBytes / (stride * sizeof(std::uint64_t)));
+  const auto count_range = [&](std::size_t lo, std::size_t hi,
+                               std::uint32_t* out) {
+    for (std::size_t b = lo; b < hi; b += block_rows) {
+      const std::size_t n = std::min(block_rows, hi - b);
+      const std::uint64_t* block = rows + b * stride;
+      for (std::size_t c = 0; c < n_candidates; ++c) {
+        out[c] += kernels.subset_count(block, n, stride,
+                                       masks + c * stride, stride);
       }
     }
   };
 
-  const std::size_t work = rows * candidates.size();
+  const std::size_t work = n_rows * n_candidates;
   auto& pool = dml::ThreadPool::shared();
   if (work < parallel_threshold || pool.max_parallel_chunks() <= 1) {
-    std::vector<std::uint32_t> counts(candidates.size(), 0);
-    count_range(0, rows, counts.data());
-    return counts;
+    count_range(0, n_rows, counts);
+    return;
   }
   std::vector<std::vector<std::uint32_t>> per_chunk(
       pool.max_parallel_chunks(),
-      std::vector<std::uint32_t>(candidates.size(), 0));
-  pool.parallel_for_ranges(0, rows,
+      std::vector<std::uint32_t>(n_candidates, 0));
+  pool.parallel_for_ranges(0, n_rows,
                            [&](std::size_t chunk, std::size_t lo,
                                std::size_t hi) {
                              count_range(lo, hi, per_chunk[chunk].data());
                            });
-  std::vector<std::uint32_t> counts(candidates.size(), 0);
   for (const auto& partial : per_chunk) {
-    for (std::size_t c = 0; c < counts.size(); ++c) counts[c] += partial[c];
+    for (std::size_t c = 0; c < n_candidates; ++c) counts[c] += partial[c];
   }
-  return counts;
 }
 
 }  // namespace
@@ -117,16 +148,24 @@ std::vector<FrequentItemset> mine_frequent_itemsets(
   const std::size_t n = dense.size();
   if (n == 0) return result;
 
+  // Every build-scratch buffer below (tidsets, pair counts, padded
+  // bitset rows, candidate masks) bump-allocates from one arena and is
+  // released wholesale when the mine returns.
+  common::Arena arena(1u << 20);
+
   // L1: single-item counts in one dense array pass.
   std::vector<std::uint32_t> singles(n, 0);
   for (const Itemset& tx : transactions) {
     for (CategoryId item : tx) ++singles[dense.dense_of(item)];
   }
-  // Frequent itemsets carry *dense* ids until the final mapping back.
-  std::vector<Itemset> frequent;
+  // Frequent itemsets carry *dense* ids until the final mapping back;
+  // levels are stored flat (stride k) so a retrain build does one
+  // allocation per level instead of one per itemset.
+  std::vector<CategoryId> frequent;  // flat, stride = current level
+  std::size_t level = 1;
   for (std::size_t d = 0; d < n; ++d) {
     if (singles[d] >= min_count) {
-      frequent.push_back({static_cast<CategoryId>(d)});
+      frequent.push_back(static_cast<CategoryId>(d));
       result.push_back({{static_cast<CategoryId>(d)}, singles[d]});
     }
   }
@@ -134,15 +173,19 @@ std::vector<FrequentItemset> mine_frequent_itemsets(
   if (config.max_items >= 2 && frequent.size() >= 2) {
     // L2 is counted vertically: one tidset bitmap per frequent single
     // (bit t set iff transaction t contains the item), pair support =
-    // popcount of the AND.  Every pair of frequent singles is a valid
-    // candidate (the prune is vacuous at k=2), in the same (i, j)
-    // lexicographic order as join-based generation.
+    // popcount of the AND, computed by the dispatched SIMD kernel.
+    // Every pair of frequent singles is a valid candidate (the prune is
+    // vacuous at k=2); counts accumulate into a triangular matrix so
+    // the tid dimension can be chunked for cache residency while pairs
+    // are still emitted in (i, j) lexicographic order.
     const std::size_t f = frequent.size();
     const std::size_t tid_words = (transactions.size() + 63) / 64;
-    std::vector<std::uint64_t> tids(f * tid_words, 0);
+    common::ArenaVector<std::uint64_t> tids{
+        common::ArenaAllocator<std::uint64_t>(arena)};
+    tids.assign(f * tid_words, 0);
     std::vector<CategoryId> single_to_rank(n, kInvalidCategory);
     for (std::size_t r = 0; r < f; ++r) {
-      single_to_rank[frequent[r][0]] = static_cast<CategoryId>(r);
+      single_to_rank[frequent[r]] = static_cast<CategoryId>(r);
     }
     for (std::size_t t = 0; t < transactions.size(); ++t) {
       for (CategoryId item : transactions[t]) {
@@ -151,62 +194,125 @@ std::vector<FrequentItemset> mine_frequent_itemsets(
         tids[rank * tid_words + (t >> 6)] |= std::uint64_t{1} << (t & 63);
       }
     }
-    std::vector<Itemset> pairs;
-    std::vector<std::uint32_t> pair_counts;
-    for (std::size_t i = 0; i < f; ++i) {
-      const std::uint64_t* a = tids.data() + i * tid_words;
-      for (std::size_t j = i + 1; j < f; ++j) {
-        const std::uint64_t* b = tids.data() + j * tid_words;
-        std::uint32_t count = 0;
-        for (std::size_t w = 0; w < tid_words; ++w) {
-          count += static_cast<std::uint32_t>(std::popcount(a[w] & b[w]));
-        }
-        if (count >= min_count) {
-          pairs.push_back({frequent[i][0], frequent[j][0]});
-          pair_counts.push_back(count);
+    const std::size_t n_pairs = f * (f - 1) / 2;
+    common::ArenaVector<std::uint32_t> pair_counts{
+        common::ArenaAllocator<std::uint32_t>(arena)};
+    pair_counts.assign(n_pairs, 0);
+    const auto pair_index = [f](std::size_t i, std::size_t j) {
+      // Row-major upper triangle: pairs (i, *) start after the first i
+      // rows' triangle.
+      return i * (2 * f - i - 1) / 2 + (j - i - 1);
+    };
+    const auto& kernels = simd::active();
+    for (std::size_t w0 = 0; w0 < tid_words; w0 += kTidChunkWords) {
+      const std::size_t chunk = std::min(kTidChunkWords, tid_words - w0);
+      for (std::size_t i = 0; i < f; ++i) {
+        const std::uint64_t* a = tids.data() + i * tid_words + w0;
+        std::uint32_t* row_counts = pair_counts.data() + pair_index(i, i + 1);
+        for (std::size_t j = i + 1; j < f; ++j) {
+          const std::uint64_t* b = tids.data() + j * tid_words + w0;
+          row_counts[j - i - 1] += static_cast<std::uint32_t>(
+              kernels.and_popcount(a, b, chunk));
         }
       }
     }
-    for (std::size_t c = 0; c < pairs.size(); ++c) {
-      result.push_back({pairs[c], pair_counts[c]});
+    std::vector<CategoryId> pairs;
+    for (std::size_t i = 0; i < f; ++i) {
+      for (std::size_t j = i + 1; j < f; ++j) {
+        const std::uint32_t count = pair_counts[pair_index(i, j)];
+        if (count >= min_count) {
+          pairs.push_back(frequent[i]);
+          pairs.push_back(frequent[j]);
+          result.push_back({{frequent[i], frequent[j]}, count});
+        }
+      }
     }
     frequent = std::move(pairs);
+    level = 2;
   }
 
-  // L3+: classic join-and-prune candidate generation over dense ids;
-  // support counted horizontally with fixed-width bitset rows (at most
-  // ceil(n/64) words per transaction).
-  if (config.max_items >= 3 && frequent.size() >= 2) {
-    const TransactionBitsets bits = encode_transaction_bitsets(
-        transactions, dense);
-    for (std::size_t level = 3;
-         level <= config.max_items && frequent.size() >= 2; ++level) {
-      std::vector<Itemset> candidates;
-      for (std::size_t i = 0; i < frequent.size(); ++i) {
-        for (std::size_t j = i + 1; j < frequent.size(); ++j) {
-          auto candidate = join(frequent[i], frequent[j]);
-          if (!candidate) {
+  // L3+: classic join-and-prune candidate generation over the flat
+  // dense-id levels; support counted horizontally with the cache-blocked
+  // SIMD subset kernel over zero-padded fixed-width bitset rows.
+  if (config.max_items >= 3 && frequent.size() >= 2 * level) {
+    const std::size_t words = (n + 63) / 64;
+    const std::size_t stride = padded_words(words);
+    common::ArenaVector<std::uint64_t> rows{
+        common::ArenaAllocator<std::uint64_t>(arena)};
+    rows.assign(transactions.size() * stride, 0);
+    for (std::size_t t = 0; t < transactions.size(); ++t) {
+      std::uint64_t* row = rows.data() + t * stride;
+      for (CategoryId item : transactions[t]) {
+        const CategoryId d = dense.dense_of(item);
+        // Dense ids index fixed-width rows; one out-of-range id would
+        // corrupt a neighbouring transaction's bits.
+        DML_DCHECK((d >> 6) < stride);
+        row[d >> 6] |= std::uint64_t{1} << (d & 63);
+      }
+    }
+
+    std::vector<CategoryId> candidates;   // flat, stride = level + 1
+    std::vector<CategoryId> next;         // survivors, same stride
+    common::ArenaVector<std::uint64_t> masks{
+        common::ArenaAllocator<std::uint64_t>(arena)};
+    common::ArenaVector<std::uint32_t> counts{
+        common::ArenaAllocator<std::uint32_t>(arena)};
+    Itemset subset_scratch;
+    while (level + 1 <= config.max_items) {
+      const std::size_t k = level + 1;
+      const std::size_t n_prev = frequent.size() / level;
+      if (n_prev < 2) break;
+      candidates.clear();
+      subset_scratch.resize(level);
+      for (std::size_t i = 0; i < n_prev; ++i) {
+        const CategoryId* a = frequent.data() + i * level;
+        for (std::size_t j = i + 1; j < n_prev; ++j) {
+          const CategoryId* b = frequent.data() + j * level;
+          if (!same_prefix(a, b, level)) {
             // frequent is sorted lexicographically: once prefixes
             // diverge, no later j will share i's prefix.
             break;
           }
-          if (all_subsets_frequent(*candidate, frequent)) {
-            candidates.push_back(std::move(*candidate));
+          // a and b share their first level-1 items and a[last] <
+          // b[last] (lexicographic order), so the join is just an
+          // append.
+          const std::size_t base = candidates.size();
+          candidates.resize(base + k);
+          CategoryId* cand = candidates.data() + base;
+          std::copy(a, a + level, cand);
+          cand[level] = b[level - 1];
+          if (!all_subsets_frequent(frequent, k, cand,
+                                    subset_scratch.data())) {
+            candidates.resize(base);
           }
         }
       }
-      if (candidates.empty()) break;
+      const std::size_t n_candidates = candidates.size() / k;
+      if (n_candidates == 0) break;
 
-      const auto counts = count_support_bitset(
-          bits, candidates, config.parallel_work_threshold);
-      std::vector<Itemset> next;
-      for (std::size_t c = 0; c < candidates.size(); ++c) {
-        if (counts[c] >= min_count) {
-          result.push_back({candidates[c], counts[c]});
-          next.push_back(std::move(candidates[c]));
+      masks.assign(n_candidates * stride, 0);
+      for (std::size_t c = 0; c < n_candidates; ++c) {
+        std::uint64_t* mask = masks.data() + c * stride;
+        const CategoryId* cand = candidates.data() + c * k;
+        for (std::size_t i = 0; i < k; ++i) {
+          mask[cand[i] >> 6] |= std::uint64_t{1} << (cand[i] & 63);
         }
       }
-      frequent = std::move(next);  // already lexicographically ordered
+      counts.assign(n_candidates, 0);
+      count_candidates(rows.data(), transactions.size(), stride,
+                       masks.data(), n_candidates,
+                       config.parallel_work_threshold, counts.data());
+
+      next.clear();
+      for (std::size_t c = 0; c < n_candidates; ++c) {
+        if (counts[c] >= min_count) {
+          const CategoryId* cand = candidates.data() + c * k;
+          result.push_back({Itemset(cand, cand + k), counts[c]});
+          next.insert(next.end(), cand, cand + k);
+        }
+      }
+      frequent.swap(next);  // already lexicographically ordered
+      level = k;
     }
   }
 

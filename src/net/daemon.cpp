@@ -635,10 +635,14 @@ void Daemon::pump_main(std::shared_ptr<Stream> stream) {
         stream->queue.pop_front();
       }
       if (batch.finish) break;
-      for (const bgl::Event& event : batch.events) {
-        if (stream->appender != nullptr) stream->appender->append(event);
-        stream->engine->consume(event);
+      if (stream->appender != nullptr) {
+        for (const bgl::Event& event : batch.events) {
+          stream->appender->append(event);
+        }
       }
+      // One engine crossing per wire batch: the sharded producer hands
+      // each shard its whole run in one queue push.
+      stream->engine->consume_batch(batch.events);
       for (const bgl::RasRecord& record : batch.records) {
         stream->engine->consume(record);
       }

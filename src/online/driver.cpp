@@ -116,7 +116,7 @@ DriverResult DynamicDriver::run(const storage::EventRepository& repo) const {
     while (true) {
       batch.clear();
       if (cursor->next(batch, storage::kDefaultScanBatch) == 0) break;
-      for (const auto& event : batch) engine.consume(event);
+      engine.consume_batch(batch);
     }
   };
 
@@ -185,7 +185,7 @@ DriverResult DynamicDriver::run(const storage::EventRepository& repo) const {
     const std::vector<bgl::Event> test_events =
         storage::materialize(repo, test_begin, test_end);
     const auto predict_start = Clock::now();
-    for (const auto& event : test_events) engine.consume(event);
+    engine.consume_batch(test_events);
     fed_until = test_begin + retrain_span;
     interval.predict_seconds = seconds_since(predict_start);
 

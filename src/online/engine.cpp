@@ -72,6 +72,13 @@ void OnlineEngine::consume(const bgl::Event& event) {
   observe(event);
 }
 
+void OnlineEngine::consume_batch(std::span<const bgl::Event> events) {
+  for (const bgl::Event& event : events) {
+    ++session_.records_consumed;
+    observe(event);
+  }
+}
+
 void OnlineEngine::advance_to(TimeSec t) { step(t); }
 
 void OnlineEngine::cold_start(const storage::EventRepository& repo,

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "online/retraining.hpp"
@@ -111,6 +112,14 @@ class OnlineEngine {
 
   /// Feeds one already-unique categorized event.
   void consume(const bgl::Event& event);
+
+  /// Feeds a time-ordered run of categorized events.  Bit-identical to
+  /// consuming them one by one — retraining boundaries, adoptions and
+  /// ticks still fire between any two events of the batch, and a
+  /// serving failpoint thrown mid-batch leaves exactly the prefix
+  /// consumed (DESIGN.md §13).  Replay loops use this to cross the
+  /// engine boundary once per buffer instead of once per event.
+  void consume_batch(std::span<const bgl::Event> events);
 
   /// Restart path: brings a freshly constructed engine to the exact
   /// state a live engine would hold just before serving event time

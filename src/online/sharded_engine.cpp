@@ -23,6 +23,13 @@ namespace {
 struct EventMsg {
   bgl::Event event;
 };
+/// A time-ordered run of events for one shard — feed_batch()'s
+/// amortization: one queue handoff (one lock/notify) per run instead of
+/// per event.  Workers serve the run event by event, so failpoint and
+/// quarantine behaviour are indistinguishable from a run of EventMsg.
+struct EventBatchMsg {
+  std::vector<bgl::Event> events;
+};
 struct AdoptMsg {
   /// Shared: one build fans out to every shard.
   std::shared_ptr<const SnapshotBuild> build;
@@ -35,7 +42,8 @@ struct FlushMsg {
   /// to it (heartbeat / end of stream).
   TimeSec to = 0;
 };
-using Message = std::variant<EventMsg, AdoptMsg, RefreshMsg, FlushMsg>;
+using Message =
+    std::variant<EventMsg, EventBatchMsg, AdoptMsg, RefreshMsg, FlushMsg>;
 
 /// Single-producer single-consumer bounded queue.  push() blocks when
 /// full — that is the backpressure contract: a slow shard throttles the
@@ -298,16 +306,80 @@ void ShardedEngine::cold_start(const storage::EventRepository& repo,
   while (true) {
     batch.clear();
     if (cursor->next(batch, storage::kDefaultScanBatch) == 0) break;
-    for (const auto& event : batch) {
-      ++cold_start_events_;
-      feed(event);
-    }
+    cold_start_events_ += batch.size();
+    feed_batch(batch);
   }
 }
 
 void ShardedEngine::consume(const bgl::Event& event) {
   ++records_consumed_;
   feed(event);
+}
+
+void ShardedEngine::consume_batch(std::span<const bgl::Event> events) {
+  records_consumed_ += events.size();
+  feed_batch(events);
+}
+
+void ShardedEngine::flush_feed_runs() {
+  for (std::size_t i = 0; i < feed_runs_.size(); ++i) {
+    if (feed_runs_[i].empty()) continue;
+    shards_[i]->queue.push(EventBatchMsg{std::move(feed_runs_[i])});
+    feed_runs_[i].clear();  // moved-from: valid and empty
+  }
+}
+
+void ShardedEngine::feed_batch(std::span<const bgl::Event> events) {
+  if (feed_runs_.size() != shards_.size()) feed_runs_.resize(shards_.size());
+  try {
+    for (const bgl::Event& event : events) {
+      // Same per-event sequence as feed(): the `engine.feed` failpoint
+      // fires once per event, and schedule decisions happen at the same
+      // stream positions.  Only the final queue handoff is batched.
+      switch (common::failpoint(common::failpoints::kEngineFeed)) {
+        case common::FailAction::kDrop:
+        case common::FailAction::kCorrupt:
+          ++feed_rejected_;
+          continue;
+        default:
+          break;
+      }
+      const TimeSec t = event.time;
+      if (const auto boundary = scheduler_.boundary_due(t)) {
+        const auto action = scheduler_.fire(*boundary);
+        if (action == RetrainScheduler::BoundaryAction::kRefresh) {
+          // Control messages follow the events that preceded them in
+          // every shard's queue, exactly as the serial path orders them.
+          flush_feed_runs();
+          for (auto& shard : shards_) {
+            shard->queue.push(RefreshMsg{*boundary});
+          }
+        }
+      }
+      if (auto build = scheduler_.poll(t)) {
+        auto shared = std::make_shared<const SnapshotBuild>(std::move(*build));
+        retrain_build_seconds_ +=
+            shared->train_times.total_seconds() + shared->revise_seconds;
+        publisher_.store(shared->repository);
+        flush_feed_runs();
+        for (auto& shard : shards_) shard->queue.push(AdoptMsg{shared});
+      }
+      if (config_.heartbeat_interval > 0 &&
+          (!next_heartbeat_ || *next_heartbeat_ <= t)) {
+        flush_feed_runs();
+        broadcast_heartbeats(t);
+      }
+      scheduler_.observe(event);
+      last_event_time_ = std::max(last_event_time_, t);
+      feed_runs_[shard_of(event)].push_back(event);
+    }
+  } catch (...) {
+    // A throw (engine.feed failpoint) must leave the prefix fed, as the
+    // serial path would: hand over what is buffered, then propagate.
+    flush_feed_runs();
+    throw;
+  }
+  flush_feed_runs();
 }
 
 void ShardedEngine::broadcast_heartbeats(TimeSec t) {
@@ -384,31 +456,69 @@ void ShardedEngine::worker(std::size_t index) {
       watermark = std::max(watermark, flush->to);
     }
   };
+  // One event of an EventMsg or EventBatchMsg, exactly the per-event
+  // sequence: failpoint, then serve, then counters and watermark.
+  const auto serve_event = [&](const bgl::Event& event) {
+    // Fault injection: throw quarantines this shard, delay stalls
+    // its queue (backpressure), drop skips the event (counted).
+    const auto action = common::failpoint(common::failpoints::kShardWorker);
+    if (action == common::FailAction::kDrop ||
+        action == common::FailAction::kCorrupt) {
+      shard.rejected.fetch_add(1, std::memory_order_relaxed);
+      watermark = std::max(watermark, event.time);
+      return;
+    }
+    core.observe(event, out);
+    shard.events.fetch_add(1, std::memory_order_relaxed);
+    if (event.fatal) {
+      shard.fatals.fetch_add(1, std::memory_order_relaxed);
+    }
+    watermark = std::max(watermark, event.time);
+  };
+  const auto drain_event = [&](const bgl::Event& event) {
+    watermark = std::max(watermark, event.time);
+    shard.rejected.fetch_add(1, std::memory_order_relaxed);
+  };
+  // Quarantine bookkeeping happens after the faulting unit is drained,
+  // so the recorded watermark covers it (matching the serial path).
+  const auto quarantine = [&](const std::string& what) {
+    note_quarantine(index, watermark, what);
+  };
   while (shard.queue.pop_all(batch)) {
     const auto start = std::chrono::steady_clock::now();
     for (auto& message : batch) {
+      // A batched run is served event by event so a throw mid-run
+      // quarantines at the faulting event and drains only the rest —
+      // indistinguishable from the same run of single EventMsg.
+      if (auto* run = std::get_if<EventBatchMsg>(&message)) {
+        for (const bgl::Event& event : run->events) {
+          if (shard.error) {
+            drain_event(event);
+            continue;
+          }
+          try {
+            serve_event(event);
+          } catch (const std::exception& e) {
+            shard.error = std::current_exception();
+            out.clear();
+            drain_event(event);
+            quarantine(e.what());
+          } catch (...) {
+            shard.error = std::current_exception();
+            out.clear();
+            drain_event(event);
+            quarantine("unknown exception");
+          }
+        }
+        continue;
+      }
       if (shard.error) {
         drain(message);
         continue;
       }
       try {
         if (auto* msg = std::get_if<EventMsg>(&message)) {
-          // Fault injection: throw quarantines this shard, delay stalls
-          // its queue (backpressure), drop skips the event (counted).
-          const auto action =
-              common::failpoint(common::failpoints::kShardWorker);
-          if (action == common::FailAction::kDrop ||
-              action == common::FailAction::kCorrupt) {
-            shard.rejected.fetch_add(1, std::memory_order_relaxed);
-            watermark = std::max(watermark, msg->event.time);
-            continue;
-          }
-          core.observe(msg->event, out);
-          shard.events.fetch_add(1, std::memory_order_relaxed);
-          if (msg->event.fatal) {
-            shard.fatals.fetch_add(1, std::memory_order_relaxed);
-          }
-          watermark = std::max(watermark, msg->event.time);
+          serve_event(msg->event);
         } else if (auto* adopt = std::get_if<AdoptMsg>(&message)) {
           core.adopt(*adopt->build, out);
         } else if (auto* refresh = std::get_if<RefreshMsg>(&message)) {
@@ -421,12 +531,12 @@ void ShardedEngine::worker(std::size_t index) {
         shard.error = std::current_exception();
         out.clear();
         drain(message);
-        note_quarantine(index, watermark, e.what());
+        quarantine(e.what());
       } catch (...) {
         shard.error = std::current_exception();
         out.clear();
         drain(message);
-        note_quarantine(index, watermark, "unknown exception");
+        quarantine("unknown exception");
       }
     }
     shard.busy_seconds.store(

@@ -22,6 +22,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -78,6 +79,14 @@ class ShardedEngine {
   void consume(const bgl::RasRecord& record);
   void consume(const bgl::Event& event);
 
+  /// Feeds a time-ordered run of categorized events with per-shard
+  /// queue handoffs amortized: each shard receives its events as one
+  /// batch message per run instead of one message per event.  The
+  /// merged warning multiset, schedule decisions, failpoint evaluation
+  /// sequence and backpressure contract are identical to consuming the
+  /// events one by one (DESIGN.md §13).
+  void consume_batch(std::span<const bgl::Event> events);
+
   /// Restart path: replays [repo.first_time(), serve_from) through the
   /// normal concurrent pipeline — same schedule, same shard state — with
   /// every warning issued before serve_from suppressed at the merger.
@@ -125,6 +134,9 @@ class ShardedEngine {
 
   SessionStats collect_stats() const;
   void feed(const bgl::Event& event);
+  void feed_batch(std::span<const bgl::Event> events);
+  /// Hands every buffered per-shard run to its queue (feed_batch).
+  void flush_feed_runs();
   void broadcast_heartbeats(TimeSec t);
   void worker(std::size_t index);
   void note_quarantine(std::size_t index, TimeSec at, std::string what)
@@ -140,6 +152,9 @@ class ShardedEngine {
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<WarningMerger> merger_;
+  /// feed_batch()'s per-shard run buffers (producer-owned scratch);
+  /// always empty between consume calls.
+  std::vector<std::vector<bgl::Event>> feed_runs_;
 
   // Producer-side state.
   std::uint64_t records_consumed_ = 0;

@@ -19,13 +19,14 @@
 // so a serving loop allocates nothing per event.
 #pragma once
 
-#include <deque>
+#include <limits>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "bgl/record.hpp"
 #include "common/flat_map.hpp"
+#include "common/ring_queue.hpp"
 #include "common/types.hpp"
 #include "learners/features.hpp"
 #include "meta/knowledge_repository.hpp"
@@ -93,6 +94,13 @@ class Predictor {
   /// serving loops reuse one buffer across events).
   void observe_into(const bgl::Event& event, std::vector<Warning>& out);
 
+  /// Batch form of observe_into: feeds every event in order and appends
+  /// the concatenated warnings.  Bit-identical to calling observe_into
+  /// per event — the batch exists so replay/serving loops make one call
+  /// per buffer instead of one per event (DESIGN.md §13).
+  void observe_batch(std::span<const bgl::Event> events,
+                     std::vector<Warning>& out);
+
   /// Convenience wrapper: observe_into with a fresh vector per call.
   std::vector<Warning> observe(const bgl::Event& event);
 
@@ -118,7 +126,13 @@ class Predictor {
   bool scoped() const {
     return options_.location_scoped || options_.per_scope_state;
   }
+  template <bool kScoped>
   void expire(TimeSec now);
+  /// observe_into's body, specialized at compile time on scoped-ness so
+  /// the plain serving loop carries no per-event scope branches and
+  /// skips the midplane decode entirely (DESIGN.md §13).
+  template <bool kScoped>
+  void observe_impl(const bgl::Event& event, std::vector<Warning>& out);
   bool try_issue(std::vector<Warning>& out, TimeSec now,
                  const meta::StoredRule& rule,
                  std::optional<CategoryId> category, TimeSec deadline,
@@ -141,6 +155,9 @@ class Predictor {
   /// E-List: category -> association rules referencing it, as a dense
   /// table indexed by CategoryId (the taxonomy is ~219 entries).
   std::vector<std::vector<const meta::StoredRule*>> e_list_;
+  /// Byte-per-category mirror of "e_list_[c] is non-empty" — one L1
+  /// load on the observe_batch skip path (DESIGN.md §13).
+  std::vector<std::uint8_t> category_has_rules_;
   /// Fatal category -> association rules predicting it (re-arm index),
   /// dense like the E-List.
   std::vector<std::vector<const meta::StoredRule*>> by_consequent_;
@@ -158,14 +175,16 @@ class Predictor {
     std::uint32_t midplane;  // packed midplane-scope location
   };
   /// Recent events within Wp plus per-category counts for O(1)
-  /// antecedent checks (dense array, grown on demand).
-  std::deque<RecentEvent> recent_;
+  /// antecedent checks (dense array, grown on demand).  Ring buffers,
+  /// not deques: steady-state serving pushes and pops without touching
+  /// the allocator (DESIGN.md §13).
+  common::RingQueue<RecentEvent> recent_;
   std::vector<std::uint32_t> recent_counts_;
   /// Per-midplane per-category counts (location-scoped mode only),
   /// keyed by (midplane << 16 | category).
   common::FlatMap<std::uint64_t, std::uint32_t> scoped_counts_;
   /// Recent fatal events within Wp: (time, midplane).
-  std::deque<std::pair<TimeSec, std::uint32_t>> recent_fatals_;
+  common::RingQueue<std::pair<TimeSec, std::uint32_t>> recent_fatals_;
   /// Running per-midplane fatal counts over recent_fatals_ (scoped mode
   /// only): incremented on arrival, decremented in expire(), so a fatal
   /// burst never re-scans the whole window.
@@ -178,6 +197,20 @@ class Predictor {
   /// Deduplication: active-warning deadline per rule id — or per
   /// (rule id << 32 | midplane) in per_scope_state mode.
   common::FlatMap<std::uint64_t, TimeSec> active_;
+  /// Plain-mode deduplication fast path: rule ids are sequential per
+  /// repository, so when keys are bare rule ids (per_scope_state off)
+  /// the deadline table is direct-indexed instead of hashed —
+  /// kNoDeadline marks an empty slot.  Sized at construction.
+  static constexpr TimeSec kNoDeadline =
+      std::numeric_limits<TimeSec>::min();
+  std::vector<TimeSec> active_by_id_;
+  /// PD quiet horizon (plain + dedup mode only): for any event time at
+  /// or before this instant, check_distribution provably issues nothing
+  /// — every distribution rule is either untriggered until then or
+  /// dedup-blocked by an active warning — so the per-event rule walk
+  /// and hash probe are skipped.  Reset to 0 by every fatal event
+  /// (which moves the elapsed-time base and re-arms the rules).
+  TimeSec pd_quiet_until_ = 0;
 };
 
 }  // namespace dml::predict

@@ -1,0 +1,81 @@
+#include "common/ring_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+
+#include "common/rng.hpp"
+#include "support/test_fixtures.hpp"
+
+namespace dml::common {
+namespace {
+
+TEST(RingQueue, FifoAcrossGrowthBoundary) {
+  RingQueue<int> q;
+  EXPECT_TRUE(q.empty());
+  for (int i = 0; i < 100; ++i) q.push_back(i);
+  EXPECT_EQ(q.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(q.front(), i);
+    q.pop_front();
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(RingQueue, IndexingIsFrontRelative) {
+  RingQueue<int> q;
+  // Advance head so the live range wraps the buffer end.
+  for (int i = 0; i < 12; ++i) q.push_back(i);
+  for (int i = 0; i < 10; ++i) q.pop_front();
+  for (int i = 12; i < 24; ++i) q.push_back(i);
+  ASSERT_EQ(q.size(), 14u);
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    EXPECT_EQ(q[i], static_cast<int>(i) + 10);
+  }
+}
+
+TEST(RingQueue, EmplaceBraceInitializes) {
+  struct Pair {
+    std::uint64_t a;
+    int b;
+  };
+  RingQueue<Pair> q;
+  q.emplace_back(std::uint64_t{7}, 3);
+  EXPECT_EQ(q.front().a, 7u);
+  EXPECT_EQ(q.front().b, 3);
+}
+
+TEST(RingQueue, ClearEmptiesWithoutBreakingReuse) {
+  RingQueue<int> q;
+  for (int i = 0; i < 50; ++i) q.push_back(i);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  q.push_back(99);
+  EXPECT_EQ(q.front(), 99);
+}
+
+TEST(RingQueueFuzz, MatchesDequeUnderRandomOps) {
+  Rng rng(testing::fuzz_seed(59));
+  RingQueue<std::uint64_t> ring;
+  std::deque<std::uint64_t> reference;
+  for (int op = 0; op < 20000; ++op) {
+    const std::uint64_t roll = rng.next_u64() % 10;
+    if (roll < 6 || reference.empty()) {
+      const std::uint64_t v = rng.next_u64();
+      ring.push_back(v);
+      reference.push_back(v);
+    } else if (roll < 9) {
+      ASSERT_EQ(ring.front(), reference.front()) << "op " << op;
+      ring.pop_front();
+      reference.pop_front();
+    } else {
+      const std::size_t i = rng.next_u64() % reference.size();
+      ASSERT_EQ(ring[i], reference[i]) << "op " << op;
+    }
+    ASSERT_EQ(ring.size(), reference.size()) << "op " << op;
+  }
+}
+
+}  // namespace
+}  // namespace dml::common

@@ -1,0 +1,203 @@
+#include "common/simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "support/test_fixtures.hpp"
+
+namespace dml::simd {
+namespace {
+
+/// Pins dispatch for one test and restores best_variant() on exit, so
+/// test order never leaks a forced variant into another suite.
+class VariantGuard {
+ public:
+  explicit VariantGuard(Variant variant) { force_variant(variant); }
+  ~VariantGuard() { force_variant(best_variant()); }
+};
+
+/// Obviously-correct single-bit references, independent of the kernel
+/// translation unit's scalar loop.
+std::uint64_t naive_and_popcount(const std::uint64_t* a,
+                                 const std::uint64_t* b, std::size_t words) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < words; ++i) total += std::popcount(a[i] & b[i]);
+  return total;
+}
+
+std::uint32_t naive_subset_count(const std::uint64_t* rows,
+                                 std::size_t n_rows, std::size_t stride,
+                                 const std::uint64_t* mask,
+                                 std::size_t words) {
+  std::uint32_t count = 0;
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    const std::uint64_t* row = rows + r * stride;
+    bool covers = true;
+    for (std::size_t w = 0; w < words; ++w) {
+      if ((row[w] & mask[w]) != mask[w]) covers = false;
+    }
+    count += covers ? 1u : 0u;
+  }
+  return count;
+}
+
+/// Word patterns the vector lanes handle differently: dense random,
+/// all-zero, all-one, and sparse single-bit words.
+std::uint64_t patterned_word(Rng& rng) {
+  switch (rng.next_u64() % 4) {
+    case 0: return rng.next_u64();
+    case 1: return 0;
+    case 2: return ~0ULL;
+    default: return 1ULL << (rng.next_u64() % 64);
+  }
+}
+
+std::vector<Variant> supported_variants() {
+  std::vector<Variant> variants{Variant::kScalar};
+  if (supported(Variant::kAvx2)) variants.push_back(Variant::kAvx2);
+  if (supported(Variant::kAvx512)) variants.push_back(Variant::kAvx512);
+  return variants;
+}
+
+TEST(Simd, ScalarAlwaysSupported) {
+  EXPECT_TRUE(supported(Variant::kScalar));
+  EXPECT_NE(kernels(Variant::kScalar).and_popcount, nullptr);
+  EXPECT_NE(kernels(Variant::kScalar).subset_count, nullptr);
+  EXPECT_TRUE(supported(best_variant()));
+  EXPECT_EQ(active().variant, best_variant());
+}
+
+TEST(Simd, ToStringNamesEveryVariant) {
+  EXPECT_EQ(to_string(Variant::kScalar), "scalar");
+  EXPECT_EQ(to_string(Variant::kAvx2), "avx2");
+  EXPECT_EQ(to_string(Variant::kAvx512), "avx512");
+}
+
+TEST(Simd, ScalarMatchesNaiveReference) {
+  Rng rng(testing::fuzz_seed(41));
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t words = rng.next_u64() % 40;
+    std::vector<std::uint64_t> a(words), b(words);
+    for (auto& w : a) w = patterned_word(rng);
+    for (auto& w : b) w = patterned_word(rng);
+    EXPECT_EQ(and_popcount_scalar(a.data(), b.data(), words),
+              naive_and_popcount(a.data(), b.data(), words));
+  }
+}
+
+TEST(Simd, ScalarSubsetCountMatchesNaiveReference) {
+  Rng rng(testing::fuzz_seed(43));
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t words = 1 + rng.next_u64() % 6;
+    const std::size_t stride = words + rng.next_u64() % 3;
+    const std::size_t n_rows = rng.next_u64() % 30;
+    std::vector<std::uint64_t> rows(n_rows * stride);
+    std::vector<std::uint64_t> mask(words);
+    for (auto& w : rows) w = patterned_word(rng);
+    for (auto& w : mask) w = patterned_word(rng);
+    EXPECT_EQ(
+        subset_count_scalar(rows.data(), n_rows, stride, mask.data(), words),
+        naive_subset_count(rows.data(), n_rows, stride, mask.data(), words));
+  }
+}
+
+// ---- Cross-variant fuzz: every compiled variant must be bit-exact ------
+// against the scalar reference, across widths that land on every tail
+// configuration of the 256/512-bit loops (non-multiples of 4 and 8
+// words, widths below one vector, exact vector multiples, and the
+// mixed all-zero/all-one patterns above).
+
+TEST(SimdFuzz, AndPopcountVariantsAreBitExact) {
+  const auto variants = supported_variants();
+  if (variants.size() == 1) GTEST_SKIP() << "only scalar compiled in";
+  Rng rng(testing::fuzz_seed(47));
+  // Awkward widths around the 4-word (AVX2) and 8-word (AVX-512) vector
+  // boundaries, plus larger blocks that exercise the unrolled body.
+  const std::size_t widths[] = {0,  1,  2,  3,  4,  5,  7,  8,  9,  11,
+                                15, 16, 17, 23, 24, 25, 31, 32, 33, 63,
+                                64, 65, 127, 128, 129, 512, 513};
+  for (const std::size_t words : widths) {
+    for (int iter = 0; iter < 20; ++iter) {
+      std::vector<std::uint64_t> a(words), b(words);
+      for (auto& w : a) w = patterned_word(rng);
+      for (auto& w : b) w = patterned_word(rng);
+      const std::uint64_t expected =
+          kernels(Variant::kScalar).and_popcount(a.data(), b.data(), words);
+      for (const Variant variant : variants) {
+        EXPECT_EQ(kernels(variant).and_popcount(a.data(), b.data(), words),
+                  expected)
+            << to_string(variant) << " at words=" << words;
+      }
+    }
+  }
+}
+
+TEST(SimdFuzz, SubsetCountVariantsAreBitExact) {
+  const auto variants = supported_variants();
+  if (variants.size() == 1) GTEST_SKIP() << "only scalar compiled in";
+  Rng rng(testing::fuzz_seed(53));
+  // (words, stride) pairs covering the packed AVX-512 fast paths
+  // ((1,1), (2,2), (4,4)) and the general wide-row path, with row
+  // counts straddling the 8-, 4- and 2-rows-per-register groupings.
+  const std::size_t shapes[][2] = {{1, 1}, {2, 2}, {4, 4}, {1, 2},
+                                   {2, 4}, {3, 4}, {3, 3}, {5, 8},
+                                   {8, 8}, {9, 12}};
+  const std::size_t row_counts[] = {0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17,
+                                    31, 32, 33, 100};
+  for (const auto& shape : shapes) {
+    const std::size_t words = shape[0];
+    const std::size_t stride = shape[1];
+    for (const std::size_t n_rows : row_counts) {
+      std::vector<std::uint64_t> rows(n_rows * stride);
+      std::vector<std::uint64_t> mask(words);
+      for (auto& w : rows) w = patterned_word(rng);
+      for (auto& w : mask) w = patterned_word(rng);
+      const std::uint32_t expected = kernels(Variant::kScalar)
+          .subset_count(rows.data(), n_rows, stride, mask.data(), words);
+      for (const Variant variant : variants) {
+        EXPECT_EQ(kernels(variant).subset_count(rows.data(), n_rows, stride,
+                                                mask.data(), words),
+                  expected)
+            << to_string(variant) << " at words=" << words
+            << " stride=" << stride << " rows=" << n_rows;
+      }
+    }
+  }
+}
+
+TEST(SimdFuzz, SubsetCountAllOnesMaskRequiresFullRows) {
+  // mask = ~0 across every word: only all-ones rows may count.  This is
+  // the pattern where a lane-packing bug (padding words leaking into
+  // the comparison) shows up first.
+  const auto variants = supported_variants();
+  for (const std::size_t words : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{4}}) {
+    std::vector<std::uint64_t> mask(words, ~0ULL);
+    std::vector<std::uint64_t> rows(17 * words, ~0ULL);
+    rows[words * 9] ^= 1;  // one defective row
+    for (const Variant variant : variants) {
+      EXPECT_EQ(kernels(variant).subset_count(rows.data(), 17, words,
+                                              mask.data(), words),
+                16u)
+          << to_string(variant) << " words=" << words;
+    }
+  }
+}
+
+TEST(Simd, ForceVariantRedirectsActiveTable) {
+  for (const Variant variant : supported_variants()) {
+    VariantGuard guard(variant);
+    EXPECT_EQ(active().variant, variant);
+    const std::uint64_t a[] = {0xf0f0f0f0f0f0f0f0ULL, 0x1234567890abcdefULL};
+    const std::uint64_t b[] = {0xffffffffffffffffULL, 0xfedcba0987654321ULL};
+    EXPECT_EQ(and_popcount(a, b, 2), naive_and_popcount(a, b, 2));
+  }
+  EXPECT_EQ(active().variant, best_variant());
+}
+
+}  // namespace
+}  // namespace dml::simd

@@ -84,8 +84,9 @@ int usage() {
       "            the repository, serve only from that week on\n"
       "            [--warnings FILE]  dump the warning stream (one per\n"
       "            line) for byte-identity diffs across data planes\n"
-      "            [--profile]  print per-stage wall/CPU time (parse,\n"
-      "            preprocess, log I/O, retrain builds, serving)\n"
+      "            [--profile]  print per-stage wall/CPU time and\n"
+      "            events/s (parse, preprocess, log I/O, retrain builds,\n"
+      "            serving)\n"
       "            [--failpoint NAME=SPEC[,NAME=SPEC...]]  arm fault\n"
       "            injection; SPEC is throw|delay|drop|corrupt|off with\n"
       "            optional :p=PROB :ms=MILLIS :after=N :max=N\n"
@@ -105,13 +106,21 @@ double process_cpu_seconds() {
 struct StageTimes {
   double wall = 0.0;
   double cpu = 0.0;
+  /// Records/events processed by the stage (events/s column); 0 = not
+  /// counted.
+  std::uint64_t units = 0;
 };
 
-/// One row of the --profile table; cpu < 0 means "not measured".
+/// One row of the --profile table; cpu < 0 means "not measured", units
+/// of 0 means "no event rate for this stage".
 void add_profile_row(online::TablePrinter& table, const char* stage,
-                     double wall, double cpu) {
+                     double wall, double cpu, std::uint64_t units = 0) {
   table.add_row({stage, online::TablePrinter::fmt(wall, 4),
-                 cpu < 0 ? "-" : online::TablePrinter::fmt(cpu, 4)});
+                 cpu < 0 ? "-" : online::TablePrinter::fmt(cpu, 4),
+                 units > 0 && wall > 0
+                     ? online::TablePrinter::fmt(
+                           static_cast<double>(units) / wall, 0)
+                     : "-"});
 }
 
 /// The log-I/O rows of the --profile table — mmap time vs record-decode
@@ -210,12 +219,14 @@ std::optional<logio::EventStore> load_events(const std::string& path,
           std::chrono::duration<double>(Clock::now() - wall0).count();
       parse_times->cpu += process_cpu_seconds() - cpu0;
       if (!record) break;
+      ++parse_times->units;
       wall0 = Clock::now();
       cpu0 = process_cpu_seconds();
       pipeline.consume(*record);
       preprocess_times->wall +=
           std::chrono::duration<double>(Clock::now() - wall0).count();
       preprocess_times->cpu += process_cpu_seconds() - cpu0;
+      ++preprocess_times->units;
     }
   } else {
     while (auto record = reader.next()) pipeline.consume(*record);
@@ -641,7 +652,7 @@ int run_sharded(const online::DriverConfig& config,
     while (true) {
       batch.clear();
       if (cursor->next(batch, storage::kDefaultScanBatch) == 0) break;
-      for (const auto& event : batch) engine.consume(event);
+      engine.consume_batch(batch);
     }
   }
   const auto stats = engine.finish();
@@ -654,17 +665,19 @@ int run_sharded(const online::DriverConfig& config,
     // Serving is the sum of every shard worker's busy time (may exceed
     // the run's wall time when shards overlap); retrain builds run on
     // the shared pool, overlapped with serving.
-    online::TablePrinter profile_table({"stage", "wall-s", "cpu-s"});
+    online::TablePrinter profile_table(
+        {"stage", "wall-s", "cpu-s", "events/s"});
     add_profile_row(profile_table, "parse", parse_times.wall,
-                    parse_times.cpu);
+                    parse_times.cpu, parse_times.units);
     add_profile_row(profile_table, "preprocess", preprocess_times.wall,
-                    preprocess_times.cpu);
+                    preprocess_times.cpu, preprocess_times.units);
     add_log_io_rows(profile_table, io);
     add_profile_row(profile_table, "retrain-builds",
                     stats.retrain_build_seconds, -1.0);
-    add_profile_row(profile_table, "serving", stats.serving_seconds, -1.0);
+    add_profile_row(profile_table, "serving", stats.serving_seconds, -1.0,
+                    stats.events_after_filtering);
     add_profile_row(profile_table, "replay-total", wall_seconds,
-                    cpu_seconds);
+                    cpu_seconds, stats.records_consumed);
     profile_table.print(std::cout);
     print_log_io_summary(io);
   }
@@ -834,18 +847,20 @@ int cmd_run(const Flags& flags) {
     io.segments_opened = result.engine_stats.log_segments_opened;
     io.map_seconds = result.engine_stats.log_map_seconds;
     io.read_seconds = result.engine_stats.log_read_seconds;
-    online::TablePrinter profile_table({"stage", "wall-s", "cpu-s"});
+    online::TablePrinter profile_table(
+        {"stage", "wall-s", "cpu-s", "events/s"});
     add_profile_row(profile_table, "parse", parse_times.wall,
-                    parse_times.cpu);
+                    parse_times.cpu, parse_times.units);
     add_profile_row(profile_table, "preprocess", preprocess_times.wall,
-                    preprocess_times.cpu);
+                    preprocess_times.cpu, preprocess_times.units);
     add_log_io_rows(profile_table, io);
     add_profile_row(profile_table, "retrain-builds",
                     result.engine_stats.retrain_build_seconds, -1.0);
     add_profile_row(profile_table, "serving",
-                    result.engine_stats.serving_seconds, -1.0);
+                    result.engine_stats.serving_seconds, -1.0,
+                    result.engine_stats.events_after_filtering);
     add_profile_row(profile_table, "replay-total", wall_seconds,
-                    cpu_seconds);
+                    cpu_seconds, result.engine_stats.records_consumed);
     profile_table.print(std::cout);
     print_log_io_summary(io);
   }
