@@ -10,6 +10,8 @@
 //     ten-million-event tiled stream (--scale).
 //   - Raw kernels (--scale): and_popcount / subset_count per compiled
 //     SIMD variant against the scalar reference, on miner-shaped inputs.
+//   - Correlation graph build (last-seen recency table vs naive backward
+//     rescan) and chain-rule serving on a chain-heavy trace (§14).
 //
 // Both sides of every comparison are checked for identical output before
 // timing — a speedup on diverging results would be meaningless.  Every
@@ -25,8 +27,13 @@
 #include <string>
 #include <vector>
 
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
 #include "common/simd.hpp"
 #include "learners/apriori.hpp"
+#include "learners/correlation/correlation_learner.hpp"
 #include "learners/transactions.hpp"
 #include "meta/meta_learner.hpp"
 #include "online/report.hpp"
@@ -233,6 +240,207 @@ bool run_machine(const Workload& workload, bool quick, double target,
                               std::max(stage.optimized_seconds, 1e-12);
     results.push_back(stage);
   }
+  return true;
+}
+
+// ---- correlation-graph stages ------------------------------------------
+
+/// Naive O(n * window-events) graph builder: for every event, rescan the
+/// stream backward to the window horizon and take the most recent
+/// occurrence of each category as an edge source.  This is the "before"
+/// of EventGraph's per-scope last-seen recency table; both must produce
+/// identical edges (same weights, same counts), because each (source,
+/// target) pair contributes once per target event in event order.
+struct NaiveEdge {
+  double weight = 0.0;
+  std::uint32_t count = 0;
+};
+
+std::unordered_map<std::uint32_t, NaiveEdge> naive_graph_edges(
+    std::span<const bgl::Event> events,
+    const learners::correlation::EventGraphConfig& config) {
+  std::unordered_map<std::uint32_t, NaiveEdge> edges;
+  const double tau =
+      static_cast<double>(std::max<DurationSec>(1, config.decay_tau));
+  std::unordered_set<CategoryId> latest;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const bgl::Event& event = events[i];
+    if (event.category == kInvalidCategory) continue;
+    const std::uint32_t scope =
+        config.scope_by_midplane
+            ? event.location.enclosing_midplane().packed()
+            : 0;
+    const TimeSec horizon = event.time - config.window;
+    latest.clear();
+    for (std::size_t j = i; j-- > 0;) {
+      const bgl::Event& prior = events[j];
+      if (prior.time < horizon) break;
+      if (prior.fatal || prior.category == kInvalidCategory) continue;
+      if (config.scope_by_midplane &&
+          prior.location.enclosing_midplane().packed() != scope) {
+        continue;
+      }
+      if (!latest.insert(prior.category).second) continue;
+      if (prior.category == event.category) continue;
+      NaiveEdge& edge =
+          edges[(static_cast<std::uint32_t>(prior.category) << 16) |
+                event.category];
+      edge.weight +=
+          std::exp(-static_cast<double>(event.time - prior.time) / tau);
+      edge.count += 1;
+    }
+  }
+  return edges;
+}
+
+/// Graph build + chain-rule serving on a chain-heavy trace: the two hot
+/// paths the correlation subsystem adds (DESIGN.md section 14).
+bool run_correlation_stages(bool quick, double target, int max_reps,
+                            std::vector<StageResult>& results) {
+  auto profile = loggen::MachineProfile::sdsc();
+  profile.weeks = quick ? 8 : 16;
+  profile.reconfig_week = std::nullopt;
+  profile.chain_coverage = 0.6;
+  profile.chain_gap_mean = 400;  // stage gaps mostly beyond Wp=300
+  profile.chain_final_lead_max = 240;
+  const logio::EventStore store(
+      loggen::LogGenerator(profile, 2033).generate_unique_events());
+
+  const int train_weeks = quick ? 4 : 8;
+  const auto training =
+      store.between(store.first_time(),
+                    store.first_time() + train_weeks * kSecondsPerWeek);
+
+  // ---- Stage: correlation graph build ---------------------------------
+  const learners::correlation::EventGraphConfig graph_config;
+  learners::correlation::EventGraph graph(graph_config);
+  graph.accumulate(training);
+  const auto naive = naive_graph_edges(training, graph_config);
+  // Equivalence: every predecessor list must agree edge for edge.
+  std::unordered_map<CategoryId, std::uint32_t> naive_occurrences;
+  for (const auto& event : training) {
+    if (!event.fatal && event.category != kInvalidCategory) {
+      ++naive_occurrences[event.category];
+    }
+  }
+  for (CategoryId target_cat = 0; target_cat < bgl::taxonomy().size();
+       ++target_cat) {
+    const auto preds = graph.predecessors(target_cat, 0.0);
+    std::size_t naive_preds = 0;
+    for (const auto& [key, edge] : naive) {
+      if ((key & 0xFFFFu) != target_cat) continue;
+      const auto source = static_cast<CategoryId>(key >> 16);
+      const auto occ = naive_occurrences.find(source);
+      if (occ == naive_occurrences.end()) continue;
+      ++naive_preds;
+      const double confidence =
+          std::min(1.0, edge.weight / static_cast<double>(occ->second));
+      const auto match =
+          std::find_if(preds.begin(), preds.end(),
+                       [&](const auto& p) { return p.category == source; });
+      if (match == preds.end() || match->count != edge.count ||
+          std::abs(match->confidence - confidence) > 1e-12) {
+        std::fprintf(stderr, "FAIL: graph edge %u->%u diverges\n",
+                     unsigned(source), unsigned(target_cat));
+        return false;
+      }
+    }
+    if (naive_preds != preds.size()) {
+      std::fprintf(stderr, "FAIL: predecessor count diverges at %u\n",
+                   unsigned(target_cat));
+      return false;
+    }
+  }
+
+  StageResult build;
+  build.stage = "correlation_graph_build";
+  build.machine = "chain-sdsc";
+  build.detail = std::to_string(training.size()) + " events, " +
+                 std::to_string(graph.fatal_categories().size()) +
+                 " fatal categories";
+  build.set_timings(
+      bench::min_of_reps(
+          [&] {
+            auto edges = naive_graph_edges(training, graph_config);
+            if (edges.empty()) std::abort();
+          },
+          target, max_reps),
+      bench::min_of_reps(
+          [&] {
+            learners::correlation::EventGraph g(graph_config);
+            g.accumulate(training);
+            if (g.fatal_categories().empty()) std::abort();
+          },
+          target, max_reps));
+  build.events_per_second = static_cast<double>(training.size()) /
+                            std::max(build.optimized_seconds, 1e-12);
+  results.push_back(build);
+
+  // ---- Stage: chain-rule serving --------------------------------------
+  meta::MetaLearnerConfig config;
+  config.enable_correlation = true;
+  const meta::MetaLearner learner{config};
+  const auto repository = learner.learn(training, 300);
+  std::size_t chain_rules = 0;
+  for (const auto& stored : repository.rules()) {
+    if (stored.rule.source() == learners::RuleSource::kCorrelation) {
+      ++chain_rules;
+    }
+  }
+  const int serve_weeks = quick ? 2 : 6;
+  const auto serving = store.between(
+      store.first_time() + train_weeks * kSecondsPerWeek,
+      store.first_time() + (train_weeks + serve_weeks) * kSecondsPerWeek);
+
+  std::vector<predict::Warning> optimized_stream;
+  {
+    predict::Predictor predictor(repository, 300);
+    predictor.observe_batch(serving, optimized_stream);
+  }
+  std::vector<predict::Warning> reference_stream;
+  {
+    reference::ReferencePredictor predictor(repository, 300);
+    for (const auto& event : serving) {
+      const auto warnings = predictor.observe(event);
+      reference_stream.insert(reference_stream.end(), warnings.begin(),
+                              warnings.end());
+    }
+  }
+  if (!same_warnings(optimized_stream, reference_stream)) {
+    std::fprintf(stderr, "FAIL: chain serving streams diverge\n");
+    return false;
+  }
+
+  StageResult serving_stage;
+  serving_stage.stage = "chain_serving";
+  serving_stage.machine = "chain-sdsc";
+  serving_stage.detail =
+      std::to_string(serving.size()) + " events, " +
+      std::to_string(chain_rules) + " chain rules, " +
+      std::to_string(optimized_stream.size()) + " warnings";
+  serving_stage.set_timings(
+      bench::min_of_reps(
+          [&] {
+            reference::ReferencePredictor predictor(repository, 300);
+            std::size_t total = 0;
+            for (const auto& event : serving) {
+              total += predictor.observe(event).size();
+            }
+            if (total != reference_stream.size()) std::abort();
+          },
+          target, max_reps),
+      bench::min_of_reps(
+          [&] {
+            predict::Predictor predictor(repository, 300);
+            std::vector<predict::Warning> out;
+            predictor.observe_batch(serving, out);
+            if (out.size() != optimized_stream.size()) std::abort();
+          },
+          target, max_reps));
+  serving_stage.events_per_second =
+      static_cast<double>(serving.size()) /
+      std::max(serving_stage.optimized_seconds, 1e-12);
+  results.push_back(serving_stage);
   return true;
 }
 
@@ -582,6 +790,7 @@ int main(int argc, char** argv) {
   for (const auto& workload : workloads) {
     if (!run_machine(workload, quick, target, max_reps, results)) return 1;
   }
+  if (!run_correlation_stages(quick, target, max_reps, results)) return 1;
   if (scale) {
     // Long single calls: cap repeats well below the paper-scale count so
     // a full --scale run stays in minutes, min-of-N still applies.

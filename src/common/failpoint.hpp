@@ -85,6 +85,11 @@ inline constexpr std::string_view kLogioParse = "logio.parse";
 /// RetrainScheduler's build body — throw exercises the bounded-retry /
 /// keep-last-snapshot degradation path; delay simulates a slow build.
 inline constexpr std::string_view kRetrainBuild = "retrain.build";
+/// CorrelationLearner::learn (the event-graph build) — throw fails the
+/// fourth learner specifically, exercising the scheduler's per-learner
+/// failure attribution while serving keeps the last good snapshot.
+inline constexpr std::string_view kCorrelationBuild =
+    "learners.correlation.build";
 /// meta::SnapshotPublisher::store — delay stalls publication.
 inline constexpr std::string_view kSnapshotPublish = "snapshot.publish";
 /// ShardedEngine producer, before the shard-queue push — drop discards

@@ -1,0 +1,42 @@
+// Chain extraction: backward depth-first walks from each fatal category
+// along high-confidence correlation-graph edges, lowered into
+// learners::Rule (CorrelationChainRule) so the meta-learner, reviser and
+// predictor stay agnostic of how the chains were found.  Deterministic:
+// ascending-id iteration everywhere, no RNG.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "learners/correlation/event_graph.hpp"
+#include "learners/rule.hpp"
+
+namespace dml::learners::correlation {
+
+struct ChainMinerConfig {
+  /// Minimum per-edge confidence for an edge to be walkable.
+  double min_edge_confidence = 0.25;
+  /// Minimum product of edge confidences for a chain to be emitted.
+  double min_chain_confidence = 0.05;
+  /// Chain length bounds, in non-fatal stages.  The floor of 2 leaves
+  /// single-precursor pairs to the association learner (which refuses
+  /// them too: min_antecedent = 2) — a lone chatty warning is not a
+  /// chain.
+  std::size_t min_chain_length = 2;
+  std::size_t max_chain_length = 4;
+  /// Fan-in cap during the backward walk: only the top-k predecessors
+  /// (by confidence) of a node are explored, bounding the DFS.
+  std::size_t max_predecessors = 6;
+  /// Highest-confidence chains kept per fatal category.
+  std::size_t max_chains_per_fatal = 8;
+};
+
+/// Mines maximal high-confidence chains ending in each observed fatal
+/// category.  A chain is emitted where the backward walk can go no
+/// further (no predecessor passes the thresholds) or hits the length
+/// cap; emitting only maximal chains keeps one warning per cascade
+/// instead of one per suffix.
+std::vector<Rule> mine_chains(const EventGraph& graph,
+                              const ChainMinerConfig& config);
+
+}  // namespace dml::learners::correlation

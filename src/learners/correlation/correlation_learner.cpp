@@ -1,0 +1,19 @@
+#include "learners/correlation/correlation_learner.hpp"
+
+#include "common/failpoint.hpp"
+
+namespace dml::learners {
+
+std::vector<Rule> CorrelationLearner::learn(
+    std::span<const bgl::Event> training, DurationSec window) const {
+  common::failpoint(common::failpoints::kCorrelationBuild);
+  // Wp is deliberately not folded into the adjacency window: chains are
+  // interesting precisely where their stride exceeds Wp, and each mined
+  // rule carries its own stage_window for serving.
+  (void)window;
+  correlation::EventGraph graph(config_.graph);
+  graph.accumulate(training);
+  return correlation::mine_chains(graph, config_.miner);
+}
+
+}  // namespace dml::learners

@@ -1,0 +1,36 @@
+// Correlation-graph base learner (DESIGN.md §14): builds the time-decayed
+// event-correlation graph over the training span and lowers its
+// high-confidence chains into correlation-chain rules.  The fourth base
+// method in the mixture — it sees ordered multi-stage cascades whose
+// stage gaps exceed the prediction window Wp, which the flat windowed
+// learners cannot represent.
+#pragma once
+
+#include "learners/base_learner.hpp"
+#include "learners/correlation/chain_miner.hpp"
+#include "learners/correlation/event_graph.hpp"
+
+namespace dml::learners {
+
+struct CorrelationConfig {
+  correlation::EventGraphConfig graph;
+  correlation::ChainMinerConfig miner;
+};
+
+class CorrelationLearner final : public BaseLearner {
+ public:
+  explicit CorrelationLearner(CorrelationConfig config = {})
+      : config_(config) {}
+
+  RuleSource source() const override { return RuleSource::kCorrelation; }
+
+  std::vector<Rule> learn(std::span<const bgl::Event> training,
+                          DurationSec window) const override;
+
+  const CorrelationConfig& config() const { return config_; }
+
+ private:
+  CorrelationConfig config_;
+};
+
+}  // namespace dml::learners

@@ -1,0 +1,90 @@
+#include "learners/correlation/event_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dml::learners::correlation {
+
+namespace {
+
+constexpr TimeSec kNever = std::numeric_limits<TimeSec>::min();
+
+std::uint32_t edge_key(CategoryId source, CategoryId target) {
+  return (static_cast<std::uint32_t>(source) << 16) | target;
+}
+
+}  // namespace
+
+void EventGraph::accumulate(std::span<const bgl::Event> events) {
+  // Fresh span: adjacency must not leak across the seam between calls.
+  for (auto& [scope, seen] : last_seen_) {
+    std::fill(seen.begin(), seen.end(), kNever);
+  }
+
+  const double tau =
+      static_cast<double>(std::max<DurationSec>(1, config_.decay_tau));
+  for (const bgl::Event& event : events) {
+    const CategoryId cat = event.category;
+    if (cat == kInvalidCategory) continue;
+    const std::size_t need = static_cast<std::size_t>(cat) + 1;
+    if (occurrences_.size() < need) {
+      occurrences_.resize(need, 0);
+      fatal_occurrences_.resize(need, 0);
+    }
+
+    const std::uint32_t scope =
+        config_.scope_by_midplane
+            ? event.location.enclosing_midplane().packed()
+            : 0;
+    std::vector<TimeSec>& seen = last_seen_[scope];
+    if (seen.size() < need) seen.resize(need, kNever);
+
+    // Edges from every category recently seen in this scope.  O(#cats)
+    // per event; the taxonomy is ~220 categories, so this stays linear
+    // in practice (see bench_hot_paths' graph-build timing).
+    const TimeSec horizon = event.time - config_.window;
+    for (CategoryId a = 0; a < seen.size(); ++a) {
+      const TimeSec t_a = seen[a];
+      if (t_a == kNever || t_a < horizon || a == cat) continue;
+      Edge& edge = edges_[edge_key(a, cat)];
+      edge.weight += std::exp(-static_cast<double>(event.time - t_a) / tau);
+      edge.count += 1;
+    }
+
+    if (event.fatal) {
+      // Fatal events terminate chains; they never act as sources, so
+      // they are not entered into the recency table.
+      if (fatal_occurrences_[cat]++ == 0) {
+        fatal_categories_.insert(
+            std::lower_bound(fatal_categories_.begin(),
+                             fatal_categories_.end(), cat),
+            cat);
+      }
+    } else {
+      ++occurrences_[cat];
+      seen[cat] = event.time;
+    }
+  }
+}
+
+std::vector<EventGraph::Predecessor> EventGraph::predecessors(
+    CategoryId target, double min_confidence) const {
+  std::vector<Predecessor> out;
+  for (const auto& [key, edge] : edges_) {
+    if ((key & 0xFFFFu) != target) continue;
+    const CategoryId source = static_cast<CategoryId>(key >> 16);
+    const std::uint32_t occ = occurrences(source);
+    if (occ == 0) continue;
+    const double confidence = std::min(1.0, edge.weight / occ);
+    if (confidence < min_confidence) continue;
+    out.push_back({source, confidence, edge.count});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Predecessor& a, const Predecessor& b) {
+              return a.category < b.category;
+            });
+  return out;
+}
+
+}  // namespace dml::learners::correlation

@@ -1,0 +1,90 @@
+// Event-correlation graph (LogMaster-style, arXiv:1003.0951): a directed
+// graph over event categories whose edge a -> b accumulates one
+// time-decayed contribution every time b occurs within the adjacency
+// window after the most recent a in the same scope.  The decay kernel
+// exp(-gap / tau) makes tight causal couplings weigh more than loose
+// ones; window-level recency (forgetting old behaviour entirely) is the
+// retraining regime's job, not the graph's.  See DESIGN.md §14.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "bgl/record.hpp"
+#include "common/types.hpp"
+
+namespace dml::learners::correlation {
+
+struct EventGraphConfig {
+  /// Adjacency window: b is adjacent to a when it occurs at most this
+  /// long after a's most recent occurrence.  Deliberately wider than the
+  /// prediction window Wp — chains whose stage gaps exceed Wp are the
+  /// ones the flat windowed learners cannot represent.
+  DurationSec window = 900;
+  /// Decay time constant of the edge-weight kernel exp(-gap / tau).
+  DurationSec decay_tau = 300;
+  /// Accumulate adjacency within a midplane only: co-occurrence across
+  /// unrelated midplanes is coincidence, not causality.  (Cross-midplane
+  /// cascade hops pay a weight penalty; the miner's thresholds are low
+  /// enough that moderately hopping chains still surface.)
+  bool scope_by_midplane = true;
+};
+
+class EventGraph {
+ public:
+  explicit EventGraph(EventGraphConfig config = {}) : config_(config) {}
+
+  /// Folds a time-ordered event span into the graph.  May be called
+  /// repeatedly; spans are treated as independent (no adjacency across
+  /// the seam).
+  void accumulate(std::span<const bgl::Event> events);
+
+  /// An incoming edge of some target category.
+  struct Predecessor {
+    CategoryId category = kInvalidCategory;
+    /// weight(a -> b) / occurrences(a), clamped to [0, 1]: the decayed
+    /// fraction of a's occurrences that b followed.
+    double confidence = 0.0;
+    /// Raw (undecayed) co-occurrence count of the edge.
+    std::uint32_t count = 0;
+  };
+
+  /// Incoming edges of `target` with confidence >= min_confidence, in
+  /// ascending source-category order (deterministic mining).
+  std::vector<Predecessor> predecessors(CategoryId target,
+                                        double min_confidence) const;
+
+  /// Fatal categories observed at least once, ascending.
+  const std::vector<CategoryId>& fatal_categories() const {
+    return fatal_categories_;
+  }
+
+  std::uint32_t occurrences(CategoryId c) const {
+    return c < occurrences_.size() ? occurrences_[c] : 0;
+  }
+  std::uint32_t fatal_occurrences(CategoryId c) const {
+    return c < fatal_occurrences_.size() ? fatal_occurrences_[c] : 0;
+  }
+
+  std::size_t edge_count() const { return edges_.size(); }
+  const EventGraphConfig& config() const { return config_; }
+
+ private:
+  struct Edge {
+    double weight = 0.0;
+    std::uint32_t count = 0;
+  };
+
+  EventGraphConfig config_;
+  /// Edge key: (source << 16) | target.
+  std::unordered_map<std::uint32_t, Edge> edges_;
+  /// Per-scope last-occurrence time of each non-fatal category.
+  std::unordered_map<std::uint32_t, std::vector<TimeSec>> last_seen_;
+  std::vector<std::uint32_t> occurrences_;        // non-fatal, as sources
+  std::vector<std::uint32_t> fatal_occurrences_;  // chain consequents
+  std::vector<CategoryId> fatal_categories_;
+};
+
+}  // namespace dml::learners::correlation

@@ -12,6 +12,7 @@ std::string_view to_string(RuleSource source) {
     case RuleSource::kDistribution: return "distribution";
     case RuleSource::kDecisionTree: return "decision-tree";
     case RuleSource::kNeuralNet: return "neural-net";
+    case RuleSource::kCorrelation: return "correlation";
   }
   return "unknown";
 }
@@ -32,6 +33,9 @@ RuleSource Rule::source() const {
     }
     RuleSource operator()(const NeuralNetRule&) const {
       return RuleSource::kNeuralNet;
+    }
+    RuleSource operator()(const CorrelationChainRule&) const {
+      return RuleSource::kCorrelation;
     }
   };
   return std::visit(Visitor{}, body_);
@@ -66,6 +70,18 @@ std::string Rule::identity() const {
     }
     std::string operator()(const NeuralNetRule& r) const {
       return "NN:h" + std::to_string(r.net.hidden_units());
+    }
+    std::string operator()(const CorrelationChainRule& r) const {
+      // Order matters: the same stage set in a different order is a
+      // different chain, so '>' separators (not the AR form's commas).
+      std::string id = "CC:";
+      for (std::size_t i = 0; i < r.chain.size(); ++i) {
+        if (i != 0) id += '>';
+        id += std::to_string(r.chain[i]);
+      }
+      id += "->";
+      id += std::to_string(r.consequent);
+      return id;
     }
   };
   return std::visit(Visitor{}, body_);
@@ -116,6 +132,17 @@ std::string Rule::describe(const bgl::Taxonomy& taxonomy) const {
                     "neural net (%zu hidden units), p >= %.2f -> failure",
                     r.net.hidden_units(), r.probability_threshold);
       return buf;
+    }
+    std::string operator()(const CorrelationChainRule& r) const {
+      std::string out;
+      for (std::size_t i = 0; i < r.chain.size(); ++i) {
+        if (i != 0) out += " > ";
+        out += tax.category(r.chain[i]).name;
+      }
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), ": %.2f", r.confidence);
+      out += " => " + tax.category(r.consequent).name + buf;
+      return out;
     }
   };
   return std::visit(Visitor{taxonomy}, body_);

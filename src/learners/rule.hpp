@@ -10,6 +10,9 @@
 //  * neural-network rules: MLP over the same features       [NN]
 //    (DT and NN are the paper's §7 future-work learners, disabled by
 //    default so the headline reproduction runs the paper's trio)
+//  * correlation-chain rules: ordered multi-stage precursor
+//    chains mined from the event-correlation graph            [CC]
+//    (LogMaster-style, arXiv:1003.0951; DESIGN.md §14)
 #pragma once
 
 #include <cstdint>
@@ -31,9 +34,12 @@ enum class RuleSource : std::uint8_t {
   kDistribution = 2,
   kDecisionTree = 3,
   kNeuralNet = 4,
+  // Appended (not renumbered) so per-source arrays, coverage bitmasks
+  // and serialized rule files from earlier versions keep their meaning.
+  kCorrelation = 5,
 };
 
-inline constexpr std::size_t kNumRuleSources = 5;
+inline constexpr std::size_t kNumRuleSources = 6;
 
 std::string_view to_string(RuleSource source);
 
@@ -74,11 +80,30 @@ struct NeuralNetRule {
   double probability_threshold = 0.5;
 };
 
+struct CorrelationChainRule {
+  /// Ordered non-fatal stages (order-significant, unlike an association
+  /// antecedent): the predictor fires only when the stages occurred in
+  /// this order, ending with the most recent one.
+  std::vector<CategoryId> chain;
+  /// Predicted fatal category.
+  CategoryId consequent = kInvalidCategory;
+  /// Product of the chain's edge confidences in the correlation graph.
+  double confidence = 0.0;
+  /// Weakest-edge co-occurrence count, normalized by the consequent's
+  /// occurrence count (clamped to [0, 1]).
+  double support = 0.0;
+  /// Max gap between consecutive matched stages — the adjacency window
+  /// the chain was mined with.  Also the warning horizon after the last
+  /// stage (a chain's stride can exceed the prediction window Wp; that
+  /// is exactly what the flat windowed learners cannot see).
+  DurationSec stage_window = 600;
+};
+
 class Rule {
  public:
   using Body = std::variant<AssociationRule, StatisticalRule,
                             DistributionRule, DecisionTreeRule,
-                            NeuralNetRule>;
+                            NeuralNetRule, CorrelationChainRule>;
 
   Rule() : body_(StatisticalRule{}) {}
   explicit Rule(Body body) : body_(std::move(body)) {}
@@ -100,6 +125,9 @@ class Rule {
   }
   const NeuralNetRule* as_neural_net() const {
     return std::get_if<NeuralNetRule>(&body_);
+  }
+  const CorrelationChainRule* as_correlation() const {
+    return std::get_if<CorrelationChainRule>(&body_);
   }
 
   /// Stable identity for rule-churn accounting (Figure 12): two rules

@@ -121,6 +121,11 @@ LogGenerator::LogGenerator(MachineProfile profile, std::uint64_t seed)
                                 : profile_.end_time();
     SignatureLibrary lib = SignatureLibrary::make(
         seed_, static_cast<int>(era), profile_.precursor_coverage, pool);
+    if (profile_.chain_coverage > 0.0) {
+      lib.add_chains(seed_, static_cast<int>(era),
+                     {profile_.chain_coverage, profile_.chain_gap_mean,
+                      profile_.chain_final_lead_max});
+    }
     signature_timeline_.emplace_back(era_begin, lib);
     const DurationSec period =
         std::max(1, profile_.drift_period_weeks) * kSecondsPerWeek;
@@ -365,6 +370,32 @@ std::vector<LogGenerator::UniqueEvent> LogGenerator::assemble_unique(
           }
           add(occ.time - lead, pre, job);
           forced_midplane.reset();
+        }
+      }
+      // Ordered correlation-chain cascade: stages are placed backward
+      // from the fatal — the last stage within final_lead_max (inside
+      // Wp), each earlier stage a further [mean/2, 3*mean/2] back, so
+      // the full chain usually spans several prediction windows.
+      const auto* chain = library_at(occ.time).find_chain(occ.category);
+      if (chain != nullptr && fatal_rng.bernoulli(chain->emission_prob)) {
+        TimeSec stage_time =
+            occ.time - 1 -
+            static_cast<TimeSec>(fatal_rng.uniform_index(
+                static_cast<std::uint64_t>(
+                    std::max<DurationSec>(1, chain->final_lead_max))));
+        for (auto it = chain->stages.rbegin(); it != chain->stages.rend();
+             ++it) {
+          // Stages report from the failing midplane unless this one hops.
+          if (fatal_midplane && !fatal_rng.bernoulli(profile_.chain_hop_prob)) {
+            forced_midplane = fatal_midplane;
+          }
+          add(stage_time, *it, job);
+          forced_midplane.reset();
+          const auto mean = static_cast<double>(
+              std::max<DurationSec>(4, chain->stage_gap_mean));
+          stage_time -= static_cast<TimeSec>(
+              mean * 0.5 + static_cast<double>(fatal_rng.uniform_index(
+                               static_cast<std::uint64_t>(mean))));
         }
       }
       // Coincidental decoy chatter shortly before this failure.

@@ -73,6 +73,23 @@ struct MachineProfile {
   /// carry precursors — the paper reports "up to 75%" arriving without
   /// any.
   double precursor_coverage = 0.65;
+  /// Correlation-chain fault signatures: fraction of fatal categories
+  /// whose failures are preceded by an *ordered* multi-stage cascade
+  /// (ChainSignature).  0 (the default) emits no chains and leaves the
+  /// trace byte-identical to the pre-chain generator.
+  double chain_coverage = 0.0;
+  /// Library-wide mean inter-stage delay.  Set it well above Wp to make
+  /// chains invisible to windowed transaction mining (only the
+  /// correlation-graph learner recovers them); gaps are uniform in
+  /// [mean/2, 3*mean/2].
+  DurationSec chain_gap_mean = 90;
+  /// The final stage lands within this of the fatal (keep below Wp).
+  DurationSec chain_final_lead_max = 240;
+  /// Per-stage probability of a cross-midplane hop: the stage reports
+  /// from an unrelated midplane instead of the failing one (breaks
+  /// scoped matching for that occurrence — chains are mostly, not
+  /// perfectly, local).
+  double chain_hop_prob = 0.1;
   /// Signature drift cadence/intensity within an era: strong enough that
   /// a rule set frozen on the initial six months visibly decays
   /// (Figure 7/9's "static" curves), gentle enough that a recent

@@ -41,6 +41,32 @@ PrecursorSignature SignatureLibrary::draw_signature(CategoryId fatal,
   return sig;
 }
 
+ChainSignature SignatureLibrary::draw_chain(CategoryId fatal, Rng& rng,
+                                            const WeightedPool& pool,
+                                            const ChainParams& params) {
+  ChainSignature chain;
+  chain.fatal = fatal;
+  const std::size_t count =
+      std::min<std::size_t>(2 + rng.uniform_index(3),  // 2..4 stages
+                            pool.categories.size());
+  while (chain.stages.size() < count) {
+    const CategoryId pick =
+        pool.categories[rng.weighted_index(pool.weights)];
+    if (std::find(chain.stages.begin(), chain.stages.end(), pick) ==
+        chain.stages.end()) {
+      chain.stages.push_back(pick);  // draw order *is* the causal order
+    }
+  }
+  chain.emission_prob = rng.uniform(0.7, 0.95);
+  // Per-signature mean jitters around the library-wide mean by ±25%.
+  const auto base = static_cast<double>(std::max<DurationSec>(4, params.gap_mean));
+  chain.stage_gap_mean = static_cast<DurationSec>(
+      base * 0.75 + static_cast<double>(rng.uniform_index(
+                        static_cast<std::uint64_t>(base * 0.5))));
+  chain.final_lead_max = params.final_lead_max;
+  return chain;
+}
+
 SignatureLibrary SignatureLibrary::make(std::uint64_t seed, int era,
                                         double coverage, WeightedPool pool) {
   // Mix the era into the seed so each era's patterns are unrelated.
@@ -62,10 +88,32 @@ SignatureLibrary SignatureLibrary::make(std::uint64_t seed, int era,
   return lib;
 }
 
+void SignatureLibrary::add_chains(std::uint64_t seed, int era,
+                                  const ChainParams& params) {
+  // Independent salt: the precursor stream above never sees these draws.
+  Rng rng(seed ^ ((0xC4A1ULL << 32) + static_cast<std::uint64_t>(era) *
+                                          0x9E3779B97F4A7C15ULL));
+  chain_params_ = params;
+  chains_.clear();
+  if (pool_.categories.size() < 2) return;
+  for (CategoryId fatal : bgl::taxonomy().fatal_ids()) {
+    if (rng.bernoulli(params.coverage)) {
+      chains_.push_back(draw_chain(fatal, rng, pool_, params));
+    }
+  }
+}
+
 void SignatureLibrary::drift(Rng& rng, double fraction) {
   for (auto& sig : signatures_) {
     if (rng.bernoulli(fraction)) {
       sig = draw_signature(sig.fatal, rng, pool_);
+    }
+  }
+  // Zero extra draws when no chains exist, so chain-free traces stay
+  // byte-identical to the pre-chain generator.
+  for (auto& chain : chains_) {
+    if (rng.bernoulli(fraction)) {
+      chain = draw_chain(chain.fatal, rng, pool_, chain_params_);
     }
   }
 }
@@ -73,6 +121,13 @@ void SignatureLibrary::drift(Rng& rng, double fraction) {
 const PrecursorSignature* SignatureLibrary::find(CategoryId fatal) const {
   for (const auto& sig : signatures_) {
     if (sig.fatal == fatal) return &sig;
+  }
+  return nullptr;
+}
+
+const ChainSignature* SignatureLibrary::find_chain(CategoryId fatal) const {
+  for (const auto& chain : chains_) {
+    if (chain.fatal == fatal) return &chain;
   }
   return nullptr;
 }

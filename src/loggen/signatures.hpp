@@ -35,6 +35,37 @@ struct PrecursorSignature {
   DurationSec max_lead = 240;
 };
 
+/// An *ordered* multi-stage precursor cascade: stage[0] fires first,
+/// each later stage follows after roughly stage_gap_mean seconds, and
+/// the final stage lands within final_lead_max of the fatal.  Unlike
+/// PrecursorSignature (an unordered set inside one prediction window),
+/// the inter-stage gaps typically exceed Wp — only a learner that walks
+/// event-to-event correlations (the correlation-graph miner) can see the
+/// whole chain.
+struct ChainSignature {
+  CategoryId fatal = kInvalidCategory;
+  /// 2-4 distinct non-fatal categories in causal order.
+  std::vector<CategoryId> stages;
+  /// Probability the cascade actually precedes an occurrence of `fatal`.
+  double emission_prob = 0.8;
+  /// Gap between consecutive stages is uniform in
+  /// [stage_gap_mean/2, 3*stage_gap_mean/2].
+  DurationSec stage_gap_mean = 90;
+  /// The final stage is placed uniformly in [t_fatal - final_lead_max,
+  /// t_fatal); keep this below Wp so the last hop is servable.
+  DurationSec final_lead_max = 240;
+};
+
+/// Knobs for the chain-signature sweep of a library.
+struct ChainParams {
+  /// Fraction of fatal categories given a chain signature.
+  double coverage = 0.0;
+  /// Library-wide mean inter-stage gap; per-signature means jitter
+  /// around it.
+  DurationSec gap_mean = 90;
+  DurationSec final_lead_max = 240;
+};
+
 /// Candidate precursor categories with sampling weights.  Machines draw
 /// precursors proportionally to how much each facility actually chatters
 /// (a silent facility has weight zero and never appears).
@@ -55,15 +86,25 @@ class SignatureLibrary {
   static SignatureLibrary make(std::uint64_t seed, int era, double coverage,
                                WeightedPool pool = {});
 
-  /// Replaces ~`fraction` of the signatures with freshly drawn ones —
-  /// the slow behavioural drift that erodes static rule sets.
+  /// Adds chain signatures for ~`params.coverage` of the fatal
+  /// categories.  Drawn from an independently salted stream, so calling
+  /// this never perturbs the precursor signatures — a library built
+  /// without chains is byte-identical to one built before chains
+  /// existed.
+  void add_chains(std::uint64_t seed, int era, const ChainParams& params);
+
+  /// Replaces ~`fraction` of the signatures (and chain signatures, when
+  /// present) with freshly drawn ones — the slow behavioural drift that
+  /// erodes static rule sets.
   void drift(Rng& rng, double fraction);
 
   const std::vector<PrecursorSignature>& signatures() const {
     return signatures_;
   }
+  const std::vector<ChainSignature>& chains() const { return chains_; }
 
   const PrecursorSignature* find(CategoryId fatal) const;
+  const ChainSignature* find_chain(CategoryId fatal) const;
 
   /// Non-fatal categories eligible as precursors (warning-ish severities).
   static std::vector<CategoryId> precursor_pool();
@@ -71,9 +112,14 @@ class SignatureLibrary {
  private:
   static PrecursorSignature draw_signature(CategoryId fatal, Rng& rng,
                                            const WeightedPool& pool);
+  static ChainSignature draw_chain(CategoryId fatal, Rng& rng,
+                                   const WeightedPool& pool,
+                                   const ChainParams& params);
 
   std::vector<PrecursorSignature> signatures_;
+  std::vector<ChainSignature> chains_;
   WeightedPool pool_;
+  ChainParams chain_params_;
 };
 
 }  // namespace dml::loggen

@@ -22,7 +22,8 @@ MetaLearner::MetaLearner(MetaLearnerConfig config)
       statistical_(config.statistical),
       distribution_(config.distribution),
       decision_tree_(config.decision_tree),
-      neural_net_(config.neural_net) {}
+      neural_net_(config.neural_net),
+      correlation_(config.correlation) {}
 
 KnowledgeRepository MetaLearner::learn(std::span<const bgl::Event> training,
                                        DurationSec window,
@@ -32,9 +33,18 @@ KnowledgeRepository MetaLearner::learn(std::span<const bgl::Event> training,
   auto run_learner = [&](const learners::BaseLearner& learner,
                          double* seconds) {
     const auto start = Clock::now();
-    auto rules = learner.learn(training, window);
-    if (seconds != nullptr) *seconds = seconds_since(start);
-    return rules;
+    try {
+      auto rules = learner.learn(training, window);
+      if (seconds != nullptr) *seconds = seconds_since(start);
+      return rules;
+    } catch (const LearnerError&) {
+      throw;
+    } catch (const std::exception& e) {
+      // Tag the failure with the learner it came from; retrain failure
+      // records surface the stage to the operator.
+      throw LearnerError(std::string(learners::to_string(learner.source())),
+                         e.what());
+    }
   };
 
   TrainTimes local;
@@ -43,15 +53,17 @@ KnowledgeRepository MetaLearner::learn(std::span<const bgl::Event> training,
   std::vector<learners::Rule> distribution_rules;
   std::vector<learners::Rule> tree_rules;
   std::vector<learners::Rule> net_rules;
+  std::vector<learners::Rule> chain_rules;
 
   if (config_.parallel_training && ThreadPool::shared().size() > 1) {
-    // Statistical, distribution, and tree learning go to the pool;
-    // association mining (the expensive stage) runs on the calling
-    // thread.
+    // Statistical, distribution, tree, net, and correlation learning go
+    // to the pool; association mining (the expensive stage) runs on the
+    // calling thread.
     std::future<std::vector<learners::Rule>> stat_future;
     std::future<std::vector<learners::Rule>> dist_future;
     std::future<std::vector<learners::Rule>> tree_future;
     std::future<std::vector<learners::Rule>> net_future;
+    std::future<std::vector<learners::Rule>> chain_future;
     if (config_.enable_statistical) {
       stat_future = ThreadPool::shared().submit([&] {
         return run_learner(statistical_, &local.statistical_seconds);
@@ -72,6 +84,11 @@ KnowledgeRepository MetaLearner::learn(std::span<const bgl::Event> training,
         return run_learner(neural_net_, &local.neural_net_seconds);
       });
     }
+    if (config_.enable_correlation) {
+      chain_future = ThreadPool::shared().submit([&] {
+        return run_learner(correlation_, &local.correlation_seconds);
+      });
+    }
     if (config_.enable_association) {
       association_rules = run_learner(association_, &local.association_seconds);
     }
@@ -79,6 +96,7 @@ KnowledgeRepository MetaLearner::learn(std::span<const bgl::Event> training,
     if (dist_future.valid()) distribution_rules = dist_future.get();
     if (tree_future.valid()) tree_rules = tree_future.get();
     if (net_future.valid()) net_rules = net_future.get();
+    if (chain_future.valid()) chain_rules = chain_future.get();
   } else {
     if (config_.enable_association) {
       association_rules = run_learner(association_, &local.association_seconds);
@@ -96,14 +114,20 @@ KnowledgeRepository MetaLearner::learn(std::span<const bgl::Event> training,
     if (config_.enable_neural_net) {
       net_rules = run_learner(neural_net_, &local.neural_net_seconds);
     }
+    if (config_.enable_correlation) {
+      chain_rules = run_learner(correlation_, &local.correlation_seconds);
+    }
   }
 
   const auto ensemble_start = Clock::now();
   KnowledgeRepository repository;
   // Insertion order encodes the mixture-of-experts precedence:
-  // association, then statistical, then decision tree, then probability
-  // distribution as the fallback expert.
+  // association, then the correlation chains (a pattern expert like
+  // association, but over ordered cross-window cascades), then
+  // statistical, then decision tree, then probability distribution as
+  // the fallback expert.
   for (auto& rule : association_rules) repository.add(std::move(rule));
+  for (auto& rule : chain_rules) repository.add(std::move(rule));
   for (auto& rule : statistical_rules) repository.add(std::move(rule));
   for (auto& rule : tree_rules) repository.add(std::move(rule));
   for (auto& rule : net_rules) repository.add(std::move(rule));

@@ -9,9 +9,12 @@
 #include <array>
 #include <memory>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "learners/association_learner.hpp"
+#include "learners/correlation/correlation_learner.hpp"
 #include "learners/decision_tree_learner.hpp"
 #include "learners/distribution_learner.hpp"
 #include "learners/neural_net_learner.hpp"
@@ -26,6 +29,7 @@ struct MetaLearnerConfig {
   learners::DistributionConfig distribution;
   learners::DecisionTreeConfig decision_tree;
   learners::NeuralNetLearnerConfig neural_net;
+  learners::CorrelationConfig correlation;
   /// Which base learners participate (the paper's trio by default; the
   /// Figure 7 bench disables two at a time to measure each learner
   /// standalone).
@@ -36,9 +40,27 @@ struct MetaLearnerConfig {
   /// reproduction uses exactly the paper's ensemble.
   bool enable_decision_tree = false;
   bool enable_neural_net = false;
+  /// The correlation-graph chain miner (DESIGN.md §14); off by default
+  /// for the same reason.
+  bool enable_correlation = false;
   /// Train base learners concurrently on the shared pool ("the rule
   /// generation process can be conducted in parallel", §5.2.4).
   bool parallel_training = true;
+};
+
+/// A base learner failed mid-training, tagged with which one so retrain
+/// failure records can attribute the failure per learner.
+class LearnerError : public std::runtime_error {
+ public:
+  LearnerError(std::string stage, const std::string& message)
+      : std::runtime_error(stage + " learner failed: " + message),
+        stage_(std::move(stage)) {}
+
+  /// Learner name as in learners::to_string(RuleSource).
+  const std::string& stage() const { return stage_; }
+
+ private:
+  std::string stage_;
 };
 
 /// Wall-clock cost of one training pass, per stage (Table 5 columns).
@@ -48,12 +70,25 @@ struct TrainTimes {
   double distribution_seconds = 0.0;
   double decision_tree_seconds = 0.0;
   double neural_net_seconds = 0.0;
+  double correlation_seconds = 0.0;
   /// Ensemble assembly (+ the reviser when run by the caller).
   double ensemble_seconds = 0.0;
 
   double total_seconds() const {
     return association_seconds + statistical_seconds + distribution_seconds +
-           decision_tree_seconds + neural_net_seconds + ensemble_seconds;
+           decision_tree_seconds + neural_net_seconds + correlation_seconds +
+           ensemble_seconds;
+  }
+
+  TrainTimes& operator+=(const TrainTimes& other) {
+    association_seconds += other.association_seconds;
+    statistical_seconds += other.statistical_seconds;
+    distribution_seconds += other.distribution_seconds;
+    decision_tree_seconds += other.decision_tree_seconds;
+    neural_net_seconds += other.neural_net_seconds;
+    correlation_seconds += other.correlation_seconds;
+    ensemble_seconds += other.ensemble_seconds;
+    return *this;
   }
 };
 
@@ -76,6 +111,7 @@ class MetaLearner {
   learners::DistributionLearner distribution_;
   learners::DecisionTreeLearner decision_tree_;
   learners::NeuralNetLearner neural_net_;
+  learners::CorrelationLearner correlation_;
 };
 
 }  // namespace dml::meta

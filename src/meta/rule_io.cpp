@@ -13,7 +13,11 @@
 namespace dml::meta {
 namespace {
 
-constexpr std::string_view kHeader = "# DML-RULES v1";
+// v2 added the CC (correlation chain) line type.  Writers emit the
+// current version; the reader accepts any known one, so rule files
+// produced before the chain learner existed still load.
+constexpr std::string_view kHeaderV1 = "# DML-RULES v1";
+constexpr std::string_view kHeaderV2 = "# DML-RULES v2";
 
 std::optional<double> parse_double(std::string_view s) {
   // std::from_chars<double> support is spotty pre-GCC11 for some modes;
@@ -119,6 +123,34 @@ std::optional<learners::Rule> parse_decision_tree(
   return learners::Rule{learners::Rule::Body(std::move(rule))};
 }
 
+std::optional<learners::Rule> parse_correlation(
+    const std::vector<std::string_view>& fields,
+    const bgl::Taxonomy& taxonomy) {
+  if (fields.size() != 6) return std::nullopt;
+  const auto confidence = parse_double(fields[1]);
+  const auto support = parse_double(fields[2]);
+  const auto stage_window = parse_int(fields[3]);
+  const auto consequent = taxonomy.find_by_name(fields[4]);
+  if (!confidence || !support || !stage_window || *stage_window <= 0 ||
+      !consequent) {
+    return std::nullopt;
+  }
+
+  learners::CorrelationChainRule rule;
+  rule.confidence = *confidence;
+  rule.support = *support;
+  rule.stage_window = *stage_window;
+  rule.consequent = *consequent;
+  for (std::string_view name : split(fields[5], ',')) {
+    const auto id = taxonomy.find_by_name(name);
+    if (!id) return std::nullopt;
+    rule.chain.push_back(*id);
+  }
+  // Unlike the AR antecedent, the chain is ordered — no sort.
+  if (rule.chain.empty()) return std::nullopt;
+  return learners::Rule{learners::Rule::Body(std::move(rule))};
+}
+
 std::optional<learners::Rule> parse_neural_net(
     const std::vector<std::string_view>& fields) {
   if (fields.size() != 3) return std::nullopt;
@@ -183,6 +215,17 @@ std::string rule_to_line(const learners::Rule& rule,
       return "NN|" + format_double(r.probability_threshold) + '|' +
              r.net.serialize();
     }
+    std::string operator()(const learners::CorrelationChainRule& r) const {
+      std::string line = "CC|" + format_double(r.confidence) + '|' +
+                         format_double(r.support) + '|' +
+                         std::to_string(r.stage_window) + '|' +
+                         tax.category(r.consequent).name + '|';
+      for (std::size_t i = 0; i < r.chain.size(); ++i) {
+        if (i != 0) line += ',';
+        line += tax.category(r.chain[i]).name;
+      }
+      return line;
+    }
   };
   return std::visit(Visitor{taxonomy}, rule.body());
 }
@@ -196,12 +239,13 @@ std::optional<learners::Rule> rule_from_line(std::string_view line,
   if (fields[0] == "PD") return parse_distribution(fields);
   if (fields[0] == "DT") return parse_decision_tree(fields);
   if (fields[0] == "NN") return parse_neural_net(fields);
+  if (fields[0] == "CC") return parse_correlation(fields, taxonomy);
   return std::nullopt;
 }
 
 void write_rules(std::ostream& out, const KnowledgeRepository& repository,
                  const bgl::Taxonomy& taxonomy) {
-  out << kHeader << '\n';
+  out << kHeaderV2 << '\n';
   for (const auto& stored : repository.rules()) {
     out << rule_to_line(stored.rule, taxonomy) << '\n';
   }
@@ -218,11 +262,11 @@ KnowledgeRepository read_rules(std::istream& in,
     const std::string_view view = trim(line);
     if (view.empty()) continue;
     if (view.front() == '#') {
-      if (view == kHeader) saw_header = true;
+      if (view == kHeaderV1 || view == kHeaderV2) saw_header = true;
       continue;
     }
     if (!saw_header) {
-      throw std::runtime_error("rules file: missing '# DML-RULES v1' header");
+      throw std::runtime_error("rules file: missing '# DML-RULES' header");
     }
     auto rule = rule_from_line(view, taxonomy);
     if (!rule) {

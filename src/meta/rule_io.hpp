@@ -8,7 +8,12 @@
 //   AR|<confidence>|<support>|<consequent-name>|<antecedent-name>,...
 //   SR|<k>|<probability>
 //   PD|<family>|<param1>|<param2>|<cdf_threshold>|<elapsed_trigger>
-// with a header line `# DML-RULES v1` and '#' comments allowed.
+//   CC|<confidence>|<support>|<stage_window>|<consequent-name>|<stage>,...
+//     (stages ordered, NOT sorted — chain order is the rule)
+// with a header line `# DML-RULES v2` and '#' comments allowed.
+// Version history: v1 lacked the CC line type; v1 files still read back
+// (the reader accepts either header), and writers always emit the
+// current version.
 #pragma once
 
 #include <istream>

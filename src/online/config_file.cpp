@@ -152,6 +152,25 @@ const std::map<std::string, Setter, std::less<>>& setters() {
        [](DriverConfig& c, std::string_view v) {
          return set_bool(v, &c.learner.enable_neural_net);
        }},
+      {"enable_correlation",
+       [](DriverConfig& c, std::string_view v) {
+         return set_bool(v, &c.learner.enable_correlation);
+       }},
+      {"correlation_window",
+       [](DriverConfig& c, std::string_view v) {
+         long n = 0;
+         auto error = set_long(v, 1, 86400, &n);
+         if (error.empty()) {
+           c.learner.correlation.graph.window = n;
+         }
+         return error;
+       }},
+      {"correlation_min_edge_confidence",
+       [](DriverConfig& c, std::string_view v) {
+         return set_double(
+             v, 0.0, 1.0,
+             &c.learner.correlation.miner.min_edge_confidence);
+       }},
       {"pd_horizon_factor",
        [](DriverConfig& c, std::string_view v) {
          return set_double(v, 0.0, 100.0, &c.predictor.pd_horizon_factor);
@@ -221,6 +240,9 @@ std::string render_driver_config(const DriverConfig& config) {
       "distribution_threshold = %g\n"
       "enable_decision_tree = %s\n"
       "enable_neural_net = %s\n"
+      "enable_correlation = %s\n"
+      "correlation_window = %lld\n"
+      "correlation_min_edge_confidence = %g\n"
       "pd_horizon_factor = %g\n"
       "location_scoped = %s\n"
       "adaptive_window = %s\n",
@@ -234,6 +256,9 @@ std::string render_driver_config(const DriverConfig& config) {
       config.learner.distribution.cdf_threshold,
       config.learner.enable_decision_tree ? "true" : "false",
       config.learner.enable_neural_net ? "true" : "false",
+      config.learner.enable_correlation ? "true" : "false",
+      static_cast<long long>(config.learner.correlation.graph.window),
+      config.learner.correlation.miner.min_edge_confidence,
       config.predictor.pd_horizon_factor,
       config.predictor.location_scoped ? "true" : "false",
       config.adaptive_window ? "true" : "false");

@@ -228,6 +228,8 @@ OnlineEngine::SessionStats OnlineEngine::stats() const {
   for (const auto& build : retrain_log_) {
     s.retrain_build_seconds +=
         build.train_times.total_seconds() + build.revise_seconds;
+    s.retrain_train_times += build.train_times;
+    s.retrain_revise_seconds += build.revise_seconds;
   }
   return s;
 }

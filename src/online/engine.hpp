@@ -191,6 +191,12 @@ class OnlineEngine {
     /// revision, summed over the retrain log; measured on the build
     /// thread, so async builds overlap serving).
     double retrain_build_seconds = 0.0;
+    /// Per-learner decomposition of retrain_build_seconds' training part
+    /// (summed over the retrain log) — the per-learner rows of the
+    /// --profile retrain-build report.
+    meta::TrainTimes retrain_train_times;
+    /// Revision part of retrain_build_seconds.
+    double retrain_revise_seconds = 0.0;
     /// Wall seconds inside the serving path (ticks + per-event
     /// observation).  Only measured when OnlineEngineConfig::profile is
     /// set; 0 otherwise.

@@ -20,13 +20,18 @@ namespace {
 /// of the task state that owns it.
 class BuildFailed : public std::runtime_error {
  public:
-  BuildFailed(std::size_t attempts, const std::string& message)
-      : std::runtime_error(message), attempts_(attempts) {}
+  BuildFailed(std::size_t attempts, const std::string& message,
+              std::string stage)
+      : std::runtime_error(message),
+        attempts_(attempts),
+        stage_(std::move(stage)) {}
 
   std::size_t attempts() const { return attempts_; }
+  const std::string& stage() const { return stage_; }
 
  private:
   std::size_t attempts_;
+  std::string stage_;
 };
 
 double seconds_since(std::chrono::steady_clock::time_point start) {
@@ -171,6 +176,7 @@ RetrainScheduler::BoundaryAction RetrainScheduler::fire(TimeSec boundary) {
             failed.scheduled_at = boundary;
             failed.failed_attempts = e.attempts();
             failed.error = e.what();
+            failed.failed_stage = e.stage();
             return failed;
           }
         });
@@ -179,7 +185,7 @@ RetrainScheduler::BoundaryAction RetrainScheduler::fire(TimeSec boundary) {
       ready_ = run_build_with_retry(training, boundary, std::move(previous));
       ready_->activate_at = boundary;
     } catch (const BuildFailed& e) {
-      failures_.push_back({boundary, e.attempts(), e.what()});
+      failures_.push_back({boundary, e.attempts(), e.what(), e.stage()});
       return BoundaryAction::kNone;
     }
   }
@@ -194,10 +200,16 @@ SnapshotBuild RetrainScheduler::run_build_with_retry(
   for (std::size_t attempt = 1;; ++attempt) {
     try {
       return run_build(training, boundary, previous);
+    } catch (const meta::LearnerError& e) {
+      // A base learner threw: keep its name so the failure record (and
+      // the --profile report) can attribute the abandonment per learner.
+      if (attempt >= budget) throw BuildFailed(attempt, e.what(), e.stage());
     } catch (const std::exception& e) {
-      if (attempt >= budget) throw BuildFailed(attempt, e.what());
+      if (attempt >= budget) throw BuildFailed(attempt, e.what(), "build");
     } catch (...) {
-      if (attempt >= budget) throw BuildFailed(attempt, "unknown exception");
+      if (attempt >= budget) {
+        throw BuildFailed(attempt, "unknown exception", "build");
+      }
     }
     if (backoff_ms > 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
@@ -269,8 +281,9 @@ std::optional<SnapshotBuild> RetrainScheduler::take_pending(
     // Every attempt failed: abandon the boundary, keep serving the last
     // good snapshot.  (pending_ was consumed by get(), so the next
     // boundary is free to train again.)
-    failures_.push_back(
-        {boundary, build.failed_attempts, std::move(build.error)});
+    failures_.push_back({boundary, build.failed_attempts,
+                         std::move(build.error),
+                         std::move(build.failed_stage)});
     return std::nullopt;
   }
   build.activate_at = activate_at;

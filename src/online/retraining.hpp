@@ -104,6 +104,9 @@ struct SnapshotBuild {
   /// races the owner reading the error text.  `repository` is null.
   std::size_t failed_attempts = 0;
   std::string error;
+  /// Stage that failed: a learner name (learners::to_string) when one
+  /// base learner threw, "build" otherwise.
+  std::string failed_stage;
 
   bool failed() const { return failed_attempts > 0; }
 };
@@ -115,6 +118,10 @@ struct RetrainFailure {
   TimeSec boundary = 0;
   std::size_t attempts = 0;
   std::string error;
+  /// Per-learner attribution: the failing learner's name
+  /// (learners::to_string(RuleSource)), or "build" when the failure was
+  /// not attributable to one base learner (reviser, failpoint, ...).
+  std::string stage;
 };
 
 class RetrainScheduler {

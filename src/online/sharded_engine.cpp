@@ -360,6 +360,8 @@ void ShardedEngine::feed_batch(std::span<const bgl::Event> events) {
         auto shared = std::make_shared<const SnapshotBuild>(std::move(*build));
         retrain_build_seconds_ +=
             shared->train_times.total_seconds() + shared->revise_seconds;
+        retrain_train_times_ += shared->train_times;
+        retrain_revise_seconds_ += shared->revise_seconds;
         publisher_.store(shared->repository);
         flush_feed_runs();
         for (auto& shard : shards_) shard->queue.push(AdoptMsg{shared});
@@ -421,6 +423,8 @@ void ShardedEngine::feed(const bgl::Event& event) {
     auto shared = std::make_shared<const SnapshotBuild>(std::move(*build));
     retrain_build_seconds_ +=
         shared->train_times.total_seconds() + shared->revise_seconds;
+    retrain_train_times_ += shared->train_times;
+    retrain_revise_seconds_ += shared->revise_seconds;
     publisher_.store(shared->repository);
     for (auto& shard : shards_) shard->queue.push(AdoptMsg{shared});
   }
@@ -614,6 +618,8 @@ ShardedEngine::SessionStats ShardedEngine::collect_stats() const {
   s.history_size = scheduler_.history_size();
   s.retrain_failures = scheduler_.failures().size();
   s.retrain_build_seconds = retrain_build_seconds_;
+  s.retrain_train_times = retrain_train_times_;
+  s.retrain_revise_seconds = retrain_revise_seconds_;
   return s;
 }
 

@@ -168,8 +168,11 @@ class ShardedEngine {
   std::optional<TimeSec> next_heartbeat_;
   TimeSec last_event_time_ = 0;
   /// Build wall time (training + revision) of every adopted snapshot,
-  /// accumulated at publication (SessionStats::retrain_build_seconds).
+  /// accumulated at publication (SessionStats::retrain_build_seconds),
+  /// with the per-learner decomposition alongside.
   double retrain_build_seconds_ = 0.0;
+  meta::TrainTimes retrain_train_times_;
+  double retrain_revise_seconds_ = 0.0;
   bool finished_ = false;
   SessionStats final_stats_;
 

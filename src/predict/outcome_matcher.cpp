@@ -53,6 +53,9 @@ bool rule_eligible(const learners::Rule& rule, const FatalEvent& fatal) {
     case learners::RuleSource::kNeuralNet:
       // The classifiers observe every instant: all failures in scope.
       return true;
+    case learners::RuleSource::kCorrelation:
+      // Like association: the chain predicts one specific category.
+      return rule.as_correlation()->consequent == fatal.category;
   }
   return false;
 }

@@ -42,6 +42,28 @@ Predictor::Predictor(const meta::KnowledgeRepository& repository,
       case learners::RuleSource::kNeuralNet:
         net_rules_.push_back(&stored);
         break;
+      case learners::RuleSource::kCorrelation: {
+        const auto* chain = stored.rule.as_correlation();
+        if (chain->chain.empty()) break;
+        add_rule_at(chain_by_last_, chain->chain.back(), &stored);
+        // Fatal re-arm index: a chain predicts a specific category, like
+        // an association rule.
+        add_rule_at(by_consequent_, chain->consequent, &stored);
+        for (CategoryId stage : chain->chain) {
+          if (stage >= chain_member_.size()) {
+            chain_member_.resize(stage + 1, 0);
+          }
+          chain_member_[stage] = 1;
+        }
+        // (stages - 1) gaps of at most stage_window each; floor of one
+        // window so single-stage chains still arm the chain paths.
+        chain_lookback_ = std::max(
+            chain_lookback_,
+            static_cast<DurationSec>(
+                std::max<std::size_t>(1, chain->chain.size() - 1)) *
+                chain->stage_window);
+        break;
+      }
     }
   }
   if (!tree_rules_.empty() || !net_rules_.empty()) {
@@ -62,6 +84,17 @@ Predictor::Predictor(const meta::KnowledgeRepository& repository,
     category_has_rules_.resize(e_list_.size(), 0);
     for (std::size_t c = 0; c < e_list_.size(); ++c) {
       category_has_rules_[c] = e_list_[c].empty() ? 0 : 1;
+    }
+  }
+  // Chain stages join the relevance table: the observe_batch skip path
+  // must not skip an event some chain needs to see, or the serial and
+  // batched warning streams would diverge.
+  if (!chain_member_.empty()) {
+    if (category_has_rules_.size() < chain_member_.size()) {
+      category_has_rules_.resize(chain_member_.size(), 0);
+    }
+    for (std::size_t c = 0; c < chain_member_.size(); ++c) {
+      if (chain_member_[c]) category_has_rules_[c] = 1;
     }
   }
 }
@@ -128,6 +161,16 @@ void Predictor::expire(TimeSec now) {
     }
     recent_fatals_.pop_front();
   }
+  if (chain_lookback_ > 0) {
+    // Inclusive horizon (pop strictly-older only): a stage exactly
+    // stage_window before the next one still matches, mirroring the
+    // graph builder's inclusive adjacency window.
+    const TimeSec chain_cutoff = now - chain_lookback_;
+    while (!chain_recent_.empty() &&
+           chain_recent_.front().time < chain_cutoff) {
+      chain_recent_.pop_front();
+    }
+  }
 }
 
 namespace {
@@ -138,6 +181,41 @@ std::uint64_t active_key(std::uint64_t rule_id, std::uint32_t scope,
 }
 
 }  // namespace
+
+template <bool kScoped>
+bool Predictor::match_chain(const learners::CorrelationChainRule& rule,
+                            TimeSec now, std::uint32_t midplane) {
+  const std::size_t stages = rule.chain.size();
+  if (stages == 1) return true;  // the current event is the whole chain
+
+  // Prefix DP over the retained chain-stage events, oldest to newest:
+  // chain_scratch_[j] holds the latest time at which stages 0..j were
+  // all seen in order with every consecutive gap <= stage_window.  The
+  // latest completion time is the easiest to extend, so one forward
+  // pass is exact — a greedy most-recent backward scan is not (taking a
+  // late stage k can strand stage k-1 outside its window).
+  constexpr TimeSec kUnseen = std::numeric_limits<TimeSec>::min();
+  chain_scratch_.assign(stages - 1, kUnseen);
+  const DurationSec gap_limit = rule.stage_window;
+  for (std::size_t i = 0; i < chain_recent_.size(); ++i) {
+    const RecentEvent& past = chain_recent_[i];
+    if constexpr (kScoped) {
+      if (past.midplane != midplane) continue;
+    }
+    for (std::size_t j = 0; j + 1 < stages; ++j) {
+      if (rule.chain[j] != past.category) continue;
+      if (j == 0) {
+        chain_scratch_[0] = past.time;
+      } else if (chain_scratch_[j - 1] != kUnseen &&
+                 past.time - chain_scratch_[j - 1] <= gap_limit) {
+        chain_scratch_[j] = past.time;
+      }
+      break;  // stages within a chain are distinct categories
+    }
+  }
+  return chain_scratch_[stages - 2] != kUnseen &&
+         now - chain_scratch_[stages - 2] <= gap_limit;
+}
 
 bool Predictor::try_issue(std::vector<Warning>& out, TimeSec now,
                           const meta::StoredRule& rule,
@@ -295,6 +373,26 @@ void Predictor::observe_impl(const bgl::Event& event,
                     scope, midplane);
         }
       }
+    }
+    // Correlation chains: if this category is a chain stage, check the
+    // chains it terminates (against the retained earlier stages), then
+    // record it for the chains it feeds.  The warning horizon is the
+    // rule's own stage_window — the mined gap bound between the final
+    // stage and the failure, typically wider than Wp.
+    if (chain_lookback_ > 0 && event.category < chain_member_.size() &&
+        chain_member_[event.category]) {
+      if (event.category < chain_by_last_.size()) {
+        for (const meta::StoredRule* stored :
+             chain_by_last_[event.category]) {
+          const auto* rule = stored->rule.as_correlation();
+          if (match_chain<kScoped>(*rule, now, midplane)) {
+            matched = true;
+            try_issue(out, now, *stored, rule->consequent,
+                      now + rule->stage_window, scope, midplane);
+          }
+        }
+      }
+      chain_recent_.push_back({now, event.category, midplane});
     }
   } else {
     recent_fatals_.emplace_back(now, midplane);

@@ -6,9 +6,10 @@
 // keeps the most recent events within the prediction window Wp, and on
 // each event occurrence checks the candidate rules.  Dispatch follows
 // the mixture-of-experts precedence (§4.1): a non-fatal event consults
-// association rules, a fatal event consults statistical rules, and only
-// when no match is found does the probability-distribution rule get the
-// floor.
+// association rules and correlation chains (checked when their final
+// stage arrives, against a longer chain-stage window), a fatal event
+// consults statistical rules, and only when no match is found does the
+// probability-distribution rule get the floor.
 //
 // The per-event path is allocation-lean (DESIGN.md §9): the E-List and
 // recent-count table are dense arrays indexed by CategoryId, the scoped
@@ -133,6 +134,14 @@ class Predictor {
   /// skips the midplane decode entirely (DESIGN.md §13).
   template <bool kScoped>
   void observe_impl(const bgl::Event& event, std::vector<Warning>& out);
+  /// True when the chain's earlier stages occurred in order within
+  /// chain_recent_, each consecutive pair at most stage_window apart,
+  /// with the current event (at `now`) as the final stage.  Scoped mode
+  /// requires every stage on the event's midplane, preserving the
+  /// per-midplane decomposition ShardedEngine relies on.
+  template <bool kScoped>
+  bool match_chain(const learners::CorrelationChainRule& rule, TimeSec now,
+                   std::uint32_t midplane);
   bool try_issue(std::vector<Warning>& out, TimeSec now,
                  const meta::StoredRule& rule,
                  std::optional<CategoryId> category, TimeSec deadline,
@@ -165,6 +174,17 @@ class Predictor {
   std::vector<const meta::StoredRule*> distribution_rules_;
   std::vector<const meta::StoredRule*> tree_rules_;
   std::vector<const meta::StoredRule*> net_rules_;
+  /// Correlation-chain rules indexed by their *final* stage (dense like
+  /// the E-List): a chain is checked only when its last stage arrives.
+  std::vector<std::vector<const meta::StoredRule*>> chain_by_last_;
+  /// Byte-per-category: the category is a stage of some chain, so its
+  /// events are retained in chain_recent_.  Folded into
+  /// category_has_rules_ for the observe_batch skip path.
+  std::vector<std::uint8_t> chain_member_;
+  /// Longest lookback any chain can need: max over chain rules of
+  /// (stages - 1) * stage_window.  0 = no chain rules (all chain code
+  /// paths dormant).
+  DurationSec chain_lookback_ = 0;
   /// Window features for the classifier experts (only maintained when
   /// tree or net rules exist).
   std::optional<learners::FeatureTracker> feature_tracker_;
@@ -180,6 +200,12 @@ class Predictor {
   /// the allocator (DESIGN.md §13).
   common::RingQueue<RecentEvent> recent_;
   std::vector<std::uint32_t> recent_counts_;
+  /// Chain-stage events within chain_lookback_ — a separate, longer
+  /// window than recent_: a chain's stride deliberately exceeds Wp.
+  common::RingQueue<RecentEvent> chain_recent_;
+  /// match_chain's per-prefix DP scratch (member, so steady-state
+  /// matching allocates nothing).
+  std::vector<TimeSec> chain_scratch_;
   /// Per-midplane per-category counts (location-scoped mode only),
   /// keyed by (midplane << 16 | category).
   common::FlatMap<std::uint64_t, std::uint32_t> scoped_counts_;

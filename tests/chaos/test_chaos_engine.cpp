@@ -195,6 +195,46 @@ TEST_F(ChaosTest, RetrainFailureMidStreamNeverStopsWarningEmission) {
   EXPECT_GT(after, 0);
 }
 
+TEST_F(ChaosTest, CorrelationBuildFailureKeepsServingTheLastSnapshot) {
+  const auto seed = testing::fuzz_seed(6);
+  const auto store = chaos_store(seed);
+
+  // Reference: four-learner engine, exactly one training at week 4.
+  auto single_train = chaos_config();
+  single_train.engine.learner.enable_correlation = true;
+  single_train.engine.initial_training_delay = 4 * kSecondsPerWeek;
+  single_train.engine.retrain_interval = 100 * kSecondsPerWeek;
+  const auto reference = replay(store, single_train);
+  ASSERT_GT(reference.size(), 0u);
+
+  // Fault run: every build after the first loses its correlation
+  // learner.  The degradation contract is the same as for a whole-build
+  // failure — an abandoned boundary is a serving no-op, so warnings
+  // (chain warnings included) keep flowing from the last adopted
+  // snapshot and every incident is attributed to the learner stage.
+  auto& registry = common::FailpointRegistry::instance();
+  registry.reseed(seed);
+  ASSERT_TRUE(registry.arm_from_string(
+      "learners.correlation.build=throw:after=1"));
+
+  auto config = chaos_config();
+  config.engine.learner.enable_correlation = true;
+  ShardedEngine::SessionStats stats;
+  std::vector<DegradationEvent> log;
+  const auto degraded = replay(store, config, &stats, &log);
+
+  EXPECT_EQ(degraded, reference);
+  EXPECT_EQ(stats.retrain_failures, 2u);  // boundaries at 8 and 12 weeks
+  std::size_t failures_logged = 0;
+  for (const auto& incident : log) {
+    if (incident.kind == DegradationEvent::Kind::kRetrainFailure) {
+      ++failures_logged;
+      EXPECT_NE(incident.detail.find("correlation"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(failures_logged, 2u);
+}
+
 TEST_F(ChaosTest, QuarantinedShardNeverStallsTheMergedStream) {
   const auto seed = testing::fuzz_seed(4);
   const auto store = chaos_store(seed);

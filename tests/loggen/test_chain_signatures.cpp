@@ -1,0 +1,226 @@
+// Chain-signature injection: multi-stage precursor cascades whose
+// inter-stage gaps exceed Wp — the ground truth the correlation-graph
+// learner is supposed to rediscover.  Covers library determinism and
+// independence from the precursor stream, cascade order/gap placement in
+// generated traces, midplane hops, and the duplication interaction.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "loggen/generator.hpp"
+#include "support/test_fixtures.hpp"
+
+namespace dml::loggen {
+namespace {
+
+MachineProfile chain_profile(int weeks = 4) {
+  auto profile = testing::tiny_profile(weeks);
+  profile.chain_coverage = 1.0;
+  profile.chain_gap_mean = 120;
+  profile.chain_final_lead_max = 180;
+  profile.chain_hop_prob = 0.0;  // keep cascades on the failing midplane
+  return profile;
+}
+
+TEST(ChainSignatures, AddChainsIsDeterministicWithSoundShape) {
+  auto a = SignatureLibrary::make(31, 0, 1.0);
+  auto b = SignatureLibrary::make(31, 0, 1.0);
+  const ChainParams params{1.0, 600, 240};
+  a.add_chains(31, 0, params);
+  b.add_chains(31, 0, params);
+  ASSERT_FALSE(a.chains().empty());
+  ASSERT_EQ(a.chains().size(), b.chains().size());
+  for (std::size_t i = 0; i < a.chains().size(); ++i) {
+    EXPECT_EQ(a.chains()[i].stages, b.chains()[i].stages);
+    EXPECT_EQ(a.chains()[i].stage_gap_mean, b.chains()[i].stage_gap_mean);
+  }
+  for (const auto& chain : a.chains()) {
+    EXPECT_TRUE(bgl::taxonomy().category(chain.fatal).fatal);
+    EXPECT_GE(chain.stages.size(), 2u);
+    EXPECT_LE(chain.stages.size(), 4u);
+    EXPECT_EQ(std::set<CategoryId>(chain.stages.begin(), chain.stages.end())
+                  .size(),
+              chain.stages.size());
+    for (CategoryId stage : chain.stages) {
+      EXPECT_FALSE(bgl::taxonomy().category(stage).fatal);
+    }
+    EXPECT_GE(chain.emission_prob, 0.7);
+    EXPECT_LE(chain.emission_prob, 0.95);
+    // Per-signature means jitter +-25% around the library mean.
+    EXPECT_GE(chain.stage_gap_mean, params.gap_mean * 3 / 4);
+    EXPECT_LE(chain.stage_gap_mean, params.gap_mean * 5 / 4);
+    EXPECT_EQ(chain.final_lead_max, params.final_lead_max);
+  }
+}
+
+TEST(ChainSignatures, ChainStreamIsIndependentOfPrecursorStream) {
+  // add_chains draws from a separately salted stream: the precursor
+  // signatures — and any later drift of them — are byte-identical
+  // whether or not chains exist.  This is what keeps chain_coverage=0
+  // traces identical to pre-chain traces.
+  auto plain = SignatureLibrary::make(47, 0, 1.0);
+  auto chained = SignatureLibrary::make(47, 0, 1.0);
+  chained.add_chains(47, 0, {1.0, 300, 240});
+  ASSERT_EQ(plain.signatures().size(), chained.signatures().size());
+  for (std::size_t i = 0; i < plain.signatures().size(); ++i) {
+    EXPECT_EQ(plain.signatures()[i].precursors,
+              chained.signatures()[i].precursors);
+    EXPECT_EQ(plain.signatures()[i].emission_prob,
+              chained.signatures()[i].emission_prob);
+  }
+  Rng rng_plain(9), rng_chained(9);
+  plain.drift(rng_plain, 0.3);
+  chained.drift(rng_chained, 0.3);
+  for (std::size_t i = 0; i < plain.signatures().size(); ++i) {
+    EXPECT_EQ(plain.signatures()[i].precursors,
+              chained.signatures()[i].precursors);
+  }
+}
+
+TEST(ChainSignatures, ZeroCoverageDrawsNothing) {
+  auto lib = SignatureLibrary::make(53, 0, 1.0);
+  lib.add_chains(53, 0, {0.0, 300, 240});
+  EXPECT_TRUE(lib.chains().empty());
+  EXPECT_EQ(lib.find_chain(bgl::taxonomy().fatal_ids().front()), nullptr);
+}
+
+TEST(ChainTrace, DeterministicForSeedAndSensitiveToCoverage) {
+  const auto profile = chain_profile();
+  const auto a = LogGenerator(profile, 21).generate_unique_events();
+  const auto b = LogGenerator(profile, 21).generate_unique_events();
+  EXPECT_EQ(a, b);
+  const auto plain =
+      LogGenerator(testing::tiny_profile(4), 21).generate_unique_events();
+  EXPECT_NE(a, plain);
+}
+
+/// Searches `events` for an in-order occurrence of `chain` ending with a
+/// final stage in [fatal_time - final_lead_max, fatal_time) and every
+/// inter-stage gap inside the generator's deterministic bounds
+/// [mean/2, 3*mean/2).  Returns the matched stage events (empty if none).
+std::vector<const bgl::Event*> match_cascade(
+    const std::vector<bgl::Event>& events, const ChainSignature& chain,
+    TimeSec fatal_time) {
+  const auto mean = static_cast<TimeSec>(
+      std::max<DurationSec>(4, chain.stage_gap_mean));
+  // Work backward from the final stage; at each step accept any
+  // candidate whose gap to the next stage is inside the bounds.
+  std::vector<std::vector<const bgl::Event*>> frontier;
+  for (const auto& e : events) {
+    if (e.fatal || e.category != chain.stages.back()) continue;
+    if (e.time >= fatal_time || e.time < fatal_time - chain.final_lead_max) {
+      continue;
+    }
+    frontier.push_back({&e});
+  }
+  for (auto stage = chain.stages.rbegin() + 1; stage != chain.stages.rend();
+       ++stage) {
+    std::vector<std::vector<const bgl::Event*>> next;
+    for (const auto& partial : frontier) {
+      const TimeSec successor = partial.back()->time;
+      for (const auto& e : events) {
+        if (e.fatal || e.category != *stage) continue;
+        const TimeSec gap = successor - e.time;
+        if (gap < mean / 2 || gap > mean * 3 / 2) continue;
+        auto extended = partial;
+        extended.push_back(&e);
+        next.push_back(std::move(extended));
+      }
+    }
+    frontier = std::move(next);
+  }
+  return frontier.empty() ? std::vector<const bgl::Event*>{}
+                          : frontier.front();
+}
+
+TEST(ChainTrace, CascadesPrecedeFatalsInOrderWithBoundedGaps) {
+  const auto profile = chain_profile();
+  LogGenerator generator(profile, 21);
+  const auto events = generator.generate_unique_events();
+  std::size_t chained_fatals = 0, full_cascades = 0, colocated = 0;
+  for (const auto& e : events) {
+    if (!e.fatal) continue;
+    const auto* chain = generator.library_at(e.time).find_chain(e.category);
+    if (chain == nullptr) continue;
+    ++chained_fatals;
+    const auto matched = match_cascade(events, *chain, e.time);
+    if (matched.empty()) continue;
+    ++full_cascades;
+    // match_cascade built the list final-stage first.
+    EXPECT_EQ(matched.size(), chain->stages.size());
+    bool all_same_midplane = true;
+    for (const auto* stage : matched) {
+      if (stage->location.enclosing_midplane() !=
+          e.location.enclosing_midplane()) {
+        all_same_midplane = false;
+      }
+    }
+    if (all_same_midplane) ++colocated;
+  }
+  ASSERT_GT(chained_fatals, 50u);
+  // Emission probability is at least 0.7; noise can only add matches.
+  EXPECT_GT(static_cast<double>(full_cascades) /
+                static_cast<double>(chained_fatals),
+            0.55);
+  // chain_hop_prob = 0: cascades stay on the failing midplane.
+  EXPECT_GT(static_cast<double>(colocated) /
+                static_cast<double>(full_cascades),
+            0.8);
+}
+
+TEST(ChainTrace, HopProbabilityScattersStagesAcrossMidplanes) {
+  auto profile = chain_profile();
+  profile.chain_hop_prob = 1.0;  // every stage re-rolls its midplane
+  LogGenerator generator(profile, 21);
+  const auto events = generator.generate_unique_events();
+  std::size_t cascades = 0, colocated = 0;
+  for (const auto& e : events) {
+    if (!e.fatal) continue;
+    const auto* chain = generator.library_at(e.time).find_chain(e.category);
+    if (chain == nullptr) continue;
+    const auto matched = match_cascade(events, *chain, e.time);
+    if (matched.empty()) continue;
+    ++cascades;
+    bool all_same = true;
+    for (const auto* stage : matched) {
+      if (stage->location.enclosing_midplane() !=
+          e.location.enclosing_midplane()) {
+        all_same = false;
+      }
+    }
+    if (all_same) ++colocated;
+  }
+  ASSERT_GT(cascades, 20u);
+  // SDSC has 6 midplanes: a fully re-rolled multi-stage cascade rarely
+  // lands entirely on the fatal's midplane.
+  EXPECT_LT(static_cast<double>(colocated) / static_cast<double>(cascades),
+            0.4);
+}
+
+TEST(ChainTrace, DuplicationAppliesToStageEventsToo) {
+  auto profile = chain_profile(2);
+  logio::VectorSink sink;
+  LogGenerator generator(profile, 25);
+  const auto unique = generator.generate(sink);
+  const auto& records = sink.records();
+  ASSERT_GT(records.size(), unique.size());
+  // Raw stream stays ordered with sequential ids, and every record —
+  // chain stages included — classifies back to a taxonomy category.
+  RecordId expected_id = 1;
+  TimeSec prev = 0;
+  for (const auto& r : records) {
+    EXPECT_EQ(r.record_id, expected_id++);
+    EXPECT_GE(r.event_time, prev);
+    prev = r.event_time;
+    ASSERT_TRUE(bgl::taxonomy()
+                    .classify(r.facility, r.severity, r.entry_data)
+                    .has_value())
+        << r.entry_data;
+  }
+  // Ground truth from generate() matches the fast path (chains don't
+  // break the duplication-free equivalence).
+  EXPECT_EQ(unique, LogGenerator(profile, 25).generate_unique_events());
+}
+
+}  // namespace
+}  // namespace dml::loggen

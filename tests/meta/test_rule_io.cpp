@@ -115,6 +115,90 @@ TEST(RuleIo, DecisionTreeRoundTrip) {
   EXPECT_DOUBLE_EQ(dt->probability_threshold, 0.5);
 }
 
+learners::Rule sample_cc() {
+  learners::CorrelationChainRule rule;
+  // Deliberately not in ascending id order: the chain is ordered and
+  // serialization must preserve it (unlike the AR antecedent set).
+  rule.chain = {12, 3, 7};
+  rule.consequent = bgl::taxonomy().fatal_ids().front();
+  rule.confidence = 0.42;
+  rule.support = 0.31;
+  rule.stage_window = 900;
+  return learners::Rule{learners::Rule::Body(std::move(rule))};
+}
+
+TEST(RuleIo, CorrelationChainRoundTrip) {
+  const auto rule = sample_cc();
+  const auto parsed = rule_from_line(rule_to_line(rule));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->identity(), rule.identity());
+  const auto* cc = parsed->as_correlation();
+  ASSERT_NE(cc, nullptr);
+  EXPECT_EQ(cc->chain, (std::vector<CategoryId>{12, 3, 7}));
+  EXPECT_EQ(cc->consequent, rule.as_correlation()->consequent);
+  EXPECT_DOUBLE_EQ(cc->confidence, 0.42);
+  EXPECT_DOUBLE_EQ(cc->support, 0.31);
+  EXPECT_EQ(cc->stage_window, 900);
+}
+
+TEST(RuleIo, RejectsMalformedCorrelationLines) {
+  const std::string fatal_name =
+      bgl::taxonomy().category(bgl::taxonomy().fatal_ids().front()).name;
+  // Non-positive stage window.
+  EXPECT_FALSE(
+      rule_from_line("CC|0.5|0.1|0|" + fatal_name + "|KERNDTLB").has_value());
+  // Unknown stage / consequent names; short lines.
+  EXPECT_FALSE(rule_from_line("CC|0.5|0.1|600|" + fatal_name +
+                              "|no.such.category")
+                   .has_value());
+  EXPECT_FALSE(
+      rule_from_line("CC|0.5|0.1|600|no.such.fatal|KERNDTLB").has_value());
+  EXPECT_FALSE(rule_from_line("CC|0.5|0.1|600").has_value());
+  // Empty chain.
+  EXPECT_FALSE(
+      rule_from_line("CC|0.5|0.1|600|" + fatal_name + "|").has_value());
+}
+
+TEST(RuleIo, MixedRepositoryRoundTripCoversEverySource) {
+  // One rule from each serializable source in a single file: the v2
+  // format round-trips a mixed repository exactly.
+  KnowledgeRepository repo;
+  repo.add(sample_ar());
+  repo.add(sample_cc());
+  repo.add(learners::Rule{
+      learners::Rule::Body(learners::StatisticalRule{4, 0.99})});
+  repo.add(sample_pd("weibull"));
+
+  std::stringstream stream;
+  write_rules(stream, repo);
+  const std::string text = stream.str();
+  EXPECT_EQ(text.substr(0, text.find('\n')), "# DML-RULES v2");
+
+  std::stringstream in(text);
+  const auto loaded = read_rules(in);
+  ASSERT_EQ(loaded.size(), repo.size());
+  const auto churn = KnowledgeRepository::diff(repo, loaded);
+  EXPECT_EQ(churn.added, 0u);
+  EXPECT_EQ(churn.removed, 0u);
+  // Source order survives too (dispatch precedence is insertion order).
+  for (std::size_t i = 0; i < repo.rules().size(); ++i) {
+    EXPECT_EQ(loaded.rules()[i].rule.source(), repo.rules()[i].rule.source());
+  }
+}
+
+TEST(RuleIo, ReadsVersionOneFilesFromBeforeChains) {
+  // A rule file written before the correlation learner existed: v1
+  // header, no CC lines.  It must still load (version skew on restart).
+  const auto ar_line = rule_to_line(sample_ar());
+  std::stringstream stream("# DML-RULES v1\n" + ar_line + "\nSR|2|0.9\n");
+  const auto repo = read_rules(stream);
+  ASSERT_EQ(repo.size(), 2u);
+  EXPECT_EQ(repo.rules()[0].rule.source(),
+            learners::RuleSource::kAssociation);
+  EXPECT_EQ(repo.rules()[1].rule.source(),
+            learners::RuleSource::kStatistical);
+}
+
 TEST(RuleIo, RepositoryRoundTrip) {
   const auto& repo = testing::shared_repository();
   std::stringstream stream;

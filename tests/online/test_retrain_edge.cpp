@@ -176,6 +176,51 @@ TEST_F(RetrainEdgeTest, SyncBuildFailureKeepsSchedulingAndRecordsAttempts) {
   EXPECT_TRUE(build->repository != nullptr);
 }
 
+TEST_F(RetrainEdgeTest, CorrelationBuildFailureIsAttributedToItsStage) {
+  ASSERT_TRUE(common::FailpointRegistry::instance().arm_from_string(
+      "learners.correlation.build=throw"));
+  auto policy = edge_policy();
+  policy.learner.enable_correlation = true;
+  RetrainScheduler scheduler(policy);
+  const auto& store = testing::shared_store();
+  const TimeSec origin = store.first_time();
+  scheduler.boundary_due(origin);
+  for (const auto& event : testing::weeks_of(store, 0, 1)) {
+    scheduler.observe(event);
+  }
+  const auto boundary = scheduler.boundary_due(origin + kSecondsPerWeek + 1);
+  ASSERT_TRUE(boundary.has_value());
+  EXPECT_EQ(scheduler.fire(*boundary), RetrainScheduler::BoundaryAction::kNone);
+  ASSERT_EQ(scheduler.failures().size(), 1u);
+  // The RetrainFailure names the base learner that threw, not just
+  // "build" — the --profile report leans on this attribution.
+  EXPECT_EQ(scheduler.failures()[0].stage, "correlation");
+  EXPECT_NE(scheduler.failures()[0].error.find("correlation"),
+            std::string::npos);
+
+  // A non-learner failure (the generic retrain.build failpoint) still
+  // reports the catch-all stage.
+  common::FailpointRegistry::instance().reset();
+  ASSERT_TRUE(common::FailpointRegistry::instance().arm_from_string(
+      "retrain.build=throw"));
+  const auto next = scheduler.boundary_due(origin + 2 * kSecondsPerWeek + 1);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(scheduler.fire(*next), RetrainScheduler::BoundaryAction::kNone);
+  ASSERT_EQ(scheduler.failures().size(), 2u);
+  EXPECT_EQ(scheduler.failures()[1].stage, "build");
+
+  // Disarm everything: the scheduler must still recover and the adopted
+  // build must carry correlation rules (the learner itself is healthy).
+  common::FailpointRegistry::instance().reset();
+  const auto third = scheduler.boundary_due(origin + 3 * kSecondsPerWeek + 1);
+  ASSERT_TRUE(third.has_value());
+  EXPECT_EQ(scheduler.fire(*third), RetrainScheduler::BoundaryAction::kRetrain);
+  const auto build = scheduler.poll(*third);
+  ASSERT_TRUE(build.has_value());
+  ASSERT_TRUE(build->repository != nullptr);
+  EXPECT_TRUE(build->failed_stage.empty());
+}
+
 TEST_F(RetrainEdgeTest, AsyncBuildFailureSurfacesAtTheAdoptionPoint) {
   ASSERT_TRUE(common::FailpointRegistry::instance().arm_from_string(
       "retrain.build=throw"));

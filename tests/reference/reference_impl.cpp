@@ -156,6 +156,19 @@ ReferencePredictor::ReferencePredictor(
       case learners::RuleSource::kNeuralNet:
         net_rules_.push_back(&stored);
         break;
+      case learners::RuleSource::kCorrelation: {
+        const auto* chain = stored.rule.as_correlation();
+        if (chain->chain.empty()) break;
+        chain_by_last_[chain->chain.back()].push_back(&stored);
+        by_consequent_[chain->consequent].push_back(&stored);
+        for (CategoryId stage : chain->chain) chain_member_[stage] = true;
+        chain_lookback_ = std::max(
+            chain_lookback_,
+            static_cast<DurationSec>(
+                std::max<std::size_t>(1, chain->chain.size() - 1)) *
+                chain->stage_window);
+        break;
+      }
     }
   }
   if (!tree_rules_.empty() || !net_rules_.empty()) {
@@ -200,6 +213,58 @@ void ReferencePredictor::expire(TimeSec now) {
          recent_fatals_.front().first <= now - window_) {
     recent_fatals_.pop_front();
   }
+  while (!chain_recent_.empty() &&
+         chain_recent_.front().time < now - chain_lookback_) {
+    chain_recent_.pop_front();
+  }
+}
+
+bool ReferencePredictor::chain_completed(
+    const learners::CorrelationChainRule& rule, TimeSec now,
+    std::uint32_t midplane) const {
+  const std::size_t stages = rule.chain.size();
+  if (stages == 1) return true;  // the current event is the whole chain
+  // Exhaustive search, deliberately different from the predictor's
+  // prefix DP: enumerate every in-arrival-order assignment of retained
+  // events to stages 0..n-2 with all consecutive gaps (and the gap to
+  // `now`) within the rule's stage window.
+  struct Candidate {
+    std::size_t arrival;  // position in chain_recent_ (arrival order)
+    TimeSec time;
+  };
+  std::vector<std::vector<Candidate>> candidates(stages - 1);
+  for (std::size_t i = 0; i < chain_recent_.size(); ++i) {
+    const RecentEvent& past = chain_recent_[i];
+    if (scoped() && past.midplane != midplane) continue;
+    for (std::size_t j = 0; j + 1 < stages; ++j) {
+      if (rule.chain[j] == past.category) {
+        candidates[j].push_back({i, past.time});
+      }
+    }
+  }
+  struct Search {
+    const std::vector<std::vector<Candidate>>& candidates;
+    DurationSec gap;
+    TimeSec now;
+    // True if stages `stage`..n-2 can be assigned arrival-ordered events
+    // after `previous` with every consecutive gap — including last
+    // retained stage to `now` — at most `gap`.
+    bool feasible(std::size_t stage, const Candidate& previous) const {
+      if (stage == candidates.size()) return now - previous.time <= gap;
+      for (const Candidate& c : candidates[stage]) {
+        if (c.arrival <= previous.arrival || c.time - previous.time > gap) {
+          continue;
+        }
+        if (feasible(stage + 1, c)) return true;
+      }
+      return false;
+    }
+  };
+  const Search search{candidates, rule.stage_window, now};
+  for (const Candidate& first : candidates[0]) {
+    if (search.feasible(1, first)) return true;
+  }
+  return false;
 }
 
 bool ReferencePredictor::try_issue(std::vector<Warning>& out, TimeSec now,
@@ -314,6 +379,23 @@ std::vector<ReferencePredictor::Warning> ReferencePredictor::observe(
                     scope, midplane);
         }
       }
+    }
+    // Correlation chains: check the chains this category terminates,
+    // then retain the event for the chains it feeds.  The warning
+    // horizon is the rule's own stage window, not Wp.
+    if (chain_member_.contains(event.category)) {
+      const auto chains = chain_by_last_.find(event.category);
+      if (chains != chain_by_last_.end()) {
+        for (const meta::StoredRule* stored : chains->second) {
+          const auto* rule = stored->rule.as_correlation();
+          if (chain_completed(*rule, now, midplane)) {
+            matched = true;
+            try_issue(out, now, *stored, rule->consequent,
+                      now + rule->stage_window, scope, midplane);
+          }
+        }
+      }
+      chain_recent_.push_back({now, event.category, midplane});
     }
   } else {
     recent_fatals_.emplace_back(now, midplane);

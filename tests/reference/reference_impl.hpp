@@ -66,6 +66,8 @@ class ReferencePredictor {
                  std::optional<bgl::Location> location = std::nullopt,
                  std::uint32_t scope = 0);
   void erase_active(std::uint64_t rule_id, std::uint32_t scope);
+  bool chain_completed(const learners::CorrelationChainRule& rule,
+                       TimeSec now, std::uint32_t midplane) const;
   void check_distribution(std::vector<Warning>& out, TimeSec now);
   void check_distribution_scope(std::vector<Warning>& out, TimeSec now,
                                 std::uint32_t midplane, TimeSec last_fatal);
@@ -92,6 +94,13 @@ class ReferencePredictor {
   std::unordered_map<CategoryId, std::uint32_t> recent_counts_;
   std::unordered_map<std::uint64_t, std::uint32_t> scoped_counts_;
   std::deque<std::pair<TimeSec, std::uint32_t>> recent_fatals_;
+  // Correlation-chain state: arrivals of any chain-stage category,
+  // retained for the widest chain's span, matched by exhaustive search.
+  std::unordered_map<CategoryId, std::vector<const meta::StoredRule*>>
+      chain_by_last_;
+  std::unordered_map<CategoryId, bool> chain_member_;
+  std::deque<RecentEvent> chain_recent_;
+  DurationSec chain_lookback_ = 0;
   std::optional<TimeSec> last_fatal_;
   std::unordered_map<std::uint32_t, TimeSec> last_fatal_by_scope_;
   std::unordered_map<std::uint64_t, TimeSec> active_;

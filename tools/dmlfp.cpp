@@ -62,6 +62,17 @@ int usage() {
       "usage: dmlfp <command> [flags]\n"
       "  generate  --machine anl|sdsc [--weeks N] [--seed S] [--scale X]\n"
       "            [--format text|binary] --out FILE  write a simulated log\n"
+      "            [--chain-coverage X] [--chain-gap SECONDS]\n"
+      "            [--chain-hop P] [--chain-final-lead SECONDS]\n"
+      "            signature families injected into the stream:\n"
+      "              precursor  unordered precursor sets within one\n"
+      "                         prediction window (always on)\n"
+      "              decoy      coincidental pairs with bad false-alarm\n"
+      "                         rates (always on)\n"
+      "              chain      ordered multi-stage cascades whose\n"
+      "                         inter-stage gaps (~ --chain-gap, default\n"
+      "                         90 s) can exceed the prediction window;\n"
+      "                         off unless --chain-coverage > 0\n"
       "  summarize --log FILE                      Tables 2/4-style summary\n"
       "  ingest    --log FILE --out DIR [--segment-bytes N] [--sync-every N]\n"
       "            [--threshold 300]               preprocess a raw log into\n"
@@ -72,13 +83,19 @@ int usage() {
       "  compact   --repo DIR --out DIR [--segment-bytes N]  rewrite into\n"
       "            full segments with fresh indexes\n"
       "  train     --log FILE [--from-week A] [--to-week B] [--window 300]\n"
-      "            [--no-reviser] --out RULES      mine + revise a rule set\n"
+      "            [--no-reviser] [--correlation] --out RULES  mine + revise\n"
+      "            a rule set (--correlation adds the event-correlation\n"
+      "            chain learner)\n"
       "  predict   --log FILE --rules RULES [--from-week A] [--to-week B]\n"
       "            [--window 300]                  replay + evaluate\n"
       "  run       --log FILE | --repo DIR [--config FILE]\n"
       "            [--mode sliding|whole|static]\n"
       "            [--training-weeks 26] [--retrain-weeks 4] [--window 300]\n"
       "            [--no-reviser] [--report FILE]  full dynamic driver\n"
+      "            [--correlation | --no-correlation]  enable/disable the\n"
+      "            correlation-chain learner (overrides --config)\n"
+      "            [--correlation-window N]  graph adjacency window (s)\n"
+      "            [--correlation-min-edge X]  min per-edge confidence\n"
       "            [--threads N]  N-shard concurrent serving replay\n"
       "            [--resume-week N]  restart: rebuild training state from\n"
       "            the repository, serve only from that week on\n"
@@ -121,6 +138,24 @@ void add_profile_row(online::TablePrinter& table, const char* stage,
                      ? online::TablePrinter::fmt(
                            static_cast<double>(units) / wall, 0)
                      : "-"});
+}
+
+/// The retrain-build rows of the --profile table: the aggregate build
+/// time, then its per-learner decomposition (summed over every adopted
+/// snapshot) plus ensemble assembly and revision — which base learner
+/// the retrain budget actually goes to.
+void add_retrain_build_rows(online::TablePrinter& table,
+                            const online::OnlineEngine::SessionStats& stats) {
+  add_profile_row(table, "retrain-builds", stats.retrain_build_seconds, -1.0);
+  const meta::TrainTimes& t = stats.retrain_train_times;
+  add_profile_row(table, "  association", t.association_seconds, -1.0);
+  add_profile_row(table, "  correlation", t.correlation_seconds, -1.0);
+  add_profile_row(table, "  statistical", t.statistical_seconds, -1.0);
+  add_profile_row(table, "  distribution", t.distribution_seconds, -1.0);
+  add_profile_row(table, "  decision-tree", t.decision_tree_seconds, -1.0);
+  add_profile_row(table, "  neural-net", t.neural_net_seconds, -1.0);
+  add_profile_row(table, "  ensemble", t.ensemble_seconds, -1.0);
+  add_profile_row(table, "  revision", stats.retrain_revise_seconds, -1.0);
 }
 
 /// The log-I/O rows of the --profile table — mmap time vs record-decode
@@ -302,6 +337,12 @@ int cmd_generate(const Flags& flags) {
   }
   profile.weeks = static_cast<int>(flags.get_long("weeks", profile.weeks));
   profile.scale = flags.get_double("scale", profile.scale);
+  profile.chain_coverage =
+      flags.get_double("chain-coverage", profile.chain_coverage);
+  profile.chain_gap_mean = flags.get_long("chain-gap", profile.chain_gap_mean);
+  profile.chain_final_lead_max =
+      flags.get_long("chain-final-lead", profile.chain_final_lead_max);
+  profile.chain_hop_prob = flags.get_double("chain-hop", profile.chain_hop_prob);
   const auto seed =
       static_cast<std::uint64_t>(flags.get_long("seed", 1));
   const std::string format = flags.get_or("format", "text");
@@ -533,7 +574,9 @@ int cmd_train(const Flags& flags) {
     return 1;
   }
 
-  meta::MetaLearner learner{meta::MetaLearnerConfig{}};
+  meta::MetaLearnerConfig learner_config;
+  if (flags.has("correlation")) learner_config.enable_correlation = true;
+  meta::MetaLearner learner{learner_config};
   meta::TrainTimes times;
   auto repository = learner.learn(training, window, &times);
   std::size_t removed = 0;
@@ -672,8 +715,7 @@ int run_sharded(const online::DriverConfig& config,
     add_profile_row(profile_table, "preprocess", preprocess_times.wall,
                     preprocess_times.cpu, preprocess_times.units);
     add_log_io_rows(profile_table, io);
-    add_profile_row(profile_table, "retrain-builds",
-                    stats.retrain_build_seconds, -1.0);
+    add_retrain_build_rows(profile_table, stats);
     add_profile_row(profile_table, "serving", stats.serving_seconds, -1.0,
                     stats.events_after_filtering);
     add_profile_row(profile_table, "replay-total", wall_seconds,
@@ -807,6 +849,13 @@ int cmd_run(const Flags& flags) {
   config.resume_week =
       static_cast<int>(flags.get_long("resume-week", config.resume_week));
   if (flags.has("no-reviser")) config.use_reviser = false;
+  if (flags.has("correlation")) config.learner.enable_correlation = true;
+  if (flags.has("no-correlation")) config.learner.enable_correlation = false;
+  config.learner.correlation.graph.window = flags.get_long(
+      "correlation-window", config.learner.correlation.graph.window);
+  config.learner.correlation.miner.min_edge_confidence =
+      flags.get_double("correlation-min-edge",
+                       config.learner.correlation.miner.min_edge_confidence);
   const std::string mode =
       flags.get_or("mode", std::string(to_string(config.mode)));
   if (mode == "sliding") {
@@ -854,8 +903,7 @@ int cmd_run(const Flags& flags) {
     add_profile_row(profile_table, "preprocess", preprocess_times.wall,
                     preprocess_times.cpu, preprocess_times.units);
     add_log_io_rows(profile_table, io);
-    add_profile_row(profile_table, "retrain-builds",
-                    result.engine_stats.retrain_build_seconds, -1.0);
+    add_retrain_build_rows(profile_table, result.engine_stats);
     add_profile_row(profile_table, "serving",
                     result.engine_stats.serving_seconds, -1.0,
                     result.engine_stats.events_after_filtering);
@@ -915,6 +963,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "dmlfp: %s\n", flags.error().c_str());
     return 2;
   }
+  if (flags.has("help")) return usage();
   if (command == "generate") return cmd_generate(flags);
   if (command == "summarize") return cmd_summarize(flags);
   if (command == "ingest") return cmd_ingest(flags);

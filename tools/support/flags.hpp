@@ -31,7 +31,7 @@ class Flags {
       // unknown to one tool is still rejected by that tool's own
       // validation, so the union here is harmless.
       if (key == "no-reviser" || key == "help" || key == "profile" ||
-          key == "quick") {
+          key == "quick" || key == "correlation" || key == "no-correlation") {
         values_[key] = "1";
         continue;
       }
