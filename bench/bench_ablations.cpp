@@ -71,7 +71,8 @@ void ablation_negative_windows(const logio::EventStore& store) {
     scored.push_back({stored.id, negatives.empty()
                                      ? 0.0
                                      : static_cast<double>(hits) /
-                                           static_cast<double>(negatives.size())});
+                                           static_cast<double>(
+                                               negatives.size())});
   }
   const auto report = predict::revise(repo, training, 300);
 

@@ -478,7 +478,8 @@ void run_kernel_stages(bool quick, double target, int max_reps,
     return total;
   };
   const std::uint64_t pair_words = tidsets * (tidsets - 1) / 2 * words;
-  const std::uint64_t expected = pair_sweep(simd::kernels(simd::Variant::kScalar));
+  const std::uint64_t expected =
+      pair_sweep(simd::kernels(simd::Variant::kScalar));
 
   // Subset rows shaped like the L3 counter's inputs: transaction bitmaps
   // with a handful of set bits over a 256-category dense id space, and a

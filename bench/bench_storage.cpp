@@ -269,7 +269,8 @@ int main(int argc, char** argv) {
 
   std::vector<StageResult> results;
   const std::vector<std::pair<std::string, const logio::EventStore*>>
-      workloads = {{"anl", &bench::anl_store()}, {"sdsc", &bench::sdsc_store()}};
+      workloads = {{"anl", &bench::anl_store()},
+                   {"sdsc", &bench::sdsc_store()}};
   for (const auto& [machine, store] : workloads) {
     if (!run_machine(machine, *store, quick, results)) return 1;
   }

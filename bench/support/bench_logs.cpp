@@ -12,7 +12,8 @@ namespace dml::bench {
 double raw_scale() {
   // Benchmarks read the environment once, before any worker threads
   // exist, and never call setenv.
-  const char* env = std::getenv("DML_BENCH_SCALE");  // NOLINT(concurrency-mt-unsafe)
+  const char* env =
+      std::getenv("DML_BENCH_SCALE");  // NOLINT(concurrency-mt-unsafe)
   if (env == nullptr) return 1.0;
   const double value = std::atof(env);
   return value > 0.0 ? value : 1.0;
@@ -47,10 +48,12 @@ const logio::EventStore& sdsc_store() {
 }
 
 void print_header(const std::string& title, const std::string& paper_claim) {
-  std::printf("==============================================================\n");
+  std::printf(
+      "==============================================================\n");
   std::printf("%s\n", title.c_str());
   std::printf("paper: %s\n", paper_claim.c_str());
-  std::printf("==============================================================\n");
+  std::printf(
+      "==============================================================\n");
 }
 
 namespace {
@@ -67,7 +70,8 @@ std::string sanitize(std::string text) {
 void write_series_csv(const std::string& label,
                       const online::DriverResult& result) {
   // Read-only env access on the single-threaded reporting path.
-  const char* env = std::getenv("DML_BENCH_RESULTS");  // NOLINT(concurrency-mt-unsafe)
+  const char* env =
+      std::getenv("DML_BENCH_RESULTS");  // NOLINT(concurrency-mt-unsafe)
   std::string dir = env != nullptr ? env : "results";
   if (dir == "none") return;
   std::error_code ec;

@@ -167,7 +167,8 @@ int main(int argc, char** argv) {
   // uniformly.
   const DurationSec span = store.last_time() - begin;
   const DurationSec matched_interval =
-      span / static_cast<DurationSec>(std::max<std::size_t>(1, smart.checkpoints));
+      span /
+      static_cast<DurationSec>(std::max<std::size_t>(1, smart.checkpoints));
   const auto matched = periodic(store, begin, matched_interval);
   std::printf("%-28s  %-12zu  %-16.2f\n", "periodic @ matched budget",
               matched.checkpoints, matched.lost_per_failure() / 3600.0);

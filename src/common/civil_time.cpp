@@ -36,7 +36,8 @@ std::int64_t days_from_civil(int y, int m, int d) {
   const unsigned doy =
       (153u * static_cast<unsigned>(m + (m > 2 ? -3 : 9)) + 2u) / 5u +
       static_cast<unsigned>(d) - 1u;                                // [0,365]
-  const unsigned doe = yoe * 365u + yoe / 4u - yoe / 100u + doy;    // [0,146096]
+  const unsigned doe =
+      yoe * 365u + yoe / 4u - yoe / 100u + doy;  // [0,146096]
   return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
 }
 

@@ -109,7 +109,8 @@ void ThreadPool::parallel_for_ranges(
     const std::size_t lo = begin + c * chunk;
     const std::size_t hi = std::min(end, lo + chunk);
     if (lo >= hi) break;
-    pending.push_back(submit([c, lo, hi, &run_chunk] { run_chunk(c, lo, hi); }));
+    pending.push_back(
+        submit([c, lo, hi, &run_chunk] { run_chunk(c, lo, hi); }));
   }
   const std::size_t first_hi = std::min(end, begin + chunk);
   run_chunk(0, begin, first_hi);

@@ -92,8 +92,8 @@ void count_candidates(const std::uint64_t* rows, std::size_t n_rows,
                       std::size_t parallel_threshold,
                       std::uint32_t* counts) {
   const auto& kernels = simd::active();
-  const std::size_t block_rows =
-      std::max<std::size_t>(1, kRowBlockBytes / (stride * sizeof(std::uint64_t)));
+  const std::size_t block_rows = std::max<std::size_t>(
+      1, kRowBlockBytes / (stride * sizeof(std::uint64_t)));
   const auto count_range = [&](std::size_t lo, std::size_t hi,
                                std::uint32_t* out) {
     for (std::size_t b = lo; b < hi; b += block_rows) {
@@ -137,8 +137,8 @@ std::vector<FrequentItemset> mine_frequent_itemsets(
   std::vector<FrequentItemset> result;
   if (transactions.empty() || config.max_items == 0) return result;
   const auto min_count = static_cast<std::uint32_t>(std::max<double>(
-      1.0,
-      std::ceil(config.min_support * static_cast<double>(transactions.size()))));
+      1.0, std::ceil(config.min_support *
+                     static_cast<double>(transactions.size()))));
 
   // Remap the live categories onto [0, n): flat arrays instead of hash
   // maps, and ascending dense order == ascending CategoryId order, so

@@ -84,8 +84,8 @@ std::vector<LabelledSample> build_labelled_samples(
   }
 
   const auto max_negatives = static_cast<std::size_t>(
-      max_negative_ratio * static_cast<double>(std::max<std::size_t>(1,
-                                                                     positives)));
+      max_negative_ratio *
+      static_cast<double>(std::max<std::size_t>(1, positives)));
   std::size_t negatives = all.size() - positives;
   if (negatives <= max_negatives) return all;
 

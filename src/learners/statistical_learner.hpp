@@ -38,9 +38,9 @@ class StatisticalLearner final : public BaseLearner {
     std::uint32_t triggers = 0;
     std::uint32_t followed = 0;
     double probability() const {
-      return triggers == 0
-                 ? 0.0
-                 : static_cast<double>(followed) / static_cast<double>(triggers);
+      return triggers == 0 ? 0.0
+                           : static_cast<double>(followed) /
+                                 static_cast<double>(triggers);
     }
   };
   static std::vector<Estimate> estimate(std::span<const bgl::Event> training,

@@ -261,8 +261,8 @@ std::vector<LogGenerator::UniqueEvent> LogGenerator::assemble_unique(
     Rng stream = rng.fork();
     TimeSec t = begin;
     while (true) {
-      t += std::max<TimeSec>(1,
-                             static_cast<TimeSec>(stream.exponential(mean_gap)));
+      t += std::max<TimeSec>(
+          1, static_cast<TimeSec>(stream.exponential(mean_gap)));
       if (t >= end) break;
       const CategoryId cat = pool[stream.weighted_index(weights)];
       const Job* job = workload.sample_active_job(t, stream);
@@ -318,8 +318,8 @@ std::vector<LogGenerator::UniqueEvent> LogGenerator::assemble_unique(
                             (profile_.decoy_ambient_per_week * profile_.scale);
     TimeSec t = begin;
     while (true) {
-      t += std::max<TimeSec>(1,
-                             static_cast<TimeSec>(stream.exponential(mean_gap)));
+      t += std::max<TimeSec>(
+          1, static_cast<TimeSec>(stream.exponential(mean_gap)));
       if (t >= end) break;
       const auto& decoys = era_decoys[era_of(t)];
       if (decoys.empty()) continue;
@@ -360,9 +360,10 @@ std::vector<LogGenerator::UniqueEvent> LogGenerator::assemble_unique(
       const auto* sig = library_at(occ.time).find(occ.category);
       if (sig != nullptr && fatal_rng.bernoulli(sig->emission_prob)) {
         for (CategoryId pre : sig->precursors) {
-          const TimeSec lead = 1 + static_cast<TimeSec>(fatal_rng.uniform_index(
-                                       static_cast<std::uint64_t>(
-                                           std::max<DurationSec>(1, sig->max_lead))));
+          const TimeSec lead =
+              1 + static_cast<TimeSec>(fatal_rng.uniform_index(
+                      static_cast<std::uint64_t>(
+                          std::max<DurationSec>(1, sig->max_lead))));
           // Precursors report from the failing midplane most of the
           // time (they are symptoms of the same fault domain).
           if (fatal_midplane && fatal_rng.bernoulli(0.9)) {

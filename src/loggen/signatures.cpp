@@ -59,7 +59,8 @@ ChainSignature SignatureLibrary::draw_chain(CategoryId fatal, Rng& rng,
   }
   chain.emission_prob = rng.uniform(0.7, 0.95);
   // Per-signature mean jitters around the library-wide mean by ±25%.
-  const auto base = static_cast<double>(std::max<DurationSec>(4, params.gap_mean));
+  const auto base =
+      static_cast<double>(std::max<DurationSec>(4, params.gap_mean));
   chain.stage_gap_mean = static_cast<DurationSec>(
       base * 0.75 + static_cast<double>(rng.uniform_index(
                         static_cast<std::uint64_t>(base * 0.5))));

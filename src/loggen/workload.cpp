@@ -34,14 +34,15 @@ WorkloadModel::WorkloadModel(const bgl::MachineConfig& machine,
     for (int i = 0; i < doublings && size * 2 <= max_cards; ++i) size *= 2;
     const std::size_t offset =
         rng.uniform_index(node_cards_.size() - size + 1);
-    job.node_cards.assign(node_cards_.begin() + static_cast<std::ptrdiff_t>(offset),
-                          node_cards_.begin() + static_cast<std::ptrdiff_t>(offset + size));
+    job.node_cards.assign(
+        node_cards_.begin() + static_cast<std::ptrdiff_t>(offset),
+        node_cards_.begin() + static_cast<std::ptrdiff_t>(offset + size));
     jobs_.push_back(std::move(job));
   }
 
   // Day index -> active jobs.
-  const std::size_t num_days = static_cast<std::size_t>(
-      std::max<TimeSec>(1, (end - begin + kSecondsPerDay - 1) / kSecondsPerDay));
+  const std::size_t num_days = static_cast<std::size_t>(std::max<TimeSec>(
+      1, (end - begin + kSecondsPerDay - 1) / kSecondsPerDay));
   active_by_day_.resize(num_days);
   for (std::uint32_t j = 0; j < jobs_.size(); ++j) {
     const auto first_day =

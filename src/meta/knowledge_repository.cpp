@@ -14,8 +14,9 @@ std::uint64_t KnowledgeRepository::add(learners::Rule rule) {
 }
 
 bool KnowledgeRepository::remove(std::uint64_t id) {
-  const auto it = std::find_if(rules_.begin(), rules_.end(),
-                               [id](const StoredRule& r) { return r.id == id; });
+  const auto it =
+      std::find_if(rules_.begin(), rules_.end(),
+                   [id](const StoredRule& r) { return r.id == id; });
   if (it == rules_.end()) return false;
   rules_.erase(it);
   return true;

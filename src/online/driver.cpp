@@ -70,10 +70,13 @@ stats::ConfusionCounts DriverResult::total_counts() const {
   return total;
 }
 
-std::array<stats::ConfusionCounts, learners::kNumRuleSources> DriverResult::total_per_source() const {
+std::array<stats::ConfusionCounts, learners::kNumRuleSources>
+DriverResult::total_per_source() const {
   std::array<stats::ConfusionCounts, learners::kNumRuleSources> total{};
   for (const auto& interval : intervals) {
-    for (std::size_t s = 0; s < learners::kNumRuleSources; ++s) total[s] += interval.per_source[s];
+    for (std::size_t s = 0; s < learners::kNumRuleSources; ++s) {
+      total[s] += interval.per_source[s];
+    }
   }
   return total;
 }
@@ -105,7 +108,9 @@ DriverResult DynamicDriver::run(const storage::EventRepository& repo) const {
   OnlineEngine engine(engine_config(config_, initial_span, retrain_span),
                       [&](const predict::Warning& w) {
                         warnings.push_back(w);
-                        if (config_.warning_observer) config_.warning_observer(w);
+                        if (config_.warning_observer) {
+                          config_.warning_observer(w);
+                        }
                       });
 
   // Streamed feed of [from, to) — the archive is never materialised

@@ -116,7 +116,8 @@ struct DriverResult {
   OnlineEngine::SessionStats engine_stats;
 
   stats::ConfusionCounts total_counts() const;
-  std::array<stats::ConfusionCounts, learners::kNumRuleSources> total_per_source() const;
+  std::array<stats::ConfusionCounts, learners::kNumRuleSources>
+  total_per_source() const;
   double overall_precision() const;
   double overall_recall() const;
 };

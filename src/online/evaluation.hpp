@@ -20,7 +20,8 @@ std::vector<SeriesPoint> accuracy_series(const DriverResult& result);
 
 /// Mean of a series field over the tail (skipping the first
 /// `warmup_points`), for compact bench summaries.
-double mean_precision(const DriverResult& result, std::size_t warmup_points = 0);
+double mean_precision(const DriverResult& result,
+                      std::size_t warmup_points = 0);
 double mean_recall(const DriverResult& result, std::size_t warmup_points = 0);
 
 /// Figure 8: failures captured by each subset of {AR, SR, PD} over a

@@ -195,7 +195,8 @@ RetrainScheduler::BoundaryAction RetrainScheduler::fire(TimeSec boundary) {
 SnapshotBuild RetrainScheduler::run_build_with_retry(
     const std::vector<bgl::Event>& training, TimeSec boundary,
     meta::RepositorySnapshot previous) const {
-  const std::size_t budget = std::max<std::size_t>(1, policy_.max_build_attempts);
+  const std::size_t budget =
+      std::max<std::size_t>(1, policy_.max_build_attempts);
   std::uint32_t backoff_ms = policy_.retry_backoff_ms;
   for (std::size_t attempt = 1;; ++attempt) {
     try {

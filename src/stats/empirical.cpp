@@ -57,8 +57,8 @@ Histogram make_histogram(std::span<const double> samples, double lo,
   if (h.width <= 0.0) h.width = 1.0;
   for (double x : samples) {
     auto idx = static_cast<std::int64_t>(std::floor((x - lo) / h.width));
-    idx = std::clamp<std::int64_t>(idx, 0,
-                                   static_cast<std::int64_t>(h.bins.size()) - 1);
+    idx = std::clamp<std::int64_t>(
+        idx, 0, static_cast<std::int64_t>(h.bins.size()) - 1);
     ++h.bins[static_cast<std::size_t>(idx)];
   }
   return h;

@@ -199,7 +199,8 @@ TEST_F(ChaosStorageTest, StackedCrashesRecoverCleanly) {
   auto& registry = common::FailpointRegistry::instance();
 
   std::size_t next = 0;
-  ASSERT_TRUE(registry.arm_from_string("storage.append=corrupt:after=40:max=1"));
+  ASSERT_TRUE(
+      registry.arm_from_string("storage.append=corrupt:after=40:max=1"));
   {
     LogWriter writer(repo_dir, "chaos", small_segments());
     while (next < events.size()) {

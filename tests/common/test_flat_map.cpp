@@ -92,7 +92,8 @@ TEST(FlatMap, FuzzMatchesUnorderedMap) {
     const std::uint64_t key = rng.uniform_index(512) << 32 | 7;
     switch (rng.uniform_index(3)) {
       case 0: {
-        const auto value = static_cast<std::uint32_t>(rng.uniform_index(1u << 20));
+        const auto value =
+            static_cast<std::uint32_t>(rng.uniform_index(1u << 20));
         map[key] = value;
         oracle[key] = value;
         break;

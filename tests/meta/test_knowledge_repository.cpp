@@ -14,7 +14,8 @@ learners::Rule ar_rule(CategoryId a, CategoryId b, CategoryId consequent) {
 }
 
 learners::Rule sr_rule(int k) {
-  return learners::Rule{learners::Rule::Body(learners::StatisticalRule{k, 0.9})};
+  return learners::Rule{
+      learners::Rule::Body(learners::StatisticalRule{k, 0.9})};
 }
 
 TEST(KnowledgeRepository, AddAssignsUniqueIncreasingIds) {

@@ -37,7 +37,8 @@ std::string warning_key(const predict::Warning& w) {
   return out.str();
 }
 
-std::vector<std::string> keys_of(const std::vector<predict::Warning>& warnings) {
+std::vector<std::string> keys_of(
+    const std::vector<predict::Warning>& warnings) {
   std::vector<std::string> keys;
   keys.reserve(warnings.size());
   for (const auto& w : warnings) keys.push_back(warning_key(w));

@@ -20,7 +20,8 @@ namespace dml::predict {
 namespace {
 
 auto warning_key(const Warning& w) {
-  return std::tuple(w.issued_at, w.deadline, w.category.value_or(kInvalidCategory),
+  return std::tuple(w.issued_at, w.deadline,
+                    w.category.value_or(kInvalidCategory),
                     w.location ? w.location->packed() : 0xffffffffu, w.rule_id,
                     static_cast<int>(w.source));
 }

@@ -317,7 +317,8 @@ void print_failpoint_summary(
                  static_cast<long long>(incident.at), incident.count,
                  incident.detail.c_str());
   }
-  for (const auto& [name, stats] : common::FailpointRegistry::instance().all()) {
+  for (const auto& [name, stats] :
+       common::FailpointRegistry::instance().all()) {
     if (stats.evaluations == 0 && stats.triggers == 0) continue;
     std::fprintf(stderr,
                  "dmlfp: failpoint %s: %llu evaluation(s), %llu trigger(s)\n",
@@ -342,7 +343,8 @@ int cmd_generate(const Flags& flags) {
   profile.chain_gap_mean = flags.get_long("chain-gap", profile.chain_gap_mean);
   profile.chain_final_lead_max =
       flags.get_long("chain-final-lead", profile.chain_final_lead_max);
-  profile.chain_hop_prob = flags.get_double("chain-hop", profile.chain_hop_prob);
+  profile.chain_hop_prob =
+      flags.get_double("chain-hop", profile.chain_hop_prob);
   const auto seed =
       static_cast<std::uint64_t>(flags.get_long("seed", 1));
   const std::string format = flags.get_or("format", "text");
@@ -667,8 +669,9 @@ int run_sharded(const online::DriverConfig& config,
 
   // The same mapping dmlfpd uses for its per-stream engines, so the
   // daemon's warning stream is comparable to this path by construction.
-  const online::ShardedEngineConfig sharded = online::sharded_config_from_driver(
-      config, static_cast<std::size_t>(threads), profile);
+  const online::ShardedEngineConfig sharded =
+      online::sharded_config_from_driver(
+          config, static_cast<std::size_t>(threads), profile);
 
   // --resume-week: serve only from the first retrain boundary at or
   // after the requested week; everything earlier is replayed silently
