@@ -61,15 +61,60 @@
   DML_THREAD_ANNOTATION(try_acquire_capability(value, __VA_ARGS__))
 /// Function returns a reference to the given capability.
 #define DML_RETURN_CAPABILITY(x) DML_THREAD_ANNOTATION(lock_returned(x))
-/// Lock-order edges, for deadlock detection across capabilities.
-#define DML_ACQUIRED_BEFORE(...) \
-  DML_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
-#define DML_ACQUIRED_AFTER(...) \
-  DML_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
 /// Escape hatch; every use needs a comment saying why the analysis
 /// cannot see the invariant.
 #define DML_NO_THREAD_SAFETY_ANALYSIS \
   DML_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+// ---- dml_lint annotations ----------------------------------------------
+// Markers consumed by tools/lint/dml_lint (DESIGN.md §15).  They carry
+// project contracts no generic analysis understands: which functions are
+// on the serving hot path, which run on a reactor thread, and what the
+// cross-class lock acquisition order is.  Under Clang the function
+// markers also emit an `annotate` attribute so the AST engine can read
+// them without re-lexing; under GCC they vanish (same policy as the
+// thread-safety macros above).
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(annotate)
+#define DML_LINT_ANNOTATION(x) __attribute__((annotate(x)))
+#endif
+#endif
+#ifndef DML_LINT_ANNOTATION
+#define DML_LINT_ANNOTATION(x)  // not Clang: annotations vanish
+#endif
+
+/// Serving hot path: the function body must not allocate.  dml_lint
+/// (check hot-alloc) flags `new`, malloc-family calls, and allocating
+/// container mutations lexically inside the marked definition.  Place
+/// between the return type and the name of the *definition*:
+///   void DML_HOT Predictor::observe_into(...) { ... }
+#define DML_HOT DML_LINT_ANNOTATION("dml::hot")
+
+/// Runs on a net::Reactor event-loop thread: the body must never block.
+/// dml_lint (check reactor-blocking) flags CondVar::wait, sleeps,
+/// blocking file I/O, and direct engine calls inside the marked
+/// definition.  epoll_wait itself lives in Reactor::run, which is the
+/// loop, not a callback — it is deliberately unmarked.
+#define DML_REACTOR_CONTEXT DML_LINT_ANNOTATION("dml::reactor_context")
+
+/// Escape hatch for an allocation inside a DML_HOT body.  Must carry a
+/// non-empty string-literal rationale and sit on its own line directly
+/// above the allocating statement it excuses (it covers exactly one
+/// following statement line).  The static_assert forces the rationale
+/// to be a real string literal on every compiler.
+#define DML_ALLOW_ALLOC(reason) static_assert(true, "" reason "")
+
+/// Declared lock-order edges for dml_lint's acquired-before graph
+/// (check lock-order).  Arguments are canonical lock names — the unique
+/// member name of the Mutex, as a string — so edges can cross classes
+/// without the declaration-order gymnastics clang's acquired_before
+/// attribute needs.  Attach to the Mutex member declaration:
+///   common::Mutex sub_mutex DML_ACQUIRED_BEFORE("out_mutex");
+/// Every lexically nested MutexLock pair must be covered by a declared
+/// edge, and the declared graph must stay acyclic.
+#define DML_ACQUIRED_BEFORE(...)
+#define DML_ACQUIRED_AFTER(...)
 
 namespace dml::common {
 

@@ -49,6 +49,24 @@ bool fail(std::string* error, std::string message) {
   return false;
 }
 
+/// Error with a caret line pointing at `pos` inside the offending spec,
+/// so a malformed CLI/env assignment is diagnosed exactly:
+///   failpoint p must be a probability in [0, 1]
+///     drop:p=1.5
+///            ^
+bool fail_at(std::string* error, std::string_view text, std::size_t pos,
+             std::string message) {
+  if (error) {
+    message.append("\n  ");
+    message.append(text);
+    message.append("\n  ");
+    message.append(std::min(pos, text.size()), ' ');
+    message.push_back('^');
+    *error = std::move(message);
+  }
+  return false;
+}
+
 }  // namespace
 
 std::string_view to_string(FailAction action) {
@@ -65,9 +83,14 @@ std::string_view to_string(FailAction action) {
 std::optional<FailpointSpec> parse_failpoint_spec(std::string_view text,
                                                   std::string* error) {
   FailpointSpec spec;
+  // Tokenizer with position tracking: token_at holds the offset of the
+  // token under inspection, so every rejection points at the exact
+  // character that caused it.
   std::size_t start = 0;
+  std::size_t token_at = 0;
   const auto next_token = [&]() -> std::optional<std::string_view> {
     if (start > text.size()) return std::nullopt;
+    token_at = start;
     const std::size_t pos = text.find(':', start);
     const auto token = text.substr(
         start, pos == std::string_view::npos ? pos : pos - start);
@@ -91,51 +114,84 @@ std::optional<FailpointSpec> parse_failpoint_spec(std::string_view text,
   } else if (*action == "corrupt") {
     spec.action = FailAction::kCorrupt;
   } else {
-    fail(error, "unknown failpoint action '" + std::string(*action) +
-                    "' (throw|delay|drop|corrupt|off)");
+    fail_at(error, text, token_at,
+            "unknown failpoint action '" + std::string(*action) +
+                "' (throw|delay|drop|corrupt|off)");
     return std::nullopt;
   }
 
+  bool seen_p = false, seen_ms = false, seen_after = false, seen_max = false;
   while (const auto token = next_token()) {
+    if (token->empty()) {
+      fail_at(error, text, token_at,
+              "empty failpoint parameter (expected key=value)");
+      return std::nullopt;
+    }
     const std::size_t eq = token->find('=');
     if (eq == std::string_view::npos) {
-      fail(error, "failpoint parameter '" + std::string(*token) +
-                      "' is not key=value");
+      fail_at(error, text, token_at,
+              "failpoint parameter '" + std::string(*token) +
+                  "' is not key=value");
       return std::nullopt;
     }
     const auto key = token->substr(0, eq);
     const auto value = token->substr(eq + 1);
+    const std::size_t value_at = token_at + eq + 1;
+    if (value.empty()) {
+      fail_at(error, text, value_at,
+              "failpoint parameter '" + std::string(key) +
+                  "' is missing a value");
+      return std::nullopt;
+    }
+    const auto seen = [&](bool& flag) {
+      if (flag) {
+        fail_at(error, text, token_at,
+                "duplicate failpoint parameter '" + std::string(key) + "'");
+        return true;
+      }
+      flag = true;
+      return false;
+    };
     if (key == "p") {
+      if (seen(seen_p)) return std::nullopt;
       const auto p = parse_double(value);
       if (!p || *p < 0.0 || *p > 1.0) {
-        fail(error, "failpoint p must be a probability in [0, 1]");
+        fail_at(error, text, value_at,
+                "failpoint p must be a probability in [0, 1]");
         return std::nullopt;
       }
       spec.probability = *p;
     } else if (key == "ms") {
+      if (seen(seen_ms)) return std::nullopt;
       const auto ms = parse_uint<std::uint32_t>(value);
       if (!ms) {
-        fail(error, "failpoint ms must be a nonnegative integer");
+        fail_at(error, text, value_at,
+                "failpoint ms must be a nonnegative integer");
         return std::nullopt;
       }
       spec.delay_ms = *ms;
     } else if (key == "after") {
+      if (seen(seen_after)) return std::nullopt;
       const auto n = parse_uint<std::uint64_t>(value);
       if (!n) {
-        fail(error, "failpoint after must be a nonnegative integer");
+        fail_at(error, text, value_at,
+                "failpoint after must be a nonnegative integer");
         return std::nullopt;
       }
       spec.after = *n;
     } else if (key == "max") {
+      if (seen(seen_max)) return std::nullopt;
       const auto n = parse_uint<std::uint64_t>(value);
       if (!n) {
-        fail(error, "failpoint max must be a nonnegative integer");
+        fail_at(error, text, value_at,
+                "failpoint max must be a nonnegative integer");
         return std::nullopt;
       }
       spec.max_triggers = *n;
     } else {
-      fail(error, "unknown failpoint parameter '" + std::string(key) +
-                      "' (p|ms|after|max)");
+      fail_at(error, text, token_at,
+              "unknown failpoint parameter '" + std::string(key) +
+                  "' (p|ms|after|max)");
       return std::nullopt;
     }
   }

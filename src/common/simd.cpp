@@ -29,7 +29,7 @@ std::string_view to_string(Variant variant) {
 
 // ---- Scalar reference kernels ------------------------------------------
 
-std::uint64_t and_popcount_scalar(const std::uint64_t* a,
+std::uint64_t DML_HOT and_popcount_scalar(const std::uint64_t* a,
                                   const std::uint64_t* b,
                                   std::size_t words) {
   std::uint64_t total = 0;
@@ -39,7 +39,7 @@ std::uint64_t and_popcount_scalar(const std::uint64_t* a,
   return total;
 }
 
-std::uint32_t subset_count_scalar(const std::uint64_t* rows,
+std::uint32_t DML_HOT subset_count_scalar(const std::uint64_t* rows,
                                   std::size_t n_rows, std::size_t stride,
                                   const std::uint64_t* mask,
                                   std::size_t words) {
@@ -64,7 +64,7 @@ std::uint32_t subset_count_scalar(const std::uint64_t* rows,
 // 256-bit AND + the pshufb nibble-LUT popcount (Mula); every
 // AVX2-capable part also has the scalar POPCNT used for tails.
 
-__attribute__((target("avx2,popcnt"))) static std::uint64_t
+__attribute__((target("avx2,popcnt"))) static std::uint64_t DML_HOT
 and_popcount_avx2(const std::uint64_t* a, const std::uint64_t* b,
                   std::size_t words) {
   const __m256i lut = _mm256_setr_epi8(
@@ -94,7 +94,7 @@ and_popcount_avx2(const std::uint64_t* a, const std::uint64_t* b,
   return total;
 }
 
-__attribute__((target("avx2,popcnt"))) static std::uint32_t
+__attribute__((target("avx2,popcnt"))) static std::uint32_t DML_HOT
 subset_count_avx2(const std::uint64_t* rows, std::size_t n_rows,
                   std::size_t stride, const std::uint64_t* mask,
                   std::size_t words) {
@@ -147,7 +147,7 @@ subset_count_avx2(const std::uint64_t* rows, std::size_t n_rows,
 // packing 8/4/2 rows per register for the narrow transaction rows.
 
 __attribute__((target("avx512f,avx512vpopcntdq,popcnt"))) static std::uint64_t
-and_popcount_avx512(const std::uint64_t* a, const std::uint64_t* b,
+    DML_HOT and_popcount_avx512(const std::uint64_t* a, const std::uint64_t* b,
                     std::size_t words) {
   __m512i acc = _mm512_setzero_si512();
   std::size_t w = 0;
@@ -168,7 +168,7 @@ and_popcount_avx512(const std::uint64_t* a, const std::uint64_t* b,
   return total;
 }
 
-__attribute__((target("avx512f,popcnt"))) static std::uint32_t
+__attribute__((target("avx512f,popcnt"))) static std::uint32_t DML_HOT
 subset_count_avx512(const std::uint64_t* rows, std::size_t n_rows,
                     std::size_t stride, const std::uint64_t* mask,
                     std::size_t words) {
@@ -259,7 +259,8 @@ std::atomic<const Kernels*> g_active{nullptr};
 
 Variant detect_best() {
   // Read once, before any worker thread touches the kernels.
-  const char* disable = std::getenv("DMLFP_DISABLE_SIMD");  // NOLINT(concurrency-mt-unsafe)
+  const char* disable =
+      std::getenv("DMLFP_DISABLE_SIMD");  // NOLINT(concurrency-mt-unsafe)
   if (disable != nullptr && disable[0] != '\0' &&
       std::strcmp(disable, "0") != 0) {
     return Variant::kScalar;

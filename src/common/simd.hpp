@@ -23,6 +23,8 @@
 #pragma once
 
 #include <bit>
+
+#include "common/annotations.hpp"
 #include <cstddef>
 #include <cstdint>
 #include <string_view>
@@ -83,12 +85,12 @@ void force_variant(Variant variant);
 
 // ---- Convenience wrappers over the dispatched table --------------------
 
-inline std::uint64_t and_popcount(const std::uint64_t* a,
+inline std::uint64_t DML_HOT and_popcount(const std::uint64_t* a,
                                   const std::uint64_t* b, std::size_t words) {
   return active().and_popcount(a, b, words);
 }
 
-inline std::uint32_t subset_count(const std::uint64_t* rows,
+inline std::uint32_t DML_HOT subset_count(const std::uint64_t* rows,
                                   std::size_t n_rows, std::size_t stride,
                                   const std::uint64_t* mask,
                                   std::size_t words) {

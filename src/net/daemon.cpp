@@ -37,19 +37,19 @@ struct Daemon::Subscriber {
   std::uint32_t stream_id = 0;
   std::size_t cap = 0;
 
-  common::Mutex mutex;
-  std::deque<predict::Warning> warnings DML_GUARDED_BY(mutex);
-  std::uint64_t dropped DML_GUARDED_BY(mutex) = 0;
+  common::Mutex out_mutex;
+  std::deque<predict::Warning> warnings DML_GUARDED_BY(out_mutex);
+  std::uint64_t dropped DML_GUARDED_BY(out_mutex) = 0;
   /// Stream drained; FINISHED goes out after the queue empties.
-  bool finished DML_GUARDED_BY(mutex) = false;
-  StreamStatsMsg final_stats DML_GUARDED_BY(mutex);
+  bool finished DML_GUARDED_BY(out_mutex) = false;
+  StreamStatsMsg final_stats DML_GUARDED_BY(out_mutex);
   /// Connection gone; stop queueing and notifying.
-  bool detached DML_GUARDED_BY(mutex) = false;
+  bool detached DML_GUARDED_BY(out_mutex) = false;
 
   /// Engine-callback side.  Returns true when the reactor should be
   /// kicked (queue went non-empty or FINISHED became deliverable).
-  bool push(const predict::Warning& warning) DML_EXCLUDES(mutex) {
-    common::MutexLock lock(mutex);
+  bool push(const predict::Warning& warning) DML_EXCLUDES(out_mutex) {
+    common::MutexLock lock(out_mutex);
     if (detached) return false;
     if (warnings.size() >= cap) {
       ++dropped;
@@ -76,18 +76,18 @@ struct Daemon::Stream {
   /// engine-derived figure available before finish()).
   std::atomic<std::uint64_t> warnings_emitted{0};
 
-  common::Mutex mutex;
+  common::Mutex state_mutex;
   common::CondVar cv;
-  std::deque<Batch> queue DML_GUARDED_BY(mutex);
-  std::uint64_t expected_seq DML_GUARDED_BY(mutex) = 0;
-  TimeSec last_event_time DML_GUARDED_BY(mutex) = 0;
+  std::deque<Batch> queue DML_GUARDED_BY(state_mutex);
+  std::uint64_t expected_seq DML_GUARDED_BY(state_mutex) = 0;
+  TimeSec last_event_time DML_GUARDED_BY(state_mutex) = 0;
   /// Reactor connection currently owning ingest; 0 = claimable.
-  std::uint64_t owner_conn DML_GUARDED_BY(mutex) = 0;
-  bool finishing DML_GUARDED_BY(mutex) = false;
-  bool finished DML_GUARDED_BY(mutex) = false;
-  std::uint64_t events_ingested DML_GUARDED_BY(mutex) = 0;
-  std::uint64_t batches_refused DML_GUARDED_BY(mutex) = 0;
-  StreamStatsMsg final_stats DML_GUARDED_BY(mutex);
+  std::uint64_t owner_conn DML_GUARDED_BY(state_mutex) = 0;
+  bool finishing DML_GUARDED_BY(state_mutex) = false;
+  bool finished DML_GUARDED_BY(state_mutex) = false;
+  std::uint64_t events_ingested DML_GUARDED_BY(state_mutex) = 0;
+  std::uint64_t batches_refused DML_GUARDED_BY(state_mutex) = 0;
+  StreamStatsMsg final_stats DML_GUARDED_BY(state_mutex);
   /// FINISH_STREAM repliers: pre-encoded FINISHED goes to these
   /// mailboxes when the pump completes.
   struct FinishWaiter {
@@ -95,9 +95,11 @@ struct Daemon::Stream {
     std::uint64_t conn_id = 0;
     std::shared_ptr<Session> session;
   };
-  std::vector<FinishWaiter> finish_waiters DML_GUARDED_BY(mutex);
+  std::vector<FinishWaiter> finish_waiters DML_GUARDED_BY(state_mutex);
 
-  common::Mutex sub_mutex;
+  /// Fan-out lock; Subscriber::out_mutex nests inside it (on_warning,
+  /// pump_main), never the other way around.
+  common::Mutex sub_mutex DML_ACQUIRED_BEFORE("out_mutex");
   std::vector<std::shared_ptr<Subscriber>> subscribers
       DML_GUARDED_BY(sub_mutex);
 
@@ -127,13 +129,13 @@ struct Daemon::Session {
   std::unordered_map<std::uint32_t, std::shared_ptr<Subscriber>>
       subscriptions;
 
-  common::Mutex mutex;
-  std::vector<unsigned char> control DML_GUARDED_BY(mutex);
+  common::Mutex mail_mutex;
+  std::vector<unsigned char> control DML_GUARDED_BY(mail_mutex);
 
   /// Pump-thread side: queue pre-encoded frames for the reactor.
   void post_control(std::span<const unsigned char> bytes)
-      DML_EXCLUDES(mutex) {
-    common::MutexLock lock(mutex);
+      DML_EXCLUDES(mail_mutex) {
+    common::MutexLock lock(mail_mutex);
     control.insert(control.end(), bytes.begin(), bytes.end());
   }
 };
@@ -208,7 +210,8 @@ void Daemon::accept_loop() {
 
 // ---- Reactor-thread protocol handling ------------------------------------
 
-Daemon::Session& Daemon::session_of(ReactorConnection& conn) {
+Daemon::Session& DML_REACTOR_CONTEXT Daemon::session_of(
+    ReactorConnection& conn) {
   if (conn.context() == nullptr) {
     // Ownership: the shared_ptr lives as a heap cell referenced from
     // the connection context; pumps hold weak copies via finish
@@ -221,7 +224,8 @@ Daemon::Session& Daemon::session_of(ReactorConnection& conn) {
   return **static_cast<std::shared_ptr<Session>*>(conn.context());
 }
 
-void Daemon::send_error(ReactorConnection& conn, ErrorCode code,
+void DML_REACTOR_CONTEXT Daemon::send_error(ReactorConnection& conn,
+                                            ErrorCode code,
                         std::uint32_t stream_id, const std::string& message,
                         bool fatal) {
   std::vector<unsigned char> out;
@@ -230,7 +234,8 @@ void Daemon::send_error(ReactorConnection& conn, ErrorCode code,
   if (fatal) conn.close_after_flush();
 }
 
-void Daemon::on_frame(ReactorConnection& conn, FrameType type,
+void DML_REACTOR_CONTEXT Daemon::on_frame(ReactorConnection& conn,
+                                          FrameType type,
                       std::span<const unsigned char> payload) {
   Session& session = session_of(conn);
 
@@ -318,7 +323,8 @@ void Daemon::on_frame(ReactorConnection& conn, FrameType type,
   }
 }
 
-void Daemon::handle_open_stream(ReactorConnection& conn, Session& session,
+void DML_REACTOR_CONTEXT Daemon::handle_open_stream(ReactorConnection& conn,
+                                                    Session& session,
                                 const OpenStreamMsg& msg) {
   if (draining_.load(std::memory_order_acquire)) {
     send_error(conn, ErrorCode::kDraining, 0, "daemon draining",
@@ -344,7 +350,7 @@ void Daemon::handle_open_stream(ReactorConnection& conn, Session& session,
   // First open constructs the engine (outside the registry lock; the
   // stream mutex serialises racing openers).
   {
-    common::MutexLock lock(stream->mutex);
+    common::MutexLock lock(stream->state_mutex);
     if (stream->finished || stream->finishing) {
       send_error(conn, ErrorCode::kUnknownStream, stream->id,
                  "stream already finished", /*fatal=*/false);
@@ -395,7 +401,7 @@ void Daemon::handle_open_stream(ReactorConnection& conn, Session& session,
   StreamOpenedMsg reply;
   reply.stream_id = stream->id;
   {
-    common::MutexLock lock(stream->mutex);
+    common::MutexLock lock(stream->state_mutex);
     reply.next_seq = stream->expected_seq;
   }
   std::vector<unsigned char> out;
@@ -403,7 +409,8 @@ void Daemon::handle_open_stream(ReactorConnection& conn, Session& session,
   conn.send(out);
 }
 
-void Daemon::handle_ingest(ReactorConnection& conn, Session& session,
+void DML_REACTOR_CONTEXT Daemon::handle_ingest(ReactorConnection& conn,
+                                               Session& session,
                            std::uint32_t stream_id, std::uint64_t seq,
                            std::vector<bgl::Event> events,
                            std::vector<bgl::RasRecord> records) {
@@ -445,7 +452,7 @@ void Daemon::handle_ingest(ReactorConnection& conn, Session& session,
   }
   const std::size_t count = events.size() + records.size();
 
-  common::MutexLock lock(stream.mutex);
+  common::MutexLock lock(stream.state_mutex);
   if (stream.finishing || stream.finished) {
     lock.unlock();
     send_error(conn, ErrorCode::kUnknownStream, stream_id,
@@ -499,7 +506,8 @@ void Daemon::handle_ingest(ReactorConnection& conn, Session& session,
   conn.send(out);
 }
 
-void Daemon::handle_finish(ReactorConnection& conn, Session& session,
+void DML_REACTOR_CONTEXT Daemon::handle_finish(ReactorConnection& conn,
+                                               Session& session,
                            const FinishStreamMsg& msg) {
   auto it = session.ingest.find(msg.stream_id);
   if (it == session.ingest.end()) {
@@ -511,7 +519,7 @@ void Daemon::handle_finish(ReactorConnection& conn, Session& session,
   Stream& stream = *it->second;
   auto* cell = static_cast<std::shared_ptr<Session>*>(conn.context());
 
-  common::MutexLock lock(stream.mutex);
+  common::MutexLock lock(stream.state_mutex);
   if (stream.finished) {
     const StreamStatsMsg stats = stream.final_stats;
     lock.unlock();
@@ -543,7 +551,8 @@ void Daemon::handle_finish(ReactorConnection& conn, Session& session,
   stream.cv.notify_one();
 }
 
-void Daemon::handle_stats(ReactorConnection& conn, const StatsMsg& msg) {
+void DML_REACTOR_CONTEXT Daemon::handle_stats(ReactorConnection& conn,
+                                              const StatsMsg& msg) {
   std::shared_ptr<Stream> stream = find_stream(msg.stream_id);
   if (stream == nullptr) {
     send_error(conn, ErrorCode::kUnknownStream, msg.stream_id,
@@ -556,13 +565,13 @@ void Daemon::handle_stats(ReactorConnection& conn, const StatsMsg& msg) {
   conn.send(out);
 }
 
-void Daemon::on_kick(ReactorConnection& conn) {
+void DML_REACTOR_CONTEXT Daemon::on_kick(ReactorConnection& conn) {
   if (conn.context() == nullptr) return;
   Session& session = session_of(conn);
 
   // Control frames posted by pump threads (FINISHED replies).
   {
-    common::MutexLock lock(session.mutex);
+    common::MutexLock lock(session.mail_mutex);
     if (!session.control.empty()) {
       conn.send(session.control);
       session.control.clear();
@@ -574,7 +583,7 @@ void Daemon::on_kick(ReactorConnection& conn) {
   std::vector<unsigned char> out;
   std::vector<std::uint32_t> done;
   for (auto& [stream_id, sub] : session.subscriptions) {
-    common::MutexLock lock(sub->mutex);
+    common::MutexLock lock(sub->out_mutex);
     while (!sub->warnings.empty()) {
       append_warning(out, WarningMsg{stream_id, sub->warnings.front()});
       sub->warnings.pop_front();
@@ -599,7 +608,7 @@ void Daemon::on_kick(ReactorConnection& conn) {
   }
 }
 
-void Daemon::on_disconnect(ReactorConnection& conn,
+void DML_REACTOR_CONTEXT Daemon::on_disconnect(ReactorConnection& conn,
                            const std::string& reason) {
   (void)reason;
   if (conn.context() == nullptr) return;
@@ -609,12 +618,12 @@ void Daemon::on_disconnect(ReactorConnection& conn,
   // Release ingest ownership: the stream survives for
   // reconnect-with-resume.
   for (auto& [stream_id, stream] : session.ingest) {
-    common::MutexLock lock(stream->mutex);
+    common::MutexLock lock(stream->state_mutex);
     if (stream->owner_conn == session.conn_id) stream->owner_conn = 0;
   }
   // Detach subscriptions: the engine callback stops queueing for them.
   for (auto& [stream_id, sub] : session.subscriptions) {
-    common::MutexLock lock(sub->mutex);
+    common::MutexLock lock(sub->out_mutex);
     sub->detached = true;
   }
   delete cell;
@@ -629,7 +638,7 @@ void Daemon::pump_main(std::shared_ptr<Stream> stream) {
     while (true) {
       Batch batch;
       {
-        common::MutexLock lock(stream->mutex);
+        common::MutexLock lock(stream->state_mutex);
         while (stream->queue.empty()) stream->cv.wait(lock);
         batch = std::move(stream->queue.front());
         stream->queue.pop_front();
@@ -662,7 +671,7 @@ void Daemon::pump_main(std::shared_ptr<Stream> stream) {
 
   StreamStatsMsg stats;
   {
-    common::MutexLock lock(stream->mutex);
+    common::MutexLock lock(stream->state_mutex);
     stats.stream_id = stream->id;
     stats.events_ingested = stream->events_ingested;
     stats.events_served = engine_stats.events_after_filtering;
@@ -681,7 +690,7 @@ void Daemon::pump_main(std::shared_ptr<Stream> stream) {
   // warnings).
   std::vector<Stream::FinishWaiter> waiters;
   {
-    common::MutexLock lock(stream->mutex);
+    common::MutexLock lock(stream->state_mutex);
     waiters.swap(stream->finish_waiters);
   }
   std::vector<unsigned char> frame;
@@ -695,7 +704,7 @@ void Daemon::pump_main(std::shared_ptr<Stream> stream) {
     for (const auto& sub : stream->subscribers) {
       bool kick = false;
       {
-        common::MutexLock sub_lock(sub->mutex);
+        common::MutexLock sub_lock(sub->out_mutex);
         if (sub->detached) continue;
         sub->finished = true;
         sub->final_stats = stats;
@@ -716,7 +725,7 @@ std::shared_ptr<Daemon::Stream> Daemon::find_stream(
 }
 
 StreamStatsMsg Daemon::snapshot_stream_stats(Stream& stream) const {
-  common::MutexLock lock(stream.mutex);
+  common::MutexLock lock(stream.state_mutex);
   if (stream.finished) return stream.final_stats;
   StreamStatsMsg stats;
   stats.stream_id = stream.id;
@@ -748,7 +757,7 @@ DaemonStats Daemon::wait() {
   }
   for (const auto& stream : streams) {
     {
-      common::MutexLock lock(stream->mutex);
+      common::MutexLock lock(stream->state_mutex);
       if (stream->engine == nullptr || stream->finishing ||
           stream->finished) {
         continue;

@@ -132,7 +132,7 @@ void Reactor::update_interest(ReactorConnection& conn) {
   ::epoll_ctl(epoll_.get(), EPOLL_CTL_MOD, conn.fd_.get(), &ev);
 }
 
-bool Reactor::dispatch_frames(ReactorConnection& conn) {
+bool DML_REACTOR_CONTEXT Reactor::dispatch_frames(ReactorConnection& conn) {
   std::size_t offset = 0;
   while (true) {
     const DecodedFrame frame =
@@ -159,7 +159,7 @@ bool Reactor::dispatch_frames(ReactorConnection& conn) {
   return true;
 }
 
-void Reactor::handle_readable(ReactorConnection& conn) {
+void DML_REACTOR_CONTEXT Reactor::handle_readable(ReactorConnection& conn) {
   try {
     switch (common::failpoint(common::failpoints::kNetRead)) {
       case common::FailAction::kDrop:
@@ -199,7 +199,7 @@ void Reactor::handle_readable(ReactorConnection& conn) {
   }
 }
 
-void Reactor::handle_writable(ReactorConnection& conn) {
+void DML_REACTOR_CONTEXT Reactor::handle_writable(ReactorConnection& conn) {
   try {
     if (common::failpoint(common::failpoints::kNetWrite) ==
         common::FailAction::kCorrupt) {
@@ -212,8 +212,9 @@ void Reactor::handle_writable(ReactorConnection& conn) {
   }
 
   while (conn.out_offset_ < conn.out_.size()) {
-    const ssize_t n = ::send(conn.fd_.get(), conn.out_.data() + conn.out_offset_,
-                             conn.out_.size() - conn.out_offset_, MSG_NOSIGNAL);
+    const ssize_t n =
+        ::send(conn.fd_.get(), conn.out_.data() + conn.out_offset_,
+               conn.out_.size() - conn.out_offset_, MSG_NOSIGNAL);
     if (n > 0) {
       conn.out_offset_ += static_cast<std::size_t>(n);
       continue;

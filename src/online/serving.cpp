@@ -1,5 +1,6 @@
 #include "online/serving.hpp"
 
+#include "common/annotations.hpp"
 #include "common/failpoint.hpp"
 
 namespace dml::online {
@@ -101,7 +102,8 @@ void ServingCore::observe(const bgl::Event& event,
   }
 }
 
-void ServingCore::observe_batch(std::span<const bgl::Event> events,
+void DML_HOT ServingCore::observe_batch(
+    std::span<const bgl::Event> events,
                                 std::vector<predict::Warning>& out) {
   if (predictor_ == nullptr || options_.warm_retention > 0) {
     // Cold core or warm-buffer upkeep in play: the per-event path

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/annotations.hpp"
 #include "common/check.hpp"
 
 namespace dml::predict {
@@ -133,7 +134,7 @@ void Predictor::set_scope_clock(std::uint32_t midplane, TimeSec at) {
 }
 
 template <bool kScoped>
-void Predictor::expire(TimeSec now) {
+void DML_HOT Predictor::expire(TimeSec now) {
   const TimeSec cutoff = now - window_;
   while (!recent_.empty() && recent_.front().time <= cutoff) {
     const RecentEvent& old = recent_.front();
@@ -183,7 +184,7 @@ std::uint64_t active_key(std::uint64_t rule_id, std::uint32_t scope,
 }  // namespace
 
 template <bool kScoped>
-bool Predictor::match_chain(const learners::CorrelationChainRule& rule,
+bool DML_HOT Predictor::match_chain(const learners::CorrelationChainRule& rule,
                             TimeSec now, std::uint32_t midplane) {
   const std::size_t stages = rule.chain.size();
   if (stages == 1) return true;  // the current event is the whole chain
@@ -195,6 +196,8 @@ bool Predictor::match_chain(const learners::CorrelationChainRule& rule,
   // pass is exact — a greedy most-recent backward scan is not (taking a
   // late stage k can strand stage k-1 outside its window).
   constexpr TimeSec kUnseen = std::numeric_limits<TimeSec>::min();
+  DML_ALLOW_ALLOC("prefix rewrite of a retained scratch vector; capacity "
+                  "grows once to the longest chain and is then reused");
   chain_scratch_.assign(stages - 1, kUnseen);
   const DurationSec gap_limit = rule.stage_window;
   for (std::size_t i = 0; i < chain_recent_.size(); ++i) {
@@ -217,7 +220,7 @@ bool Predictor::match_chain(const learners::CorrelationChainRule& rule,
          now - chain_scratch_[stages - 2] <= gap_limit;
 }
 
-bool Predictor::try_issue(std::vector<Warning>& out, TimeSec now,
+bool DML_HOT Predictor::try_issue(std::vector<Warning>& out, TimeSec now,
                           const meta::StoredRule& rule,
                           std::optional<CategoryId> category,
                           TimeSec deadline,
@@ -253,6 +256,8 @@ bool Predictor::try_issue(std::vector<Warning>& out, TimeSec now,
   warning.location = location;
   warning.rule_id = rule.id;
   warning.source = rule.rule.source();
+  DML_ALLOW_ALLOC("warning emission appends to the caller-owned output "
+                  "vector; callers reuse it so capacity is amortized");
   out.push_back(warning);
   return true;
 }
@@ -265,7 +270,7 @@ void Predictor::erase_active(std::uint64_t rule_id, std::uint32_t scope) {
   active_.erase(active_key(rule_id, scope, true));
 }
 
-void Predictor::check_distribution_scope(std::vector<Warning>& out,
+void DML_HOT Predictor::check_distribution_scope(std::vector<Warning>& out,
                                          TimeSec now, std::uint32_t midplane,
                                          TimeSec last_fatal) {
   const DurationSec elapsed = now - last_fatal;
@@ -281,7 +286,8 @@ void Predictor::check_distribution_scope(std::vector<Warning>& out,
   }
 }
 
-void Predictor::check_distribution(std::vector<Warning>& out, TimeSec now) {
+void DML_HOT Predictor::check_distribution(std::vector<Warning>& out,
+                                            TimeSec now) {
   if (options_.per_scope_state) {
     // Clock-tick sweep: every midplane with an elapsed-time clock is
     // checked independently (same union of scopes however the stream is
@@ -324,7 +330,7 @@ void Predictor::check_distribution(std::vector<Warning>& out, TimeSec now) {
 }
 
 template <bool kScoped>
-void Predictor::observe_impl(const bgl::Event& event,
+void DML_HOT Predictor::observe_impl(const bgl::Event& event,
                              std::vector<Warning>& out) {
   const TimeSec now = event.time;
   expire<kScoped>(now);
@@ -350,6 +356,8 @@ void Predictor::observe_impl(const bgl::Event& event,
     // On the BG/L logs that is ~85% of the non-fatal stream.
     if (event.category < e_list_.size() &&
         !e_list_[event.category].empty()) {
+      DML_ALLOW_ALLOC("RingQueue append: ring storage is reused; growth "
+                      "is amortized and absent at steady state");
       recent_.push_back({now, event.category, midplane});
       // recent_counts_ is pre-sized over e_list_ at construction.
       ++recent_counts_[event.category];
@@ -392,9 +400,13 @@ void Predictor::observe_impl(const bgl::Event& event,
           }
         }
       }
+      DML_ALLOW_ALLOC("RingQueue append: ring storage is reused; growth "
+                      "is amortized and absent at steady state");
       chain_recent_.push_back({now, event.category, midplane});
     }
   } else {
+    DML_ALLOW_ALLOC("RingQueue append: ring storage is reused; growth "
+                    "is amortized and absent at steady state");
     recent_fatals_.emplace_back(now, midplane);
     std::size_t fatals_in_scope;
     if constexpr (kScoped) {
@@ -479,7 +491,7 @@ void Predictor::observe_impl(const bgl::Event& event,
   }
 }
 
-void Predictor::observe_into(const bgl::Event& event,
+void DML_HOT Predictor::observe_into(const bgl::Event& event,
                              std::vector<Warning>& out) {
   if (scoped()) {
     observe_impl<true>(event, out);
@@ -499,7 +511,7 @@ std::vector<Warning> Predictor::observe(const bgl::Event& event) {
 // prologue and re-loaded member state are measurable at 10ns/event.
 __attribute__((flatten))
 #endif
-void Predictor::observe_batch(std::span<const bgl::Event> events,
+void DML_HOT Predictor::observe_batch(std::span<const bgl::Event> events,
                               std::vector<Warning>& out) {
   // One scoped-ness dispatch per batch, not per event.
   if (scoped()) {
@@ -531,7 +543,7 @@ void Predictor::observe_batch(std::span<const bgl::Event> events,
   for (const bgl::Event& event : events) observe_impl<false>(event, out);
 }
 
-void Predictor::tick_into(TimeSec now, std::vector<Warning>& out) {
+void DML_HOT Predictor::tick_into(TimeSec now, std::vector<Warning>& out) {
   check_distribution(out, now);
 }
 

@@ -64,6 +64,55 @@ TEST_F(FailpointTest, SpecParserRejectsMalformedInputWithReason) {
   EXPECT_FALSE(parse_failpoint_spec("delay:ms=-3", &error).has_value());
 }
 
+TEST_F(FailpointTest, SpecParserRejectsNegativeProbability) {
+  std::string error;
+  EXPECT_FALSE(parse_failpoint_spec("drop:p=-0.25", &error).has_value());
+  EXPECT_NE(error.find("probability in [0, 1]"), std::string::npos);
+}
+
+TEST_F(FailpointTest, SpecParserRejectsEmptyParameterToken) {
+  std::string error;
+  EXPECT_FALSE(parse_failpoint_spec("throw::p=1", &error).has_value());
+  EXPECT_NE(error.find("empty failpoint parameter"), std::string::npos);
+
+  EXPECT_FALSE(parse_failpoint_spec("drop:", &error).has_value());
+  EXPECT_NE(error.find("empty failpoint parameter"), std::string::npos);
+}
+
+TEST_F(FailpointTest, SpecParserRejectsMissingValue) {
+  std::string error;
+  EXPECT_FALSE(parse_failpoint_spec("drop:p=", &error).has_value());
+  EXPECT_NE(error.find("'p' is missing a value"), std::string::npos);
+
+  EXPECT_FALSE(parse_failpoint_spec("delay:ms=", &error).has_value());
+  EXPECT_NE(error.find("'ms' is missing a value"), std::string::npos);
+}
+
+TEST_F(FailpointTest, SpecParserRejectsDuplicateParameters) {
+  std::string error;
+  EXPECT_FALSE(parse_failpoint_spec("drop:p=0.5:p=0.9", &error).has_value());
+  EXPECT_NE(error.find("duplicate failpoint parameter 'p'"),
+            std::string::npos);
+
+  EXPECT_FALSE(
+      parse_failpoint_spec("delay:ms=5:after=1:ms=9", &error).has_value());
+  EXPECT_NE(error.find("duplicate failpoint parameter 'ms'"),
+            std::string::npos);
+}
+
+TEST_F(FailpointTest, SpecParserErrorsPointAtTheOffendingCharacter) {
+  // The diagnostic quotes the spec and carets the exact offset of the
+  // rejected token or value.
+  std::string error;
+  EXPECT_FALSE(parse_failpoint_spec("drop:p=1.5", &error).has_value());
+  EXPECT_NE(error.find("\n  drop:p=1.5\n"), std::string::npos);
+  EXPECT_NE(error.find("\n         ^"), std::string::npos);
+
+  EXPECT_FALSE(parse_failpoint_spec("drop:banana=1", &error).has_value());
+  EXPECT_NE(error.find("\n  drop:banana=1\n"), std::string::npos);
+  EXPECT_NE(error.find("\n       ^"), std::string::npos);
+}
+
 TEST_F(FailpointTest, UnarmedHookIsOffAndCountsNothing) {
   EXPECT_EQ(failpoint("nothing.armed"), FailAction::kOff);
   EXPECT_EQ(FailpointRegistry::instance().stats("nothing.armed").evaluations,

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/failpoint.hpp"
 #include "loggen/generator.hpp"
+#include "preprocess/streaming_pipeline.hpp"
 #include "support/test_fixtures.hpp"
 
 namespace dml::preprocess {
@@ -106,6 +108,37 @@ TEST(ThresholdSweep, SelectsThresholdWhereCurveFlattens) {
 
 TEST(ThresholdSweep, RejectsEmptyThresholdList) {
   EXPECT_THROW(ThresholdSweep sweep({}), std::invalid_argument);
+}
+
+TEST(StreamingPipeline, PushFailpointDropSwallowsAndCounts) {
+  // Arms the `preprocess.push` failpoint for real: an armed drop must
+  // swallow the raw record before categorization (counted, no event),
+  // and disarming must restore the normal chain.
+  auto& registry = common::FailpointRegistry::instance();
+  registry.reset();
+  ASSERT_TRUE(registry.arm_from_string("preprocess.push=drop"));
+
+  const auto& tax = bgl::taxonomy();
+  const auto& cat = tax.category(tax.fatal_ids().front());
+  bgl::RasRecord record;
+  record.facility = cat.facility;
+  record.severity = cat.severity;
+  record.entry_data = cat.pattern + " [inst 12345678]";
+  record.event_time = 1000;
+
+  StreamingPipeline pipeline(300);
+  EXPECT_FALSE(pipeline.push(record).has_value());
+  EXPECT_EQ(pipeline.stats().dropped_by_failpoint, 1u);
+  EXPECT_EQ(pipeline.stats().raw_records, 1u);
+  EXPECT_EQ(pipeline.stats().unique_events, 0u);
+
+  registry.reset();
+  record.event_time = 2000;
+  const auto survivor = pipeline.push(record);
+  ASSERT_TRUE(survivor.has_value());
+  EXPECT_EQ(survivor->category, tax.fatal_ids().front());
+  EXPECT_EQ(pipeline.stats().dropped_by_failpoint, 1u);
+  EXPECT_EQ(pipeline.stats().unique_events, 1u);
 }
 
 }  // namespace

@@ -1,0 +1,9 @@
+// dml_lint self-test fixture: failpoint-coverage, clean (registry).
+#include <string_view>
+
+namespace dml::common::failpoints {
+/// Called from site.cpp, armed by test_arm.cpp via arm_from_string.
+inline constexpr std::string_view kAlpha = "alpha.one";
+/// Called from site.cpp, armed by test_arm.cpp via the constant form.
+inline constexpr std::string_view kBeta = "beta.two";
+}  // namespace dml::common::failpoints

@@ -1,0 +1,10 @@
+#include "common/failpoint.hpp"
+
+namespace dml {
+
+void instrumented() {
+  common::failpoint(common::failpoints::kAlpha);
+  common::failpoint(common::failpoints::kBeta);
+}
+
+}  // namespace dml

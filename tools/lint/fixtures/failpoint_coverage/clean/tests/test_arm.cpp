@@ -1,0 +1,8 @@
+// Fixture test tier: every registered failpoint is genuinely armed —
+// one through the string grammar, one through the constant overload.
+void test_arming() {
+  auto& registry = dml::common::FailpointRegistry::instance();
+  registry.arm_from_string("alpha.one=throw:after=3");
+  dml::common::FailpointSpec spec;
+  registry.arm(dml::common::failpoints::kBeta, spec);
+}

@@ -1,0 +1,11 @@
+// dml_lint self-test fixture: failpoint-coverage, firing (registry).
+#include <string_view>
+
+namespace dml::common::failpoints {
+/// Armed by the fixture test and called from site.cpp: fully covered.
+inline constexpr std::string_view kAlpha = "alpha.one";
+/// Called from site.cpp but never armed by any fixture test.
+inline constexpr std::string_view kBeta = "beta.two";
+/// Registered but never even called: dead registration.
+inline constexpr std::string_view kGamma = "gamma.three";
+}  // namespace dml::common::failpoints

@@ -1,0 +1,11 @@
+#include "common/failpoint.hpp"
+
+namespace dml {
+
+void instrumented() {
+  common::failpoint(common::failpoints::kAlpha);
+  common::failpoint(common::failpoints::kBeta);
+  common::failpoint("rogue.name");  // unregistered-site
+}
+
+}  // namespace dml

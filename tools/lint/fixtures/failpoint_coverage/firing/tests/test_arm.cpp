@@ -1,0 +1,6 @@
+// Fixture test tier: arms alpha.one only — beta.two and gamma.three
+// stay unarmed, which the audit must report.
+void test_alpha_drop() {
+  auto& registry = dml::common::FailpointRegistry::instance();
+  registry.arm_from_string("alpha.one=drop:p=0.5");
+}

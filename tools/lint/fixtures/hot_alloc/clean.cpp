@@ -1,0 +1,28 @@
+// dml_lint self-test fixture: hot-alloc, clean.
+// A DML_HOT body that stays allocation-free, plus one allocation
+// properly excused through the DML_ALLOW_ALLOC escape hatch.
+#define DML_HOT __attribute__((annotate("dml::hot")))
+#define DML_ALLOW_ALLOC(reason) static_assert(true, "" reason "")
+
+struct Vec {
+  void push_back(int v);
+  int* data();
+  unsigned long size() const;
+};
+
+struct Hot {
+  Vec out;
+  int acc = 0;
+  void step(int v);
+  void cold(int v);
+};
+
+void DML_HOT Hot::step(int v) {
+  acc += v;
+  DML_ALLOW_ALLOC("warning emission appends to the caller-owned output "
+                  "vector; capacity is retained across batches");
+  out.push_back(acc);
+}
+
+// Unmarked function: allocations here are none of dml_lint's business.
+void Hot::cold(int v) { out.push_back(v); }

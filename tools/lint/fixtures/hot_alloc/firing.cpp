@@ -1,0 +1,32 @@
+// dml_lint self-test fixture: hot-alloc, firing.
+// Self-contained: declares the macros and shapes it needs so both the
+// text engine and the AST engine (default flags, no project includes)
+// see the same program.
+#define DML_HOT __attribute__((annotate("dml::hot")))
+#define DML_ALLOW_ALLOC(reason) static_assert(true, "" reason "")
+
+extern "C" void* malloc(unsigned long n);
+
+struct Vec {
+  void push_back(int v);
+  void reserve(unsigned long n);
+  void clear();
+};
+
+struct Hot {
+  Vec scratch;
+  int* raw = nullptr;
+  void step(int v);
+};
+
+void DML_HOT Hot::step(int v) {
+  raw = new int(v);                 // banned-new
+  void* block = malloc(64);         // banned-call (alloc function)
+  scratch.push_back(v);             // banned-call (container)
+  DML_ALLOW_ALLOC("");              // empty-rationale
+  scratch.reserve(128);             // banned-call: the empty rationale
+                                    // above excuses nothing
+  DML_ALLOW_ALLOC("stale: the next statement does not allocate");
+  scratch.clear();                  // -> unused-allow on the marker
+  (void)block;
+}

@@ -1,0 +1,19 @@
+// dml_lint self-test fixture: lock-order, clean.
+// The same nesting as the firing fixture, covered by a declared
+// DML_ACQUIRED_BEFORE edge; the graph is acyclic.
+#define DML_ACQUIRED_BEFORE(...)
+#define DML_ACQUIRED_AFTER(...)
+
+namespace common {
+class Mutex {};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex);
+};
+}  // namespace common
+
+struct Declared {
+  common::Mutex outer_mutex DML_ACQUIRED_BEFORE("inner_mutex");
+  common::Mutex inner_mutex DML_ACQUIRED_AFTER("outer_mutex");
+  void nested();
+};

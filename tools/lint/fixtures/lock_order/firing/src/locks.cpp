@@ -1,0 +1,8 @@
+#include "locks.hpp"
+
+void Undeclared::nested() {
+  common::MutexLock lock(outer_mutex);
+  {
+    common::MutexLock nested_lock(inner_mutex);  // undeclared-nesting
+  }
+}

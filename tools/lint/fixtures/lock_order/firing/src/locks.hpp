@@ -1,0 +1,24 @@
+// dml_lint self-test fixture: lock-order, firing.
+// Two violations: an observed nesting no DML_ACQUIRED_BEFORE edge
+// declares, and a declared edge pair that forms a cycle.
+#define DML_ACQUIRED_BEFORE(...)
+#define DML_ACQUIRED_AFTER(...)
+
+namespace common {
+class Mutex {};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex);
+};
+}  // namespace common
+
+struct Undeclared {
+  common::Mutex outer_mutex;
+  common::Mutex inner_mutex;
+  void nested();
+};
+
+struct Cyclic {
+  common::Mutex ping_mutex DML_ACQUIRED_BEFORE("pong_mutex");
+  common::Mutex pong_mutex DML_ACQUIRED_BEFORE("ping_mutex");
+};

@@ -1,0 +1,24 @@
+// dml_lint self-test fixture: reactor-blocking, clean.
+// The legal reactor shape: drain the socket, enqueue to a mailbox,
+// notify the pump thread — never wait, never sleep, never call the
+// engine.
+#define DML_REACTOR_CONTEXT __attribute__((annotate("dml::reactor_context")))
+
+struct CondVar {
+  void notify_one();
+};
+
+struct Mailbox {
+  void post(int event);
+  CondVar cv;
+};
+
+struct Callbacks {
+  Mailbox mailbox;
+  void on_readable(int fd);
+};
+
+void DML_REACTOR_CONTEXT Callbacks::on_readable(int fd) {
+  mailbox.post(fd);          // hand off to the pump thread
+  mailbox.cv.notify_one();   // notify is non-blocking and legal
+}

@@ -1,0 +1,27 @@
+// dml_lint self-test fixture: reactor-blocking, firing.
+#define DML_REACTOR_CONTEXT __attribute__((annotate("dml::reactor_context")))
+
+extern "C" int usleep(unsigned int usec);
+
+struct MutexLock {};
+struct CondVar {
+  void wait(MutexLock& lock);
+  void notify_one();
+};
+
+struct Engine {
+  void consume(int event);
+};
+
+struct Callbacks {
+  CondVar cv;
+  MutexLock lock;
+  Engine* engine = nullptr;
+  void on_readable(int fd);
+};
+
+void DML_REACTOR_CONTEXT Callbacks::on_readable(int fd) {
+  cv.wait(lock);       // blocking-call (CondVar::wait)
+  usleep(10);          // blocking-call (sleep)
+  engine->consume(fd); // engine-call (reactors never touch the engine)
+}
